@@ -1,0 +1,158 @@
+//! Best-configuration extraction: the "best performance of the interleaved
+//! implementation for different X" slices behind Figures 15–19.
+
+use crate::record::{Dataset, Measurement};
+use ibcf_core::Looking;
+use ibcf_kernels::Unroll;
+
+/// Query helpers over a dataset, borrowed.
+pub struct BestTable<'a> {
+    ds: &'a Dataset,
+}
+
+impl<'a> BestTable<'a> {
+    /// Wraps a dataset.
+    pub fn new(ds: &'a Dataset) -> Self {
+        BestTable { ds }
+    }
+
+    /// The best measurement at dimension `n` among those satisfying `pred`.
+    pub fn best_where(
+        &self,
+        n: usize,
+        mut pred: impl FnMut(&Measurement) -> bool,
+    ) -> Option<&'a Measurement> {
+        self.ds
+            .at_n(n)
+            .filter(|m| pred(m))
+            .max_by(|a, b| a.gflops.total_cmp(&b.gflops))
+    }
+
+    /// Overall best at dimension `n`.
+    pub fn best(&self, n: usize) -> Option<&'a Measurement> {
+        self.best_where(n, |_| true)
+    }
+
+    /// Best per arithmetic mode (Figure 13's two curves).
+    pub fn best_by_arith(&self, n: usize, fast_math: bool) -> Option<&'a Measurement> {
+        self.best_where(n, |m| m.config.fast_math == fast_math)
+    }
+
+    /// Best per tile size (Figure 15).
+    pub fn best_by_nb(&self, n: usize, nb: usize) -> Option<&'a Measurement> {
+        self.best_where(n, |m| m.config.nb == nb)
+    }
+
+    /// Best per looking order (Figure 16).
+    pub fn best_by_looking(&self, n: usize, looking: Looking) -> Option<&'a Measurement> {
+        self.best_where(n, |m| m.config.looking == looking)
+    }
+
+    /// Best per chunking on/off (Figure 17).
+    pub fn best_by_chunking(&self, n: usize, chunked: bool) -> Option<&'a Measurement> {
+        self.best_where(n, |m| m.config.chunked == chunked)
+    }
+
+    /// Best per chunk size, among chunked runs (Figure 18).
+    pub fn best_by_chunk_size(&self, n: usize, chunk_size: usize) -> Option<&'a Measurement> {
+        self.best_where(n, |m| m.config.chunked && m.config.chunk_size == chunk_size)
+    }
+
+    /// Best per unrolling mode (Figure 19).
+    pub fn best_by_unroll(&self, n: usize, unroll: Unroll) -> Option<&'a Measurement> {
+        self.best_where(n, |m| m.config.unroll == unroll)
+    }
+
+    /// All measurements at `n` with the given chunk size, sorted by
+    /// (nb, looking, chunked, unroll) — the per-kernel scatter of
+    /// Figure 20.
+    pub fn kernels_at(&self, n: usize, chunk_size: usize) -> Vec<&'a Measurement> {
+        let mut v: Vec<&Measurement> = self
+            .ds
+            .at_n(n)
+            .filter(|m| m.config.chunk_size == chunk_size)
+            .collect();
+        v.sort_by_key(|m| {
+            (
+                m.config.nb,
+                m.config.looking.name(),
+                m.config.chunked,
+                m.config.unroll == Unroll::Full,
+            )
+        });
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{sweep, SweepOptions};
+    use crate::space::ParamSpace;
+    use ibcf_gpu_sim::GpuSpec;
+
+    fn quick_dataset(n: usize) -> Dataset {
+        sweep(
+            &ParamSpace::quick(),
+            n,
+            &GpuSpec::p100(),
+            &SweepOptions { batch: 2048, progress_every: 0, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn best_is_max_of_slices() {
+        let ds = quick_dataset(16);
+        let t = BestTable::new(&ds);
+        let overall = t.best(16).unwrap().gflops;
+        let by_nb: f64 = [1, 2, 4, 8]
+            .iter()
+            .map(|&nb| t.best_by_nb(16, nb).map_or(0.0, |m| m.gflops))
+            .fold(0.0, f64::max);
+        assert_eq!(overall, by_nb);
+        let by_looking: f64 = Looking::ALL
+            .iter()
+            .map(|&l| t.best_by_looking(16, l).map_or(0.0, |m| m.gflops))
+            .fold(0.0, f64::max);
+        assert_eq!(overall, by_looking);
+    }
+
+    #[test]
+    fn chunked_best_beats_non_chunked() {
+        // Needs a memory-bound size: at n=32 with IEEE arithmetic the best
+        // kernels are DRAM-limited, so the row-buffer locality of chunking
+        // shows up. (At tiny n with IEEE div/sqrt the kernel is compute
+        // bound and chunking is performance-neutral, as in the paper.)
+        let n = 32;
+        let ds = sweep(
+            &ParamSpace::quick(),
+            n,
+            &GpuSpec::p100(),
+            &SweepOptions { batch: 8192, progress_every: 0, ..Default::default() },
+        );
+        let t = BestTable::new(&ds);
+        let chunked = t.best_by_chunking(n, true).unwrap().gflops;
+        let simple = t.best_by_chunking(n, false).unwrap().gflops;
+        assert!(chunked > simple, "chunked {chunked} simple {simple}");
+    }
+
+    #[test]
+    fn kernels_at_filters_and_sorts() {
+        let ds = quick_dataset(8);
+        let t = BestTable::new(&ds);
+        let ks = t.kernels_at(8, 64);
+        assert!(!ks.is_empty());
+        assert!(ks.iter().all(|m| m.config.chunk_size == 64));
+        for w in ks.windows(2) {
+            assert!(w[0].config.nb <= w[1].config.nb);
+        }
+    }
+
+    #[test]
+    fn missing_slices_return_none() {
+        let ds = quick_dataset(8);
+        let t = BestTable::new(&ds);
+        assert!(t.best_by_nb(8, 7).is_none()); // 7 not in quick space
+        assert!(t.best(99).is_none());
+    }
+}

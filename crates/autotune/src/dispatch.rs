@@ -1,0 +1,204 @@
+//! Tuned dispatch: turning the autotuning corpus into a runtime kernel
+//! selector — what ATLAS-lineage libraries (and the BONSAI project this
+//! paper's grant funded) do with sweep results.
+//!
+//! A [`TunedDispatch`] holds the winning configuration per matrix size;
+//! at run time, a request for dimension `n` gets the exact winner if `n`
+//! was swept, or the winner of the nearest swept size with `n`
+//! substituted — a sensible interpolation because the optimal qualitative
+//! regime (full-vs-partial unroll, chunking, looking order) changes slowly
+//! with `n`.
+
+use crate::best::BestTable;
+use crate::record::Dataset;
+use ibcf_kernels::KernelConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// A per-size table of winning configurations.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct TunedDispatch {
+    /// Winning configuration per swept matrix dimension.
+    pub table: BTreeMap<usize, KernelConfig>,
+}
+
+impl TunedDispatch {
+    /// Builds the dispatch table from a sweep dataset, optionally
+    /// restricted to one arithmetic mode (`Some(false)` = IEEE winners
+    /// only — the common case, since fast-math changes numerics).
+    pub fn from_dataset(ds: &Dataset, fast_math: Option<bool>) -> Self {
+        let best = BestTable::new(ds);
+        let mut table = BTreeMap::new();
+        for n in ds.sizes() {
+            let m = match fast_math {
+                None => best.best(n),
+                Some(f) => best.best_by_arith(n, f),
+            };
+            if let Some(m) = m {
+                table.insert(n, m.config);
+            }
+        }
+        TunedDispatch { table }
+    }
+
+    /// Number of tuned sizes.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// `true` if no sizes are tuned.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// The configuration to use for dimension `n`: the exact winner if
+    /// swept, otherwise the nearest swept size's winner re-targeted to `n`
+    /// (ties break toward the smaller size). Returns `None` on an empty
+    /// table.
+    pub fn config_for(&self, n: usize) -> Option<KernelConfig> {
+        if let Some(c) = self.table.get(&n) {
+            return Some(*c);
+        }
+        let below = self.table.range(..=n).next_back();
+        let above = self.table.range(n..).next();
+        let nearest = match (below, above) {
+            (Some((&bn, bc)), Some((&an, ac))) => {
+                if n - bn <= an - n {
+                    (bn, bc)
+                } else {
+                    (an, ac)
+                }
+            }
+            (Some((&bn, bc)), None) => (bn, bc),
+            (None, Some((&an, ac))) => (an, ac),
+            (None, None) => return None,
+        };
+        let mut c = *nearest.1;
+        c.n = n;
+        Some(c)
+    }
+
+    /// Saves the table as JSON lines (`n` + config per line).
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        for (n, config) in &self.table {
+            let line = serde_json::json!({ "n": n, "config": config });
+            writeln!(f, "{line}")?;
+        }
+        Ok(())
+    }
+
+    /// Loads a table saved by [`TunedDispatch::save`].
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let f = std::io::BufReader::new(std::fs::File::open(path)?);
+        let mut table = BTreeMap::new();
+        for line in f.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v: serde_json::Value = serde_json::from_str(&line)?;
+            let n = v["n"].as_u64().ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "missing n")
+            })? as usize;
+            let config: KernelConfig = serde_json::from_value(v["config"].clone())?;
+            table.insert(n, config);
+        }
+        Ok(TunedDispatch { table })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{sweep_sizes, SweepOptions};
+    use crate::space::ParamSpace;
+    use ibcf_gpu_sim::GpuSpec;
+
+    fn dispatch() -> (Dataset, TunedDispatch) {
+        let ds = sweep_sizes(
+            &ParamSpace::quick(),
+            &[8, 16, 32],
+            &GpuSpec::p100(),
+            &SweepOptions { batch: 4096, ..Default::default() },
+        );
+        let d = TunedDispatch::from_dataset(&ds, Some(false));
+        (ds, d)
+    }
+
+    #[test]
+    fn exact_sizes_return_the_winner() {
+        let (ds, d) = dispatch();
+        assert_eq!(d.len(), 3);
+        let best = BestTable::new(&ds);
+        for n in [8usize, 16, 32] {
+            let got = d.config_for(n).unwrap();
+            let want = best.best_by_arith(n, false).unwrap().config;
+            assert_eq!(got, want, "n={n}");
+            assert!(!got.fast_math);
+        }
+    }
+
+    #[test]
+    fn unswept_sizes_interpolate_from_nearest() {
+        let (_, d) = dispatch();
+        // 12 is equidistant from 8 and 16: ties toward the smaller.
+        let c12 = d.config_for(12).unwrap();
+        assert_eq!(c12.n, 12);
+        let c20 = d.config_for(20).unwrap();
+        assert_eq!(c20.n, 20);
+        // Beyond the table: clamp to the largest swept size's winner.
+        let c64 = d.config_for(64).unwrap();
+        assert_eq!(c64.n, 64);
+        let c32 = d.config_for(32).unwrap();
+        assert_eq!(c64.nb, c32.nb);
+        assert_eq!(c64.looking, c32.looking);
+        // All interpolated configs must be valid.
+        for n in 1..=64 {
+            d.config_for(n).unwrap().validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let (_, d) = dispatch();
+        let dir = std::env::temp_dir().join("ibcf_dispatch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("dispatch.jsonl");
+        d.save(&p).unwrap();
+        let back = TunedDispatch::load(&p).unwrap();
+        assert_eq!(back.len(), d.len());
+        for n in [8usize, 16, 32] {
+            assert_eq!(back.config_for(n), d.config_for(n));
+        }
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn empty_table_returns_none() {
+        let d = TunedDispatch::default();
+        assert!(d.is_empty());
+        assert!(d.config_for(16).is_none());
+    }
+
+    #[test]
+    fn tuned_dispatch_factorizes_correctly_at_interpolated_sizes() {
+        use ibcf_core::spd::{fill_batch_spd, SpdKind};
+        use ibcf_core::verify::batch_reconstruction_error;
+        use ibcf_kernels::factorize_batch_device;
+        let (_, d) = dispatch();
+        for n in [11usize, 24] {
+            let config = d.config_for(n).unwrap();
+            let batch = 64;
+            let layout = config.layout(batch);
+            let mut data = vec![0.0f32; ibcf_layout::BatchLayout::len(&layout)];
+            fill_batch_spd(&layout, &mut data, SpdKind::Wishart, 2);
+            let orig = data.clone();
+            factorize_batch_device(&config, batch, &mut data);
+            let err = batch_reconstruction_error(&layout, &orig, &data);
+            assert!(err < 1e-4, "n={n} via {config}: {err}");
+        }
+    }
+}

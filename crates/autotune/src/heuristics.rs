@@ -1,0 +1,177 @@
+//! Guided search — the alternative to exhaustive sweeping the paper
+//! discusses (and deliberately rejects for its analysis, calling guided
+//! search a form of selection bias). Provided as an extension so the
+//! trade-off can be quantified: how close does hill climbing get, with how
+//! few evaluations?
+
+use crate::record::Measurement;
+use crate::runner::measure;
+use crate::space::ParamSpace;
+use ibcf_gpu_sim::GpuSpec;
+use ibcf_kernels::KernelConfig;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashSet;
+
+/// Result of a guided search.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Best measurement found.
+    pub best: Measurement,
+    /// Number of configurations evaluated.
+    pub evaluations: usize,
+}
+
+fn key(c: &KernelConfig) -> String {
+    format!("{c}")
+}
+
+/// Neighbors of a configuration: one parameter moved one step within the
+/// space.
+fn neighbors(space: &ParamSpace, c: &KernelConfig) -> Vec<KernelConfig> {
+    let mut out = Vec::new();
+    let step = |vals: &[usize], cur: usize| -> Vec<usize> {
+        let i = vals.iter().position(|&v| v == cur);
+        match i {
+            Some(i) => {
+                let mut v = Vec::new();
+                if i > 0 {
+                    v.push(vals[i - 1]);
+                }
+                if i + 1 < vals.len() {
+                    v.push(vals[i + 1]);
+                }
+                v
+            }
+            None => vals.to_vec(),
+        }
+    };
+    for nb in step(&space.nb, c.nb) {
+        out.push(KernelConfig { nb, ..*c });
+    }
+    for &looking in &space.looking {
+        if looking != c.looking {
+            out.push(KernelConfig { looking, ..*c });
+        }
+    }
+    for &chunked in &space.chunked {
+        if chunked != c.chunked {
+            out.push(KernelConfig { chunked, ..*c });
+        }
+    }
+    for chunk_size in step(&space.chunk_size, c.chunk_size) {
+        out.push(KernelConfig { chunk_size, ..*c });
+    }
+    for &unroll in &space.unroll {
+        if unroll != c.unroll {
+            out.push(KernelConfig { unroll, ..*c });
+        }
+    }
+    out
+}
+
+/// Hill climbing with random restarts over the space restricted to one
+/// arithmetic mode and cache preference (the paper's Table I variables
+/// that actually move performance).
+pub fn hill_climb(
+    space: &ParamSpace,
+    n: usize,
+    batch: usize,
+    spec: &GpuSpec,
+    restarts: usize,
+    seed: u64,
+) -> SearchResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut evals = 0usize;
+    let eval = |c: &KernelConfig, seen: &mut HashSet<String>, evals: &mut usize| {
+        seen.insert(key(c));
+        *evals += 1;
+        measure(c, batch, spec)
+    };
+
+    let pick = |rng: &mut StdRng, space: &ParamSpace| KernelConfig {
+        n,
+        nb: space.nb[rng.random_range(0..space.nb.len())],
+        looking: space.looking[rng.random_range(0..space.looking.len())],
+        chunked: space.chunked[rng.random_range(0..space.chunked.len())],
+        chunk_size: space.chunk_size[rng.random_range(0..space.chunk_size.len())],
+        unroll: space.unroll[rng.random_range(0..space.unroll.len())],
+        fast_math: space.fast_math[0],
+        cache_pref: space.cache_pref[0],
+    };
+
+    let mut best: Option<Measurement> = None;
+    for _ in 0..restarts.max(1) {
+        let mut cur = eval(&pick(&mut rng, space), &mut seen, &mut evals);
+        loop {
+            let mut improved = false;
+            for nb in neighbors(space, &cur.config) {
+                if seen.contains(&key(&nb)) {
+                    continue;
+                }
+                let m = eval(&nb, &mut seen, &mut evals);
+                if m.gflops > cur.gflops {
+                    cur = m;
+                    improved = true;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        if best.as_ref().is_none_or(|b| cur.gflops > b.gflops) {
+            best = Some(cur);
+        }
+    }
+    SearchResult { best: best.expect("at least one restart"), evaluations: evals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::best::BestTable;
+    use crate::runner::{sweep, SweepOptions};
+
+    #[test]
+    fn hill_climb_gets_close_to_exhaustive_with_fewer_evals() {
+        let space = ParamSpace::quick();
+        let spec = GpuSpec::p100();
+        let n = 24;
+        let batch = 2048;
+        let ds = sweep(&space, n, &spec, &SweepOptions { batch, progress_every: 0, ..Default::default() });
+        // The climber explores the space's first arithmetic mode (IEEE);
+        // compare under the same restriction.
+        let exhaustive = BestTable::new(&ds)
+            .best_where(n, |m| !m.config.fast_math)
+            .unwrap()
+            .gflops;
+        let result = hill_climb(&space, n, batch, &spec, 4, 7);
+        assert!(
+            result.best.gflops >= 0.9 * exhaustive,
+            "hill climb {} vs exhaustive {exhaustive}",
+            result.best.gflops
+        );
+        assert!(
+            result.evaluations < space.len_per_n(),
+            "guided search used {} >= grid {}",
+            result.evaluations,
+            space.len_per_n()
+        );
+    }
+
+    #[test]
+    fn neighbors_move_one_parameter() {
+        let space = ParamSpace::paper();
+        let c = KernelConfig::baseline(16);
+        for nb in neighbors(&space, &c) {
+            let mut diffs = 0;
+            diffs += (nb.nb != c.nb) as u32;
+            diffs += (nb.looking != c.looking) as u32;
+            diffs += (nb.chunked != c.chunked) as u32;
+            diffs += (nb.chunk_size != c.chunk_size) as u32;
+            diffs += (nb.unroll != c.unroll) as u32;
+            assert_eq!(diffs, 1, "{nb}");
+        }
+    }
+}

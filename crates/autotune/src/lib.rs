@@ -1,0 +1,22 @@
+//! Autotuning of the interleaved batch Cholesky kernels.
+//!
+//! Reproduces the paper's Section III/IV methodology: an **exhaustive**
+//! sweep of the kernel configuration space (the paper reports over 14,000
+//! successful runs), persisted as a dataset for post-mortem analysis, plus
+//! best-configuration extraction sliced every way the figures need and a
+//! guided-search extension (hill climbing) for comparison.
+
+#![warn(missing_docs)]
+
+pub mod best;
+pub mod dispatch;
+pub mod heuristics;
+pub mod record;
+pub mod runner;
+pub mod space;
+
+pub use best::BestTable;
+pub use dispatch::TunedDispatch;
+pub use record::{Dataset, Measurement};
+pub use runner::{sweep, sweep_sizes, SweepOptions};
+pub use space::ParamSpace;

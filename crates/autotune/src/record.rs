@@ -1,0 +1,201 @@
+//! Measurement records and dataset persistence.
+
+use ibcf_core::Looking;
+use ibcf_gpu_sim::Bottleneck;
+use ibcf_kernels::{CachePref, KernelConfig, Unroll};
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// One autotuning measurement: a configuration and its modeled performance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Measurement {
+    /// The configuration measured.
+    pub config: KernelConfig,
+    /// Batch size of the launch.
+    pub batch: usize,
+    /// Gflop/s at the paper's `batch · n³/3` flop count.
+    pub gflops: f64,
+    /// Modeled wall time, seconds.
+    pub time_s: f64,
+    /// Binding resource.
+    pub bottleneck: Bottleneck,
+    /// DRAM row-buffer hit rate.
+    pub row_hit_rate: f64,
+    /// Occupancy fraction.
+    pub occupancy: f64,
+    /// Total DRAM traffic, bytes.
+    pub dram_bytes: u64,
+}
+
+impl Measurement {
+    /// Numeric feature vector for the Section-IV analysis, in Table I's
+    /// row order: n, tile size, looking, chunking, chunk size, unrolling,
+    /// cache. Categorical variables are integer-coded.
+    pub fn features(&self) -> Vec<f64> {
+        let c = &self.config;
+        vec![
+            c.n as f64,
+            c.nb as f64,
+            match c.looking {
+                Looking::Left => 0.0,
+                Looking::Right => 1.0,
+                Looking::Top => 2.0,
+            },
+            c.chunked as u8 as f64,
+            c.chunk_size as f64,
+            (c.unroll == Unroll::Full) as u8 as f64,
+            (c.cache_pref == CachePref::Shared) as u8 as f64,
+        ]
+    }
+
+    /// Names of the entries of [`Measurement::features`].
+    pub fn feature_names() -> Vec<&'static str> {
+        vec!["n", "nb", "looking", "chunking", "chunk_size", "unrolling", "cache"]
+    }
+}
+
+/// A full autotuning dataset: every measurement of a sweep, plus the
+/// context needed to reproduce it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// GPU spec name the model used.
+    pub gpu: String,
+    /// Batch size of every launch.
+    pub batch: usize,
+    /// The measurements.
+    pub measurements: Vec<Measurement>,
+}
+
+impl Dataset {
+    /// Measurements at dimension `n`.
+    pub fn at_n(&self, n: usize) -> impl Iterator<Item = &Measurement> {
+        self.measurements.iter().filter(move |m| m.config.n == n)
+    }
+
+    /// Sorted distinct matrix dimensions present.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut s: Vec<usize> = self.measurements.iter().map(|m| m.config.n).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+
+    /// Writes the dataset as JSON lines (one measurement per line, with a
+    /// one-line header object).
+    pub fn save_jsonl(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        let header = serde_json::json!({ "gpu": self.gpu, "batch": self.batch });
+        writeln!(f, "{header}")?;
+        for m in &self.measurements {
+            writeln!(f, "{}", serde_json::to_string(m)?)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a dataset written by [`Dataset::save_jsonl`].
+    pub fn load_jsonl(path: &Path) -> std::io::Result<Self> {
+        let f = std::io::BufReader::new(std::fs::File::open(path)?);
+        let mut lines = f.lines();
+        let header: serde_json::Value = serde_json::from_str(
+            &lines.next().ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "empty dataset")
+            })??,
+        )?;
+        let gpu = header["gpu"].as_str().unwrap_or("unknown").to_string();
+        let batch = header["batch"].as_u64().unwrap_or(0) as usize;
+        let mut measurements = Vec::new();
+        for line in lines {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            measurements.push(serde_json::from_str(&line)?);
+        }
+        Ok(Dataset { gpu, batch, measurements })
+    }
+
+    /// Writes a CSV view (features + gflops), handy for external analysis.
+    pub fn save_csv(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(
+            f,
+            "{},fast_math,gflops,time_s,row_hit_rate,occupancy",
+            Measurement::feature_names().join(",")
+        )?;
+        for m in &self.measurements {
+            let feats: Vec<String> = m.features().iter().map(|x| x.to_string()).collect();
+            writeln!(
+                f,
+                "{},{},{},{},{},{}",
+                feats.join(","),
+                m.config.fast_math as u8,
+                m.gflops,
+                m.time_s,
+                m.row_hit_rate,
+                m.occupancy
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibcf_gpu_sim::Bottleneck;
+
+    fn sample(n: usize, gflops: f64) -> Measurement {
+        Measurement {
+            config: KernelConfig::baseline(n),
+            batch: 1024,
+            gflops,
+            time_s: 1e-4,
+            bottleneck: Bottleneck::Dram,
+            row_hit_rate: 0.9,
+            occupancy: 0.5,
+            dram_bytes: 1 << 20,
+        }
+    }
+
+    #[test]
+    fn features_align_with_names() {
+        let m = sample(24, 100.0);
+        assert_eq!(m.features().len(), Measurement::feature_names().len());
+        assert_eq!(m.features()[0], 24.0);
+        assert_eq!(m.features()[4], 64.0); // chunk_size
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let d = Dataset {
+            gpu: "test".into(),
+            batch: 1024,
+            measurements: vec![sample(8, 50.0), sample(16, 150.0)],
+        };
+        let dir = std::env::temp_dir().join("ibcf_test_ds");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("ds.jsonl");
+        d.save_jsonl(&p).unwrap();
+        let back = Dataset::load_jsonl(&p).unwrap();
+        assert_eq!(back.batch, 1024);
+        assert_eq!(back.measurements.len(), 2);
+        assert_eq!(back.measurements[1].config.n, 16);
+        assert_eq!(back.sizes(), vec![8, 16]);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let d = Dataset { gpu: "t".into(), batch: 8, measurements: vec![sample(8, 50.0)] };
+        let dir = std::env::temp_dir().join("ibcf_test_ds");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("ds.csv");
+        d.save_csv(&p).unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+        let mut lines = text.lines();
+        assert!(lines.next().unwrap().starts_with("n,nb,looking"));
+        assert_eq!(lines.count(), 1);
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -1,0 +1,211 @@
+//! The exhaustive sweep runner.
+
+use crate::record::{Dataset, Measurement};
+use crate::space::ParamSpace;
+use ibcf_core::flops::cholesky_flops_std;
+use ibcf_gpu_sim::GpuSpec;
+use ibcf_kernels::{time_config, KernelConfig};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Sweep options.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Batch size of every launch (the paper uses 16,384).
+    pub batch: usize,
+    /// Print progress every this many configurations (0 = silent).
+    pub progress_every: usize,
+    /// Relative measurement noise (standard deviation of a multiplicative
+    /// Gaussian-ish factor). Real autotuning corpora are noisy; setting
+    /// this non-zero lets the analysis pipeline be exercised under
+    /// realistic conditions. 0 = deterministic model output.
+    pub noise_sigma: f64,
+    /// Seed for the noise (per-configuration deterministic).
+    pub noise_seed: u64,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions { batch: 16_384, progress_every: 0, noise_sigma: 0.0, noise_seed: 0 }
+    }
+}
+
+/// A cheap deterministic standard-normal-ish sample (sum of uniforms) for
+/// the measurement-noise model, keyed by configuration.
+fn noise_factor(config: &KernelConfig, sigma: f64, seed: u64) -> f64 {
+    if sigma == 0.0 {
+        return 1.0;
+    }
+    let mut h = seed ^ 0x9E3779B97F4A7C15;
+    let mut mix = |x: u64| {
+        h ^= x.wrapping_mul(0xA24BAED4963EE407);
+        h = h.rotate_left(23).wrapping_mul(0x9FB21C651E98DF25);
+    };
+    mix(config.n as u64);
+    mix(config.nb as u64);
+    mix(config.chunk_size as u64);
+    mix(config.chunked as u64 + 2 * (config.fast_math as u64));
+    mix(match config.looking {
+        ibcf_core::Looking::Right => 11,
+        ibcf_core::Looking::Left => 13,
+        ibcf_core::Looking::Top => 17,
+    });
+    // Irwin-Hall(4) centered: mean 0, variance 1/3; scale to unit-ish.
+    let mut z = 0.0f64;
+    let mut state = h;
+    for _ in 0..4 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        z += (state >> 40) as f64 / (1u64 << 24) as f64 - 0.5;
+    }
+    (1.0 + sigma * z * 1.732).max(0.05)
+}
+
+/// Measures one configuration (deterministic model output).
+pub fn measure(config: &KernelConfig, batch: usize, spec: &GpuSpec) -> Measurement {
+    measure_noisy(config, batch, spec, 0.0, 0)
+}
+
+/// Measures one configuration with the multiplicative noise model.
+pub fn measure_noisy(
+    config: &KernelConfig,
+    batch: usize,
+    spec: &GpuSpec,
+    noise_sigma: f64,
+    noise_seed: u64,
+) -> Measurement {
+    let t = time_config(config, batch, spec);
+    let flops = cholesky_flops_std(config.n) * batch as f64;
+    let f = noise_factor(config, noise_sigma, noise_seed);
+    Measurement {
+        config: *config,
+        batch,
+        gflops: t.gflops(flops) * f,
+        time_s: t.time_s / f,
+        bottleneck: t.bottleneck,
+        row_hit_rate: t.row_hit_rate,
+        occupancy: t.occupancy.occupancy,
+        dram_bytes: t.dram_bytes,
+    }
+}
+
+/// Exhaustively sweeps `space` at one matrix dimension.
+///
+/// # Examples
+///
+/// ```
+/// use ibcf_autotune::{sweep, ParamSpace, SweepOptions};
+/// use ibcf_gpu_sim::GpuSpec;
+///
+/// let ds = sweep(
+///     &ParamSpace::quick(),
+///     8,
+///     &GpuSpec::p100(),
+///     &SweepOptions { batch: 1024, ..Default::default() },
+/// );
+/// assert_eq!(ds.measurements.len(), ParamSpace::quick().len_per_n());
+/// ```
+pub fn sweep(space: &ParamSpace, n: usize, spec: &GpuSpec, opts: &SweepOptions) -> Dataset {
+    sweep_sizes(space, &[n], spec, opts)
+}
+
+/// Exhaustively sweeps `space` across several matrix dimensions, in
+/// parallel (rayon) over configurations.
+pub fn sweep_sizes(
+    space: &ParamSpace,
+    sizes: &[usize],
+    spec: &GpuSpec,
+    opts: &SweepOptions,
+) -> Dataset {
+    let mut all: Vec<KernelConfig> = Vec::new();
+    for &n in sizes {
+        all.extend(space.configs(n));
+    }
+    let done = AtomicUsize::new(0);
+    let total = all.len();
+    let measurements: Vec<Measurement> = all
+        .par_iter()
+        .map(|config| {
+            let m = measure_noisy(config, opts.batch, spec, opts.noise_sigma, opts.noise_seed);
+            if opts.progress_every > 0 {
+                let k = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if k.is_multiple_of(opts.progress_every) {
+                    eprintln!("  swept {k}/{total}");
+                }
+            }
+            m
+        })
+        .collect();
+    Dataset { gpu: spec.name.clone(), batch: opts.batch, measurements }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_produces_full_grid() {
+        let space = ParamSpace::quick();
+        let spec = GpuSpec::p100();
+        let ds = sweep(&space, 12, &spec, &SweepOptions { batch: 2048, ..Default::default() });
+        assert_eq!(ds.measurements.len(), space.len_per_n());
+        assert!(ds.measurements.iter().all(|m| m.gflops > 0.0 && m.time_s > 0.0));
+        assert_eq!(ds.sizes(), vec![12]);
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let space = ParamSpace::quick();
+        let spec = GpuSpec::p100();
+        let opts = SweepOptions { batch: 1024, ..Default::default() };
+        let a = sweep(&space, 8, &spec, &opts);
+        let b = sweep(&space, 8, &spec, &opts);
+        for (x, y) in a.measurements.iter().zip(&b.measurements) {
+            assert_eq!(x.config, y.config);
+            assert_eq!(x.gflops, y.gflops);
+        }
+    }
+
+    #[test]
+    fn noise_perturbs_but_preserves_structure() {
+        let space = ParamSpace::quick();
+        let spec = GpuSpec::p100();
+        let clean = sweep(&space, 16, &spec, &SweepOptions { batch: 2048, ..Default::default() });
+        let noisy = sweep(
+            &space,
+            16,
+            &spec,
+            &SweepOptions { batch: 2048, noise_sigma: 0.05, noise_seed: 9, ..Default::default() },
+        );
+        let mut rel = Vec::new();
+        for (c, n) in clean.measurements.iter().zip(&noisy.measurements) {
+            assert_eq!(c.config, n.config);
+            rel.push((n.gflops / c.gflops - 1.0).abs());
+        }
+        let mean_dev = rel.iter().sum::<f64>() / rel.len() as f64;
+        assert!(mean_dev > 0.005 && mean_dev < 0.2, "mean deviation {mean_dev}");
+        // Noise must be reproducible.
+        let noisy2 = sweep(
+            &space,
+            16,
+            &spec,
+            &SweepOptions { batch: 2048, noise_sigma: 0.05, noise_seed: 9, ..Default::default() },
+        );
+        for (a, b) in noisy.measurements.iter().zip(&noisy2.measurements) {
+            assert_eq!(a.gflops, b.gflops);
+        }
+    }
+
+    #[test]
+    fn multi_size_sweep_covers_all_sizes() {
+        let space = ParamSpace::quick();
+        let spec = GpuSpec::p100();
+        let ds = sweep_sizes(
+            &space,
+            &[4, 8],
+            &spec,
+            &SweepOptions { batch: 512, ..Default::default() },
+        );
+        assert_eq!(ds.sizes(), vec![4, 8]);
+        assert_eq!(ds.measurements.len(), 2 * space.len_per_n());
+    }
+}

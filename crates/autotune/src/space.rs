@@ -1,0 +1,132 @@
+//! The kernel tuning space (§II-D of the paper).
+
+use ibcf_core::Looking;
+use ibcf_kernels::{CachePref, KernelConfig, Unroll};
+use serde::{Deserialize, Serialize};
+
+/// A rectangular parameter space: the cross product of the listed values.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParamSpace {
+    /// Tile sizes to sweep.
+    pub nb: Vec<usize>,
+    /// Looking orders to sweep.
+    pub looking: Vec<Looking>,
+    /// Chunking on/off.
+    pub chunked: Vec<bool>,
+    /// Chunk sizes (= thread-block sizes).
+    pub chunk_size: Vec<usize>,
+    /// Unrolling modes.
+    pub unroll: Vec<Unroll>,
+    /// Arithmetic modes (`false` = IEEE, `true` = fast-math).
+    pub fast_math: Vec<bool>,
+    /// Cache preferences.
+    pub cache_pref: Vec<CachePref>,
+}
+
+impl ParamSpace {
+    /// The paper's full space: `nb` 1–8, three looking orders, chunked or
+    /// not, chunk sizes 32–512, partial/full unrolling, both arithmetic
+    /// modes, both cache preferences.
+    pub fn paper() -> Self {
+        ParamSpace {
+            nb: (1..=8).collect(),
+            looking: Looking::ALL.to_vec(),
+            chunked: vec![false, true],
+            chunk_size: vec![32, 64, 128, 256, 512],
+            unroll: Unroll::ALL.to_vec(),
+            fast_math: vec![false, true],
+            cache_pref: CachePref::ALL.to_vec(),
+        }
+    }
+
+    /// A reduced space for quick runs and tests: `nb` ∈ {1, 2, 4, 8},
+    /// chunk ∈ {32, 64, 256}; both arithmetic modes and cache preferences
+    /// so every best-slice and the Table-I analysis stay meaningful.
+    pub fn quick() -> Self {
+        ParamSpace {
+            nb: vec![1, 2, 4, 8],
+            looking: Looking::ALL.to_vec(),
+            chunked: vec![false, true],
+            chunk_size: vec![32, 64, 256],
+            unroll: Unroll::ALL.to_vec(),
+            fast_math: vec![false, true],
+            cache_pref: CachePref::ALL.to_vec(),
+        }
+    }
+
+    /// Number of configurations per matrix size.
+    pub fn len_per_n(&self) -> usize {
+        self.nb.len()
+            * self.looking.len()
+            * self.chunked.len()
+            * self.chunk_size.len()
+            * self.unroll.len()
+            * self.fast_math.len()
+            * self.cache_pref.len()
+    }
+
+    /// Enumerates every configuration for matrix dimension `n`.
+    pub fn configs(&self, n: usize) -> Vec<KernelConfig> {
+        let mut out = Vec::with_capacity(self.len_per_n());
+        for &nb in &self.nb {
+            for &looking in &self.looking {
+                for &chunked in &self.chunked {
+                    for &chunk_size in &self.chunk_size {
+                        for &unroll in &self.unroll {
+                            for &fast_math in &self.fast_math {
+                                for &cache_pref in &self.cache_pref {
+                                    out.push(KernelConfig {
+                                        n,
+                                        nb,
+                                        looking,
+                                        chunked,
+                                        chunk_size,
+                                        unroll,
+                                        fast_math,
+                                        cache_pref,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The paper's default size sweep (8 sizes × the full space ≈ 15k
+    /// configurations, matching the reported "over 14,000 measurements").
+    pub fn paper_sizes() -> Vec<usize> {
+        vec![8, 16, 24, 32, 40, 48, 56, 64]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_space_matches_reported_scale() {
+        let s = ParamSpace::paper();
+        assert_eq!(s.len_per_n(), 8 * 3 * 2 * 5 * 2 * 2 * 2);
+        let total = s.len_per_n() * ParamSpace::paper_sizes().len();
+        assert!(total > 14_000, "total {total}");
+        assert_eq!(s.configs(24).len(), s.len_per_n());
+    }
+
+    #[test]
+    fn all_generated_configs_are_valid() {
+        let s = ParamSpace::paper();
+        for c in s.configs(17) {
+            c.validate().unwrap_or_else(|e| panic!("{c}: {e}"));
+        }
+    }
+
+    #[test]
+    fn quick_space_is_small() {
+        let s = ParamSpace::quick();
+        assert_eq!(s.len_per_n(), 4 * 3 * 2 * 3 * 2 * 2 * 2);
+        assert!(s.len_per_n() < ParamSpace::paper().len_per_n());
+    }
+}

@@ -1,0 +1,95 @@
+//! Criterion benches for the simulated device kernels: functional
+//! execution throughput and the cost of one timing-model evaluation (the
+//! unit of work of the autotuning sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ibcf_core::spd::{fill_batch_spd, SpdKind};
+use ibcf_gpu_sim::{launch_functional, trace_warp, ExecOptions, GpuSpec};
+use ibcf_kernels::{time_config, time_traditional, InterleavedCholesky, KernelConfig, Unroll};
+use std::hint::black_box;
+
+fn bench_functional(c: &mut Criterion) {
+    let mut g = c.benchmark_group("functional_execution");
+    g.sample_size(10);
+    for n in [8usize, 24] {
+        let batch = 2048;
+        let config = KernelConfig::baseline(n);
+        let kernel = InterleavedCholesky::new(config, batch);
+        let layout = *kernel.layout();
+        let mut base = vec![0.0f32; ibcf_layout::BatchLayout::len(&layout)];
+        fill_batch_spd(&layout, &mut base, SpdKind::Wishart, 3);
+        g.bench_function(format!("interleaved_n{n}_batch{batch}"), |b| {
+            b.iter(|| {
+                let mut data = base.clone();
+                launch_functional(&kernel, config.launch(batch), &mut data, ExecOptions::default());
+                black_box(data[0])
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_timing_model(c: &mut Criterion) {
+    let spec = GpuSpec::p100();
+    let mut g = c.benchmark_group("timing_model_eval");
+    g.sample_size(20);
+    for (n, unroll) in [(16usize, Unroll::Full), (48, Unroll::Partial)] {
+        let config = KernelConfig { unroll, ..KernelConfig::baseline(n) };
+        g.bench_function(format!("interleaved_n{n}_{}", unroll.name()), |b| {
+            b.iter(|| black_box(time_config(&config, 16384, &spec).time_s))
+        });
+    }
+    g.bench_function("traditional_n32", |b| {
+        b.iter(|| black_box(time_traditional(32, 16384, &spec, false).time_s))
+    });
+    g.finish();
+}
+
+fn bench_trace(c: &mut Criterion) {
+    let mut g = c.benchmark_group("warp_trace");
+    g.sample_size(20);
+    let config = KernelConfig::baseline(32);
+    let kernel = InterleavedCholesky::new(config, 16384);
+    g.bench_function("trace_warp_n32", |b| {
+        b.iter(|| black_box(trace_warp(&kernel, config.launch(16384), 0, 0).accesses.len()))
+    });
+    g.finish();
+}
+
+fn bench_extension_kernels(c: &mut Criterion) {
+    use ibcf_kernels::{time_blas, time_pack, time_solve, InterleavedGemm};
+    use ibcf_layout::{Canonical, Layout, LayoutKind};
+    let spec = GpuSpec::p100();
+    let n = 16;
+    let batch = 16384;
+    let lay = Layout::build(LayoutKind::Chunked, n, batch, 64);
+    let mut g = c.benchmark_group("extension_kernel_models");
+    g.sample_size(20);
+    g.bench_function("gemm_batch_n16", |b| {
+        let k = InterleavedGemm {
+            layout: lay,
+            a_offset: 0,
+            b_offset: ibcf_layout::BatchLayout::len(&lay),
+            c_offset: 2 * ibcf_layout::BatchLayout::len(&lay),
+            nb: 8,
+        };
+        b.iter(|| black_box(time_blas(&k, &lay, 64, &spec).time_s))
+    });
+    g.bench_function("solve_batch_n16", |b| {
+        b.iter(|| black_box(time_solve(&lay, batch, &spec, 64).time_s))
+    });
+    g.bench_function("pack_batch_n16", |b| {
+        let canon = Canonical::new(n, batch);
+        b.iter(|| black_box(time_pack(canon, lay, &spec).time_s))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_functional,
+    bench_timing_model,
+    bench_trace,
+    bench_extension_kernels
+);
+criterion_main!(benches);

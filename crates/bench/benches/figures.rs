@@ -1,0 +1,28 @@
+//! `cargo bench` entry point that regenerates every table and figure of
+//! the paper at reduced (quick) scale, printing the same rows the paper
+//! reports and the shape-check outcomes. The full-scale generators are the
+//! `fig*`/`table1`/`all_figures` binaries.
+
+use ibcf_bench::{results_dir, FigOpts};
+
+fn main() {
+    // Criterion-style CLI flags (e.g. `--bench`) are accepted and ignored.
+    let opts = FigOpts::quick();
+    println!("regenerating all paper tables/figures (quick mode, batch {})", opts.batch);
+    let figs = ibcf_bench::figures::all(&opts);
+    let mut pass = 0usize;
+    let mut total = 0usize;
+    for fig in &figs {
+        fig.print();
+        if let Ok(p) = fig.save_csv(&results_dir()) {
+            println!("saved {}\n", p.display());
+        }
+        pass += fig.checks.iter().filter(|c| c.pass).count();
+        total += fig.checks.len();
+    }
+    println!("=== shape checks: {pass}/{total} passed ===");
+    assert!(
+        pass * 10 >= total * 8,
+        "too many figure shape checks failed: {pass}/{total}"
+    );
+}

@@ -1,0 +1,52 @@
+//! Criterion benches for the random-forest substrate: fitting, prediction,
+//! and permutation importance on a synthetic regression task.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ibcf_forest::{permutation_importance, Forest, ForestConfig, TableData};
+use std::hint::black_box;
+
+fn synth(n: usize) -> TableData {
+    let mut rows = Vec::new();
+    let mut targets = Vec::new();
+    let mut state = 42u64;
+    let mut unit = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 40) as f64 / (1u64 << 24) as f64
+    };
+    for _ in 0..n {
+        let x: Vec<f64> = (0..7).map(|_| unit()).collect();
+        let y = 5.0 * x[0] - 3.0 * x[1] * x[1] + x[2] + 0.1 * (unit() - 0.5);
+        rows.push(x);
+        targets.push(y);
+    }
+    TableData::new((0..7).map(|i| format!("x{i}")).collect(), rows, targets)
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let data = synth(2000);
+    let mut g = c.benchmark_group("forest");
+    g.sample_size(10);
+    g.bench_function("fit_100_trees_2000_rows", |b| {
+        b.iter(|| {
+            let f = Forest::fit(
+                &data,
+                ForestConfig { num_trees: 100, ..ForestConfig::default() },
+            );
+            black_box(f.trees().len())
+        })
+    });
+    let forest = Forest::fit(&data, ForestConfig { num_trees: 100, ..ForestConfig::default() });
+    g.bench_function("predict_2000_rows", |b| {
+        b.iter(|| {
+            let s: f64 = data.rows.iter().map(|r| forest.predict(r)).sum();
+            black_box(s)
+        })
+    });
+    g.bench_function("permutation_importance", |b| {
+        b.iter(|| black_box(permutation_importance(&forest, &data, 1).inc_mse[0]))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fit);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benches for the host (CPU) batch factorization — the oracle
+//! and CPU baseline — sequential vs rayon-parallel across layouts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ibcf_core::host_batch::{factorize_batch, factorize_batch_blocked, factorize_batch_seq};
+use ibcf_core::spd::{fill_batch_spd, SpdKind};
+use ibcf_core::Looking;
+use ibcf_layout::{BatchLayout, Canonical, Chunked, Interleaved, Layout};
+use std::hint::black_box;
+
+fn layouts(n: usize, batch: usize) -> Vec<(&'static str, Layout)> {
+    vec![
+        ("canonical", Layout::Canonical(Canonical::new(n, batch))),
+        ("interleaved", Layout::Interleaved(Interleaved::new(n, batch))),
+        ("chunked64", Layout::Chunked(Chunked::new(n, batch, 64))),
+    ]
+}
+
+fn bench_host_batch(c: &mut Criterion) {
+    let n = 16;
+    let batch = 1024;
+    let mut g = c.benchmark_group(format!("host_batch_{n}x{n}x{batch}"));
+    g.sample_size(20);
+    for (name, layout) in layouts(n, batch) {
+        let mut base = vec![0.0f32; layout.len()];
+        fill_batch_spd(&layout, &mut base, SpdKind::Wishart, 7);
+        g.bench_function(format!("{name}_seq"), |b| {
+            b.iter(|| {
+                let mut data = base.clone();
+                black_box(factorize_batch_seq(&layout, &mut data))
+            })
+        });
+        g.bench_function(format!("{name}_parallel"), |b| {
+            b.iter(|| {
+                let mut data = base.clone();
+                black_box(factorize_batch(&layout, &mut data))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_blocked_lookings(c: &mut Criterion) {
+    let n = 32;
+    let batch = 512;
+    let layout = Layout::Chunked(Chunked::new(n, batch, 64));
+    let mut base = vec![0.0f32; layout.len()];
+    fill_batch_spd(&layout, &mut base, SpdKind::Wishart, 11);
+    let mut g = c.benchmark_group(format!("host_blocked_{n}x{n}x{batch}"));
+    g.sample_size(20);
+    for looking in Looking::ALL {
+        g.bench_function(looking.name(), |b| {
+            b.iter(|| {
+                let mut data = base.clone();
+                black_box(factorize_batch_blocked(&layout, &mut data, 8, looking))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_host_batch, bench_blocked_lookings);
+criterion_main!(benches);

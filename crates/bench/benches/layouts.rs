@@ -1,0 +1,60 @@
+//! Criterion benches for the batch layouts: address computation and
+//! whole-batch transcoding between layouts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ibcf_layout::{transcode, BatchLayout, Canonical, Chunked, Interleaved, Layout};
+use std::hint::black_box;
+
+fn bench_addr(c: &mut Criterion) {
+    let n = 16;
+    let batch = 4096;
+    let layouts: Vec<(&str, Layout)> = vec![
+        ("canonical", Layout::Canonical(Canonical::new(n, batch))),
+        ("interleaved", Layout::Interleaved(Interleaved::new(n, batch))),
+        ("chunked64", Layout::Chunked(Chunked::new(n, batch, 64))),
+    ];
+    let mut g = c.benchmark_group("addr_sweep_16x16x4096");
+    g.sample_size(30);
+    for (name, layout) in layouts {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for mat in (0..batch).step_by(37) {
+                    for col in 0..n {
+                        for row in col..n {
+                            acc = acc.wrapping_add(layout.addr(mat, row, col));
+                        }
+                    }
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_transcode(c: &mut Criterion) {
+    let n = 24;
+    let batch = 2048;
+    let canon = Canonical::new(n, batch);
+    let data: Vec<f32> = (0..canon.len()).map(|i| i as f32).collect();
+    let mut g = c.benchmark_group("transcode_24x24x2048");
+    g.sample_size(20);
+    g.bench_function("canonical_to_interleaved", |b| {
+        let dst = Interleaved::new(n, batch);
+        b.iter(|| black_box(transcode(&canon, &data, &dst)))
+    });
+    g.bench_function("canonical_to_chunked64", |b| {
+        let dst = Chunked::new(n, batch, 64);
+        b.iter(|| black_box(transcode(&canon, &data, &dst)))
+    });
+    let inter = Interleaved::new(n, batch);
+    let inter_data = transcode(&canon, &data, &inter);
+    g.bench_function("interleaved_to_canonical", |b| {
+        b.iter(|| black_box(transcode(&inter, &inter_data, &canon)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_addr, bench_transcode);
+criterion_main!(benches);

@@ -1,0 +1,161 @@
+//! Minimal ASCII charts for terminal figure rendering.
+
+/// Renders multiple named series over a shared x axis as an ASCII line
+/// chart. Each series is drawn with its own glyph; points round to the
+/// nearest cell.
+pub fn line_chart(
+    title: &str,
+    xs: &[f64],
+    series: &[(&str, Vec<f64>)],
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(width >= 16 && height >= 4, "chart too small");
+    let glyphs = ['*', 'o', '+', 'x', '#', '@', '%', '&', '~'];
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    if xs.is_empty() || series.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let xmin = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let xmax = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let ymin = 0.0f64;
+    let ymax = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter().copied())
+        .filter(|y| y.is_finite())
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(1e-9);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, ys)) in series.iter().enumerate() {
+        let g = glyphs[si % glyphs.len()];
+        for (x, y) in xs.iter().zip(ys) {
+            if !y.is_finite() {
+                continue;
+            }
+            let cx = if xmax > xmin {
+                ((x - xmin) / (xmax - xmin) * (width - 1) as f64).round() as usize
+            } else {
+                0
+            };
+            let cy = ((y - ymin) / (ymax - ymin) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = g;
+        }
+    }
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{ymax:>8.0} |")
+        } else if i == height - 1 {
+            format!("{ymin:>8.0} |")
+        } else {
+            "         |".to_string()
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "          {}{}\n",
+        "-".repeat(width),
+        ""
+    ));
+    out.push_str(&format!(
+        "          x: {xmin:.0} .. {xmax:.0}   legend: {}\n",
+        series
+            .iter()
+            .enumerate()
+            .map(|(i, (name, _))| format!("{}={}", glyphs[i % glyphs.len()], name))
+            .collect::<Vec<_>>()
+            .join("  ")
+    ));
+    out
+}
+
+/// Renders a y-vs-x scatter (e.g. predicted vs observed) with an identity
+/// reference diagonal.
+pub fn scatter(
+    title: &str,
+    points: &[(f64, f64)],
+    width: usize,
+    height: usize,
+) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    if points.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let min = points
+        .iter()
+        .flat_map(|&(x, y)| [x, y])
+        .fold(f64::INFINITY, f64::min);
+    let max = points
+        .iter()
+        .flat_map(|&(x, y)| [x, y])
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(min + 1e-9);
+    let mut grid = vec![vec![' '; width]; height];
+    // Identity diagonal first, so data overwrites it.
+    for i in 0..width.min(height * 2) {
+        let fx = i as f64 / (width - 1) as f64;
+        let row = height - 1 - (fx * (height - 1) as f64).round() as usize;
+        if let Some(cell) = grid[row].get_mut(i) {
+            *cell = '.';
+        }
+    }
+    for &(x, y) in points {
+        let cx = ((x - min) / (max - min) * (width - 1) as f64).round() as usize;
+        let cy = ((y - min) / (max - min) * (height - 1) as f64).round() as usize;
+        grid[height - 1 - cy.min(height - 1)][cx.min(width - 1)] = '*';
+    }
+    for row in &grid {
+        out.push_str("  |");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("   axes: {min:.0} .. {max:.0} (x = observed, y = predicted)\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_chart_contains_series_glyphs_and_legend() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let a: Vec<f64> = xs.iter().map(|x| x * 10.0).collect();
+        let b: Vec<f64> = xs.iter().map(|x| 100.0 - x * 5.0).collect();
+        let s = line_chart("test", &xs, &[("up", a), ("down", b)], 40, 10);
+        assert!(s.contains('*') && s.contains('o'));
+        assert!(s.contains("*=up") && s.contains("o=down"));
+        assert!(s.contains("x: 0 .. 9"));
+    }
+
+    #[test]
+    fn empty_series_say_no_data() {
+        let s = line_chart("t", &[], &[], 40, 10);
+        assert!(s.contains("no data"));
+    }
+
+    #[test]
+    fn scatter_draws_points_and_diagonal() {
+        let pts = vec![(0.0, 0.0), (50.0, 40.0), (100.0, 100.0)];
+        let s = scatter("sc", &pts, 40, 12);
+        assert!(s.contains('*'));
+        assert!(s.contains('.'));
+    }
+
+    #[test]
+    fn non_finite_values_are_skipped() {
+        let xs = vec![0.0, 1.0];
+        let ys = vec![f64::NAN, 5.0];
+        let s = line_chart("t", &xs, &[("a", ys)], 30, 6);
+        assert!(s.contains('*'));
+    }
+}

@@ -1,0 +1,25 @@
+//! Regenerates every table and figure of the paper's evaluation in order.
+//! Pass `--quick` for a reduced run.
+
+use ibcf_bench::{results_dir, FigOpts};
+
+fn main() {
+    let opts = if std::env::args().any(|a| a == "--quick") {
+        FigOpts::quick()
+    } else {
+        FigOpts::default()
+    };
+    let figs = ibcf_bench::figures::all(&opts);
+    let mut pass = 0usize;
+    let mut total = 0usize;
+    for fig in &figs {
+        fig.print();
+        match fig.save_csv(&results_dir()) {
+            Ok(p) => println!("saved {}\n", p.display()),
+            Err(e) => eprintln!("could not save CSV: {e}"),
+        }
+        pass += fig.checks.iter().filter(|c| c.pass).count();
+        total += fig.checks.len();
+    }
+    println!("=== shape checks: {pass}/{total} passed ===");
+}

@@ -1,0 +1,56 @@
+//! Cross-GPU sanity check: rerun the Figure-13 comparison on the V100
+//! preset. The paper's conclusions are architectural, not P100-specific;
+//! every qualitative relationship must survive a change of hardware
+//! constants.
+
+use ibcf_core::flops::cholesky_flops_std;
+use ibcf_gpu_sim::GpuSpec;
+use ibcf_kernels::{gflops_of_config, time_traditional, KernelConfig, Unroll};
+
+fn best_small(n: usize, fast: bool, spec: &GpuSpec, batch: usize) -> f64 {
+    let mut best: f64 = 0.0;
+    for nb in [2usize, 4, 8] {
+        for unroll in Unroll::ALL {
+            let c = KernelConfig { nb, unroll, fast_math: fast, ..KernelConfig::baseline(n) };
+            best = best.max(gflops_of_config(&c, batch, spec));
+        }
+    }
+    best
+}
+
+fn main() {
+    let batch = 16_384;
+    println!(
+        "{:<6} {:>6} | {:>10} {:>10} {:>10} {:>8} | {:>10} {:>10} {:>10} {:>8}",
+        "", "", "P100", "", "", "", "V100", "", "", ""
+    );
+    println!(
+        "{:<6} {:>6} | {:>10} {:>10} {:>10} {:>8} | {:>10} {:>10} {:>10} {:>8}",
+        "n", "", "ieee", "fast", "trad", "speedup", "ieee", "fast", "trad", "speedup"
+    );
+    let mut holds = true;
+    for n in [8usize, 16, 24, 32, 48, 64] {
+        let mut row = Vec::new();
+        for spec in [GpuSpec::p100(), GpuSpec::v100()] {
+            let ieee = best_small(n, false, &spec, batch);
+            let fast = best_small(n, true, &spec, batch);
+            let trad = time_traditional(n, batch, &spec, false)
+                .gflops(cholesky_flops_std(n) * batch as f64);
+            row.push((ieee, fast, trad, ieee / trad));
+        }
+        println!(
+            "{:<6} {:>6} | {:>10.0} {:>10.0} {:>10.0} {:>7.1}x | {:>10.0} {:>10.0} {:>10.0} {:>7.1}x",
+            n, "", row[0].0, row[0].1, row[0].2, row[0].3, row[1].0, row[1].1, row[1].2, row[1].3
+        );
+        // Qualitative invariants across GPUs.
+        for (ieee, fast, trad, speedup) in &row {
+            holds &= fast >= ieee;
+            holds &= ieee > trad || n >= 96;
+            holds &= *speedup > 1.0;
+        }
+        // V100 (more SMs, more bandwidth) at least matches P100.
+        holds &= row[1].1 >= row[0].1 * 0.95;
+    }
+    assert!(holds, "a qualitative relationship failed to transfer to V100");
+    println!("\nall qualitative relationships hold on both GPU presets.");
+}

@@ -1,0 +1,38 @@
+//! Dumps the generated CUDA C sources for a representative slice of the
+//! tuning space into `results/kernels/` — the artifact the paper's
+//! pyexpander pipeline would hand to `nvcc`.
+
+use ibcf_bench::results_dir;
+use ibcf_core::Looking;
+use ibcf_kernels::{emit_cuda, KernelConfig, Unroll};
+
+fn main() {
+    let dir = results_dir().join("kernels");
+    std::fs::create_dir_all(&dir).expect("create results/kernels");
+    let mut count = 0usize;
+    let mut bytes = 0usize;
+    for n in [8usize, 16, 24, 48] {
+        for nb in [2usize, 4, 8] {
+            for looking in Looking::ALL {
+                for unroll in Unroll::ALL {
+                    let config = KernelConfig { n, nb, looking, unroll, ..KernelConfig::baseline(n) };
+                    let src = emit_cuda(&config);
+                    let name = format!(
+                        "spotrf_n{n}_nb{nb}_{}_{}.cu",
+                        looking.name(),
+                        unroll.name()
+                    );
+                    bytes += src.len();
+                    std::fs::write(dir.join(&name), src).expect("write kernel source");
+                    count += 1;
+                }
+            }
+        }
+    }
+    println!(
+        "wrote {count} generated kernels ({:.1} KiB of CUDA C) to {}",
+        bytes as f64 / 1024.0,
+        dir.display()
+    );
+    println!("inspect e.g. {}/spotrf_n16_nb4_top_full.cu", dir.display());
+}

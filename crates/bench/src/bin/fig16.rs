@@ -1,0 +1,17 @@
+//! Regenerates the paper's fig16. Pass `--quick` for a reduced run.
+
+use ibcf_bench::{results_dir, FigOpts};
+
+fn main() {
+    let opts = if std::env::args().any(|a| a == "--quick") {
+        FigOpts::quick()
+    } else {
+        FigOpts::default()
+    };
+    let fig = ibcf_bench::figures::fig16(&opts);
+    fig.print();
+    match fig.save_csv(&results_dir()) {
+        Ok(p) => println!("saved {}", p.display()),
+        Err(e) => eprintln!("could not save CSV: {e}"),
+    }
+}

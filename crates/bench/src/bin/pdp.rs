@@ -1,0 +1,43 @@
+//! Partial-dependence curves over the autotuning dataset: *how* each
+//! tuning parameter moves performance, according to the random-forest
+//! model — the actionable complement to Table I's importance ranking.
+//!
+//! Pass `--quick` for the reduced dataset.
+
+use ibcf_autotune::Measurement;
+use ibcf_bench::{ensure_dataset, FigOpts};
+use ibcf_forest::{partial_dependence, Forest, ForestConfig, TableData};
+
+fn main() {
+    let opts = if std::env::args().any(|a| a == "--quick") {
+        FigOpts::quick()
+    } else {
+        FigOpts::default()
+    };
+    let ds = ensure_dataset(&opts);
+    let ieee: Vec<&Measurement> =
+        ds.measurements.iter().filter(|m| !m.config.fast_math).collect();
+    let data = TableData::new(
+        Measurement::feature_names().iter().map(|s| s.to_string()).collect(),
+        ieee.iter().map(|m| m.features()).collect(),
+        ieee.iter().map(|m| m.gflops).collect(),
+    );
+    eprintln!("fitting forest on {} rows...", data.len());
+    let trees = if opts.quick { 60 } else { 300 };
+    let forest = Forest::fit(&data, ForestConfig { num_trees: trees, ..Default::default() });
+
+    println!("partial dependence of predicted GFLOP/s on each tuning parameter");
+    println!("(marginalized over the rest of the dataset)\n");
+    for (f, name) in Measurement::feature_names().iter().enumerate() {
+        let pdp = partial_dependence(&forest, &data, f, None, 800);
+        print!("{name:<12}");
+        for (g, r) in pdp.grid.iter().zip(&pdp.response) {
+            print!("  {g:.0}->{r:.0}");
+        }
+        println!("   [effect {:.0}]", pdp.effect_size());
+    }
+    println!(
+        "\nreading guide: chunking 0->1 should jump, nb should climb, cache\n\
+         0->1 should be flat — the same story as Table I, but quantified."
+    );
+}

@@ -1,0 +1,46 @@
+//! Quick calibration probe: prints model GFLOP/s across n for a few
+//! representative configurations. Not part of the figure set; a
+//! development aid for checking the model's shape against the paper.
+
+use ibcf_core::flops::cholesky_flops_std;
+use ibcf_gpu_sim::GpuSpec;
+use ibcf_kernels::{gflops_of_config, time_traditional, KernelConfig, Unroll};
+
+fn main() {
+    let spec = GpuSpec::p100();
+    let batch = 16384;
+    println!(
+        "{:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "n", "full-ieee", "full-fast", "part-ieee", "part-fast", "nochunk", "trad", "bottleneck"
+    );
+    for n in [4, 8, 12, 16, 20, 24, 28, 32, 40, 48, 56, 64] {
+        let full = KernelConfig { unroll: Unroll::Full, ..KernelConfig::baseline(n) };
+        let fullf = KernelConfig { fast_math: true, ..full };
+        let best_part = |fast: bool| {
+            let mut best: f64 = 0.0;
+            for nb in 1..=8 {
+                let c = KernelConfig {
+                    nb,
+                    unroll: Unroll::Partial,
+                    fast_math: fast,
+                    ..KernelConfig::baseline(n)
+                };
+                best = best.max(gflops_of_config(&c, batch, &spec));
+            }
+            best
+        };
+        let nochunk = KernelConfig { chunked: false, fast_math: true, ..full };
+        let g_full = gflops_of_config(&full, batch, &spec);
+        let g_fullf = gflops_of_config(&fullf, batch, &spec);
+        let g_part = best_part(false);
+        let g_partf = best_part(true);
+        let g_nochunk = gflops_of_config(&nochunk, batch, &spec);
+        let t = time_traditional(n, batch, &spec, false);
+        let g_trad = t.gflops(cholesky_flops_std(n) * batch as f64);
+        let timing = ibcf_kernels::time_config(&fullf, batch, &spec);
+        println!(
+            "{:>4} {:>10.0} {:>10.0} {:>10.0} {:>10.0} {:>10.0} {:>10.0} {:>10?}",
+            n, g_full, g_fullf, g_part, g_partf, g_nochunk, g_trad, timing.bottleneck
+        );
+    }
+}

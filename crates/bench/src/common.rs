@@ -1,0 +1,187 @@
+//! Shared harness: figure representation, CSV output, dataset caching.
+
+use ibcf_autotune::{sweep_sizes, Dataset, ParamSpace, SweepOptions};
+use ibcf_gpu_sim::GpuSpec;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Options shared by every figure generator.
+#[derive(Debug, Clone)]
+pub struct FigOpts {
+    /// Reduced sizes/space for quick runs (CI, `cargo bench`).
+    pub quick: bool,
+    /// Batch size (the paper uses 16,384).
+    pub batch: usize,
+    /// GPU model.
+    pub spec: GpuSpec,
+}
+
+impl Default for FigOpts {
+    fn default() -> Self {
+        FigOpts { quick: false, batch: 16_384, spec: GpuSpec::p100() }
+    }
+}
+
+impl FigOpts {
+    /// Quick-mode options.
+    pub fn quick() -> Self {
+        FigOpts { quick: true, batch: 8192, ..Default::default() }
+    }
+}
+
+/// One shape assertion of a figure ("who wins, where the crossover is").
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// What the paper claims.
+    pub claim: String,
+    /// Whether the reproduction observes it.
+    pub pass: bool,
+}
+
+/// A reproduced figure or table: columns of numbers plus shape checks and
+/// a rendered chart.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Identifier (`fig13` … `fig21`, `table1`).
+    pub id: &'static str,
+    /// Human title.
+    pub title: String,
+    /// Column names; the first column is the x axis where applicable.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<f64>>,
+    /// ASCII rendering (chart or formatted table).
+    pub rendering: String,
+    /// Shape checks against the paper's claims.
+    pub checks: Vec<Check>,
+}
+
+impl Figure {
+    /// Writes the figure's data as CSV into `dir`.
+    pub fn save_csv(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        writeln!(f, "{}", self.columns.join(","))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+            writeln!(f, "{}", cells.join(","))?;
+        }
+        Ok(path)
+    }
+
+    /// Prints the rendering, the data table (capped at 64 rows — the full
+    /// set goes to the CSV), and the check outcomes.
+    pub fn print(&self) {
+        println!("== {}: {} ==", self.id, self.title);
+        println!("{}", self.rendering);
+        println!("{}", self.columns.join("\t"));
+        const MAX_ROWS: usize = 64;
+        for row in self.rows.iter().take(MAX_ROWS) {
+            let cells: Vec<String> = row.iter().map(|v| format!("{v:.2}")).collect();
+            println!("{}", cells.join("\t"));
+        }
+        if self.rows.len() > MAX_ROWS {
+            println!("... ({} more rows in the CSV)", self.rows.len() - MAX_ROWS);
+        }
+        println!();
+        for c in &self.checks {
+            println!("[{}] {}", if c.pass { "PASS" } else { "FAIL" }, c.claim);
+        }
+        println!();
+    }
+
+    /// `true` if every shape check passed.
+    pub fn all_checks_pass(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+}
+
+/// Directory figures write their CSVs to (`results/` at the workspace
+/// root, overridable via `IBCF_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    if let Ok(d) = std::env::var("IBCF_RESULTS_DIR") {
+        return PathBuf::from(d);
+    }
+    // Walk up from the crate to the workspace root.
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.join("results")
+}
+
+/// Loads the cached exhaustive-sweep dataset, or runs the sweep and caches
+/// it. The cache key is the file name, which encodes mode and batch.
+pub fn ensure_dataset(opts: &FigOpts) -> Dataset {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).ok();
+    let name = format!(
+        "dataset_{}_{}.jsonl",
+        if opts.quick { "quick" } else { "paper" },
+        opts.batch
+    );
+    let path = dir.join(name);
+    if path.exists() {
+        if let Ok(ds) = Dataset::load_jsonl(&path) {
+            // Validate the cache against the requested batch AND GPU; a
+            // stale dataset from another spec (or an edited timing model
+            // under a renamed spec) must not silently feed the figures.
+            if ds.batch == opts.batch && ds.gpu == opts.spec.name && !ds.measurements.is_empty()
+            {
+                return ds;
+            }
+            eprintln!(
+                "cached dataset at {} does not match (batch/gpu); re-sweeping",
+                path.display()
+            );
+        }
+    }
+    let (space, sizes) = if opts.quick {
+        (ParamSpace::quick(), vec![8, 16, 24, 32, 48])
+    } else {
+        (ParamSpace::paper(), ParamSpace::paper_sizes())
+    };
+    eprintln!(
+        "sweeping {} configurations ({} sizes x {} per size)...",
+        sizes.len() * space.len_per_n(),
+        sizes.len(),
+        space.len_per_n()
+    );
+    let ds = sweep_sizes(
+        &space,
+        &sizes,
+        &opts.spec,
+        &SweepOptions { batch: opts.batch, progress_every: 2000, ..Default::default() },
+    );
+    ds.save_jsonl(&path).ok();
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_csv_round_trip() {
+        let fig = Figure {
+            id: "fig13",
+            title: "t".into(),
+            columns: vec!["n".into(), "gflops".into()],
+            rows: vec![vec![8.0, 100.0], vec![16.0, 200.0]],
+            rendering: String::new(),
+            checks: vec![Check { claim: "c".into(), pass: true }],
+        };
+        let dir = std::env::temp_dir().join("ibcf_fig_test");
+        let p = fig.save_csv(&dir).unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+        assert!(text.starts_with("n,gflops\n8,100\n"));
+        assert!(fig.all_checks_pass());
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn results_dir_is_workspace_results() {
+        let d = results_dir();
+        assert!(d.ends_with("results") || std::env::var("IBCF_RESULTS_DIR").is_ok());
+    }
+}

@@ -1,0 +1,26 @@
+//! Figure and table generators reproducing the paper's evaluation, plus
+//! shared harness utilities (ASCII charts, CSV output, dataset caching).
+//!
+//! Every experiment of the paper has a generator here, callable from the
+//! `fig*`/`table1` binaries or from the `figures` bench target:
+//!
+//! | id | paper | what |
+//! |----|-------|------|
+//! | fig13 | Figure 13 | top interleaved perf, IEEE vs fast-math, vs traditional |
+//! | fig14 | Figure 14 | speedup of interleaved over traditional |
+//! | fig15 | Figure 15 | best perf per tiling factor `nb` |
+//! | fig16 | Figure 16 | best perf per looking order |
+//! | fig17 | Figure 17 | chunked vs non-chunked |
+//! | fig18 | Figure 18 | chunk sizes 32–512 |
+//! | fig19 | Figure 19 | partial vs full unrolling |
+//! | fig20 | Figure 20 | all kernels at n = 24 and n = 48, chunk 64 |
+//! | table1 | Table I | permutation importance of the tuning parameters |
+//! | fig21 | Figure 21 | random-forest predicted vs observed correlation |
+
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod common;
+pub mod figures;
+
+pub use common::{ensure_dataset, results_dir, FigOpts, Figure};

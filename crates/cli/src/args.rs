@@ -1,0 +1,116 @@
+//! Tiny dependency-free argument parsing for the `ibcf` CLI.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` / `--flag`
+/// options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: Option<String>,
+    /// `--key value` options.
+    pub options: HashMap<String, String>,
+    /// Bare `--flag` switches.
+    pub flags: Vec<String>,
+    /// Remaining positional arguments after the subcommand.
+    pub positional: Vec<String>,
+}
+
+impl Args {
+    /// Parses an iterator of arguments (excluding the program name).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut it = args.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err("empty option name".into());
+                }
+                // `--key=value` or `--key value` or bare flag.
+                if let Some((k, v)) = key.split_once('=') {
+                    out.options.insert(k.to_string(), v.to_string());
+                } else if it.peek().is_some_and(|n| !n.starts_with("--")) {
+                    let v = it.next().expect("peeked");
+                    out.options.insert(key.to_string(), v);
+                } else {
+                    out.flags.push(key.to_string());
+                }
+            } else if out.command.is_none() {
+                out.command = Some(a);
+            } else {
+                out.positional.push(a);
+            }
+        }
+        Ok(out)
+    }
+
+    /// `true` if the bare flag is present.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// A typed option with a default.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.options.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{name}: {v}")),
+        }
+    }
+
+    /// A required string option.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.options
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required option --{name}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn subcommand_and_options() {
+        let a = parse("sweep --n 16 --batch 4096 --quick");
+        assert_eq!(a.command.as_deref(), Some("sweep"));
+        assert_eq!(a.get("n", 0usize).unwrap(), 16);
+        assert_eq!(a.get("batch", 0usize).unwrap(), 4096);
+        assert!(a.flag("quick"));
+        assert!(!a.flag("verbose"));
+    }
+
+    #[test]
+    fn equals_syntax_and_defaults() {
+        let a = parse("emit --n=24 --looking=top");
+        assert_eq!(a.get("n", 0usize).unwrap(), 24);
+        assert_eq!(a.require("looking").unwrap(), "top");
+        assert_eq!(a.get("nb", 4usize).unwrap(), 4);
+    }
+
+    #[test]
+    fn flag_followed_by_flag() {
+        let a = parse("x --quick --fast");
+        assert!(a.flag("quick") && a.flag("fast"));
+        assert!(a.options.is_empty());
+    }
+
+    #[test]
+    fn positionals_collected() {
+        let a = parse("best 8 16 32 --metric gflops");
+        assert_eq!(a.positional, vec!["8", "16", "32"]);
+    }
+
+    #[test]
+    fn bad_value_reports_option_name() {
+        let a = parse("x --n twelve");
+        let err = a.get::<usize>("n", 0).unwrap_err();
+        assert!(err.contains("--n"));
+    }
+}

@@ -1,0 +1,368 @@
+//! The `ibcf` subcommands.
+
+use crate::args::Args;
+use ibcf_autotune::{
+    sweep_sizes, BestTable, Dataset, Measurement, ParamSpace, SweepOptions, TunedDispatch,
+};
+use ibcf_core::flops::cholesky_flops_std;
+use ibcf_core::spd::{fill_batch_spd, SpdKind};
+use ibcf_core::verify::batch_reconstruction_error;
+use ibcf_core::Looking;
+use ibcf_forest::{permutation_importance, Forest, ForestConfig, TableData};
+use ibcf_gpu_sim::GpuSpec;
+use ibcf_kernels::{
+    emit_cuda, factorize_batch_device, time_config, time_traditional, KernelConfig, Unroll,
+};
+use std::path::Path;
+
+/// Help text.
+pub const USAGE: &str = "\
+ibcf - interleaved batch Cholesky factorization (IPPS'17 reproduction)
+
+commands:
+  simulate  --n N [--nb NB] [--looking right|left|top] [--chunk C]
+            [--simple] [--full] [--fast] [--batch B] [--gpu p100|v100]
+            time one kernel configuration on the simulator
+  best      --n N [--batch B] [--quick]      sweep one size, print winners
+  sweep     --sizes 8,16,24 --out F.jsonl [--batch B] [--quick]
+            run an exhaustive sweep and persist the dataset
+  analyze   --data F.jsonl [--trees T]       random-forest importances
+  tune      --data F.jsonl --out D.jsonl [--fast]
+            build a per-size dispatch table from a sweep dataset
+  emit      --n N [--nb NB] [--looking L] [--full] [--out F.cu]
+            emit the generated CUDA C source
+  verify    --n N [--batch B] [--fast]       functional factorization check
+  help                                        this text
+";
+
+fn gpu_of(args: &Args) -> Result<GpuSpec, String> {
+    match args.get("gpu", "p100".to_string())?.as_str() {
+        "p100" => Ok(GpuSpec::p100()),
+        "v100" => Ok(GpuSpec::v100()),
+        other => Err(format!("unknown gpu {other} (use p100 or v100)")),
+    }
+}
+
+fn config_of(args: &Args) -> Result<KernelConfig, String> {
+    let n: usize = args.get("n", 0)?;
+    if n == 0 {
+        return Err("missing required option --n".into());
+    }
+    let looking = match args.get("looking", "top".to_string())?.as_str() {
+        "right" => Looking::Right,
+        "left" => Looking::Left,
+        "top" => Looking::Top,
+        other => return Err(format!("unknown looking order {other}")),
+    };
+    let config = KernelConfig {
+        n,
+        nb: args.get("nb", 4.min(n))?,
+        looking,
+        chunked: !args.flag("simple"),
+        chunk_size: args.get("chunk", 64)?,
+        unroll: if args.flag("full") { Unroll::Full } else { Unroll::Partial },
+        fast_math: args.flag("fast"),
+        cache_pref: ibcf_kernels::CachePref::L1,
+    };
+    config.validate()?;
+    Ok(config)
+}
+
+fn fail(e: impl std::fmt::Display) -> i32 {
+    eprintln!("error: {e}");
+    2
+}
+
+/// `ibcf simulate`: one configuration through the timing model.
+pub fn simulate(args: &Args) -> i32 {
+    let (config, spec, batch) =
+        match (config_of(args), gpu_of(args), args.get("batch", 16_384usize)) {
+            (Ok(c), Ok(s), Ok(b)) => (c, s, b),
+            (Err(e), ..) | (_, Err(e), _) | (.., Err(e)) => return fail(e),
+        };
+    let t = time_config(&config, batch, &spec);
+    let flops = cholesky_flops_std(config.n) * batch as f64;
+    println!("configuration : {config}");
+    println!("gpu           : {}", spec.name);
+    println!("batch         : {batch}");
+    println!("time          : {:.3} us", t.time_s * 1e6);
+    println!("performance   : {:.0} GFLOP/s", t.gflops(flops));
+    println!("bottleneck    : {:?}", t.bottleneck);
+    println!("  compute     : {:.3} us", t.compute_time_s * 1e6);
+    println!("  lsu         : {:.3} us", t.lsu_time_s * 1e6);
+    println!("  dram        : {:.3} us ({} MB, row hit {:.0}%, L2 hit {:.0}%)",
+        t.dram_time_s * 1e6, t.dram_bytes / 1_000_000, t.row_hit_rate * 100.0,
+        t.l2_hit_rate * 100.0);
+    println!("coalescing    : {:.2} transactions/access", t.transactions_per_access);
+    println!(
+        "occupancy     : {:.0}% ({} blocks/SM, limited by {:?})",
+        t.occupancy.occupancy * 100.0,
+        t.occupancy.blocks_per_sm,
+        t.occupancy.limiter
+    );
+    println!("code size     : {} bytes (i-cache penalty {:.2}x)", t.code_bytes, t.icache_penalty);
+    if t.spill_bytes > 0 {
+        println!("spill traffic : {} bytes", t.spill_bytes);
+    }
+    let trad = time_traditional(config.n, batch, &spec, config.fast_math);
+    println!(
+        "traditional   : {:.0} GFLOP/s -> speedup {:.2}x",
+        trad.gflops(flops),
+        trad.time_s / t.time_s
+    );
+    0
+}
+
+/// `ibcf best`: exhaustive winners at one size.
+pub fn best(args: &Args) -> i32 {
+    let n: usize = match args.get("n", 0) {
+        Ok(0) => return fail("missing required option --n"),
+        Ok(n) => n,
+        Err(e) => return fail(e),
+    };
+    let batch = match args.get("batch", 16_384usize) {
+        Ok(b) => b,
+        Err(e) => return fail(e),
+    };
+    let spec = match gpu_of(args) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    let space = if args.flag("quick") { ParamSpace::quick() } else { ParamSpace::paper() };
+    eprintln!("sweeping {} configurations at n={n}...", space.len_per_n());
+    let ds = sweep_sizes(&space, &[n], &spec, &SweepOptions { batch, progress_every: 0, ..Default::default() });
+    let table = BestTable::new(&ds);
+    let overall = table.best(n).expect("non-empty sweep");
+    println!("best overall : {}  {:.0} GFLOP/s", overall.config, overall.gflops);
+    for fast in [false, true] {
+        if let Some(m) = table.best_by_arith(n, fast) {
+            println!(
+                "best {}    : {}  {:.0} GFLOP/s",
+                if fast { "fast" } else { "ieee" },
+                m.config,
+                m.gflops
+            );
+        }
+    }
+    for looking in Looking::ALL {
+        if let Some(m) = table.best_by_looking(n, looking) {
+            println!("best {:<5}   : {}  {:.0} GFLOP/s", looking.name(), m.config, m.gflops);
+        }
+    }
+    0
+}
+
+fn parse_sizes(s: &str) -> Result<Vec<usize>, String> {
+    s.split(',')
+        .map(|p| p.trim().parse::<usize>().map_err(|_| format!("bad size: {p}")))
+        .collect()
+}
+
+/// `ibcf sweep`: persist a dataset.
+pub fn sweep(args: &Args) -> i32 {
+    let sizes = match args.require("sizes").and_then(parse_sizes) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    let out = match args.require("out") {
+        Ok(o) => o.to_string(),
+        Err(e) => return fail(e),
+    };
+    let batch = match args.get("batch", 16_384usize) {
+        Ok(b) => b,
+        Err(e) => return fail(e),
+    };
+    let spec = match gpu_of(args) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    let space = if args.flag("quick") { ParamSpace::quick() } else { ParamSpace::paper() };
+    eprintln!(
+        "sweeping {} configurations ({} sizes x {})...",
+        sizes.len() * space.len_per_n(),
+        sizes.len(),
+        space.len_per_n()
+    );
+    let ds = sweep_sizes(&space, &sizes, &spec, &SweepOptions { batch, progress_every: 2000, ..Default::default() });
+    if let Err(e) = ds.save_jsonl(Path::new(&out)) {
+        return fail(format!("{out}: {e}"));
+    }
+    println!("wrote {} measurements to {out}", ds.measurements.len());
+    0
+}
+
+/// `ibcf analyze`: forest + importances over a saved dataset.
+pub fn analyze(args: &Args) -> i32 {
+    let path = match args.require("data") {
+        Ok(p) => p.to_string(),
+        Err(e) => return fail(e),
+    };
+    let trees = match args.get("trees", 500usize) {
+        Ok(t) => t,
+        Err(e) => return fail(e),
+    };
+    let ds = match Dataset::load_jsonl(Path::new(&path)) {
+        Ok(d) => d,
+        Err(e) => return fail(format!("{path}: {e}")),
+    };
+    let ieee: Vec<&Measurement> =
+        ds.measurements.iter().filter(|m| !m.config.fast_math).collect();
+    if ieee.is_empty() {
+        return fail("dataset has no IEEE measurements");
+    }
+    let data = TableData::new(
+        Measurement::feature_names().iter().map(|s| s.to_string()).collect(),
+        ieee.iter().map(|m| m.features()).collect(),
+        ieee.iter().map(|m| m.gflops).collect(),
+    );
+    eprintln!("fitting {} trees on {} rows...", trees, data.len());
+    let forest = Forest::fit(&data, ForestConfig { num_trees: trees, ..Default::default() });
+    let imp = permutation_importance(&forest, &data, 1);
+    println!("permutation importance (%IncMSE), descending:");
+    for (name, v) in imp.ranking() {
+        println!("  {name:<12} {v:>8.1}");
+    }
+    println!(
+        "forest: {} trees, average depth {:.1}, OOB MSE {:.1}",
+        forest.trees().len(),
+        forest.average_depth(),
+        forest.oob_mse(&data)
+    );
+    0
+}
+
+/// `ibcf tune`: dispatch table from a sweep dataset.
+pub fn tune(args: &Args) -> i32 {
+    let data = match args.require("data") {
+        Ok(p) => p.to_string(),
+        Err(e) => return fail(e),
+    };
+    let out = match args.require("out") {
+        Ok(o) => o.to_string(),
+        Err(e) => return fail(e),
+    };
+    let ds = match Dataset::load_jsonl(Path::new(&data)) {
+        Ok(d) => d,
+        Err(e) => return fail(format!("{data}: {e}")),
+    };
+    let fast = if args.flag("fast") { None } else { Some(false) };
+    let dispatch = TunedDispatch::from_dataset(&ds, fast);
+    if dispatch.is_empty() {
+        return fail("dataset produced an empty dispatch table");
+    }
+    if let Err(e) = dispatch.save(Path::new(&out)) {
+        return fail(format!("{out}: {e}"));
+    }
+    println!("tuned {} sizes:", dispatch.len());
+    for (n, config) in &dispatch.table {
+        println!("  n={n:<4} -> {config}");
+    }
+    println!("wrote {out}");
+    0
+}
+
+/// `ibcf emit`: generated CUDA C.
+pub fn emit(args: &Args) -> i32 {
+    let config = match config_of(args) {
+        Ok(c) => c,
+        Err(e) => return fail(e),
+    };
+    let src = emit_cuda(&config);
+    match args.options.get("out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &src) {
+                return fail(format!("{path}: {e}"));
+            }
+            println!("wrote {} bytes of CUDA C to {path}", src.len());
+        }
+        None => print!("{src}"),
+    }
+    0
+}
+
+/// `ibcf verify`: functional correctness check.
+pub fn verify(args: &Args) -> i32 {
+    let config = match config_of(args) {
+        Ok(c) => c,
+        Err(e) => return fail(e),
+    };
+    let batch = match args.get("batch", 1024usize) {
+        Ok(b) => b,
+        Err(e) => return fail(e),
+    };
+    let layout = config.layout(batch);
+    let mut data = vec![0.0f32; ibcf_layout::BatchLayout::len(&layout)];
+    fill_batch_spd(&layout, &mut data, SpdKind::Wishart, 1);
+    let orig = data.clone();
+    factorize_batch_device(&config, batch, &mut data);
+    let err = batch_reconstruction_error(&layout, &orig, &data);
+    println!("{config}  batch {batch}");
+    println!("worst relative reconstruction error: {err:.3e}");
+    let tol = if config.fast_math { 5e-3 } else { 5e-4 };
+    if err < tol {
+        println!("OK (tolerance {tol:.0e})");
+        0
+    } else {
+        eprintln!("FAILED (tolerance {tol:.0e})");
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn config_parsing_round_trips() {
+        let a = args("simulate --n 24 --nb 2 --looking left --chunk 128 --full --fast");
+        let c = config_of(&a).unwrap();
+        assert_eq!(c.n, 24);
+        assert_eq!(c.nb, 2);
+        assert_eq!(c.looking, Looking::Left);
+        assert_eq!(c.chunk_size, 128);
+        assert_eq!(c.unroll, Unroll::Full);
+        assert!(c.fast_math && c.chunked);
+        let a = args("simulate --n 8 --simple");
+        assert!(!config_of(&a).unwrap().chunked);
+    }
+
+    #[test]
+    fn config_requires_n() {
+        let a = args("simulate --nb 4");
+        assert!(config_of(&a).is_err());
+    }
+
+    #[test]
+    fn gpu_selection() {
+        assert_eq!(gpu_of(&args("x --gpu v100")).unwrap().name, GpuSpec::v100().name);
+        assert!(gpu_of(&args("x --gpu k80")).is_err());
+    }
+
+    #[test]
+    fn sizes_parse() {
+        assert_eq!(parse_sizes("8,16, 24").unwrap(), vec![8, 16, 24]);
+        assert!(parse_sizes("8,x").is_err());
+    }
+
+    #[test]
+    fn verify_command_succeeds() {
+        let a = args("verify --n 6 --batch 64");
+        assert_eq!(verify(&a), 0);
+    }
+
+    #[test]
+    fn simulate_command_succeeds() {
+        let a = args("simulate --n 12 --batch 2048");
+        assert_eq!(simulate(&a), 0);
+    }
+
+    #[test]
+    fn emit_command_prints() {
+        let a = args("emit --n 6 --full");
+        assert_eq!(emit(&a), 0);
+    }
+}

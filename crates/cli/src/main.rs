@@ -1,0 +1,60 @@
+//! `ibcf` — command-line interface to the interleaved batch Cholesky
+//! reproduction.
+//!
+//! ```text
+//! ibcf simulate --n 16 [--nb 4] [--looking top] [--chunk 64] [--simple]
+//!               [--full] [--fast] [--batch 16384] [--gpu p100|v100]
+//!     Time one kernel configuration and print the full model breakdown.
+//!
+//! ibcf best --n 16 [--batch 16384] [--quick]
+//!     Exhaustively sweep one size and print the winning configurations.
+//!
+//! ibcf sweep --sizes 8,16,24 --out sweep.jsonl [--batch 16384] [--quick]
+//!     Run a full sweep and persist the dataset (JSON lines).
+//!
+//! ibcf analyze --data sweep.jsonl [--trees 500]
+//!     Fit the random forest and print Table-I-style importances.
+//!
+//! ibcf tune --data sweep.jsonl --out dispatch.jsonl
+//!     Build a per-size kernel dispatch table from a sweep dataset.
+//!
+//! ibcf emit --n 16 [--nb 4] [--looking top] [--full] [--out k.cu]
+//!     Emit the CUDA C source the paper's generator would produce.
+//!
+//! ibcf verify --n 16 [--batch 1024]
+//!     Factor a random batch functionally and report the residual.
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match Args::parse(argv) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let code = match parsed.command.as_deref() {
+        Some("simulate") => commands::simulate(&parsed),
+        Some("best") => commands::best(&parsed),
+        Some("sweep") => commands::sweep(&parsed),
+        Some("analyze") => commands::analyze(&parsed),
+        Some("tune") => commands::tune(&parsed),
+        Some("emit") => commands::emit(&parsed),
+        Some("verify") => commands::verify(&parsed),
+        Some("help") | None => {
+            print!("{}", commands::USAGE);
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command: {other}\n\n{}", commands::USAGE);
+            2
+        }
+    };
+    std::process::exit(code);
+}

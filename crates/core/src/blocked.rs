@@ -1,0 +1,338 @@
+//! Blocked Cholesky factorizations — right-, left-, and top-looking — built
+//! from the tile microkernels, operating on one matrix of a laid-out batch.
+//!
+//! These are exact host-side mirrors of the device kernels (Figures 3–5 and
+//! 11 of the paper): the same tile operations in the same order with the
+//! same load/store pattern, so the kernels crate can validate its traced
+//! instruction streams against an independently-tested implementation.
+
+use crate::error::CholeskyError;
+use crate::scalar::Real;
+use crate::tile::{
+    gemm_tile, load_full, load_lower, potrf_tile, store_full, store_lower, syrk_tile, trsm_tile,
+};
+use ibcf_layout::BatchLayout;
+use serde::{Deserialize, Serialize};
+
+/// Order of evaluation of the tile operations (the paper's "Looking"
+/// parameter): aggressive (right), lazy (left), or laziest (top).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Looking {
+    /// Aggressive: update the whole trailing submatrix after each panel.
+    Right,
+    /// Lazy: apply pending updates to the current panel just before
+    /// factoring it (the LAPACK order).
+    Left,
+    /// Laziest: only the diagonal tile is factored per step; updates to the
+    /// stripe left of it are deferred until the stripe is needed.
+    Top,
+}
+
+impl Looking {
+    /// All three variants, in the paper's presentation order.
+    pub const ALL: [Looking; 3] = [Looking::Right, Looking::Left, Looking::Top];
+
+    /// Short lowercase name used in reports and datasets.
+    pub fn name(self) -> &'static str {
+        match self {
+            Looking::Right => "right",
+            Looking::Left => "left",
+            Looking::Top => "top",
+        }
+    }
+}
+
+impl std::fmt::Display for Looking {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Dimension of tile-block `b` for a matrix of size `n` tiled by `nb`.
+#[inline]
+fn blk_dim(n: usize, nb: usize, b: usize) -> usize {
+    nb.min(n - b * nb)
+}
+
+/// Number of tile blocks covering dimension `n` with tile size `nb`.
+#[inline]
+pub fn num_blocks(n: usize, nb: usize) -> usize {
+    n.div_ceil(nb)
+}
+
+/// Blocked lower Cholesky factorization of matrix `mat` within a laid-out
+/// batch, with tile size `nb` and the given looking order. Handles
+/// `n % nb != 0` with ragged corner tiles.
+///
+/// # Errors
+/// [`CholeskyError::NotPositiveDefinite`] with the global failing column.
+pub fn potrf_blocked<T: Real, L: BatchLayout>(
+    layout: &L,
+    data: &mut [T],
+    mat: usize,
+    nb: usize,
+    looking: Looking,
+) -> Result<(), CholeskyError> {
+    assert!(nb > 0, "tile size must be positive");
+    let n = layout.n();
+    match looking {
+        Looking::Right => right_looking(layout, data, mat, n, nb),
+        Looking::Left => left_looking(layout, data, mat, n, nb),
+        Looking::Top => top_looking(layout, data, mat, n, nb),
+    }
+}
+
+/// Scratch tiles. `ts == nb` always; ragged tiles use a leading sub-block.
+struct Tiles<T> {
+    a1: Vec<T>,
+    a2: Vec<T>,
+    a3: Vec<T>,
+}
+
+impl<T: Real> Tiles<T> {
+    fn new(nb: usize) -> Self {
+        Tiles { a1: vec![T::ZERO; nb * nb], a2: vec![T::ZERO; nb * nb], a3: vec![T::ZERO; nb * nb] }
+    }
+}
+
+fn pivot_err(nb: usize, bk: usize, col_in_tile: usize) -> CholeskyError {
+    CholeskyError::NotPositiveDefinite { column: bk * nb + col_in_tile }
+}
+
+/// Right-looking (Figure 3): factor panel, then update the entire trailing
+/// submatrix with rank-`nb` updates.
+fn right_looking<T: Real, L: BatchLayout>(
+    layout: &L,
+    data: &mut [T],
+    mat: usize,
+    n: usize,
+    nb: usize,
+) -> Result<(), CholeskyError> {
+    let nt = num_blocks(n, nb);
+    let mut t = Tiles::<T>::new(nb);
+    for kk in 0..nt {
+        let dk = blk_dim(n, nb, kk);
+        // Factor the diagonal tile.
+        load_lower(layout, data, mat, nb, kk, dk, &mut t.a1, nb);
+        potrf_tile(dk, &mut t.a1, nb).map_err(|c| pivot_err(nb, kk, c))?;
+        store_lower(layout, data, mat, nb, kk, dk, &t.a1, nb);
+        // Panel: solve each tile below the diagonal.
+        for mm in kk + 1..nt {
+            let dm = blk_dim(n, nb, mm);
+            load_full(layout, data, mat, nb, mm, kk, dm, dk, &mut t.a2, nb);
+            trsm_tile(dm, dk, &t.a1, nb, &mut t.a2, nb);
+            store_full(layout, data, mat, nb, mm, kk, dm, dk, &t.a2, nb);
+        }
+        // Trailing submatrix update.
+        for nn in kk + 1..nt {
+            let dn = blk_dim(n, nb, nn);
+            load_full(layout, data, mat, nb, nn, kk, dn, dk, &mut t.a1, nb);
+            // Diagonal tile of the trailing submatrix: SYRK.
+            load_lower(layout, data, mat, nb, nn, dn, &mut t.a3, nb);
+            syrk_tile(dn, dk, &t.a1, nb, &mut t.a3, nb);
+            store_lower(layout, data, mat, nb, nn, dn, &t.a3, nb);
+            // Tiles below it: GEMM.
+            for mm in nn + 1..nt {
+                let dm = blk_dim(n, nb, mm);
+                load_full(layout, data, mat, nb, mm, kk, dm, dk, &mut t.a2, nb);
+                load_full(layout, data, mat, nb, mm, nn, dm, dn, &mut t.a3, nb);
+                gemm_tile(dm, dn, dk, &t.a2, nb, &t.a1, nb, &mut t.a3, nb);
+                store_full(layout, data, mat, nb, mm, nn, dm, dn, &t.a3, nb);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Left-looking (Figure 4, the LAPACK order): apply all pending updates to
+/// the current panel, then factor it.
+fn left_looking<T: Real, L: BatchLayout>(
+    layout: &L,
+    data: &mut [T],
+    mat: usize,
+    n: usize,
+    nb: usize,
+) -> Result<(), CholeskyError> {
+    let nt = num_blocks(n, nb);
+    let mut t = Tiles::<T>::new(nb);
+    for kk in 0..nt {
+        let dk = blk_dim(n, nb, kk);
+        // Update the diagonal tile with all tiles to its left.
+        load_lower(layout, data, mat, nb, kk, dk, &mut t.a1, nb);
+        for mm in 0..kk {
+            let dm = blk_dim(n, nb, mm);
+            load_full(layout, data, mat, nb, kk, mm, dk, dm, &mut t.a2, nb);
+            syrk_tile(dk, dm, &t.a2, nb, &mut t.a1, nb);
+        }
+        potrf_tile(dk, &mut t.a1, nb).map_err(|c| pivot_err(nb, kk, c))?;
+        store_lower(layout, data, mat, nb, kk, dk, &t.a1, nb);
+        // Update and solve each panel tile below the diagonal.
+        for ii in kk + 1..nt {
+            let di = blk_dim(n, nb, ii);
+            load_full(layout, data, mat, nb, ii, kk, di, dk, &mut t.a3, nb);
+            for mm in 0..kk {
+                let dm = blk_dim(n, nb, mm);
+                load_full(layout, data, mat, nb, ii, mm, di, dm, &mut t.a2, nb);
+                // rA2 holds A[ii][mm]; reuse a scratch for A[kk][mm].
+                let mut akm = vec![T::ZERO; nb * nb];
+                load_full(layout, data, mat, nb, kk, mm, dk, dm, &mut akm, nb);
+                gemm_tile(di, dk, dm, &t.a2, nb, &akm, nb, &mut t.a3, nb);
+            }
+            trsm_tile(di, dk, &t.a1, nb, &mut t.a3, nb);
+            store_full(layout, data, mat, nb, ii, kk, di, dk, &t.a3, nb);
+        }
+    }
+    Ok(())
+}
+
+/// Top-looking (Figures 5 and 11, the paper's laziest order): before
+/// factoring diagonal tile `kk`, first bring the stripe to its left up to
+/// date, then update and factor the diagonal tile.
+fn top_looking<T: Real, L: BatchLayout>(
+    layout: &L,
+    data: &mut [T],
+    mat: usize,
+    n: usize,
+    nb: usize,
+) -> Result<(), CholeskyError> {
+    let nt = num_blocks(n, nb);
+    let mut t = Tiles::<T>::new(nb);
+    for kk in 0..nt {
+        let dk = blk_dim(n, nb, kk);
+        // Update the stripe left of the diagonal tile (row kk, cols < kk).
+        for nn in 0..kk {
+            let dn = blk_dim(n, nb, nn);
+            load_full(layout, data, mat, nb, kk, nn, dk, dn, &mut t.a3, nb);
+            for mm in 0..nn {
+                let dm = blk_dim(n, nb, mm);
+                load_full(layout, data, mat, nb, kk, mm, dk, dm, &mut t.a1, nb);
+                load_full(layout, data, mat, nb, nn, mm, dn, dm, &mut t.a2, nb);
+                gemm_tile(dk, dn, dm, &t.a1, nb, &t.a2, nb, &mut t.a3, nb);
+            }
+            load_lower(layout, data, mat, nb, nn, dn, &mut t.a1, nb);
+            trsm_tile(dk, dn, &t.a1, nb, &mut t.a3, nb);
+            store_full(layout, data, mat, nb, kk, nn, dk, dn, &t.a3, nb);
+        }
+        // Update the diagonal tile with the (now current) stripe, factor it.
+        load_lower(layout, data, mat, nb, kk, dk, &mut t.a1, nb);
+        for nn in 0..kk {
+            let dn = blk_dim(n, nb, nn);
+            load_full(layout, data, mat, nb, kk, nn, dk, dn, &mut t.a2, nb);
+            syrk_tile(dk, dn, &t.a2, nb, &mut t.a1, nb);
+        }
+        potrf_tile(dk, &mut t.a1, nb).map_err(|c| pivot_err(nb, kk, c))?;
+        store_lower(layout, data, mat, nb, kk, dk, &t.a1, nb);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::potrf;
+    use crate::spd::{random_spd, SpdKind};
+    use crate::verify::max_lower_diff;
+    use ibcf_layout::{scatter_matrix, Canonical, Chunked, Interleaved, Layout, LayoutKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_against_reference(n: usize, nb: usize, looking: Looking, layout: Layout) {
+        let mut rng = StdRng::seed_from_u64((n * 1000 + nb * 10) as u64);
+        let a = random_spd::<f64>(n, SpdKind::Wishart, &mut rng);
+        let mut reference = a.clone().into_vec();
+        potrf(n, &mut reference).unwrap();
+
+        let mut data = vec![0.0f64; layout.len()];
+        let mat = layout.batch() - 1;
+        scatter_matrix(&layout, &mut data, mat, a.as_slice(), n);
+        potrf_blocked(&layout, &mut data, mat, nb, looking).unwrap();
+
+        let mut out = vec![0.0f64; n * n];
+        ibcf_layout::gather_matrix(&layout, &data, mat, &mut out, n);
+        let diff = max_lower_diff(n, &out, &reference, n);
+        assert!(
+            diff < 1e-9,
+            "n={n} nb={nb} {looking:?} {:?}: diff {diff}",
+            layout.kind()
+        );
+    }
+
+    #[test]
+    fn all_lookings_match_reference_divisible() {
+        for looking in Looking::ALL {
+            for (n, nb) in [(4, 2), (8, 4), (12, 3), (16, 8), (24, 4)] {
+                check_against_reference(n, nb, looking, Layout::build(LayoutKind::Canonical, n, 3, 32));
+            }
+        }
+    }
+
+    #[test]
+    fn all_lookings_match_reference_ragged() {
+        for looking in Looking::ALL {
+            for (n, nb) in [(5, 2), (7, 3), (13, 4), (23, 8), (9, 5), (11, 8)] {
+                check_against_reference(n, nb, looking, Layout::build(LayoutKind::Canonical, n, 2, 32));
+            }
+        }
+    }
+
+    #[test]
+    fn works_on_interleaved_and_chunked_layouts() {
+        for looking in Looking::ALL {
+            let n = 10;
+            let nb = 3;
+            check_against_reference(n, nb, looking, Layout::Interleaved(Interleaved::new(n, 40)));
+            check_against_reference(n, nb, looking, Layout::Chunked(Chunked::new(n, 70, 32)));
+        }
+    }
+
+    #[test]
+    fn nb_larger_than_n_degenerates_to_single_tile() {
+        check_against_reference(5, 8, Looking::Top, Layout::Canonical(Canonical::new(5, 1)));
+        check_against_reference(3, 8, Looking::Right, Layout::Canonical(Canonical::new(3, 1)));
+    }
+
+    #[test]
+    fn nb_one_is_unblocked() {
+        for looking in Looking::ALL {
+            check_against_reference(6, 1, looking, Layout::Canonical(Canonical::new(6, 1)));
+        }
+    }
+
+    #[test]
+    fn reports_global_failing_column() {
+        // SPD leading 4x4 block, then break positive-definiteness at col 5.
+        let n = 6;
+        let mut rng = StdRng::seed_from_u64(99);
+        let a = random_spd::<f64>(n, SpdKind::DiagDominant, &mut rng);
+        let mut bad = a.clone();
+        bad[(5, 5)] = -1000.0;
+        let layout = Canonical::new(n, 1);
+        for looking in Looking::ALL {
+            let mut data = vec![0.0f64; layout.len()];
+            scatter_matrix(&layout, &mut data, 0, bad.as_slice(), n);
+            let err = potrf_blocked(&layout, &mut data, 0, 2, looking).unwrap_err();
+            assert_eq!(err, CholeskyError::NotPositiveDefinite { column: 5 }, "{looking:?}");
+        }
+    }
+
+    #[test]
+    fn lookings_agree_bitwise_is_not_required_but_close() {
+        // Different evaluation orders round differently in f32; they must
+        // agree to a few ulps of the result scale.
+        let n = 17;
+        let nb = 4;
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = random_spd::<f32>(n, SpdKind::Wishart, &mut rng);
+        let layout = Canonical::new(n, 1);
+        let mut results = Vec::new();
+        for looking in Looking::ALL {
+            let mut data = vec![0.0f32; layout.len()];
+            scatter_matrix(&layout, &mut data, 0, a.as_slice(), n);
+            potrf_blocked(&layout, &mut data, 0, nb, looking).unwrap();
+            results.push(data);
+        }
+        let d01 = max_lower_diff(n, &results[0], &results[1], n);
+        let d02 = max_lower_diff(n, &results[0], &results[2], n);
+        assert!(d01 < 1e-3 && d02 < 1e-3, "d01={d01} d02={d02}");
+    }
+}

@@ -1,0 +1,181 @@
+//! Condition-number estimation from a Cholesky factor — the LAPACK
+//! `potcon` companion every production Cholesky library ships, so users
+//! can judge how much accuracy to expect from an f32 batch solve.
+//!
+//! Uses Hager–Higham 1-norm estimation: ‖A⁻¹‖₁ is estimated from a few
+//! solves against the factor (no explicit inverse), and
+//! `cond₁(A) ≈ ‖A‖₁ · ‖A⁻¹‖₁`.
+
+use crate::scalar::Real;
+use crate::solve::solve_cholesky;
+use ibcf_layout::BatchLayout;
+
+/// 1-norm of a symmetric matrix given by its lower triangle (column-major
+/// `n × n`, leading dimension `lda`).
+pub fn sym_one_norm<T: Real>(n: usize, a: &[T], lda: usize) -> f64 {
+    let mut worst = 0.0f64;
+    for j in 0..n {
+        let mut col = 0.0f64;
+        for i in 0..n {
+            let (r, c) = if i >= j { (i, j) } else { (j, i) };
+            col += a[r + c * lda].to_f64().abs();
+        }
+        worst = worst.max(col);
+    }
+    worst
+}
+
+/// Estimates `‖A⁻¹‖₁` from the Cholesky factor `l` (lower, column-major,
+/// leading dimension `lda`) with the Hager power method on the dual
+/// norm; at most `max_iter` iterations (2–5 suffice in practice).
+pub fn inv_one_norm_estimate<T: Real>(n: usize, l: &[T], lda: usize, max_iter: usize) -> f64 {
+    assert!(n > 0);
+    // x = e / n.
+    let mut x: Vec<T> = vec![T::from_f64(1.0 / n as f64); n];
+    let mut best = 0.0f64;
+    for _ in 0..max_iter.max(1) {
+        // y = A⁻¹ x.
+        solve_cholesky(n, l, lda, &mut x);
+        let est: f64 = x.iter().map(|v| v.to_f64().abs()).sum();
+        // ξ = sign(y); z = A⁻¹ ξ (A symmetric, so Aᵀ = A).
+        let mut z: Vec<T> = x
+            .iter()
+            .map(|v| if v.to_f64() >= 0.0 { T::ONE } else { -T::ONE })
+            .collect();
+        solve_cholesky(n, l, lda, &mut z);
+        // Pick the coordinate with the largest |z_j|.
+        let (jmax, zmax) = z
+            .iter()
+            .enumerate()
+            .map(|(j, v)| (j, v.to_f64().abs()))
+            .fold((0, 0.0), |acc, cur| if cur.1 > acc.1 { cur } else { acc });
+        if est >= best {
+            best = est;
+        }
+        // Converged when the dual step stops growing the estimate.
+        let xsum: f64 = x.iter().map(|v| v.to_f64().abs()).sum();
+        if zmax <= xsum / n as f64 + 1e-30 {
+            break;
+        }
+        // Restart from the sharpest unit vector.
+        x = (0..n).map(|j| if j == jmax { T::ONE } else { T::ZERO }).collect();
+    }
+    best
+}
+
+/// Estimated 1-norm condition number of the matrix whose factor is `l`
+/// and whose (original) lower triangle is `a`.
+pub fn cond_estimate<T: Real>(n: usize, a: &[T], l: &[T], lda: usize) -> f64 {
+    sym_one_norm(n, a, lda) * inv_one_norm_estimate(n, l, lda, 5)
+}
+
+/// Per-matrix condition estimates for a factored batch: `orig` holds the
+/// original matrices, `fact` the factors, both in `layout`.
+pub fn batch_cond_estimate<T: Real, L: BatchLayout>(
+    layout: &L,
+    orig: &[T],
+    fact: &[T],
+) -> Vec<f64> {
+    let n = layout.n();
+    let mut a = vec![T::ZERO; n * n];
+    let mut l = vec![T::ZERO; n * n];
+    (0..layout.batch())
+        .map(|mat| {
+            ibcf_layout::gather_matrix(layout, orig, mat, &mut a, n);
+            ibcf_layout::gather_matrix(layout, fact, mat, &mut l, n);
+            cond_estimate(n, &a, &l, n)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::potrf;
+    use crate::spd::{random_spd, SpdKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_has_condition_one() {
+        let n = 8;
+        let eye: Vec<f64> =
+            (0..n * n).map(|i| if i % (n + 1) == 0 { 1.0 } else { 0.0 }).collect();
+        let mut l = eye.clone();
+        potrf(n, &mut l).unwrap();
+        let c = cond_estimate(n, &eye, &l, n);
+        assert!((c - 1.0).abs() < 1e-12, "cond(I) = {c}");
+    }
+
+    #[test]
+    fn diagonal_condition_is_exact() {
+        // diag(1, 10, 100): cond_1 = 100.
+        let n = 3;
+        let mut a = vec![0.0f64; 9];
+        a[0] = 1.0;
+        a[4] = 10.0;
+        a[8] = 100.0;
+        let mut l = a.clone();
+        potrf(n, &mut l).unwrap();
+        let c = cond_estimate(n, &a, &l, n);
+        assert!((c - 100.0).abs() < 1e-9, "cond = {c}");
+    }
+
+    #[test]
+    fn tracks_planted_condition_number() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for target in [1e2f64, 1e4, 1e6] {
+            let n = 12;
+            let a = random_spd::<f64>(n, SpdKind::Conditioned(target), &mut rng);
+            let mut l = a.clone().into_vec();
+            potrf(n, &mut l).unwrap();
+            let c = cond_estimate(n, a.as_slice(), &l, n);
+            // The planted value is a 2-norm condition number; the 1-norm
+            // estimate agrees within a factor of ~n.
+            assert!(
+                c > target / 15.0 && c < target * 15.0,
+                "target {target:.0e}: estimate {c:.3e}"
+            );
+        }
+    }
+
+    #[test]
+    fn estimate_never_exceeds_reality_by_construction() {
+        // Hager's method is a lower bound on ‖A⁻¹‖₁; against the explicit
+        // inverse of a small matrix it must be <= the true norm (within
+        // rounding).
+        let n = 4;
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = random_spd::<f64>(n, SpdKind::Wishart, &mut rng);
+        let mut l = a.clone().into_vec();
+        potrf(n, &mut l).unwrap();
+        // True ‖A⁻¹‖₁ by solving for each basis vector.
+        let mut true_norm = 0.0f64;
+        for j in 0..n {
+            let mut e = vec![0.0f64; n];
+            e[j] = 1.0;
+            solve_cholesky(n, &l, n, &mut e);
+            true_norm = true_norm.max(e.iter().map(|v| v.abs()).sum());
+        }
+        let est = inv_one_norm_estimate(n, &l, n, 5);
+        assert!(est <= true_norm * (1.0 + 1e-10), "est {est} > true {true_norm}");
+        assert!(est >= 0.3 * true_norm, "est {est} far below true {true_norm}");
+    }
+
+    #[test]
+    fn batch_estimates_cover_every_matrix() {
+        use crate::host_batch::factorize_batch;
+        use crate::spd::fill_batch_spd;
+        use ibcf_layout::Chunked;
+        let n = 6;
+        let batch = 40;
+        let layout = Chunked::new(n, batch, 32);
+        let mut data = vec![0.0f64; layout.len()];
+        fill_batch_spd(&layout, &mut data, SpdKind::Wishart, 3);
+        let orig = data.clone();
+        assert!(factorize_batch(&layout, &mut data).all_ok());
+        let conds = batch_cond_estimate(&layout, &orig, &data);
+        assert_eq!(conds.len(), batch);
+        assert!(conds.iter().all(|&c| (1.0..1e4).contains(&c)), "{conds:?}");
+    }
+}

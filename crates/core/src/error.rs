@@ -1,0 +1,56 @@
+//! Error types for the factorization routines.
+
+use serde::{Deserialize, Serialize};
+
+/// Failure of a Cholesky factorization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CholeskyError {
+    /// A non-positive pivot was encountered at the given (zero-based)
+    /// column: the matrix is not (numerically) positive definite.
+    NotPositiveDefinite {
+        /// Zero-based column at which the pivot failed.
+        column: usize,
+    },
+    /// A NaN or infinity appeared during the factorization (e.g. from an
+    /// already-corrupt input).
+    NonFinite {
+        /// Zero-based column at which the non-finite value was detected.
+        column: usize,
+    },
+}
+
+impl std::fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CholeskyError::NotPositiveDefinite { column } => {
+                write!(f, "matrix is not positive definite (pivot at column {column})")
+            }
+            CholeskyError::NonFinite { column } => {
+                write!(f, "non-finite value encountered at column {column}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CholeskyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_column() {
+        let e = CholeskyError::NotPositiveDefinite { column: 3 };
+        assert!(e.to_string().contains("column 3"));
+        let e = CholeskyError::NonFinite { column: 7 };
+        assert!(e.to_string().contains("column 7"));
+    }
+
+    #[test]
+    fn equality_and_copy() {
+        let e = CholeskyError::NotPositiveDefinite { column: 2 };
+        let f = e;
+        assert_eq!(e, f);
+        assert_ne!(e, CholeskyError::NonFinite { column: 2 });
+    }
+}

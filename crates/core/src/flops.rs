@@ -1,0 +1,79 @@
+//! Floating-point operation counts and rate helpers.
+
+/// The paper's standard flop count for one Cholesky factorization,
+/// `n³ / 3`, used for every Gflop/s figure. ("When computing the Gflop/s
+/// value, the standard formula, 1/3 N³, is always used.")
+pub fn cholesky_flops_std(n: usize) -> f64 {
+    let n = n as f64;
+    n * n * n / 3.0
+}
+
+/// The exact flop count of the unblocked lower Cholesky factorization:
+/// `n³/3 + n²/2 + n/6` multiply/add/divide operations plus `n` square
+/// roots (counted as one flop each here).
+pub fn cholesky_flops_exact(n: usize) -> u64 {
+    let mut flops = 0u64;
+    for k in 0..n {
+        let r = (n - k - 1) as u64;
+        flops += 1; // sqrt
+        flops += r; // column scaling divisions
+        flops += r * (r + 1); // rank-1 update: tri(r) fused multiply-subtracts = 2 flops each
+    }
+    flops
+}
+
+/// Gflop/s for a batch of `batch` factorizations of dimension `n` completed
+/// in `seconds`, using the paper's `n³/3` formula.
+pub fn batch_gflops(n: usize, batch: usize, seconds: f64) -> f64 {
+    assert!(seconds > 0.0, "elapsed time must be positive");
+    cholesky_flops_std(n) * batch as f64 / seconds / 1e9
+}
+
+/// Bytes touched by a factorization that reads and writes the full square
+/// matrix once (the compulsory traffic of an interleaved kernel that keeps
+/// the matrix in registers), for element size `elem_bytes`.
+pub fn compulsory_bytes(n: usize, elem_bytes: usize) -> u64 {
+    // Read the lower triangle, write the lower triangle.
+    2 * (n * (n + 1) / 2 * elem_bytes) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_formula() {
+        assert_eq!(cholesky_flops_std(3), 9.0);
+        assert_eq!(cholesky_flops_std(30), 9000.0);
+    }
+
+    #[test]
+    fn exact_matches_closed_form() {
+        // n³/3 + n²/2 + n/6 counts sqrt as 1 and fused ops as 2.
+        for n in 1..64usize {
+            let nf = n as u64;
+            let closed = (2 * nf * nf * nf + 3 * nf * nf + nf) / 6;
+            assert_eq!(cholesky_flops_exact(n), closed, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn exact_close_to_std_for_large_n() {
+        let n = 64;
+        let ratio = cholesky_flops_exact(n) as f64 / cholesky_flops_std(n);
+        assert!((ratio - 1.0).abs() < 0.05, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn gflops_scale() {
+        // 16384 matrices of n = 16 in 1 ms.
+        let g = batch_gflops(16, 16384, 1e-3);
+        let expect = (16.0f64.powi(3) / 3.0) * 16384.0 / 1e-3 / 1e9;
+        assert!((g - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compulsory_traffic() {
+        assert_eq!(compulsory_bytes(4, 4), 2 * 10 * 4);
+    }
+}

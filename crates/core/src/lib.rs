@@ -1,0 +1,48 @@
+//! Host-side batch linear algebra for very small matrices.
+//!
+//! This crate provides the numerical foundation of the IPPS'17 interleaved
+//! batch Cholesky reproduction:
+//!
+//! * [`scalar::Real`] — an `f32`/`f64` abstraction so every routine exists in
+//!   both precisions (the paper works in single precision; double is the
+//!   verification oracle).
+//! * [`reference`] — the canonical unblocked right-looking Cholesky
+//!   (Algorithm 1 of the paper), the correctness oracle for everything else.
+//! * [`tile`] — the four tile microkernels of Figure 9 (`potrf_tile`,
+//!   `trsm_tile`, `syrk_tile`, `gemm_tile`) in runtime-size and
+//!   const-generic (fully inlined/unrolled) forms.
+//! * [`blocked`] — right-, left-, and top-looking blocked factorizations
+//!   (Figures 3–5 and 11) composed from the tile microkernels, with ragged
+//!   last tiles when `n % nb != 0`.
+//! * [`spd`] — symmetric positive definite test-matrix generators.
+//! * [`solve`] — forward/backward substitution and batched solves (the ALS
+//!   use case that motivated the paper).
+//! * [`host_batch`] — a rayon-parallel, layout-aware batch factorization
+//!   used both as a CPU baseline and as the oracle for the GPU-simulator
+//!   kernels.
+//! * [`verify`] — residual and reconstruction checks.
+
+#![warn(missing_docs)]
+
+pub mod blocked;
+pub mod cond;
+pub mod error;
+pub mod flops;
+pub mod host_batch;
+pub mod matrix;
+pub mod reference;
+pub mod scalar;
+pub mod solve;
+pub mod spd;
+pub mod sync_slice;
+pub mod tile;
+pub mod uplo;
+pub mod verify;
+
+pub use blocked::{potrf_blocked, Looking};
+pub use cond::{batch_cond_estimate, cond_estimate};
+pub use error::CholeskyError;
+pub use matrix::ColMatrix;
+pub use reference::potrf_unblocked;
+pub use scalar::Real;
+pub use uplo::{potrf_uplo, solve_cholesky_uplo, Uplo};

@@ -1,0 +1,197 @@
+//! A small owned column-major matrix used by tests, examples, and the
+//! verification helpers.
+
+use crate::scalar::Real;
+
+/// An owned column-major matrix.
+///
+/// This is deliberately a minimal convenience type — the hot paths all work
+/// on flat slices — but it makes tests, oracles, and examples readable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColMatrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Real> ColMatrix<T> {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![T::ZERO; rows * cols] }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = T::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix from an element function `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for c in 0..cols {
+            for r in 0..rows {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Wraps an existing column-major buffer (`data.len() == rows * cols`).
+    pub fn from_col_major(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The underlying column-major buffer.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// The underlying column-major buffer, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Dense matrix product `self * rhs`.
+    pub fn matmul(&self, rhs: &Self) -> Self {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        let mut out = Self::zeros(self.rows, rhs.cols);
+        for j in 0..rhs.cols {
+            for k in 0..self.cols {
+                let b = rhs[(k, j)];
+                for i in 0..self.rows {
+                    out[(i, j)] += self[(i, k)] * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Elementwise difference `self - rhs`.
+    pub fn sub(&self, rhs: &Self) -> Self {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(&rhs.data) {
+            *a -= *b;
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frob_norm(&self) -> f64 {
+        self.data.iter().map(|x| x.to_f64() * x.to_f64()).sum::<f64>().sqrt()
+    }
+
+    /// Largest absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().map(|x| x.to_f64().abs()).fold(0.0, f64::max)
+    }
+
+    /// Zeroes the strictly-upper triangle, keeping the lower factor — what a
+    /// lower Cholesky routine leaves meaningful.
+    pub fn lower_triangle(&self) -> Self {
+        Self::from_fn(self.rows, self.cols, |r, c| if r >= c { self[(r, c)] } else { T::ZERO })
+    }
+
+    /// Symmetrizes from the lower triangle: `out[i][j] = lower[max(i,j)][min(i,j)]`.
+    pub fn symmetrize_from_lower(&self) -> Self {
+        assert_eq!(self.rows, self.cols);
+        Self::from_fn(self.rows, self.cols, |r, c| {
+            if r >= c {
+                self[(r, c)]
+            } else {
+                self[(c, r)]
+            }
+        })
+    }
+}
+
+impl<T: Real> std::ops::Index<(usize, usize)> for ColMatrix<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &T {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[c * self.rows + r]
+    }
+}
+
+impl<T: Real> std::ops::IndexMut<(usize, usize)> for ColMatrix<T> {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[c * self.rows + r]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matmul_is_identity_op() {
+        let a = ColMatrix::<f64>::from_fn(3, 3, |r, c| (r * 3 + c) as f64);
+        let i = ColMatrix::<f64>::identity(3);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = ColMatrix::<f32>::from_fn(2, 4, |r, c| (r + 10 * c) as f32);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(3, 1)], a[(1, 3)]);
+    }
+
+    #[test]
+    fn frobenius() {
+        let a = ColMatrix::<f64>::from_fn(2, 2, |_, _| 2.0);
+        assert!((a.frob_norm() - 4.0).abs() < 1e-12);
+        assert_eq!(a.max_abs(), 2.0);
+    }
+
+    #[test]
+    fn lower_and_symmetrize() {
+        let a = ColMatrix::<f64>::from_fn(3, 3, |r, c| (1 + r + 3 * c) as f64);
+        let l = a.lower_triangle();
+        assert_eq!(l[(0, 2)], 0.0);
+        assert_eq!(l[(2, 0)], a[(2, 0)]);
+        let s = a.symmetrize_from_lower();
+        assert_eq!(s[(0, 2)], a[(2, 0)]);
+        assert_eq!(s[(2, 0)], a[(2, 0)]);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = ColMatrix::<f64>::from_col_major(2, 2, vec![1.0, 3.0, 2.0, 4.0]);
+        // a = [[1, 2], [3, 4]]
+        let b = a.matmul(&a);
+        assert_eq!(b[(0, 0)], 7.0);
+        assert_eq!(b[(0, 1)], 10.0);
+        assert_eq!(b[(1, 0)], 15.0);
+        assert_eq!(b[(1, 1)], 22.0);
+    }
+}

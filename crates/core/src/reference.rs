@@ -1,0 +1,155 @@
+//! The canonical unblocked Cholesky factorization — Algorithm 1 of the
+//! paper — used as the correctness oracle for every optimized variant.
+
+use crate::error::CholeskyError;
+use crate::scalar::Real;
+
+/// Unblocked, right-looking, lower-triangular Cholesky factorization of a
+/// column-major `n × n` matrix with leading dimension `lda`.
+///
+/// Only the lower triangle is read and written; the strictly-upper triangle
+/// is left untouched, exactly like LAPACK's `potf2('L', ...)`.
+///
+/// On success `a` holds `L` (lower triangle) with `A = L·Lᵀ`.
+///
+/// # Errors
+/// [`CholeskyError::NotPositiveDefinite`] if a pivot is not strictly
+/// positive, [`CholeskyError::NonFinite`] if a pivot is NaN/∞.
+///
+/// # Panics
+/// If `lda < n` or the buffer is too short.
+pub fn potrf_unblocked<T: Real>(n: usize, a: &mut [T], lda: usize) -> Result<(), CholeskyError> {
+    assert!(lda >= n, "leading dimension must be >= n");
+    assert!(a.len() >= lda.saturating_mul(n.saturating_sub(1)) + n, "buffer too short");
+    for k in 0..n {
+        let akk = a[k + k * lda];
+        if !akk.is_finite() {
+            return Err(CholeskyError::NonFinite { column: k });
+        }
+        if akk <= T::ZERO {
+            return Err(CholeskyError::NotPositiveDefinite { column: k });
+        }
+        let pivot = akk.sqrt();
+        a[k + k * lda] = pivot;
+        let inv = pivot.recip();
+        for m in k + 1..n {
+            a[m + k * lda] *= inv;
+        }
+        for j in k + 1..n {
+            let ajk = a[j + k * lda];
+            for m in j..n {
+                let amk = a[m + k * lda];
+                a[m + j * lda] -= amk * ajk;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Convenience wrapper: factorizes a dense `n × n` buffer (`lda == n`).
+pub fn potrf<T: Real>(n: usize, a: &mut [T]) -> Result<(), CholeskyError> {
+    potrf_unblocked(n, a, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::ColMatrix;
+    use crate::verify::reconstruction_error;
+
+    /// 3×3 SPD with a known factor: L = [[2,0,0],[6,1,0],[-8,5,3]].
+    fn known_case() -> (Vec<f64>, Vec<f64>) {
+        let l = vec![2.0, 6.0, -8.0, 0.0, 1.0, 5.0, 0.0, 0.0, 3.0];
+        // A = L * L^T
+        let lm = ColMatrix::from_col_major(3, 3, l.clone());
+        let a = lm.matmul(&lm.transpose()).into_vec();
+        (a, l)
+    }
+
+    #[test]
+    fn factors_known_matrix() {
+        let (mut a, l) = known_case();
+        potrf(3, &mut a).unwrap();
+        for c in 0..3 {
+            for r in c..3 {
+                assert!((a[r + c * 3] - l[r + c * 3]).abs() < 1e-12, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn leaves_upper_triangle_untouched() {
+        let (mut a, _) = known_case();
+        let sentinel = 1234.5;
+        a[3] = sentinel;
+        a[2 * 3] = sentinel;
+        a[1 + 2 * 3] = sentinel;
+        potrf(3, &mut a).unwrap();
+        assert_eq!(a[3], sentinel);
+        assert_eq!(a[2 * 3], sentinel);
+        assert_eq!(a[1 + 2 * 3], sentinel);
+    }
+
+    #[test]
+    fn reconstructs_random_spd() {
+        use crate::spd::{random_spd, SpdKind};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1usize, 2, 5, 13, 32, 64] {
+            let a = random_spd::<f64>(n, SpdKind::Wishart, &mut rng);
+            let mut f = a.clone();
+            potrf(n, f.as_mut_slice()).unwrap();
+            let err = reconstruction_error(n, a.as_slice(), f.as_slice(), n);
+            assert!(err < 1e-12, "n = {n}, err = {err}");
+        }
+    }
+
+    #[test]
+    fn detects_indefinite() {
+        // -I is as far from SPD as it gets.
+        let mut a = vec![-1.0f32, 0.0, 0.0, -1.0];
+        assert_eq!(
+            potrf(2, &mut a),
+            Err(CholeskyError::NotPositiveDefinite { column: 0 })
+        );
+        // Fails at column 1: [[1, 2], [2, 1]] has a negative Schur complement.
+        let mut a = vec![1.0f32, 2.0, 2.0, 1.0];
+        assert_eq!(
+            potrf(2, &mut a),
+            Err(CholeskyError::NotPositiveDefinite { column: 1 })
+        );
+    }
+
+    #[test]
+    fn detects_non_finite() {
+        let mut a = vec![f32::NAN, 0.0, 0.0, 1.0];
+        assert_eq!(potrf(2, &mut a), Err(CholeskyError::NonFinite { column: 0 }));
+    }
+
+    #[test]
+    fn respects_lda() {
+        let (a3, l) = known_case();
+        // Embed in a 5-row leading dimension.
+        let lda = 5;
+        let mut a = vec![0.0f64; lda * 3];
+        for c in 0..3 {
+            for r in 0..3 {
+                a[r + c * lda] = a3[r + c * 3];
+            }
+        }
+        potrf_unblocked(3, &mut a, lda).unwrap();
+        for c in 0..3 {
+            for r in c..3 {
+                assert!((a[r + c * lda] - l[r + c * 3]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn n_one() {
+        let mut a = vec![9.0f64];
+        potrf(1, &mut a).unwrap();
+        assert_eq!(a[0], 3.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! The [`Real`] scalar abstraction over `f32` and `f64`.
+
+use std::fmt::{Debug, Display};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A real floating-point scalar.
+///
+/// Every numerical routine in the workspace is generic over this trait so it
+/// exists in both single precision (the paper's working precision) and
+/// double precision (the verification oracle).
+pub trait Real:
+    Copy
+    + PartialOrd
+    + Debug
+    + Display
+    + Default
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Machine epsilon for this precision.
+    fn epsilon() -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Reciprocal `1 / self`.
+    fn recip(self) -> Self;
+    /// Fused (or contracted) multiply-add `self * a + b`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Lossy conversion from `f64`.
+    fn from_f64(x: f64) -> Self;
+    /// Widening conversion to `f64`.
+    fn to_f64(self) -> f64;
+    /// `true` iff the value is neither NaN nor infinite.
+    fn is_finite(self) -> bool;
+    /// The larger of two values (NaN-propagating like `f64::max` is not
+    /// required; used on finite data).
+    fn maximum(self, other: Self) -> Self {
+        if self > other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+macro_rules! impl_real {
+    ($t:ty) => {
+        impl Real for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+
+            fn epsilon() -> Self {
+                <$t>::EPSILON
+            }
+            fn sqrt(self) -> Self {
+                self.sqrt()
+            }
+            fn abs(self) -> Self {
+                self.abs()
+            }
+            fn recip(self) -> Self {
+                self.recip()
+            }
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                self.mul_add(a, b)
+            }
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            fn is_finite(self) -> bool {
+                self.is_finite()
+            }
+        }
+    };
+}
+
+impl_real!(f32);
+impl_real!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_smoke<T: Real>() {
+        assert_eq!(T::ZERO + T::ONE, T::ONE);
+        assert!(T::ONE.sqrt().to_f64() - 1.0 == 0.0);
+        assert!((T::from_f64(4.0).sqrt().to_f64() - 2.0).abs() < 1e-6);
+        assert!((T::from_f64(2.0).recip().to_f64() - 0.5).abs() < 1e-6);
+        let fma = T::from_f64(3.0).mul_add(T::from_f64(4.0), T::from_f64(5.0));
+        assert!((fma.to_f64() - 17.0).abs() < 1e-6);
+        assert!(T::ONE.is_finite());
+        assert!(!(T::ONE / T::ZERO).is_finite());
+        assert_eq!(T::ONE.maximum(T::ZERO), T::ONE);
+        assert_eq!(T::ZERO.maximum(T::ONE), T::ONE);
+    }
+
+    #[test]
+    fn f32_impl() {
+        generic_smoke::<f32>();
+        assert_eq!(f32::epsilon(), f32::EPSILON);
+    }
+
+    #[test]
+    fn f64_impl() {
+        generic_smoke::<f64>();
+        assert_eq!(f64::epsilon(), f64::EPSILON);
+    }
+}

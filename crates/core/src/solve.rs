@@ -1,0 +1,309 @@
+//! Triangular solves and batched Cholesky solves.
+//!
+//! The paper factors; its motivating application (Alternating Least
+//! Squares for recommender systems) then solves. These routines complete
+//! the story: forward/backward substitution against a computed factor,
+//! single-matrix and batched, with the right-hand sides stored either
+//! canonically or interleaved like the matrices.
+
+use crate::scalar::Real;
+use crate::sync_slice::SyncSlice;
+use ibcf_layout::{align_up, BatchLayout, WARP_SIZE};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Forward substitution: solves `L · y = b` in place (`b` becomes `y`),
+/// with `L` lower triangular, column-major, leading dimension `lda`.
+pub fn solve_lower<T: Real>(n: usize, l: &[T], lda: usize, b: &mut [T]) {
+    debug_assert!(lda >= n && b.len() >= n);
+    for i in 0..n {
+        let mut acc = b[i];
+        for k in 0..i {
+            acc -= l[i + k * lda] * b[k];
+        }
+        b[i] = acc / l[i + i * lda];
+    }
+}
+
+/// Backward substitution: solves `Lᵀ · x = y` in place (`y` becomes `x`).
+pub fn solve_lower_transposed<T: Real>(n: usize, l: &[T], lda: usize, b: &mut [T]) {
+    debug_assert!(lda >= n && b.len() >= n);
+    for i in (0..n).rev() {
+        let mut acc = b[i];
+        for k in i + 1..n {
+            acc -= l[k + i * lda] * b[k];
+        }
+        b[i] = acc / l[i + i * lda];
+    }
+}
+
+/// Solves `A · x = b` given the Cholesky factor `L` of `A` (`A = L·Lᵀ`),
+/// in place.
+///
+/// # Examples
+///
+/// ```
+/// use ibcf_core::reference::potrf;
+/// use ibcf_core::solve::solve_cholesky;
+///
+/// // A = [[4, 2], [2, 3]], b = A·[1, 1] = [6, 5].
+/// let mut a = vec![4.0f64, 2.0, 2.0, 3.0];
+/// potrf(2, &mut a).unwrap();
+/// let mut b = vec![6.0, 5.0];
+/// solve_cholesky(2, &a, 2, &mut b);
+/// assert!((b[0] - 1.0).abs() < 1e-12 && (b[1] - 1.0).abs() < 1e-12);
+/// ```
+pub fn solve_cholesky<T: Real>(n: usize, l: &[T], lda: usize, b: &mut [T]) {
+    solve_lower(n, l, lda, b);
+    solve_lower_transposed(n, l, lda, b);
+}
+
+/// Storage layout for a batch of length-`n` vectors (right-hand sides).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VectorBatch {
+    n: usize,
+    batch: usize,
+    padded: usize,
+    interleaved: bool,
+}
+
+impl VectorBatch {
+    /// Canonical storage: vector `m` occupies elements `[m*n, (m+1)*n)`.
+    pub fn canonical(n: usize, batch: usize) -> Self {
+        assert!(n > 0 && batch > 0);
+        Self { n, batch, padded: batch, interleaved: false }
+    }
+
+    /// Interleaved storage: element `i` of vector `m` is at
+    /// `i * padded_batch + m`, the vector analogue of the interleaved
+    /// matrix layout.
+    pub fn interleaved(n: usize, batch: usize) -> Self {
+        assert!(n > 0 && batch > 0);
+        Self { n, batch, padded: align_up(batch, WARP_SIZE), interleaved: true }
+    }
+
+    /// Vector length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Logical batch size.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Required buffer length in elements.
+    pub fn len(&self) -> usize {
+        self.n * self.padded
+    }
+
+    /// `true` if the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Element offset of element `i` of vector `mat`.
+    #[inline]
+    pub fn addr(&self, mat: usize, i: usize) -> usize {
+        debug_assert!(mat < self.padded && i < self.n);
+        if self.interleaved {
+            i * self.padded + mat
+        } else {
+            mat * self.n + i
+        }
+    }
+}
+
+/// Batched Cholesky solve: for every matrix `m`, solves
+/// `L_m · L_mᵀ · x_m = b_m` in place, where the factors live in `factors`
+/// (laid out by `layout`) and the right-hand sides in `rhs` (laid out by
+/// `vb`). Parallel over matrices.
+///
+/// # Panics
+/// If the two layouts disagree on `n` or `batch`, or a buffer is short.
+pub fn solve_batch<T: Real, L: BatchLayout + Sync>(
+    layout: &L,
+    factors: &[T],
+    vb: &VectorBatch,
+    rhs: &mut [T],
+) {
+    let n = layout.n();
+    assert_eq!(n, vb.n(), "layouts disagree on n");
+    assert_eq!(layout.batch(), vb.batch(), "layouts disagree on batch");
+    assert!(factors.len() >= layout.len(), "factor buffer too short");
+    assert!(rhs.len() >= vb.len(), "rhs buffer too short");
+    let shared = SyncSlice::new(rhs);
+    #[allow(clippy::needless_range_loop)] // indices address two buffers via layout maps
+    (0..layout.batch()).into_par_iter().for_each(|mat| {
+        let mut l = vec![T::ZERO; n * n];
+        let mut x = vec![T::ZERO; n];
+        // Gather only the lower triangle of the factor.
+        for col in 0..n {
+            for row in col..n {
+                l[row + col * n] = factors[layout.addr(mat, row, col)];
+            }
+        }
+        for i in 0..n {
+            // SAFETY: vector addresses are injective per (mat, i) and each
+            // mat is owned by one worker.
+            x[i] = unsafe { shared.read(vb.addr(mat, i)) };
+        }
+        solve_cholesky(n, &l, n, &mut x);
+        for i in 0..n {
+            // SAFETY: as above.
+            unsafe { shared.write(vb.addr(mat, i), x[i]) };
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host_batch::factorize_batch;
+    use crate::matrix::ColMatrix;
+    use crate::reference::potrf;
+    use crate::spd::{fill_batch_spd, random_spd, SpdKind};
+    use ibcf_layout::{Chunked, Interleaved};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for n in [1usize, 3, 8, 20] {
+            let a = random_spd::<f64>(n, SpdKind::Wishart, &mut rng);
+            let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 1.5).collect();
+            // b = A x.
+            let mut b = vec![0.0f64; n];
+            for j in 0..n {
+                for i in 0..n {
+                    b[i] += a[(i, j)] * x_true[j];
+                }
+            }
+            let mut l = a.into_vec();
+            potrf(n, &mut l).unwrap();
+            solve_cholesky(n, &l, n, &mut b);
+            for i in 0..n {
+                assert!((b[i] - x_true[i]).abs() < 1e-9, "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_backward_are_inverses_of_l_and_lt() {
+        let n = 6;
+        let l = ColMatrix::<f64>::from_fn(n, n, |r, c| {
+            if r > c {
+                0.3 * (r + c) as f64
+            } else if r == c {
+                2.0 + r as f64
+            } else {
+                0.0
+            }
+        });
+        let y: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        // b = L y, then solve_lower must recover y.
+        let mut b = vec![0.0f64; n];
+        for j in 0..n {
+            for i in 0..n {
+                b[i] += l[(i, j)] * y[j];
+            }
+        }
+        solve_lower(n, l.as_slice(), n, &mut b);
+        for i in 0..n {
+            assert!((b[i] - y[i]).abs() < 1e-10);
+        }
+        // c = Lᵀ y, then solve_lower_transposed must recover y.
+        let mut c = vec![0.0f64; n];
+        for j in 0..n {
+            for i in 0..n {
+                c[i] += l[(j, i)] * y[j];
+            }
+        }
+        solve_lower_transposed(n, l.as_slice(), n, &mut c);
+        for i in 0..n {
+            assert!((c[i] - y[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn vector_batch_addressing() {
+        let c = VectorBatch::canonical(4, 3);
+        assert_eq!(c.addr(2, 1), 9);
+        assert_eq!(c.len(), 12);
+        let i = VectorBatch::interleaved(4, 33);
+        assert_eq!(i.addr(0, 0), 0);
+        assert_eq!(i.addr(32, 0), 32);
+        assert_eq!(i.addr(0, 1), 64); // padded to 64
+        assert_eq!(i.len(), 256);
+    }
+
+    #[test]
+    fn batch_solve_both_vector_layouts() {
+        let n = 7;
+        let batch = 50;
+        let layout = Chunked::new(n, batch, 32);
+        let mut mats = vec![0.0f64; layout.len()];
+        fill_batch_spd(&layout, &mut mats, SpdKind::Wishart, 77);
+        let orig = mats.clone();
+        assert!(factorize_batch(&layout, &mut mats).all_ok());
+
+        let mut rng = StdRng::seed_from_u64(4);
+        for vb in [VectorBatch::canonical(n, batch), VectorBatch::interleaved(n, batch)] {
+            // Random true solutions; construct b = A x per matrix.
+            let mut rhs = vec![0.0f64; vb.len()];
+            let mut truth = vec![vec![0.0f64; n]; batch];
+            for (mat, t) in truth.iter_mut().enumerate() {
+                for v in t.iter_mut() {
+                    *v = rng.random::<f64>() * 2.0 - 1.0;
+                }
+                let mut a = vec![0.0f64; n * n];
+                ibcf_layout::gather_matrix(&layout, &orig, mat, &mut a, n);
+                for i in 0..n {
+                    let mut acc = 0.0;
+                    for (j, tj) in t.iter().enumerate() {
+                        let (r, c) = if i >= j { (i, j) } else { (j, i) };
+                        acc += a[r + c * n] * tj;
+                    }
+                    rhs[vb.addr(mat, i)] = acc;
+                }
+            }
+            solve_batch(&layout, &mats, &vb, &mut rhs);
+            for (mat, t) in truth.iter().enumerate() {
+                for i in 0..n {
+                    let got = rhs[vb.addr(mat, i)];
+                    assert!((got - t[i]).abs() < 1e-8, "mat={mat} i={i}: {got} vs {}", t[i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_vectors_match_canonical_results() {
+        let n = 5;
+        let batch = 20;
+        let layout = Interleaved::new(n, batch);
+        let mut mats = vec![0.0f32; layout.len()];
+        fill_batch_spd(&layout, &mut mats, SpdKind::DiagDominant, 31);
+        assert!(factorize_batch(&layout, &mut mats).all_ok());
+
+        let vb_c = VectorBatch::canonical(n, batch);
+        let vb_i = VectorBatch::interleaved(n, batch);
+        let mut rhs_c = vec![0.0f32; vb_c.len()];
+        let mut rhs_i = vec![0.0f32; vb_i.len()];
+        for mat in 0..batch {
+            for i in 0..n {
+                let v = ((mat * n + i) as f32).sin();
+                rhs_c[vb_c.addr(mat, i)] = v;
+                rhs_i[vb_i.addr(mat, i)] = v;
+            }
+        }
+        solve_batch(&layout, &mats, &vb_c, &mut rhs_c);
+        solve_batch(&layout, &mats, &vb_i, &mut rhs_i);
+        for mat in 0..batch {
+            for i in 0..n {
+                assert_eq!(rhs_c[vb_c.addr(mat, i)], rhs_i[vb_i.addr(mat, i)]);
+            }
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Symmetric positive definite test-matrix generators.
+
+use crate::matrix::ColMatrix;
+use crate::scalar::Real;
+use ibcf_layout::BatchLayout;
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Families of SPD matrices with different spectra, used to exercise the
+/// factorizations across conditioning regimes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpdKind {
+    /// `G·Gᵀ + n·I` for Gaussian `G` — well conditioned, the workhorse.
+    Wishart,
+    /// Random symmetric matrix made strictly diagonally dominant.
+    DiagDominant,
+    /// `Q·diag(λ)·Qᵀ` with a geometric spectrum spanning the requested
+    /// condition number, `Q` built from random Givens rotations.
+    Conditioned(
+        /// Target 2-norm condition number (>= 1).
+        f64,
+    ),
+    /// The Hilbert matrix `H[i][j] = 1 / (i + j + 1)` — notoriously
+    /// ill-conditioned, SPD in exact arithmetic.
+    Hilbert,
+}
+
+/// Generates one `n × n` SPD matrix of the given kind.
+pub fn random_spd<T: Real>(n: usize, kind: SpdKind, rng: &mut impl Rng) -> ColMatrix<T> {
+    assert!(n > 0, "matrix dimension must be positive");
+    match kind {
+        SpdKind::Wishart => wishart(n, rng),
+        SpdKind::DiagDominant => diag_dominant(n, rng),
+        SpdKind::Conditioned(cond) => conditioned(n, cond, rng),
+        SpdKind::Hilbert => hilbert(n),
+    }
+}
+
+fn unit_uniform<T: Real>(rng: &mut impl Rng) -> T {
+    T::from_f64(rng.random::<f64>() * 2.0 - 1.0)
+}
+
+fn wishart<T: Real>(n: usize, rng: &mut impl Rng) -> ColMatrix<T> {
+    let g = ColMatrix::<T>::from_fn(n, n, |_, _| unit_uniform(rng));
+    let mut a = g.matmul(&g.transpose());
+    for i in 0..n {
+        a[(i, i)] += T::from_f64(n as f64);
+    }
+    a
+}
+
+fn diag_dominant<T: Real>(n: usize, rng: &mut impl Rng) -> ColMatrix<T> {
+    let mut a = ColMatrix::<T>::zeros(n, n);
+    for c in 0..n {
+        for r in 0..c {
+            let v: T = unit_uniform(rng);
+            a[(r, c)] = v;
+            a[(c, r)] = v;
+        }
+    }
+    for i in 0..n {
+        let row_sum: f64 = (0..n).filter(|&j| j != i).map(|j| a[(i, j)].to_f64().abs()).sum();
+        a[(i, i)] = T::from_f64(row_sum + 1.0);
+    }
+    a
+}
+
+fn conditioned<T: Real>(n: usize, cond: f64, rng: &mut impl Rng) -> ColMatrix<T> {
+    assert!(cond >= 1.0, "condition number must be >= 1");
+    // Geometric eigenvalue spectrum from 1 down to 1/cond.
+    let mut a = ColMatrix::<T>::zeros(n, n);
+    for i in 0..n {
+        let t = if n == 1 { 0.0 } else { i as f64 / (n - 1) as f64 };
+        a[(i, i)] = T::from_f64(cond.powf(-t));
+    }
+    // Conjugate by random Givens rotations: Q·Λ·Qᵀ applied as a sequence of
+    // two-sided rotations, preserving symmetry and the spectrum.
+    let sweeps = 3 * n;
+    for _ in 0..sweeps {
+        let i = rng.random_range(0..n);
+        let mut j = rng.random_range(0..n);
+        if i == j {
+            j = (j + 1) % n;
+            if i == j {
+                continue;
+            }
+        }
+        let theta = rng.random::<f64>() * std::f64::consts::TAU;
+        let (s, c) = theta.sin_cos();
+        let (c, s) = (T::from_f64(c), T::from_f64(s));
+        // A := G A Gᵀ with G a rotation in the (i, j) plane.
+        for k in 0..n {
+            let aik = a[(i, k)];
+            let ajk = a[(j, k)];
+            a[(i, k)] = c * aik + s * ajk;
+            a[(j, k)] = -s * aik + c * ajk;
+        }
+        for k in 0..n {
+            let aki = a[(k, i)];
+            let akj = a[(k, j)];
+            a[(k, i)] = c * aki + s * akj;
+            a[(k, j)] = -s * aki + c * akj;
+        }
+    }
+    // Clean up rounding asymmetry.
+    for cix in 0..n {
+        for r in cix + 1..n {
+            let m = T::from_f64((a[(r, cix)].to_f64() + a[(cix, r)].to_f64()) / 2.0);
+            a[(r, cix)] = m;
+            a[(cix, r)] = m;
+        }
+    }
+    a
+}
+
+/// The `n × n` Hilbert matrix.
+pub fn hilbert<T: Real>(n: usize) -> ColMatrix<T> {
+    ColMatrix::from_fn(n, n, |r, c| T::from_f64(1.0 / (r + c + 1) as f64))
+}
+
+/// Fills every matrix of a laid-out batch buffer with an independent SPD
+/// matrix. Matrix `m` is generated from a deterministic per-matrix RNG
+/// seeded with `(seed, m)`, so any slice of the batch can be regenerated
+/// independently (and padding slots get well-defined identity matrices so
+/// kernels can factor them harmlessly).
+pub fn fill_batch_spd<T: Real, L: BatchLayout>(
+    layout: &L,
+    data: &mut [T],
+    kind: SpdKind,
+    seed: u64,
+) {
+    assert!(data.len() >= layout.len(), "batch buffer too short");
+    let n = layout.n();
+    for mat in 0..layout.padded_batch() {
+        if mat < layout.batch() {
+            let mut rng = StdRng::seed_from_u64(seed ^ (mat as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            let a = random_spd::<T>(n, kind, &mut rng);
+            ibcf_layout::scatter_matrix(layout, data, mat, a.as_slice(), n);
+        } else {
+            let eye = ColMatrix::<T>::identity(n);
+            ibcf_layout::scatter_matrix(layout, data, mat, eye.as_slice(), n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::potrf;
+    use ibcf_layout::{gather_matrix, Interleaved};
+
+    fn is_symmetric<T: Real>(a: &ColMatrix<T>) -> bool {
+        let n = a.rows();
+        (0..n).all(|i| (0..n).all(|j| (a[(i, j)].to_f64() - a[(j, i)].to_f64()).abs() < 1e-9))
+    }
+
+    #[test]
+    fn all_kinds_are_spd() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for kind in [
+            SpdKind::Wishart,
+            SpdKind::DiagDominant,
+            SpdKind::Conditioned(100.0),
+            SpdKind::Hilbert,
+        ] {
+            // The Hilbert matrix's condition number grows like (1+√2)^(4n):
+            // beyond n ≈ 12 it is numerically indefinite even in f64.
+            let sizes: &[usize] =
+                if kind == SpdKind::Hilbert { &[1, 2, 7, 10] } else { &[1, 2, 7, 16] };
+            for &n in sizes {
+                let a = random_spd::<f64>(n, kind, &mut rng);
+                assert!(is_symmetric(&a), "{kind:?} n={n} not symmetric");
+                let mut f = a.clone().into_vec();
+                potrf(n, &mut f).unwrap_or_else(|e| panic!("{kind:?} n={n}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn conditioned_spectrum_spans_condition_number() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 12;
+        let cond = 1e4;
+        let a = random_spd::<f64>(n, SpdKind::Conditioned(cond), &mut rng);
+        // Rotations preserve the trace: sum of the geometric spectrum.
+        let trace: f64 = (0..n).map(|i| a[(i, i)].to_f64()).sum();
+        let expect: f64 = (0..n)
+            .map(|i| cond.powf(-(i as f64) / (n - 1) as f64))
+            .sum();
+        assert!((trace - expect).abs() < 1e-8, "trace {trace} vs {expect}");
+    }
+
+    #[test]
+    fn batch_fill_is_deterministic_and_padded_with_identity() {
+        let n = 4;
+        let layout = Interleaved::new(n, 33); // pads to 64
+        let mut a = vec![0.0f32; layout.len()];
+        let mut b = vec![0.0f32; layout.len()];
+        fill_batch_spd(&layout, &mut a, SpdKind::Wishart, 9);
+        fill_batch_spd(&layout, &mut b, SpdKind::Wishart, 9);
+        assert_eq!(a, b);
+
+        let mut m = vec![0.0f32; n * n];
+        gather_matrix(&layout, &a, 40, &mut m, n); // padding slot
+        let eye = ColMatrix::<f32>::identity(n);
+        assert_eq!(&m, eye.as_slice());
+
+        // Different matrices differ.
+        let mut m0 = vec![0.0f32; n * n];
+        let mut m1 = vec![0.0f32; n * n];
+        gather_matrix(&layout, &a, 0, &mut m0, n);
+        gather_matrix(&layout, &a, 1, &mut m1, n);
+        assert_ne!(m0, m1);
+    }
+}

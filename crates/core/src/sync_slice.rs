@@ -1,0 +1,105 @@
+//! A shared-slice wrapper for provably disjoint parallel writes.
+//!
+//! Batch layouts interleave the elements of different matrices, so a batch
+//! buffer cannot be `split_at_mut` into per-matrix sub-slices. Every layout
+//! address map is injective (property-tested in `ibcf-layout`), so writes
+//! for different matrix indices never alias — which is exactly the
+//! disjointness contract [`SyncSlice`] encodes.
+
+use std::cell::UnsafeCell;
+
+/// A `&mut [T]` that can be written from multiple rayon workers, provided
+/// the callers guarantee that no element is accessed concurrently by more
+/// than one worker.
+///
+/// This is the standard `UnsafeCell`-slice idiom: the wrapper is `Sync`
+/// because disjointness is promised by the caller of the `unsafe` methods.
+pub struct SyncSlice<'a, T> {
+    data: &'a [UnsafeCell<T>],
+}
+
+// SAFETY: all access goes through `unsafe` methods whose contract forbids
+// concurrent access to the same element.
+unsafe impl<T: Send + Sync> Sync for SyncSlice<'_, T> {}
+unsafe impl<T: Send + Sync> Send for SyncSlice<'_, T> {}
+
+impl<'a, T> SyncSlice<'a, T> {
+    /// Wraps a mutable slice.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        // SAFETY: `UnsafeCell<T>` has the same layout as `T`, and we hold
+        // the unique borrow of the slice for 'a.
+        let data = unsafe { &*(slice as *mut [T] as *const [UnsafeCell<T>]) };
+        Self { data }
+    }
+
+    /// Length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reads element `idx`.
+    ///
+    /// # Safety
+    /// No other thread may be concurrently writing element `idx`.
+    #[inline]
+    pub unsafe fn read(&self, idx: usize) -> T
+    where
+        T: Copy,
+    {
+        unsafe { *self.data[idx].get() }
+    }
+
+    /// Writes element `idx`.
+    ///
+    /// # Safety
+    /// No other thread may be concurrently reading or writing element
+    /// `idx`.
+    #[inline]
+    pub unsafe fn write(&self, idx: usize, value: T) {
+        unsafe { *self.data[idx].get() = value };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn disjoint_parallel_writes() {
+        let mut buf = vec![0u64; 4096];
+        {
+            let s = SyncSlice::new(&mut buf);
+            // Each worker writes a disjoint stripe (stride partition).
+            (0..8u64).into_par_iter().for_each(|w| {
+                let mut i = w as usize;
+                while i < s.len() {
+                    // SAFETY: index stripes are disjoint by construction.
+                    unsafe { s.write(i, w + 1) };
+                    i += 8;
+                }
+            });
+        }
+        for (i, &v) in buf.iter().enumerate() {
+            assert_eq!(v, (i % 8) as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn read_back() {
+        let mut buf = vec![1.5f32, 2.5];
+        let s = SyncSlice::new(&mut buf);
+        unsafe {
+            assert_eq!(s.read(0), 1.5);
+            s.write(1, 9.0);
+            assert_eq!(s.read(1), 9.0);
+        }
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,167 @@
+//! Tile load/store through a batch layout — the host analogue of the
+//! paper's Figure 10 (`load_full`, `store_full`, `load_lower`,
+//! `store_lower`).
+//!
+//! A tile at block coordinates `(bi, bj)` of matrix `mat` covers global
+//! elements `(bi*nb + r, bj*nb + c)`. Ragged tiles (at the bottom/right
+//! edge when `n % nb != 0`) pass `rows`/`cols` smaller than `nb`; the
+//! untouched part of the tile buffer is left as-is, and the microkernels
+//! are called with the reduced dimensions.
+
+// Tile load/store signatures mirror BLAS conventions (layout, indices,
+// dims, strides) — argument count is intrinsic to the interface.
+#![allow(clippy::too_many_arguments)]
+
+use crate::scalar::Real;
+use ibcf_layout::BatchLayout;
+
+/// Loads a full (rectangular) `rows × cols` tile at block `(bi, bj)` of
+/// matrix `mat` into a column-major tile buffer with stride `ts`.
+pub fn load_full<T: Real, L: BatchLayout>(
+    layout: &L,
+    data: &[T],
+    mat: usize,
+    nb: usize,
+    bi: usize,
+    bj: usize,
+    rows: usize,
+    cols: usize,
+    tile: &mut [T],
+    ts: usize,
+) {
+    debug_assert!(ts >= rows);
+    for c in 0..cols {
+        for r in 0..rows {
+            tile[r + c * ts] = data[layout.addr(mat, bi * nb + r, bj * nb + c)];
+        }
+    }
+}
+
+/// Stores a full `rows × cols` tile back to block `(bi, bj)` of matrix `mat`.
+pub fn store_full<T: Real, L: BatchLayout>(
+    layout: &L,
+    data: &mut [T],
+    mat: usize,
+    nb: usize,
+    bi: usize,
+    bj: usize,
+    rows: usize,
+    cols: usize,
+    tile: &[T],
+    ts: usize,
+) {
+    debug_assert!(ts >= rows);
+    for c in 0..cols {
+        for r in 0..rows {
+            data[layout.addr(mat, bi * nb + r, bj * nb + c)] = tile[r + c * ts];
+        }
+    }
+}
+
+/// Loads only the lower triangle (diagonal included) of a `d × d` diagonal
+/// tile at block `(bk, bk)`.
+pub fn load_lower<T: Real, L: BatchLayout>(
+    layout: &L,
+    data: &[T],
+    mat: usize,
+    nb: usize,
+    bk: usize,
+    d: usize,
+    tile: &mut [T],
+    ts: usize,
+) {
+    debug_assert!(ts >= d);
+    for c in 0..d {
+        for r in c..d {
+            tile[r + c * ts] = data[layout.addr(mat, bk * nb + r, bk * nb + c)];
+        }
+    }
+}
+
+/// Stores only the lower triangle of a `d × d` diagonal tile back to block
+/// `(bk, bk)`.
+pub fn store_lower<T: Real, L: BatchLayout>(
+    layout: &L,
+    data: &mut [T],
+    mat: usize,
+    nb: usize,
+    bk: usize,
+    d: usize,
+    tile: &[T],
+    ts: usize,
+) {
+    debug_assert!(ts >= d);
+    for c in 0..d {
+        for r in c..d {
+            data[layout.addr(mat, bk * nb + r, bk * nb + c)] = tile[r + c * ts];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibcf_layout::{Canonical, Chunked};
+
+    #[test]
+    fn full_round_trip_through_chunked_layout() {
+        let n = 6;
+        let nb = 2;
+        let layout = Chunked::new(n, 64, 32);
+        let mut data: Vec<f32> = (0..layout.len()).map(|x| x as f32).collect();
+        let original = data.clone();
+        let mut tile = vec![0.0f32; nb * nb];
+        for bi in 0..n / nb {
+            for bj in 0..n / nb {
+                load_full(&layout, &data, 40, nb, bi, bj, nb, nb, &mut tile, nb);
+                store_full(&layout, &mut data, 40, nb, bi, bj, nb, nb, &tile, nb);
+            }
+        }
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn lower_leaves_upper_part_of_tile_buffer() {
+        let n = 4;
+        let layout = Canonical::new(n, 2);
+        let data: Vec<f64> = (0..layout.len()).map(|x| x as f64).collect();
+        let mut tile = vec![-1.0f64; 16];
+        load_lower(&layout, &data, 1, 4, 0, 4, &mut tile, 4);
+        // Strictly-upper entries of the tile are untouched sentinels.
+        assert_eq!(tile[4], -1.0);
+        assert_eq!(tile[2 + 3 * 4], -1.0);
+        // Lower entries match the source.
+        assert_eq!(tile[3], data[layout.addr(1, 3, 0)]);
+        assert_eq!(tile[3 + 3 * 4], data[layout.addr(1, 3, 3)]);
+    }
+
+    #[test]
+    fn ragged_tile_load() {
+        // n = 5, nb = 2: the last block row/col is 1 wide.
+        let n = 5;
+        let nb = 2;
+        let layout = Canonical::new(n, 1);
+        let data: Vec<f64> = (0..layout.len()).map(|x| x as f64).collect();
+        let mut tile = vec![-9.0f64; nb * nb];
+        load_full(&layout, &data, 0, nb, 2, 0, 1, 2, &mut tile, nb);
+        assert_eq!(tile[0], data[layout.addr(0, 4, 0)]);
+        assert_eq!(tile[nb], data[layout.addr(0, 4, 1)]);
+        // Rows beyond the ragged edge untouched.
+        assert_eq!(tile[1], -9.0);
+        assert_eq!(tile[1 + nb], -9.0);
+    }
+
+    #[test]
+    fn store_lower_does_not_touch_upper_elements() {
+        let n = 3;
+        let layout = Canonical::new(n, 1);
+        let mut data = vec![0.0f64; layout.len()];
+        let tile = vec![5.0f64; 9];
+        store_lower(&layout, &mut data, 0, 3, 0, 3, &tile, 3);
+        assert_eq!(data[layout.addr(0, 0, 1)], 0.0);
+        assert_eq!(data[layout.addr(0, 0, 2)], 0.0);
+        assert_eq!(data[layout.addr(0, 1, 2)], 0.0);
+        assert_eq!(data[layout.addr(0, 1, 0)], 5.0);
+        assert_eq!(data[layout.addr(0, 2, 2)], 5.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Tile microkernels — the building blocks of Figure 9 in the paper.
+//!
+//! The factorizations operate on `nb × nb` tiles held in small contiguous
+//! buffers ("register tiles"). Four operations suffice:
+//!
+//! * [`potrf_tile`] — Cholesky factorization of a diagonal tile,
+//! * [`trsm_tile`] — triangular solve `B := B · L⁻ᵀ` against a factored
+//!   diagonal tile,
+//! * [`syrk_tile`] — symmetric rank-k update `C := C − A·Aᵀ` (lower part),
+//! * [`gemm_tile`] — general update `C := C − A·Bᵀ`.
+//!
+//! All are provided in two forms: runtime-size (`ops`), taking explicit
+//! dimensions so ragged last tiles (`n % nb != 0`) use the same code, and
+//! const-generic (`unrolled`), where the loop bounds are compile-time
+//! constants so the compiler fully unrolls them — the Rust analogue of the
+//! paper's pyexpander-generated straight-line code.
+//!
+//! Tiles are column-major with an explicit tile stride (`ts`), normally the
+//! tile's allocated edge `nb`.
+
+mod loadstore;
+mod ops;
+mod unrolled;
+
+pub use loadstore::{load_full, load_lower, store_full, store_lower};
+pub use ops::{gemm_tile, potrf_tile, syrk_tile, trsm_tile};
+pub use unrolled::{
+    gemm_tile_unrolled, potrf_tile_unrolled, syrk_tile_unrolled, trsm_tile_unrolled, MAX_NB,
+};

@@ -1,0 +1,250 @@
+//! Runtime-size tile microkernels.
+//!
+//! Dimensions are explicit so the ragged last tile of a factorization with
+//! `n % nb != 0` reuses the same code with smaller bounds — the "corner
+//! case kernels" the paper mentions but does not list.
+
+// BLAS-shaped signatures: explicit dims and strides per operand.
+#![allow(clippy::too_many_arguments)]
+
+use crate::scalar::Real;
+
+/// Cholesky-factorizes the `d × d` lower triangle of a column-major tile
+/// with tile stride `ts` (the paper's `spotrf_tile`). Returns the failing
+/// column on a non-positive or non-finite pivot.
+pub fn potrf_tile<T: Real>(d: usize, a: &mut [T], ts: usize) -> Result<(), usize> {
+    debug_assert!(ts >= d);
+    for k in 0..d {
+        let akk = a[k + k * ts];
+        // `!(akk > 0)` is deliberate: it also catches NaN pivots.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(akk > T::ZERO) || !akk.is_finite() {
+            return Err(k);
+        }
+        let pivot = akk.sqrt();
+        a[k + k * ts] = pivot;
+        let inv = pivot.recip();
+        for m in k + 1..d {
+            a[m + k * ts] *= inv;
+        }
+        for j in k + 1..d {
+            let ajk = a[j + k * ts];
+            for m in j..d {
+                let amk = a[m + k * ts];
+                a[m + j * ts] -= amk * ajk;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Triangular solve of an `m × d` panel tile against a factored `d × d`
+/// diagonal tile: `B := B · L⁻ᵀ` (the paper's `strsm_tile`).
+///
+/// `l` is the lower-triangular factor (tile stride `ts_l`), `b` the panel
+/// being solved in place (tile stride `ts_b`).
+pub fn trsm_tile<T: Real>(m: usize, d: usize, l: &[T], ts_l: usize, b: &mut [T], ts_b: usize) {
+    debug_assert!(ts_l >= d && ts_b >= m);
+    for row in 0..m {
+        for k in 0..d {
+            let x = b[row + k * ts_b] / l[k + k * ts_l];
+            b[row + k * ts_b] = x;
+            for j in k + 1..d {
+                let ljk = l[j + k * ts_l];
+                b[row + j * ts_b] -= x * ljk;
+            }
+        }
+    }
+}
+
+/// Symmetric rank-k update of a `d × d` diagonal tile's lower triangle:
+/// `C := C − A·Aᵀ` where `A` is `d × k` (the paper's `ssyrk_tile`).
+pub fn syrk_tile<T: Real>(d: usize, k: usize, a: &[T], ts_a: usize, c: &mut [T], ts_c: usize) {
+    debug_assert!(ts_a >= d && ts_c >= d);
+    for col in 0..d {
+        for row in col..d {
+            let mut acc = c[row + col * ts_c];
+            for p in 0..k {
+                acc -= a[row + p * ts_a] * a[col + p * ts_a];
+            }
+            c[row + col * ts_c] = acc;
+        }
+    }
+}
+
+/// General update `C := C − A·Bᵀ` where `A` is `m × k`, `B` is `n × k`, and
+/// `C` is `m × n` (the paper's `sgemm_tile`).
+pub fn gemm_tile<T: Real>(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[T],
+    ts_a: usize,
+    b: &[T],
+    ts_b: usize,
+    c: &mut [T],
+    ts_c: usize,
+) {
+    debug_assert!(ts_a >= m && ts_b >= n && ts_c >= m);
+    for col in 0..n {
+        for row in 0..m {
+            let mut acc = c[row + col * ts_c];
+            for p in 0..k {
+                acc -= a[row + p * ts_a] * b[col + p * ts_b];
+            }
+            c[row + col * ts_c] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::ColMatrix;
+    use crate::reference::potrf;
+    use crate::spd::{random_spd, SpdKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn potrf_tile_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for d in 1..=8usize {
+            let a = random_spd::<f64>(d, SpdKind::Wishart, &mut rng);
+            let mut tile = a.clone().into_vec();
+            let mut reference = a.into_vec();
+            potrf_tile(d, &mut tile, d).unwrap();
+            potrf(d, &mut reference).unwrap();
+            for c in 0..d {
+                for r in c..d {
+                    assert!((tile[r + c * d] - reference[r + c * d]).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn potrf_tile_reports_failing_column() {
+        let mut tile = vec![1.0f64, 2.0, 2.0, 1.0];
+        assert_eq!(potrf_tile(2, &mut tile, 2), Err(1));
+    }
+
+    #[test]
+    fn trsm_solves_xlt_eq_b() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let d = 5;
+        let m = 3;
+        let spd = random_spd::<f64>(d, SpdKind::Wishart, &mut rng);
+        let mut l = spd.into_vec();
+        potrf(d, &mut l).unwrap();
+        let b0 = ColMatrix::<f64>::from_fn(m, d, |r, c| (r + 2 * c) as f64 + 0.5);
+        let mut b = b0.clone().into_vec();
+        trsm_tile(m, d, &l, d, &mut b, m);
+        // Check X · Lᵀ == B: B0[row][col] = Σ_k X[row][k] · L[col][k].
+        for col in 0..d {
+            for row in 0..m {
+                let mut s = 0.0;
+                for k in 0..=col {
+                    s += b[row + k * m] * l[col + k * d];
+                }
+                assert!((s - b0[(row, col)]).abs() < 1e-10, "({row},{col})");
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_matches_explicit_product() {
+        let d = 4;
+        let k = 3;
+        let a = ColMatrix::<f64>::from_fn(d, k, |r, c| (r as f64) - (c as f64) * 0.5);
+        let c0 = ColMatrix::<f64>::from_fn(d, d, |r, c| (r * d + c) as f64);
+        let mut c = c0.clone().into_vec();
+        syrk_tile(d, k, a.as_slice(), d, &mut c, d);
+        let aat = a.matmul(&a.transpose());
+        for col in 0..d {
+            for row in col..d {
+                let want = c0[(row, col)] - aat[(row, col)];
+                assert!((c[row + col * d] - want).abs() < 1e-12);
+            }
+        }
+        // Upper triangle untouched.
+        for col in 1..d {
+            for row in 0..col {
+                assert_eq!(c[row + col * d], c0[(row, col)]);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_matches_explicit_product() {
+        let (m, n, k) = (3usize, 4usize, 2usize);
+        let a = ColMatrix::<f64>::from_fn(m, k, |r, c| (r + c) as f64 + 1.0);
+        let b = ColMatrix::<f64>::from_fn(n, k, |r, c| (r as f64) * 2.0 - c as f64);
+        let c0 = ColMatrix::<f64>::from_fn(m, n, |r, c| (r * 7 + c) as f64);
+        let mut c = c0.clone().into_vec();
+        gemm_tile(m, n, k, a.as_slice(), m, b.as_slice(), n, &mut c, m);
+        let abt = a.matmul(&b.transpose());
+        for col in 0..n {
+            for row in 0..m {
+                let want = c0[(row, col)] - abt[(row, col)];
+                assert!((c[row + col * m] - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_k_updates_are_noops() {
+        let d = 3;
+        let c0: Vec<f64> = (0..9).map(|x| x as f64).collect();
+        let mut c = c0.clone();
+        syrk_tile(d, 0, &[], d, &mut c, d);
+        assert_eq!(c, c0);
+        gemm_tile(d, d, 0, &[], d, &[], d, &mut c, d);
+        assert_eq!(c, c0);
+    }
+
+    #[test]
+    fn composed_tiles_factor_a_two_tile_matrix() {
+        // Factor a 2nb × 2nb SPD matrix manually with the four microkernels
+        // (right-looking) and compare with the reference.
+        let nb = 3;
+        let n = 2 * nb;
+        let mut rng = StdRng::seed_from_u64(17);
+        let a0 = random_spd::<f64>(n, SpdKind::Wishart, &mut rng);
+        let mut reference = a0.clone().into_vec();
+        potrf(n, &mut reference).unwrap();
+
+        // Extract tiles (column-major n, tiles at (bi, bj)).
+        let get = |src: &[f64], bi: usize, bj: usize| {
+            let mut t = vec![0.0f64; nb * nb];
+            for c in 0..nb {
+                for r in 0..nb {
+                    t[r + c * nb] = src[(bi * nb + r) + (bj * nb + c) * n];
+                }
+            }
+            t
+        };
+        let a = a0.into_vec();
+        let mut t00 = get(&a, 0, 0);
+        let mut t10 = get(&a, 1, 0);
+        let mut t11 = get(&a, 1, 1);
+
+        potrf_tile(nb, &mut t00, nb).unwrap();
+        trsm_tile(nb, nb, &t00, nb, &mut t10, nb);
+        syrk_tile(nb, nb, &t10, nb, &mut t11, nb);
+        potrf_tile(nb, &mut t11, nb).unwrap();
+
+        let ref00 = get(&reference, 0, 0);
+        let ref10 = get(&reference, 1, 0);
+        let ref11 = get(&reference, 1, 1);
+        for i in 0..nb * nb {
+            assert!((t10[i] - ref10[i]).abs() < 1e-10);
+        }
+        for c in 0..nb {
+            for r in c..nb {
+                assert!((t00[r + c * nb] - ref00[r + c * nb]).abs() < 1e-10);
+                assert!((t11[r + c * nb] - ref11[r + c * nb]).abs() < 1e-10);
+            }
+        }
+    }
+}

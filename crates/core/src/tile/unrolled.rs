@@ -1,0 +1,170 @@
+//! Const-generic tile microkernels — the compile-time-unrolled analogue of
+//! the paper's pyexpander-generated straight-line code.
+//!
+//! With `NB` a compile-time constant the optimizer fully unrolls every loop
+//! and keeps the whole tile in registers, exactly the effect the paper gets
+//! from textual macro expansion. A dispatch macro covers `NB` in
+//! `1..=MAX_NB`.
+
+use crate::scalar::Real;
+
+/// Largest tile edge with a const-generic specialization. The paper sweeps
+/// `nb` through 1..=8 (Figure 15 levels off around 8; Figure 20 bins go to
+/// 9 including the full-register path).
+pub const MAX_NB: usize = 8;
+
+/// Const-generic `spotrf_tile`: factorizes the `NB × NB` lower triangle of
+/// a tile stored in a flat column-major buffer of length `>= NB * NB`.
+#[inline(always)]
+pub fn potrf_tile_unrolled<T: Real, const NB: usize>(a: &mut [T]) -> Result<(), usize> {
+    debug_assert!(a.len() >= NB * NB);
+    for k in 0..NB {
+        let akk = a[k + k * NB];
+        // `!(akk > 0)` is deliberate: it also catches NaN pivots.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(akk > T::ZERO) || !akk.is_finite() {
+            return Err(k);
+        }
+        let pivot = akk.sqrt();
+        a[k + k * NB] = pivot;
+        let inv = pivot.recip();
+        for m in k + 1..NB {
+            a[m + k * NB] *= inv;
+        }
+        for j in k + 1..NB {
+            let ajk = a[j + k * NB];
+            for m in j..NB {
+                let amk = a[m + k * NB];
+                a[m + j * NB] -= amk * ajk;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Const-generic `strsm_tile`: `B := B · L⁻ᵀ` for an `NB × NB` panel tile
+/// against a factored diagonal tile.
+#[inline(always)]
+pub fn trsm_tile_unrolled<T: Real, const NB: usize>(l: &[T], b: &mut [T]) {
+    debug_assert!(l.len() >= NB * NB && b.len() >= NB * NB);
+    for row in 0..NB {
+        for k in 0..NB {
+            let x = b[row + k * NB] / l[k + k * NB];
+            b[row + k * NB] = x;
+            for j in k + 1..NB {
+                let ljk = l[j + k * NB];
+                b[row + j * NB] -= x * ljk;
+            }
+        }
+    }
+}
+
+/// Const-generic `ssyrk_tile`: `C := C − A·Aᵀ` (lower part), all tiles
+/// `NB × NB`.
+#[inline(always)]
+pub fn syrk_tile_unrolled<T: Real, const NB: usize>(a: &[T], c: &mut [T]) {
+    debug_assert!(a.len() >= NB * NB && c.len() >= NB * NB);
+    for col in 0..NB {
+        for row in col..NB {
+            let mut acc = c[row + col * NB];
+            for p in 0..NB {
+                acc -= a[row + p * NB] * a[col + p * NB];
+            }
+            c[row + col * NB] = acc;
+        }
+    }
+}
+
+/// Const-generic `sgemm_tile`: `C := C − A·Bᵀ`, all tiles `NB × NB`.
+#[inline(always)]
+pub fn gemm_tile_unrolled<T: Real, const NB: usize>(a: &[T], b: &[T], c: &mut [T]) {
+    debug_assert!(a.len() >= NB * NB && b.len() >= NB * NB && c.len() >= NB * NB);
+    for col in 0..NB {
+        for row in 0..NB {
+            let mut acc = c[row + col * NB];
+            for p in 0..NB {
+                acc -= a[row + p * NB] * b[col + p * NB];
+            }
+            c[row + col * NB] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tile::ops;
+
+    fn seq(len: usize, scale: f64, off: f64) -> Vec<f64> {
+        (0..len).map(|i| (i as f64) * scale + off).collect()
+    }
+
+    fn spd_tile<const NB: usize>() -> Vec<f64> {
+        // Diagonally dominant symmetric tile: guaranteed SPD.
+        let mut a = vec![0.0f64; NB * NB];
+        for c in 0..NB {
+            for r in 0..NB {
+                a[r + c * NB] = 1.0 / (1.0 + (r as f64 - c as f64).abs());
+            }
+        }
+        for i in 0..NB {
+            a[i + i * NB] += NB as f64;
+        }
+        a
+    }
+
+    macro_rules! check_all_ops {
+        ($nb:literal) => {{
+            const NB: usize = $nb;
+            // potrf
+            let mut u = spd_tile::<NB>();
+            let mut r = u.clone();
+            potrf_tile_unrolled::<f64, NB>(&mut u).unwrap();
+            ops::potrf_tile(NB, &mut r, NB).unwrap();
+            for c in 0..NB {
+                for row in c..NB {
+                    assert!((u[row + c * NB] - r[row + c * NB]).abs() < 1e-13, "potrf nb={}", NB);
+                }
+            }
+            // trsm (l = factored diag tile from above)
+            let l = u.clone();
+            let mut bu = seq(NB * NB, 0.25, 1.0);
+            let mut br = bu.clone();
+            trsm_tile_unrolled::<f64, NB>(&l, &mut bu);
+            ops::trsm_tile(NB, NB, &l, NB, &mut br, NB);
+            assert_eq!(bu, br, "trsm nb={}", NB);
+            // syrk
+            let a = seq(NB * NB, 0.5, -1.0);
+            let mut cu = seq(NB * NB, 1.0, 3.0);
+            let mut cr = cu.clone();
+            syrk_tile_unrolled::<f64, NB>(&a, &mut cu);
+            ops::syrk_tile(NB, NB, &a, NB, &mut cr, NB);
+            assert_eq!(cu, cr, "syrk nb={}", NB);
+            // gemm
+            let b = seq(NB * NB, -0.75, 2.0);
+            let mut gu = seq(NB * NB, 2.0, 0.0);
+            let mut gr = gu.clone();
+            gemm_tile_unrolled::<f64, NB>(&a, &b, &mut gu);
+            ops::gemm_tile(NB, NB, NB, &a, NB, &b, NB, &mut gr, NB);
+            assert_eq!(gu, gr, "gemm nb={}", NB);
+        }};
+    }
+
+    #[test]
+    fn unrolled_matches_runtime_for_every_nb() {
+        check_all_ops!(1);
+        check_all_ops!(2);
+        check_all_ops!(3);
+        check_all_ops!(4);
+        check_all_ops!(5);
+        check_all_ops!(6);
+        check_all_ops!(7);
+        check_all_ops!(8);
+    }
+
+    #[test]
+    fn potrf_unrolled_error_reporting() {
+        let mut bad = vec![0.0f64; 4]; // zero pivot
+        assert_eq!(potrf_tile_unrolled::<f64, 2>(&mut bad), Err(0));
+    }
+}

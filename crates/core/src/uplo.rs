@@ -1,0 +1,216 @@
+//! Upper-triangular factorization support.
+//!
+//! The paper's kernels handle lower-triangular matrices and note that
+//! "upper triangular matrices can be supported in the same manner". This
+//! module supplies the upper-triangular host routines: `A = Uᵀ·U` with
+//! `U` upper triangular, plus the matching solves — so a caller whose
+//! data convention is upper (e.g. ported LAPACK `'U'` code) can use the
+//! library directly.
+
+use crate::error::CholeskyError;
+use crate::scalar::Real;
+use serde::{Deserialize, Serialize};
+
+/// Which triangle a routine reads/writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Uplo {
+    /// Lower triangle: `A = L·Lᵀ`.
+    Lower,
+    /// Upper triangle: `A = Uᵀ·U`.
+    Upper,
+}
+
+impl Uplo {
+    /// Both triangles.
+    pub const ALL: [Uplo; 2] = [Uplo::Lower, Uplo::Upper];
+
+    /// LAPACK-style character code.
+    pub fn lapack_char(self) -> char {
+        match self {
+            Uplo::Lower => 'L',
+            Uplo::Upper => 'U',
+        }
+    }
+}
+
+/// Unblocked upper Cholesky: factorizes the upper triangle of a
+/// column-major `n × n` matrix in place into `U` with `A = Uᵀ·U`,
+/// leaving the strictly-lower triangle untouched (LAPACK `potf2('U')`).
+pub fn potrf_unblocked_upper<T: Real>(
+    n: usize,
+    a: &mut [T],
+    lda: usize,
+) -> Result<(), CholeskyError> {
+    assert!(lda >= n, "leading dimension must be >= n");
+    for k in 0..n {
+        let akk = a[k + k * lda];
+        if !akk.is_finite() {
+            return Err(CholeskyError::NonFinite { column: k });
+        }
+        if akk <= T::ZERO {
+            return Err(CholeskyError::NotPositiveDefinite { column: k });
+        }
+        let pivot = akk.sqrt();
+        a[k + k * lda] = pivot;
+        let inv = pivot.recip();
+        for j in k + 1..n {
+            a[k + j * lda] *= inv;
+        }
+        for j in k + 1..n {
+            let akj = a[k + j * lda];
+            for i in k + 1..=j {
+                let aki = a[k + i * lda];
+                a[i + j * lda] -= aki * akj;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Factorizes the selected triangle in place: `L·Lᵀ` for
+/// [`Uplo::Lower`], `Uᵀ·U` for [`Uplo::Upper`].
+pub fn potrf_uplo<T: Real>(
+    uplo: Uplo,
+    n: usize,
+    a: &mut [T],
+    lda: usize,
+) -> Result<(), CholeskyError> {
+    match uplo {
+        Uplo::Lower => crate::reference::potrf_unblocked(n, a, lda),
+        Uplo::Upper => potrf_unblocked_upper(n, a, lda),
+    }
+}
+
+/// Solves `A·x = b` in place given the factor of the selected triangle.
+pub fn solve_cholesky_uplo<T: Real>(uplo: Uplo, n: usize, f: &[T], lda: usize, b: &mut [T]) {
+    match uplo {
+        Uplo::Lower => crate::solve::solve_cholesky(n, f, lda, b),
+        Uplo::Upper => {
+            // Uᵀ·y = b (forward over columns of U read as rows of Uᵀ).
+            for i in 0..n {
+                let mut acc = b[i];
+                for k in 0..i {
+                    acc -= f[k + i * lda] * b[k];
+                }
+                b[i] = acc / f[i + i * lda];
+            }
+            // U·x = y (backward).
+            for i in (0..n).rev() {
+                let mut acc = b[i];
+                for k in i + 1..n {
+                    acc -= f[i + k * lda] * b[k];
+                }
+                b[i] = acc / f[i + i * lda];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::ColMatrix;
+    use crate::reference::potrf;
+    use crate::spd::{random_spd, SpdKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn upper_factor_is_transpose_of_lower_factor() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for n in [1usize, 2, 5, 11, 24] {
+            let a = random_spd::<f64>(n, SpdKind::Wishart, &mut rng);
+            let mut lower = a.clone().into_vec();
+            potrf(n, &mut lower).unwrap();
+            let mut upper = a.into_vec();
+            potrf_unblocked_upper(n, &mut upper, n).unwrap();
+            for c in 0..n {
+                for r in c..n {
+                    let l = lower[r + c * n];
+                    let u = upper[c + r * n]; // U[c][r] = L[r][c]
+                    assert!((l - u).abs() < 1e-10, "n={n} ({r},{c}): {l} vs {u}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn upper_leaves_lower_triangle_untouched() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 6;
+        let a = random_spd::<f64>(n, SpdKind::Wishart, &mut rng);
+        let mut buf = a.into_vec();
+        for c in 0..n {
+            for r in c + 1..n {
+                buf[r + c * n] = 333.25; // sentinel in the strict lower part
+            }
+        }
+        potrf_unblocked_upper(n, &mut buf, n).unwrap();
+        for c in 0..n {
+            for r in c + 1..n {
+                assert_eq!(buf[r + c * n], 333.25);
+            }
+        }
+    }
+
+    #[test]
+    fn uplo_dispatch_and_solve_agree() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 9;
+        let a = random_spd::<f64>(n, SpdKind::Wishart, &mut rng);
+        // b = A · (1..=n).
+        let x_true: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+        let mut b0 = vec![0.0f64; n];
+        for j in 0..n {
+            for i in 0..n {
+                b0[i] += a[(i, j)] * x_true[j];
+            }
+        }
+        for uplo in Uplo::ALL {
+            let mut f = a.clone().into_vec();
+            potrf_uplo(uplo, n, &mut f, n).unwrap();
+            let mut b = b0.clone();
+            solve_cholesky_uplo(uplo, n, &f, n, &mut b);
+            for i in 0..n {
+                assert!(
+                    (b[i] - x_true[i]).abs() < 1e-9,
+                    "{uplo:?} x[{i}] = {}, want {}",
+                    b[i],
+                    x_true[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn upper_reconstruction() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 7;
+        let a = random_spd::<f64>(n, SpdKind::DiagDominant, &mut rng);
+        let mut u = a.clone().into_vec();
+        potrf_unblocked_upper(n, &mut u, n).unwrap();
+        // Rebuild Uᵀ·U and compare the upper triangle of A.
+        let um = ColMatrix::from_fn(n, n, |r, c| if r <= c { u[r + c * n] } else { 0.0 });
+        let utu = um.transpose().matmul(&um);
+        for c in 0..n {
+            for r in 0..=c {
+                assert!((utu[(r, c)] - a[(r, c)]).abs() < 1e-10, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn upper_detects_indefinite() {
+        let mut a = vec![1.0f32, 2.0, 2.0, 1.0];
+        assert_eq!(
+            potrf_unblocked_upper(2, &mut a, 2),
+            Err(CholeskyError::NotPositiveDefinite { column: 1 })
+        );
+    }
+
+    #[test]
+    fn lapack_chars() {
+        assert_eq!(Uplo::Lower.lapack_char(), 'L');
+        assert_eq!(Uplo::Upper.lapack_char(), 'U');
+    }
+}

@@ -1,0 +1,137 @@
+//! Residual and reconstruction checks for factorization results.
+
+use crate::scalar::Real;
+use ibcf_layout::BatchLayout;
+
+/// Relative reconstruction error `‖A − L·Lᵀ‖_F / ‖A‖_F` where `a` is the
+/// original matrix and `l` the computed factor, both column-major `n × n`
+/// with leading dimension `lda`. Only the lower triangles are consulted:
+/// `A` is symmetrized from its lower triangle and `L`'s strictly-upper
+/// entries are ignored, matching what the factorization routines touch.
+pub fn reconstruction_error<T: Real>(n: usize, a: &[T], l: &[T], lda: usize) -> f64 {
+    assert!(lda >= n);
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for j in 0..n {
+        for i in 0..n {
+            let (r, c) = if i >= j { (i, j) } else { (j, i) };
+            let aij = a[r + c * lda].to_f64();
+            // (L·Lᵀ)[i][j] = Σ_k L[i][k]·L[j][k] for k <= min(i, j).
+            let mut llt = 0.0f64;
+            for k in 0..=i.min(j) {
+                llt += l[i + k * lda].to_f64() * l[j + k * lda].to_f64();
+            }
+            num += (aij - llt) * (aij - llt);
+            den += aij * aij;
+        }
+    }
+    if den == 0.0 {
+        num.sqrt()
+    } else {
+        (num / den).sqrt()
+    }
+}
+
+/// Largest absolute elementwise difference between the lower triangles of
+/// two column-major `n × n` buffers.
+pub fn max_lower_diff<T: Real>(n: usize, a: &[T], b: &[T], lda: usize) -> f64 {
+    let mut worst = 0.0f64;
+    for c in 0..n {
+        for r in c..n {
+            let d = (a[r + c * lda].to_f64() - b[r + c * lda].to_f64()).abs();
+            worst = worst.max(d);
+        }
+    }
+    worst
+}
+
+/// `true` iff every lower-triangle entry is finite.
+pub fn lower_is_finite<T: Real>(n: usize, a: &[T], lda: usize) -> bool {
+    (0..n).all(|c| (c..n).all(|r| a[r + c * lda].is_finite()))
+}
+
+/// Verifies a whole factored batch against the original batch: returns the
+/// worst per-matrix relative reconstruction error. `orig` and `fact` must
+/// use the same layout.
+pub fn batch_reconstruction_error<T: Real, L: BatchLayout>(
+    layout: &L,
+    orig: &[T],
+    fact: &[T],
+) -> f64 {
+    let n = layout.n();
+    let mut a = vec![T::ZERO; n * n];
+    let mut l = vec![T::ZERO; n * n];
+    let mut worst = 0.0f64;
+    for mat in 0..layout.batch() {
+        ibcf_layout::gather_matrix(layout, orig, mat, &mut a, n);
+        ibcf_layout::gather_matrix(layout, fact, mat, &mut l, n);
+        worst = worst.max(reconstruction_error(n, &a, &l, n));
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::ColMatrix;
+    use crate::reference::potrf;
+    use crate::spd::{random_spd, SpdKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_error_for_exact_factor() {
+        let l = ColMatrix::from_col_major(2, 2, vec![3.0f64, 4.0, 0.0, 5.0]);
+        let a = l.matmul(&l.transpose());
+        let err = reconstruction_error(2, a.as_slice(), l.as_slice(), 2);
+        assert!(err < 1e-15, "err = {err}");
+    }
+
+    #[test]
+    fn detects_wrong_factor() {
+        let l = ColMatrix::from_col_major(2, 2, vec![3.0f64, 4.0, 0.0, 5.0]);
+        let a = l.matmul(&l.transpose());
+        let mut bad = l.clone();
+        bad[(1, 0)] += 1.0;
+        let err = reconstruction_error(2, a.as_slice(), bad.as_slice(), 2);
+        assert!(err > 1e-2, "err = {err}");
+    }
+
+    #[test]
+    fn ignores_upper_garbage() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = random_spd::<f64>(5, SpdKind::Wishart, &mut rng);
+        let mut f = a.clone();
+        potrf(5, f.as_mut_slice()).unwrap();
+        // Poison the strictly-upper triangle of both.
+        let mut a2 = a.clone();
+        for c in 0..5 {
+            for r in 0..c {
+                a2[(r, c)] = 777.0;
+                f[(r, c)] = -777.0;
+            }
+        }
+        let err = reconstruction_error(5, a2.as_slice(), f.as_slice(), 5);
+        assert!(err < 1e-12, "err = {err}");
+    }
+
+    #[test]
+    fn finiteness_check() {
+        let mut a = vec![1.0f32; 9];
+        assert!(lower_is_finite(3, &a, 3));
+        a[2 * 3] = f32::INFINITY; // upper entry: ignored
+        assert!(lower_is_finite(3, &a, 3));
+        a[2] = f32::NAN; // lower entry: caught
+        assert!(!lower_is_finite(3, &a, 3));
+    }
+
+    #[test]
+    fn max_lower_diff_ignores_upper() {
+        let a = vec![1.0f64, 2.0, 3.0, 9.0, 4.0, 5.0, 9.0, 9.0, 6.0];
+        let mut b = a.clone();
+        b[3] = -100.0; // upper
+        assert_eq!(max_lower_diff(3, &a, &b, 3), 0.0);
+        b[2 + 3] += 0.5; // lower
+        assert!((max_lower_diff(3, &a, &b, 3) - 0.5).abs() < 1e-15);
+    }
+}

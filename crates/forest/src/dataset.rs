@@ -1,0 +1,87 @@
+//! Tabular training data.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense feature table with a regression target.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableData {
+    /// Feature names, one per column.
+    pub names: Vec<String>,
+    /// Row-major feature matrix.
+    pub rows: Vec<Vec<f64>>,
+    /// Regression targets, one per row.
+    pub targets: Vec<f64>,
+}
+
+impl TableData {
+    /// Builds a table, checking shape consistency.
+    ///
+    /// # Panics
+    /// If row lengths disagree with `names` or `targets` has a different
+    /// length than `rows`.
+    pub fn new(names: Vec<String>, rows: Vec<Vec<f64>>, targets: Vec<f64>) -> Self {
+        assert_eq!(rows.len(), targets.len(), "rows and targets length mismatch");
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), names.len(), "row {i} has wrong width");
+        }
+        TableData { names, rows, targets }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of feature columns.
+    pub fn num_features(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Mean of the targets.
+    pub fn target_mean(&self) -> f64 {
+        if self.targets.is_empty() {
+            0.0
+        } else {
+            self.targets.iter().sum::<f64>() / self.targets.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_checks() {
+        let t = TableData::new(
+            vec!["a".into(), "b".into()],
+            vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+            vec![10.0, 20.0],
+        );
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.num_features(), 2);
+        assert_eq!(t.target_mean(), 15.0);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong width")]
+    fn rejects_ragged_rows() {
+        let _ = TableData::new(
+            vec!["a".into()],
+            vec![vec![1.0], vec![2.0, 3.0]],
+            vec![1.0, 2.0],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_target_mismatch() {
+        let _ = TableData::new(vec!["a".into()], vec![vec![1.0]], vec![1.0, 2.0]);
+    }
+}

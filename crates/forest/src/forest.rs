@@ -1,0 +1,207 @@
+//! Bootstrap-bagged forests with out-of-bag tracking.
+
+use crate::dataset::TableData;
+use crate::metrics::mse;
+use crate::tree::{RegressionTree, TreeConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rayon::prelude::*;
+
+/// Forest hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ForestConfig {
+    /// Number of trees (the paper uses 500).
+    pub num_trees: usize,
+    /// Per-tree growth limits. With `mtry = 0`, regression default
+    /// `max(1, p/3)` is used, like R's `randomForest`.
+    pub tree: TreeConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig { num_trees: 500, tree: TreeConfig::default(), seed: 0x5eed }
+    }
+}
+
+/// A fitted random forest.
+pub struct Forest {
+    trees: Vec<RegressionTree>,
+    /// Out-of-bag row indices per tree.
+    oob: Vec<Vec<usize>>,
+    config: ForestConfig,
+}
+
+impl Forest {
+    /// Fits a forest; trees train in parallel.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ibcf_forest::{Forest, ForestConfig, TableData};
+    ///
+    /// // y = 2·x over a small grid.
+    /// let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+    /// let targets: Vec<f64> = (0..100).map(|i| 2.0 * i as f64).collect();
+    /// let data = TableData::new(vec!["x".into()], rows, targets);
+    /// let forest = Forest::fit(&data, ForestConfig { num_trees: 20, ..Default::default() });
+    /// let y = forest.predict(&[50.0]);
+    /// assert!((y - 100.0).abs() < 10.0);
+    /// ```
+    pub fn fit(data: &TableData, config: ForestConfig) -> Self {
+        assert!(!data.is_empty(), "cannot fit a forest on no rows");
+        assert!(config.num_trees > 0);
+        let n = data.len();
+        let p = data.num_features();
+        let mut tree_cfg = config.tree;
+        if tree_cfg.mtry == 0 {
+            tree_cfg.mtry = (p / 3).max(1);
+        }
+        let fitted: Vec<(RegressionTree, Vec<usize>)> = (0..config.num_trees)
+            .into_par_iter()
+            .map(|t| {
+                let mut rng = StdRng::seed_from_u64(config.seed ^ (t as u64).wrapping_mul(0x9E37));
+                let mut in_bag = vec![false; n];
+                let mut idx = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let i = rng.random_range(0..n);
+                    in_bag[i] = true;
+                    idx.push(i);
+                }
+                let tree = RegressionTree::fit(data, &idx, tree_cfg, &mut rng);
+                let oob: Vec<usize> = (0..n).filter(|&i| !in_bag[i]).collect();
+                (tree, oob)
+            })
+            .collect();
+        let (trees, oob): (Vec<_>, Vec<_>) = fitted.into_iter().unzip();
+        Forest { trees, oob, config }
+    }
+
+    /// Ensemble prediction (mean of tree predictions).
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        self.trees.iter().map(|t| t.predict(row)).sum::<f64>() / self.trees.len() as f64
+    }
+
+    /// The fitted trees.
+    pub fn trees(&self) -> &[RegressionTree] {
+        &self.trees
+    }
+
+    /// Out-of-bag rows per tree.
+    pub fn oob_indices(&self) -> &[Vec<usize>] {
+        &self.oob
+    }
+
+    /// The configuration used for fitting.
+    pub fn config(&self) -> &ForestConfig {
+        &self.config
+    }
+
+    /// Average leaf depth across trees (the paper: "500 trees of average
+    /// depth 11").
+    pub fn average_depth(&self) -> f64 {
+        self.trees.iter().map(|t| t.average_leaf_depth()).sum::<f64>() / self.trees.len() as f64
+    }
+
+    /// Out-of-bag prediction per row (`None` for rows every tree sampled).
+    pub fn oob_predictions(&self, data: &TableData) -> Vec<Option<f64>> {
+        let n = data.len();
+        let mut sums = vec![0.0f64; n];
+        let mut counts = vec![0u32; n];
+        for (tree, oob) in self.trees.iter().zip(&self.oob) {
+            for &i in oob {
+                sums[i] += tree.predict(&data.rows[i]);
+                counts[i] += 1;
+            }
+        }
+        (0..n)
+            .map(|i| if counts[i] > 0 { Some(sums[i] / counts[i] as f64) } else { None })
+            .collect()
+    }
+
+    /// Out-of-bag MSE.
+    pub fn oob_mse(&self, data: &TableData) -> f64 {
+        let preds = self.oob_predictions(data);
+        let mut p = Vec::new();
+        let mut t = Vec::new();
+        for (i, pred) in preds.iter().enumerate() {
+            if let Some(v) = pred {
+                p.push(*v);
+                t.push(data.targets[i]);
+            }
+        }
+        mse(&p, &t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2;
+
+    /// y = 3·x0 − 2·x1 + deterministic pseudo-noise; x2 irrelevant.
+    fn synth(n: usize) -> TableData {
+        let mut rows = Vec::new();
+        let mut targets = Vec::new();
+        let mut state = 12345u64;
+        let mut unit = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 40) as f64 / (1u64 << 24) as f64
+        };
+        for _ in 0..n {
+            let x0 = unit();
+            let x1 = unit();
+            let x2 = unit();
+            rows.push(vec![x0, x1, x2]);
+            targets.push(3.0 * x0 - 2.0 * x1 + 0.05 * (unit() - 0.5));
+        }
+        TableData::new(vec!["x0".into(), "x1".into(), "x2".into()], rows, targets)
+    }
+
+    #[test]
+    fn forest_fits_linear_signal() {
+        let data = synth(600);
+        let cfg = ForestConfig { num_trees: 80, ..ForestConfig::default() };
+        let f = Forest::fit(&data, cfg);
+        let preds: Vec<f64> = data.rows.iter().map(|r| f.predict(r)).collect();
+        let score = r2(&preds, &data.targets);
+        assert!(score > 0.9, "in-sample R² {score}");
+        let oob = f.oob_mse(&data);
+        // Target variance is about 9/12 + 4/12 ≈ 1.08; OOB must beat the
+        // mean predictor by a wide margin.
+        assert!(oob < 0.3, "OOB MSE {oob}");
+    }
+
+    #[test]
+    fn oob_indices_are_nonempty_and_disjoint_from_perfection() {
+        let data = synth(200);
+        let f = Forest::fit(&data, ForestConfig { num_trees: 20, ..ForestConfig::default() });
+        // With n=200, each tree leaves ~36% of rows out of bag.
+        for oob in f.oob_indices() {
+            assert!(oob.len() > 200 / 5, "suspiciously few OOB rows: {}", oob.len());
+        }
+        let preds = f.oob_predictions(&data);
+        let covered = preds.iter().filter(|p| p.is_some()).count();
+        assert!(covered > 190, "OOB coverage {covered}");
+    }
+
+    #[test]
+    fn forest_is_deterministic_given_seed() {
+        let data = synth(150);
+        let cfg = ForestConfig { num_trees: 10, ..ForestConfig::default() };
+        let a = Forest::fit(&data, cfg);
+        let b = Forest::fit(&data, cfg);
+        for r in &data.rows[..20] {
+            assert_eq!(a.predict(r), b.predict(r));
+        }
+    }
+
+    #[test]
+    fn average_depth_is_reasonable() {
+        let data = synth(800);
+        let f = Forest::fit(&data, ForestConfig { num_trees: 12, ..ForestConfig::default() });
+        let d = f.average_depth();
+        assert!(d > 2.0 && d < 30.0, "average depth {d}");
+    }
+}

@@ -1,0 +1,27 @@
+//! Random-forest regression, built from scratch for the paper's
+//! Section IV analysis.
+//!
+//! The paper models its 14,000-measurement autotuning corpus with R's
+//! `randomForest` (500 trees, average depth 11, regression mode), reports
+//! per-parameter predictive power as permutation importance (Table I), and
+//! plots predicted-vs-observed performance (Figure 21). This crate
+//! provides the same pipeline: CART regression trees with variance-
+//! reduction splits, bootstrap bagging with out-of-bag (OOB) tracking,
+//! OOB-permutation importance (`%IncMSE`, signed — irrelevant features come
+//! out near or below zero), and prediction/correlation metrics.
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod forest;
+pub mod importance;
+pub mod metrics;
+pub mod pdp;
+pub mod tree;
+
+pub use dataset::TableData;
+pub use forest::{Forest, ForestConfig};
+pub use importance::{permutation_importance, Importance};
+pub use metrics::{mse, pearson, r2};
+pub use pdp::{partial_dependence, PartialDependence};
+pub use tree::{RegressionTree, TreeConfig};

@@ -1,0 +1,101 @@
+//! Regression quality metrics.
+
+/// Mean squared error of paired predictions.
+///
+/// # Panics
+/// If the slices differ in length or are empty.
+pub fn mse(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    assert!(!pred.is_empty(), "mse of empty slice");
+    pred.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / pred.len() as f64
+}
+
+/// Coefficient of determination R².
+pub fn r2(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    assert!(!pred.is_empty());
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
+    let ss_res: f64 = pred.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Pearson correlation coefficient (the statistic behind Figure 21's
+/// predicted-vs-observed cloud).
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    assert!(a.len() >= 2, "correlation needs at least two points");
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+/// Mean and sample standard deviation.
+pub fn mean_sd(xs: &[f64]) -> (f64, f64) {
+    assert!(!xs.is_empty());
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    if xs.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_basics() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(mse(&[0.0, 0.0], &[2.0, 2.0]), 4.0);
+    }
+
+    #[test]
+    fn r2_perfect_and_mean_predictor() {
+        let truth = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(r2(&truth, &truth), 1.0);
+        let mean_pred = [2.5; 4];
+        assert!(r2(&mean_pred, &truth).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_signs() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 1.0).collect();
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let z: Vec<f64> = x.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &z) + 1.0).abs() < 1e-12);
+        let c = [5.0; 4];
+        assert_eq!(pearson(&x, &c), 0.0);
+    }
+
+    #[test]
+    fn mean_sd_matches_hand_calc() {
+        let (m, s) = mean_sd(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,136 @@
+//! Partial-dependence analysis: the marginal effect of one feature on the
+//! forest's prediction, averaged over the data distribution.
+//!
+//! Permutation importance (Table I) says *which* parameters matter;
+//! partial dependence says *how*: e.g. predicted GFLOP/s as a function of
+//! `nb` with everything else marginalized — an actionable tuning guide
+//! extracted from the same model.
+
+use crate::dataset::TableData;
+use crate::forest::Forest;
+
+/// One partial-dependence curve.
+#[derive(Debug, Clone)]
+pub struct PartialDependence {
+    /// The feature the curve varies.
+    pub feature: usize,
+    /// Grid values of the feature.
+    pub grid: Vec<f64>,
+    /// Mean model prediction at each grid value.
+    pub response: Vec<f64>,
+}
+
+impl PartialDependence {
+    /// Range of the response (max − min): a crude effect size.
+    pub fn effect_size(&self) -> f64 {
+        let max = self.response.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = self.response.iter().copied().fold(f64::INFINITY, f64::min);
+        max - min
+    }
+}
+
+/// Computes the partial dependence of `feature` over its distinct values
+/// in the data (or an explicit `grid`): for each grid value `v`, every row
+/// is evaluated with its `feature` column replaced by `v`, and the
+/// predictions averaged. Rows are subsampled to at most `max_rows` for
+/// tractability (deterministic stride subsampling).
+pub fn partial_dependence(
+    forest: &Forest,
+    data: &TableData,
+    feature: usize,
+    grid: Option<Vec<f64>>,
+    max_rows: usize,
+) -> PartialDependence {
+    assert!(feature < data.num_features(), "feature index out of range");
+    assert!(!data.is_empty(), "empty data");
+    let grid = grid.unwrap_or_else(|| {
+        let mut vals: Vec<f64> = data.rows.iter().map(|r| r[feature]).collect();
+        vals.sort_by(f64::total_cmp);
+        vals.dedup();
+        // Cap the grid at 16 quantile points for continuous features.
+        if vals.len() > 16 {
+            let mut g = Vec::with_capacity(16);
+            for i in 0..16 {
+                g.push(vals[i * (vals.len() - 1) / 15]);
+            }
+            g.dedup();
+            g
+        } else {
+            vals
+        }
+    });
+    let stride = (data.len() / max_rows.max(1)).max(1);
+    let rows: Vec<&Vec<f64>> = data.rows.iter().step_by(stride).collect();
+    let mut response = Vec::with_capacity(grid.len());
+    let mut buf = vec![0.0f64; data.num_features()];
+    for &v in &grid {
+        let mut sum = 0.0f64;
+        for row in &rows {
+            buf.copy_from_slice(row);
+            buf[feature] = v;
+            sum += forest.predict(&buf);
+        }
+        response.push(sum / rows.len() as f64);
+    }
+    PartialDependence { feature, grid, response }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::ForestConfig;
+
+    /// y = 4·x0 + noise; x1 irrelevant.
+    fn synth(n: usize) -> TableData {
+        let mut rows = Vec::new();
+        let mut targets = Vec::new();
+        let mut state = 77u64;
+        let mut unit = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 40) as f64 / (1u64 << 24) as f64
+        };
+        for _ in 0..n {
+            let x0 = unit();
+            let x1 = unit();
+            rows.push(vec![x0, x1]);
+            targets.push(4.0 * x0 + 0.02 * (unit() - 0.5));
+        }
+        TableData::new(vec!["x0".into(), "x1".into()], rows, targets)
+    }
+
+    #[test]
+    fn pdp_recovers_monotone_effect() {
+        let data = synth(600);
+        let forest = Forest::fit(&data, ForestConfig { num_trees: 60, ..Default::default() });
+        let pdp = partial_dependence(&forest, &data, 0, None, 200);
+        // Response must be (weakly) increasing along the grid and span
+        // most of the 0..4 range.
+        for w in pdp.response.windows(2) {
+            assert!(w[1] >= w[0] - 0.15, "non-monotone: {:?}", pdp.response);
+        }
+        assert!(pdp.effect_size() > 2.5, "effect {:.2}", pdp.effect_size());
+    }
+
+    #[test]
+    fn irrelevant_feature_is_flat() {
+        let data = synth(600);
+        let forest = Forest::fit(&data, ForestConfig { num_trees: 60, ..Default::default() });
+        let flat = partial_dependence(&forest, &data, 1, None, 200);
+        let strong = partial_dependence(&forest, &data, 0, None, 200);
+        assert!(
+            flat.effect_size() < 0.2 * strong.effect_size(),
+            "flat {:.3} vs strong {:.3}",
+            flat.effect_size(),
+            strong.effect_size()
+        );
+    }
+
+    #[test]
+    fn explicit_grid_is_respected() {
+        let data = synth(100);
+        let forest = Forest::fit(&data, ForestConfig { num_trees: 10, ..Default::default() });
+        let pdp = partial_dependence(&forest, &data, 0, Some(vec![0.0, 0.5, 1.0]), 50);
+        assert_eq!(pdp.grid, vec![0.0, 0.5, 1.0]);
+        assert_eq!(pdp.response.len(), 3);
+    }
+}

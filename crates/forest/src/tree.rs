@@ -1,0 +1,287 @@
+//! CART regression trees with variance-reduction splits.
+
+use crate::dataset::TableData;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Tree growth limits.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum depth (`usize::MAX` for unlimited).
+    pub max_depth: usize,
+    /// Minimum samples a leaf may hold.
+    pub min_samples_leaf: usize,
+    /// Features considered per split (`mtry`); 0 means all.
+    pub mtry: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig { max_depth: usize::MAX, min_samples_leaf: 5, mtry: 0 }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf(f64),
+    Split { feature: usize, threshold: f64, left: u32, right: u32 },
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+struct Builder<'a> {
+    data: &'a TableData,
+    config: TreeConfig,
+    nodes: Vec<Node>,
+}
+
+/// Finds the SSE-minimizing split of `idx` on `feature`. Returns
+/// `(threshold, sse, left_count)` or `None` if no valid split exists.
+fn best_split_on(
+    data: &TableData,
+    idx: &[usize],
+    feature: usize,
+    min_leaf: usize,
+) -> Option<(f64, f64)> {
+    let mut order: Vec<usize> = idx.to_vec();
+    order.sort_by(|&a, &b| data.rows[a][feature].total_cmp(&data.rows[b][feature]));
+    let n = order.len();
+    // Prefix sums of y and y².
+    let mut sum = 0.0f64;
+    let mut sum2 = 0.0f64;
+    let total: f64 = order.iter().map(|&i| data.targets[i]).sum();
+    let total2: f64 = order.iter().map(|&i| data.targets[i] * data.targets[i]).sum();
+    let mut best: Option<(f64, f64)> = None;
+    for k in 0..n - 1 {
+        let y = data.targets[order[k]];
+        sum += y;
+        sum2 += y * y;
+        let left_n = k + 1;
+        let right_n = n - left_n;
+        if left_n < min_leaf || right_n < min_leaf {
+            continue;
+        }
+        let xv = data.rows[order[k]][feature];
+        let xn = data.rows[order[k + 1]][feature];
+        if xv == xn {
+            continue; // can't split between equal values
+        }
+        let sse_left = sum2 - sum * sum / left_n as f64;
+        let rs = total - sum;
+        let rs2 = total2 - sum2;
+        let sse_right = rs2 - rs * rs / right_n as f64;
+        let sse = sse_left + sse_right;
+        if best.is_none_or(|(_, b)| sse < b) {
+            best = Some(((xv + xn) / 2.0, sse));
+        }
+    }
+    best
+}
+
+impl Builder<'_> {
+    fn build(&mut self, idx: &[usize], depth: usize, rng: &mut impl Rng) -> u32 {
+        let mean =
+            idx.iter().map(|&i| self.data.targets[i]).sum::<f64>() / idx.len().max(1) as f64;
+        let constant = idx
+            .iter()
+            .all(|&i| (self.data.targets[i] - mean).abs() < 1e-12);
+        if depth >= self.config.max_depth
+            || idx.len() < 2 * self.config.min_samples_leaf
+            || constant
+        {
+            self.nodes.push(Node::Leaf(mean));
+            return (self.nodes.len() - 1) as u32;
+        }
+
+        // Feature subset (mtry).
+        let nf = self.data.num_features();
+        let mtry = if self.config.mtry == 0 { nf } else { self.config.mtry.min(nf) };
+        let mut feats: Vec<usize> = (0..nf).collect();
+        feats.shuffle(rng);
+        feats.truncate(mtry);
+
+        let mut best: Option<(usize, f64, f64)> = None;
+        for &f in &feats {
+            if let Some((thr, sse)) = best_split_on(self.data, idx, f, self.config.min_samples_leaf)
+            {
+                if best.is_none_or(|(_, _, b)| sse < b) {
+                    best = Some((f, thr, sse));
+                }
+            }
+        }
+        let Some((feature, threshold, _)) = best else {
+            self.nodes.push(Node::Leaf(mean));
+            return (self.nodes.len() - 1) as u32;
+        };
+
+        let mut left: Vec<usize> = Vec::new();
+        let mut right: Vec<usize> = Vec::new();
+        for &i in idx.iter() {
+            if self.data.rows[i][feature] <= threshold {
+                left.push(i);
+            } else {
+                right.push(i);
+            }
+        }
+        debug_assert!(!left.is_empty() && !right.is_empty());
+        // Reserve this node's slot before recursing.
+        self.nodes.push(Node::Leaf(mean));
+        let slot = (self.nodes.len() - 1) as u32;
+        let l = self.build(&left, depth + 1, rng);
+        let r = self.build(&right, depth + 1, rng);
+        self.nodes[slot as usize] = Node::Split { feature, threshold, left: l, right: r };
+        slot
+    }
+}
+
+impl RegressionTree {
+    /// Fits a tree on the rows selected by `idx`.
+    pub fn fit(
+        data: &TableData,
+        idx: &[usize],
+        config: TreeConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(!idx.is_empty(), "cannot fit a tree on no rows");
+        let mut b = Builder { data, config, nodes: Vec::new() };
+        let root = b.build(idx, 0, rng);
+        debug_assert_eq!(root, 0);
+        RegressionTree { nodes: b.nodes }
+    }
+
+    /// Predicts one feature row.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        let mut cur = 0usize;
+        loop {
+            match &self.nodes[cur] {
+                Node::Leaf(v) => return *v,
+                Node::Split { feature, threshold, left, right } => {
+                    cur = if row[*feature] <= *threshold { *left as usize } else { *right as usize };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Average leaf depth — the statistic the paper quotes ("500 trees of
+    /// average depth 11").
+    pub fn average_leaf_depth(&self) -> f64 {
+        let mut total = 0usize;
+        let mut leaves = 0usize;
+        let mut stack = vec![(0usize, 0usize)];
+        while let Some((node, depth)) = stack.pop() {
+            match &self.nodes[node] {
+                Node::Leaf(_) => {
+                    total += depth;
+                    leaves += 1;
+                }
+                Node::Split { left, right, .. } => {
+                    stack.push((*left as usize, depth + 1));
+                    stack.push((*right as usize, depth + 1));
+                }
+            }
+        }
+        if leaves == 0 {
+            0.0
+        } else {
+            total as f64 / leaves as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn step_data() -> TableData {
+        // y = 10 if x0 > 0.5 else 2; x1 is noise.
+        let mut rows = Vec::new();
+        let mut targets = Vec::new();
+        for i in 0..100 {
+            let x0 = i as f64 / 100.0;
+            rows.push(vec![x0, (i % 7) as f64]);
+            targets.push(if x0 > 0.5 { 10.0 } else { 2.0 });
+        }
+        TableData::new(vec!["x0".into(), "noise".into()], rows, targets)
+    }
+
+    #[test]
+    fn learns_a_step_function() {
+        let data = step_data();
+        let idx: Vec<usize> = (0..data.len()).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = RegressionTree::fit(&data, &idx, TreeConfig::default(), &mut rng);
+        assert!((t.predict(&[0.1, 3.0]) - 2.0).abs() < 1e-9);
+        assert!((t.predict(&[0.9, 3.0]) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let data = step_data();
+        let idx: Vec<usize> = (0..data.len()).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = TreeConfig { max_depth: 0, ..TreeConfig::default() };
+        let t = RegressionTree::fit(&data, &idx, cfg, &mut rng);
+        assert_eq!(t.num_nodes(), 1);
+        // Root leaf = overall mean.
+        let mean = data.target_mean();
+        assert!((t.predict(&[0.9, 0.0]) - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_leaf_limits_granularity() {
+        let data = step_data();
+        let idx: Vec<usize> = (0..data.len()).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = TreeConfig { min_samples_leaf: 60, ..TreeConfig::default() };
+        let t = RegressionTree::fit(&data, &idx, cfg, &mut rng);
+        assert_eq!(t.num_nodes(), 1, "no split can keep both sides >= 60");
+    }
+
+    #[test]
+    fn fits_smooth_function_approximately() {
+        let mut rows = Vec::new();
+        let mut targets = Vec::new();
+        for i in 0..400 {
+            let x = i as f64 / 400.0 * 6.0;
+            rows.push(vec![x]);
+            targets.push(x.sin());
+        }
+        let data = TableData::new(vec!["x".into()], rows, targets);
+        let idx: Vec<usize> = (0..data.len()).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = TreeConfig { min_samples_leaf: 3, ..TreeConfig::default() };
+        let t = RegressionTree::fit(&data, &idx, cfg, &mut rng);
+        let mut worst = 0.0f64;
+        for i in 0..60 {
+            let x = i as f64 / 10.0;
+            worst = worst.max((t.predict(&[x]) - x.sin()).abs());
+        }
+        assert!(worst < 0.15, "worst error {worst}");
+        assert!(t.average_leaf_depth() > 3.0);
+    }
+
+    #[test]
+    fn constant_targets_give_single_leaf() {
+        let data = TableData::new(
+            vec!["x".into()],
+            (0..50).map(|i| vec![i as f64]).collect(),
+            vec![7.0; 50],
+        );
+        let idx: Vec<usize> = (0..50).collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = RegressionTree::fit(&data, &idx, TreeConfig::default(), &mut rng);
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.predict(&[25.0]), 7.0);
+    }
+}

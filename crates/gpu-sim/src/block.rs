@@ -1,0 +1,534 @@
+//! Cooperative block kernels: shared memory, barriers, and bank conflicts.
+//!
+//! The traditional (MAGMA-style) batched Cholesky assigns one thread block
+//! per matrix and stages panels through shared memory — unlike the
+//! interleaved kernels, its threads cooperate. Kernels are written as a
+//! sequence of *phases* (the code between `__syncthreads()` barriers): each
+//! phase body runs once per thread, and the executor provides functional or
+//! tracing lane contexts exactly like the thread-kernel path.
+
+use crate::exec::{degrade, ExecOptions};
+use crate::kernel::{KernelStatics, LaunchConfig};
+use crate::mem::SharedMem;
+use crate::report::KernelTiming;
+use crate::spec::GpuSpec;
+use crate::timing::{time_from_trace, TimingOptions};
+use crate::trace::{MemRec, OpCounts, WarpAccess, WarpTrace};
+use rayon::prelude::*;
+
+/// Per-lane device instruction set for block kernels: global memory,
+/// shared memory, and arithmetic.
+pub trait LaneCtx {
+    /// Thread index within the block.
+    fn tid(&self) -> usize;
+    /// Block index within the grid.
+    fn block_idx(&self) -> usize;
+    /// Global-memory load.
+    fn ld(&mut self, addr: usize) -> f32;
+    /// Global-memory store.
+    fn st(&mut self, addr: usize, v: f32);
+    /// Shared-memory load (index in f32 elements of the block's region).
+    fn ld_shared(&mut self, idx: usize) -> f32;
+    /// Shared-memory store.
+    fn st_shared(&mut self, idx: usize, v: f32);
+    /// Fused multiply-add `a * b + c`.
+    fn fma(&mut self, a: f32, b: f32, c: f32) -> f32;
+    /// Multiply.
+    fn mul(&mut self, a: f32, b: f32) -> f32;
+    /// Add.
+    fn add(&mut self, a: f32, b: f32) -> f32;
+    /// Subtract.
+    fn sub(&mut self, a: f32, b: f32) -> f32;
+    /// Divide.
+    fn div(&mut self, a: f32, b: f32) -> f32;
+    /// Square root.
+    fn sqrt(&mut self, a: f32) -> f32;
+    /// Reciprocal.
+    fn rcp(&mut self, a: f32) -> f32;
+    /// Integer/branch overhead accounting.
+    fn iops(&mut self, count: u64);
+}
+
+/// One block's execution interface: run phases, separated by barriers.
+pub trait BlockCtx {
+    /// Block index within the grid.
+    fn block_idx(&self) -> usize;
+    /// Threads per block.
+    fn block_dim(&self) -> usize;
+    /// Runs `f(tid, lane)` for every thread of the block. CUDA discipline
+    /// applies: shared-memory locations written in a phase may only be
+    /// read by *other* threads in a later phase (after [`BlockCtx::sync`]).
+    fn phase(&mut self, f: &mut dyn FnMut(usize, &mut dyn LaneCtx));
+    /// Block-wide barrier (`__syncthreads()`).
+    fn sync(&mut self);
+}
+
+/// A cooperative kernel: one `run` drives a whole block through its phases.
+pub trait BlockKernel: Sync {
+    /// Per-block body.
+    fn run(&self, block: &mut dyn BlockCtx);
+    /// Static resource estimates (must set `shared_bytes_per_block`).
+    fn statics(&self) -> KernelStatics;
+}
+
+// ---------------------------------------------------------------------------
+// Functional execution
+// ---------------------------------------------------------------------------
+
+struct FuncLane<'a, 'm> {
+    tid: usize,
+    block: usize,
+    mem: &'a SharedMem<'m>,
+    shared: *mut f32,
+    shared_len: usize,
+    fast_math: bool,
+}
+
+impl LaneCtx for FuncLane<'_, '_> {
+    fn tid(&self) -> usize {
+        self.tid
+    }
+    fn block_idx(&self) -> usize {
+        self.block
+    }
+    fn ld(&mut self, addr: usize) -> f32 {
+        // SAFETY: launch contract — blocks own disjoint global footprints.
+        unsafe { self.mem.read(addr) }
+    }
+    fn st(&mut self, addr: usize, v: f32) {
+        // SAFETY: as above.
+        unsafe { self.mem.write(addr, v) }
+    }
+    fn ld_shared(&mut self, idx: usize) -> f32 {
+        assert!(idx < self.shared_len, "shared load out of bounds");
+        // SAFETY: in bounds; phases run threads sequentially.
+        unsafe { *self.shared.add(idx) }
+    }
+    fn st_shared(&mut self, idx: usize, v: f32) {
+        assert!(idx < self.shared_len, "shared store out of bounds");
+        // SAFETY: in bounds; phases run threads sequentially.
+        unsafe { *self.shared.add(idx) = v };
+    }
+    fn fma(&mut self, a: f32, b: f32, c: f32) -> f32 {
+        a.mul_add(b, c)
+    }
+    fn mul(&mut self, a: f32, b: f32) -> f32 {
+        a * b
+    }
+    fn add(&mut self, a: f32, b: f32) -> f32 {
+        a + b
+    }
+    fn sub(&mut self, a: f32, b: f32) -> f32 {
+        a - b
+    }
+    fn div(&mut self, a: f32, b: f32) -> f32 {
+        if self.fast_math {
+            degrade(a / b, 2)
+        } else {
+            a / b
+        }
+    }
+    fn sqrt(&mut self, a: f32) -> f32 {
+        if self.fast_math {
+            degrade(a.sqrt(), 2)
+        } else {
+            a.sqrt()
+        }
+    }
+    fn rcp(&mut self, a: f32) -> f32 {
+        if self.fast_math {
+            degrade(a.recip(), 2)
+        } else {
+            a.recip()
+        }
+    }
+    fn iops(&mut self, _count: u64) {}
+}
+
+struct FuncBlock<'a, 'm> {
+    block: usize,
+    block_dim: usize,
+    mem: &'a SharedMem<'m>,
+    shared: Vec<f32>,
+    fast_math: bool,
+}
+
+impl BlockCtx for FuncBlock<'_, '_> {
+    fn block_idx(&self) -> usize {
+        self.block
+    }
+    fn block_dim(&self) -> usize {
+        self.block_dim
+    }
+    fn phase(&mut self, f: &mut dyn FnMut(usize, &mut dyn LaneCtx)) {
+        let shared = self.shared.as_mut_ptr();
+        let shared_len = self.shared.len();
+        for tid in 0..self.block_dim {
+            let mut lane = FuncLane {
+                tid,
+                block: self.block,
+                mem: self.mem,
+                shared,
+                shared_len,
+                fast_math: self.fast_math,
+            };
+            f(tid, &mut lane);
+        }
+    }
+    fn sync(&mut self) {}
+}
+
+/// Runs a [`BlockKernel`] functionally; blocks execute in parallel.
+///
+/// # Contract
+/// Distinct blocks must touch disjoint global addresses (one block = one
+/// matrix for the traditional kernel).
+pub fn launch_block_functional<K: BlockKernel>(
+    kernel: &K,
+    launch: LaunchConfig,
+    mem: &mut [f32],
+) {
+    launch_block_functional_opts(kernel, launch, mem, ExecOptions::default());
+}
+
+/// [`launch_block_functional`] with explicit arithmetic options.
+pub fn launch_block_functional_opts<K: BlockKernel>(
+    kernel: &K,
+    launch: LaunchConfig,
+    mem: &mut [f32],
+    opts: ExecOptions,
+) {
+    let shared_elems = kernel.statics().shared_bytes_per_block as usize / 4;
+    let shared_mem = SharedMem::new(mem);
+    (0..launch.grid).into_par_iter().for_each(|block| {
+        let mut ctx = FuncBlock {
+            block,
+            block_dim: launch.block,
+            mem: &shared_mem,
+            shared: vec![0.0f32; shared_elems],
+            fast_math: opts.fast_math,
+        };
+        kernel.run(&mut ctx);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Tracing execution
+// ---------------------------------------------------------------------------
+
+struct TraceLane<'a> {
+    tid: usize,
+    block: usize,
+    ops: &'a mut OpCounts,
+    mem: &'a mut Vec<MemRec>,
+    shared: &'a mut Vec<u32>,
+}
+
+impl LaneCtx for TraceLane<'_> {
+    fn tid(&self) -> usize {
+        self.tid
+    }
+    fn block_idx(&self) -> usize {
+        self.block
+    }
+    fn ld(&mut self, addr: usize) -> f32 {
+        self.ops.loads += 1;
+        self.mem.push(MemRec { store: false, addr: addr as u32 });
+        1.0
+    }
+    fn st(&mut self, addr: usize, _v: f32) {
+        self.ops.stores += 1;
+        self.mem.push(MemRec { store: true, addr: addr as u32 });
+    }
+    fn ld_shared(&mut self, idx: usize) -> f32 {
+        self.shared.push(idx as u32);
+        1.0
+    }
+    fn st_shared(&mut self, idx: usize, _v: f32) {
+        self.shared.push(idx as u32);
+    }
+    fn fma(&mut self, _a: f32, _b: f32, _c: f32) -> f32 {
+        self.ops.fma_class += 1;
+        1.0
+    }
+    fn mul(&mut self, _a: f32, _b: f32) -> f32 {
+        self.ops.fma_class += 1;
+        1.0
+    }
+    fn add(&mut self, _a: f32, _b: f32) -> f32 {
+        self.ops.fma_class += 1;
+        1.0
+    }
+    fn sub(&mut self, _a: f32, _b: f32) -> f32 {
+        self.ops.fma_class += 1;
+        1.0
+    }
+    fn div(&mut self, _a: f32, _b: f32) -> f32 {
+        self.ops.div += 1;
+        1.0
+    }
+    fn sqrt(&mut self, _a: f32) -> f32 {
+        self.ops.sqrt += 1;
+        1.0
+    }
+    fn rcp(&mut self, _a: f32) -> f32 {
+        self.ops.rcp += 1;
+        1.0
+    }
+    fn iops(&mut self, count: u64) {
+        self.ops.iops += count;
+    }
+}
+
+struct TraceBlock {
+    block: usize,
+    block_dim: usize,
+    lane_ops: Vec<OpCounts>,
+    lane_mem: Vec<Vec<MemRec>>,
+    lane_shared: Vec<Vec<u32>>,
+    syncs: u64,
+    shared_replays: f64,
+}
+
+impl TraceBlock {
+    /// After each phase, zip this phase's shared accesses into warp
+    /// instructions and count bank-conflict replays.
+    fn absorb_shared_phase(&mut self, banks: u32) {
+        let len = self.lane_shared.iter().map(Vec::len).max().unwrap_or(0);
+        for i in 0..len {
+            // Collect the lanes participating in this shared instruction.
+            let mut bank_addrs: Vec<(u32, u32)> = Vec::new();
+            for l in &self.lane_shared {
+                if let Some(&idx) = l.get(i) {
+                    bank_addrs.push((idx % banks, idx));
+                }
+            }
+            // Conflict degree: max distinct addresses within one bank.
+            let mut worst = 1u32;
+            for b in 0..banks {
+                let mut addrs: Vec<u32> = bank_addrs
+                    .iter()
+                    .filter(|&&(bank, _)| bank == b)
+                    .map(|&(_, a)| a)
+                    .collect();
+                addrs.sort_unstable();
+                addrs.dedup();
+                worst = worst.max(addrs.len() as u32);
+            }
+            self.shared_replays += worst as f64;
+        }
+        for l in &mut self.lane_shared {
+            l.clear();
+        }
+    }
+}
+
+impl BlockCtx for TraceBlock {
+    fn block_idx(&self) -> usize {
+        self.block
+    }
+    fn block_dim(&self) -> usize {
+        self.block_dim
+    }
+    fn phase(&mut self, f: &mut dyn FnMut(usize, &mut dyn LaneCtx)) {
+        // Trace warp 0 only; it is the representative warp.
+        let lanes = self.block_dim.min(32);
+        for tid in 0..lanes {
+            let mut lane = TraceLane {
+                tid,
+                block: self.block,
+                ops: &mut self.lane_ops[tid],
+                mem: &mut self.lane_mem[tid],
+                shared: &mut self.lane_shared[tid],
+            };
+            f(tid, &mut lane);
+        }
+        self.absorb_shared_phase(32);
+    }
+    fn sync(&mut self) {
+        self.syncs += 1;
+    }
+}
+
+/// Times a [`BlockKernel`] launch: traces warp 0 of block 0, prices shared
+/// traffic and barriers on top of the shared throughput back end.
+///
+/// Lanes of a block kernel may legitimately diverge (idle lanes at the
+/// matrix edge), so warp accesses are padded by replicating the lane-0
+/// address for missing lanes — conservative for coalescing (the padded
+/// lane adds no new line).
+pub fn time_block_kernel<K: BlockKernel>(
+    kernel: &K,
+    launch: LaunchConfig,
+    spec: &GpuSpec,
+    opts: TimingOptions,
+) -> KernelTiming {
+    let mut ctx = TraceBlock {
+        block: 0,
+        block_dim: launch.block,
+        lane_ops: vec![OpCounts::default(); launch.block.min(32)],
+        lane_mem: vec![Vec::new(); launch.block.min(32)],
+        lane_shared: vec![Vec::new(); launch.block.min(32)],
+        syncs: 0,
+        shared_replays: 0.0,
+    };
+    kernel.run(&mut ctx);
+
+    // Zip global accesses; lanes may have different stream lengths
+    // (divergence) — pad with lane 0's address.
+    let max_len = ctx.lane_mem.iter().map(Vec::len).max().unwrap_or(0);
+    let mut accesses = Vec::with_capacity(max_len);
+    // Lane 0 must be the longest stream for padding to make sense; if not,
+    // pad from the longest lane instead.
+    let longest = (0..ctx.lane_mem.len())
+        .max_by_key(|&l| ctx.lane_mem[l].len())
+        .unwrap_or(0);
+    for i in 0..max_len {
+        let proto = ctx.lane_mem[longest][i];
+        let mut addrs = Vec::with_capacity(32);
+        for l in &ctx.lane_mem {
+            addrs.push(l.get(i).map_or(proto.addr, |r| r.addr));
+        }
+        while addrs.len() < 32 {
+            addrs.push(proto.addr);
+        }
+        accesses.push(WarpAccess { store: proto.store, addrs });
+    }
+    // SIMT: a diverged warp pays for the union of its lanes' paths,
+    // approximated per op class by the busiest lane.
+    let ops = ctx.lane_ops.iter().fold(OpCounts::default(), |a, &b| a.max(b));
+    let trace = WarpTrace { ops, accesses };
+    let statics = kernel.statics();
+
+    // Extra issue work not visible to the thread-kernel back end:
+    // shared-memory replays and barriers.
+    let extra = ctx.shared_replays * spec.costs.shared_access
+        + ctx.syncs as f64 * spec.costs.sync;
+    let mut timing = time_from_trace(&trace, &statics, launch, spec, opts);
+    let warps_total = (launch.total_threads() / spec.warp_size as usize) as f64;
+    let extra_s = extra * warps_total / spec.sms as f64 / spec.clock_hz() / timing.utilization;
+    timing.compute_time_s += extra_s;
+    timing.time_s = timing.compute_time_s.max(timing.lsu_time_s).max(timing.dram_time_s);
+    timing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Block kernel: threads cooperatively reverse a 64-element segment via
+    /// shared memory (two phases separated by a barrier).
+    struct Reverse;
+    impl BlockKernel for Reverse {
+        fn run(&self, block: &mut dyn BlockCtx) {
+            let b = block.block_idx();
+            let dim = block.block_dim();
+            block.phase(&mut |t, lane| {
+                let v = lane.ld(b * dim + t);
+                lane.st_shared(t, v);
+            });
+            block.sync();
+            block.phase(&mut |t, lane| {
+                let v = lane.ld_shared(dim - 1 - t);
+                lane.st(b * dim + t, v);
+            });
+        }
+        fn statics(&self) -> KernelStatics {
+            KernelStatics {
+                regs_per_thread: 16,
+                static_instrs: 64,
+                reg_reuse_capacity: 0,
+                dead_store_elim: false,
+                shared_bytes_per_block: 64 * 4,
+            }
+        }
+    }
+
+    #[test]
+    fn functional_block_kernel_reverses() {
+        let mut mem: Vec<f32> = (0..256).map(|i| i as f32).collect();
+        launch_block_functional(&Reverse, LaunchConfig::new(4, 64), &mut mem);
+        for blk in 0..4 {
+            for t in 0..64 {
+                assert_eq!(mem[blk * 64 + t], (blk * 64 + 63 - t) as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn timing_counts_syncs_and_shared() {
+        let spec = GpuSpec::p100();
+        let t = time_block_kernel(&Reverse, LaunchConfig::new(64, 64), &spec, TimingOptions::default());
+        assert!(t.time_s > 0.0);
+        assert!(t.compute_time_s > 0.0, "barrier cost must appear");
+    }
+
+    /// Conflict kernel: every lane hits the same bank with distinct
+    /// addresses (stride 32) — worst-case 32-way conflict.
+    struct Conflict;
+    impl BlockKernel for Conflict {
+        fn run(&self, block: &mut dyn BlockCtx) {
+            block.phase(&mut |t, lane| {
+                lane.st_shared(t * 32, 1.0);
+            });
+        }
+        fn statics(&self) -> KernelStatics {
+            KernelStatics {
+                regs_per_thread: 16,
+                static_instrs: 16,
+                reg_reuse_capacity: 0,
+                dead_store_elim: false,
+                shared_bytes_per_block: 32 * 32 * 4,
+            }
+        }
+    }
+
+    /// Broadcast kernel: every lane reads shared[0] — no conflict.
+    struct Broadcast;
+    impl BlockKernel for Broadcast {
+        fn run(&self, block: &mut dyn BlockCtx) {
+            block.phase(&mut |_t, lane| {
+                let _ = lane.ld_shared(0);
+            });
+        }
+        fn statics(&self) -> KernelStatics {
+            Conflict.statics()
+        }
+    }
+
+    #[test]
+    fn bank_conflicts_cost_more_than_broadcast() {
+        let spec = GpuSpec::p100();
+        let lc = LaunchConfig::new(64, 32);
+        let c = time_block_kernel(&Conflict, lc, &spec, TimingOptions::default());
+        let b = time_block_kernel(&Broadcast, lc, &spec, TimingOptions::default());
+        assert!(
+            c.compute_time_s > b.compute_time_s * 4.0,
+            "conflict {} vs broadcast {}",
+            c.compute_time_s,
+            b.compute_time_s
+        );
+    }
+
+    #[test]
+    fn divergent_lane_streams_are_padded() {
+        /// Only even lanes load.
+        struct Divergent;
+        impl BlockKernel for Divergent {
+            fn run(&self, block: &mut dyn BlockCtx) {
+                block.phase(&mut |t, lane| {
+                    if t % 2 == 0 {
+                        let v = lane.ld(t);
+                        lane.st(t, v);
+                    }
+                });
+            }
+            fn statics(&self) -> KernelStatics {
+                KernelStatics::streaming(8, 16)
+            }
+        }
+        let spec = GpuSpec::p100();
+        let t = time_block_kernel(&Divergent, LaunchConfig::new(4, 32), &spec, TimingOptions::default());
+        assert!(t.time_s > 0.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Warp memory-access coalescing analysis.
+//!
+//! A warp access touches one byte-address per lane; the hardware services
+//! it with one transaction per distinct 128-byte line and moves one
+//! 32-byte sector per distinct sector from DRAM. Perfectly coalesced
+//! accesses (the interleaved layouts) touch exactly one line; the canonical
+//! layout at small `n` touches up to 32.
+
+use crate::trace::WarpAccess;
+
+/// Transaction/sector breakdown of one warp access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Coalescing {
+    /// Distinct cache lines touched (memory transactions issued).
+    pub transactions: u32,
+    /// Distinct DRAM sectors touched (minimum DRAM traffic, in sectors).
+    pub sectors: u32,
+}
+
+/// Analyzes one warp access. `elem_bytes` converts element addresses to
+/// bytes (4 for f32).
+pub fn coalesce(access: &WarpAccess, elem_bytes: u32, line_bytes: u32, sector_bytes: u32) -> Coalescing {
+    let mut lines: Vec<u64> = access
+        .addrs
+        .iter()
+        .map(|&a| (a as u64 * elem_bytes as u64) / line_bytes as u64)
+        .collect();
+    lines.sort_unstable();
+    lines.dedup();
+    let mut sectors: Vec<u64> = access
+        .addrs
+        .iter()
+        .map(|&a| (a as u64 * elem_bytes as u64) / sector_bytes as u64)
+        .collect();
+    sectors.sort_unstable();
+    sectors.dedup();
+    Coalescing { transactions: lines.len() as u32, sectors: sectors.len() as u32 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn access(addrs: Vec<u32>) -> WarpAccess {
+        WarpAccess { store: false, addrs }
+    }
+
+    #[test]
+    fn perfectly_coalesced_unit_stride() {
+        // 32 consecutive f32 = 128 bytes, line-aligned.
+        let a = access((0..32).collect());
+        let c = coalesce(&a, 4, 128, 32);
+        assert_eq!(c.transactions, 1);
+        assert_eq!(c.sectors, 4);
+    }
+
+    #[test]
+    fn unit_stride_misaligned_spills_into_second_line() {
+        let a = access((8..40).collect());
+        let c = coalesce(&a, 4, 128, 32);
+        assert_eq!(c.transactions, 2);
+        assert_eq!(c.sectors, 4);
+    }
+
+    #[test]
+    fn fully_scattered_canonical_layout() {
+        // Stride of one matrix (say 256 elements = 1 KiB) per lane: every
+        // lane its own line and sector.
+        let a = access((0..32).map(|l| l * 256).collect());
+        let c = coalesce(&a, 4, 128, 32);
+        assert_eq!(c.transactions, 32);
+        assert_eq!(c.sectors, 32);
+    }
+
+    #[test]
+    fn broadcast_same_address() {
+        let a = access(vec![1000; 32]);
+        let c = coalesce(&a, 4, 128, 32);
+        assert_eq!(c.transactions, 1);
+        assert_eq!(c.sectors, 1);
+    }
+
+    #[test]
+    fn small_stride_partial_coalescing() {
+        // Stride 2 elements (8 bytes): 32 lanes span 256 bytes = 2 lines,
+        // 8 sectors.
+        let a = access((0..32).map(|l| l * 2).collect());
+        let c = coalesce(&a, 4, 128, 32);
+        assert_eq!(c.transactions, 2);
+        assert_eq!(c.sectors, 8);
+    }
+}

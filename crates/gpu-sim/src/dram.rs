@@ -1,0 +1,160 @@
+//! DRAM row-buffer (open-page) model.
+//!
+//! This is the mechanism behind the paper's chunking result (Figure 17):
+//! with the fully interleaved layout, consecutive accesses of a warp are a
+//! whole batch apart (64 KiB for 16,384 f32 matrices), so every access
+//! opens a new DRAM row; with chunking, `row_bytes / (chunk · 4)` accesses
+//! land in each open row. A row miss costs `row_miss_penalty` times a row
+//! hit, degrading effective bandwidth.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// LRU set of open DRAM rows, tracking hit/miss statistics for one access
+/// stream.
+#[derive(Debug, Clone)]
+pub struct RowBufferModel {
+    row_bytes: u64,
+    capacity: usize,
+    stamp: u64,
+    open_stamp: HashMap<u64, u64>,
+    by_stamp: BTreeMap<u64, u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl RowBufferModel {
+    /// A model with `open_rows` simultaneously open rows of `row_bytes`
+    /// each.
+    pub fn new(row_bytes: u32, open_rows: u32) -> Self {
+        RowBufferModel {
+            row_bytes: row_bytes.max(1) as u64,
+            capacity: open_rows.max(1) as usize,
+            stamp: 0,
+            open_stamp: HashMap::new(),
+            by_stamp: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Accesses the row containing `byte_addr`; returns `true` on a
+    /// row-buffer hit.
+    pub fn access(&mut self, byte_addr: u64) -> bool {
+        self.stamp += 1;
+        let row = byte_addr / self.row_bytes;
+        let hit = self.open_stamp.contains_key(&row);
+        if let Some(old) = self.open_stamp.insert(row, self.stamp) {
+            self.by_stamp.remove(&old);
+        }
+        self.by_stamp.insert(self.stamp, row);
+        if self.open_stamp.len() > self.capacity {
+            let (&oldest, &victim) = self.by_stamp.iter().next().expect("non-empty");
+            self.by_stamp.remove(&oldest);
+            self.open_stamp.remove(&victim);
+        }
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        hit
+    }
+
+    /// Row-buffer hit rate in [0, 1].
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            // An idle stream imposes no penalty.
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Effective bandwidth fraction given a row-miss penalty: the ratio of
+    /// ideal access time (all hits) to modeled access time.
+    pub fn efficiency(&self, row_miss_penalty: f64) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 1.0;
+        }
+        let cost = self.hits as f64 + self.misses as f64 * row_miss_penalty;
+        total as f64 / cost
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_stream_mostly_hits() {
+        let mut m = RowBufferModel::new(4096, 4);
+        for i in 0..1024u64 {
+            m.access(i * 32);
+        }
+        // 1024 sector accesses over 8 rows: 8 misses.
+        assert_eq!(m.misses(), 8);
+        assert!(m.hit_rate() > 0.99);
+    }
+
+    #[test]
+    fn huge_stride_always_misses() {
+        let mut m = RowBufferModel::new(4096, 16);
+        for i in 0..100u64 {
+            m.access(i * 65536); // 64 KiB stride: new row every time
+        }
+        assert_eq!(m.misses(), 100);
+        assert_eq!(m.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn chunked_stride_hits_proportionally() {
+        // chunk = 64 f32 → 256-byte plane stride → 16 accesses per 4 KiB row.
+        let mut m = RowBufferModel::new(4096, 16);
+        for i in 0..160u64 {
+            m.access(i * 256);
+        }
+        assert_eq!(m.misses(), 10);
+        assert!((m.hit_rate() - 150.0 / 160.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_degrades_with_penalty() {
+        let mut m = RowBufferModel::new(4096, 1);
+        for i in 0..10u64 {
+            m.access(i * 8192);
+        }
+        assert_eq!(m.efficiency(1.0), 1.0);
+        assert!((m.efficiency(2.5) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_keeps_recent_rows_open() {
+        let mut m = RowBufferModel::new(4096, 2);
+        assert!(!m.access(0)); // row 0: miss
+        assert!(!m.access(4096)); // row 1: miss
+        assert!(m.access(0)); // row 0: hit (now most recent)
+        assert!(!m.access(8192)); // row 2: miss, evicts row 1 (LRU)
+        assert!(!m.access(4096), "row 1 was evicted");
+        assert_eq!(m.hits(), 1);
+        assert_eq!(m.misses(), 4);
+    }
+
+    #[test]
+    fn untouched_model_is_neutral() {
+        let m = RowBufferModel::new(4096, 8);
+        assert_eq!(m.hit_rate(), 1.0);
+        assert_eq!(m.efficiency(3.0), 1.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! The functional executor: runs kernels with real arithmetic against a
+//! flat global-memory buffer, producing bit-level results that the tests
+//! compare against the host oracle.
+
+use crate::kernel::{KernelCtx, LaunchConfig, ThreadId, ThreadKernel};
+use crate::mem::SharedMem;
+use rayon::prelude::*;
+
+/// Arithmetic mode of a functional launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecOptions {
+    /// Emulate `--use_fast_math`: division, square root, and reciprocal go
+    /// through hardware-approximation emulation (a few mantissa bits of
+    /// error) instead of IEEE rounding.
+    pub fast_math: bool,
+}
+
+/// Truncates the low `bits` mantissa bits — a simple stand-in for the
+/// reduced accuracy of the SFU approximate ops under `--use_fast_math`.
+#[inline]
+pub(crate) fn degrade(v: f32, bits: u32) -> f32 {
+    if !v.is_finite() {
+        return v;
+    }
+    let mask = !((1u32 << bits) - 1);
+    f32::from_bits(v.to_bits() & mask)
+}
+
+/// Functional execution context for one thread.
+struct ExecCtx<'a> {
+    thread: ThreadId,
+    mem: &'a SharedMem<'a>,
+    fast_math: bool,
+}
+
+impl KernelCtx for ExecCtx<'_> {
+    #[inline]
+    fn thread(&self) -> ThreadId {
+        self.thread
+    }
+    #[inline]
+    fn ld(&mut self, addr: usize) -> f32 {
+        // SAFETY: kernels launched through `launch_functional` promise
+        // per-thread-disjoint address footprints (see its doc contract).
+        unsafe { self.mem.read(addr) }
+    }
+    #[inline]
+    fn st(&mut self, addr: usize, v: f32) {
+        // SAFETY: as above.
+        unsafe { self.mem.write(addr, v) }
+    }
+    #[inline]
+    fn fma(&mut self, a: f32, b: f32, c: f32) -> f32 {
+        a.mul_add(b, c)
+    }
+    #[inline]
+    fn mul(&mut self, a: f32, b: f32) -> f32 {
+        a * b
+    }
+    #[inline]
+    fn add(&mut self, a: f32, b: f32) -> f32 {
+        a + b
+    }
+    #[inline]
+    fn sub(&mut self, a: f32, b: f32) -> f32 {
+        a - b
+    }
+    #[inline]
+    fn div(&mut self, a: f32, b: f32) -> f32 {
+        if self.fast_math {
+            degrade(a / b, 2)
+        } else {
+            a / b
+        }
+    }
+    #[inline]
+    fn sqrt(&mut self, a: f32) -> f32 {
+        if self.fast_math {
+            degrade(a.sqrt(), 2)
+        } else {
+            a.sqrt()
+        }
+    }
+    #[inline]
+    fn rcp(&mut self, a: f32) -> f32 {
+        if self.fast_math {
+            degrade(a.recip(), 2)
+        } else {
+            a.recip()
+        }
+    }
+    #[inline]
+    fn iops(&mut self, _count: u64) {}
+}
+
+/// Runs a [`ThreadKernel`] functionally over global memory `mem`.
+///
+/// # Contract
+/// Distinct threads of the launch must touch disjoint sets of addresses
+/// (the defining property of the one-thread-one-matrix interleaved
+/// kernels); blocks are executed in parallel under that assumption.
+///
+/// # Panics
+/// If any thread accesses an address `>= mem.len()` (index check inside the
+/// cell slice).
+pub fn launch_functional<K: ThreadKernel>(
+    kernel: &K,
+    launch: LaunchConfig,
+    mem: &mut [f32],
+    opts: ExecOptions,
+) {
+    let shared = SharedMem::new(mem);
+    (0..launch.grid).into_par_iter().for_each(|block| {
+        for tid in 0..launch.block {
+            let mut ctx = ExecCtx {
+                thread: ThreadId { block, tid, block_dim: launch.block },
+                mem: &shared,
+                fast_math: opts.fast_math,
+            };
+            kernel.run(&mut ctx);
+        }
+    });
+}
+
+/// Runs a [`ThreadKernel`] functionally on a single OS thread (no rayon),
+/// for deterministic debugging and for callers that cannot promise
+/// cross-block disjointness.
+pub fn launch_functional_seq<K: ThreadKernel>(
+    kernel: &K,
+    launch: LaunchConfig,
+    mem: &mut [f32],
+    opts: ExecOptions,
+) {
+    let shared = SharedMem::new(mem);
+    for block in 0..launch.grid {
+        for tid in 0..launch.block {
+            let mut ctx = ExecCtx {
+                thread: ThreadId { block, tid, block_dim: launch.block },
+                mem: &shared,
+                fast_math: opts.fast_math,
+            };
+            kernel.run(&mut ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelStatics;
+
+    /// Each thread squares its own element and adds its global id.
+    struct SquareKernel {
+        len: usize,
+    }
+
+    impl ThreadKernel for SquareKernel {
+        fn run<C: KernelCtx>(&self, ctx: &mut C) {
+            let g = ctx.thread().global();
+            if g < self.len {
+                let v = ctx.ld(g);
+                let sq = ctx.mul(v, v);
+                let out = ctx.add(sq, g as f32);
+                ctx.st(g, out);
+            }
+        }
+        fn statics(&self) -> KernelStatics {
+            KernelStatics::streaming(8, 16)
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let len = 4096;
+        let mut a: Vec<f32> = (0..len).map(|i| (i as f32) * 0.25).collect();
+        let mut b = a.clone();
+        let k = SquareKernel { len };
+        let lc = LaunchConfig::new(len / 64, 64);
+        launch_functional(&k, lc, &mut a, ExecOptions::default());
+        launch_functional_seq(&k, lc, &mut b, ExecOptions::default());
+        assert_eq!(a, b);
+        for (i, v) in b.iter().enumerate() {
+            let x = (i as f32) * 0.25;
+            assert_eq!(*v, x * x + i as f32);
+        }
+    }
+
+    /// Thread 0 computes 1/3 and sqrt(2) into memory.
+    struct SpecialOps;
+    impl ThreadKernel for SpecialOps {
+        fn run<C: KernelCtx>(&self, ctx: &mut C) {
+            if ctx.thread().global() == 0 {
+                let third = ctx.div(1.0, 3.0);
+                ctx.st(0, third);
+                let r = ctx.sqrt(2.0);
+                ctx.st(1, r);
+                let rc = ctx.rcp(7.0);
+                ctx.st(2, rc);
+            }
+        }
+        fn statics(&self) -> KernelStatics {
+            KernelStatics::streaming(8, 8)
+        }
+    }
+
+    #[test]
+    fn fast_math_degrades_but_stays_close() {
+        let mut ieee = vec![0.0f32; 32];
+        let mut fast = vec![0.0f32; 32];
+        let lc = LaunchConfig::new(1, 32);
+        launch_functional_seq(&SpecialOps, lc, &mut ieee, ExecOptions { fast_math: false });
+        launch_functional_seq(&SpecialOps, lc, &mut fast, ExecOptions { fast_math: true });
+        assert_eq!(ieee[0], 1.0f32 / 3.0);
+        assert_eq!(ieee[1], 2.0f32.sqrt());
+        for i in 0..3 {
+            let rel = ((ieee[i] - fast[i]) / ieee[i]).abs();
+            assert!(rel < 1e-5, "i={i}: {} vs {}", ieee[i], fast[i]);
+        }
+    }
+
+    #[test]
+    fn degrade_preserves_non_finite() {
+        assert!(degrade(f32::NAN, 2).is_nan());
+        assert_eq!(degrade(f32::INFINITY, 2), f32::INFINITY);
+    }
+}

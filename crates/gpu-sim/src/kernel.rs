@@ -1,0 +1,181 @@
+//! Kernel abstractions: per-thread device code written once, executed by
+//! either the functional executor (real arithmetic on device memory) or the
+//! timing executor (instruction/address tracing through the performance
+//! model).
+//!
+//! Cholesky has no data-dependent control flow, so one kernel body serves
+//! both purposes — the same property that lets the paper's generated CUDA
+//! kernels be analyzed statically.
+
+use serde::{Deserialize, Serialize};
+
+/// Grid/block shape of a launch (1-D, like the paper's kernels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaunchConfig {
+    /// Number of thread blocks.
+    pub grid: usize,
+    /// Threads per block (a multiple of the warp size).
+    pub block: usize,
+}
+
+impl LaunchConfig {
+    /// A launch of `grid` blocks of `block` threads.
+    pub fn new(grid: usize, block: usize) -> Self {
+        assert!(grid > 0, "grid must be non-empty");
+        assert!(block > 0 && block.is_multiple_of(32), "block must be a positive warp multiple");
+        LaunchConfig { grid, block }
+    }
+
+    /// Total threads in the launch.
+    pub fn total_threads(&self) -> usize {
+        self.grid * self.block
+    }
+
+    /// Warps per block.
+    pub fn warps_per_block(&self) -> usize {
+        self.block / 32
+    }
+}
+
+/// Identity of the executing thread, as seen by kernel code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadId {
+    /// Block index within the grid.
+    pub block: usize,
+    /// Thread index within the block.
+    pub tid: usize,
+    /// Threads per block.
+    pub block_dim: usize,
+}
+
+impl ThreadId {
+    /// Global thread index `block * block_dim + tid`.
+    pub fn global(&self) -> usize {
+        self.block * self.block_dim + self.tid
+    }
+
+    /// Lane within the warp.
+    pub fn lane(&self) -> usize {
+        self.tid % 32
+    }
+
+    /// Warp index within the block.
+    pub fn warp(&self) -> usize {
+        self.tid / 32
+    }
+}
+
+/// The device-side instruction set available to kernel bodies.
+///
+/// Addresses are in **f32 elements** from the start of global memory.
+/// Every arithmetic method is an *instruction*: the functional executor
+/// computes it, the timing executor prices it. Kernel code must route all
+/// floating-point work through these methods for the trace to be faithful.
+pub trait KernelCtx {
+    /// Who am I?
+    fn thread(&self) -> ThreadId;
+    /// Global-memory load.
+    fn ld(&mut self, addr: usize) -> f32;
+    /// Global-memory store.
+    fn st(&mut self, addr: usize, v: f32);
+    /// Fused multiply-add `a * b + c`.
+    fn fma(&mut self, a: f32, b: f32, c: f32) -> f32;
+    /// Multiply.
+    fn mul(&mut self, a: f32, b: f32) -> f32;
+    /// Add.
+    fn add(&mut self, a: f32, b: f32) -> f32;
+    /// Subtract.
+    fn sub(&mut self, a: f32, b: f32) -> f32;
+    /// Divide (IEEE or fast per launch options).
+    fn div(&mut self, a: f32, b: f32) -> f32;
+    /// Square root (IEEE or fast per launch options).
+    fn sqrt(&mut self, a: f32) -> f32;
+    /// Reciprocal (IEEE-quality or SFU-approximate per launch options).
+    fn rcp(&mut self, a: f32) -> f32;
+    /// Accounts `count` integer/address/branch overhead instructions.
+    /// Functionally a no-op; the timing executor prices them. Kernel code
+    /// calls this for loop overhead that full unrolling would remove.
+    fn iops(&mut self, count: u64);
+}
+
+/// Static resource estimates a kernel reports to the timing model —
+/// everything `nvcc`'s compilation statistics would say about the paper's
+/// generated kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelStatics {
+    /// Registers per thread the kernel's working set requires (before
+    /// allocation-granularity rounding; may exceed the architectural
+    /// maximum, in which case the timing model adds spill traffic).
+    pub regs_per_thread: u32,
+    /// Static instruction count of the generated code (drives the
+    /// instruction-cache pressure model).
+    pub static_instrs: u64,
+    /// Capacity, in values, of the cross-operation register-reuse window.
+    /// Fully unrolled straight-line code lets the compiler forward values
+    /// across tile operations (capacity ≈ available registers); looped
+    /// code reloads tiles from memory every operation (capacity 0).
+    pub reg_reuse_capacity: u32,
+    /// If true, redundant stores to the same address are eliminated (only
+    /// the last store pays traffic) — dead-store elimination across the
+    /// fully unrolled factorization when the matrix is register-resident.
+    pub dead_store_elim: bool,
+    /// Shared memory bytes per block (0 for the interleaved kernels).
+    pub shared_bytes_per_block: u32,
+}
+
+impl KernelStatics {
+    /// Statics for a plain streaming kernel with no cross-op reuse.
+    pub fn streaming(regs_per_thread: u32, static_instrs: u64) -> Self {
+        KernelStatics {
+            regs_per_thread,
+            static_instrs,
+            reg_reuse_capacity: 0,
+            dead_store_elim: false,
+            shared_bytes_per_block: 0,
+        }
+    }
+}
+
+/// A kernel whose threads are fully independent (no shared memory, no
+/// barriers) — the shape of all interleaved-layout kernels: one thread owns
+/// one matrix.
+pub trait ThreadKernel: Sync {
+    /// Per-thread body.
+    fn run<C: KernelCtx>(&self, ctx: &mut C);
+    /// Static resource estimates.
+    fn statics(&self) -> KernelStatics;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_config_arithmetic() {
+        let lc = LaunchConfig::new(512, 64);
+        assert_eq!(lc.total_threads(), 32768);
+        assert_eq!(lc.warps_per_block(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "warp multiple")]
+    fn rejects_ragged_block() {
+        let _ = LaunchConfig::new(4, 48);
+    }
+
+    #[test]
+    fn thread_id_lanes() {
+        let t = ThreadId { block: 3, tid: 37, block_dim: 64 };
+        assert_eq!(t.global(), 3 * 64 + 37);
+        assert_eq!(t.lane(), 5);
+        assert_eq!(t.warp(), 1);
+    }
+
+    #[test]
+    fn streaming_statics() {
+        let s = KernelStatics::streaming(40, 1000);
+        assert_eq!(s.reg_reuse_capacity, 0);
+        assert!(!s.dead_store_elim);
+        assert_eq!(s.shared_bytes_per_block, 0);
+    }
+}

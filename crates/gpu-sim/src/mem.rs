@@ -1,0 +1,34 @@
+//! Shared global-memory buffer for parallel functional execution.
+
+use std::cell::UnsafeCell;
+
+/// Global memory shared across rayon workers. Soundness rests on the
+/// launch contract that distinct blocks/threads touch disjoint addresses.
+pub(crate) struct SharedMem<'a> {
+    data: &'a [UnsafeCell<f32>],
+}
+
+unsafe impl Sync for SharedMem<'_> {}
+
+impl<'a> SharedMem<'a> {
+    pub(crate) fn new(slice: &'a mut [f32]) -> Self {
+        // SAFETY: UnsafeCell<f32> is layout-compatible with f32 and we own
+        // the unique borrow for 'a.
+        let data = unsafe { &*(slice as *mut [f32] as *const [UnsafeCell<f32>]) };
+        SharedMem { data }
+    }
+
+    /// # Safety
+    /// No concurrent writer to `addr`.
+    #[inline]
+    pub(crate) unsafe fn read(&self, addr: usize) -> f32 {
+        unsafe { *self.data[addr].get() }
+    }
+
+    /// # Safety
+    /// No concurrent reader or writer of `addr`.
+    #[inline]
+    pub(crate) unsafe fn write(&self, addr: usize, v: f32) {
+        unsafe { *self.data[addr].get() = v };
+    }
+}

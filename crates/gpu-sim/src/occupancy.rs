@@ -1,0 +1,135 @@
+//! Occupancy: how many blocks and warps an SM can keep resident, and what
+//! limits them — the CUDA occupancy calculator, reduced to what the timing
+//! model needs.
+
+use crate::spec::GpuSpec;
+use serde::{Deserialize, Serialize};
+
+/// Which resource capped the number of resident blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OccLimiter {
+    /// Per-SM register file.
+    Registers,
+    /// Max threads per SM.
+    Threads,
+    /// Max blocks per SM.
+    Blocks,
+    /// Shared memory per SM.
+    SharedMemory,
+}
+
+/// Occupancy of one kernel configuration on one SM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Occupancy {
+    /// Concurrent blocks per SM.
+    pub blocks_per_sm: u32,
+    /// Concurrent warps per SM.
+    pub warps_per_sm: u32,
+    /// Fraction of the SM's maximum resident warps.
+    pub occupancy: f64,
+    /// The binding resource.
+    pub limiter: OccLimiter,
+}
+
+/// Computes occupancy for a block of `block_threads` threads needing
+/// `regs_per_thread` registers (pre-rounding) and `shared_bytes` of shared
+/// memory per block.
+///
+/// Registers per thread are clamped to the architectural maximum before
+/// the register-file constraint (excess spills to local memory and is
+/// charged by the timing model, not here).
+pub fn occupancy(
+    spec: &GpuSpec,
+    block_threads: usize,
+    regs_per_thread: u32,
+    shared_bytes: u32,
+) -> Occupancy {
+    assert!(block_threads > 0 && block_threads.is_multiple_of(spec.warp_size as usize));
+    let threads = block_threads as u32;
+    let regs = spec.rounded_regs(regs_per_thread.min(spec.max_regs_per_thread).max(1));
+
+    let by_threads = spec.max_threads_per_sm / threads;
+    let by_blocks = spec.max_blocks_per_sm;
+    let by_regs = spec.regs_per_sm / (regs * threads);
+    let by_shared = spec.shared_per_sm.checked_div(shared_bytes).unwrap_or(u32::MAX);
+
+    let blocks = by_threads.min(by_blocks).min(by_regs).min(by_shared);
+    let limiter = if blocks == by_threads {
+        OccLimiter::Threads
+    } else if blocks == by_regs {
+        OccLimiter::Registers
+    } else if blocks == by_shared && shared_bytes > 0 {
+        OccLimiter::SharedMemory
+    } else {
+        OccLimiter::Blocks
+    };
+    let blocks = blocks.max(1); // a kernel that fits nowhere still runs, serially
+    let warps = blocks * threads / spec.warp_size;
+    let max_warps = spec.max_threads_per_sm / spec.warp_size;
+    Occupancy {
+        blocks_per_sm: blocks,
+        warps_per_sm: warps,
+        occupancy: f64::from(warps) / f64::from(max_warps),
+        limiter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_blocks_hit_block_limit() {
+        let spec = GpuSpec::p100();
+        // 32-thread blocks, light registers: capped by 32 blocks/SM.
+        let o = occupancy(&spec, 32, 32, 0);
+        assert_eq!(o.blocks_per_sm, 32);
+        assert_eq!(o.warps_per_sm, 32);
+        assert_eq!(o.limiter, OccLimiter::Blocks);
+        assert!((o.occupancy - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavy_registers_limit_occupancy() {
+        let spec = GpuSpec::p100();
+        // 240 regs → rounded 240; 32 threads → 7680 regs/block →
+        // 65536 / 7680 = 8 blocks.
+        let o = occupancy(&spec, 32, 240, 0);
+        assert_eq!(o.blocks_per_sm, 8);
+        assert_eq!(o.limiter, OccLimiter::Registers);
+    }
+
+    #[test]
+    fn big_blocks_hit_thread_limit() {
+        let spec = GpuSpec::p100();
+        let o = occupancy(&spec, 512, 32, 0);
+        assert_eq!(o.blocks_per_sm, 4);
+        assert_eq!(o.warps_per_sm, 64);
+        assert_eq!(o.limiter, OccLimiter::Threads);
+        assert!((o.occupancy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_memory_limits() {
+        let spec = GpuSpec::p100();
+        // 32 KiB per block → 2 blocks per 64 KiB SM.
+        let o = occupancy(&spec, 64, 32, 32 * 1024);
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.limiter, OccLimiter::SharedMemory);
+    }
+
+    #[test]
+    fn excess_registers_clamped_not_zero() {
+        let spec = GpuSpec::p100();
+        // 400 regs/thread clamps to 255 (rounded 256): 65536/(256·32) = 8.
+        let o = occupancy(&spec, 32, 400, 0);
+        assert_eq!(o.blocks_per_sm, 8);
+    }
+
+    #[test]
+    fn always_at_least_one_block() {
+        let spec = GpuSpec::p100();
+        let o = occupancy(&spec, 1024, 255, 48 * 1024);
+        assert!(o.blocks_per_sm >= 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! The timing report a simulated launch produces.
+
+use crate::occupancy::Occupancy;
+use serde::{Deserialize, Serialize};
+
+/// Which resource bound the kernel's runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bottleneck {
+    /// Arithmetic issue (FP pipelines).
+    Compute,
+    /// Load/store unit issue (transaction replays).
+    Lsu,
+    /// DRAM bandwidth.
+    Dram,
+}
+
+/// Timing estimate and diagnostic breakdown of one kernel launch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelTiming {
+    /// Estimated wall time of the launch, seconds.
+    pub time_s: f64,
+    /// Arithmetic issue time, seconds (wave-quantization adjusted).
+    pub compute_time_s: f64,
+    /// LSU issue time, seconds (wave-quantization adjusted).
+    pub lsu_time_s: f64,
+    /// DRAM transfer time, seconds (row-buffer efficiency adjusted).
+    pub dram_time_s: f64,
+    /// Which term won.
+    pub bottleneck: Bottleneck,
+    /// Total DRAM traffic, bytes (after L2 filtering, including spills).
+    pub dram_bytes: u64,
+    /// DRAM row-buffer hit rate of the traced stream.
+    pub row_hit_rate: f64,
+    /// L2 hit rate of the traced stream.
+    pub l2_hit_rate: f64,
+    /// Average memory transactions per warp access (1.0 = perfectly
+    /// coalesced).
+    pub transactions_per_access: f64,
+    /// Loads eliminated by the register-reuse window, per warp.
+    pub reg_reuse_eliminated_loads: u64,
+    /// Stores eliminated by dead-store elimination, per warp.
+    pub eliminated_stores: u64,
+    /// Local-memory spill traffic, bytes (whole launch).
+    pub spill_bytes: u64,
+    /// Kernel code size, bytes.
+    pub code_bytes: u64,
+    /// Instruction-fetch penalty multiplier (1.0 = fits in I-cache).
+    pub icache_penalty: f64,
+    /// Occupancy achieved.
+    pub occupancy: Occupancy,
+    /// Number of scheduling waves.
+    pub waves: u64,
+    /// Fraction of block slots filled across all waves (tail/quantization
+    /// losses show up here).
+    pub utilization: f64,
+    /// Dynamic flops per thread, as traced.
+    pub flops_per_thread: u64,
+}
+
+impl KernelTiming {
+    /// Gflop/s of the launch given the externally-defined useful flop
+    /// count (the paper always uses `batch · n³/3`).
+    pub fn gflops(&self, useful_flops: f64) -> f64 {
+        useful_flops / self.time_s / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::occupancy::OccLimiter;
+
+    #[test]
+    fn gflops_from_time() {
+        let t = KernelTiming {
+            time_s: 1e-3,
+            compute_time_s: 1e-3,
+            lsu_time_s: 0.0,
+            dram_time_s: 0.0,
+            bottleneck: Bottleneck::Compute,
+            dram_bytes: 0,
+            row_hit_rate: 1.0,
+            l2_hit_rate: 0.0,
+            transactions_per_access: 1.0,
+            reg_reuse_eliminated_loads: 0,
+            eliminated_stores: 0,
+            spill_bytes: 0,
+            code_bytes: 0,
+            icache_penalty: 1.0,
+            occupancy: Occupancy {
+                blocks_per_sm: 1,
+                warps_per_sm: 1,
+                occupancy: 0.1,
+                limiter: OccLimiter::Blocks,
+            },
+            waves: 1,
+            utilization: 1.0,
+            flops_per_thread: 0,
+        };
+        assert!((t.gflops(2e9) - 2000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,263 @@
+//! GPU hardware descriptions driving the timing model.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-operation issue costs, in **SM-cycles per warp instruction**.
+///
+/// A cost of 0.5 means two such warp instructions complete per SM cycle
+/// (e.g. FP32 FMA on a 64-lane Pascal SM executing two 32-lane warps per
+/// cycle). IEEE-compliant division and square root compile to multi-
+/// instruction refinement sequences on NVIDIA GPUs, which is what
+/// `--use_fast_math` removes — the effect the paper's Figure 13 isolates.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct OpCosts {
+    /// FMA / MUL / ADD / SUB.
+    pub fma: f64,
+    /// Integer / addressing / branch overhead op.
+    pub iop: f64,
+    /// IEEE-compliant FP32 divide.
+    pub div_ieee: f64,
+    /// Fast (approximate) FP32 divide (`--use_fast_math`).
+    pub div_fast: f64,
+    /// IEEE-compliant FP32 square root.
+    pub sqrt_ieee: f64,
+    /// Fast FP32 square root.
+    pub sqrt_fast: f64,
+    /// IEEE-quality reciprocal (division by refinement).
+    pub rcp_ieee: f64,
+    /// Hardware approximate reciprocal (SFU).
+    pub rcp_fast: f64,
+    /// Block-wide barrier, per warp.
+    pub sync: f64,
+    /// LSU cost per memory transaction (128-byte line) of a warp access;
+    /// uncoalesced accesses replay once per extra line.
+    pub lsu_per_transaction: f64,
+    /// Shared-memory access per warp instruction; bank conflicts replay.
+    pub shared_access: f64,
+}
+
+impl Default for OpCosts {
+    fn default() -> Self {
+        OpCosts {
+            fma: 0.5,
+            iop: 0.5,
+            div_ieee: 40.0,
+            div_fast: 4.0,
+            sqrt_ieee: 45.0,
+            sqrt_fast: 4.0,
+            rcp_ieee: 40.0,
+            rcp_fast: 2.0,
+            sync: 16.0,
+            lsu_per_transaction: 1.0,
+            shared_access: 1.0,
+        }
+    }
+}
+
+impl OpCosts {
+    /// Divide cost under the given arithmetic mode.
+    pub fn div(&self, fast_math: bool) -> f64 {
+        if fast_math {
+            self.div_fast
+        } else {
+            self.div_ieee
+        }
+    }
+
+    /// Square-root cost under the given arithmetic mode.
+    pub fn sqrt(&self, fast_math: bool) -> f64 {
+        if fast_math {
+            self.sqrt_fast
+        } else {
+            self.sqrt_ieee
+        }
+    }
+
+    /// Reciprocal cost under the given arithmetic mode.
+    pub fn rcp(&self, fast_math: bool) -> f64 {
+        if fast_math {
+            self.rcp_fast
+        } else {
+            self.rcp_ieee
+        }
+    }
+}
+
+/// A GPU model: the architectural constants consumed by the occupancy,
+/// memory, and timing models.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Marketing name, for reports.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub sms: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// FP32 lanes per SM (CUDA cores).
+    pub fp32_lanes_per_sm: u32,
+    /// Threads per warp.
+    pub warp_size: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// 32-bit registers per SM.
+    pub regs_per_sm: u32,
+    /// Maximum registers addressable per thread; excess spills to local
+    /// memory.
+    pub max_regs_per_thread: u32,
+    /// Register allocation granularity (registers are rounded up to this).
+    pub reg_alloc_granularity: u32,
+    /// Shared memory per SM, bytes.
+    pub shared_per_sm: u32,
+    /// Maximum shared memory per block, bytes.
+    pub max_shared_per_block: u32,
+    /// Shared memory banks.
+    pub shared_banks: u32,
+    /// L2 cache size, bytes.
+    pub l2_bytes: u64,
+    /// L2 line (sector granularity tracked separately), bytes.
+    pub l2_line_bytes: u32,
+    /// L2 associativity (ways) for the set-associative model.
+    pub l2_ways: u32,
+    /// Coalescing line size, bytes (L1/transaction granularity).
+    pub line_bytes: u32,
+    /// DRAM sector size, bytes (minimum DRAM transfer).
+    pub sector_bytes: u32,
+    /// Peak DRAM bandwidth, GB/s.
+    pub dram_gbps: f64,
+    /// DRAM row-buffer (page) size, bytes — granularity of the open-row
+    /// spatial-locality model that makes chunking matter.
+    pub dram_row_bytes: u32,
+    /// Number of row buffers a single access stream keeps open (an
+    /// abstraction of banks × channels visible to one warp's stream).
+    pub dram_open_rows: u32,
+    /// Cost multiplier of a row-miss DRAM access relative to a row hit.
+    pub dram_row_miss_penalty: f64,
+    /// Instruction cache size, bytes. Kernels whose hot code exceeds this
+    /// pay a fetch penalty — the paper's "aggressive unrolling works to a
+    /// point".
+    pub icache_bytes: u32,
+    /// Strength of the instruction-fetch penalty per doubling of code size
+    /// beyond the instruction cache.
+    pub icache_beta: f64,
+    /// Average encoded instruction size, bytes.
+    pub instr_bytes: u32,
+    /// Estimated extra DRAM round trips per spilled register per use
+    /// (local-memory traffic model).
+    pub spill_reuse_factor: f64,
+    /// Operation issue costs.
+    pub costs: OpCosts,
+}
+
+impl GpuSpec {
+    /// NVIDIA P100 (Pascal, GP100) — the card used in the paper, CUDA 8.0.
+    pub fn p100() -> Self {
+        GpuSpec {
+            name: "NVIDIA P100 (Pascal)".to_string(),
+            sms: 56,
+            clock_ghz: 1.303,
+            fp32_lanes_per_sm: 64,
+            warp_size: 32,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            regs_per_sm: 65536,
+            max_regs_per_thread: 255,
+            reg_alloc_granularity: 8,
+            shared_per_sm: 64 * 1024,
+            max_shared_per_block: 48 * 1024,
+            shared_banks: 32,
+            l2_bytes: 4 * 1024 * 1024,
+            l2_line_bytes: 128,
+            l2_ways: 16,
+            line_bytes: 128,
+            sector_bytes: 32,
+            dram_gbps: 732.0,
+            dram_row_bytes: 4096,
+            dram_open_rows: 16,
+            dram_row_miss_penalty: 2.5,
+            icache_bytes: 12 * 1024,
+            icache_beta: 0.10,
+            instr_bytes: 8,
+            spill_reuse_factor: 2.0,
+            costs: OpCosts::default(),
+        }
+    }
+
+    /// NVIDIA V100 (Volta) — a second preset to exercise spec sensitivity.
+    pub fn v100() -> Self {
+        GpuSpec {
+            name: "NVIDIA V100 (Volta)".to_string(),
+            sms: 80,
+            clock_ghz: 1.53,
+            dram_gbps: 900.0,
+            l2_bytes: 6 * 1024 * 1024,
+            shared_per_sm: 96 * 1024,
+            icache_bytes: 12 * 1024,
+            ..Self::p100()
+        }
+    }
+
+    /// Peak FP32 throughput in GFLOP/s (2 flops per lane-FMA per cycle).
+    pub fn peak_gflops(&self) -> f64 {
+        self.sms as f64 * self.fp32_lanes_per_sm as f64 * 2.0 * self.clock_ghz
+    }
+
+    /// Core clock in Hz.
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_ghz * 1e9
+    }
+
+    /// Registers per thread after allocation-granularity rounding.
+    pub fn rounded_regs(&self, regs: u32) -> u32 {
+        let g = self.reg_alloc_granularity.max(1);
+        regs.div_ceil(g) * g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p100_peak_matches_datasheet() {
+        let spec = GpuSpec::p100();
+        // Datasheet: ~9.3 TFLOP/s single precision.
+        let peak = spec.peak_gflops();
+        assert!((peak - 9340.0).abs() < 50.0, "peak = {peak}");
+    }
+
+    #[test]
+    fn fast_math_is_cheaper() {
+        let c = OpCosts::default();
+        assert!(c.div(true) < c.div(false));
+        assert!(c.sqrt(true) < c.sqrt(false));
+        assert!(c.rcp(true) < c.rcp(false));
+    }
+
+    #[test]
+    fn register_rounding() {
+        let spec = GpuSpec::p100();
+        assert_eq!(spec.rounded_regs(1), 8);
+        assert_eq!(spec.rounded_regs(8), 8);
+        assert_eq!(spec.rounded_regs(9), 16);
+        assert_eq!(spec.rounded_regs(255), 256);
+    }
+
+    #[test]
+    fn v100_differs_sensibly() {
+        let p = GpuSpec::p100();
+        let v = GpuSpec::v100();
+        assert!(v.peak_gflops() > p.peak_gflops());
+        assert!(v.dram_gbps > p.dram_gbps);
+        assert_eq!(v.warp_size, 32);
+    }
+
+    #[test]
+    fn spec_is_cloneable() {
+        let spec = GpuSpec::p100();
+        let c = spec.clone();
+        assert_eq!(c.sms, spec.sms);
+        assert_eq!(c.name, spec.name);
+    }
+}

@@ -1,0 +1,381 @@
+//! The tracing executor: runs kernel code with dummy arithmetic, recording
+//! per-lane instruction counts and memory address streams.
+//!
+//! Because the Cholesky kernels have no data-dependent control flow, the
+//! k-th memory access of every lane corresponds to the same source
+//! instruction, so per-lane streams zip into warp-level accesses exactly as
+//! the hardware would see them — and one traced warp is representative of
+//! every warp in the launch.
+
+use crate::kernel::{KernelCtx, LaunchConfig, ThreadId, ThreadKernel};
+use std::collections::{BTreeMap, HashMap};
+
+/// Dynamic instruction counts of one thread (warp-representative lane).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// FMA-class ops (fma/mul/add/sub).
+    pub fma_class: u64,
+    /// Divides.
+    pub div: u64,
+    /// Square roots.
+    pub sqrt: u64,
+    /// Reciprocals.
+    pub rcp: u64,
+    /// Integer/address/branch overhead ops.
+    pub iops: u64,
+    /// Global loads.
+    pub loads: u64,
+    /// Global stores.
+    pub stores: u64,
+}
+
+impl OpCounts {
+    /// Floating-point operations performed (for flop accounting: FMA-class
+    /// counted once, div/sqrt/rcp once each).
+    pub fn flops(&self) -> u64 {
+        self.fma_class + self.div + self.sqrt + self.rcp
+    }
+
+    /// Total dynamic instructions.
+    pub fn total(&self) -> u64 {
+        self.flops() + self.iops + self.loads + self.stores
+    }
+
+    /// Elementwise maximum — the SIMT cost of a warp whose lanes diverge
+    /// is the union of their paths, approximated per op class by the
+    /// busiest lane.
+    pub fn max(self, o: Self) -> Self {
+        OpCounts {
+            fma_class: self.fma_class.max(o.fma_class),
+            div: self.div.max(o.div),
+            sqrt: self.sqrt.max(o.sqrt),
+            rcp: self.rcp.max(o.rcp),
+            iops: self.iops.max(o.iops),
+            loads: self.loads.max(o.loads),
+            stores: self.stores.max(o.stores),
+        }
+    }
+}
+
+/// One recorded memory access of one lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRec {
+    /// `true` for a store, `false` for a load.
+    pub store: bool,
+    /// Element address (f32 words).
+    pub addr: u32,
+}
+
+/// A warp-level memory access: the same instruction across all lanes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarpAccess {
+    /// `true` for a store.
+    pub store: bool,
+    /// One element address per lane.
+    pub addrs: Vec<u32>,
+}
+
+/// The trace of one warp: representative-lane op counts plus the zipped
+/// warp-level access stream.
+#[derive(Debug, Clone)]
+pub struct WarpTrace {
+    /// Dynamic op counts of lane 0 (identical across lanes for the
+    /// data-independent kernels traced here).
+    pub ops: OpCounts,
+    /// Warp-level memory accesses, in program order.
+    pub accesses: Vec<WarpAccess>,
+}
+
+struct TraceCtx {
+    thread: ThreadId,
+    count_ops: bool,
+    ops: OpCounts,
+    mem: Vec<MemRec>,
+}
+
+impl KernelCtx for TraceCtx {
+    #[inline]
+    fn thread(&self) -> ThreadId {
+        self.thread
+    }
+    #[inline]
+    fn ld(&mut self, addr: usize) -> f32 {
+        if self.count_ops {
+            self.ops.loads += 1;
+        }
+        self.mem.push(MemRec { store: false, addr: addr as u32 });
+        1.0
+    }
+    #[inline]
+    fn st(&mut self, addr: usize, _v: f32) {
+        if self.count_ops {
+            self.ops.stores += 1;
+        }
+        self.mem.push(MemRec { store: true, addr: addr as u32 });
+    }
+    #[inline]
+    fn fma(&mut self, _a: f32, _b: f32, _c: f32) -> f32 {
+        self.ops.fma_class += self.count_ops as u64;
+        1.0
+    }
+    #[inline]
+    fn mul(&mut self, _a: f32, _b: f32) -> f32 {
+        self.ops.fma_class += self.count_ops as u64;
+        1.0
+    }
+    #[inline]
+    fn add(&mut self, _a: f32, _b: f32) -> f32 {
+        self.ops.fma_class += self.count_ops as u64;
+        1.0
+    }
+    #[inline]
+    fn sub(&mut self, _a: f32, _b: f32) -> f32 {
+        self.ops.fma_class += self.count_ops as u64;
+        1.0
+    }
+    #[inline]
+    fn div(&mut self, _a: f32, _b: f32) -> f32 {
+        self.ops.div += self.count_ops as u64;
+        1.0
+    }
+    #[inline]
+    fn sqrt(&mut self, _a: f32) -> f32 {
+        self.ops.sqrt += self.count_ops as u64;
+        1.0
+    }
+    #[inline]
+    fn rcp(&mut self, _a: f32) -> f32 {
+        self.ops.rcp += self.count_ops as u64;
+        1.0
+    }
+    #[inline]
+    fn iops(&mut self, count: u64) {
+        if self.count_ops {
+            self.ops.iops += count;
+        }
+    }
+}
+
+/// Traces warp `warp` of block `block` of a launch: executes the 32 lanes
+/// with dummy arithmetic and assembles the warp-level access stream.
+///
+/// # Panics
+/// If the lanes' access streams diverge in length or direction (a
+/// data-dependent kernel, which this tracer does not support).
+pub fn trace_warp<K: ThreadKernel>(
+    kernel: &K,
+    launch: LaunchConfig,
+    block: usize,
+    warp: usize,
+) -> WarpTrace {
+    assert!(block < launch.grid, "block out of range");
+    assert!(warp < launch.warps_per_block(), "warp out of range");
+    let mut lanes: Vec<Vec<MemRec>> = Vec::with_capacity(32);
+    let mut ops = OpCounts::default();
+    for lane in 0..32 {
+        let tid = warp * 32 + lane;
+        let mut ctx = TraceCtx {
+            thread: ThreadId { block, tid, block_dim: launch.block },
+            count_ops: lane == 0,
+            ops: OpCounts::default(),
+            mem: Vec::new(),
+        };
+        kernel.run(&mut ctx);
+        if lane == 0 {
+            ops = ctx.ops;
+        }
+        lanes.push(ctx.mem);
+    }
+    let len = lanes[0].len();
+    for (lane, l) in lanes.iter().enumerate() {
+        assert_eq!(l.len(), len, "lane {lane} diverged in access count");
+    }
+    let mut accesses = Vec::with_capacity(len);
+    for i in 0..len {
+        let store = lanes[0][i].store;
+        let mut addrs = Vec::with_capacity(32);
+        for (lane, l) in lanes.iter().enumerate() {
+            assert_eq!(l[i].store, store, "lane {lane} diverged in access kind at {i}");
+            addrs.push(l[i].addr);
+        }
+        accesses.push(WarpAccess { store, addrs });
+    }
+    WarpTrace { ops, accesses }
+}
+
+/// Result of the register-reuse (and optional dead-store-elimination) pass.
+#[derive(Debug, Clone)]
+pub struct ReusedStream {
+    /// Accesses that still reach the memory system.
+    pub kept: Vec<WarpAccess>,
+    /// Loads satisfied from the register-reuse window (free).
+    pub eliminated_loads: u64,
+    /// Stores removed by dead-store elimination.
+    pub eliminated_stores: u64,
+}
+
+/// Models the register allocation of fully unrolled code: a per-thread LRU
+/// window of `capacity` values. A load whose address is in the window is
+/// forwarded from registers (eliminated); loads and stores insert their
+/// address. With `dead_store_elim`, only the **last** store to each address
+/// reaches memory.
+///
+/// Lane 0's addresses key the window — lanes are symmetric, so elimination
+/// decisions are uniform across the warp, exactly like the compiler's
+/// (lane-agnostic) register allocation of the generated CUDA code.
+///
+/// With `capacity == 0` the stream is returned unchanged: looped code
+/// re-loads tiles from memory every operation.
+pub fn apply_register_reuse(
+    accesses: Vec<WarpAccess>,
+    capacity: u32,
+    dead_store_elim: bool,
+) -> ReusedStream {
+    if capacity == 0 && !dead_store_elim {
+        return ReusedStream { kept: accesses, eliminated_loads: 0, eliminated_stores: 0 };
+    }
+    // Last store index per lane-0 address, for dead-store elimination.
+    let mut last_store: HashMap<u32, usize> = HashMap::new();
+    if dead_store_elim {
+        for (i, a) in accesses.iter().enumerate() {
+            if a.store {
+                last_store.insert(a.addrs[0], i);
+            }
+        }
+    }
+
+    let mut lru_stamp: HashMap<u32, u64> = HashMap::new();
+    let mut by_stamp: BTreeMap<u64, u32> = BTreeMap::new();
+    let mut clock = 0u64;
+    let mut touch = |addr: u32,
+                     lru_stamp: &mut HashMap<u32, u64>,
+                     by_stamp: &mut BTreeMap<u64, u32>| {
+        clock += 1;
+        if let Some(old) = lru_stamp.insert(addr, clock) {
+            by_stamp.remove(&old);
+        }
+        by_stamp.insert(clock, addr);
+        if lru_stamp.len() > capacity as usize {
+            let (&oldest, &victim) = by_stamp.iter().next().expect("non-empty LRU");
+            by_stamp.remove(&oldest);
+            lru_stamp.remove(&victim);
+        }
+    };
+
+    let mut kept = Vec::with_capacity(accesses.len());
+    let mut eliminated_loads = 0u64;
+    let mut eliminated_stores = 0u64;
+    for (i, a) in accesses.into_iter().enumerate() {
+        let key = a.addrs[0];
+        if a.store {
+            if capacity > 0 {
+                touch(key, &mut lru_stamp, &mut by_stamp);
+            }
+            if dead_store_elim && last_store.get(&key) != Some(&i) {
+                eliminated_stores += 1;
+                continue;
+            }
+            kept.push(a);
+        } else {
+            if capacity > 0 && lru_stamp.contains_key(&key) {
+                touch(key, &mut lru_stamp, &mut by_stamp);
+                eliminated_loads += 1;
+                continue;
+            }
+            if capacity > 0 {
+                touch(key, &mut lru_stamp, &mut by_stamp);
+            }
+            kept.push(a);
+        }
+    }
+    ReusedStream { kept, eliminated_loads, eliminated_stores }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelStatics;
+
+    /// Thread t loads a[t], a[t+N], stores to both, reloads the first.
+    struct Pattern;
+    const N: usize = 64;
+    impl ThreadKernel for Pattern {
+        fn run<C: KernelCtx>(&self, ctx: &mut C) {
+            let t = ctx.thread().global();
+            let x = ctx.ld(t);
+            let y = ctx.ld(t + N);
+            let s = ctx.add(x, y);
+            ctx.st(t, s);
+            ctx.st(t + N, s);
+            let again = ctx.ld(t);
+            ctx.st(t, again);
+            ctx.iops(3);
+        }
+        fn statics(&self) -> KernelStatics {
+            KernelStatics::streaming(8, 16)
+        }
+    }
+
+    #[test]
+    fn warp_trace_zips_lanes() {
+        let t = trace_warp(&Pattern, LaunchConfig::new(2, 64), 1, 1);
+        assert_eq!(t.accesses.len(), 6);
+        assert_eq!(t.ops.loads, 3);
+        assert_eq!(t.ops.stores, 3);
+        assert_eq!(t.ops.fma_class, 1);
+        assert_eq!(t.ops.iops, 3);
+        // Block 1, warp 1 → global threads 96..128.
+        assert_eq!(t.accesses[0].addrs[0], 96);
+        assert_eq!(t.accesses[0].addrs[31], 127);
+        assert_eq!(t.accesses[1].addrs[0], (96 + N) as u32);
+        assert!(!t.accesses[0].store);
+        assert!(t.accesses[3].store);
+    }
+
+    #[test]
+    fn reuse_eliminates_register_resident_reload() {
+        let t = trace_warp(&Pattern, LaunchConfig::new(1, 32), 0, 0);
+        let r = apply_register_reuse(t.accesses.clone(), 16, false);
+        // The reload of a[t] hits the window.
+        assert_eq!(r.eliminated_loads, 1);
+        assert_eq!(r.eliminated_stores, 0);
+        assert_eq!(r.kept.len(), 5);
+    }
+
+    #[test]
+    fn dead_store_elimination_keeps_last_store_only() {
+        let t = trace_warp(&Pattern, LaunchConfig::new(1, 32), 0, 0);
+        let r = apply_register_reuse(t.accesses.clone(), 16, true);
+        // Stores to addr t: at indices 2 and 5 → first eliminated.
+        assert_eq!(r.eliminated_stores, 1);
+        assert_eq!(r.eliminated_loads, 1);
+        assert_eq!(r.kept.len(), 4);
+    }
+
+    #[test]
+    fn zero_capacity_is_identity() {
+        let t = trace_warp(&Pattern, LaunchConfig::new(1, 32), 0, 0);
+        let n = t.accesses.len();
+        let r = apply_register_reuse(t.accesses, 0, false);
+        assert_eq!(r.kept.len(), n);
+        assert_eq!(r.eliminated_loads, 0);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // Stream: load A, load B, load C with capacity 2, then reload A
+        // (must miss: evicted), reload C (must hit).
+        let acc = |addr: u32, store: bool| WarpAccess { store, addrs: vec![addr; 32] };
+        let stream = vec![acc(10, false), acc(20, false), acc(30, false), acc(10, false), acc(30, false)];
+        let r = apply_register_reuse(stream, 2, false);
+        assert_eq!(r.eliminated_loads, 1); // only the reload of 30
+        assert_eq!(r.kept.len(), 4);
+    }
+
+    #[test]
+    fn flop_accounting() {
+        let ops = OpCounts { fma_class: 10, div: 2, sqrt: 1, rcp: 3, iops: 5, loads: 4, stores: 4 };
+        assert_eq!(ops.flops(), 16);
+        assert_eq!(ops.total(), 29);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the simulator's memory-system models.
+
+use ibcf_gpu_sim::cache::Cache;
+use ibcf_gpu_sim::coalesce::coalesce;
+use ibcf_gpu_sim::dram::RowBufferModel;
+use ibcf_gpu_sim::trace::{apply_register_reuse, WarpAccess};
+use proptest::prelude::*;
+
+fn arb_addrs() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0u32..1_000_000, 32)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Coalescing bounds: 1 <= transactions <= 32, sectors >= transactions'
+    /// lower bound, and both are monotone under address dedup.
+    #[test]
+    fn coalescing_bounds(addrs in arb_addrs()) {
+        let a = WarpAccess { store: false, addrs };
+        let c = coalesce(&a, 4, 128, 32);
+        prop_assert!(c.transactions >= 1 && c.transactions <= 32);
+        prop_assert!(c.sectors >= c.transactions, "sectors can't be fewer than 128B lines");
+        prop_assert!(c.sectors <= 32);
+        // Sector granularity is finer than line granularity: at most 4
+        // sectors per line.
+        prop_assert!(c.sectors <= c.transactions * 4);
+    }
+
+    /// Unit-stride accesses always coalesce into at most 2 lines.
+    #[test]
+    fn unit_stride_coalesces(base in 0u32..1_000_000) {
+        let a = WarpAccess { store: false, addrs: (base..base + 32).collect() };
+        let c = coalesce(&a, 4, 128, 32);
+        prop_assert!(c.transactions <= 2);
+        prop_assert!(c.sectors <= 5);
+    }
+
+    /// Cache accounting: hits + misses == accesses; a repeat of the same
+    /// address within a working set smaller than capacity always hits.
+    #[test]
+    fn cache_accounting(addrs in prop::collection::vec(0u64..100_000, 1..500)) {
+        let mut c = Cache::new(64 * 1024, 128, 8);
+        for &a in &addrs {
+            c.access(a);
+        }
+        prop_assert_eq!(c.hits() + c.misses(), addrs.len() as u64);
+        prop_assert!(c.hit_rate() >= 0.0 && c.hit_rate() <= 1.0);
+    }
+
+    /// A second pass over a small working set hits entirely (capacity
+    /// permitting, sequential layout).
+    #[test]
+    fn second_pass_hits(lines in 1usize..32) {
+        let mut c = Cache::new(64 * 1024, 128, 8);
+        for pass in 0..2 {
+            for l in 0..lines {
+                let hit = c.access(l as u64 * 128);
+                if pass == 1 {
+                    prop_assert!(hit, "line {l} missed on pass 2");
+                }
+            }
+        }
+    }
+
+    /// Row-buffer efficiency is within (0, 1] and decreasing in the
+    /// penalty.
+    #[test]
+    fn row_efficiency_monotone(addrs in prop::collection::vec(0u64..10_000_000, 1..300)) {
+        let mut m = RowBufferModel::new(4096, 8);
+        for &a in &addrs {
+            m.access(a);
+        }
+        let e1 = m.efficiency(1.0);
+        let e2 = m.efficiency(2.0);
+        let e4 = m.efficiency(4.0);
+        prop_assert!((e1 - 1.0).abs() < 1e-12);
+        prop_assert!(e2 <= e1 && e4 <= e2);
+        prop_assert!(e4 > 0.0);
+    }
+
+    /// Register-reuse elimination never invents accesses and conserves the
+    /// load/store partition.
+    #[test]
+    fn reuse_conserves_accesses(
+        keys in prop::collection::vec((0u32..64, any::<bool>()), 1..200),
+        capacity in 0u32..32,
+        dse in any::<bool>(),
+    ) {
+        let accesses: Vec<WarpAccess> = keys
+            .iter()
+            .map(|&(k, store)| WarpAccess { store, addrs: vec![k; 32] })
+            .collect();
+        let n_loads = accesses.iter().filter(|a| !a.store).count() as u64;
+        let n_stores = accesses.iter().filter(|a| a.store).count() as u64;
+        let r = apply_register_reuse(accesses, capacity, dse);
+        let kept_loads = r.kept.iter().filter(|a| !a.store).count() as u64;
+        let kept_stores = r.kept.iter().filter(|a| a.store).count() as u64;
+        prop_assert_eq!(kept_loads + r.eliminated_loads, n_loads);
+        prop_assert_eq!(kept_stores + r.eliminated_stores, n_stores);
+        if dse {
+            // At most one store per distinct address survives.
+            let mut seen = std::collections::HashSet::new();
+            for a in r.kept.iter().filter(|a| a.store) {
+                prop_assert!(seen.insert(a.addrs[0]), "duplicate store survived DSE");
+            }
+        }
+        if capacity == 0 && !dse {
+            prop_assert_eq!(r.eliminated_loads, 0);
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Static code-size and register estimates — what `nvcc -Xptxas -v` would
+//! report for the paper's generated kernels, derived from an enumeration
+//! of the tile operations each configuration executes.
+
+use crate::config::{KernelConfig, Unroll};
+use ibcf_core::Looking;
+use ibcf_gpu_sim::KernelStatics;
+use std::collections::HashSet;
+
+/// One tile operation with its concrete dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TileOp {
+    /// Cholesky of a `d × d` diagonal tile.
+    Potrf(usize),
+    /// Solve of an `m × d` panel tile.
+    Trsm(usize, usize),
+    /// Rank-k update of a `d × d` diagonal tile.
+    Syrk(usize, usize),
+    /// General `m × n × k` update.
+    Gemm(usize, usize, usize),
+    /// Full-tile load of `r × c`.
+    LoadFull(usize, usize),
+    /// Full-tile store of `r × c`.
+    StoreFull(usize, usize),
+    /// Lower-triangle load of `d × d`.
+    LoadLower(usize),
+    /// Lower-triangle store of `d × d`.
+    StoreLower(usize),
+}
+
+impl TileOp {
+    /// Instruction count of the fully unrolled body of this operation
+    /// (arithmetic + memory instructions; one instruction per element op).
+    pub fn instrs(self) -> u64 {
+        let tri = |d: usize| (d * (d + 1) / 2) as u64;
+        match self {
+            TileOp::Potrf(d) => {
+                let mut c = 0u64;
+                for k in 0..d {
+                    c += 2; // sqrt + rcp
+                    c += (d - k - 1) as u64; // column scaling muls
+                    for j in k + 1..d {
+                        c += (d - j) as u64; // trailing FMAs
+                    }
+                }
+                c
+            }
+            TileOp::Trsm(m, d) => (m * d) as u64 + m as u64 * tri(d.saturating_sub(1)),
+            TileOp::Syrk(d, k) => tri(d) * k as u64,
+            TileOp::Gemm(m, n, k) => (m * n * k) as u64,
+            TileOp::LoadFull(r, c) | TileOp::StoreFull(r, c) => (r * c) as u64,
+            TileOp::LoadLower(d) | TileOp::StoreLower(d) => tri(d),
+        }
+    }
+}
+
+/// Enumerates, in execution order, every tile operation the blocked
+/// factorization of dimension `n` with tile size `nb` performs under the
+/// given looking order — the same structure the device kernel executes and
+/// the host `ibcf_core::blocked` mirrors.
+pub fn walk(n: usize, nb: usize, looking: Looking, mut f: impl FnMut(TileOp)) {
+    let nt = n.div_ceil(nb);
+    let dim = |b: usize| nb.min(n - b * nb);
+    match looking {
+        Looking::Right => {
+            for kk in 0..nt {
+                let dk = dim(kk);
+                f(TileOp::LoadLower(dk));
+                f(TileOp::Potrf(dk));
+                f(TileOp::StoreLower(dk));
+                for mm in kk + 1..nt {
+                    let dm = dim(mm);
+                    f(TileOp::LoadFull(dm, dk));
+                    f(TileOp::Trsm(dm, dk));
+                    f(TileOp::StoreFull(dm, dk));
+                }
+                for nn in kk + 1..nt {
+                    let dn = dim(nn);
+                    f(TileOp::LoadFull(dn, dk));
+                    f(TileOp::LoadLower(dn));
+                    f(TileOp::Syrk(dn, dk));
+                    f(TileOp::StoreLower(dn));
+                    for mm in nn + 1..nt {
+                        let dm = dim(mm);
+                        f(TileOp::LoadFull(dm, dk));
+                        f(TileOp::LoadFull(dm, dn));
+                        f(TileOp::Gemm(dm, dn, dk));
+                        f(TileOp::StoreFull(dm, dn));
+                    }
+                }
+            }
+        }
+        Looking::Left => {
+            // LAPACK's order (Figure 4), at BLAS-call granularity: the
+            // GEMM update of each panel tile is stored, then re-loaded for
+            // the TRSM — one extra write per panel tile compared to the
+            // top-looking order, which is why the paper finds top-looking
+            // the fastest and left-looking in between.
+            for kk in 0..nt {
+                let dk = dim(kk);
+                f(TileOp::LoadLower(dk));
+                for mm in 0..kk {
+                    let dm = dim(mm);
+                    f(TileOp::LoadFull(dk, dm));
+                    f(TileOp::Syrk(dk, dm));
+                }
+                f(TileOp::Potrf(dk));
+                f(TileOp::StoreLower(dk));
+                for ii in kk + 1..nt {
+                    let di = dim(ii);
+                    // GEMM call: update the panel tile, store it (the
+                    // GEMM/TRSM call boundary of the LAPACK order — the
+                    // extra panel write that makes left-looking slower
+                    // than top-looking in the paper's Figure 16).
+                    f(TileOp::LoadFull(di, dk));
+                    for mm in 0..kk {
+                        let dm = dim(mm);
+                        f(TileOp::LoadFull(di, dm));
+                        f(TileOp::LoadFull(dk, dm));
+                        f(TileOp::Gemm(di, dk, dm));
+                    }
+                    f(TileOp::StoreFull(di, dk));
+                    // TRSM call: the tile block stays live in registers;
+                    // only the factored diagonal is (re)loaded.
+                    f(TileOp::LoadLower(dk));
+                    f(TileOp::Trsm(di, dk));
+                    f(TileOp::StoreFull(di, dk));
+                }
+            }
+        }
+        Looking::Top => {
+            for kk in 0..nt {
+                let dk = dim(kk);
+                for nn in 0..kk {
+                    let dn = dim(nn);
+                    f(TileOp::LoadFull(dk, dn));
+                    for mm in 0..nn {
+                        let dm = dim(mm);
+                        f(TileOp::LoadFull(dk, dm));
+                        f(TileOp::LoadFull(dn, dm));
+                        f(TileOp::Gemm(dk, dn, dm));
+                    }
+                    f(TileOp::LoadLower(dn));
+                    f(TileOp::Trsm(dk, dn));
+                    f(TileOp::StoreFull(dk, dn));
+                }
+                f(TileOp::LoadLower(dk));
+                for nn in 0..kk {
+                    let dn = dim(nn);
+                    f(TileOp::LoadFull(dk, dn));
+                    f(TileOp::Syrk(dk, dn));
+                }
+                f(TileOp::Potrf(dk));
+                f(TileOp::StoreLower(dk));
+            }
+        }
+    }
+}
+
+/// Static instruction count of the generated kernel.
+///
+/// Fully unrolled: every executed tile op is straight-line code, so the
+/// static count is the dynamic count. Partially unrolled: each *distinct*
+/// op body (by kind and dimensions) is emitted once inside loops, plus
+/// loop scaffolding.
+pub fn static_instrs(config: &KernelConfig) -> u64 {
+    let nb = config.nb_eff();
+    match config.unroll {
+        Unroll::Full => {
+            let mut total = 0u64;
+            walk(config.n, nb, config.looking, |op| total += op.instrs());
+            total
+        }
+        Unroll::Partial => {
+            let mut bodies: HashSet<TileOp> = HashSet::new();
+            walk(config.n, nb, config.looking, |op| {
+                bodies.insert(op);
+            });
+            let body_instrs: u64 = bodies.iter().map(|op| op.instrs()).sum();
+            body_instrs + 64 // loop scaffolding, prologue, guards
+        }
+    }
+}
+
+/// Register overhead beyond the tile working set: indices, pointers,
+/// pipeline temporaries — typical of the paper-era generated kernels.
+pub const REG_OVERHEAD: u32 = 24;
+
+/// Full resource estimates for a configuration.
+pub fn statics(config: &KernelConfig) -> KernelStatics {
+    let nb = config.nb_eff();
+    let tri_n = (config.n * (config.n + 1) / 2) as u32;
+    let instrs = static_instrs(config);
+    match config.unroll {
+        Unroll::Partial => KernelStatics {
+            // Three live tiles (rA1, rA2, rA3).
+            regs_per_thread: 3 * (nb * nb) as u32 + REG_OVERHEAD,
+            static_instrs: instrs,
+            reg_reuse_capacity: 0,
+            dead_store_elim: false,
+            shared_bytes_per_block: 0,
+        },
+        Unroll::Full => {
+            // Straight-line code: the compiler keeps as much of the matrix
+            // in registers as fits; demand is the whole lower triangle.
+            let demand = tri_n + REG_OVERHEAD;
+            KernelStatics {
+                regs_per_thread: demand,
+                static_instrs: instrs,
+                reg_reuse_capacity: 255 - REG_OVERHEAD,
+                dead_store_elim: demand <= 255,
+                shared_bytes_per_block: 0,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::KernelConfig;
+
+    #[test]
+    fn op_instr_counts() {
+        assert_eq!(TileOp::Potrf(1).instrs(), 2);
+        // d=2: k=0: sqrt+rcp+1 mul+1 fma = 4; k=1: sqrt+rcp = 2.
+        assert_eq!(TileOp::Potrf(2).instrs(), 6);
+        assert_eq!(TileOp::Gemm(2, 3, 4).instrs(), 24);
+        assert_eq!(TileOp::Syrk(3, 2).instrs(), 12);
+        // trsm m=2,d=2: 2*2 divs + 2*tri(1)=2 fmas.
+        assert_eq!(TileOp::Trsm(2, 2).instrs(), 6);
+        assert_eq!(TileOp::LoadLower(4).instrs(), 10);
+        assert_eq!(TileOp::StoreFull(3, 2).instrs(), 6);
+    }
+
+    #[test]
+    fn walk_flop_total_is_looking_invariant() {
+        // The compute flops (not loads) must be identical across orders.
+        let compute = |looking| {
+            let mut t = 0u64;
+            walk(13, 4, looking, |op| {
+                t += match op {
+                    TileOp::Potrf(_) | TileOp::Trsm(..) | TileOp::Syrk(..) | TileOp::Gemm(..) => {
+                        op.instrs()
+                    }
+                    _ => 0,
+                }
+            });
+            t
+        };
+        let r = compute(Looking::Right);
+        let l = compute(Looking::Left);
+        let t = compute(Looking::Top);
+        assert_eq!(r, l);
+        assert_eq!(l, t);
+    }
+
+    #[test]
+    fn lazier_orders_store_less() {
+        let stores = |looking| {
+            let mut s = 0u64;
+            walk(32, 4, looking, |op| {
+                if matches!(op, TileOp::StoreFull(..) | TileOp::StoreLower(_)) {
+                    s += op.instrs();
+                }
+            });
+            s
+        };
+        let right = stores(Looking::Right);
+        let left = stores(Looking::Left);
+        let top = stores(Looking::Top);
+        // The paper's Figure 16 rationale: right > left? No — right-looking
+        // rewrites the trailing submatrix every step; left and top write
+        // each tile once. Top defers even panel writes.
+        assert!(right > left, "right {right} left {left}");
+        assert!(left >= top, "left {left} top {top}");
+        // Every order writes at least the n(n+1)/2 result elements.
+        assert!(top >= 32 * 33 / 2);
+    }
+
+    #[test]
+    fn full_unroll_code_grows_with_n() {
+        let mk = |n, unroll| KernelConfig { n, unroll, ..KernelConfig::baseline(n) };
+        let small = static_instrs(&mk(8, Unroll::Full));
+        let big = static_instrs(&mk(32, Unroll::Full));
+        assert!(big > 10 * small, "small {small} big {big}");
+        // Partial unrolling's code size is nearly n-independent.
+        let p_small = static_instrs(&mk(8, Unroll::Partial));
+        let p_big = static_instrs(&mk(32, Unroll::Partial));
+        assert!(p_big < 3 * p_small, "partial small {p_small} big {p_big}");
+    }
+
+    #[test]
+    fn full_unroll_statics_enable_reuse() {
+        let c = KernelConfig { unroll: Unroll::Full, ..KernelConfig::baseline(16) };
+        let s = statics(&c);
+        assert!(s.dead_store_elim, "tri(16)+24 = 160 fits");
+        assert!(s.reg_reuse_capacity > 200);
+        let c = KernelConfig { unroll: Unroll::Full, ..KernelConfig::baseline(24) };
+        let s = statics(&c);
+        assert!(!s.dead_store_elim, "tri(24)+24 = 324 spills");
+        assert!(s.regs_per_thread > 255);
+    }
+
+    #[test]
+    fn ragged_configs_walk_consistent_dims() {
+        // n=10, nb=4: blocks of 4,4,2. Every op dimension must be <= nb.
+        walk(10, 4, Looking::Top, |op| {
+            let ok = match op {
+                TileOp::Potrf(d) | TileOp::LoadLower(d) | TileOp::StoreLower(d) => d <= 4,
+                TileOp::Trsm(m, d) => m <= 4 && d <= 4,
+                TileOp::Syrk(d, k) => d <= 4 && k <= 4,
+                TileOp::Gemm(m, n, k) => m <= 4 && n <= 4 && k <= 4,
+                TileOp::LoadFull(r, c) | TileOp::StoreFull(r, c) => r <= 4 && c <= 4,
+            };
+            assert!(ok, "{op:?}");
+        });
+    }
+}

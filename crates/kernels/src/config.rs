@@ -1,0 +1,225 @@
+//! The kernel configuration space — the paper's tuning parameters
+//! (§II-D): tile size, looking order, chunking, chunk size, unrolling —
+//! plus the arithmetic mode of Figure 13 and the cache preference of
+//! Table I.
+
+use ibcf_core::Looking;
+use ibcf_gpu_sim::LaunchConfig;
+use ibcf_layout::{BatchLayout, Layout, LayoutKind};
+use serde::{Deserialize, Serialize};
+
+/// Outer-loop unrolling mode (the tile-operation bodies are always
+/// unrolled, as in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Unroll {
+    /// Outer loops remain loops (Figure 11).
+    Partial,
+    /// The entire factorization is straight-line code (Figure 12).
+    Full,
+}
+
+impl Unroll {
+    /// Both modes.
+    pub const ALL: [Unroll; 2] = [Unroll::Partial, Unroll::Full];
+
+    /// Short name for datasets and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Unroll::Partial => "partial",
+            Unroll::Full => "full",
+        }
+    }
+}
+
+/// `cudaFuncSetCacheConfig` preference: more L1 or more shared memory.
+/// Fixed-function on Pascal — the paper's Table I finds it the weakest
+/// (negative) predictor — so the simulator treats it as a no-op knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CachePref {
+    /// Prefer a larger L1.
+    L1,
+    /// Prefer more shared memory.
+    Shared,
+}
+
+impl CachePref {
+    /// Both preferences.
+    pub const ALL: [CachePref; 2] = [CachePref::L1, CachePref::Shared];
+
+    /// Short name for datasets and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CachePref::L1 => "l1",
+            CachePref::Shared => "shared",
+        }
+    }
+}
+
+/// One point in the kernel tuning space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelConfig {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Tile size `nb` (1..=8 in the paper's sweep; clamped to `n`).
+    pub nb: usize,
+    /// Order of evaluation of the tile operations.
+    pub looking: Looking,
+    /// Chunked interleaved layout (true) or simple interleaved (false).
+    pub chunked: bool,
+    /// Chunk size; also the thread-block size (32, 64, 128, 256, 512).
+    pub chunk_size: usize,
+    /// Outer-loop unrolling.
+    pub unroll: Unroll,
+    /// `--use_fast_math` arithmetic.
+    pub fast_math: bool,
+    /// L1-vs-shared carveout preference.
+    pub cache_pref: CachePref,
+}
+
+impl KernelConfig {
+    /// A reasonable default configuration for dimension `n`: top-looking,
+    /// `nb = 4`, chunked at 64, partial unrolling, IEEE arithmetic.
+    pub fn baseline(n: usize) -> Self {
+        KernelConfig {
+            n,
+            nb: 4.min(n),
+            looking: Looking::Top,
+            chunked: true,
+            chunk_size: 64,
+            unroll: Unroll::Partial,
+            fast_math: false,
+            cache_pref: CachePref::L1,
+        }
+    }
+
+    /// Effective tile size: `nb` clamped to `n` and to the maximum tile
+    /// edge the register-tile buffers support (8, the top of the paper's
+    /// sweep range).
+    pub fn nb_eff(&self) -> usize {
+        self.nb.min(self.n).clamp(1, crate::tileops::TS)
+    }
+
+    /// Checks structural validity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n == 0 {
+            return Err("n must be positive".into());
+        }
+        if self.nb == 0 {
+            return Err("nb must be positive".into());
+        }
+        if self.chunk_size == 0 || !self.chunk_size.is_multiple_of(32) {
+            return Err("chunk size must be a positive multiple of 32".into());
+        }
+        Ok(())
+    }
+
+    /// Builds the data layout this configuration runs on, for `batch`
+    /// matrices. Non-chunked configurations use the simple interleaved
+    /// layout; `chunk_size` then only determines the thread-block size.
+    pub fn layout(&self, batch: usize) -> Layout {
+        if self.chunked {
+            Layout::build(LayoutKind::Chunked, self.n, batch, self.chunk_size)
+        } else {
+            Layout::build(LayoutKind::Interleaved, self.n, batch, self.chunk_size)
+        }
+    }
+
+    /// Launch shape: one thread per matrix, `chunk_size` threads per block.
+    pub fn launch(&self, batch: usize) -> LaunchConfig {
+        let layout = self.layout(batch);
+        let padded = ibcf_layout::align_up(layout.padded_batch(), self.chunk_size);
+        LaunchConfig::new(padded / self.chunk_size, self.chunk_size)
+    }
+
+    /// Number of tile blocks per dimension.
+    pub fn num_tile_blocks(&self) -> usize {
+        self.n.div_ceil(self.nb_eff())
+    }
+
+    /// `true` if the last tile is ragged (`n % nb != 0`).
+    pub fn is_ragged(&self) -> bool {
+        !self.n.is_multiple_of(self.nb_eff())
+    }
+}
+
+impl std::fmt::Display for KernelConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} nb={} {} {} chunk={} {} {} {}",
+            self.n,
+            self.nb,
+            self.looking.name(),
+            if self.chunked { "chunked" } else { "simple" },
+            self.chunk_size,
+            self.unroll.name(),
+            if self.fast_math { "fast" } else { "ieee" },
+            self.cache_pref.name(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_valid() {
+        let c = KernelConfig::baseline(17);
+        c.validate().unwrap();
+        assert_eq!(c.nb_eff(), 4);
+        assert_eq!(c.num_tile_blocks(), 5);
+        assert!(c.is_ragged());
+    }
+
+    #[test]
+    fn layout_matches_chunking_flag() {
+        let mut c = KernelConfig::baseline(8);
+        assert_eq!(c.layout(1000).kind(), LayoutKind::Chunked);
+        c.chunked = false;
+        assert_eq!(c.layout(1000).kind(), LayoutKind::Interleaved);
+    }
+
+    #[test]
+    fn launch_covers_padded_batch() {
+        let c = KernelConfig { chunk_size: 128, ..KernelConfig::baseline(5) };
+        let lc = c.launch(1000);
+        assert_eq!(lc.block, 128);
+        // 1000 pads to 1024 (chunk 128): 8 blocks.
+        assert_eq!(lc.grid, 8);
+        assert!(lc.total_threads() >= 1000);
+    }
+
+    #[test]
+    fn launch_covers_interleaved_padding_with_large_blocks() {
+        // Non-chunked: layout pads to 32, but blocks are 512 wide — the
+        // grid must still cover every matrix.
+        let c = KernelConfig { chunked: false, chunk_size: 512, ..KernelConfig::baseline(4) };
+        let lc = c.launch(100);
+        assert_eq!(lc.block, 512);
+        assert_eq!(lc.grid, 1);
+        assert!(lc.total_threads() >= 100);
+    }
+
+    #[test]
+    fn validation_catches_bad_chunk() {
+        let c = KernelConfig { chunk_size: 48, ..KernelConfig::baseline(4) };
+        assert!(c.validate().is_err());
+        let c = KernelConfig { nb: 0, ..KernelConfig::baseline(4) };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn nb_clamps_to_n() {
+        let c = KernelConfig { nb: 8, ..KernelConfig::baseline(3) };
+        assert_eq!(c.nb_eff(), 3);
+        assert_eq!(c.num_tile_blocks(), 1);
+        assert!(!c.is_ragged());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = KernelConfig::baseline(24).to_string();
+        assert!(s.contains("n=24") && s.contains("top") && s.contains("chunk=64"));
+    }
+}

@@ -1,0 +1,319 @@
+//! The paper's interleaved-layout batch Cholesky kernel: one thread per
+//! matrix, tile microkernels on register tiles, configurable looking order
+//! and unrolling, ragged corner tiles for `n % nb != 0`.
+//!
+//! The memory behaviour (which tile is loaded/stored when) matches
+//! [`crate::codesize::walk`] operation-for-operation; a unit test asserts
+//! that equivalence, so the code-size/traffic analysis and the executed
+//! kernel can never drift apart.
+
+use crate::codesize;
+use crate::config::{KernelConfig, Unroll};
+use crate::tileops::{
+    gemm_tile, load_full, load_lower, potrf_tile, store_full, store_lower, syrk_tile, tile,
+    trsm_tile,
+};
+use ibcf_core::Looking;
+use ibcf_gpu_sim::{KernelCtx, KernelStatics, ThreadKernel};
+use ibcf_layout::{BatchLayout, Layout};
+
+/// The interleaved batch Cholesky kernel, bound to a concrete layout.
+#[derive(Debug, Clone)]
+pub struct InterleavedCholesky {
+    config: KernelConfig,
+    layout: Layout,
+}
+
+impl InterleavedCholesky {
+    /// Builds the kernel for `config` over a batch of `batch` matrices.
+    ///
+    /// # Panics
+    /// If the configuration is invalid.
+    pub fn new(config: KernelConfig, batch: usize) -> Self {
+        config.validate().expect("invalid kernel configuration");
+        let layout = config.layout(batch);
+        InterleavedCholesky { config, layout }
+    }
+
+    /// Builds the kernel over an explicit layout (used to run the same
+    /// kernel on a canonical layout, demonstrating the coalescing loss).
+    pub fn with_layout(config: KernelConfig, layout: Layout) -> Self {
+        config.validate().expect("invalid kernel configuration");
+        InterleavedCholesky { config, layout }
+    }
+
+    /// The kernel's configuration.
+    pub fn config(&self) -> &KernelConfig {
+        &self.config
+    }
+
+    /// The layout the kernel addresses.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    fn block_dim(&self, b: usize) -> usize {
+        self.config.nb_eff().min(self.config.n - b * self.config.nb_eff())
+    }
+}
+
+impl ThreadKernel for InterleavedCholesky {
+    fn run<C: KernelCtx>(&self, ctx: &mut C) {
+        let mat = ctx.thread().global();
+        if mat >= self.layout.padded_batch() {
+            return;
+        }
+        let n = self.config.n;
+        let nb = self.config.nb_eff();
+        let nt = n.div_ceil(nb);
+        let lay = &self.layout;
+        let io = self.config.unroll == Unroll::Partial; // charge loop iops
+        let dim = |b: usize| self.block_dim(b);
+
+        let (mut a1, mut a2, mut a3) = (tile(), tile(), tile());
+        match self.config.looking {
+            Looking::Right => {
+                for kk in 0..nt {
+                    let dk = dim(kk);
+                    load_lower(ctx, lay, mat, nb, kk, dk, &mut a1, io);
+                    potrf_tile(ctx, dk, &mut a1, io);
+                    store_lower(ctx, lay, mat, nb, kk, dk, &a1, io);
+                    for mm in kk + 1..nt {
+                        let dm = dim(mm);
+                        load_full(ctx, lay, mat, nb, mm, kk, dm, dk, &mut a2, io);
+                        trsm_tile(ctx, dm, dk, &a1, &mut a2, io);
+                        store_full(ctx, lay, mat, nb, mm, kk, dm, dk, &a2, io);
+                    }
+                    for nn in kk + 1..nt {
+                        let dn = dim(nn);
+                        load_full(ctx, lay, mat, nb, nn, kk, dn, dk, &mut a1, io);
+                        load_lower(ctx, lay, mat, nb, nn, dn, &mut a3, io);
+                        syrk_tile(ctx, dn, dk, &a1, &mut a3, io);
+                        store_lower(ctx, lay, mat, nb, nn, dn, &a3, io);
+                        for mm in nn + 1..nt {
+                            let dm = dim(mm);
+                            load_full(ctx, lay, mat, nb, mm, kk, dm, dk, &mut a2, io);
+                            load_full(ctx, lay, mat, nb, mm, nn, dm, dn, &mut a3, io);
+                            gemm_tile(ctx, dm, dn, dk, &a2, &a1, &mut a3, io);
+                            store_full(ctx, lay, mat, nb, mm, nn, dm, dn, &a3, io);
+                        }
+                    }
+                }
+            }
+            Looking::Left => {
+                for kk in 0..nt {
+                    let dk = dim(kk);
+                    load_lower(ctx, lay, mat, nb, kk, dk, &mut a1, io);
+                    for mm in 0..kk {
+                        let dm = dim(mm);
+                        load_full(ctx, lay, mat, nb, kk, mm, dk, dm, &mut a2, io);
+                        syrk_tile(ctx, dk, dm, &a2, &mut a1, io);
+                    }
+                    potrf_tile(ctx, dk, &mut a1, io);
+                    store_lower(ctx, lay, mat, nb, kk, dk, &a1, io);
+                    for ii in kk + 1..nt {
+                        let di = dim(ii);
+                        // GEMM call: update the panel tile, store it back
+                        // (the LAPACK GEMM/TRSM call boundary: one extra
+                        // panel write versus the top-looking order).
+                        load_full(ctx, lay, mat, nb, ii, kk, di, dk, &mut a3, io);
+                        for mm in 0..kk {
+                            let dm = dim(mm);
+                            load_full(ctx, lay, mat, nb, ii, mm, di, dm, &mut a2, io);
+                            load_full(ctx, lay, mat, nb, kk, mm, dk, dm, &mut a1, io);
+                            gemm_tile(ctx, di, dk, dm, &a2, &a1, &mut a3, io);
+                        }
+                        store_full(ctx, lay, mat, nb, ii, kk, di, dk, &a3, io);
+                        // TRSM call: the tile stays live in registers;
+                        // re-load only the factored diagonal.
+                        load_lower(ctx, lay, mat, nb, kk, dk, &mut a1, io);
+                        trsm_tile(ctx, di, dk, &a1, &mut a3, io);
+                        store_full(ctx, lay, mat, nb, ii, kk, di, dk, &a3, io);
+                    }
+                }
+            }
+            Looking::Top => {
+                for kk in 0..nt {
+                    let dk = dim(kk);
+                    for nn in 0..kk {
+                        let dn = dim(nn);
+                        load_full(ctx, lay, mat, nb, kk, nn, dk, dn, &mut a3, io);
+                        for mm in 0..nn {
+                            let dm = dim(mm);
+                            load_full(ctx, lay, mat, nb, kk, mm, dk, dm, &mut a1, io);
+                            load_full(ctx, lay, mat, nb, nn, mm, dn, dm, &mut a2, io);
+                            gemm_tile(ctx, dk, dn, dm, &a1, &a2, &mut a3, io);
+                        }
+                        load_lower(ctx, lay, mat, nb, nn, dn, &mut a1, io);
+                        trsm_tile(ctx, dk, dn, &a1, &mut a3, io);
+                        store_full(ctx, lay, mat, nb, kk, nn, dk, dn, &a3, io);
+                    }
+                    load_lower(ctx, lay, mat, nb, kk, dk, &mut a1, io);
+                    for nn in 0..kk {
+                        let dn = dim(nn);
+                        load_full(ctx, lay, mat, nb, kk, nn, dk, dn, &mut a2, io);
+                        syrk_tile(ctx, dk, dn, &a2, &mut a1, io);
+                    }
+                    potrf_tile(ctx, dk, &mut a1, io);
+                    store_lower(ctx, lay, mat, nb, kk, dk, &a1, io);
+                }
+            }
+        }
+    }
+
+    fn statics(&self) -> KernelStatics {
+        codesize::statics(&self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codesize::{walk, TileOp};
+    use ibcf_core::spd::{fill_batch_spd, SpdKind};
+    use ibcf_core::verify::batch_reconstruction_error;
+    use ibcf_gpu_sim::{
+        launch_functional, trace_warp, ExecOptions, LaunchConfig,
+    };
+
+    fn run_config(config: KernelConfig, batch: usize) -> f64 {
+        let kernel = InterleavedCholesky::new(config, batch);
+        let layout = *kernel.layout();
+        let mut data = vec![0.0f32; layout.len()];
+        fill_batch_spd(&layout, &mut data, SpdKind::Wishart, 1234);
+        let orig = data.clone();
+        launch_functional(&kernel, config.launch(batch), &mut data, ExecOptions::default());
+        batch_reconstruction_error(&layout, &orig, &data)
+    }
+
+    #[test]
+    fn factors_correctly_across_lookings_and_sizes() {
+        for looking in Looking::ALL {
+            for (n, nb) in [(4, 2), (8, 4), (13, 4), (16, 8), (24, 5)] {
+                let config = KernelConfig {
+                    n,
+                    nb,
+                    looking,
+                    ..KernelConfig::baseline(n)
+                };
+                let err = run_config(config, 100);
+                assert!(err < 2e-4, "{config}: err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn works_without_chunking_and_with_every_chunk_size() {
+        for chunk_size in [32usize, 64, 128, 256, 512] {
+            for chunked in [false, true] {
+                let config = KernelConfig {
+                    chunked,
+                    chunk_size,
+                    ..KernelConfig::baseline(10)
+                };
+                let err = run_config(config, 700);
+                assert!(err < 1e-4, "{config}: err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_behaviour_matches_the_walker() {
+        // The traced load/store stream must agree with the analytical
+        // walker: same op count per kind, in order.
+        for looking in Looking::ALL {
+            for (n, nb) in [(12, 4), (11, 4)] {
+                let config =
+                    KernelConfig { n, nb, looking, ..KernelConfig::baseline(n) };
+                let kernel = InterleavedCholesky::new(config, 64);
+                let trace = trace_warp(&kernel, config.launch(64), 0, 0);
+                // Expected element-granular load/store sequence.
+                let mut expected: Vec<(bool, u64)> = Vec::new();
+                walk(n, nb, looking, |op| match op {
+                    TileOp::LoadFull(..) | TileOp::LoadLower(_) => {
+                        expected.push((false, op.instrs()))
+                    }
+                    TileOp::StoreFull(..) | TileOp::StoreLower(_) => {
+                        expected.push((true, op.instrs()))
+                    }
+                    _ => {}
+                });
+                let expected_total: u64 = expected.iter().map(|&(_, c)| c).sum();
+                assert_eq!(
+                    trace.accesses.len() as u64,
+                    expected_total,
+                    "{config}: access count mismatch"
+                );
+                // Direction sequence must match op-by-op.
+                let mut i = 0usize;
+                for (store, count) in expected {
+                    for _ in 0..count {
+                        assert_eq!(
+                            trace.accesses[i].store, store,
+                            "{config}: access {i} direction"
+                        );
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_accesses_are_perfectly_coalesced() {
+        use ibcf_gpu_sim::coalesce::coalesce;
+        let config = KernelConfig::baseline(8);
+        let kernel = InterleavedCholesky::new(config, 256);
+        let trace = trace_warp(&kernel, config.launch(256), 0, 0);
+        for a in &trace.accesses {
+            let c = coalesce(a, 4, 128, 32);
+            assert_eq!(c.transactions, 1, "interleaved access must be 1 line");
+        }
+    }
+
+    #[test]
+    fn canonical_layout_scatters_accesses() {
+        use ibcf_gpu_sim::coalesce::coalesce;
+        use ibcf_layout::{Canonical, Layout};
+        let config = KernelConfig::baseline(8);
+        let kernel = InterleavedCholesky::with_layout(
+            config,
+            Layout::Canonical(Canonical::new(8, 256)),
+        );
+        let trace = trace_warp(&kernel, LaunchConfig::new(8, 32), 0, 0);
+        let worst = trace
+            .accesses
+            .iter()
+            .map(|a| coalesce(a, 4, 128, 32).transactions)
+            .max()
+            .unwrap();
+        assert!(worst >= 16, "canonical at n=8 must scatter, got {worst}");
+    }
+
+    #[test]
+    fn fast_math_functional_path_still_accurate() {
+        let config = KernelConfig { fast_math: true, ..KernelConfig::baseline(12) };
+        let kernel = InterleavedCholesky::new(config, 64);
+        let layout = *kernel.layout();
+        let mut data = vec![0.0f32; layout.len()];
+        fill_batch_spd(&layout, &mut data, SpdKind::Wishart, 5);
+        let orig = data.clone();
+        launch_functional(
+            &kernel,
+            config.launch(64),
+            &mut data,
+            ExecOptions { fast_math: true },
+        );
+        let err = batch_reconstruction_error(&layout, &orig, &data);
+        assert!(err < 1e-3, "fast-math err {err}");
+    }
+
+    #[test]
+    fn nb_one_and_nb_equal_n_both_work() {
+        for nb in [1usize, 9] {
+            let config = KernelConfig { nb, ..KernelConfig::baseline(9) };
+            let err = run_config(config, 64);
+            assert!(err < 1e-4, "nb={nb}: err {err}");
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Launch plumbing: run a configuration functionally (real numerics on the
+//! simulator's memory) or through the timing model.
+
+use crate::config::KernelConfig;
+use crate::interleaved::InterleavedCholesky;
+use crate::traditional::TraditionalCholesky;
+use ibcf_gpu_sim::{
+    launch_block_functional, launch_functional, time_block_kernel, time_thread_kernel,
+    ExecOptions, GpuSpec, KernelTiming, LaunchConfig, TimingOptions,
+};
+use ibcf_layout::{BatchLayout, Layout};
+
+/// Factorizes a batch in place with the interleaved device kernel. The
+/// buffer must be laid out by `config.layout(batch)` (e.g. filled via
+/// [`ibcf_core::spd::fill_batch_spd`]); returns that layout for reading
+/// results back.
+pub fn factorize_batch_device(config: &KernelConfig, batch: usize, data: &mut [f32]) -> Layout {
+    let kernel = InterleavedCholesky::new(*config, batch);
+    let layout = *kernel.layout();
+    assert!(data.len() >= layout.len(), "batch buffer too short for layout");
+    launch_functional(
+        &kernel,
+        config.launch(batch),
+        data,
+        ExecOptions { fast_math: config.fast_math },
+    );
+    layout
+}
+
+/// Factorizes a canonical-layout batch in place with the traditional
+/// (MAGMA-style) block-per-matrix kernel.
+pub fn factorize_batch_traditional(n: usize, batch: usize, data: &mut [f32]) {
+    let kernel = TraditionalCholesky::new(n, batch);
+    assert!(data.len() >= kernel.layout().len(), "batch buffer too short");
+    launch_block_functional(
+        &kernel,
+        LaunchConfig::new(kernel.grid(), kernel.block_threads()),
+        data,
+    );
+}
+
+/// Times one interleaved configuration for a batch of `batch` matrices.
+///
+/// # Examples
+///
+/// ```
+/// use ibcf_gpu_sim::GpuSpec;
+/// use ibcf_kernels::{time_config, KernelConfig};
+///
+/// let t = time_config(&KernelConfig::baseline(16), 16_384, &GpuSpec::p100());
+/// assert!(t.time_s > 0.0);
+/// // Interleaved layouts coalesce perfectly: one transaction per access.
+/// assert!((t.transactions_per_access - 1.0).abs() < 1e-9);
+/// ```
+pub fn time_config(config: &KernelConfig, batch: usize, spec: &GpuSpec) -> KernelTiming {
+    let kernel = InterleavedCholesky::new(*config, batch);
+    time_thread_kernel(
+        &kernel,
+        config.launch(batch),
+        spec,
+        TimingOptions { fast_math: config.fast_math, ..Default::default() },
+    )
+}
+
+/// Batched POSV: factorizes the batch at the head of `mem` and solves the
+/// right-hand sides stored at `layout.len()` (interleaved with the padded
+/// batch, one length-`n` vector per matrix) — the full `A·x = b` pipeline
+/// on the device, composed from the factorization and solve kernels.
+///
+/// Returns the layout for reading the factors back.
+pub fn posv_batch_device(config: &KernelConfig, batch: usize, mem: &mut [f32]) -> Layout {
+    let layout = config.layout(batch);
+    let rhs_len = layout.n() * layout.padded_batch();
+    assert!(mem.len() >= layout.len() + rhs_len, "buffer must hold factors + rhs");
+    factorize_batch_device(config, batch, &mut mem[..layout.len()]);
+    // Solve under the same arithmetic mode the factorization used.
+    crate::solve_kernel::solve_batch_device_opts(
+        &layout,
+        mem,
+        config.chunk_size,
+        ibcf_gpu_sim::ExecOptions { fast_math: config.fast_math },
+    );
+    layout
+}
+
+/// Times the traditional kernel at dimension `n` for `batch` matrices.
+pub fn time_traditional(n: usize, batch: usize, spec: &GpuSpec, fast_math: bool) -> KernelTiming {
+    let kernel = TraditionalCholesky::new(n, batch);
+    time_block_kernel(
+        &kernel,
+        LaunchConfig::new(kernel.grid(), kernel.block_threads()),
+        spec,
+        TimingOptions { fast_math, ..Default::default() },
+    )
+}
+
+/// Gflop/s of a configuration at the paper's standard `batch · n³/3` flop
+/// count.
+pub fn gflops_of_config(config: &KernelConfig, batch: usize, spec: &GpuSpec) -> f64 {
+    let t = time_config(config, batch, spec);
+    let flops = ibcf_core::flops::cholesky_flops_std(config.n) * batch as f64;
+    t.gflops(flops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Unroll;
+    use ibcf_core::spd::{fill_batch_spd, SpdKind};
+    use ibcf_core::verify::batch_reconstruction_error;
+    use ibcf_core::Looking;
+
+    #[test]
+    fn device_and_traditional_agree_numerically() {
+        let n = 10;
+        let batch = 50;
+        let config = KernelConfig::baseline(n);
+        let layout = config.layout(batch);
+        let mut inter = vec![0.0f32; layout.len()];
+        fill_batch_spd(&layout, &mut inter, SpdKind::Wishart, 42);
+        let orig_inter = inter.clone();
+        factorize_batch_device(&config, batch, &mut inter);
+        assert!(batch_reconstruction_error(&layout, &orig_inter, &inter) < 1e-4);
+
+        let trad_kernel = TraditionalCholesky::new(n, batch);
+        let trad_layout = *trad_kernel.layout();
+        let mut trad = vec![0.0f32; trad_layout.len()];
+        fill_batch_spd(&trad_layout, &mut trad, SpdKind::Wishart, 42);
+        factorize_batch_traditional(n, batch, &mut trad);
+
+        // Same seeds → same matrices → factors must agree closely.
+        let mut a = vec![0.0f32; n * n];
+        let mut b = vec![0.0f32; n * n];
+        for mat in 0..batch {
+            ibcf_layout::gather_matrix(&layout, &inter, mat, &mut a, n);
+            ibcf_layout::gather_matrix(&trad_layout, &trad, mat, &mut b, n);
+            for c in 0..n {
+                for r in c..n {
+                    let d = (a[r + c * n] - b[r + c * n]).abs();
+                    assert!(d < 1e-3, "mat {mat} ({r},{c}): {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_beats_traditional_at_tiny_sizes() {
+        let spec = GpuSpec::p100();
+        let batch = 16384;
+        let n = 8;
+        let config = KernelConfig { unroll: Unroll::Full, ..KernelConfig::baseline(n) };
+        let inter = gflops_of_config(&config, batch, &spec);
+        let trad = time_traditional(n, batch, &spec, false)
+            .gflops(ibcf_core::flops::cholesky_flops_std(n) * batch as f64);
+        assert!(
+            inter > 2.0 * trad,
+            "interleaved {inter:.0} GFLOP/s vs traditional {trad:.0}"
+        );
+    }
+
+    #[test]
+    fn fast_math_beats_ieee_at_small_sizes() {
+        let spec = GpuSpec::p100();
+        let batch = 16384;
+        let ieee = KernelConfig { unroll: Unroll::Full, ..KernelConfig::baseline(12) };
+        let fast = KernelConfig { fast_math: true, ..ieee };
+        let g_ieee = gflops_of_config(&ieee, batch, &spec);
+        let g_fast = gflops_of_config(&fast, batch, &spec);
+        assert!(g_fast > g_ieee, "fast {g_fast:.0} vs ieee {g_ieee:.0}");
+    }
+
+    #[test]
+    fn posv_solves_end_to_end() {
+        use ibcf_core::spd::{fill_batch_spd, SpdKind};
+        let n = 6;
+        let batch = 96;
+        let config = KernelConfig::baseline(n);
+        let layout = config.layout(batch);
+        let padded = ibcf_layout::BatchLayout::padded_batch(&layout);
+        let region = ibcf_layout::BatchLayout::len(&layout);
+        let mut mem = vec![0.0f32; region + n * padded];
+        fill_batch_spd(&layout, &mut mem[..region], SpdKind::Wishart, 5);
+        let orig = mem[..region].to_vec();
+        // b = A·1 per matrix, computed on the host.
+        let mut a = vec![0.0f32; n * n];
+        for m in 0..padded {
+            ibcf_layout::gather_matrix(&layout, &orig, m, &mut a, n);
+            for i in 0..n {
+                let mut acc = 0.0f32;
+                for j in 0..n {
+                    let (r, c) = if i >= j { (i, j) } else { (j, i) };
+                    acc += a[r + c * n];
+                }
+                mem[region + i * padded + m] = acc;
+            }
+        }
+        posv_batch_device(&config, batch, &mut mem);
+        for m in 0..batch {
+            for i in 0..n {
+                let x = mem[region + i * padded + m];
+                assert!((x - 1.0).abs() < 1e-3, "m={m} i={i}: {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn top_looking_writes_least_and_times_fastest_at_mid_sizes() {
+        let spec = GpuSpec::p100();
+        let batch = 16384;
+        let mut times = Vec::new();
+        for looking in Looking::ALL {
+            let config = KernelConfig {
+                looking,
+                nb: 4,
+                unroll: Unroll::Partial,
+                ..KernelConfig::baseline(32)
+            };
+            times.push((looking, time_config(&config, batch, &spec).time_s));
+        }
+        let right = times[0].1;
+        let left = times[1].1;
+        let top = times[2].1;
+        assert!(top <= left && left <= right, "right {right} left {left} top {top}");
+    }
+}

@@ -1,0 +1,46 @@
+//! The paper's batch Cholesky kernels, runnable on the SIMT simulator.
+//!
+//! Two kernel families:
+//!
+//! * [`interleaved::InterleavedCholesky`] — the paper's contribution: one
+//!   thread owns one matrix, data in a (chunked) interleaved layout, tile
+//!   microkernels fully unrolled, optional full unrolling of the outer
+//!   loops, right/left/top-looking evaluation orders, ragged corner tiles
+//!   for `n % nb != 0`.
+//! * [`traditional::TraditionalCholesky`] — the MAGMA-style baseline: one
+//!   thread block per matrix, canonical column-major layout, the matrix
+//!   staged through shared memory.
+//!
+//! [`config::KernelConfig`] captures the paper's five tuning parameters
+//! (plus arithmetic mode and cache preference); [`launch`] maps a config
+//! onto functional or timed launches.
+
+#![warn(missing_docs)]
+
+pub mod blas_batch;
+pub mod codesize;
+pub mod config;
+pub mod emit;
+pub mod interleaved;
+pub mod launch;
+pub mod pack;
+pub mod solve_kernel;
+pub mod tileops;
+pub mod traditional;
+
+pub use blas_batch::{
+    gemm_batch_device, syrk_batch_device, time_blas, trsm_batch_device, InterleavedGemm,
+    InterleavedSyrk, InterleavedTrsm,
+};
+pub use config::{CachePref, KernelConfig, Unroll};
+pub use emit::emit_cuda;
+pub use interleaved::InterleavedCholesky;
+pub use launch::{
+    factorize_batch_device, factorize_batch_traditional, gflops_of_config, posv_batch_device,
+    time_config, time_traditional,
+};
+pub use pack::{pack_batch_device, time_pack, PackDirection, PackKernel};
+pub use solve_kernel::{
+    solve_batch_device, solve_batch_device_opts, time_solve, InterleavedSolve,
+};
+pub use traditional::TraditionalCholesky;

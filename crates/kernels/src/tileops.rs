@@ -1,0 +1,302 @@
+//! Device-side tile micro-operations, written against the simulator's
+//! [`KernelCtx`] instruction set — the direct analogue of the paper's
+//! Figure 9 (compute) and Figure 10 (load/store) pyexpander stencils.
+//!
+//! Tiles live in per-thread local arrays ("registers"), column-major with
+//! tile stride [`TS`]. All dimensions are explicit so the ragged corner
+//! tiles of `n % nb != 0` reuse the same code.
+//!
+//! When `charge_iops` is set (partial unrolling), each load/store element
+//! charges one address-arithmetic op and each tile-op invocation charges a
+//! small loop-control overhead — the instructions full unrolling folds
+//! into immediate operands.
+
+// Device tile ops mirror the paper's stencil signatures.
+#![allow(clippy::too_many_arguments)]
+
+use ibcf_gpu_sim::KernelCtx;
+use ibcf_layout::BatchLayout;
+
+/// Tile stride of the local tile buffers (max `nb` is 8).
+pub const TS: usize = 8;
+
+/// Loop-control ops charged per tile-operation invocation under partial
+/// unrolling.
+pub const LOOP_OVERHEAD_IOPS: u64 = 6;
+
+/// A local tile buffer.
+pub type Tile = [f32; TS * TS];
+
+/// A fresh zeroed tile.
+pub fn tile() -> Tile {
+    [0.0; TS * TS]
+}
+
+/// Loads a full `rows × cols` tile at block `(bi, bj)` of matrix `mat`.
+#[allow(clippy::too_many_arguments)]
+pub fn load_full<C: KernelCtx, L: BatchLayout>(
+    ctx: &mut C,
+    layout: &L,
+    mat: usize,
+    nb: usize,
+    bi: usize,
+    bj: usize,
+    rows: usize,
+    cols: usize,
+    t: &mut Tile,
+    charge_iops: bool,
+) {
+    for c in 0..cols {
+        for r in 0..rows {
+            t[r + c * TS] = ctx.ld(layout.addr(mat, bi * nb + r, bj * nb + c));
+        }
+    }
+    if charge_iops {
+        ctx.iops(LOOP_OVERHEAD_IOPS + (rows * cols) as u64);
+    }
+}
+
+/// Stores a full `rows × cols` tile back to block `(bi, bj)`.
+#[allow(clippy::too_many_arguments)]
+pub fn store_full<C: KernelCtx, L: BatchLayout>(
+    ctx: &mut C,
+    layout: &L,
+    mat: usize,
+    nb: usize,
+    bi: usize,
+    bj: usize,
+    rows: usize,
+    cols: usize,
+    t: &Tile,
+    charge_iops: bool,
+) {
+    for c in 0..cols {
+        for r in 0..rows {
+            ctx.st(layout.addr(mat, bi * nb + r, bj * nb + c), t[r + c * TS]);
+        }
+    }
+    if charge_iops {
+        ctx.iops(LOOP_OVERHEAD_IOPS + (rows * cols) as u64);
+    }
+}
+
+/// Loads the lower triangle of the `d × d` diagonal tile at block `(bk, bk)`.
+pub fn load_lower<C: KernelCtx, L: BatchLayout>(
+    ctx: &mut C,
+    layout: &L,
+    mat: usize,
+    nb: usize,
+    bk: usize,
+    d: usize,
+    t: &mut Tile,
+    charge_iops: bool,
+) {
+    for c in 0..d {
+        for r in c..d {
+            t[r + c * TS] = ctx.ld(layout.addr(mat, bk * nb + r, bk * nb + c));
+        }
+    }
+    if charge_iops {
+        ctx.iops(LOOP_OVERHEAD_IOPS + (d * (d + 1) / 2) as u64);
+    }
+}
+
+/// Stores the lower triangle of the `d × d` diagonal tile at block `(bk, bk)`.
+pub fn store_lower<C: KernelCtx, L: BatchLayout>(
+    ctx: &mut C,
+    layout: &L,
+    mat: usize,
+    nb: usize,
+    bk: usize,
+    d: usize,
+    t: &Tile,
+    charge_iops: bool,
+) {
+    for c in 0..d {
+        for r in c..d {
+            ctx.st(layout.addr(mat, bk * nb + r, bk * nb + c), t[r + c * TS]);
+        }
+    }
+    if charge_iops {
+        ctx.iops(LOOP_OVERHEAD_IOPS + (d * (d + 1) / 2) as u64);
+    }
+}
+
+/// `spotrf_tile` (Figure 9): Cholesky of the `d × d` lower triangle of `a`.
+/// Follows the paper's instruction mix exactly: one `sqrtf`, one reciprocal,
+/// column scaling by multiplication, FMA trailing updates. Non-positive
+/// pivots propagate NaN like the real CUDA kernel (no device-side error
+/// reporting).
+pub fn potrf_tile<C: KernelCtx>(ctx: &mut C, d: usize, a: &mut Tile, charge_iops: bool) {
+    for k in 0..d {
+        let pivot = ctx.sqrt(a[k + k * TS]);
+        a[k + k * TS] = pivot;
+        let inv = ctx.rcp(pivot);
+        for m in k + 1..d {
+            a[m + k * TS] = ctx.mul(a[m + k * TS], inv);
+        }
+        for j in k + 1..d {
+            let ajk = a[j + k * TS];
+            for m in j..d {
+                a[m + j * TS] = ctx.fma(-a[m + k * TS], ajk, a[m + j * TS]);
+            }
+        }
+    }
+    if charge_iops {
+        ctx.iops(LOOP_OVERHEAD_IOPS);
+    }
+}
+
+/// `strsm_tile` (Figure 9): `B := B · L⁻ᵀ` for an `m × d` panel tile `b`
+/// against the factored diagonal tile `l`. Divides like the paper's code.
+pub fn trsm_tile<C: KernelCtx>(
+    ctx: &mut C,
+    m: usize,
+    d: usize,
+    l: &Tile,
+    b: &mut Tile,
+    charge_iops: bool,
+) {
+    for row in 0..m {
+        for k in 0..d {
+            let x = ctx.div(b[row + k * TS], l[k + k * TS]);
+            b[row + k * TS] = x;
+            for j in k + 1..d {
+                b[row + j * TS] = ctx.fma(-x, l[j + k * TS], b[row + j * TS]);
+            }
+        }
+    }
+    if charge_iops {
+        ctx.iops(LOOP_OVERHEAD_IOPS);
+    }
+}
+
+/// `ssyrk_tile` (Figure 9): `C := C − A·Aᵀ` on the lower triangle, `A` is
+/// `d × k`.
+pub fn syrk_tile<C: KernelCtx>(
+    ctx: &mut C,
+    d: usize,
+    k: usize,
+    a: &Tile,
+    c: &mut Tile,
+    charge_iops: bool,
+) {
+    for col in 0..d {
+        for row in col..d {
+            let mut acc = c[row + col * TS];
+            for p in 0..k {
+                acc = ctx.fma(-a[row + p * TS], a[col + p * TS], acc);
+            }
+            c[row + col * TS] = acc;
+        }
+    }
+    if charge_iops {
+        ctx.iops(LOOP_OVERHEAD_IOPS);
+    }
+}
+
+/// `sgemm_tile` (Figure 9): `C := C − A·Bᵀ`, `A` is `m × k`, `B` is
+/// `n × k`, `C` is `m × n`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_tile<C: KernelCtx>(
+    ctx: &mut C,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &Tile,
+    b: &Tile,
+    c: &mut Tile,
+    charge_iops: bool,
+) {
+    for col in 0..n {
+        for row in 0..m {
+            let mut acc = c[row + col * TS];
+            for p in 0..k {
+                acc = ctx.fma(-a[row + p * TS], b[col + p * TS], acc);
+            }
+            c[row + col * TS] = acc;
+        }
+    }
+    if charge_iops {
+        ctx.iops(LOOP_OVERHEAD_IOPS);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibcf_gpu_sim::{
+        launch_functional_seq, ExecOptions, KernelStatics, LaunchConfig, ThreadKernel,
+    };
+    use ibcf_layout::Canonical;
+
+    /// A kernel that factors a 2×2-tiled matrix via the ctx tile ops, used
+    /// to check the device micro-ops against the host microkernels.
+    struct TwoTile {
+        layout: Canonical,
+        nb: usize,
+    }
+
+    impl ThreadKernel for TwoTile {
+        fn run<C: KernelCtx>(&self, ctx: &mut C) {
+            let mat = ctx.thread().global();
+            if mat >= self.layout.batch() {
+                return;
+            }
+            let nb = self.nb;
+            let (mut t00, mut t10, mut t11) = (tile(), tile(), tile());
+            load_lower(ctx, &self.layout, mat, nb, 0, nb, &mut t00, false);
+            potrf_tile(ctx, nb, &mut t00, false);
+            store_lower(ctx, &self.layout, mat, nb, 0, nb, &t00, false);
+            load_full(ctx, &self.layout, mat, nb, 1, 0, nb, nb, &mut t10, false);
+            trsm_tile(ctx, nb, nb, &t00, &mut t10, false);
+            store_full(ctx, &self.layout, mat, nb, 1, 0, nb, nb, &t10, false);
+            load_lower(ctx, &self.layout, mat, nb, 1, nb, &mut t11, false);
+            syrk_tile(ctx, nb, nb, &t10, &mut t11, false);
+            potrf_tile(ctx, nb, &mut t11, false);
+            store_lower(ctx, &self.layout, mat, nb, 1, nb, &t11, false);
+        }
+        fn statics(&self) -> KernelStatics {
+            KernelStatics::streaming(64, 1000)
+        }
+    }
+
+    #[test]
+    fn device_tile_ops_factor_correctly() {
+        use ibcf_core::spd::{fill_batch_spd, SpdKind};
+        use ibcf_core::verify::batch_reconstruction_error;
+        let nb = 4;
+        let n = 8;
+        let layout = Canonical::new(n, 32);
+        let mut data = vec![0.0f32; layout.len()];
+        fill_batch_spd(&layout, &mut data, SpdKind::Wishart, 3);
+        let orig = data.clone();
+        let k = TwoTile { layout, nb };
+        launch_functional_seq(&k, LaunchConfig::new(1, 32), &mut data, ExecOptions::default());
+        let err = batch_reconstruction_error(&layout, &orig, &data);
+        assert!(err < 1e-5, "reconstruction error {err}");
+    }
+
+    #[test]
+    fn fast_math_result_stays_close() {
+        use ibcf_core::spd::{fill_batch_spd, SpdKind};
+        let nb = 4;
+        let n = 8;
+        let layout = Canonical::new(n, 32);
+        let mut ieee = vec![0.0f32; layout.len()];
+        fill_batch_spd(&layout, &mut ieee, SpdKind::Wishart, 3);
+        let mut fast = ieee.clone();
+        let k = TwoTile { layout, nb };
+        let lc = LaunchConfig::new(1, 32);
+        launch_functional_seq(&k, lc, &mut ieee, ExecOptions { fast_math: false });
+        launch_functional_seq(&k, lc, &mut fast, ExecOptions { fast_math: true });
+        let mut worst = 0.0f32;
+        for (a, b) in ieee.iter().zip(&fast) {
+            if a.abs() > 1e-3 {
+                worst = worst.max(((a - b) / a).abs());
+            }
+        }
+        assert!(worst > 0.0, "fast math should differ somewhere");
+        assert!(worst < 1e-3, "fast math drifted too far: {worst}");
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests over the whole configuration space: the emitter, the
+//! code-size model, and the resource estimator must agree for every
+//! reachable configuration, not just the sampled sweep points.
+
+use ibcf_core::Looking;
+use ibcf_kernels::codesize::{static_instrs, statics};
+use ibcf_kernels::{emit_cuda, CachePref, KernelConfig, Unroll};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = KernelConfig> {
+    (
+        1usize..=32,
+        1usize..=8,
+        0usize..3,
+        any::<bool>(),
+        prop::sample::select(vec![32usize, 64, 128, 256, 512]),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(n, nb, lk, chunked, chunk_size, full, fast_math, shared)| KernelConfig {
+            n,
+            nb,
+            looking: Looking::ALL[lk],
+            chunked,
+            chunk_size,
+            unroll: if full { Unroll::Full } else { Unroll::Partial },
+            fast_math,
+            cache_pref: if shared { CachePref::Shared } else { CachePref::L1 },
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Emitted CUDA is structurally sound for every configuration:
+    /// balanced braces, a kernel signature, and (full unroll) exactly `n`
+    /// square roots.
+    #[test]
+    fn emitter_is_structurally_sound(config in arb_config()) {
+        let src = emit_cuda(&config);
+        prop_assert_eq!(src.matches('{').count(), src.matches('}').count());
+        prop_assert!(src.contains("__global__ void spotrf_batch_"));
+        if config.unroll == Unroll::Full {
+            prop_assert_eq!(src.matches("sqrtf(").count(), config.n);
+            prop_assert!(!src.contains("for ("), "full unroll must be straight-line");
+        } else {
+            prop_assert!(src.contains("for (kk = 0;"));
+        }
+    }
+
+    /// The resource estimator is internally consistent: code grows
+    /// monotonically from partial to full unrolling, register demand covers
+    /// the tile working set, and full unrolling past the register budget
+    /// is flagged (no dead-store elimination).
+    #[test]
+    fn statics_are_consistent(config in arb_config()) {
+        let s = statics(&config);
+        let nb = config.nb_eff();
+        match config.unroll {
+            // Looped code must hold the three live tiles.
+            Unroll::Partial => prop_assert!(s.regs_per_thread >= 3 * (nb * nb) as u32),
+            // Straight-line code demands the whole lower triangle.
+            Unroll::Full => prop_assert!(
+                s.regs_per_thread >= (config.n * (config.n + 1) / 2) as u32
+            ),
+        }
+        let full = KernelConfig { unroll: Unroll::Full, ..config };
+        let partial = KernelConfig { unroll: Unroll::Partial, ..config };
+        prop_assert!(
+            static_instrs(&full) >= static_instrs(&partial).saturating_sub(64),
+            "full unroll cannot be smaller than the deduplicated bodies"
+        );
+        let sf = statics(&full);
+        let fits = config.n * (config.n + 1) / 2 + 24 <= 255;
+        prop_assert_eq!(sf.dead_store_elim, fits);
+        if !fits {
+            prop_assert!(sf.regs_per_thread > 255, "over-budget demand must be visible");
+        }
+    }
+
+    /// The launch covers every padded matrix exactly, for every chunking
+    /// and block-size combination.
+    #[test]
+    fn launch_covers_padded_batch(config in arb_config(), batch in 1usize..4000) {
+        use ibcf_layout::BatchLayout;
+        let layout = config.layout(batch);
+        let launch = config.launch(batch);
+        prop_assert!(launch.total_threads() >= layout.padded_batch());
+        prop_assert!(launch.total_threads() < layout.padded_batch() + config.chunk_size.max(32));
+        prop_assert_eq!(launch.block, config.chunk_size);
+    }
+}

@@ -1,0 +1,161 @@
+//! Conversions between layouts and between layouts and plain column-major
+//! matrices.
+
+use crate::traits::BatchLayout;
+
+/// Copies matrix `mat` out of `src` (laid out by `layout`) into `dst`, a
+/// plain column-major `lda × n` buffer with `dst_lda >= n`.
+///
+/// # Panics
+/// If `mat` is out of range, `dst` is too short, or `dst_lda < n`.
+pub fn gather_matrix<T: Copy, L: BatchLayout>(
+    layout: &L,
+    src: &[T],
+    mat: usize,
+    dst: &mut [T],
+    dst_lda: usize,
+) {
+    let n = layout.n();
+    assert!(mat < layout.padded_batch(), "matrix index out of range");
+    assert!(dst_lda >= n, "destination leading dimension too small");
+    assert!(dst.len() >= dst_lda * n, "destination buffer too short");
+    for col in 0..n {
+        for row in 0..n {
+            dst[col * dst_lda + row] = src[layout.addr(mat, row, col)];
+        }
+    }
+}
+
+/// Copies a plain column-major `n × n` matrix (`src_lda >= n`) into slot
+/// `mat` of `dst`, laid out by `layout`.
+///
+/// # Panics
+/// If `mat` is out of range, `src` is too short, or `src_lda < n`.
+pub fn scatter_matrix<T: Copy, L: BatchLayout>(
+    layout: &L,
+    dst: &mut [T],
+    mat: usize,
+    src: &[T],
+    src_lda: usize,
+) {
+    let n = layout.n();
+    assert!(mat < layout.padded_batch(), "matrix index out of range");
+    assert!(src_lda >= n, "source leading dimension too small");
+    assert!(src.len() >= src_lda * n, "source buffer too short");
+    for col in 0..n {
+        for row in 0..n {
+            dst[layout.addr(mat, row, col)] = src[col * src_lda + row];
+        }
+    }
+}
+
+/// Re-lays-out a batch from `src_layout` into a freshly allocated buffer in
+/// `dst_layout`. Elements of padding slots in the destination are left at
+/// `T::default()`.
+///
+/// # Panics
+/// If the two layouts disagree on `n` or `batch`, or `src` is too short.
+pub fn transcode<T: Copy + Default, A: BatchLayout, B: BatchLayout>(
+    src_layout: &A,
+    src: &[T],
+    dst_layout: &B,
+) -> Vec<T> {
+    let mut dst = vec![T::default(); dst_layout.len()];
+    transcode_into(src_layout, src, dst_layout, &mut dst);
+    dst
+}
+
+/// Re-lays-out a batch from `src_layout` into a caller-provided buffer in
+/// `dst_layout`. Only the `batch()` logical matrices are copied; padding
+/// slots in the destination are not touched.
+///
+/// # Panics
+/// If the two layouts disagree on `n` or `batch`, or either buffer is too
+/// short.
+pub fn transcode_into<T: Copy, A: BatchLayout, B: BatchLayout>(
+    src_layout: &A,
+    src: &[T],
+    dst_layout: &B,
+    dst: &mut [T],
+) {
+    assert_eq!(src_layout.n(), dst_layout.n(), "layouts disagree on n");
+    assert_eq!(src_layout.batch(), dst_layout.batch(), "layouts disagree on batch");
+    assert!(src.len() >= src_layout.len(), "source buffer too short");
+    assert!(dst.len() >= dst_layout.len(), "destination buffer too short");
+    let n = src_layout.n();
+    for mat in 0..src_layout.batch() {
+        for col in 0..n {
+            for row in 0..n {
+                dst[dst_layout.addr(mat, row, col)] = src[src_layout.addr(mat, row, col)];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Canonical, Chunked, Interleaved};
+
+    fn numbered_canonical(n: usize, batch: usize) -> (Canonical, Vec<f32>) {
+        let layout = Canonical::new(n, batch);
+        let data: Vec<f32> = (0..layout.len()).map(|x| x as f32).collect();
+        (layout, data)
+    }
+
+    #[test]
+    fn gather_scatter_round_trip() {
+        let (layout, data) = numbered_canonical(3, 4);
+        let mut m = vec![0.0f32; 9];
+        gather_matrix(&layout, &data, 2, &mut m, 3);
+        assert_eq!(m, (18..27).map(|x| x as f32).collect::<Vec<_>>());
+
+        let mut copy = vec![0.0f32; layout.len()];
+        for mat in 0..4 {
+            gather_matrix(&layout, &data, mat, &mut m, 3);
+            scatter_matrix(&layout, &mut copy, mat, &m, 3);
+        }
+        assert_eq!(copy, data);
+    }
+
+    #[test]
+    fn canonical_to_interleaved_and_back() {
+        let (src_layout, data) = numbered_canonical(4, 33);
+        let dst_layout = Interleaved::new(4, 33);
+        let inter = transcode(&src_layout, &data, &dst_layout);
+        // Spot-check: element (1, 2) of matrix 30.
+        assert_eq!(
+            inter[dst_layout.addr(30, 1, 2)],
+            data[src_layout.addr(30, 1, 2)]
+        );
+        let back = transcode(&dst_layout, &inter, &src_layout);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn interleaved_to_chunked_and_back() {
+        let n = 5;
+        let batch = 200;
+        let a = Interleaved::new(n, batch);
+        let data: Vec<f32> = (0..a.len()).map(|x| (x as f32).sin()).collect();
+        let b = Chunked::new(n, batch, 64);
+        let chunked = transcode(&a, &data, &b);
+        let back = transcode(&b, &chunked, &a);
+        for mat in 0..batch {
+            for col in 0..n {
+                for row in 0..n {
+                    assert_eq!(back[a.addr(mat, row, col)], data[a.addr(mat, row, col)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "layouts disagree on n")]
+    fn transcode_checks_dimensions() {
+        let a = Canonical::new(3, 4);
+        let b = Canonical::new(4, 4);
+        let data = vec![0.0f32; a.len()];
+        let _ = transcode(&a, &data, &b);
+    }
+}

@@ -1,0 +1,126 @@
+//! The simple interleaved layout: batch index fastest (Figure 7 of the paper).
+
+use crate::traits::{BatchLayout, LayoutKind};
+use crate::util::{align_up, WARP_SIZE};
+use serde::{Deserialize, Serialize};
+
+/// Fully interleaved batch: consecutive memory locations hold the element
+/// with the same (row, col) index of consecutive matrices.
+///
+/// Element `(i, j)` of matrix `m` lives at `(j * lda + i) * padded_batch + m`.
+/// The batch is padded up to a multiple of the warp size so that, as long as
+/// the buffer is 128-byte aligned, every warp-wide access of one element
+/// across 32 consecutive matrices touches exactly one 128-byte line —
+/// perfect coalescing regardless of `n`.
+///
+/// The subtle downside (the paper's §II-B) is that the elements of a single
+/// matrix are spread `padded_batch` elements apart: for a batch of 16,384
+/// single-precision matrices that is a 64 KiB stride between consecutive
+/// elements, defeating any spatial locality in the memory system. The
+/// [`Chunked`](crate::Chunked) layout fixes this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Interleaved {
+    n: usize,
+    lda: usize,
+    batch: usize,
+    padded: usize,
+}
+
+impl Interleaved {
+    /// An interleaved layout with `lda == n`; the batch is padded to a
+    /// multiple of the warp size (32).
+    pub fn new(n: usize, batch: usize) -> Self {
+        Self::with_lda(n, n, batch)
+    }
+
+    /// An interleaved layout with an explicit leading dimension.
+    ///
+    /// # Panics
+    /// If `n == 0`, `lda < n`, or `batch == 0`.
+    pub fn with_lda(n: usize, lda: usize, batch: usize) -> Self {
+        assert!(n > 0, "matrix dimension must be positive");
+        assert!(lda >= n, "leading dimension must be >= n");
+        assert!(batch > 0, "batch must be positive");
+        let padded = align_up(batch, WARP_SIZE);
+        Self { n, lda, batch, padded }
+    }
+}
+
+impl BatchLayout for Interleaved {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn lda(&self) -> usize {
+        self.lda
+    }
+
+    fn batch(&self) -> usize {
+        self.batch
+    }
+
+    fn padded_batch(&self) -> usize {
+        self.padded
+    }
+
+    fn len(&self) -> usize {
+        self.lda * self.n * self.padded
+    }
+
+    #[inline]
+    fn addr(&self, mat: usize, row: usize, col: usize) -> usize {
+        debug_assert!(mat < self.padded && row < self.lda && col < self.n);
+        (col * self.lda + row) * self.padded + mat
+    }
+
+    fn lane_stride(&self) -> usize {
+        1
+    }
+
+    fn kind(&self) -> LayoutKind {
+        LayoutKind::Interleaved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_index_is_fastest() {
+        let l = Interleaved::new(4, 64);
+        assert_eq!(l.addr(0, 0, 0), 0);
+        assert_eq!(l.addr(1, 0, 0), 1);
+        assert_eq!(l.addr(63, 0, 0), 63);
+        // Next element starts after the whole batch's copy of element (0,0).
+        assert_eq!(l.addr(0, 1, 0), 64);
+        assert_eq!(l.addr(0, 0, 1), 4 * 64);
+    }
+
+    #[test]
+    fn pads_batch_to_warp_multiple() {
+        let l = Interleaved::new(3, 33);
+        assert_eq!(l.batch(), 33);
+        assert_eq!(l.padded_batch(), 64);
+        assert_eq!(l.len(), 9 * 64);
+        // Already aligned batches are untouched.
+        let l = Interleaved::new(3, 64);
+        assert_eq!(l.padded_batch(), 64);
+    }
+
+    #[test]
+    fn adjacent_lanes_are_adjacent_in_memory() {
+        let l = Interleaved::new(7, 96);
+        for m in 0..95 {
+            assert_eq!(l.addr(m + 1, 3, 2), l.addr(m, 3, 2) + 1);
+        }
+        assert_eq!(l.lane_stride(), 1);
+    }
+
+    #[test]
+    fn respects_lda() {
+        let l = Interleaved::with_lda(3, 4, 32);
+        assert_eq!(l.addr(0, 0, 1), 4 * 32);
+        assert_eq!(l.len(), 12 * 32);
+    }
+}

@@ -1,0 +1,234 @@
+//! Symmetric packed interleaved storage: only the lower triangle is kept,
+//! halving the memory footprint of SPD batches.
+//!
+//! The paper's layouts store the full `lda × n` square per matrix even
+//! though the Cholesky kernels never touch the strictly-upper part. For
+//! symmetric data that wastes almost half the memory. [`PackedChunked`]
+//! stores only the `n(n+1)/2` lower-triangle elements per matrix,
+//! chunk-interleaved exactly like [`Chunked`](crate::Chunked).
+//!
+//! **Aliasing contract:** unlike the square layouts, the address map is
+//! *symmetric*, not injective: `addr(m, i, j) == addr(m, j, i)`. Reading
+//! an upper element transparently reads its lower mirror (correct for
+//! symmetric matrices); writing an upper element overwrites the mirror.
+//! The batch Cholesky kernels only access `i >= j`, so they run on this
+//! layout unchanged — [`PackedChunked`] does **not** implement the
+//! injectivity-assuming conversions (`transcode`); use
+//! [`pack_symmetric`]/[`unpack_symmetric`] instead.
+
+use crate::traits::{BatchLayout, LayoutKind};
+use crate::util::{align_up, tri, WARP_SIZE};
+use serde::{Deserialize, Serialize};
+
+/// Chunk-interleaved packed-lower storage for batches of symmetric
+/// matrices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PackedChunked {
+    n: usize,
+    batch: usize,
+    padded: usize,
+    chunk: usize,
+}
+
+impl PackedChunked {
+    /// A packed layout with chunks of `chunk` matrices.
+    ///
+    /// # Panics
+    /// If `n == 0`, `batch == 0`, or `chunk` is not a positive multiple of
+    /// the warp size.
+    pub fn new(n: usize, batch: usize, chunk: usize) -> Self {
+        assert!(n > 0, "matrix dimension must be positive");
+        assert!(batch > 0, "batch must be positive");
+        assert!(
+            chunk > 0 && chunk.is_multiple_of(WARP_SIZE),
+            "chunk size must be a positive multiple of the warp size"
+        );
+        let padded = align_up(batch, chunk);
+        PackedChunked { n, batch, padded, chunk }
+    }
+
+    /// Matrices per chunk.
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+
+    /// Elements stored per matrix (the lower-triangle count).
+    pub fn elems_per_matrix(&self) -> usize {
+        tri(self.n)
+    }
+
+    /// Column-major packed index of lower-triangle element `(r, c)`,
+    /// `r >= c`: columns stored top-to-bottom, left-to-right.
+    #[inline]
+    fn tri_index(&self, r: usize, c: usize) -> usize {
+        // Column c starts after columns 0..c, which hold (n + n-c+1)·c/2
+        // elements.
+        c * (2 * self.n - c + 1) / 2 + (r - c)
+    }
+}
+
+impl BatchLayout for PackedChunked {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn lda(&self) -> usize {
+        self.n
+    }
+
+    fn batch(&self) -> usize {
+        self.batch
+    }
+
+    fn padded_batch(&self) -> usize {
+        self.padded
+    }
+
+    fn len(&self) -> usize {
+        (self.padded / self.chunk) * tri(self.n) * self.chunk
+    }
+
+    /// Symmetric map: `(i, j)` and `(j, i)` share an address (see the
+    /// module-level aliasing contract).
+    #[inline]
+    fn addr(&self, mat: usize, row: usize, col: usize) -> usize {
+        debug_assert!(mat < self.padded && row < self.n && col < self.n);
+        let (r, c) = if row >= col { (row, col) } else { (col, row) };
+        let chunk_idx = mat / self.chunk;
+        let lane = mat % self.chunk;
+        chunk_idx * tri(self.n) * self.chunk + self.tri_index(r, c) * self.chunk + lane
+    }
+
+    fn lane_stride(&self) -> usize {
+        1
+    }
+
+    fn kind(&self) -> LayoutKind {
+        // Packed storage is a member of the chunked-interleaved family.
+        LayoutKind::Chunked
+    }
+}
+
+/// Packs the lower triangles of a square-layout batch into a packed
+/// buffer. Upper-triangle source elements are ignored.
+pub fn pack_symmetric<T: Copy, L: BatchLayout>(
+    src_layout: &L,
+    src: &[T],
+    dst_layout: &PackedChunked,
+    dst: &mut [T],
+) {
+    assert_eq!(src_layout.n(), dst_layout.n(), "layouts disagree on n");
+    assert_eq!(src_layout.batch(), dst_layout.batch(), "layouts disagree on batch");
+    assert!(dst.len() >= dst_layout.len(), "destination too short");
+    let n = src_layout.n();
+    for mat in 0..src_layout.batch() {
+        for c in 0..n {
+            for r in c..n {
+                dst[dst_layout.addr(mat, r, c)] = src[src_layout.addr(mat, r, c)];
+            }
+        }
+    }
+}
+
+/// Unpacks a packed batch into a square-layout buffer, mirroring the lower
+/// triangle into the upper one (the matrices are symmetric by contract).
+pub fn unpack_symmetric<T: Copy, L: BatchLayout>(
+    src_layout: &PackedChunked,
+    src: &[T],
+    dst_layout: &L,
+    dst: &mut [T],
+) {
+    assert_eq!(src_layout.n(), dst_layout.n(), "layouts disagree on n");
+    assert_eq!(src_layout.batch(), dst_layout.batch(), "layouts disagree on batch");
+    assert!(dst.len() >= dst_layout.len(), "destination too short");
+    let n = src_layout.n();
+    for mat in 0..src_layout.batch() {
+        for c in 0..n {
+            for r in c..n {
+                let v = src[src_layout.addr(mat, r, c)];
+                dst[dst_layout.addr(mat, r, c)] = v;
+                if r != c {
+                    dst[dst_layout.addr(mat, c, r)] = v;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Canonical, Chunked};
+
+    #[test]
+    fn footprint_is_half_of_square() {
+        let packed = PackedChunked::new(24, 16384, 64);
+        let square = Chunked::new(24, 16384, 64);
+        let ratio = packed.len() as f64 / square.len() as f64;
+        // tri(24)/24² = 300/576 ≈ 0.52.
+        assert!((ratio - 300.0 / 576.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn addresses_are_symmetric_and_lower_injective() {
+        let l = PackedChunked::new(6, 96, 32);
+        let mut seen = std::collections::HashSet::new();
+        for mat in 0..l.padded_batch() {
+            for c in 0..6 {
+                for r in c..6 {
+                    let a = l.addr(mat, r, c);
+                    assert!(a < l.len());
+                    assert!(seen.insert(a), "duplicate address for ({r},{c})");
+                    assert_eq!(a, l.addr(mat, c, r), "symmetry");
+                }
+            }
+        }
+        assert_eq!(seen.len(), l.padded_batch() * tri(6));
+    }
+
+    #[test]
+    fn lane_adjacency_holds() {
+        let l = PackedChunked::new(5, 64, 32);
+        for m in 0..31 {
+            assert_eq!(l.addr(m + 1, 3, 2), l.addr(m, 3, 2) + 1);
+        }
+    }
+
+    #[test]
+    fn pack_unpack_round_trips_symmetric_data() {
+        let n = 7;
+        let batch = 50;
+        let square = Canonical::new(n, batch);
+        let mut data = vec![0.0f32; square.len()];
+        // Symmetric fill.
+        for mat in 0..batch {
+            for c in 0..n {
+                for r in c..n {
+                    let v = (mat * 100 + r * 10 + c) as f32;
+                    data[square.addr(mat, r, c)] = v;
+                    data[square.addr(mat, c, r)] = v;
+                }
+            }
+        }
+        let packed = PackedChunked::new(n, batch, 32);
+        let mut p = vec![0.0f32; packed.len()];
+        pack_symmetric(&square, &data, &packed, &mut p);
+        let mut back = vec![0.0f32; square.len()];
+        unpack_symmetric(&packed, &p, &square, &mut back);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn tri_index_covers_range_without_gaps() {
+        let l = PackedChunked::new(9, 32, 32);
+        let mut idx: Vec<usize> = Vec::new();
+        for c in 0..9 {
+            for r in c..9 {
+                idx.push(l.tri_index(r, c));
+            }
+        }
+        idx.sort_unstable();
+        let expect: Vec<usize> = (0..tri(9)).collect();
+        assert_eq!(idx, expect);
+    }
+}

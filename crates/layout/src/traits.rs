@@ -1,0 +1,81 @@
+//! The [`BatchLayout`] trait: a bijection between logical batch elements and
+//! physical buffer addresses.
+
+use serde::{Deserialize, Serialize};
+
+/// Discriminates the three layout families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayoutKind {
+    /// Contiguous column-major matrices, one after another.
+    Canonical,
+    /// Batch index fastest; one big interleave over the whole (padded) batch.
+    Interleaved,
+    /// Interleaved within fixed-size chunks of matrices.
+    Chunked,
+}
+
+impl LayoutKind {
+    /// `true` for the two interleaved families.
+    pub fn is_interleaved(self) -> bool {
+        matches!(self, LayoutKind::Interleaved | LayoutKind::Chunked)
+    }
+
+    /// Human-readable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            LayoutKind::Canonical => "canonical",
+            LayoutKind::Interleaved => "interleaved",
+            LayoutKind::Chunked => "chunked",
+        }
+    }
+}
+
+impl std::fmt::Display for LayoutKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Maps (matrix, row, col) triples of a batch of `n × n` matrices to element
+/// offsets within a single flat buffer.
+///
+/// Implementations must guarantee that `addr` is injective over the domain
+/// `mat < padded_batch(), row < lda(), col < n()` and that every address is
+/// `< len()`. The layout stores the **full square** (`lda × n` elements per
+/// matrix); triangular kernels simply never touch the strictly-upper part,
+/// exactly like the CUDA kernels in the paper.
+pub trait BatchLayout {
+    /// Matrix dimension (matrices are `n × n`).
+    fn n(&self) -> usize;
+
+    /// Leading dimension (row stride of a column), `>= n`.
+    fn lda(&self) -> usize;
+
+    /// Logical number of matrices in the batch.
+    fn batch(&self) -> usize;
+
+    /// Number of matrix slots physically allocated (the batch padded up to
+    /// the interleave granularity). `>= batch()`.
+    fn padded_batch(&self) -> usize;
+
+    /// Required buffer length in elements.
+    fn len(&self) -> usize;
+
+    /// Element offset of element (`row`, `col`) of matrix `mat`.
+    fn addr(&self, mat: usize, row: usize, col: usize) -> usize;
+
+    /// Distance in elements between the same (row, col) element of two
+    /// matrices adjacent within an interleave group. This is the stride
+    /// between the addresses touched by adjacent lanes of a warp: `1` for
+    /// the interleaved layouts (perfect coalescing), the full per-matrix
+    /// footprint for the canonical layout.
+    fn lane_stride(&self) -> usize;
+
+    /// Which family this layout belongs to.
+    fn kind(&self) -> LayoutKind;
+
+    /// `true` if the buffer holds no elements (degenerate empty batch).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

@@ -1,0 +1,67 @@
+//! Small shared helpers for layout arithmetic.
+
+/// Number of threads in a warp; the minimum interleave granularity.
+pub const WARP_SIZE: usize = 32;
+
+/// Rounds `x` up to the next multiple of `to` (`to > 0`).
+///
+/// ```
+/// # use ibcf_layout::align_up;
+/// assert_eq!(align_up(0, 32), 0);
+/// assert_eq!(align_up(1, 32), 32);
+/// assert_eq!(align_up(32, 32), 32);
+/// assert_eq!(align_up(33, 32), 64);
+/// ```
+pub fn align_up(x: usize, to: usize) -> usize {
+    assert!(to > 0, "alignment must be positive");
+    x.div_ceil(to) * to
+}
+
+/// `true` if `x` is a positive multiple of the warp size.
+pub fn is_multiple_of_warp(x: usize) -> bool {
+    x > 0 && x.is_multiple_of(WARP_SIZE)
+}
+
+/// The `n`-th triangular number: the element count of an `n × n` lower
+/// triangle (diagonal included).
+pub fn tri(n: usize) -> usize {
+    n * (n + 1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align_up_basics() {
+        assert_eq!(align_up(0, 4), 0);
+        assert_eq!(align_up(3, 4), 4);
+        assert_eq!(align_up(4, 4), 4);
+        assert_eq!(align_up(5, 4), 8);
+        assert_eq!(align_up(127, 128), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "alignment must be positive")]
+    fn align_up_zero_alignment_panics() {
+        let _ = align_up(1, 0);
+    }
+
+    #[test]
+    fn warp_multiples() {
+        assert!(is_multiple_of_warp(32));
+        assert!(is_multiple_of_warp(512));
+        assert!(!is_multiple_of_warp(0));
+        assert!(!is_multiple_of_warp(33));
+        assert!(!is_multiple_of_warp(31));
+    }
+
+    #[test]
+    fn triangular_numbers() {
+        assert_eq!(tri(0), 0);
+        assert_eq!(tri(1), 1);
+        assert_eq!(tri(4), 10);
+        assert_eq!(tri(20), 210);
+        assert_eq!(tri(24), 300);
+    }
+}

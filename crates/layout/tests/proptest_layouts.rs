@@ -1,0 +1,92 @@
+//! Property tests for layout address maps and conversions.
+
+use ibcf_layout::{
+    transcode, BatchLayout, Canonical, Chunked, Interleaved, Layout, LayoutKind,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Strategy over (n, batch, chunk) with chunk a warp multiple <= 512.
+fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..=24, 1usize..=300, 1usize..=16).prop_map(|(n, batch, c)| (n, batch, c * 32))
+}
+
+fn all_layouts(n: usize, batch: usize, chunk: usize) -> Vec<Layout> {
+    vec![
+        Layout::build(LayoutKind::Canonical, n, batch, chunk),
+        Layout::build(LayoutKind::Interleaved, n, batch, chunk),
+        Layout::build(LayoutKind::Chunked, n, batch, chunk),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every layout's address map is injective and in-bounds over the full
+    /// padded domain.
+    #[test]
+    fn addresses_are_injective_and_bounded((n, batch, chunk) in dims()) {
+        for layout in all_layouts(n, batch, chunk) {
+            let mut seen = HashSet::new();
+            for mat in 0..layout.padded_batch() {
+                for col in 0..n {
+                    for row in 0..n {
+                        let a = layout.addr(mat, row, col);
+                        prop_assert!(a < layout.len(),
+                            "{:?}: addr {} out of bounds {}", layout.kind(), a, layout.len());
+                        prop_assert!(seen.insert(a),
+                            "{:?}: duplicate address {}", layout.kind(), a);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Interleaved layouts put adjacent lanes at adjacent addresses: the
+    /// precondition for perfect coalescing.
+    #[test]
+    fn interleaved_lane_adjacency((n, batch, chunk) in dims()) {
+        let il = Interleaved::new(n, batch);
+        for m in 0..il.padded_batch() - 1 {
+            prop_assert_eq!(il.addr(m + 1, 0, 0), il.addr(m, 0, 0) + 1);
+        }
+        let ch = Chunked::new(n, batch, chunk);
+        for m in 0..ch.padded_batch() - 1 {
+            // Adjacent except across a chunk boundary.
+            if (m + 1) % chunk != 0 {
+                prop_assert_eq!(ch.addr(m + 1, n - 1, n - 1), ch.addr(m, n - 1, n - 1) + 1);
+            }
+        }
+    }
+
+    /// Transcoding A -> B -> A is the identity on live (non-padding) data.
+    #[test]
+    fn transcode_round_trips((n, batch, chunk) in dims(), seed in any::<u64>()) {
+        let canon = Canonical::new(n, batch);
+        let mut data = vec![0.0f32; canon.len()];
+        let mut state = seed;
+        for v in data.iter_mut() {
+            // Cheap deterministic pseudo-random fill.
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *v = (state >> 40) as f32 / 16777216.0;
+        }
+        for mid in all_layouts(n, batch, chunk) {
+            let there = transcode(&canon, &data, &mid);
+            let back = transcode(&mid, &there, &canon);
+            prop_assert_eq!(&back, &data, "round trip through {:?}", mid.kind());
+        }
+    }
+
+    /// Padding never shrinks the batch and is warp-granular for the
+    /// interleaved layouts.
+    #[test]
+    fn padding_invariants((n, batch, chunk) in dims()) {
+        for layout in all_layouts(n, batch, chunk) {
+            prop_assert!(layout.padded_batch() >= layout.batch());
+            if layout.kind().is_interleaved() {
+                prop_assert_eq!(layout.padded_batch() % 32, 0);
+            }
+            prop_assert!(layout.len() >= n * n * layout.batch());
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Batched block elimination via Schur complements — a domain-
+//! decomposition workload composed entirely of the library's batched
+//! interleaved kernels.
+//!
+//! For thousands of 2n × 2n SPD systems `[[A, Bᵀ], [B, C]]` (interior and
+//! interface unknowns of independent subdomains), block elimination
+//! computes, per system:
+//!
+//! 1. `A = L·Lᵀ`                (batched POTRF — the paper's kernel),
+//! 2. `X = B·L⁻ᵀ`               (batched TRSM),
+//! 3. `S = C − X·Xᵀ`            (batched SYRK — the Schur complement),
+//! 4. `S = Ls·Lsᵀ`              (batched POTRF again).
+//!
+//! The result is verified against a direct factorization of the assembled
+//! 2n × 2n systems by the f64 host oracle.
+//!
+//! Run with: `cargo run --release --example schur_complement`
+
+use ibcf::kernels::{trsm_batch_device, syrk_batch_device, InterleavedSyrk, InterleavedTrsm};
+use ibcf::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn main() {
+    let n = 8; // block size; full systems are 16 x 16
+    let batch = 512;
+    let config = KernelConfig::baseline(n);
+    let lay = config.layout(batch);
+    let region = lay.len();
+    let mut rng = StdRng::seed_from_u64(77);
+
+    // Assemble per-system blocks A (SPD), B (general), C (SPD, made
+    // strongly definite so S stays SPD).
+    // Device buffer: [A | B | C] — three interleaved regions.
+    let mut mem = vec![0.0f32; 3 * region];
+    let mut full_systems: Vec<Vec<f64>> = Vec::with_capacity(batch);
+    for m in 0..lay.padded_batch() {
+        let a = random_spd::<f32>(n, SpdKind::Wishart, &mut rng);
+        let bmat = ColMatrix::<f32>::from_fn(n, n, |_, _| rng.random::<f32>() - 0.5);
+        let mut c = random_spd::<f32>(n, SpdKind::Wishart, &mut rng);
+        for i in 0..n {
+            c[(i, i)] += 4.0 * n as f32; // keep the Schur complement SPD
+        }
+        scatter_matrix(&lay, &mut mem[..region], m, a.as_slice(), n);
+        scatter_matrix(&lay, &mut mem[region..2 * region], m, bmat.as_slice(), n);
+        scatter_matrix(&lay, &mut mem[2 * region..], m, c.as_slice(), n);
+        if m < batch {
+            // Assemble the full 2n x 2n system for the oracle.
+            let two = 2 * n;
+            let mut full = vec![0.0f64; two * two];
+            for col in 0..n {
+                for row in 0..n {
+                    full[row + col * two] = a[(row, col)] as f64;
+                    full[(n + row) + col * two] = bmat[(row, col)] as f64;
+                    full[col + (n + row) * two] = bmat[(row, col)] as f64;
+                    full[(n + row) + (n + col) * two] = c[(row, col)] as f64;
+                }
+            }
+            full_systems.push(full);
+        }
+    }
+
+    println!("eliminating {batch} systems of size {}x{} (block size {n})", 2 * n, 2 * n);
+
+    // 1. Factor the A blocks in place.
+    factorize_batch_device(&config, batch, &mut mem[..region]);
+    // 2. X = B · L^-T.
+    trsm_batch_device(
+        &InterleavedTrsm { layout: lay, l_offset: 0, b_offset: region, nb: config.nb },
+        &mut mem,
+        config.chunk_size,
+    );
+    // 3. S = C − X·Xᵀ.
+    syrk_batch_device(
+        &InterleavedSyrk { layout: lay, a_offset: region, c_offset: 2 * region, nb: config.nb },
+        &mut mem,
+        config.chunk_size,
+    );
+    // 4. Factor the Schur complements in place.
+    {
+        let tail = &mut mem[2 * region..];
+        factorize_batch_device(&config, batch, tail);
+    }
+
+    // Verify: the (2,2) block of the full system's factor equals Ls.
+    let two = 2 * n;
+    let mut worst = 0.0f64;
+    let mut ls = vec![0.0f32; n * n];
+    for (m, full) in full_systems.iter().enumerate() {
+        let mut f = full.clone();
+        potrf_unblocked(two, &mut f, two).expect("full system SPD");
+        gather_matrix(&lay, &mem[2 * region..], m, &mut ls, n);
+        for col in 0..n {
+            for row in col..n {
+                let oracle = f[(n + row) + (n + col) * two];
+                let got = ls[row + col * n] as f64;
+                worst = worst.max((got - oracle).abs() / oracle.abs().max(1.0));
+            }
+        }
+    }
+    println!("worst relative deviation of Schur factors vs 2n oracle: {worst:.3e}");
+    assert!(worst < 1e-3, "Schur pipeline drifted: {worst}");
+    println!("block elimination pipeline verified against the full-system oracle");
+}

@@ -1,0 +1,168 @@
+//! Integration coverage for the extension features: device solve, device
+//! packing, upper-triangular support, CUDA emission, and partial
+//! dependence — all through the public facade.
+
+use ibcf::prelude::*;
+
+#[test]
+fn full_on_device_pipeline_pack_factor_solve() {
+    // Canonical input data -> device pack -> device factor -> device solve,
+    // verified against a pure-host pipeline.
+    let n = 8;
+    let batch = 256;
+    let config = KernelConfig::baseline(n);
+    let inter = config.layout(batch);
+    let canon = Canonical::new(n, batch);
+
+    // Host-side assembly of the canonical batch.
+    let mut canon_data = vec![0.0f32; canon.len()];
+    fill_batch_spd(&canon, &mut canon_data, SpdKind::Wishart, 6);
+
+    // Device buffer: [canonical | interleaved | rhs].
+    let rhs_off = canon.len() + inter.len();
+    let mut mem = vec![0.0f32; rhs_off + n * inter.padded_batch()];
+    mem[..canon.len()].copy_from_slice(&canon_data);
+    // Identity-fill padding slots so the factor kernel is happy.
+    let eye: Vec<f32> =
+        (0..n * n).map(|i| if i % (n + 1) == 0 { 1.0 } else { 0.0 }).collect();
+    pack_batch_device(canon, inter, canon.len(), &mut mem);
+    for m in batch..inter.padded_batch() {
+        // scatter into the interleaved region
+        for c in 0..n {
+            for r in 0..n {
+                mem[canon.len() + inter.addr(m, r, c)] = eye[r + c * n];
+            }
+        }
+    }
+    // Factor the interleaved region on the device.
+    {
+        let (head, tail) = mem.split_at_mut(canon.len());
+        let _ = head;
+        ibcf::kernels::factorize_batch_device(&config, batch, &mut tail[..inter.len()]);
+    }
+    // RHS: all ones.
+    for i in 0..n {
+        for m in 0..inter.padded_batch() {
+            mem[rhs_off + i * inter.padded_batch() + m] = 1.0;
+        }
+    }
+    // Solve on the device (kernel addresses relative to the interleaved
+    // region start).
+    {
+        let tail = &mut mem[canon.len()..];
+        solve_batch_device(&inter, tail, 64);
+    }
+
+    // Host pipeline for comparison.
+    let mut host = canon_data;
+    assert!(factorize_batch(&canon, &mut host).all_ok());
+    let vb = VectorBatch::interleaved(n, batch);
+    let mut host_rhs = vec![1.0f32; vb.len()];
+    solve_batch(&canon, &host, &vb, &mut host_rhs);
+
+    for m in 0..batch {
+        for i in 0..n {
+            let dev = mem[rhs_off + i * inter.padded_batch() + m];
+            let hst = host_rhs[vb.addr(m, i)];
+            assert!(
+                (dev - hst).abs() / hst.abs().max(1.0) < 1e-4,
+                "m={m} i={i}: {dev} vs {hst}"
+            );
+        }
+    }
+}
+
+#[test]
+fn uplo_round_trip_through_prelude() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let n = 8;
+    let mut rng = StdRng::seed_from_u64(10);
+    let a = random_spd::<f64>(n, SpdKind::Wishart, &mut rng);
+    for uplo in Uplo::ALL {
+        let mut f = a.clone().into_vec();
+        potrf_uplo(uplo, n, &mut f, n).unwrap();
+        let mut b = vec![1.0f64; n];
+        solve_cholesky_uplo(uplo, n, &f, n, &mut b);
+        // Check A x = 1.
+        for i in 0..n {
+            let mut acc = 0.0;
+            for j in 0..n {
+                acc += a[(i, j)] * b[j];
+            }
+            assert!((acc - 1.0).abs() < 1e-9, "{uplo:?} row {i}: {acc}");
+        }
+    }
+}
+
+#[test]
+fn emitted_cuda_matches_config_metadata() {
+    let config = KernelConfig {
+        n: 12,
+        nb: 3,
+        looking: Looking::Left,
+        fast_math: true,
+        ..KernelConfig::baseline(12)
+    };
+    let src = emit_cuda(&config);
+    assert!(src.contains("n = 12, nb = 3, left looking"));
+    assert!(src.contains("--use_fast_math"));
+    assert!(src.contains("spotrf_batch_n12_nb3_left_partial"));
+}
+
+#[test]
+fn pdp_on_sweep_data_matches_table1_story() {
+    let spec = GpuSpec::p100();
+    let space = ParamSpace::quick();
+    let ds = sweep_sizes(
+        &space,
+        &[8, 16, 32],
+        &spec,
+        &SweepOptions { batch: 4096, ..Default::default() },
+    );
+    let ieee: Vec<&Measurement> =
+        ds.measurements.iter().filter(|m| !m.config.fast_math).collect();
+    let data = TableData::new(
+        Measurement::feature_names().iter().map(|s| s.to_string()).collect(),
+        ieee.iter().map(|m| m.features()).collect(),
+        ieee.iter().map(|m| m.gflops).collect(),
+    );
+    let forest = Forest::fit(&data, ForestConfig { num_trees: 40, ..Default::default() });
+    let chunking = partial_dependence(&forest, &data, 3, None, 400);
+    let cache = partial_dependence(&forest, &data, 6, None, 400);
+    assert!(
+        chunking.effect_size() > 5.0 * cache.effect_size().max(1.0),
+        "chunking effect {:.1} vs cache {:.1}",
+        chunking.effect_size(),
+        cache.effect_size()
+    );
+    // Chunking on must predict higher performance than off.
+    assert!(chunking.response[1] > chunking.response[0]);
+}
+
+#[test]
+fn noisy_sweep_still_ranks_chunking_first() {
+    let spec = GpuSpec::p100();
+    let space = ParamSpace::quick();
+    let ds = sweep_sizes(
+        &space,
+        &[16, 32],
+        &spec,
+        &SweepOptions { batch: 8192, noise_sigma: 0.05, noise_seed: 3, ..Default::default() },
+    );
+    let ieee: Vec<&Measurement> =
+        ds.measurements.iter().filter(|m| !m.config.fast_math).collect();
+    let data = TableData::new(
+        Measurement::feature_names().iter().map(|s| s.to_string()).collect(),
+        ieee.iter().map(|m| m.features()).collect(),
+        ieee.iter().map(|m| m.gflops).collect(),
+    );
+    let forest = Forest::fit(&data, ForestConfig { num_trees: 60, ..Default::default() });
+    let imp = permutation_importance(&forest, &data, 5);
+    let rank = imp.ranking();
+    // Under 5% measurement noise, chunking must stay a top-2 predictor and
+    // cache must stay in the bottom two.
+    let pos = |name: &str| rank.iter().position(|(n, _)| n == name).unwrap();
+    assert!(pos("chunking") <= 1, "{rank:?}");
+    assert!(pos("cache") >= rank.len() - 2, "{rank:?}");
+}

@@ -1,0 +1,82 @@
+//! Property tests over the whole kernel configuration space: any valid
+//! configuration must factor any well-conditioned SPD batch accurately.
+
+use ibcf::prelude::*;
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = KernelConfig> {
+    (
+        2usize..=20,                   // n
+        1usize..=8,                    // nb
+        0usize..3,                     // looking
+        any::<bool>(),                 // chunked
+        prop::sample::select(vec![32usize, 64, 128, 256, 512]),
+        any::<bool>(),                 // full unroll
+        any::<bool>(),                 // fast math
+    )
+        .prop_map(|(n, nb, lk, chunked, chunk_size, full, fast_math)| KernelConfig {
+            n,
+            nb,
+            looking: Looking::ALL[lk],
+            chunked,
+            chunk_size,
+            unroll: if full { Unroll::Full } else { Unroll::Partial },
+            fast_math,
+            cache_pref: CachePref::L1,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Functional correctness holds over the entire configuration space.
+    #[test]
+    fn any_config_factors_accurately(config in arb_config(), batch in 1usize..200) {
+        let layout = config.layout(batch);
+        let mut data = vec![0.0f32; layout.len()];
+        fill_batch_spd(&layout, &mut data, SpdKind::Wishart, 0xFACADE);
+        let orig = data.clone();
+        factorize_batch_device(&config, batch, &mut data);
+        let err = batch_reconstruction_error(&layout, &orig, &data);
+        // Fast math degrades rcp/sqrt by a couple of mantissa bits.
+        let tol = if config.fast_math { 5e-3 } else { 5e-4 };
+        prop_assert!(err < tol, "{config} batch={batch}: err {err}");
+    }
+
+    /// The timing model accepts every configuration and produces sane
+    /// numbers.
+    #[test]
+    fn any_config_times_sanely(config in arb_config()) {
+        let spec = GpuSpec::p100();
+        let t = time_config(&config, 16384, &spec);
+        prop_assert!(t.time_s.is_finite() && t.time_s > 0.0);
+        prop_assert!(t.dram_bytes > 0);
+        prop_assert!(t.utilization > 0.0 && t.utilization <= 1.0);
+        prop_assert!(t.row_hit_rate >= 0.0 && t.row_hit_rate <= 1.0);
+        prop_assert!(t.occupancy.blocks_per_sm >= 1);
+        let g = gflops_of_config(&config, 16384, &spec);
+        prop_assert!(g > 0.0 && g < spec.peak_gflops(), "{config}: {g}");
+    }
+
+    /// Factorize-then-multiply round trip on the host path for random
+    /// precision/layout combinations.
+    #[test]
+    fn host_factorization_round_trips(
+        n in 1usize..24,
+        batch in 1usize..64,
+        kind in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let layout = match kind {
+            0 => Layout::Canonical(Canonical::new(n, batch)),
+            1 => Layout::Interleaved(Interleaved::new(n, batch)),
+            _ => Layout::Chunked(Chunked::new(n, batch, 64)),
+        };
+        let mut data = vec![0.0f64; layout.len()];
+        fill_batch_spd(&layout, &mut data, SpdKind::DiagDominant, seed);
+        let orig = data.clone();
+        prop_assert!(factorize_batch(&layout, &mut data).all_ok());
+        let err = batch_reconstruction_error(&layout, &orig, &data);
+        prop_assert!(err < 1e-12, "err {err}");
+    }
+}

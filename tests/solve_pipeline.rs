@@ -1,0 +1,101 @@
+//! Integration: full factor-then-solve pipelines, checked against an f64
+//! oracle and against known closed forms.
+
+use ibcf::prelude::*;
+
+#[test]
+fn factor_solve_recovers_planted_solution() {
+    let n = 10;
+    let batch = 128;
+    let config = KernelConfig::baseline(n);
+    let layout = config.layout(batch);
+    let mut mats = vec![0.0f32; layout.len()];
+    fill_batch_spd(&layout, &mut mats, SpdKind::Wishart, 123);
+
+    // Plant x = (1, 2, ..., n) for every matrix; compute b = A x in f64.
+    let vb = VectorBatch::interleaved(n, batch);
+    let mut rhs = vec![0.0f32; vb.len()];
+    let mut a = vec![0.0f32; n * n];
+    for mat in 0..batch {
+        gather_matrix(&layout, &mats, mat, &mut a, n);
+        for i in 0..n {
+            let mut acc = 0.0f64;
+            for j in 0..n {
+                let (r, c) = if i >= j { (i, j) } else { (j, i) };
+                acc += a[r + c * n] as f64 * (j + 1) as f64;
+            }
+            rhs[vb.addr(mat, i)] = acc as f32;
+        }
+    }
+
+    factorize_batch_device(&config, batch, &mut mats);
+    solve_batch(&layout, &mats, &vb, &mut rhs);
+
+    for mat in 0..batch {
+        for i in 0..n {
+            let got = rhs[vb.addr(mat, i)] as f64;
+            let want = (i + 1) as f64;
+            assert!(
+                (got - want).abs() / want < 1e-3,
+                "mat {mat} x[{i}] = {got}, want {want}"
+            );
+        }
+    }
+}
+
+#[test]
+fn f32_factors_track_f64_oracle() {
+    // Factor the same (exactly representable) matrices in both precisions
+    // through the host path; the f32 result must track f64 to f32 accuracy.
+    let n = 14;
+    let batch = 16;
+    let layout = Canonical::new(n, batch);
+    let mut f32_data = vec![0.0f32; layout.len()];
+    fill_batch_spd(&layout, &mut f32_data, SpdKind::DiagDominant, 9);
+    let f64_data: Vec<f64> = f32_data.iter().map(|&x| x as f64).collect();
+    let mut f64_data = f64_data;
+
+    assert!(factorize_batch(&layout, &mut f32_data).all_ok());
+    assert!(factorize_batch(&layout, &mut f64_data).all_ok());
+
+    for (i, (a, b)) in f32_data.iter().zip(&f64_data).enumerate() {
+        let diff = (*a as f64 - b).abs();
+        let scale = b.abs().max(1.0);
+        assert!(diff / scale < 1e-5, "element {i}: f32 {a} vs f64 {b}");
+    }
+}
+
+#[test]
+fn ill_conditioned_matrices_lose_accuracy_gracefully() {
+    use ibcf_core::reference::potrf;
+    use ibcf_core::verify::reconstruction_error;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let n = 12;
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut errs = Vec::new();
+    for cond in [1e2, 1e5] {
+        let a = random_spd::<f32>(n, SpdKind::Conditioned(cond), &mut rng);
+        let mut f = a.clone();
+        potrf(n, f.as_mut_slice()).expect("still numerically SPD");
+        errs.push(reconstruction_error(n, a.as_slice(), f.as_slice(), n));
+    }
+    // Reconstruction error stays tiny in both cases (backward stability)...
+    assert!(errs.iter().all(|&e| e < 1e-5), "{errs:?}");
+}
+
+#[test]
+fn non_spd_matrices_are_reported_not_silently_wrong() {
+    let n = 6;
+    let batch = 32;
+    let layout = Interleaved::new(n, batch);
+    let mut data = vec![0.0f32; layout.len()];
+    fill_batch_spd(&layout, &mut data, SpdKind::Wishart, 1);
+    // Corrupt two matrices.
+    let bad: Vec<f32> = (0..n * n).map(|i| if i % (n + 1) == 0 { -5.0 } else { 0.1 }).collect();
+    scatter_matrix(&layout, &mut data, 10, &bad, n);
+    scatter_matrix(&layout, &mut data, 20, &bad, n);
+    let report = factorize_batch(&layout, &mut data);
+    let failed: Vec<usize> = report.failures.iter().map(|&(m, _)| m).collect();
+    assert_eq!(failed, vec![10, 20]);
+}
