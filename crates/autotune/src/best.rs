@@ -96,7 +96,11 @@ mod tests {
             &ParamSpace::quick(),
             n,
             &GpuSpec::p100(),
-            &SweepOptions { batch: 2048, progress_every: 0, ..Default::default() },
+            &SweepOptions {
+                batch: 2048,
+                progress_every: 0,
+                ..Default::default()
+            },
         )
     }
 
@@ -128,7 +132,11 @@ mod tests {
             &ParamSpace::quick(),
             n,
             &GpuSpec::p100(),
-            &SweepOptions { batch: 8192, progress_every: 0, ..Default::default() },
+            &SweepOptions {
+                batch: 8192,
+                progress_every: 0,
+                ..Default::default()
+            },
         );
         let t = BestTable::new(&ds);
         let chunked = t.best_by_chunking(n, true).unwrap().gflops;

@@ -11,7 +11,8 @@
 
 use crate::best::BestTable;
 use crate::record::Dataset;
-use ibcf_kernels::KernelConfig;
+use ibcf_gpu_sim::{GpuSpec, KernelTiming, TraceCache};
+use ibcf_kernels::{time_config_cached, KernelConfig, PlanKey};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
@@ -80,6 +81,23 @@ impl TunedDispatch {
         Some(c)
     }
 
+    /// Expected timing of the dispatched configuration for dimension `n`
+    /// at `batch`, through a caller-shared plan cache — the online-tuning
+    /// path: repeated queries (same `n`, different batches or arithmetic
+    /// variants of a structural class) reuse one cached trace plan and pay
+    /// only the pricing pass. Returns `None` on an empty table.
+    pub fn time_for(
+        &self,
+        n: usize,
+        batch: usize,
+        spec: &GpuSpec,
+        cache: &TraceCache<PlanKey>,
+    ) -> Option<(KernelConfig, KernelTiming)> {
+        let config = self.config_for(n)?;
+        let timing = time_config_cached(&config, batch, spec, cache);
+        Some((config, timing))
+    }
+
     /// Saves the table as JSON lines (`n` + config per line).
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
         let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
@@ -100,9 +118,10 @@ impl TunedDispatch {
                 continue;
             }
             let v: serde_json::Value = serde_json::from_str(&line)?;
-            let n = v["n"].as_u64().ok_or_else(|| {
-                std::io::Error::new(std::io::ErrorKind::InvalidData, "missing n")
-            })? as usize;
+            let n = v["n"]
+                .as_u64()
+                .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "missing n"))?
+                as usize;
             let config: KernelConfig = serde_json::from_value(v["config"].clone())?;
             table.insert(n, config);
         }
@@ -122,7 +141,10 @@ mod tests {
             &ParamSpace::quick(),
             &[8, 16, 32],
             &GpuSpec::p100(),
-            &SweepOptions { batch: 4096, ..Default::default() },
+            &SweepOptions {
+                batch: 4096,
+                ..Default::default()
+            },
         );
         let d = TunedDispatch::from_dataset(&ds, Some(false));
         (ds, d)
@@ -181,6 +203,32 @@ mod tests {
         let d = TunedDispatch::default();
         assert!(d.is_empty());
         assert!(d.config_for(16).is_none());
+    }
+
+    #[test]
+    fn online_timing_reuses_cached_plans_across_batches() {
+        use ibcf_kernels::time_config;
+        let (_, d) = dispatch();
+        let spec = GpuSpec::p100();
+        let cache = TraceCache::default();
+        // Two rounds of identical queries: the second round is all
+        // cache hits, priced only.
+        for _round in 0..2 {
+            for batch in [1024usize, 4096, 16384] {
+                for n in [8usize, 16, 32] {
+                    let (config, timing) = d.time_for(n, batch, &spec, &cache).unwrap();
+                    let fused = time_config(&config, batch, &spec);
+                    assert_eq!(timing.time_s, fused.time_s, "n={n} batch={batch}");
+                }
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.lookups(), 18);
+        assert!(
+            stats.hits >= 9,
+            "second round must hit, hits={}",
+            stats.hits
+        );
     }
 
     #[test]

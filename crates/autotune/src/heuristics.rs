@@ -5,10 +5,10 @@
 //! few evaluations?
 
 use crate::record::Measurement;
-use crate::runner::measure;
+use crate::runner::measure_cached;
 use crate::space::ParamSpace;
-use ibcf_gpu_sim::GpuSpec;
-use ibcf_kernels::KernelConfig;
+use ibcf_gpu_sim::{GpuSpec, TraceCache};
+use ibcf_kernels::{KernelConfig, PlanKey};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::HashSet;
@@ -84,10 +84,14 @@ pub fn hill_climb(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut seen: HashSet<String> = HashSet::new();
     let mut evals = 0usize;
+    // Online tuning revisits structural neighbors constantly (fast_math
+    // and chunk-size moves keep the instruction stream); a local plan
+    // cache makes those evaluations price-only.
+    let cache: TraceCache<PlanKey> = TraceCache::default();
     let eval = |c: &KernelConfig, seen: &mut HashSet<String>, evals: &mut usize| {
         seen.insert(key(c));
         *evals += 1;
-        measure(c, batch, spec)
+        measure_cached(c, batch, spec, &cache)
     };
 
     let pick = |rng: &mut StdRng, space: &ParamSpace| KernelConfig {
@@ -124,7 +128,10 @@ pub fn hill_climb(
             best = Some(cur);
         }
     }
-    SearchResult { best: best.expect("at least one restart"), evaluations: evals }
+    SearchResult {
+        best: best.expect("at least one restart"),
+        evaluations: evals,
+    }
 }
 
 #[cfg(test)]
@@ -139,7 +146,16 @@ mod tests {
         let spec = GpuSpec::p100();
         let n = 24;
         let batch = 2048;
-        let ds = sweep(&space, n, &spec, &SweepOptions { batch, progress_every: 0, ..Default::default() });
+        let ds = sweep(
+            &space,
+            n,
+            &spec,
+            &SweepOptions {
+                batch,
+                progress_every: 0,
+                ..Default::default()
+            },
+        );
         // The climber explores the space's first arithmetic mode (IEEE);
         // compare under the same restriction.
         let exhaustive = BestTable::new(&ds)

@@ -18,5 +18,8 @@ pub mod space;
 pub use best::BestTable;
 pub use dispatch::TunedDispatch;
 pub use record::{Dataset, Measurement};
-pub use runner::{sweep, sweep_sizes, SweepOptions};
+pub use runner::{
+    measure, measure_cached, measure_noisy, measure_noisy_cached, sweep, sweep_sizes,
+    sweep_sizes_with, ProgressSink, SilentProgress, StderrProgress, SweepOptions, SweepReport,
+};
 pub use space::ParamSpace;

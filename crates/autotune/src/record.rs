@@ -51,7 +51,15 @@ impl Measurement {
 
     /// Names of the entries of [`Measurement::features`].
     pub fn feature_names() -> Vec<&'static str> {
-        vec!["n", "nb", "looking", "chunking", "chunk_size", "unrolling", "cache"]
+        vec![
+            "n",
+            "nb",
+            "looking",
+            "chunking",
+            "chunk_size",
+            "unrolling",
+            "cache",
+        ]
     }
 }
 
@@ -97,11 +105,10 @@ impl Dataset {
     pub fn load_jsonl(path: &Path) -> std::io::Result<Self> {
         let f = std::io::BufReader::new(std::fs::File::open(path)?);
         let mut lines = f.lines();
-        let header: serde_json::Value = serde_json::from_str(
-            &lines.next().ok_or_else(|| {
+        let header: serde_json::Value =
+            serde_json::from_str(&lines.next().ok_or_else(|| {
                 std::io::Error::new(std::io::ErrorKind::InvalidData, "empty dataset")
-            })??,
-        )?;
+            })??)?;
         let gpu = header["gpu"].as_str().unwrap_or("unknown").to_string();
         let batch = header["batch"].as_u64().unwrap_or(0) as usize;
         let mut measurements = Vec::new();
@@ -112,7 +119,11 @@ impl Dataset {
             }
             measurements.push(serde_json::from_str(&line)?);
         }
-        Ok(Dataset { gpu, batch, measurements })
+        Ok(Dataset {
+            gpu,
+            batch,
+            measurements,
+        })
     }
 
     /// Writes a CSV view (features + gflops), handy for external analysis.
@@ -187,7 +198,11 @@ mod tests {
 
     #[test]
     fn csv_has_header_and_rows() {
-        let d = Dataset { gpu: "t".into(), batch: 8, measurements: vec![sample(8, 50.0)] };
+        let d = Dataset {
+            gpu: "t".into(),
+            batch: 8,
+            measurements: vec![sample(8, 50.0)],
+        };
         let dir = std::env::temp_dir().join("ibcf_test_ds");
         std::fs::create_dir_all(&dir).unwrap();
         let p = dir.join("ds.csv");

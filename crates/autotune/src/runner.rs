@@ -3,17 +3,18 @@
 use crate::record::{Dataset, Measurement};
 use crate::space::ParamSpace;
 use ibcf_core::flops::cholesky_flops_std;
-use ibcf_gpu_sim::GpuSpec;
-use ibcf_kernels::{time_config, KernelConfig};
+use ibcf_gpu_sim::{CacheStats, GpuSpec, TraceCache};
+use ibcf_kernels::{time_config, time_config_cached, KernelConfig, PlanKey};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Sweep options.
 #[derive(Debug, Clone)]
 pub struct SweepOptions {
     /// Batch size of every launch (the paper uses 16,384).
     pub batch: usize,
-    /// Print progress every this many configurations (0 = silent).
+    /// Report progress every this many configurations (0 = silent).
     pub progress_every: usize,
     /// Relative measurement noise (standard deviation of a multiplicative
     /// Gaussian-ish factor). Real autotuning corpora are noisy; setting
@@ -22,11 +23,71 @@ pub struct SweepOptions {
     pub noise_sigma: f64,
     /// Seed for the noise (per-configuration deterministic).
     pub noise_seed: u64,
+    /// Share one [`TraceCache`] across the sweep so configurations with
+    /// the same instruction stream reuse one trace plan. Timings are
+    /// bitwise-identical either way; disabling exists for benchmarking
+    /// the cache itself.
+    pub share_plans: bool,
 }
 
 impl Default for SweepOptions {
     fn default() -> Self {
-        SweepOptions { batch: 16_384, progress_every: 0, noise_sigma: 0.0, noise_seed: 0 }
+        SweepOptions {
+            batch: 16_384,
+            progress_every: 0,
+            noise_sigma: 0.0,
+            noise_seed: 0,
+            share_plans: true,
+        }
+    }
+}
+
+/// Receives sweep progress callbacks (every `progress_every` completed
+/// configurations). Implementations must be `Sync`: the sweep calls them
+/// from parallel workers.
+pub trait ProgressSink: Sync {
+    /// `done` of `total` configurations have been measured.
+    fn on_progress(&self, done: usize, total: usize);
+}
+
+/// Prints `swept k/total` lines to stderr — the CLI's historical behavior.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StderrProgress;
+
+impl ProgressSink for StderrProgress {
+    fn on_progress(&self, done: usize, total: usize) {
+        eprintln!("  swept {done}/{total}");
+    }
+}
+
+/// Discards progress callbacks (benches and tests).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SilentProgress;
+
+impl ProgressSink for SilentProgress {
+    fn on_progress(&self, _done: usize, _total: usize) {}
+}
+
+/// A [`Dataset`] plus the sweep's observability surface: plan-cache
+/// statistics and wall-clock throughput.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// The measurements.
+    pub dataset: Dataset,
+    /// Plan-cache counters (all zero when `share_plans` was off).
+    pub cache: CacheStats,
+    /// Wall-clock seconds the sweep took.
+    pub wall_s: f64,
+}
+
+impl SweepReport {
+    /// Configurations measured per wall-clock second.
+    pub fn configs_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.dataset.measurements.len() as f64 / self.wall_s
+        } else {
+            0.0
+        }
     }
 }
 
@@ -54,7 +115,9 @@ fn noise_factor(config: &KernelConfig, sigma: f64, seed: u64) -> f64 {
     let mut z = 0.0f64;
     let mut state = h;
     for _ in 0..4 {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         z += (state >> 40) as f64 / (1u64 << 24) as f64 - 0.5;
     }
     (1.0 + sigma * z * 1.732).max(0.05)
@@ -63,6 +126,16 @@ fn noise_factor(config: &KernelConfig, sigma: f64, seed: u64) -> f64 {
 /// Measures one configuration (deterministic model output).
 pub fn measure(config: &KernelConfig, batch: usize, spec: &GpuSpec) -> Measurement {
     measure_noisy(config, batch, spec, 0.0, 0)
+}
+
+/// [`measure`] through a shared plan cache; bitwise-identical output.
+pub fn measure_cached(
+    config: &KernelConfig,
+    batch: usize,
+    spec: &GpuSpec,
+    cache: &TraceCache<PlanKey>,
+) -> Measurement {
+    measure_noisy_cached(config, batch, spec, 0.0, 0, cache)
 }
 
 /// Measures one configuration with the multiplicative noise model.
@@ -74,6 +147,29 @@ pub fn measure_noisy(
     noise_seed: u64,
 ) -> Measurement {
     let t = time_config(config, batch, spec);
+    finish_measurement(config, batch, t, noise_sigma, noise_seed)
+}
+
+/// [`measure_noisy`] through a shared plan cache; bitwise-identical output.
+pub fn measure_noisy_cached(
+    config: &KernelConfig,
+    batch: usize,
+    spec: &GpuSpec,
+    noise_sigma: f64,
+    noise_seed: u64,
+    cache: &TraceCache<PlanKey>,
+) -> Measurement {
+    let t = time_config_cached(config, batch, spec, cache);
+    finish_measurement(config, batch, t, noise_sigma, noise_seed)
+}
+
+fn finish_measurement(
+    config: &KernelConfig,
+    batch: usize,
+    t: ibcf_gpu_sim::KernelTiming,
+    noise_sigma: f64,
+    noise_seed: u64,
+) -> Measurement {
     let flops = cholesky_flops_std(config.n) * batch as f64;
     let f = noise_factor(config, noise_sigma, noise_seed);
     Measurement {
@@ -109,33 +205,71 @@ pub fn sweep(space: &ParamSpace, n: usize, spec: &GpuSpec, opts: &SweepOptions) 
 }
 
 /// Exhaustively sweeps `space` across several matrix dimensions, in
-/// parallel (rayon) over configurations.
+/// parallel (rayon) over configurations. Progress goes to stderr
+/// ([`StderrProgress`]); use [`sweep_sizes_with`] for a custom sink or the
+/// cache statistics.
 pub fn sweep_sizes(
     space: &ParamSpace,
     sizes: &[usize],
     spec: &GpuSpec,
     opts: &SweepOptions,
 ) -> Dataset {
+    sweep_sizes_with(space, sizes, spec, opts, &StderrProgress).dataset
+}
+
+/// [`sweep_sizes`] with an explicit [`ProgressSink`], returning the full
+/// [`SweepReport`]. All sweep workers share one [`TraceCache`], so the
+/// warp trace and register-reuse/coalescing passes run once per distinct
+/// instruction stream instead of once per configuration.
+pub fn sweep_sizes_with(
+    space: &ParamSpace,
+    sizes: &[usize],
+    spec: &GpuSpec,
+    opts: &SweepOptions,
+    sink: &dyn ProgressSink,
+) -> SweepReport {
     let mut all: Vec<KernelConfig> = Vec::new();
     for &n in sizes {
         all.extend(space.configs(n));
     }
     let done = AtomicUsize::new(0);
     let total = all.len();
+    let cache: TraceCache<PlanKey> = TraceCache::default();
+    let start = Instant::now();
     let measurements: Vec<Measurement> = all
         .par_iter()
         .map(|config| {
-            let m = measure_noisy(config, opts.batch, spec, opts.noise_sigma, opts.noise_seed);
+            let m = if opts.share_plans {
+                measure_noisy_cached(
+                    config,
+                    opts.batch,
+                    spec,
+                    opts.noise_sigma,
+                    opts.noise_seed,
+                    &cache,
+                )
+            } else {
+                measure_noisy(config, opts.batch, spec, opts.noise_sigma, opts.noise_seed)
+            };
             if opts.progress_every > 0 {
                 let k = done.fetch_add(1, Ordering::Relaxed) + 1;
                 if k.is_multiple_of(opts.progress_every) {
-                    eprintln!("  swept {k}/{total}");
+                    sink.on_progress(k, total);
                 }
             }
             m
         })
         .collect();
-    Dataset { gpu: spec.name.clone(), batch: opts.batch, measurements }
+    let wall_s = start.elapsed().as_secs_f64();
+    SweepReport {
+        dataset: Dataset {
+            gpu: spec.name.clone(),
+            batch: opts.batch,
+            measurements,
+        },
+        cache: cache.stats(),
+        wall_s,
+    }
 }
 
 #[cfg(test)]
@@ -146,9 +280,20 @@ mod tests {
     fn quick_sweep_produces_full_grid() {
         let space = ParamSpace::quick();
         let spec = GpuSpec::p100();
-        let ds = sweep(&space, 12, &spec, &SweepOptions { batch: 2048, ..Default::default() });
+        let ds = sweep(
+            &space,
+            12,
+            &spec,
+            &SweepOptions {
+                batch: 2048,
+                ..Default::default()
+            },
+        );
         assert_eq!(ds.measurements.len(), space.len_per_n());
-        assert!(ds.measurements.iter().all(|m| m.gflops > 0.0 && m.time_s > 0.0));
+        assert!(ds
+            .measurements
+            .iter()
+            .all(|m| m.gflops > 0.0 && m.time_s > 0.0));
         assert_eq!(ds.sizes(), vec![12]);
     }
 
@@ -156,7 +301,10 @@ mod tests {
     fn sweep_is_deterministic() {
         let space = ParamSpace::quick();
         let spec = GpuSpec::p100();
-        let opts = SweepOptions { batch: 1024, ..Default::default() };
+        let opts = SweepOptions {
+            batch: 1024,
+            ..Default::default()
+        };
         let a = sweep(&space, 8, &spec, &opts);
         let b = sweep(&space, 8, &spec, &opts);
         for (x, y) in a.measurements.iter().zip(&b.measurements) {
@@ -169,12 +317,25 @@ mod tests {
     fn noise_perturbs_but_preserves_structure() {
         let space = ParamSpace::quick();
         let spec = GpuSpec::p100();
-        let clean = sweep(&space, 16, &spec, &SweepOptions { batch: 2048, ..Default::default() });
+        let clean = sweep(
+            &space,
+            16,
+            &spec,
+            &SweepOptions {
+                batch: 2048,
+                ..Default::default()
+            },
+        );
         let noisy = sweep(
             &space,
             16,
             &spec,
-            &SweepOptions { batch: 2048, noise_sigma: 0.05, noise_seed: 9, ..Default::default() },
+            &SweepOptions {
+                batch: 2048,
+                noise_sigma: 0.05,
+                noise_seed: 9,
+                ..Default::default()
+            },
         );
         let mut rel = Vec::new();
         for (c, n) in clean.measurements.iter().zip(&noisy.measurements) {
@@ -182,17 +343,110 @@ mod tests {
             rel.push((n.gflops / c.gflops - 1.0).abs());
         }
         let mean_dev = rel.iter().sum::<f64>() / rel.len() as f64;
-        assert!(mean_dev > 0.005 && mean_dev < 0.2, "mean deviation {mean_dev}");
+        assert!(
+            mean_dev > 0.005 && mean_dev < 0.2,
+            "mean deviation {mean_dev}"
+        );
         // Noise must be reproducible.
         let noisy2 = sweep(
             &space,
             16,
             &spec,
-            &SweepOptions { batch: 2048, noise_sigma: 0.05, noise_seed: 9, ..Default::default() },
+            &SweepOptions {
+                batch: 2048,
+                noise_sigma: 0.05,
+                noise_seed: 9,
+                ..Default::default()
+            },
         );
         for (a, b) in noisy.measurements.iter().zip(&noisy2.measurements) {
             assert_eq!(a.gflops, b.gflops);
         }
+    }
+
+    #[test]
+    fn shared_cache_is_bitwise_identical_to_uncached() {
+        let space = ParamSpace::quick();
+        let spec = GpuSpec::p100();
+        let cached = sweep_sizes_with(
+            &space,
+            &[8, 16, 32],
+            &spec,
+            &SweepOptions {
+                batch: 1024,
+                ..Default::default()
+            },
+            &SilentProgress,
+        );
+        let uncached = sweep_sizes_with(
+            &space,
+            &[8, 16, 32],
+            &spec,
+            &SweepOptions {
+                batch: 1024,
+                share_plans: false,
+                ..Default::default()
+            },
+            &SilentProgress,
+        );
+        assert_eq!(
+            cached.dataset.measurements.len(),
+            uncached.dataset.measurements.len()
+        );
+        for (a, b) in cached
+            .dataset
+            .measurements
+            .iter()
+            .zip(&uncached.dataset.measurements)
+        {
+            assert_eq!(a.config, b.config);
+            assert_eq!(a.gflops, b.gflops, "{}", a.config);
+            assert_eq!(a.time_s, b.time_s, "{}", a.config);
+        }
+        // The quick space varies fast_math (and more) per structural class,
+        // so the cache must have been reused heavily.
+        assert!(
+            cached.cache.hit_rate() > 0.5,
+            "hit rate {}",
+            cached.cache.hit_rate()
+        );
+        assert_eq!(
+            cached.cache.lookups() as usize,
+            cached.dataset.measurements.len()
+        );
+        assert_eq!(uncached.cache.lookups(), 0);
+    }
+
+    #[test]
+    fn progress_sink_receives_gated_callbacks() {
+        use std::sync::atomic::AtomicUsize;
+
+        struct Counting(AtomicUsize);
+        impl ProgressSink for Counting {
+            fn on_progress(&self, _done: usize, total: usize) {
+                assert!(total > 0);
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let space = ParamSpace::quick();
+        let spec = GpuSpec::p100();
+        let sink = Counting(AtomicUsize::new(0));
+        let report = sweep_sizes_with(
+            &space,
+            &[8],
+            &spec,
+            &SweepOptions {
+                batch: 512,
+                progress_every: 10,
+                ..Default::default()
+            },
+            &sink,
+        );
+        let expect = report.dataset.measurements.len() / 10;
+        assert_eq!(sink.0.load(Ordering::Relaxed), expect);
+        assert!(report.wall_s >= 0.0);
+        assert!(report.configs_per_sec() > 0.0);
     }
 
     #[test]
@@ -203,7 +457,10 @@ mod tests {
             &space,
             &[4, 8],
             &spec,
-            &SweepOptions { batch: 512, ..Default::default() },
+            &SweepOptions {
+                batch: 512,
+                ..Default::default()
+            },
         );
         assert_eq!(ds.sizes(), vec![4, 8]);
         assert_eq!(ds.measurements.len(), 2 * space.len_per_n());

@@ -1,0 +1,225 @@
+//! The two-phase refactor's contract: `price(build_plan(trace), ctx)` is
+//! bitwise-identical to the pre-refactor fused timing pass for every
+//! kernel configuration. The reference below is a verbatim copy of the
+//! fused `time_from_trace` as it stood before the split, rebuilt from the
+//! simulator's public pieces; the tests drive both pipelines over the
+//! quick parameter space and compare full [`KernelTiming`] reports.
+
+use ibcf_autotune::ParamSpace;
+use ibcf_gpu_sim::cache::Cache;
+use ibcf_gpu_sim::coalesce::coalesce;
+use ibcf_gpu_sim::dram::RowBufferModel;
+use ibcf_gpu_sim::{
+    apply_register_reuse, occupancy, trace_warp, Bottleneck, GpuSpec, KernelStatics, KernelTiming,
+    LaunchConfig, OpCounts, ThreadKernel, TraceCache, WarpTrace,
+};
+use ibcf_kernels::{time_config, time_config_cached, InterleavedCholesky, KernelConfig, PlanKey};
+use proptest::prelude::*;
+
+/// Per-op issue pricing, copied from the pre-refactor `compute_cycles`.
+fn fused_compute_cycles(ops: &OpCounts, spec: &GpuSpec, fast_math: bool) -> f64 {
+    let c = &spec.costs;
+    ops.fma_class as f64 * c.fma
+        + ops.div as f64 * c.div(fast_math)
+        + ops.sqrt as f64 * c.sqrt(fast_math)
+        + ops.rcp as f64 * c.rcp(fast_math)
+        + ops.iops as f64 * c.iop
+}
+
+/// The pre-refactor fused `time_from_trace`, verbatim: register reuse,
+/// coalescing, L2/DRAM filtering, spills, i-cache, arithmetic pricing and
+/// occupancy scaling in one pass, in the original floating-point order.
+fn fused_time_from_trace(
+    trace: &WarpTrace,
+    statics: &KernelStatics,
+    launch: LaunchConfig,
+    spec: &GpuSpec,
+    fast_math: bool,
+) -> KernelTiming {
+    let warps_total = (launch.total_threads() / spec.warp_size as usize) as f64;
+
+    let (capacity, dse) = (statics.reg_reuse_capacity, statics.dead_store_elim);
+    let reused = apply_register_reuse(trace.accesses.clone(), capacity, dse);
+
+    let occ = occupancy(
+        spec,
+        launch.block,
+        statics.regs_per_thread,
+        statics.shared_bytes_per_block,
+    );
+    let blocks_per_wave = (occ.blocks_per_sm as u64) * spec.sms as u64;
+    let waves = (launch.grid as u64).div_ceil(blocks_per_wave);
+    let block_rounds = (launch.grid as u64).div_ceil(spec.sms as u64);
+    let utilization = launch.grid as f64 / (block_rounds * spec.sms as u64) as f64;
+
+    let active_warps_gpu = (occ.warps_per_sm as u64 * spec.sms as u64)
+        .min(warps_total as u64)
+        .max(1);
+    let l2_share = (spec.l2_bytes / active_warps_gpu).max(spec.l2_line_bytes as u64);
+    let mut l2 = Cache::new(l2_share, spec.l2_line_bytes, spec.l2_ways.min(4));
+    let mut rows = RowBufferModel::new(spec.dram_row_bytes, spec.dram_open_rows);
+
+    let mut lsu_cycles = 0.0f64;
+    let mut dram_sectors = 0u64;
+    let mut total_transactions = 0u64;
+    for access in &reused.kept {
+        let c = coalesce(access, 4, spec.line_bytes, spec.sector_bytes);
+        total_transactions += c.transactions as u64;
+        lsu_cycles += c.transactions as f64 * spec.costs.lsu_per_transaction;
+        let mut lines: Vec<u64> = access
+            .addrs
+            .iter()
+            .map(|&a| (a as u64 * 4) / spec.line_bytes as u64)
+            .collect();
+        lines.sort_unstable();
+        lines.dedup();
+        let sectors_per_line = (c.sectors as f64 / c.transactions.max(1) as f64).max(1.0);
+        for line in lines {
+            let byte = line * spec.line_bytes as u64;
+            let hit = l2.access(byte);
+            if !hit || access.store {
+                dram_sectors += sectors_per_line.round() as u64;
+                rows.access(byte);
+            }
+        }
+    }
+
+    let max_regs = spec.max_regs_per_thread;
+    let spill_regs = statics.regs_per_thread.saturating_sub(max_regs) as u64;
+    let spill_accesses_per_warp = (spill_regs as f64 * spec.spill_reuse_factor * 2.0).round();
+    lsu_cycles += spill_accesses_per_warp * spec.costs.lsu_per_transaction;
+    let spill_bytes_per_warp = spill_accesses_per_warp * 32.0 * 4.0;
+    let spill_bytes = (spill_bytes_per_warp * warps_total) as u64;
+
+    let code_bytes = statics.static_instrs * spec.instr_bytes as u64;
+    let icache_penalty = if code_bytes > spec.icache_bytes as u64 {
+        1.0 + spec.icache_beta * (code_bytes as f64 / spec.icache_bytes as f64).log2()
+    } else {
+        1.0
+    };
+
+    let comp_cycles = fused_compute_cycles(&trace.ops, spec, fast_math) * icache_penalty;
+    let lsu_cycles = lsu_cycles * icache_penalty;
+
+    let clock = spec.clock_hz();
+    let sms = spec.sms as f64;
+    let compute_time_s = comp_cycles * warps_total / sms / clock / utilization;
+    let lsu_time_s = lsu_cycles * warps_total / sms / clock / utilization;
+
+    let dram_bytes =
+        dram_sectors as f64 * spec.sector_bytes as f64 * warps_total + spill_bytes as f64;
+    let dram_eff = rows.efficiency(spec.dram_row_miss_penalty);
+    let dram_time_s = dram_bytes / (spec.dram_gbps * 1e9 * dram_eff);
+
+    let (time_s, bottleneck) = if compute_time_s >= lsu_time_s && compute_time_s >= dram_time_s {
+        (compute_time_s, Bottleneck::Compute)
+    } else if lsu_time_s >= dram_time_s {
+        (lsu_time_s, Bottleneck::Lsu)
+    } else {
+        (dram_time_s, Bottleneck::Dram)
+    };
+
+    KernelTiming {
+        time_s,
+        compute_time_s,
+        lsu_time_s,
+        dram_time_s,
+        bottleneck,
+        dram_bytes: dram_bytes as u64,
+        row_hit_rate: rows.hit_rate(),
+        l2_hit_rate: l2.hit_rate(),
+        transactions_per_access: if reused.kept.is_empty() {
+            0.0
+        } else {
+            total_transactions as f64 / reused.kept.len() as f64
+        },
+        reg_reuse_eliminated_loads: reused.eliminated_loads,
+        eliminated_stores: reused.eliminated_stores,
+        spill_bytes,
+        code_bytes,
+        icache_penalty,
+        occupancy: occ,
+        waves,
+        utilization,
+        flops_per_thread: trace.ops.flops(),
+    }
+}
+
+/// Times `config` through the verbatim fused reference.
+fn fused_time_config(config: &KernelConfig, batch: usize, spec: &GpuSpec) -> KernelTiming {
+    let kernel = InterleavedCholesky::new(*config, batch);
+    let launch = config.launch(batch);
+    let trace = trace_warp(&kernel, launch, 0, 0);
+    let statics = kernel.statics();
+    fused_time_from_trace(&trace, &statics, launch, spec, config.fast_math)
+}
+
+/// `KernelTiming` does not implement `PartialEq`; the `Debug` rendering
+/// prints every `f64` in shortest-roundtrip form, so equal strings mean
+/// bitwise-equal reports (modulo the sign of zero, which never occurs in
+/// these non-negative quantities).
+fn render(t: &KernelTiming) -> String {
+    format!("{t:?}")
+}
+
+fn quick_configs() -> Vec<KernelConfig> {
+    let space = ParamSpace::quick();
+    let mut all = Vec::new();
+    for n in [8, 16, 32] {
+        all.extend(space.configs(n));
+    }
+    all
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `time_config` (now plan + price) matches the pre-refactor fused
+    /// pass bitwise for randomly drawn quick-space configurations, GPUs
+    /// and batch sizes.
+    #[test]
+    fn split_pipeline_matches_fused_reference(
+        idx in 0usize..3456,
+        batch in prop::sample::select(vec![512usize, 4096, 16_384]),
+        v100 in any::<bool>(),
+    ) {
+        let configs = quick_configs();
+        let config = configs[idx % configs.len()];
+        let spec = if v100 { GpuSpec::v100() } else { GpuSpec::p100() };
+        let split = time_config(&config, batch, &spec);
+        let fused = fused_time_config(&config, batch, &spec);
+        prop_assert_eq!(render(&split), render(&fused));
+    }
+
+    /// Cache hits price from a stored plan; the result must be identical
+    /// to both a cache miss and the fused reference.
+    #[test]
+    fn cached_path_matches_fused_reference(
+        idx in 0usize..3456,
+        batch in prop::sample::select(vec![1024usize, 8192]),
+    ) {
+        let configs = quick_configs();
+        let config = configs[idx % configs.len()];
+        let spec = GpuSpec::p100();
+        let cache: TraceCache<PlanKey> = TraceCache::default();
+        let miss = time_config_cached(&config, batch, &spec, &cache);
+        let hit = time_config_cached(&config, batch, &spec, &cache);
+        let fused = fused_time_config(&config, batch, &spec);
+        prop_assert_eq!(cache.stats().hits, 1);
+        prop_assert_eq!(cache.stats().misses, 1);
+        prop_assert_eq!(render(&miss), render(&hit));
+        prop_assert_eq!(render(&hit), render(&fused));
+    }
+}
+
+/// Exhaustive sweep of the whole quick space at one size: no sampled
+/// blind spots at the size the determinism tests pin.
+#[test]
+fn exhaustive_quick_space_matches_fused_at_n16() {
+    let spec = GpuSpec::p100();
+    for config in ParamSpace::quick().configs(16) {
+        let split = time_config(&config, 4096, &spec);
+        let fused = fused_time_config(&config, 4096, &spec);
+        assert_eq!(render(&split), render(&fused), "mismatch for {config}");
+    }
+}

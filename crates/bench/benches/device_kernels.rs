@@ -21,7 +21,12 @@ fn bench_functional(c: &mut Criterion) {
         g.bench_function(format!("interleaved_n{n}_batch{batch}"), |b| {
             b.iter(|| {
                 let mut data = base.clone();
-                launch_functional(&kernel, config.launch(batch), &mut data, ExecOptions::default());
+                launch_functional(
+                    &kernel,
+                    config.launch(batch),
+                    &mut data,
+                    ExecOptions::default(),
+                );
                 black_box(data[0])
             })
         });
@@ -34,7 +39,10 @@ fn bench_timing_model(c: &mut Criterion) {
     let mut g = c.benchmark_group("timing_model_eval");
     g.sample_size(20);
     for (n, unroll) in [(16usize, Unroll::Full), (48, Unroll::Partial)] {
-        let config = KernelConfig { unroll, ..KernelConfig::baseline(n) };
+        let config = KernelConfig {
+            unroll,
+            ..KernelConfig::baseline(n)
+        };
         g.bench_function(format!("interleaved_n{n}_{}", unroll.name()), |b| {
             b.iter(|| black_box(time_config(&config, 16384, &spec).time_s))
         });
@@ -51,7 +59,13 @@ fn bench_trace(c: &mut Criterion) {
     let config = KernelConfig::baseline(32);
     let kernel = InterleavedCholesky::new(config, 16384);
     g.bench_function("trace_warp_n32", |b| {
-        b.iter(|| black_box(trace_warp(&kernel, config.launch(16384), 0, 0).accesses.len()))
+        b.iter(|| {
+            black_box(
+                trace_warp(&kernel, config.launch(16384), 0, 0)
+                    .accesses
+                    .len(),
+            )
+        })
     });
     g.finish();
 }

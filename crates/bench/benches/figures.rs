@@ -8,7 +8,10 @@ use ibcf_bench::{results_dir, FigOpts};
 fn main() {
     // Criterion-style CLI flags (e.g. `--bench`) are accepted and ignored.
     let opts = FigOpts::quick();
-    println!("regenerating all paper tables/figures (quick mode, batch {})", opts.batch);
+    println!(
+        "regenerating all paper tables/figures (quick mode, batch {})",
+        opts.batch
+    );
     let figs = ibcf_bench::figures::all(&opts);
     let mut pass = 0usize;
     let mut total = 0usize;

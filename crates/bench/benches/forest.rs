@@ -10,7 +10,9 @@ fn synth(n: usize) -> TableData {
     let mut targets = Vec::new();
     let mut state = 42u64;
     let mut unit = || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 40) as f64 / (1u64 << 24) as f64
     };
     for _ in 0..n {
@@ -30,12 +32,21 @@ fn bench_fit(c: &mut Criterion) {
         b.iter(|| {
             let f = Forest::fit(
                 &data,
-                ForestConfig { num_trees: 100, ..ForestConfig::default() },
+                ForestConfig {
+                    num_trees: 100,
+                    ..ForestConfig::default()
+                },
             );
             black_box(f.trees().len())
         })
     });
-    let forest = Forest::fit(&data, ForestConfig { num_trees: 100, ..ForestConfig::default() });
+    let forest = Forest::fit(
+        &data,
+        ForestConfig {
+            num_trees: 100,
+            ..ForestConfig::default()
+        },
+    );
     g.bench_function("predict_2000_rows", |b| {
         b.iter(|| {
             let s: f64 = data.rows.iter().map(|r| forest.predict(r)).sum();

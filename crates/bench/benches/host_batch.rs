@@ -11,7 +11,10 @@ use std::hint::black_box;
 fn layouts(n: usize, batch: usize) -> Vec<(&'static str, Layout)> {
     vec![
         ("canonical", Layout::Canonical(Canonical::new(n, batch))),
-        ("interleaved", Layout::Interleaved(Interleaved::new(n, batch))),
+        (
+            "interleaved",
+            Layout::Interleaved(Interleaved::new(n, batch)),
+        ),
         ("chunked64", Layout::Chunked(Chunked::new(n, batch, 64))),
     ]
 }

@@ -10,7 +10,10 @@ fn bench_addr(c: &mut Criterion) {
     let batch = 4096;
     let layouts: Vec<(&str, Layout)> = vec![
         ("canonical", Layout::Canonical(Canonical::new(n, batch))),
-        ("interleaved", Layout::Interleaved(Interleaved::new(n, batch))),
+        (
+            "interleaved",
+            Layout::Interleaved(Interleaved::new(n, batch)),
+        ),
         ("chunked64", Layout::Chunked(Chunked::new(n, batch, 64))),
     ];
     let mut g = c.benchmark_group("addr_sweep_16x16x4096");

@@ -1,0 +1,49 @@
+//! Sweep-throughput bench: the payoff of the two-phase trace/price
+//! pipeline. Runs the same multi-size quick-space sweep with the shared
+//! plan cache on and off and reports configs/sec for both, plus their
+//! ratio — the number the tentpole promises to be ≥ 2×.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ibcf_autotune::{sweep_sizes_with, ParamSpace, SilentProgress, SweepOptions};
+use ibcf_gpu_sim::GpuSpec;
+
+const SIZES: &[usize] = &[8, 16, 32];
+
+fn run_sweep(share_plans: bool) -> f64 {
+    let report = sweep_sizes_with(
+        &ParamSpace::quick(),
+        SIZES,
+        &GpuSpec::p100(),
+        &SweepOptions {
+            batch: 4096,
+            share_plans,
+            ..Default::default()
+        },
+        &SilentProgress,
+    );
+    report.configs_per_sec()
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    group.bench_function("multi_size_quick_cache_shared", |b| {
+        b.iter(|| run_sweep(true))
+    });
+    group.bench_function("multi_size_quick_cache_disabled", |b| {
+        b.iter(|| run_sweep(false))
+    });
+    group.finish();
+
+    // Direct throughput comparison (criterion medians above time one whole
+    // sweep; this prints the headline configs/sec ratio).
+    let cached = run_sweep(true);
+    let uncached = run_sweep(false);
+    println!(
+        "sweep throughput: {cached:.0} configs/s shared cache vs {uncached:.0} disabled ({:.2}x)",
+        cached / uncached
+    );
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -58,11 +58,7 @@ pub fn line_chart(
         out.extend(row.iter());
         out.push('\n');
     }
-    out.push_str(&format!(
-        "          {}{}\n",
-        "-".repeat(width),
-        ""
-    ));
+    out.push_str(&format!("          {}{}\n", "-".repeat(width), ""));
     out.push_str(&format!(
         "          x: {xmin:.0} .. {xmax:.0}   legend: {}\n",
         series
@@ -77,12 +73,7 @@ pub fn line_chart(
 
 /// Renders a y-vs-x scatter (e.g. predicted vs observed) with an identity
 /// reference diagonal.
-pub fn scatter(
-    title: &str,
-    points: &[(f64, f64)],
-    width: usize,
-    height: usize,
-) -> String {
+pub fn scatter(title: &str, points: &[(f64, f64)], width: usize, height: usize) -> String {
     let mut out = String::new();
     out.push_str(title);
     out.push('\n');
@@ -118,7 +109,9 @@ pub fn scatter(
         out.extend(row.iter());
         out.push('\n');
     }
-    out.push_str(&format!("   axes: {min:.0} .. {max:.0} (x = observed, y = predicted)\n"));
+    out.push_str(&format!(
+        "   axes: {min:.0} .. {max:.0} (x = observed, y = predicted)\n"
+    ));
     out
 }
 

@@ -30,9 +30,18 @@ fn main() {
 
     // ---- Figure 17 signal: chunked vs simple at a memory-bound size ----
     let n = 32;
-    let chunked = KernelConfig { fast_math: true, ..KernelConfig::baseline(n) };
-    let simple = KernelConfig { chunked: false, ..chunked };
-    let opts = TimingOptions { fast_math: true, ..Default::default() };
+    let chunked = KernelConfig {
+        fast_math: true,
+        ..KernelConfig::baseline(n)
+    };
+    let simple = KernelConfig {
+        chunked: false,
+        ..chunked
+    };
+    let opts = TimingOptions {
+        fast_math: true,
+        ..Default::default()
+    };
     let with = gflops(&chunked, &base_spec, opts) / gflops(&simple, &base_spec, opts);
     let mut flat = base_spec.clone();
     flat.dram_row_miss_penalty = 1.0; // rows are free: no spatial locality
@@ -44,9 +53,15 @@ fn main() {
 
     // ---- Figure 13 signal: IEEE vs fast-math at a compute-bound size ----
     let n = 16;
-    let cfg = KernelConfig { unroll: Unroll::Full, ..KernelConfig::baseline(n) };
+    let cfg = KernelConfig {
+        unroll: Unroll::Full,
+        ..KernelConfig::baseline(n)
+    };
     let ieee = TimingOptions::default();
-    let fast = TimingOptions { fast_math: true, ..Default::default() };
+    let fast = TimingOptions {
+        fast_math: true,
+        ..Default::default()
+    };
     let gap = gflops(&cfg, &base_spec, fast) / gflops(&cfg, &base_spec, ieee);
     let mut cheap = base_spec.clone();
     cheap.costs.div_ieee = cheap.costs.div_fast;
@@ -60,9 +75,20 @@ fn main() {
 
     // ---- Figure 19 right half: full unrolling losing at large n ----
     let n = 48;
-    let partial = KernelConfig { unroll: Unroll::Partial, fast_math: true, nb: 8, ..KernelConfig::baseline(n) };
-    let full = KernelConfig { unroll: Unroll::Full, ..partial };
-    let opts = TimingOptions { fast_math: true, ..Default::default() };
+    let partial = KernelConfig {
+        unroll: Unroll::Partial,
+        fast_math: true,
+        nb: 8,
+        ..KernelConfig::baseline(n)
+    };
+    let full = KernelConfig {
+        unroll: Unroll::Full,
+        ..partial
+    };
+    let opts = TimingOptions {
+        fast_math: true,
+        ..Default::default()
+    };
     let ratio = gflops(&partial, &base_spec, opts) / gflops(&full, &base_spec, opts);
     let mut no_icache = base_spec.clone();
     no_icache.icache_beta = 0.0;
@@ -75,10 +101,20 @@ fn main() {
 
     // ---- Figure 19 left half: full unrolling winning at small n ----
     let n = 16;
-    let partial = KernelConfig { unroll: Unroll::Partial, fast_math: true, ..KernelConfig::baseline(n) };
-    let full = KernelConfig { unroll: Unroll::Full, ..partial };
+    let partial = KernelConfig {
+        unroll: Unroll::Partial,
+        fast_math: true,
+        ..KernelConfig::baseline(n)
+    };
+    let full = KernelConfig {
+        unroll: Unroll::Full,
+        ..partial
+    };
     let win = gflops(&full, &base_spec, opts) / gflops(&partial, &base_spec, opts);
-    let no_reuse = TimingOptions { fast_math: true, disable_reg_reuse: true };
+    let no_reuse = TimingOptions {
+        fast_math: true,
+        disable_reg_reuse: true,
+    };
     let win_off = gflops(&full, &base_spec, no_reuse) / gflops(&partial, &base_spec, no_reuse);
     println!("\nfull-over-partial advantage at n={n} (Fig 19, small n):");
     println!("  register-reuse window ON : {win:.2}x");

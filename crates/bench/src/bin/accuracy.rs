@@ -18,7 +18,10 @@ use rand::SeedableRng;
 /// Worst relative reconstruction error of the device kernel over `reps`
 /// random SPD matrices of the given kind.
 fn device_error(n: usize, kind: SpdKind, fast_math: bool, reps: usize) -> f64 {
-    let config = KernelConfig { fast_math, ..KernelConfig::baseline(n) };
+    let config = KernelConfig {
+        fast_math,
+        ..KernelConfig::baseline(n)
+    };
     let layout = config.layout(32);
     let kernel = InterleavedCholesky::new(config, 32);
     let mut rng = StdRng::seed_from_u64(7);
@@ -29,7 +32,12 @@ fn device_error(n: usize, kind: SpdKind, fast_math: bool, reps: usize) -> f64 {
         for m in 0..layout.padded_batch() {
             scatter_matrix(&layout, &mut mem, m, a.as_slice(), n);
         }
-        launch_functional_seq(&kernel, config.launch(32), &mut mem, ExecOptions { fast_math });
+        launch_functional_seq(
+            &kernel,
+            config.launch(32),
+            &mut mem,
+            ExecOptions { fast_math },
+        );
         let mut l = vec![0.0f32; n * n];
         ibcf_layout::gather_matrix(&layout, &mem, 0, &mut l, n);
         worst = worst.max(reconstruction_error(n, a.as_slice(), &l, n));
@@ -68,7 +76,10 @@ fn main() {
             println!("{n:<6} {name:<18} {o:>12.2e} {i:>12.2e} {f:>12.2e}");
             assert!(i < 1e-4, "IEEE device error too large: {i}");
             assert!(f < 1e-2, "fast-math device error too large: {f}");
-            assert!(f >= i * 0.5, "fast-math should not be more accurate than IEEE");
+            assert!(
+                f >= i * 0.5,
+                "fast-math should not be more accurate than IEEE"
+            );
         }
     }
     println!(

@@ -11,7 +11,12 @@ fn best_small(n: usize, fast: bool, spec: &GpuSpec, batch: usize) -> f64 {
     let mut best: f64 = 0.0;
     for nb in [2usize, 4, 8] {
         for unroll in Unroll::ALL {
-            let c = KernelConfig { nb, unroll, fast_math: fast, ..KernelConfig::baseline(n) };
+            let c = KernelConfig {
+                nb,
+                unroll,
+                fast_math: fast,
+                ..KernelConfig::baseline(n)
+            };
             best = best.max(gflops_of_config(&c, batch, spec));
         }
     }
@@ -51,6 +56,9 @@ fn main() {
         // V100 (more SMs, more bandwidth) at least matches P100.
         holds &= row[1].1 >= row[0].1 * 0.95;
     }
-    assert!(holds, "a qualitative relationship failed to transfer to V100");
+    assert!(
+        holds,
+        "a qualitative relationship failed to transfer to V100"
+    );
     println!("\nall qualitative relationships hold on both GPU presets.");
 }

@@ -15,13 +15,16 @@ fn main() {
         for nb in [2usize, 4, 8] {
             for looking in Looking::ALL {
                 for unroll in Unroll::ALL {
-                    let config = KernelConfig { n, nb, looking, unroll, ..KernelConfig::baseline(n) };
+                    let config = KernelConfig {
+                        n,
+                        nb,
+                        looking,
+                        unroll,
+                        ..KernelConfig::baseline(n)
+                    };
                     let src = emit_cuda(&config);
-                    let name = format!(
-                        "spotrf_n{n}_nb{nb}_{}_{}.cu",
-                        looking.name(),
-                        unroll.name()
-                    );
+                    let name =
+                        format!("spotrf_n{n}_nb{nb}_{}_{}.cu", looking.name(), unroll.name());
                     bytes += src.len();
                     std::fs::write(dir.join(&name), src).expect("write kernel source");
                     count += 1;

@@ -1,0 +1,71 @@
+//! Regenerates one (or all) of the paper's figures and tables, selected by
+//! id: `figure fig13`, `figure table1`, `figure all`. Pass `--quick` for a
+//! reduced run.
+//!
+//! Replaces the former per-figure binaries (`fig13` … `fig21`, `table1`),
+//! which were nine copies of the same sixteen lines.
+
+use ibcf_bench::figures;
+use ibcf_bench::{results_dir, FigOpts, Figure};
+
+const IDS: &[&str] = &[
+    "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "table1", "fig21",
+];
+
+fn generate(id: &str, opts: &FigOpts) -> Option<Vec<Figure>> {
+    let one = |f: Figure| Some(vec![f]);
+    match id {
+        "fig13" => one(figures::fig13(opts)),
+        "fig14" => one(figures::fig14(opts)),
+        "fig15" => one(figures::fig15(opts)),
+        "fig16" => one(figures::fig16(opts)),
+        "fig17" => one(figures::fig17(opts)),
+        "fig18" => one(figures::fig18(opts)),
+        "fig19" => one(figures::fig19(opts)),
+        "fig20" => one(figures::fig20(opts)),
+        "table1" => one(figures::table1(opts)),
+        "fig21" => one(figures::fig21(opts)),
+        "all" => Some(figures::all(opts)),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if ids.is_empty() {
+        eprintln!("usage: figure <id>... [--quick]");
+        eprintln!("ids: {} all", IDS.join(" "));
+        std::process::exit(2);
+    }
+    let opts = if quick {
+        FigOpts::quick()
+    } else {
+        FigOpts::default()
+    };
+    let mut pass = 0usize;
+    let mut total = 0usize;
+    for id in &ids {
+        let Some(figs) = generate(id, &opts) else {
+            eprintln!("unknown figure id `{id}`; ids: {} all", IDS.join(" "));
+            std::process::exit(2);
+        };
+        for fig in &figs {
+            fig.print();
+            match fig.save_csv(&results_dir()) {
+                Ok(p) => println!("saved {}\n", p.display()),
+                Err(e) => eprintln!("could not save CSV: {e}"),
+            }
+            pass += fig.checks.iter().filter(|c| c.pass).count();
+            total += fig.checks.len();
+        }
+    }
+    if total > 0 {
+        println!("=== shape checks: {pass}/{total} passed ===");
+    }
+}

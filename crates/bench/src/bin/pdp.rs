@@ -15,16 +15,28 @@ fn main() {
         FigOpts::default()
     };
     let ds = ensure_dataset(&opts);
-    let ieee: Vec<&Measurement> =
-        ds.measurements.iter().filter(|m| !m.config.fast_math).collect();
+    let ieee: Vec<&Measurement> = ds
+        .measurements
+        .iter()
+        .filter(|m| !m.config.fast_math)
+        .collect();
     let data = TableData::new(
-        Measurement::feature_names().iter().map(|s| s.to_string()).collect(),
+        Measurement::feature_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
         ieee.iter().map(|m| m.features()).collect(),
         ieee.iter().map(|m| m.gflops).collect(),
     );
     eprintln!("fitting forest on {} rows...", data.len());
     let trees = if opts.quick { 60 } else { 300 };
-    let forest = Forest::fit(&data, ForestConfig { num_trees: trees, ..Default::default() });
+    let forest = Forest::fit(
+        &data,
+        ForestConfig {
+            num_trees: trees,
+            ..Default::default()
+        },
+    );
 
     println!("partial dependence of predicted GFLOP/s on each tuning parameter");
     println!("(marginalized over the rest of the dataset)\n");

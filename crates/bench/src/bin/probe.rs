@@ -14,8 +14,14 @@ fn main() {
         "n", "full-ieee", "full-fast", "part-ieee", "part-fast", "nochunk", "trad", "bottleneck"
     );
     for n in [4, 8, 12, 16, 20, 24, 28, 32, 40, 48, 56, 64] {
-        let full = KernelConfig { unroll: Unroll::Full, ..KernelConfig::baseline(n) };
-        let fullf = KernelConfig { fast_math: true, ..full };
+        let full = KernelConfig {
+            unroll: Unroll::Full,
+            ..KernelConfig::baseline(n)
+        };
+        let fullf = KernelConfig {
+            fast_math: true,
+            ..full
+        };
         let best_part = |fast: bool| {
             let mut best: f64 = 0.0;
             for nb in 1..=8 {
@@ -29,7 +35,11 @@ fn main() {
             }
             best
         };
-        let nochunk = KernelConfig { chunked: false, fast_math: true, ..full };
+        let nochunk = KernelConfig {
+            chunked: false,
+            fast_math: true,
+            ..full
+        };
         let g_full = gflops_of_config(&full, batch, &spec);
         let g_fullf = gflops_of_config(&fullf, batch, &spec);
         let g_part = best_part(false);

@@ -1,6 +1,6 @@
 //! Shared harness: figure representation, CSV output, dataset caching.
 
-use ibcf_autotune::{sweep_sizes, Dataset, ParamSpace, SweepOptions};
+use ibcf_autotune::{sweep_sizes_with, Dataset, ParamSpace, StderrProgress, SweepOptions};
 use ibcf_gpu_sim::GpuSpec;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -18,14 +18,22 @@ pub struct FigOpts {
 
 impl Default for FigOpts {
     fn default() -> Self {
-        FigOpts { quick: false, batch: 16_384, spec: GpuSpec::p100() }
+        FigOpts {
+            quick: false,
+            batch: 16_384,
+            spec: GpuSpec::p100(),
+        }
     }
 }
 
 impl FigOpts {
     /// Quick-mode options.
     pub fn quick() -> Self {
-        FigOpts { quick: true, batch: 8192, ..Default::default() }
+        FigOpts {
+            quick: true,
+            batch: 8192,
+            ..Default::default()
+        }
     }
 }
 
@@ -126,8 +134,7 @@ pub fn ensure_dataset(opts: &FigOpts) -> Dataset {
             // Validate the cache against the requested batch AND GPU; a
             // stale dataset from another spec (or an edited timing model
             // under a renamed spec) must not silently feed the figures.
-            if ds.batch == opts.batch && ds.gpu == opts.spec.name && !ds.measurements.is_empty()
-            {
+            if ds.batch == opts.batch && ds.gpu == opts.spec.name && !ds.measurements.is_empty() {
                 return ds;
             }
             eprintln!(
@@ -147,12 +154,25 @@ pub fn ensure_dataset(opts: &FigOpts) -> Dataset {
         sizes.len(),
         space.len_per_n()
     );
-    let ds = sweep_sizes(
+    let report = sweep_sizes_with(
         &space,
         &sizes,
         &opts.spec,
-        &SweepOptions { batch: opts.batch, progress_every: 2000, ..Default::default() },
+        &SweepOptions {
+            batch: opts.batch,
+            progress_every: 2000,
+            ..Default::default()
+        },
+        &StderrProgress,
     );
+    eprintln!(
+        "swept {} configs in {:.1}s ({:.0} configs/s, plan-cache hit rate {:.1}%)",
+        report.dataset.measurements.len(),
+        report.wall_s,
+        report.configs_per_sec(),
+        report.cache.hit_rate() * 100.0
+    );
+    let ds = report.dataset;
     ds.save_jsonl(&path).ok();
     ds
 }
@@ -169,7 +189,10 @@ mod tests {
             columns: vec!["n".into(), "gflops".into()],
             rows: vec![vec![8.0, 100.0], vec![16.0, 200.0]],
             rendering: String::new(),
-            checks: vec![Check { claim: "c".into(), pass: true }],
+            checks: vec![Check {
+                claim: "c".into(),
+                pass: true,
+            }],
         };
         let dir = std::env::temp_dir().join("ibcf_fig_test");
         let p = fig.save_csv(&dir).unwrap();

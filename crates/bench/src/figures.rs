@@ -2,11 +2,11 @@
 
 use crate::ascii;
 use crate::common::{ensure_dataset, Check, FigOpts, Figure};
+use ibcf_autotune::Measurement;
 use ibcf_autotune::{sweep_sizes, BestTable, Dataset, ParamSpace, SweepOptions};
 use ibcf_core::flops::cholesky_flops_std;
 use ibcf_core::Looking;
 use ibcf_forest::{pearson, permutation_importance, Forest, ForestConfig, TableData};
-use ibcf_autotune::Measurement;
 use ibcf_kernels::{time_traditional, CachePref, Unroll};
 
 /// The dense size grid of Figures 13/14.
@@ -55,7 +55,11 @@ fn fig13_dataset(opts: &FigOpts) -> Dataset {
         &fig13_space(),
         &sizes,
         &opts.spec,
-        &SweepOptions { batch: opts.batch, progress_every: 0, ..Default::default() },
+        &SweepOptions {
+            batch: opts.batch,
+            progress_every: 0,
+            ..Default::default()
+        },
     );
     *cache.lock().expect("fig13 cache poisoned") = Some((key, ds.clone()));
     ds
@@ -83,15 +87,18 @@ pub fn fig13(opts: &FigOpts) -> Figure {
     let rendering = ascii::line_chart(
         "Figure 13: interleaved (IEEE, fast-math) vs traditional [GFLOP/s vs n]",
         &xs,
-        &[("ieee", ieee.clone()), ("fast", fast.clone()), ("traditional", trad.clone())],
+        &[
+            ("ieee", ieee.clone()),
+            ("fast", fast.clone()),
+            ("traditional", trad.clone()),
+        ],
         72,
         18,
     );
     let small = sizes.iter().position(|&n| n >= 16).unwrap_or(0);
     // The 600-vs-800 plateau split is a *small-matrix* phenomenon; at
     // large n both arithmetic modes are memory bound and converge.
-    let small_range: Vec<usize> =
-        (0..sizes.len()).filter(|&i| sizes[i] <= 32).collect();
+    let small_range: Vec<usize> = (0..sizes.len()).filter(|&i| sizes[i] <= 32).collect();
     let peak_fast = small_range.iter().map(|&i| fast[i]).fold(0.0, f64::max);
     let peak_ieee = small_range.iter().map(|&i| ieee[i]).fold(0.0, f64::max);
     // The IEEE handicap shows where the divide/sqrt sequences bind, i.e.
@@ -106,7 +113,8 @@ pub fn fig13(opts: &FigOpts) -> Figure {
             pass: peak_ieee > 300.0 && peak_ieee < 1200.0,
         },
         Check {
-            claim: "fast-math approaches 800 GFLOP/s (within 2x) and clearly beats IEEE at small n".into(),
+            claim: "fast-math approaches 800 GFLOP/s (within 2x) and clearly beats IEEE at small n"
+                .into(),
             pass: peak_fast > 400.0 && best_gap > 1.15,
         },
         Check {
@@ -115,8 +123,7 @@ pub fn fig13(opts: &FigOpts) -> Figure {
         },
         Check {
             claim: "traditional closes the gap at the largest sizes".into(),
-            pass: trad.last().unwrap() / ieee.last().unwrap()
-                > 3.0 * (trad[small] / ieee[small]),
+            pass: trad.last().unwrap() / ieee.last().unwrap() > 3.0 * (trad[small] / ieee[small]),
         },
     ];
     Figure {
@@ -162,14 +169,19 @@ pub fn fig14(opts: &FigOpts) -> Figure {
             pass: first > 4.0 || peak > 4.0,
         },
         Check {
-            claim: "speedup declines toward 1x as n grows (traditional overtakes eventually)".into(),
+            claim: "speedup declines toward 1x as n grows (traditional overtakes eventually)"
+                .into(),
             pass: last < first / 3.0,
         },
-        Check { claim: "speedup at the largest size is below 2.5x".into(), pass: last < 2.5 },
+        Check {
+            claim: "speedup at the largest size is below 2.5x".into(),
+            pass: last < 2.5,
+        },
     ];
     Figure {
         id: "fig14",
-        title: "Speedup of the interleaved implementation over the traditional implementation".into(),
+        title: "Speedup of the interleaved implementation over the traditional implementation"
+            .into(),
         columns: vec!["n".into(), "speedup".into()],
         rows,
         rendering,
@@ -193,7 +205,10 @@ pub fn fig15(opts: &FigOpts) -> Figure {
         v
     };
     let mut rows = Vec::new();
-    let mut series: Vec<(String, Vec<f64>)> = nbs.iter().map(|nb| (format!("nb={nb}"), Vec::new())).collect();
+    let mut series: Vec<(String, Vec<f64>)> = nbs
+        .iter()
+        .map(|nb| (format!("nb={nb}"), Vec::new()))
+        .collect();
     for &n in &sizes {
         let mut row = vec![n as f64];
         for (i, &nb) in nbs.iter().enumerate() {
@@ -204,8 +219,10 @@ pub fn fig15(opts: &FigOpts) -> Figure {
         rows.push(row);
     }
     let xs: Vec<f64> = sizes.iter().map(|&n| n as f64).collect();
-    let named: Vec<(&str, Vec<f64>)> =
-        series.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+    let named: Vec<(&str, Vec<f64>)> = series
+        .iter()
+        .map(|(n, v)| (n.as_str(), v.clone()))
+        .collect();
     let rendering = ascii::line_chart(
         "Figure 15: best performance per tiling factor nb [GFLOP/s vs n]",
         &xs,
@@ -222,7 +239,10 @@ pub fn fig15(opts: &FigOpts) -> Figure {
         / small_vals.iter().copied().fold(0.0, f64::max);
     let last = sizes.len() - 1;
     let g_at = |nb: usize, i: usize| {
-        nbs.iter().position(|&x| x == nb).map(|p| series[p].1[i]).unwrap_or(f64::NAN)
+        nbs.iter()
+            .position(|&x| x == nb)
+            .map(|p| series[p].1[i])
+            .unwrap_or(f64::NAN)
     };
     let biggest_nb = *nbs.last().unwrap();
     let checks = vec![
@@ -247,7 +267,8 @@ pub fn fig15(opts: &FigOpts) -> Figure {
     columns.extend(nbs.iter().map(|nb| format!("nb{nb}_gflops")));
     Figure {
         id: "fig15",
-        title: "Best performance of the interleaved implementation for different tiling factors".into(),
+        title: "Best performance of the interleaved implementation for different tiling factors"
+            .into(),
         columns,
         rows,
         rendering,
@@ -261,8 +282,10 @@ pub fn fig16(opts: &FigOpts) -> Figure {
     let table = BestTable::new(&ds);
     let sizes = ds_sizes(&ds);
     let mut rows = Vec::new();
-    let mut series: Vec<(String, Vec<f64>)> =
-        Looking::ALL.iter().map(|l| (l.name().to_string(), Vec::new())).collect();
+    let mut series: Vec<(String, Vec<f64>)> = Looking::ALL
+        .iter()
+        .map(|l| (l.name().to_string(), Vec::new()))
+        .collect();
     for &n in &sizes {
         let mut row = vec![n as f64];
         for (i, &l) in Looking::ALL.iter().enumerate() {
@@ -273,8 +296,10 @@ pub fn fig16(opts: &FigOpts) -> Figure {
         rows.push(row);
     }
     let xs: Vec<f64> = sizes.iter().map(|&n| n as f64).collect();
-    let named: Vec<(&str, Vec<f64>)> =
-        series.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+    let named: Vec<(&str, Vec<f64>)> = series
+        .iter()
+        .map(|(n, v)| (n.as_str(), v.clone()))
+        .collect();
     let rendering = ascii::line_chart(
         "Figure 16: best performance per looking order [GFLOP/s vs n]",
         &xs,
@@ -307,8 +332,15 @@ pub fn fig16(opts: &FigOpts) -> Figure {
     ];
     Figure {
         id: "fig16",
-        title: "Best performance of the interleaved implementation for different orders of evaluation".into(),
-        columns: vec!["n".into(), "right_gflops".into(), "left_gflops".into(), "top_gflops".into()],
+        title:
+            "Best performance of the interleaved implementation for different orders of evaluation"
+                .into(),
+        columns: vec![
+            "n".into(),
+            "right_gflops".into(),
+            "left_gflops".into(),
+            "top_gflops".into(),
+        ],
         rows,
         rendering,
         checks,
@@ -323,8 +355,12 @@ pub fn fig17(opts: &FigOpts) -> Figure {
     let mut rows = Vec::new();
     let (mut chunked, mut simple) = (Vec::new(), Vec::new());
     for &n in &sizes {
-        let gc = table.best_by_chunking(n, true).map_or(f64::NAN, |m| m.gflops);
-        let gs = table.best_by_chunking(n, false).map_or(f64::NAN, |m| m.gflops);
+        let gc = table
+            .best_by_chunking(n, true)
+            .map_or(f64::NAN, |m| m.gflops);
+        let gs = table
+            .best_by_chunking(n, false)
+            .map_or(f64::NAN, |m| m.gflops);
         rows.push(vec![n as f64, gc, gs]);
         chunked.push(gc);
         simple.push(gs);
@@ -344,7 +380,10 @@ pub fn fig17(opts: &FigOpts) -> Figure {
         .map(|(c, s)| c / s)
         .fold(0.0, f64::max);
     let checks = vec![
-        Check { claim: "chunking never hurts".into(), pass: never_worse },
+        Check {
+            claim: "chunking never hurts".into(),
+            pass: never_worse,
+        },
         Check {
             claim: "chunking is clearly beneficial somewhere (>1.3x)".into(),
             pass: max_gain > 1.3,
@@ -352,7 +391,8 @@ pub fn fig17(opts: &FigOpts) -> Figure {
     ];
     Figure {
         id: "fig17",
-        title: "Best performance of the interleaved implementation with and without chunking".into(),
+        title: "Best performance of the interleaved implementation with and without chunking"
+            .into(),
         columns: vec!["n".into(), "chunked_gflops".into(), "simple_gflops".into()],
         rows,
         rendering,
@@ -377,20 +417,26 @@ pub fn fig18(opts: &FigOpts) -> Figure {
         v
     };
     let mut rows = Vec::new();
-    let mut series: Vec<(String, Vec<f64>)> =
-        chunk_sizes.iter().map(|c| (c.to_string(), Vec::new())).collect();
+    let mut series: Vec<(String, Vec<f64>)> = chunk_sizes
+        .iter()
+        .map(|c| (c.to_string(), Vec::new()))
+        .collect();
     for &n in &sizes {
         let mut row = vec![n as f64];
         for (i, &cs) in chunk_sizes.iter().enumerate() {
-            let g = table.best_by_chunk_size(n, cs).map_or(f64::NAN, |m| m.gflops);
+            let g = table
+                .best_by_chunk_size(n, cs)
+                .map_or(f64::NAN, |m| m.gflops);
             row.push(g);
             series[i].1.push(g);
         }
         rows.push(row);
     }
     let xs: Vec<f64> = sizes.iter().map(|&n| n as f64).collect();
-    let named: Vec<(&str, Vec<f64>)> =
-        series.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+    let named: Vec<(&str, Vec<f64>)> = series
+        .iter()
+        .map(|(n, v)| (n.as_str(), v.clone()))
+        .collect();
     let rendering = ascii::line_chart(
         "Figure 18: best performance per chunk size [GFLOP/s vs n]",
         &xs,
@@ -440,8 +486,12 @@ pub fn fig19(opts: &FigOpts) -> Figure {
     let mut rows = Vec::new();
     let (mut partial, mut full) = (Vec::new(), Vec::new());
     for &n in &sizes {
-        let gp = table.best_by_unroll(n, Unroll::Partial).map_or(f64::NAN, |m| m.gflops);
-        let gf = table.best_by_unroll(n, Unroll::Full).map_or(f64::NAN, |m| m.gflops);
+        let gp = table
+            .best_by_unroll(n, Unroll::Partial)
+            .map_or(f64::NAN, |m| m.gflops);
+        let gf = table
+            .best_by_unroll(n, Unroll::Full)
+            .map_or(f64::NAN, |m| m.gflops);
         rows.push(vec![n as f64, gp, gf]);
         partial.push(gp);
         full.push(gf);
@@ -455,7 +505,10 @@ pub fn fig19(opts: &FigOpts) -> Figure {
         16,
     );
     let small_i = sizes.iter().position(|&n| n >= 16).unwrap_or(0);
-    let large_i = sizes.iter().position(|&n| n >= 32).unwrap_or(sizes.len() - 1);
+    let large_i = sizes
+        .iter()
+        .position(|&n| n >= 32)
+        .unwrap_or(sizes.len() - 1);
     let checks = vec![
         Check {
             claim: "full unrolling pays off up to n=20".into(),
@@ -505,11 +558,26 @@ pub fn fig20(opts: &FigOpts) -> Figure {
         if kernels.is_empty() {
             continue;
         }
-        rendering.push_str(&format!("n = {n} (chunk 64, IEEE): {} kernels\n", kernels.len()));
-        let best = kernels.iter().max_by(|a, b| a.gflops.total_cmp(&b.gflops)).unwrap();
-        let worst = kernels.iter().min_by(|a, b| a.gflops.total_cmp(&b.gflops)).unwrap();
-        rendering.push_str(&format!("  best : {}  {:.0} GFLOP/s\n", best.config, best.gflops));
-        rendering.push_str(&format!("  worst: {}  {:.0} GFLOP/s\n", worst.config, worst.gflops));
+        rendering.push_str(&format!(
+            "n = {n} (chunk 64, IEEE): {} kernels\n",
+            kernels.len()
+        ));
+        let best = kernels
+            .iter()
+            .max_by(|a, b| a.gflops.total_cmp(&b.gflops))
+            .unwrap();
+        let worst = kernels
+            .iter()
+            .min_by(|a, b| a.gflops.total_cmp(&b.gflops))
+            .unwrap();
+        rendering.push_str(&format!(
+            "  best : {}  {:.0} GFLOP/s\n",
+            best.config, best.gflops
+        ));
+        rendering.push_str(&format!(
+            "  worst: {}  {:.0} GFLOP/s\n",
+            worst.config, worst.gflops
+        ));
         winners.push((n, (*best).clone()));
         worst_is_simple_full &= !worst.config.chunked;
         // Pairwise: chunked vs its non-chunked twin.
@@ -547,8 +615,11 @@ pub fn fig20(opts: &FigOpts) -> Figure {
             v
         };
         for nb in nbs {
-            let bin: Vec<f64> =
-                kernels.iter().filter(|m| m.config.nb == nb).map(|m| m.gflops).collect();
+            let bin: Vec<f64> = kernels
+                .iter()
+                .filter(|m| m.config.nb == nb)
+                .map(|m| m.gflops)
+                .collect();
             let max = bin.iter().copied().fold(0.0, f64::max);
             let min = bin.iter().copied().fold(f64::INFINITY, f64::min);
             rendering.push_str(&format!(
@@ -609,7 +680,10 @@ pub fn analysis_table(ds: &Dataset) -> TableData {
         .filter(|m| !m.config.fast_math)
         .map(|m| m.gflops)
         .collect();
-    let names = Measurement::feature_names().iter().map(|s| s.to_string()).collect();
+    let names = Measurement::feature_names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     TableData::new(names, rows, targets)
 }
 
@@ -665,8 +739,13 @@ pub fn table1(opts: &FigOpts) -> Figure {
     ];
     Figure {
         id: "table1",
-        title: "Predictive power of tuning parameters on performance (permutation importance)".into(),
-        columns: vec!["feature_index".into(), "inc_mse".into(), "raw_increase".into()],
+        title: "Predictive power of tuning parameters on performance (permutation importance)"
+            .into(),
+        columns: vec![
+            "feature_index".into(),
+            "inc_mse".into(),
+            "raw_increase".into(),
+        ],
         rows,
         rendering,
         checks,

@@ -2,7 +2,8 @@
 //! shared harness utilities (ASCII charts, CSV output, dataset caching).
 //!
 //! Every experiment of the paper has a generator here, callable from the
-//! `fig*`/`table1` binaries or from the `figures` bench target:
+//! `figure` binary (`figure <id> [--quick]`) or from the `figures` bench
+//! target:
 //!
 //! | id | paper | what |
 //! |----|-------|------|

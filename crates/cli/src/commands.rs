@@ -2,7 +2,8 @@
 
 use crate::args::Args;
 use ibcf_autotune::{
-    sweep_sizes, BestTable, Dataset, Measurement, ParamSpace, SweepOptions, TunedDispatch,
+    sweep_sizes, sweep_sizes_with, BestTable, Dataset, Measurement, ParamSpace, StderrProgress,
+    SweepOptions, TunedDispatch,
 };
 use ibcf_core::flops::cholesky_flops_std;
 use ibcf_core::spd::{fill_batch_spd, SpdKind};
@@ -60,7 +61,11 @@ fn config_of(args: &Args) -> Result<KernelConfig, String> {
         looking,
         chunked: !args.flag("simple"),
         chunk_size: args.get("chunk", 64)?,
-        unroll: if args.flag("full") { Unroll::Full } else { Unroll::Partial },
+        unroll: if args.flag("full") {
+            Unroll::Full
+        } else {
+            Unroll::Partial
+        },
         fast_math: args.flag("fast"),
         cache_pref: ibcf_kernels::CachePref::L1,
     };
@@ -75,11 +80,14 @@ fn fail(e: impl std::fmt::Display) -> i32 {
 
 /// `ibcf simulate`: one configuration through the timing model.
 pub fn simulate(args: &Args) -> i32 {
-    let (config, spec, batch) =
-        match (config_of(args), gpu_of(args), args.get("batch", 16_384usize)) {
-            (Ok(c), Ok(s), Ok(b)) => (c, s, b),
-            (Err(e), ..) | (_, Err(e), _) | (.., Err(e)) => return fail(e),
-        };
+    let (config, spec, batch) = match (
+        config_of(args),
+        gpu_of(args),
+        args.get("batch", 16_384usize),
+    ) {
+        (Ok(c), Ok(s), Ok(b)) => (c, s, b),
+        (Err(e), ..) | (_, Err(e), _) | (.., Err(e)) => return fail(e),
+    };
     let t = time_config(&config, batch, &spec);
     let flops = cholesky_flops_std(config.n) * batch as f64;
     println!("configuration : {config}");
@@ -90,17 +98,27 @@ pub fn simulate(args: &Args) -> i32 {
     println!("bottleneck    : {:?}", t.bottleneck);
     println!("  compute     : {:.3} us", t.compute_time_s * 1e6);
     println!("  lsu         : {:.3} us", t.lsu_time_s * 1e6);
-    println!("  dram        : {:.3} us ({} MB, row hit {:.0}%, L2 hit {:.0}%)",
-        t.dram_time_s * 1e6, t.dram_bytes / 1_000_000, t.row_hit_rate * 100.0,
-        t.l2_hit_rate * 100.0);
-    println!("coalescing    : {:.2} transactions/access", t.transactions_per_access);
+    println!(
+        "  dram        : {:.3} us ({} MB, row hit {:.0}%, L2 hit {:.0}%)",
+        t.dram_time_s * 1e6,
+        t.dram_bytes / 1_000_000,
+        t.row_hit_rate * 100.0,
+        t.l2_hit_rate * 100.0
+    );
+    println!(
+        "coalescing    : {:.2} transactions/access",
+        t.transactions_per_access
+    );
     println!(
         "occupancy     : {:.0}% ({} blocks/SM, limited by {:?})",
         t.occupancy.occupancy * 100.0,
         t.occupancy.blocks_per_sm,
         t.occupancy.limiter
     );
-    println!("code size     : {} bytes (i-cache penalty {:.2}x)", t.code_bytes, t.icache_penalty);
+    println!(
+        "code size     : {} bytes (i-cache penalty {:.2}x)",
+        t.code_bytes, t.icache_penalty
+    );
     if t.spill_bytes > 0 {
         println!("spill traffic : {} bytes", t.spill_bytes);
     }
@@ -128,12 +146,28 @@ pub fn best(args: &Args) -> i32 {
         Ok(s) => s,
         Err(e) => return fail(e),
     };
-    let space = if args.flag("quick") { ParamSpace::quick() } else { ParamSpace::paper() };
+    let space = if args.flag("quick") {
+        ParamSpace::quick()
+    } else {
+        ParamSpace::paper()
+    };
     eprintln!("sweeping {} configurations at n={n}...", space.len_per_n());
-    let ds = sweep_sizes(&space, &[n], &spec, &SweepOptions { batch, progress_every: 0, ..Default::default() });
+    let ds = sweep_sizes(
+        &space,
+        &[n],
+        &spec,
+        &SweepOptions {
+            batch,
+            progress_every: 0,
+            ..Default::default()
+        },
+    );
     let table = BestTable::new(&ds);
     let overall = table.best(n).expect("non-empty sweep");
-    println!("best overall : {}  {:.0} GFLOP/s", overall.config, overall.gflops);
+    println!(
+        "best overall : {}  {:.0} GFLOP/s",
+        overall.config, overall.gflops
+    );
     for fast in [false, true] {
         if let Some(m) = table.best_by_arith(n, fast) {
             println!(
@@ -146,7 +180,12 @@ pub fn best(args: &Args) -> i32 {
     }
     for looking in Looking::ALL {
         if let Some(m) = table.best_by_looking(n, looking) {
-            println!("best {:<5}   : {}  {:.0} GFLOP/s", looking.name(), m.config, m.gflops);
+            println!(
+                "best {:<5}   : {}  {:.0} GFLOP/s",
+                looking.name(),
+                m.config,
+                m.gflops
+            );
         }
     }
     0
@@ -154,7 +193,11 @@ pub fn best(args: &Args) -> i32 {
 
 fn parse_sizes(s: &str) -> Result<Vec<usize>, String> {
     s.split(',')
-        .map(|p| p.trim().parse::<usize>().map_err(|_| format!("bad size: {p}")))
+        .map(|p| {
+            p.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("bad size: {p}"))
+        })
         .collect()
 }
 
@@ -176,18 +219,49 @@ pub fn sweep(args: &Args) -> i32 {
         Ok(s) => s,
         Err(e) => return fail(e),
     };
-    let space = if args.flag("quick") { ParamSpace::quick() } else { ParamSpace::paper() };
+    let space = if args.flag("quick") {
+        ParamSpace::quick()
+    } else {
+        ParamSpace::paper()
+    };
     eprintln!(
         "sweeping {} configurations ({} sizes x {})...",
         sizes.len() * space.len_per_n(),
         sizes.len(),
         space.len_per_n()
     );
-    let ds = sweep_sizes(&space, &sizes, &spec, &SweepOptions { batch, progress_every: 2000, ..Default::default() });
+    let report = sweep_sizes_with(
+        &space,
+        &sizes,
+        &spec,
+        &SweepOptions {
+            batch,
+            progress_every: 2000,
+            ..Default::default()
+        },
+        &StderrProgress,
+    );
+    let ds = &report.dataset;
     if let Err(e) = ds.save_jsonl(Path::new(&out)) {
         return fail(format!("{out}: {e}"));
     }
     println!("wrote {} measurements to {out}", ds.measurements.len());
+    println!(
+        "sweep took {:.1}s ({:.0} configs/s)",
+        report.wall_s,
+        report.configs_per_sec()
+    );
+    println!(
+        "plan cache: {} hits / {} lookups ({:.1}% hit rate)",
+        report.cache.hits,
+        report.cache.lookups(),
+        report.cache.hit_rate() * 100.0
+    );
+    println!(
+        "stage time: {:.1} ms planning, {:.1} ms pricing",
+        report.cache.plan_ns as f64 / 1e6,
+        report.cache.price_ns as f64 / 1e6
+    );
     0
 }
 
@@ -205,18 +279,30 @@ pub fn analyze(args: &Args) -> i32 {
         Ok(d) => d,
         Err(e) => return fail(format!("{path}: {e}")),
     };
-    let ieee: Vec<&Measurement> =
-        ds.measurements.iter().filter(|m| !m.config.fast_math).collect();
+    let ieee: Vec<&Measurement> = ds
+        .measurements
+        .iter()
+        .filter(|m| !m.config.fast_math)
+        .collect();
     if ieee.is_empty() {
         return fail("dataset has no IEEE measurements");
     }
     let data = TableData::new(
-        Measurement::feature_names().iter().map(|s| s.to_string()).collect(),
+        Measurement::feature_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
         ieee.iter().map(|m| m.features()).collect(),
         ieee.iter().map(|m| m.gflops).collect(),
     );
     eprintln!("fitting {} trees on {} rows...", trees, data.len());
-    let forest = Forest::fit(&data, ForestConfig { num_trees: trees, ..Default::default() });
+    let forest = Forest::fit(
+        &data,
+        ForestConfig {
+            num_trees: trees,
+            ..Default::default()
+        },
+    );
     let imp = permutation_importance(&forest, &data, 1);
     println!("permutation importance (%IncMSE), descending:");
     for (name, v) in imp.ranking() {
@@ -338,7 +424,10 @@ mod tests {
 
     #[test]
     fn gpu_selection() {
-        assert_eq!(gpu_of(&args("x --gpu v100")).unwrap().name, GpuSpec::v100().name);
+        assert_eq!(
+            gpu_of(&args("x --gpu v100")).unwrap().name,
+            GpuSpec::v100().name
+        );
         assert!(gpu_of(&args("x --gpu k80")).is_err());
     }
 

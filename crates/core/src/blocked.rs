@@ -91,12 +91,18 @@ struct Tiles<T> {
 
 impl<T: Real> Tiles<T> {
     fn new(nb: usize) -> Self {
-        Tiles { a1: vec![T::ZERO; nb * nb], a2: vec![T::ZERO; nb * nb], a3: vec![T::ZERO; nb * nb] }
+        Tiles {
+            a1: vec![T::ZERO; nb * nb],
+            a2: vec![T::ZERO; nb * nb],
+            a3: vec![T::ZERO; nb * nb],
+        }
     }
 }
 
 fn pivot_err(nb: usize, bk: usize, col_in_tile: usize) -> CholeskyError {
-    CholeskyError::NotPositiveDefinite { column: bk * nb + col_in_tile }
+    CholeskyError::NotPositiveDefinite {
+        column: bk * nb + col_in_tile,
+    }
 }
 
 /// Right-looking (Figure 3): factor panel, then update the entire trailing
@@ -261,7 +267,12 @@ mod tests {
     fn all_lookings_match_reference_divisible() {
         for looking in Looking::ALL {
             for (n, nb) in [(4, 2), (8, 4), (12, 3), (16, 8), (24, 4)] {
-                check_against_reference(n, nb, looking, Layout::build(LayoutKind::Canonical, n, 3, 32));
+                check_against_reference(
+                    n,
+                    nb,
+                    looking,
+                    Layout::build(LayoutKind::Canonical, n, 3, 32),
+                );
             }
         }
     }
@@ -270,7 +281,12 @@ mod tests {
     fn all_lookings_match_reference_ragged() {
         for looking in Looking::ALL {
             for (n, nb) in [(5, 2), (7, 3), (13, 4), (23, 8), (9, 5), (11, 8)] {
-                check_against_reference(n, nb, looking, Layout::build(LayoutKind::Canonical, n, 2, 32));
+                check_against_reference(
+                    n,
+                    nb,
+                    looking,
+                    Layout::build(LayoutKind::Canonical, n, 2, 32),
+                );
             }
         }
     }
@@ -288,7 +304,12 @@ mod tests {
     #[test]
     fn nb_larger_than_n_degenerates_to_single_tile() {
         check_against_reference(5, 8, Looking::Top, Layout::Canonical(Canonical::new(5, 1)));
-        check_against_reference(3, 8, Looking::Right, Layout::Canonical(Canonical::new(3, 1)));
+        check_against_reference(
+            3,
+            8,
+            Looking::Right,
+            Layout::Canonical(Canonical::new(3, 1)),
+        );
     }
 
     #[test]
@@ -311,7 +332,11 @@ mod tests {
             let mut data = vec![0.0f64; layout.len()];
             scatter_matrix(&layout, &mut data, 0, bad.as_slice(), n);
             let err = potrf_blocked(&layout, &mut data, 0, 2, looking).unwrap_err();
-            assert_eq!(err, CholeskyError::NotPositiveDefinite { column: 5 }, "{looking:?}");
+            assert_eq!(
+                err,
+                CholeskyError::NotPositiveDefinite { column: 5 },
+                "{looking:?}"
+            );
         }
     }
 

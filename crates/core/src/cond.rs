@@ -58,7 +58,9 @@ pub fn inv_one_norm_estimate<T: Real>(n: usize, l: &[T], lda: usize, max_iter: u
             break;
         }
         // Restart from the sharpest unit vector.
-        x = (0..n).map(|j| if j == jmax { T::ONE } else { T::ZERO }).collect();
+        x = (0..n)
+            .map(|j| if j == jmax { T::ONE } else { T::ZERO })
+            .collect();
     }
     best
 }
@@ -99,8 +101,9 @@ mod tests {
     #[test]
     fn identity_has_condition_one() {
         let n = 8;
-        let eye: Vec<f64> =
-            (0..n * n).map(|i| if i % (n + 1) == 0 { 1.0 } else { 0.0 }).collect();
+        let eye: Vec<f64> = (0..n * n)
+            .map(|i| if i % (n + 1) == 0 { 1.0 } else { 0.0 })
+            .collect();
         let mut l = eye.clone();
         potrf(n, &mut l).unwrap();
         let c = cond_estimate(n, &eye, &l, n);
@@ -158,8 +161,14 @@ mod tests {
             true_norm = true_norm.max(e.iter().map(|v| v.abs()).sum());
         }
         let est = inv_one_norm_estimate(n, &l, n, 5);
-        assert!(est <= true_norm * (1.0 + 1e-10), "est {est} > true {true_norm}");
-        assert!(est >= 0.3 * true_norm, "est {est} far below true {true_norm}");
+        assert!(
+            est <= true_norm * (1.0 + 1e-10),
+            "est {est} > true {true_norm}"
+        );
+        assert!(
+            est >= 0.3 * true_norm,
+            "est {est} far below true {true_norm}"
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ impl std::fmt::Display for CholeskyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CholeskyError::NotPositiveDefinite { column } => {
-                write!(f, "matrix is not positive definite (pivot at column {column})")
+                write!(
+                    f,
+                    "matrix is not positive definite (pivot at column {column})"
+                )
             }
             CholeskyError::NonFinite { column } => {
                 write!(f, "non-finite value encountered at column {column}")

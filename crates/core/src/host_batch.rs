@@ -63,8 +63,7 @@ pub fn factorize_batch<T: Real, L: BatchLayout + Sync>(layout: &L, data: &mut [T
                 for row in 0..n {
                     // SAFETY: layout addresses are injective per (mat, row,
                     // col) and each `mat` is owned by exactly one worker.
-                    scratch[row + col * n] =
-                        unsafe { shared.read(layout.addr(mat, row, col)) };
+                    scratch[row + col * n] = unsafe { shared.read(layout.addr(mat, row, col)) };
                 }
             }
             match potrf_unblocked(n, &mut scratch, n) {
@@ -211,8 +210,9 @@ mod tests {
         let mut data = vec![0.0f32; layout.len()];
         fill_batch_spd(&layout, &mut data, SpdKind::Wishart, 1);
         // Corrupt matrix 3: make it -I.
-        let neg_eye: Vec<f32> =
-            (0..n * n).map(|i| if i % (n + 1) == 0 { -1.0 } else { 0.0 }).collect();
+        let neg_eye: Vec<f32> = (0..n * n)
+            .map(|i| if i % (n + 1) == 0 { -1.0 } else { 0.0 })
+            .collect();
         ibcf_layout::scatter_matrix(&layout, &mut data, 3, &neg_eye, n);
         let before = data.clone();
         let report = factorize_batch(&layout, &mut data);

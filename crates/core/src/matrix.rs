@@ -17,7 +17,11 @@ pub struct ColMatrix<T> {
 impl<T: Real> ColMatrix<T> {
     /// A `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![T::ZERO; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![T::ZERO; rows * cols],
+        }
     }
 
     /// The `n × n` identity.
@@ -103,18 +107,31 @@ impl<T: Real> ColMatrix<T> {
 
     /// Frobenius norm.
     pub fn frob_norm(&self) -> f64 {
-        self.data.iter().map(|x| x.to_f64() * x.to_f64()).sum::<f64>().sqrt()
+        self.data
+            .iter()
+            .map(|x| x.to_f64() * x.to_f64())
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Largest absolute entry.
     pub fn max_abs(&self) -> f64 {
-        self.data.iter().map(|x| x.to_f64().abs()).fold(0.0, f64::max)
+        self.data
+            .iter()
+            .map(|x| x.to_f64().abs())
+            .fold(0.0, f64::max)
     }
 
     /// Zeroes the strictly-upper triangle, keeping the lower factor — what a
     /// lower Cholesky routine leaves meaningful.
     pub fn lower_triangle(&self) -> Self {
-        Self::from_fn(self.rows, self.cols, |r, c| if r >= c { self[(r, c)] } else { T::ZERO })
+        Self::from_fn(self.rows, self.cols, |r, c| {
+            if r >= c {
+                self[(r, c)]
+            } else {
+                T::ZERO
+            }
+        })
     }
 
     /// Symmetrizes from the lower triangle: `out[i][j] = lower[max(i,j)][min(i,j)]`.

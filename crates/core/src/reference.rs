@@ -20,7 +20,10 @@ use crate::scalar::Real;
 /// If `lda < n` or the buffer is too short.
 pub fn potrf_unblocked<T: Real>(n: usize, a: &mut [T], lda: usize) -> Result<(), CholeskyError> {
     assert!(lda >= n, "leading dimension must be >= n");
-    assert!(a.len() >= lda.saturating_mul(n.saturating_sub(1)) + n, "buffer too short");
+    assert!(
+        a.len() >= lda.saturating_mul(n.saturating_sub(1)) + n,
+        "buffer too short"
+    );
     for k in 0..n {
         let akk = a[k + k * lda];
         if !akk.is_finite() {
@@ -124,7 +127,10 @@ mod tests {
     #[test]
     fn detects_non_finite() {
         let mut a = vec![f32::NAN, 0.0, 0.0, 1.0];
-        assert_eq!(potrf(2, &mut a), Err(CholeskyError::NonFinite { column: 0 }));
+        assert_eq!(
+            potrf(2, &mut a),
+            Err(CholeskyError::NonFinite { column: 0 })
+        );
     }
 
     #[test]

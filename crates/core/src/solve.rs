@@ -71,7 +71,12 @@ impl VectorBatch {
     /// Canonical storage: vector `m` occupies elements `[m*n, (m+1)*n)`.
     pub fn canonical(n: usize, batch: usize) -> Self {
         assert!(n > 0 && batch > 0);
-        Self { n, batch, padded: batch, interleaved: false }
+        Self {
+            n,
+            batch,
+            padded: batch,
+            interleaved: false,
+        }
     }
 
     /// Interleaved storage: element `i` of vector `m` is at
@@ -79,7 +84,12 @@ impl VectorBatch {
     /// matrix layout.
     pub fn interleaved(n: usize, batch: usize) -> Self {
         assert!(n > 0 && batch > 0);
-        Self { n, batch, padded: align_up(batch, WARP_SIZE), interleaved: true }
+        Self {
+            n,
+            batch,
+            padded: align_up(batch, WARP_SIZE),
+            interleaved: true,
+        }
     }
 
     /// Vector length.
@@ -249,7 +259,10 @@ mod tests {
         assert!(factorize_batch(&layout, &mut mats).all_ok());
 
         let mut rng = StdRng::seed_from_u64(4);
-        for vb in [VectorBatch::canonical(n, batch), VectorBatch::interleaved(n, batch)] {
+        for vb in [
+            VectorBatch::canonical(n, batch),
+            VectorBatch::interleaved(n, batch),
+        ] {
             // Random true solutions; construct b = A x per matrix.
             let mut rhs = vec![0.0f64; vb.len()];
             let mut truth = vec![vec![0.0f64; n]; batch];
@@ -272,7 +285,11 @@ mod tests {
             for (mat, t) in truth.iter().enumerate() {
                 for i in 0..n {
                     let got = rhs[vb.addr(mat, i)];
-                    assert!((got - t[i]).abs() < 1e-8, "mat={mat} i={i}: {got} vs {}", t[i]);
+                    assert!(
+                        (got - t[i]).abs() < 1e-8,
+                        "mat={mat} i={i}: {got} vs {}",
+                        t[i]
+                    );
                 }
             }
         }

@@ -4,7 +4,7 @@ use crate::matrix::ColMatrix;
 use crate::scalar::Real;
 use ibcf_layout::BatchLayout;
 use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Families of SPD matrices with different spectra, used to exercise the
 /// factorizations across conditioning regimes.
@@ -59,7 +59,10 @@ fn diag_dominant<T: Real>(n: usize, rng: &mut impl Rng) -> ColMatrix<T> {
         }
     }
     for i in 0..n {
-        let row_sum: f64 = (0..n).filter(|&j| j != i).map(|j| a[(i, j)].to_f64().abs()).sum();
+        let row_sum: f64 = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| a[(i, j)].to_f64().abs())
+            .sum();
         a[(i, i)] = T::from_f64(row_sum + 1.0);
     }
     a
@@ -70,7 +73,11 @@ fn conditioned<T: Real>(n: usize, cond: f64, rng: &mut impl Rng) -> ColMatrix<T>
     // Geometric eigenvalue spectrum from 1 down to 1/cond.
     let mut a = ColMatrix::<T>::zeros(n, n);
     for i in 0..n {
-        let t = if n == 1 { 0.0 } else { i as f64 / (n - 1) as f64 };
+        let t = if n == 1 {
+            0.0
+        } else {
+            i as f64 / (n - 1) as f64
+        };
         a[(i, i)] = T::from_f64(cond.powf(-t));
     }
     // Conjugate by random Givens rotations: Q·Λ·Qᵀ applied as a sequence of
@@ -133,7 +140,8 @@ pub fn fill_batch_spd<T: Real, L: BatchLayout>(
     let n = layout.n();
     for mat in 0..layout.padded_batch() {
         if mat < layout.batch() {
-            let mut rng = StdRng::seed_from_u64(seed ^ (mat as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (mat as u64).wrapping_mul(0x9E3779B97F4A7C15));
             let a = random_spd::<T>(n, kind, &mut rng);
             ibcf_layout::scatter_matrix(layout, data, mat, a.as_slice(), n);
         } else {
@@ -165,8 +173,11 @@ mod tests {
         ] {
             // The Hilbert matrix's condition number grows like (1+√2)^(4n):
             // beyond n ≈ 12 it is numerically indefinite even in f64.
-            let sizes: &[usize] =
-                if kind == SpdKind::Hilbert { &[1, 2, 7, 10] } else { &[1, 2, 7, 16] };
+            let sizes: &[usize] = if kind == SpdKind::Hilbert {
+                &[1, 2, 7, 10]
+            } else {
+                &[1, 2, 7, 16]
+            };
             for &n in sizes {
                 let a = random_spd::<f64>(n, kind, &mut rng);
                 assert!(is_symmetric(&a), "{kind:?} n={n} not symmetric");

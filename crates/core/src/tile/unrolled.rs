@@ -123,7 +123,11 @@ mod tests {
             ops::potrf_tile(NB, &mut r, NB).unwrap();
             for c in 0..NB {
                 for row in c..NB {
-                    assert!((u[row + c * NB] - r[row + c * NB]).abs() < 1e-13, "potrf nb={}", NB);
+                    assert!(
+                        (u[row + c * NB] - r[row + c * NB]).abs() < 1e-13,
+                        "potrf nb={}",
+                        NB
+                    );
                 }
             }
             // trsm (l = factored diag tile from above)

@@ -20,11 +20,19 @@ impl TableData {
     /// If row lengths disagree with `names` or `targets` has a different
     /// length than `rows`.
     pub fn new(names: Vec<String>, rows: Vec<Vec<f64>>, targets: Vec<f64>) -> Self {
-        assert_eq!(rows.len(), targets.len(), "rows and targets length mismatch");
+        assert_eq!(
+            rows.len(),
+            targets.len(),
+            "rows and targets length mismatch"
+        );
         for (i, r) in rows.iter().enumerate() {
             assert_eq!(r.len(), names.len(), "row {i} has wrong width");
         }
-        TableData { names, rows, targets }
+        TableData {
+            names,
+            rows,
+            targets,
+        }
     }
 
     /// Number of rows.

@@ -21,7 +21,11 @@ pub struct ForestConfig {
 
 impl Default for ForestConfig {
     fn default() -> Self {
-        ForestConfig { num_trees: 500, tree: TreeConfig::default(), seed: 0x5eed }
+        ForestConfig {
+            num_trees: 500,
+            tree: TreeConfig::default(),
+            seed: 0x5eed,
+        }
     }
 }
 
@@ -101,7 +105,11 @@ impl Forest {
     /// Average leaf depth across trees (the paper: "500 trees of average
     /// depth 11").
     pub fn average_depth(&self) -> f64 {
-        self.trees.iter().map(|t| t.average_leaf_depth()).sum::<f64>() / self.trees.len() as f64
+        self.trees
+            .iter()
+            .map(|t| t.average_leaf_depth())
+            .sum::<f64>()
+            / self.trees.len() as f64
     }
 
     /// Out-of-bag prediction per row (`None` for rows every tree sampled).
@@ -116,7 +124,13 @@ impl Forest {
             }
         }
         (0..n)
-            .map(|i| if counts[i] > 0 { Some(sums[i] / counts[i] as f64) } else { None })
+            .map(|i| {
+                if counts[i] > 0 {
+                    Some(sums[i] / counts[i] as f64)
+                } else {
+                    None
+                }
+            })
             .collect()
     }
 
@@ -146,7 +160,9 @@ mod tests {
         let mut targets = Vec::new();
         let mut state = 12345u64;
         let mut unit = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 40) as f64 / (1u64 << 24) as f64
         };
         for _ in 0..n {
@@ -162,7 +178,10 @@ mod tests {
     #[test]
     fn forest_fits_linear_signal() {
         let data = synth(600);
-        let cfg = ForestConfig { num_trees: 80, ..ForestConfig::default() };
+        let cfg = ForestConfig {
+            num_trees: 80,
+            ..ForestConfig::default()
+        };
         let f = Forest::fit(&data, cfg);
         let preds: Vec<f64> = data.rows.iter().map(|r| f.predict(r)).collect();
         let score = r2(&preds, &data.targets);
@@ -176,10 +195,20 @@ mod tests {
     #[test]
     fn oob_indices_are_nonempty_and_disjoint_from_perfection() {
         let data = synth(200);
-        let f = Forest::fit(&data, ForestConfig { num_trees: 20, ..ForestConfig::default() });
+        let f = Forest::fit(
+            &data,
+            ForestConfig {
+                num_trees: 20,
+                ..ForestConfig::default()
+            },
+        );
         // With n=200, each tree leaves ~36% of rows out of bag.
         for oob in f.oob_indices() {
-            assert!(oob.len() > 200 / 5, "suspiciously few OOB rows: {}", oob.len());
+            assert!(
+                oob.len() > 200 / 5,
+                "suspiciously few OOB rows: {}",
+                oob.len()
+            );
         }
         let preds = f.oob_predictions(&data);
         let covered = preds.iter().filter(|p| p.is_some()).count();
@@ -189,7 +218,10 @@ mod tests {
     #[test]
     fn forest_is_deterministic_given_seed() {
         let data = synth(150);
-        let cfg = ForestConfig { num_trees: 10, ..ForestConfig::default() };
+        let cfg = ForestConfig {
+            num_trees: 10,
+            ..ForestConfig::default()
+        };
         let a = Forest::fit(&data, cfg);
         let b = Forest::fit(&data, cfg);
         for r in &data.rows[..20] {
@@ -200,7 +232,13 @@ mod tests {
     #[test]
     fn average_depth_is_reasonable() {
         let data = synth(800);
-        let f = Forest::fit(&data, ForestConfig { num_trees: 12, ..ForestConfig::default() });
+        let f = Forest::fit(
+            &data,
+            ForestConfig {
+                num_trees: 12,
+                ..ForestConfig::default()
+            },
+        );
         let d = f.average_depth();
         assert!(d > 2.0 && d < 30.0, "average depth {d}");
     }

@@ -29,8 +29,12 @@ pub struct Importance {
 impl Importance {
     /// Features sorted by descending importance.
     pub fn ranking(&self) -> Vec<(String, f64)> {
-        let mut v: Vec<(String, f64)> =
-            self.names.iter().cloned().zip(self.inc_mse.iter().copied()).collect();
+        let mut v: Vec<(String, f64)> = self
+            .names
+            .iter()
+            .cloned()
+            .zip(self.inc_mse.iter().copied())
+            .collect();
         v.sort_by(|a, b| b.1.total_cmp(&a.1));
         v
     }
@@ -84,7 +88,11 @@ pub fn permutation_importance(forest: &Forest, data: &TableData, seed: u64) -> I
             inc_mse.push(0.0);
         }
     }
-    Importance { names: data.names.clone(), inc_mse, raw_increase: raw }
+    Importance {
+        names: data.names.clone(),
+        inc_mse,
+        raw_increase: raw,
+    }
 }
 
 #[cfg(test)]
@@ -98,7 +106,9 @@ mod tests {
         let mut targets = Vec::new();
         let mut state = 99u64;
         let mut unit = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 40) as f64 / (1u64 << 24) as f64
         };
         for _ in 0..n {
@@ -108,13 +118,23 @@ mod tests {
             rows.push(vec![x0, x1, x2]);
             targets.push(10.0 * x0 + 1.0 * x1 + 0.02 * (unit() - 0.5));
         }
-        TableData::new(vec!["strong".into(), "weak".into(), "junk".into()], rows, targets)
+        TableData::new(
+            vec!["strong".into(), "weak".into(), "junk".into()],
+            rows,
+            targets,
+        )
     }
 
     #[test]
     fn importance_ranks_signal_over_noise() {
         let data = synth(500);
-        let forest = Forest::fit(&data, ForestConfig { num_trees: 60, ..Default::default() });
+        let forest = Forest::fit(
+            &data,
+            ForestConfig {
+                num_trees: 60,
+                ..Default::default()
+            },
+        );
         let imp = permutation_importance(&forest, &data, 7);
         let rank = imp.ranking();
         assert_eq!(rank[0].0, "strong", "{rank:?}");
@@ -128,7 +148,13 @@ mod tests {
     #[test]
     fn junk_feature_can_be_near_zero_or_negative() {
         let data = synth(400);
-        let forest = Forest::fit(&data, ForestConfig { num_trees: 40, ..Default::default() });
+        let forest = Forest::fit(
+            &data,
+            ForestConfig {
+                num_trees: 40,
+                ..Default::default()
+            },
+        );
         let imp = permutation_importance(&forest, &data, 3);
         let junk = imp.inc_mse[2];
         let strong = imp.inc_mse[0];
@@ -138,7 +164,13 @@ mod tests {
     #[test]
     fn raw_increase_positive_for_used_features() {
         let data = synth(300);
-        let forest = Forest::fit(&data, ForestConfig { num_trees: 30, ..Default::default() });
+        let forest = Forest::fit(
+            &data,
+            ForestConfig {
+                num_trees: 30,
+                ..Default::default()
+            },
+        );
         let imp = permutation_importance(&forest, &data, 11);
         assert!(imp.raw_increase[0] > 0.0);
     }

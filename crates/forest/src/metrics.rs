@@ -7,7 +7,11 @@
 pub fn mse(pred: &[f64], truth: &[f64]) -> f64 {
     assert_eq!(pred.len(), truth.len());
     assert!(!pred.is_empty(), "mse of empty slice");
-    pred.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / pred.len() as f64
+    pred.iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / pred.len() as f64
 }
 
 /// Coefficient of determination R².

@@ -23,7 +23,11 @@ pub struct PartialDependence {
 impl PartialDependence {
     /// Range of the response (max − min): a crude effect size.
     pub fn effect_size(&self) -> f64 {
-        let max = self.response.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let max = self
+            .response
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
         let min = self.response.iter().copied().fold(f64::INFINITY, f64::min);
         max - min
     }
@@ -72,7 +76,11 @@ pub fn partial_dependence(
         }
         response.push(sum / rows.len() as f64);
     }
-    PartialDependence { feature, grid, response }
+    PartialDependence {
+        feature,
+        grid,
+        response,
+    }
 }
 
 #[cfg(test)]
@@ -86,7 +94,9 @@ mod tests {
         let mut targets = Vec::new();
         let mut state = 77u64;
         let mut unit = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 40) as f64 / (1u64 << 24) as f64
         };
         for _ in 0..n {
@@ -101,7 +111,13 @@ mod tests {
     #[test]
     fn pdp_recovers_monotone_effect() {
         let data = synth(600);
-        let forest = Forest::fit(&data, ForestConfig { num_trees: 60, ..Default::default() });
+        let forest = Forest::fit(
+            &data,
+            ForestConfig {
+                num_trees: 60,
+                ..Default::default()
+            },
+        );
         let pdp = partial_dependence(&forest, &data, 0, None, 200);
         // Response must be (weakly) increasing along the grid and span
         // most of the 0..4 range.
@@ -114,7 +130,13 @@ mod tests {
     #[test]
     fn irrelevant_feature_is_flat() {
         let data = synth(600);
-        let forest = Forest::fit(&data, ForestConfig { num_trees: 60, ..Default::default() });
+        let forest = Forest::fit(
+            &data,
+            ForestConfig {
+                num_trees: 60,
+                ..Default::default()
+            },
+        );
         let flat = partial_dependence(&forest, &data, 1, None, 200);
         let strong = partial_dependence(&forest, &data, 0, None, 200);
         assert!(
@@ -128,7 +150,13 @@ mod tests {
     #[test]
     fn explicit_grid_is_respected() {
         let data = synth(100);
-        let forest = Forest::fit(&data, ForestConfig { num_trees: 10, ..Default::default() });
+        let forest = Forest::fit(
+            &data,
+            ForestConfig {
+                num_trees: 10,
+                ..Default::default()
+            },
+        );
         let pdp = partial_dependence(&forest, &data, 0, Some(vec![0.0, 0.5, 1.0]), 50);
         assert_eq!(pdp.grid, vec![0.0, 0.5, 1.0]);
         assert_eq!(pdp.response.len(), 3);

@@ -17,14 +17,23 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        TreeConfig { max_depth: usize::MAX, min_samples_leaf: 5, mtry: 0 }
+        TreeConfig {
+            max_depth: usize::MAX,
+            min_samples_leaf: 5,
+            mtry: 0,
+        }
     }
 }
 
 #[derive(Debug, Clone)]
 enum Node {
     Leaf(f64),
-    Split { feature: usize, threshold: f64, left: u32, right: u32 },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: u32,
+        right: u32,
+    },
 }
 
 /// A fitted regression tree.
@@ -54,7 +63,10 @@ fn best_split_on(
     let mut sum = 0.0f64;
     let mut sum2 = 0.0f64;
     let total: f64 = order.iter().map(|&i| data.targets[i]).sum();
-    let total2: f64 = order.iter().map(|&i| data.targets[i] * data.targets[i]).sum();
+    let total2: f64 = order
+        .iter()
+        .map(|&i| data.targets[i] * data.targets[i])
+        .sum();
     let mut best: Option<(f64, f64)> = None;
     for k in 0..n - 1 {
         let y = data.targets[order[k]];
@@ -84,8 +96,7 @@ fn best_split_on(
 
 impl Builder<'_> {
     fn build(&mut self, idx: &[usize], depth: usize, rng: &mut impl Rng) -> u32 {
-        let mean =
-            idx.iter().map(|&i| self.data.targets[i]).sum::<f64>() / idx.len().max(1) as f64;
+        let mean = idx.iter().map(|&i| self.data.targets[i]).sum::<f64>() / idx.len().max(1) as f64;
         let constant = idx
             .iter()
             .all(|&i| (self.data.targets[i] - mean).abs() < 1e-12);
@@ -99,7 +110,11 @@ impl Builder<'_> {
 
         // Feature subset (mtry).
         let nf = self.data.num_features();
-        let mtry = if self.config.mtry == 0 { nf } else { self.config.mtry.min(nf) };
+        let mtry = if self.config.mtry == 0 {
+            nf
+        } else {
+            self.config.mtry.min(nf)
+        };
         let mut feats: Vec<usize> = (0..nf).collect();
         feats.shuffle(rng);
         feats.truncate(mtry);
@@ -133,21 +148,25 @@ impl Builder<'_> {
         let slot = (self.nodes.len() - 1) as u32;
         let l = self.build(&left, depth + 1, rng);
         let r = self.build(&right, depth + 1, rng);
-        self.nodes[slot as usize] = Node::Split { feature, threshold, left: l, right: r };
+        self.nodes[slot as usize] = Node::Split {
+            feature,
+            threshold,
+            left: l,
+            right: r,
+        };
         slot
     }
 }
 
 impl RegressionTree {
     /// Fits a tree on the rows selected by `idx`.
-    pub fn fit(
-        data: &TableData,
-        idx: &[usize],
-        config: TreeConfig,
-        rng: &mut impl Rng,
-    ) -> Self {
+    pub fn fit(data: &TableData, idx: &[usize], config: TreeConfig, rng: &mut impl Rng) -> Self {
         assert!(!idx.is_empty(), "cannot fit a tree on no rows");
-        let mut b = Builder { data, config, nodes: Vec::new() };
+        let mut b = Builder {
+            data,
+            config,
+            nodes: Vec::new(),
+        };
         let root = b.build(idx, 0, rng);
         debug_assert_eq!(root, 0);
         RegressionTree { nodes: b.nodes }
@@ -159,8 +178,17 @@ impl RegressionTree {
         loop {
             match &self.nodes[cur] {
                 Node::Leaf(v) => return *v,
-                Node::Split { feature, threshold, left, right } => {
-                    cur = if row[*feature] <= *threshold { *left as usize } else { *right as usize };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    cur = if row[*feature] <= *threshold {
+                        *left as usize
+                    } else {
+                        *right as usize
+                    };
                 }
             }
         }
@@ -230,7 +258,10 @@ mod tests {
         let data = step_data();
         let idx: Vec<usize> = (0..data.len()).collect();
         let mut rng = StdRng::seed_from_u64(1);
-        let cfg = TreeConfig { max_depth: 0, ..TreeConfig::default() };
+        let cfg = TreeConfig {
+            max_depth: 0,
+            ..TreeConfig::default()
+        };
         let t = RegressionTree::fit(&data, &idx, cfg, &mut rng);
         assert_eq!(t.num_nodes(), 1);
         // Root leaf = overall mean.
@@ -243,7 +274,10 @@ mod tests {
         let data = step_data();
         let idx: Vec<usize> = (0..data.len()).collect();
         let mut rng = StdRng::seed_from_u64(1);
-        let cfg = TreeConfig { min_samples_leaf: 60, ..TreeConfig::default() };
+        let cfg = TreeConfig {
+            min_samples_leaf: 60,
+            ..TreeConfig::default()
+        };
         let t = RegressionTree::fit(&data, &idx, cfg, &mut rng);
         assert_eq!(t.num_nodes(), 1, "no split can keep both sides >= 60");
     }
@@ -260,7 +294,10 @@ mod tests {
         let data = TableData::new(vec!["x".into()], rows, targets);
         let idx: Vec<usize> = (0..data.len()).collect();
         let mut rng = StdRng::seed_from_u64(3);
-        let cfg = TreeConfig { min_samples_leaf: 3, ..TreeConfig::default() };
+        let cfg = TreeConfig {
+            min_samples_leaf: 3,
+            ..TreeConfig::default()
+        };
         let t = RegressionTree::fit(&data, &idx, cfg, &mut rng);
         let mut worst = 0.0f64;
         for i in 0..60 {

@@ -10,9 +10,10 @@
 use crate::exec::{degrade, ExecOptions};
 use crate::kernel::{KernelStatics, LaunchConfig};
 use crate::mem::SharedMem;
+use crate::plan::{build_plan, price, PlanParams, PricingCtx, TracePlan};
 use crate::report::KernelTiming;
 use crate::spec::GpuSpec;
-use crate::timing::{time_from_trace, TimingOptions};
+use crate::timing::TimingOptions;
 use crate::trace::{MemRec, OpCounts, WarpAccess, WarpTrace};
 use rayon::prelude::*;
 
@@ -183,11 +184,7 @@ impl BlockCtx for FuncBlock<'_, '_> {
 /// # Contract
 /// Distinct blocks must touch disjoint global addresses (one block = one
 /// matrix for the traditional kernel).
-pub fn launch_block_functional<K: BlockKernel>(
-    kernel: &K,
-    launch: LaunchConfig,
-    mem: &mut [f32],
-) {
+pub fn launch_block_functional<K: BlockKernel>(kernel: &K, launch: LaunchConfig, mem: &mut [f32]) {
     launch_block_functional_opts(kernel, launch, mem, ExecOptions::default());
 }
 
@@ -233,12 +230,18 @@ impl LaneCtx for TraceLane<'_> {
     }
     fn ld(&mut self, addr: usize) -> f32 {
         self.ops.loads += 1;
-        self.mem.push(MemRec { store: false, addr: addr as u32 });
+        self.mem.push(MemRec {
+            store: false,
+            addr: addr as u32,
+        });
         1.0
     }
     fn st(&mut self, addr: usize, _v: f32) {
         self.ops.stores += 1;
-        self.mem.push(MemRec { store: true, addr: addr as u32 });
+        self.mem.push(MemRec {
+            store: true,
+            addr: addr as u32,
+        });
     }
     fn ld_shared(&mut self, idx: usize) -> f32 {
         self.shared.push(idx as u32);
@@ -350,19 +353,18 @@ impl BlockCtx for TraceBlock {
     }
 }
 
-/// Times a [`BlockKernel`] launch: traces warp 0 of block 0, prices shared
-/// traffic and barriers on top of the shared throughput back end.
+/// Traces warp 0 of block 0 of a [`BlockKernel`]: returns the zipped warp
+/// trace plus the block-only costs (bank-conflict replay count and barrier
+/// count) that the pricing pass charges on top.
 ///
 /// Lanes of a block kernel may legitimately diverge (idle lanes at the
 /// matrix edge), so warp accesses are padded by replicating the lane-0
 /// address for missing lanes — conservative for coalescing (the padded
 /// lane adds no new line).
-pub fn time_block_kernel<K: BlockKernel>(
+pub fn trace_block_kernel<K: BlockKernel>(
     kernel: &K,
     launch: LaunchConfig,
-    spec: &GpuSpec,
-    opts: TimingOptions,
-) -> KernelTiming {
+) -> (WarpTrace, f64, u64) {
     let mut ctx = TraceBlock {
         block: 0,
         block_dim: launch.block,
@@ -392,24 +394,52 @@ pub fn time_block_kernel<K: BlockKernel>(
         while addrs.len() < 32 {
             addrs.push(proto.addr);
         }
-        accesses.push(WarpAccess { store: proto.store, addrs });
+        accesses.push(WarpAccess {
+            store: proto.store,
+            addrs,
+        });
     }
     // SIMT: a diverged warp pays for the union of its lanes' paths,
     // approximated per op class by the busiest lane.
-    let ops = ctx.lane_ops.iter().fold(OpCounts::default(), |a, &b| a.max(b));
-    let trace = WarpTrace { ops, accesses };
-    let statics = kernel.statics();
+    let ops = ctx
+        .lane_ops
+        .iter()
+        .fold(OpCounts::default(), |a, &b| a.max(b));
+    (WarpTrace { ops, accesses }, ctx.shared_replays, ctx.syncs)
+}
 
-    // Extra issue work not visible to the thread-kernel back end:
-    // shared-memory replays and barriers.
-    let extra = ctx.shared_replays * spec.costs.shared_access
-        + ctx.syncs as f64 * spec.costs.sync;
-    let mut timing = time_from_trace(&trace, &statics, launch, spec, opts);
-    let warps_total = (launch.total_threads() / spec.warp_size as usize) as f64;
-    let extra_s = extra * warps_total / spec.sms as f64 / spec.clock_hz() / timing.utilization;
-    timing.compute_time_s += extra_s;
-    timing.time_s = timing.compute_time_s.max(timing.lsu_time_s).max(timing.dram_time_s);
-    timing
+/// Builds the structural [`TracePlan`] of a [`BlockKernel`] launch,
+/// including the shared-memory replay and barrier extras.
+pub fn plan_block_kernel<K: BlockKernel>(
+    kernel: &K,
+    launch: LaunchConfig,
+    params: PlanParams,
+) -> TracePlan {
+    let (trace, shared_replays, syncs) = trace_block_kernel(kernel, launch);
+    build_plan(&trace, kernel.statics(), params).with_block_extras(shared_replays, syncs)
+}
+
+/// Times a [`BlockKernel`] launch: traces warp 0 of block 0, prices shared
+/// traffic and barriers on top of the shared throughput back end.
+pub fn time_block_kernel<K: BlockKernel>(
+    kernel: &K,
+    launch: LaunchConfig,
+    spec: &GpuSpec,
+    opts: TimingOptions,
+) -> KernelTiming {
+    let plan = plan_block_kernel(
+        kernel,
+        launch,
+        PlanParams::from_spec(spec, opts.disable_reg_reuse),
+    );
+    price(
+        &plan,
+        &PricingCtx {
+            spec,
+            launch,
+            fast_math: opts.fast_math,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -458,7 +488,12 @@ mod tests {
     #[test]
     fn timing_counts_syncs_and_shared() {
         let spec = GpuSpec::p100();
-        let t = time_block_kernel(&Reverse, LaunchConfig::new(64, 64), &spec, TimingOptions::default());
+        let t = time_block_kernel(
+            &Reverse,
+            LaunchConfig::new(64, 64),
+            &spec,
+            TimingOptions::default(),
+        );
         assert!(t.time_s > 0.0);
         assert!(t.compute_time_s > 0.0, "barrier cost must appear");
     }
@@ -528,7 +563,12 @@ mod tests {
             }
         }
         let spec = GpuSpec::p100();
-        let t = time_block_kernel(&Divergent, LaunchConfig::new(4, 32), &spec, TimingOptions::default());
+        let t = time_block_kernel(
+            &Divergent,
+            LaunchConfig::new(4, 32),
+            &spec,
+            TimingOptions::default(),
+        );
         assert!(t.time_s > 0.0);
     }
 }

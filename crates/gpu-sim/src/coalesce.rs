@@ -19,7 +19,12 @@ pub struct Coalescing {
 
 /// Analyzes one warp access. `elem_bytes` converts element addresses to
 /// bytes (4 for f32).
-pub fn coalesce(access: &WarpAccess, elem_bytes: u32, line_bytes: u32, sector_bytes: u32) -> Coalescing {
+pub fn coalesce(
+    access: &WarpAccess,
+    elem_bytes: u32,
+    line_bytes: u32,
+    sector_bytes: u32,
+) -> Coalescing {
     let mut lines: Vec<u64> = access
         .addrs
         .iter()
@@ -34,7 +39,10 @@ pub fn coalesce(access: &WarpAccess, elem_bytes: u32, line_bytes: u32, sector_by
         .collect();
     sectors.sort_unstable();
     sectors.dedup();
-    Coalescing { transactions: lines.len() as u32, sectors: sectors.len() as u32 }
+    Coalescing {
+        transactions: lines.len() as u32,
+        sectors: sectors.len() as u32,
+    }
 }
 
 #[cfg(test)]
@@ -42,7 +50,10 @@ mod tests {
     use super::*;
 
     fn access(addrs: Vec<u32>) -> WarpAccess {
-        WarpAccess { store: false, addrs }
+        WarpAccess {
+            store: false,
+            addrs,
+        }
     }
 
     #[test]

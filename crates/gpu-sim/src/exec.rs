@@ -113,7 +113,11 @@ pub fn launch_functional<K: ThreadKernel>(
     (0..launch.grid).into_par_iter().for_each(|block| {
         for tid in 0..launch.block {
             let mut ctx = ExecCtx {
-                thread: ThreadId { block, tid, block_dim: launch.block },
+                thread: ThreadId {
+                    block,
+                    tid,
+                    block_dim: launch.block,
+                },
                 mem: &shared,
                 fast_math: opts.fast_math,
             };
@@ -135,7 +139,11 @@ pub fn launch_functional_seq<K: ThreadKernel>(
     for block in 0..launch.grid {
         for tid in 0..launch.block {
             let mut ctx = ExecCtx {
-                thread: ThreadId { block, tid, block_dim: launch.block },
+                thread: ThreadId {
+                    block,
+                    tid,
+                    block_dim: launch.block,
+                },
                 mem: &shared,
                 fast_math: opts.fast_math,
             };

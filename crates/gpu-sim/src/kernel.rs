@@ -22,7 +22,10 @@ impl LaunchConfig {
     /// A launch of `grid` blocks of `block` threads.
     pub fn new(grid: usize, block: usize) -> Self {
         assert!(grid > 0, "grid must be non-empty");
-        assert!(block > 0 && block.is_multiple_of(32), "block must be a positive warp multiple");
+        assert!(
+            block > 0 && block.is_multiple_of(32),
+            "block must be a positive warp multiple"
+        );
         LaunchConfig { grid, block }
     }
 
@@ -165,7 +168,11 @@ mod tests {
 
     #[test]
     fn thread_id_lanes() {
-        let t = ThreadId { block: 3, tid: 37, block_dim: 64 };
+        let t = ThreadId {
+            block: 3,
+            tid: 37,
+            block_dim: 64,
+        };
         assert_eq!(t.global(), 3 * 64 + 37);
         assert_eq!(t.lane(), 5);
         assert_eq!(t.warp(), 1);

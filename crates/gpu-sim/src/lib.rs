@@ -30,18 +30,23 @@ pub mod exec;
 pub mod kernel;
 mod mem;
 pub mod occupancy;
+pub mod plan;
 pub mod report;
 pub mod spec;
 pub mod timing;
 pub mod trace;
 
 pub use block::{
-    launch_block_functional, launch_block_functional_opts, time_block_kernel, BlockCtx,
-    BlockKernel, LaneCtx,
+    launch_block_functional, launch_block_functional_opts, plan_block_kernel, time_block_kernel,
+    trace_block_kernel, BlockCtx, BlockKernel, LaneCtx,
 };
 pub use exec::{launch_functional, launch_functional_seq, ExecOptions};
 pub use kernel::{KernelCtx, KernelStatics, LaunchConfig, ThreadId, ThreadKernel};
 pub use occupancy::{occupancy, OccLimiter, Occupancy};
+pub use plan::{
+    build_plan, plan_thread_kernel, price, CacheStats, PlanParams, PlannedAccess, PricingCtx,
+    TraceCache, TracePlan,
+};
 pub use report::{Bottleneck, KernelTiming};
 pub use spec::{GpuSpec, OpCosts};
 pub use timing::{time_from_trace, time_thread_kernel, TimingOptions};

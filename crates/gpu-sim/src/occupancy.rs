@@ -51,7 +51,10 @@ pub fn occupancy(
     let by_threads = spec.max_threads_per_sm / threads;
     let by_blocks = spec.max_blocks_per_sm;
     let by_regs = spec.regs_per_sm / (regs * threads);
-    let by_shared = spec.shared_per_sm.checked_div(shared_bytes).unwrap_or(u32::MAX);
+    let by_shared = spec
+        .shared_per_sm
+        .checked_div(shared_bytes)
+        .unwrap_or(u32::MAX);
 
     let blocks = by_threads.min(by_blocks).min(by_regs).min(by_shared);
     let limiter = if blocks == by_threads {

@@ -1,0 +1,647 @@
+//! Two-phase timing pipeline: structural [`TracePlan`]s and cheap pricing.
+//!
+//! The fused model in [`crate::timing`] retraced a warp and re-ran the
+//! register-reuse and coalescing passes for every `(config, spec, batch)`
+//! point, even though those passes depend only on the instruction stream.
+//! This module splits the pipeline:
+//!
+//! * **Plan** ([`build_plan`]): everything structural — the traced op
+//!   counts, the register-reuse/dead-store pass, and the per-access
+//!   coalescing breakdown (transactions, sectors-per-line, distinct cache
+//!   lines). A plan is computed once per distinct instruction stream and is
+//!   immutable thereafter.
+//! * **Price** ([`price`]): everything that depends on the [`GpuSpec`],
+//!   launch shape, or `fast_math` — the L2/DRAM replay, op costs, spills,
+//!   instruction-cache penalty, occupancy, and wave scaling. Pricing reads
+//!   the plan without re-tracing, so it is cheap enough to run thousands of
+//!   times per second in an autotuning sweep.
+//!
+//! [`TraceCache`] memoizes plans across a sweep under a caller-chosen
+//! structural key, with FIFO eviction and hit/miss/time counters that the
+//! sweep report surfaces.
+//!
+//! The split is bitwise-faithful: `price(&build_plan(trace, …), ctx)`
+//! performs the exact floating-point operation sequence of the old fused
+//! path, so timings (and therefore every autotuned decision) are unchanged.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::cache::Cache;
+use crate::coalesce::coalesce;
+use crate::dram::RowBufferModel;
+use crate::kernel::{KernelStatics, LaunchConfig, ThreadKernel};
+use crate::occupancy::occupancy;
+use crate::report::{Bottleneck, KernelTiming};
+use crate::spec::GpuSpec;
+use crate::trace::{apply_register_reuse, trace_warp, OpCounts, WarpTrace};
+
+/// Structural inputs a plan needs from the target GPU. Two specs that agree
+/// on these fields produce identical plans, so they belong in any cache key
+/// alongside the kernel-shape parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanParams {
+    /// Cache-line size used for coalescing (bytes).
+    pub line_bytes: u32,
+    /// DRAM sector size used for coalescing (bytes).
+    pub sector_bytes: u32,
+    /// Ablation: skip the register-reuse window and dead-store elimination.
+    pub disable_reg_reuse: bool,
+}
+
+impl PlanParams {
+    /// Extracts the structural subset of `spec`.
+    pub fn from_spec(spec: &GpuSpec, disable_reg_reuse: bool) -> Self {
+        PlanParams {
+            line_bytes: spec.line_bytes,
+            sector_bytes: spec.sector_bytes,
+            disable_reg_reuse,
+        }
+    }
+}
+
+/// One warp access after register reuse and coalescing: everything pricing
+/// needs to replay it through the L2 and DRAM models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedAccess {
+    /// Whether the access is a store (write-through in this model).
+    pub store: bool,
+    /// Memory transactions the access issues (distinct lines touched).
+    pub transactions: u32,
+    /// Average DRAM sectors per touched line, as the fused model computed
+    /// it: `max(sectors / max(transactions, 1), 1)`.
+    pub sectors_per_line: f64,
+    /// Distinct cache-line indices touched, sorted ascending.
+    pub lines: Vec<u64>,
+}
+
+/// The structural half of a kernel timing: one traced warp reduced to the
+/// data pricing needs. Independent of [`GpuSpec`] pricing constants, launch
+/// grid, batch, and `fast_math`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracePlan {
+    /// Per-warp op counts of the traced warp.
+    pub ops: OpCounts,
+    /// The kernel's static resource estimates.
+    pub statics: KernelStatics,
+    /// The structural parameters the plan was built under.
+    pub params: PlanParams,
+    /// Accesses surviving the register-reuse pass, coalesced.
+    pub accesses: Vec<PlannedAccess>,
+    /// Total transactions across all surviving accesses.
+    pub total_transactions: u64,
+    /// Loads removed by the register-reuse window.
+    pub eliminated_loads: u64,
+    /// Stores removed by dead-store elimination.
+    pub eliminated_stores: u64,
+    /// Shared-memory replay instructions (block kernels only; 0 otherwise).
+    pub shared_replays: f64,
+    /// `__syncthreads()` barriers (block kernels only; 0 otherwise).
+    pub syncs: u64,
+}
+
+impl TracePlan {
+    /// Attaches block-kernel extras (bank-conflict replays and barriers)
+    /// that the pricing pass charges on top of compute issue.
+    pub fn with_block_extras(mut self, shared_replays: f64, syncs: u64) -> Self {
+        self.shared_replays = shared_replays;
+        self.syncs = syncs;
+        self
+    }
+}
+
+/// The pricing-dependent half of a timed launch: everything that may vary
+/// between sweep points sharing one instruction stream.
+#[derive(Debug, Clone, Copy)]
+pub struct PricingCtx<'a> {
+    /// Target GPU constants (op costs, bandwidths, occupancy limits, …).
+    pub spec: &'a GpuSpec,
+    /// Launch shape; scales the traced warp to the full grid.
+    pub launch: LaunchConfig,
+    /// Price divides/square roots/reciprocals at fast-math cost.
+    pub fast_math: bool,
+}
+
+/// Reduces a traced warp to its structural plan: applies the
+/// register-reuse/dead-store pass and coalesces every surviving access.
+pub fn build_plan(trace: &WarpTrace, statics: KernelStatics, params: PlanParams) -> TracePlan {
+    let (capacity, dse) = if params.disable_reg_reuse {
+        (0, false)
+    } else {
+        (statics.reg_reuse_capacity, statics.dead_store_elim)
+    };
+    let reused = apply_register_reuse(trace.accesses.clone(), capacity, dse);
+
+    let mut total_transactions = 0u64;
+    let mut accesses = Vec::with_capacity(reused.kept.len());
+    for access in &reused.kept {
+        let c = coalesce(access, 4, params.line_bytes, params.sector_bytes);
+        total_transactions += c.transactions as u64;
+        let mut lines: Vec<u64> = access
+            .addrs
+            .iter()
+            .map(|&a| (a as u64 * 4) / params.line_bytes as u64)
+            .collect();
+        lines.sort_unstable();
+        lines.dedup();
+        let sectors_per_line = (c.sectors as f64 / c.transactions.max(1) as f64).max(1.0);
+        accesses.push(PlannedAccess {
+            store: access.store,
+            transactions: c.transactions,
+            sectors_per_line,
+            lines,
+        });
+    }
+
+    TracePlan {
+        ops: trace.ops,
+        statics,
+        params,
+        accesses,
+        total_transactions,
+        eliminated_loads: reused.eliminated_loads,
+        eliminated_stores: reused.eliminated_stores,
+        shared_replays: 0.0,
+        syncs: 0,
+    }
+}
+
+/// Traces one representative warp of `kernel` and reduces it to a plan.
+pub fn plan_thread_kernel<K: ThreadKernel>(
+    kernel: &K,
+    launch: LaunchConfig,
+    params: PlanParams,
+) -> TracePlan {
+    let trace = trace_warp(kernel, launch, 0, 0);
+    build_plan(&trace, kernel.statics(), params)
+}
+
+/// Prices arithmetic issue cycles (SM-cycles per warp).
+pub(crate) fn compute_cycles(ops: &OpCounts, spec: &GpuSpec, fast_math: bool) -> f64 {
+    let c = &spec.costs;
+    ops.fma_class as f64 * c.fma
+        + ops.div as f64 * c.div(fast_math)
+        + ops.sqrt as f64 * c.sqrt(fast_math)
+        + ops.rcp as f64 * c.rcp(fast_math)
+        + ops.iops as f64 * c.iop
+}
+
+/// Prices a plan on a concrete GPU and launch: replays the planned accesses
+/// through the L2/DRAM models, charges op/spill/icache costs, and scales by
+/// occupancy and wave quantization.
+///
+/// # Panics
+/// In debug builds, if `ctx.spec` disagrees with the plan's structural
+/// [`PlanParams`] — such a spec needs its own plan.
+pub fn price(plan: &TracePlan, ctx: &PricingCtx<'_>) -> KernelTiming {
+    let spec = ctx.spec;
+    let launch = ctx.launch;
+    debug_assert_eq!(
+        spec.line_bytes, plan.params.line_bytes,
+        "plan built for a different line size"
+    );
+    debug_assert_eq!(
+        spec.sector_bytes, plan.params.sector_bytes,
+        "plan built for a different sector size"
+    );
+    let statics = &plan.statics;
+    let warps_total = (launch.total_threads() / spec.warp_size as usize) as f64;
+
+    // -- occupancy (needed early for the L2 share) ------------------------
+    let occ = occupancy(
+        spec,
+        launch.block,
+        statics.regs_per_thread,
+        statics.shared_bytes_per_block,
+    );
+    let blocks_per_wave = (occ.blocks_per_sm as u64) * spec.sms as u64;
+    let waves = (launch.grid as u64).div_ceil(blocks_per_wave);
+    // SM load imbalance: every SM processes ceil(grid/sms) blocks' worth of
+    // issue slots in the worst case; SMs are idle only in the ragged tail.
+    let block_rounds = (launch.grid as u64).div_ceil(spec.sms as u64);
+    let utilization = launch.grid as f64 / (block_rounds * spec.sms as u64) as f64;
+
+    // Active warps across the GPU share the L2.
+    let active_warps_gpu = (occ.warps_per_sm as u64 * spec.sms as u64)
+        .min(warps_total as u64)
+        .max(1);
+    let l2_share = (spec.l2_bytes / active_warps_gpu).max(spec.l2_line_bytes as u64);
+    let mut l2 = Cache::new(l2_share, spec.l2_line_bytes, spec.l2_ways.min(4));
+    let mut rows = RowBufferModel::new(spec.dram_row_bytes, spec.dram_open_rows);
+
+    // -- memory pipeline: replay the planned accesses ----------------------
+    let mut lsu_cycles = 0.0f64;
+    let mut dram_sectors = 0u64;
+    for access in &plan.accesses {
+        lsu_cycles += access.transactions as f64 * spec.costs.lsu_per_transaction;
+        // Unique lines through L2; misses contribute sectors to DRAM.
+        for &line in &access.lines {
+            let byte = line * spec.line_bytes as u64;
+            let hit = l2.access(byte);
+            if !hit || access.store {
+                // Stores are write-through to DRAM in this model.
+                dram_sectors += access.sectors_per_line.round() as u64;
+                rows.access(byte);
+            }
+        }
+    }
+
+    // -- spills ------------------------------------------------------------
+    let max_regs = spec.max_regs_per_thread;
+    let spill_regs = statics.regs_per_thread.saturating_sub(max_regs) as u64;
+    // Each spilled value makes `spill_reuse_factor` store+reload round
+    // trips per thread; local memory is lane-interleaved, hence coalesced.
+    let spill_accesses_per_warp = (spill_regs as f64 * spec.spill_reuse_factor * 2.0).round();
+    lsu_cycles += spill_accesses_per_warp * spec.costs.lsu_per_transaction;
+    let spill_bytes_per_warp = spill_accesses_per_warp * 32.0 * 4.0;
+    let spill_bytes = (spill_bytes_per_warp * warps_total) as u64;
+
+    // -- instruction cache --------------------------------------------------
+    let code_bytes = statics.static_instrs * spec.instr_bytes as u64;
+    let icache_penalty = if code_bytes > spec.icache_bytes as u64 {
+        1.0 + spec.icache_beta * (code_bytes as f64 / spec.icache_bytes as f64).log2()
+    } else {
+        1.0
+    };
+
+    // -- arithmetic ---------------------------------------------------------
+    let comp_cycles = compute_cycles(&plan.ops, spec, ctx.fast_math) * icache_penalty;
+    let lsu_cycles = lsu_cycles * icache_penalty;
+
+    // -- assemble -----------------------------------------------------------
+    let clock = spec.clock_hz();
+    let sms = spec.sms as f64;
+    let compute_time_s = comp_cycles * warps_total / sms / clock / utilization;
+    let lsu_time_s = lsu_cycles * warps_total / sms / clock / utilization;
+
+    // The traced warp's sectors scale to the whole launch.
+    let dram_bytes =
+        dram_sectors as f64 * spec.sector_bytes as f64 * warps_total + spill_bytes as f64;
+    let dram_eff = rows.efficiency(spec.dram_row_miss_penalty);
+    let dram_time_s = dram_bytes / (spec.dram_gbps * 1e9 * dram_eff);
+
+    let (time_s, bottleneck) = if compute_time_s >= lsu_time_s && compute_time_s >= dram_time_s {
+        (compute_time_s, Bottleneck::Compute)
+    } else if lsu_time_s >= dram_time_s {
+        (lsu_time_s, Bottleneck::Lsu)
+    } else {
+        (dram_time_s, Bottleneck::Dram)
+    };
+
+    let mut timing = KernelTiming {
+        time_s,
+        compute_time_s,
+        lsu_time_s,
+        dram_time_s,
+        bottleneck,
+        dram_bytes: dram_bytes as u64,
+        row_hit_rate: rows.hit_rate(),
+        l2_hit_rate: l2.hit_rate(),
+        transactions_per_access: if plan.accesses.is_empty() {
+            0.0
+        } else {
+            plan.total_transactions as f64 / plan.accesses.len() as f64
+        },
+        reg_reuse_eliminated_loads: plan.eliminated_loads,
+        eliminated_stores: plan.eliminated_stores,
+        spill_bytes,
+        code_bytes,
+        icache_penalty,
+        occupancy: occ,
+        waves,
+        utilization,
+        flops_per_thread: plan.ops.flops(),
+    };
+
+    // Block-kernel extras: shared-memory replays and barriers on top of
+    // compute issue. Gated so the thread-kernel path is untouched.
+    if plan.syncs != 0 || plan.shared_replays != 0.0 {
+        let extra =
+            plan.shared_replays * spec.costs.shared_access + plan.syncs as f64 * spec.costs.sync;
+        let extra_s = extra * warps_total / sms / clock / timing.utilization;
+        timing.compute_time_s += extra_s;
+        timing.time_s = timing
+            .compute_time_s
+            .max(timing.lsu_time_s)
+            .max(timing.dram_time_s);
+    }
+    timing
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache
+// ---------------------------------------------------------------------------
+
+/// Counter snapshot of a [`TraceCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to build a plan.
+    pub misses: u64,
+    /// Wall-clock nanoseconds spent building plans (misses only).
+    pub plan_ns: u64,
+    /// Wall-clock nanoseconds spent pricing, as reported by callers via
+    /// [`TraceCache::record_price_ns`].
+    pub price_ns: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+struct CacheInner<K> {
+    map: HashMap<K, Arc<TracePlan>>,
+    order: VecDeque<K>,
+}
+
+/// A concurrent, bounded memo of [`TracePlan`]s keyed by the caller's
+/// structural key (e.g. the structural subset of a kernel config).
+///
+/// Eviction is FIFO by insertion order, which matches sweep access
+/// patterns: a sweep visits each structural class in a burst and rarely
+/// returns to it after moving on. Counters are lock-free; the map itself is
+/// a mutex — plan construction happens *outside* the lock, so concurrent
+/// sweep workers never serialize on a trace.
+pub struct TraceCache<K> {
+    inner: Mutex<CacheInner<K>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    plan_ns: AtomicU64,
+    price_ns: AtomicU64,
+}
+
+impl<K> TraceCache<K> {
+    /// A cache holding at most `capacity` plans (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        TraceCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            plan_ns: AtomicU64::new(0),
+            price_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds pricing wall-clock time to the stats (pricing happens outside
+    /// the cache, so callers report it).
+    pub fn record_price_ns(&self, ns: u64) {
+        self.price_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the hit/miss/time counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            plan_ns: self.plan_ns.load(Ordering::Relaxed),
+            price_ns: self.price_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Plans currently resident.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// Whether the cache holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every resident plan (counters are kept).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.map.clear();
+        inner.order.clear();
+    }
+}
+
+impl<K: Hash + Eq + Clone> TraceCache<K> {
+    /// Returns the plan for `key`, building (and timing) it with `build` on
+    /// a miss. Construction runs outside the lock; if two threads race on
+    /// the same key, both build and one result is kept — plans are pure
+    /// functions of the key, so either is correct.
+    pub fn get_or_build<F: FnOnce() -> TracePlan>(&self, key: K, build: F) -> Arc<TracePlan> {
+        if let Some(plan) = self.inner.lock().unwrap().map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(plan);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+        let built = Arc::new(build());
+        self.plan_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(existing) = inner.map.get(&key) {
+            return Arc::clone(existing);
+        }
+        while inner.map.len() >= self.capacity {
+            match inner.order.pop_front() {
+                Some(old) => {
+                    inner.map.remove(&old);
+                }
+                None => break,
+            }
+        }
+        inner.map.insert(key.clone(), Arc::clone(&built));
+        inner.order.push_back(key);
+        built
+    }
+}
+
+impl<K> Default for TraceCache<K> {
+    /// A cache sized for full autotuning sweeps (4096 structural classes).
+    fn default() -> Self {
+        TraceCache::new(4096)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelCtx;
+    use crate::timing::{time_thread_kernel, TimingOptions};
+
+    /// Strided load/store kernel with some arithmetic, enough to exercise
+    /// every pricing stage.
+    struct Probe {
+        stride: usize,
+    }
+
+    impl ThreadKernel for Probe {
+        fn run<C: KernelCtx>(&self, ctx: &mut C) {
+            let g = ctx.thread().global();
+            let mut acc = 0.0;
+            for i in 0..24 {
+                let v = ctx.ld(i * self.stride + g);
+                acc = ctx.fma(acc, v, 1.0);
+            }
+            let d = ctx.div(acc, 3.0);
+            let s = ctx.sqrt(d);
+            ctx.st(self.stride + g, s);
+        }
+        fn statics(&self) -> KernelStatics {
+            KernelStatics {
+                regs_per_thread: 48,
+                static_instrs: 900,
+                reg_reuse_capacity: 4,
+                dead_store_elim: true,
+                shared_bytes_per_block: 0,
+            }
+        }
+    }
+
+    fn timings_equal(a: &KernelTiming, b: &KernelTiming) -> bool {
+        // Debug formatting covers every field, including nested occupancy.
+        format!("{a:?}") == format!("{b:?}")
+    }
+
+    #[test]
+    fn split_matches_fused_path_bitwise() {
+        let spec = GpuSpec::p100();
+        for stride in [1usize, 37, 512, 1 << 16] {
+            for fast_math in [false, true] {
+                for disable in [false, true] {
+                    let k = Probe { stride };
+                    let launch = LaunchConfig::new(96, 64);
+                    let opts = TimingOptions {
+                        fast_math,
+                        disable_reg_reuse: disable,
+                    };
+                    let fused = time_thread_kernel(&k, launch, &spec, opts);
+                    let plan =
+                        plan_thread_kernel(&k, launch, PlanParams::from_spec(&spec, disable));
+                    let priced = price(
+                        &plan,
+                        &PricingCtx {
+                            spec: &spec,
+                            launch,
+                            fast_math,
+                        },
+                    );
+                    assert!(
+                        timings_equal(&fused, &priced),
+                        "stride {stride} fast {fast_math} disable {disable}:\n{fused:?}\nvs\n{priced:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_plan_prices_many_launches() {
+        let spec = GpuSpec::p100();
+        let k = Probe { stride: 64 };
+        let plan = plan_thread_kernel(
+            &k,
+            LaunchConfig::new(16, 32),
+            PlanParams::from_spec(&spec, false),
+        );
+        for grid in [16, 64, 1024] {
+            for block in [32, 128] {
+                let launch = LaunchConfig::new(grid, block);
+                let fused = time_thread_kernel(&k, launch, &spec, TimingOptions::default());
+                let priced = price(
+                    &plan,
+                    &PricingCtx {
+                        spec: &spec,
+                        launch,
+                        fast_math: false,
+                    },
+                );
+                assert!(
+                    timings_equal(&fused, &priced),
+                    "grid {grid} block {block} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_return_identical_timings() {
+        let spec = GpuSpec::p100();
+        let cache: TraceCache<u64> = TraceCache::new(16);
+        let k = Probe { stride: 512 };
+        let launch = LaunchConfig::new(64, 32);
+        let params = PlanParams::from_spec(&spec, false);
+        let ctx = PricingCtx {
+            spec: &spec,
+            launch,
+            fast_math: false,
+        };
+
+        let miss = price(
+            &cache.get_or_build(7, || plan_thread_kernel(&k, launch, params)),
+            &ctx,
+        );
+        let hit = price(
+            &cache.get_or_build(7, || plan_thread_kernel(&k, launch, params)),
+            &ctx,
+        );
+        assert!(timings_equal(&miss, &hit));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn cache_is_bounded_fifo() {
+        let cache: TraceCache<u32> = TraceCache::new(2);
+        let plan = || {
+            build_plan(
+                &WarpTrace {
+                    ops: OpCounts::default(),
+                    accesses: Vec::new(),
+                },
+                KernelStatics::streaming(16, 64),
+                PlanParams {
+                    line_bytes: 128,
+                    sector_bytes: 32,
+                    disable_reg_reuse: false,
+                },
+            )
+        };
+        cache.get_or_build(1, plan);
+        cache.get_or_build(2, plan);
+        cache.get_or_build(3, plan); // evicts key 1
+        assert_eq!(cache.len(), 2);
+        cache.get_or_build(1, plan); // miss again
+        assert_eq!(cache.stats().misses, 4);
+        assert_eq!(cache.stats().hits, 0);
+        cache.get_or_build(3, plan);
+        assert_eq!(cache.stats().hits, 1);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn price_time_is_recorded() {
+        let cache: TraceCache<u32> = TraceCache::new(4);
+        cache.record_price_ns(1234);
+        assert_eq!(cache.stats().price_ns, 1234);
+    }
+}

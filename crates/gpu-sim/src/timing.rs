@@ -11,15 +11,17 @@
 //! 5. price arithmetic with per-op costs (IEEE vs `--use_fast_math`);
 //! 6. scale to the full grid via occupancy and wave quantization;
 //! 7. runtime = max(compute issue, LSU issue, DRAM transfer).
+//!
+//! Since the two-phase split, steps 2–3 live in the structural *plan*
+//! ([`crate::plan::build_plan`]) and steps 4–7 in the *price* pass
+//! ([`crate::plan::price`]); the entry points here are thin wrappers kept
+//! for compatibility and convenience.
 
-use crate::cache::Cache;
-use crate::coalesce::coalesce;
-use crate::dram::RowBufferModel;
 use crate::kernel::{KernelStatics, LaunchConfig, ThreadKernel};
-use crate::occupancy::occupancy;
-use crate::report::{Bottleneck, KernelTiming};
+use crate::plan::{build_plan, price, PlanParams, PricingCtx};
+use crate::report::KernelTiming;
 use crate::spec::GpuSpec;
-use crate::trace::{apply_register_reuse, trace_warp, OpCounts, WarpTrace};
+use crate::trace::{trace_warp, WarpTrace};
 
 /// Options of a timed launch.
 #[derive(Debug, Clone, Copy, Default)]
@@ -44,19 +46,14 @@ pub fn time_thread_kernel<K: ThreadKernel>(
     time_from_trace(&trace, &statics, launch, spec, opts)
 }
 
-/// Prices arithmetic issue cycles (SM-cycles per warp).
-fn compute_cycles(ops: &OpCounts, spec: &GpuSpec, fast_math: bool) -> f64 {
-    let c = &spec.costs;
-    ops.fma_class as f64 * c.fma
-        + ops.div as f64 * c.div(fast_math)
-        + ops.sqrt as f64 * c.sqrt(fast_math)
-        + ops.rcp as f64 * c.rcp(fast_math)
-        + ops.iops as f64 * c.iop
-}
-
 /// Assembles the timing report from a pre-computed warp trace. Exposed so
 /// block-kernel timing (which builds traces differently) can share the
 /// back end.
+///
+/// Thin wrapper over the two-phase pipeline: builds a throwaway
+/// [`crate::plan::TracePlan`] and prices it. Callers evaluating many
+/// pricing points per instruction stream should build the plan once (or
+/// use a [`crate::plan::TraceCache`]) and call [`price`] directly.
 pub fn time_from_trace(
     trace: &WarpTrace,
     statics: &KernelStatics,
@@ -64,141 +61,26 @@ pub fn time_from_trace(
     spec: &GpuSpec,
     opts: TimingOptions,
 ) -> KernelTiming {
-    let warps_total = (launch.total_threads() / spec.warp_size as usize) as f64;
-
-    // -- register-reuse / dead-store pass ---------------------------------
-    let (capacity, dse) = if opts.disable_reg_reuse {
-        (0, false)
-    } else {
-        (statics.reg_reuse_capacity, statics.dead_store_elim)
-    };
-    let reused = apply_register_reuse(trace.accesses.clone(), capacity, dse);
-
-    // -- occupancy (needed early for the L2 share) ------------------------
-    let occ = occupancy(
-        spec,
-        launch.block,
-        statics.regs_per_thread,
-        statics.shared_bytes_per_block,
+    let plan = build_plan(
+        trace,
+        *statics,
+        PlanParams::from_spec(spec, opts.disable_reg_reuse),
     );
-    let blocks_per_wave = (occ.blocks_per_sm as u64) * spec.sms as u64;
-    let waves = (launch.grid as u64).div_ceil(blocks_per_wave);
-    // SM load imbalance: every SM processes ceil(grid/sms) blocks' worth of
-    // issue slots in the worst case; SMs are idle only in the ragged tail.
-    // (Resident-block concurrency affects latency hiding and cache shares,
-    // not throughput utilization.)
-    let block_rounds = (launch.grid as u64).div_ceil(spec.sms as u64);
-    let utilization = launch.grid as f64 / (block_rounds * spec.sms as u64) as f64;
-
-    // Active warps across the GPU share the L2.
-    let active_warps_gpu = (occ.warps_per_sm as u64 * spec.sms as u64)
-        .min(warps_total as u64)
-        .max(1);
-    let l2_share = (spec.l2_bytes / active_warps_gpu).max(spec.l2_line_bytes as u64);
-    let mut l2 = Cache::new(l2_share, spec.l2_line_bytes, spec.l2_ways.min(4));
-    let mut rows = RowBufferModel::new(spec.dram_row_bytes, spec.dram_open_rows);
-
-    // -- memory pipeline ---------------------------------------------------
-    let mut lsu_cycles = 0.0f64;
-    let mut dram_sectors = 0u64;
-    let mut total_transactions = 0u64;
-    for access in &reused.kept {
-        let c = coalesce(access, 4, spec.line_bytes, spec.sector_bytes);
-        total_transactions += c.transactions as u64;
-        lsu_cycles += c.transactions as f64 * spec.costs.lsu_per_transaction;
-        // Unique lines through L2; misses contribute sectors to DRAM.
-        let mut lines: Vec<u64> = access
-            .addrs
-            .iter()
-            .map(|&a| (a as u64 * 4) / spec.line_bytes as u64)
-            .collect();
-        lines.sort_unstable();
-        lines.dedup();
-        let sectors_per_line =
-            (c.sectors as f64 / c.transactions.max(1) as f64).max(1.0);
-        for line in lines {
-            let byte = line * spec.line_bytes as u64;
-            let hit = l2.access(byte);
-            if !hit || access.store {
-                // Stores are write-through to DRAM in this model.
-                dram_sectors += sectors_per_line.round() as u64;
-                rows.access(byte);
-            }
-        }
-    }
-
-    // -- spills ------------------------------------------------------------
-    let max_regs = spec.max_regs_per_thread;
-    let spill_regs = statics.regs_per_thread.saturating_sub(max_regs) as u64;
-    // Each spilled value makes `spill_reuse_factor` store+reload round
-    // trips per thread; local memory is lane-interleaved, hence coalesced.
-    let spill_accesses_per_warp = (spill_regs as f64 * spec.spill_reuse_factor * 2.0).round();
-    lsu_cycles += spill_accesses_per_warp * spec.costs.lsu_per_transaction;
-    let spill_bytes_per_warp = spill_accesses_per_warp * 32.0 * 4.0;
-    let spill_bytes = (spill_bytes_per_warp * warps_total) as u64;
-
-    // -- instruction cache ---------------------------------------------------
-    let code_bytes = statics.static_instrs * spec.instr_bytes as u64;
-    let icache_penalty = if code_bytes > spec.icache_bytes as u64 {
-        1.0 + spec.icache_beta * (code_bytes as f64 / spec.icache_bytes as f64).log2()
-    } else {
-        1.0
-    };
-
-    // -- arithmetic ----------------------------------------------------------
-    let comp_cycles = compute_cycles(&trace.ops, spec, opts.fast_math) * icache_penalty;
-    let lsu_cycles = lsu_cycles * icache_penalty;
-
-    // -- assemble ------------------------------------------------------------
-    let clock = spec.clock_hz();
-    let sms = spec.sms as f64;
-    let compute_time_s = comp_cycles * warps_total / sms / clock / utilization;
-    let lsu_time_s = lsu_cycles * warps_total / sms / clock / utilization;
-
-    // The traced warp's sectors scale to the whole launch.
-    let dram_bytes = dram_sectors as f64 * spec.sector_bytes as f64 * warps_total
-        + spill_bytes as f64;
-    let dram_eff = rows.efficiency(spec.dram_row_miss_penalty);
-    let dram_time_s = dram_bytes / (spec.dram_gbps * 1e9 * dram_eff);
-
-    let (time_s, bottleneck) = if compute_time_s >= lsu_time_s && compute_time_s >= dram_time_s {
-        (compute_time_s, Bottleneck::Compute)
-    } else if lsu_time_s >= dram_time_s {
-        (lsu_time_s, Bottleneck::Lsu)
-    } else {
-        (dram_time_s, Bottleneck::Dram)
-    };
-
-    KernelTiming {
-        time_s,
-        compute_time_s,
-        lsu_time_s,
-        dram_time_s,
-        bottleneck,
-        dram_bytes: dram_bytes as u64,
-        row_hit_rate: rows.hit_rate(),
-        l2_hit_rate: l2.hit_rate(),
-        transactions_per_access: if reused.kept.is_empty() {
-            0.0
-        } else {
-            total_transactions as f64 / reused.kept.len() as f64
+    price(
+        &plan,
+        &PricingCtx {
+            spec,
+            launch,
+            fast_math: opts.fast_math,
         },
-        reg_reuse_eliminated_loads: reused.eliminated_loads,
-        eliminated_stores: reused.eliminated_stores,
-        spill_bytes,
-        code_bytes,
-        icache_penalty,
-        occupancy: occ,
-        waves,
-        utilization,
-        flops_per_thread: trace.ops.flops(),
-    }
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::kernel::{KernelCtx, KernelStatics};
+    use crate::report::Bottleneck;
 
     /// Streaming kernel: each thread reads `per_thread` consecutive-plane
     /// elements (interleaved batch pattern) and writes them back.
@@ -273,7 +155,11 @@ mod tests {
             &spec,
             TimingOptions::default(),
         );
-        assert!(near.row_hit_rate > 0.9, "near hit rate {}", near.row_hit_rate);
+        assert!(
+            near.row_hit_rate > 0.9,
+            "near hit rate {}",
+            near.row_hit_rate
+        );
         // The store of each load/store pair hits the row its load opened,
         // so the floor is 0.5, not 0.
         assert!(far.row_hit_rate < 0.55, "far hit rate {}", far.row_hit_rate);
@@ -285,8 +171,24 @@ mod tests {
         let spec = GpuSpec::p100();
         let k = stream(16, 64 * 32, true);
         let launch = LaunchConfig::new(64, 32);
-        let ieee = time_thread_kernel(&k, launch, &spec, TimingOptions { fast_math: false, ..Default::default() });
-        let fast = time_thread_kernel(&k, launch, &spec, TimingOptions { fast_math: true, ..Default::default() });
+        let ieee = time_thread_kernel(
+            &k,
+            launch,
+            &spec,
+            TimingOptions {
+                fast_math: false,
+                ..Default::default()
+            },
+        );
+        let fast = time_thread_kernel(
+            &k,
+            launch,
+            &spec,
+            TimingOptions {
+                fast_math: true,
+                ..Default::default()
+            },
+        );
         assert_eq!(ieee.bottleneck, Bottleneck::Compute);
         assert!(fast.compute_time_s < ieee.compute_time_s * 0.7);
     }
@@ -296,7 +198,12 @@ mod tests {
         let spec = GpuSpec::p100();
         let k = stream(64, 1 << 22, true);
         // 32 blocks on 56 SMs: utilization 32/56.
-        let t = time_thread_kernel(&k, LaunchConfig::new(32, 512), &spec, TimingOptions::default());
+        let t = time_thread_kernel(
+            &k,
+            LaunchConfig::new(32, 512),
+            &spec,
+            TimingOptions::default(),
+        );
         assert_eq!(t.waves, 1);
         assert!((t.utilization - 32.0 / 56.0 / t.occupancy.blocks_per_sm as f64).abs() < 1.0);
         assert!(t.utilization < 0.6);
@@ -307,10 +214,20 @@ mod tests {
         let spec = GpuSpec::p100();
         let mut k = stream(16, 512, true);
         k.statics.static_instrs = 40_000; // 320 KB of code
-        let big = time_thread_kernel(&k, LaunchConfig::new(64, 32), &spec, TimingOptions::default());
+        let big = time_thread_kernel(
+            &k,
+            LaunchConfig::new(64, 32),
+            &spec,
+            TimingOptions::default(),
+        );
         assert!(big.icache_penalty > 1.2, "penalty {}", big.icache_penalty);
         k.statics.static_instrs = 500;
-        let small = time_thread_kernel(&k, LaunchConfig::new(64, 32), &spec, TimingOptions::default());
+        let small = time_thread_kernel(
+            &k,
+            LaunchConfig::new(64, 32),
+            &spec,
+            TimingOptions::default(),
+        );
         assert_eq!(small.icache_penalty, 1.0);
         assert!(big.compute_time_s > small.compute_time_s);
     }
@@ -320,11 +237,21 @@ mod tests {
         let spec = GpuSpec::p100();
         let mut k = stream(16, 512, false);
         k.statics.regs_per_thread = 300; // 45 over the limit
-        let t = time_thread_kernel(&k, LaunchConfig::new(64, 32), &spec, TimingOptions::default());
+        let t = time_thread_kernel(
+            &k,
+            LaunchConfig::new(64, 32),
+            &spec,
+            TimingOptions::default(),
+        );
         assert!(t.spill_bytes > 0);
         let mut k2 = stream(16, 512, false);
         k2.statics.regs_per_thread = 64;
-        let t2 = time_thread_kernel(&k2, LaunchConfig::new(64, 32), &spec, TimingOptions::default());
+        let t2 = time_thread_kernel(
+            &k2,
+            LaunchConfig::new(64, 32),
+            &spec,
+            TimingOptions::default(),
+        );
         assert_eq!(t2.spill_bytes, 0);
         assert!(t.dram_bytes > t2.dram_bytes);
     }
@@ -354,7 +281,12 @@ mod tests {
                 }
             }
         }
-        let t = time_thread_kernel(&Reread, LaunchConfig::new(8, 32), &spec, TimingOptions::default());
+        let t = time_thread_kernel(
+            &Reread,
+            LaunchConfig::new(8, 32),
+            &spec,
+            TimingOptions::default(),
+        );
         assert_eq!(t.reg_reuse_eliminated_loads, 63);
     }
 }

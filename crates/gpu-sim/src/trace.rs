@@ -103,7 +103,10 @@ impl KernelCtx for TraceCtx {
         if self.count_ops {
             self.ops.loads += 1;
         }
-        self.mem.push(MemRec { store: false, addr: addr as u32 });
+        self.mem.push(MemRec {
+            store: false,
+            addr: addr as u32,
+        });
         1.0
     }
     #[inline]
@@ -111,7 +114,10 @@ impl KernelCtx for TraceCtx {
         if self.count_ops {
             self.ops.stores += 1;
         }
-        self.mem.push(MemRec { store: true, addr: addr as u32 });
+        self.mem.push(MemRec {
+            store: true,
+            addr: addr as u32,
+        });
     }
     #[inline]
     fn fma(&mut self, _a: f32, _b: f32, _c: f32) -> f32 {
@@ -175,7 +181,11 @@ pub fn trace_warp<K: ThreadKernel>(
     for lane in 0..32 {
         let tid = warp * 32 + lane;
         let mut ctx = TraceCtx {
-            thread: ThreadId { block, tid, block_dim: launch.block },
+            thread: ThreadId {
+                block,
+                tid,
+                block_dim: launch.block,
+            },
             count_ops: lane == 0,
             ops: OpCounts::default(),
             mem: Vec::new(),
@@ -195,7 +205,10 @@ pub fn trace_warp<K: ThreadKernel>(
         let store = lanes[0][i].store;
         let mut addrs = Vec::with_capacity(32);
         for (lane, l) in lanes.iter().enumerate() {
-            assert_eq!(l[i].store, store, "lane {lane} diverged in access kind at {i}");
+            assert_eq!(
+                l[i].store, store,
+                "lane {lane} diverged in access kind at {i}"
+            );
             addrs.push(l[i].addr);
         }
         accesses.push(WarpAccess { store, addrs });
@@ -232,7 +245,11 @@ pub fn apply_register_reuse(
     dead_store_elim: bool,
 ) -> ReusedStream {
     if capacity == 0 && !dead_store_elim {
-        return ReusedStream { kept: accesses, eliminated_loads: 0, eliminated_stores: 0 };
+        return ReusedStream {
+            kept: accesses,
+            eliminated_loads: 0,
+            eliminated_stores: 0,
+        };
     }
     // Last store index per lane-0 address, for dead-store elimination.
     let mut last_store: HashMap<u32, usize> = HashMap::new();
@@ -247,20 +264,19 @@ pub fn apply_register_reuse(
     let mut lru_stamp: HashMap<u32, u64> = HashMap::new();
     let mut by_stamp: BTreeMap<u64, u32> = BTreeMap::new();
     let mut clock = 0u64;
-    let mut touch = |addr: u32,
-                     lru_stamp: &mut HashMap<u32, u64>,
-                     by_stamp: &mut BTreeMap<u64, u32>| {
-        clock += 1;
-        if let Some(old) = lru_stamp.insert(addr, clock) {
-            by_stamp.remove(&old);
-        }
-        by_stamp.insert(clock, addr);
-        if lru_stamp.len() > capacity as usize {
-            let (&oldest, &victim) = by_stamp.iter().next().expect("non-empty LRU");
-            by_stamp.remove(&oldest);
-            lru_stamp.remove(&victim);
-        }
-    };
+    let mut touch =
+        |addr: u32, lru_stamp: &mut HashMap<u32, u64>, by_stamp: &mut BTreeMap<u64, u32>| {
+            clock += 1;
+            if let Some(old) = lru_stamp.insert(addr, clock) {
+                by_stamp.remove(&old);
+            }
+            by_stamp.insert(clock, addr);
+            if lru_stamp.len() > capacity as usize {
+                let (&oldest, &victim) = by_stamp.iter().next().expect("non-empty LRU");
+                by_stamp.remove(&oldest);
+                lru_stamp.remove(&victim);
+            }
+        };
 
     let mut kept = Vec::with_capacity(accesses.len());
     let mut eliminated_loads = 0u64;
@@ -288,7 +304,11 @@ pub fn apply_register_reuse(
             kept.push(a);
         }
     }
-    ReusedStream { kept, eliminated_loads, eliminated_stores }
+    ReusedStream {
+        kept,
+        eliminated_loads,
+        eliminated_stores,
+    }
 }
 
 #[cfg(test)]
@@ -365,8 +385,17 @@ mod tests {
     fn lru_evicts_oldest() {
         // Stream: load A, load B, load C with capacity 2, then reload A
         // (must miss: evicted), reload C (must hit).
-        let acc = |addr: u32, store: bool| WarpAccess { store, addrs: vec![addr; 32] };
-        let stream = vec![acc(10, false), acc(20, false), acc(30, false), acc(10, false), acc(30, false)];
+        let acc = |addr: u32, store: bool| WarpAccess {
+            store,
+            addrs: vec![addr; 32],
+        };
+        let stream = vec![
+            acc(10, false),
+            acc(20, false),
+            acc(30, false),
+            acc(10, false),
+            acc(30, false),
+        ];
         let r = apply_register_reuse(stream, 2, false);
         assert_eq!(r.eliminated_loads, 1); // only the reload of 30
         assert_eq!(r.kept.len(), 4);
@@ -374,7 +403,15 @@ mod tests {
 
     #[test]
     fn flop_accounting() {
-        let ops = OpCounts { fma_class: 10, div: 2, sqrt: 1, rcp: 3, iops: 5, loads: 4, stores: 4 };
+        let ops = OpCounts {
+            fma_class: 10,
+            div: 2,
+            sqrt: 1,
+            rcp: 3,
+            iops: 5,
+            loads: 4,
+            stores: 4,
+        };
         assert_eq!(ops.flops(), 16);
         assert_eq!(ops.total(), 29);
     }

@@ -18,8 +18,8 @@
 use crate::codesize::TileOp;
 use crate::tileops::{gemm_tile, load_full, load_lower, store_full, syrk_tile, tile, trsm_tile};
 use ibcf_gpu_sim::{
-    launch_functional, time_thread_kernel, ExecOptions, GpuSpec, KernelCtx, KernelStatics,
-    KernelTiming, LaunchConfig, ThreadKernel, TimingOptions,
+    launch_functional, plan_thread_kernel, price, ExecOptions, GpuSpec, KernelCtx, KernelStatics,
+    KernelTiming, LaunchConfig, PlanParams, PricingCtx, ThreadKernel,
 };
 use ibcf_layout::{BatchLayout, Layout};
 
@@ -63,8 +63,14 @@ impl ThreadKernel for InterleavedTrsm {
         let nb = self.nb.clamp(1, crate::tileops::TS);
         let nt = n.div_ceil(nb);
         let dim = |b: usize| nb.min(n - b * nb);
-        let lay = OffsetLayout { inner: self.layout, offset: self.l_offset };
-        let bay = OffsetLayout { inner: self.layout, offset: self.b_offset };
+        let lay = OffsetLayout {
+            inner: self.layout,
+            offset: self.l_offset,
+        };
+        let bay = OffsetLayout {
+            inner: self.layout,
+            offset: self.b_offset,
+        };
         let (mut l_diag, mut l_panel, mut b_tile) = (tile(), tile(), tile());
         // Column sweep of the triangular solve: for each block column kk of
         // L, solve the B block-column, then update the ones to its right.
@@ -119,8 +125,14 @@ impl ThreadKernel for InterleavedSyrk {
         let nb = self.nb.clamp(1, crate::tileops::TS);
         let nt = n.div_ceil(nb);
         let dim = |b: usize| nb.min(n - b * nb);
-        let aay = OffsetLayout { inner: self.layout, offset: self.a_offset };
-        let cay = OffsetLayout { inner: self.layout, offset: self.c_offset };
+        let aay = OffsetLayout {
+            inner: self.layout,
+            offset: self.a_offset,
+        };
+        let cay = OffsetLayout {
+            inner: self.layout,
+            offset: self.c_offset,
+        };
         let (mut a1, mut a2, mut c) = (tile(), tile(), tile());
         for jj in 0..nt {
             let dj = dim(jj);
@@ -182,9 +194,18 @@ impl ThreadKernel for InterleavedGemm {
         let nb = self.nb.clamp(1, crate::tileops::TS);
         let nt = n.div_ceil(nb);
         let dim = |b: usize| nb.min(n - b * nb);
-        let aay = OffsetLayout { inner: self.layout, offset: self.a_offset };
-        let bay = OffsetLayout { inner: self.layout, offset: self.b_offset };
-        let cay = OffsetLayout { inner: self.layout, offset: self.c_offset };
+        let aay = OffsetLayout {
+            inner: self.layout,
+            offset: self.a_offset,
+        };
+        let bay = OffsetLayout {
+            inner: self.layout,
+            offset: self.b_offset,
+        };
+        let cay = OffsetLayout {
+            inner: self.layout,
+            offset: self.c_offset,
+        };
         let (mut a, mut b, mut c) = (tile(), tile(), tile());
         for jj in 0..nt {
             let dj = dim(jj);
@@ -245,27 +266,52 @@ impl BatchLayout for OffsetLayout {
 
 /// Runs `C := C − A·Bᵀ` functionally over a shared buffer.
 pub fn gemm_batch_device(kernel: &InterleavedGemm, mem: &mut [f32], block: usize) {
-    launch_functional(kernel, launch_for(&kernel.layout, block), mem, ExecOptions::default());
+    launch_functional(
+        kernel,
+        launch_for(&kernel.layout, block),
+        mem,
+        ExecOptions::default(),
+    );
 }
 
 /// Runs `C := C − A·Aᵀ` functionally over a shared buffer.
 pub fn syrk_batch_device(kernel: &InterleavedSyrk, mem: &mut [f32], block: usize) {
-    launch_functional(kernel, launch_for(&kernel.layout, block), mem, ExecOptions::default());
+    launch_functional(
+        kernel,
+        launch_for(&kernel.layout, block),
+        mem,
+        ExecOptions::default(),
+    );
 }
 
 /// Runs `B := B · L⁻ᵀ` functionally over a shared buffer.
 pub fn trsm_batch_device(kernel: &InterleavedTrsm, mem: &mut [f32], block: usize) {
-    launch_functional(kernel, launch_for(&kernel.layout, block), mem, ExecOptions::default());
+    launch_functional(
+        kernel,
+        launch_for(&kernel.layout, block),
+        mem,
+        ExecOptions::default(),
+    );
 }
 
-/// Times any of the batched BLAS kernels.
+/// Times any of the batched BLAS kernels via the two-phase plan/price
+/// pipeline.
 pub fn time_blas<K: ThreadKernel>(
     kernel: &K,
     layout: &Layout,
     block: usize,
     spec: &GpuSpec,
 ) -> KernelTiming {
-    time_thread_kernel(kernel, launch_for(layout, block), spec, TimingOptions::default())
+    let launch = launch_for(layout, block);
+    let plan = plan_thread_kernel(kernel, launch, PlanParams::from_spec(spec, false));
+    price(
+        &plan,
+        &PricingCtx {
+            spec,
+            launch,
+            fast_math: false,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -312,8 +358,12 @@ mod tests {
             nb: 4,
         };
         gemm_batch_device(&k, &mut mem, 64);
-        let (mut am, mut bm, mut cm, mut got) =
-            (vec![0.0f32; n * n], vec![0.0f32; n * n], vec![0.0f32; n * n], vec![0.0f32; n * n]);
+        let (mut am, mut bm, mut cm, mut got) = (
+            vec![0.0f32; n * n],
+            vec![0.0f32; n * n],
+            vec![0.0f32; n * n],
+            vec![0.0f32; n * n],
+        );
         for mat in [0usize, 17, 95] {
             gather_matrix(&lay, &a, mat, &mut am, n);
             gather_matrix(&lay, &b, mat, &mut bm, n);
@@ -342,10 +392,18 @@ mod tests {
         let mut mem = Vec::new();
         mem.extend_from_slice(&a);
         mem.extend_from_slice(&c0);
-        let k = InterleavedSyrk { layout: lay, a_offset: 0, c_offset: lay.len(), nb: 3 };
+        let k = InterleavedSyrk {
+            layout: lay,
+            a_offset: 0,
+            c_offset: lay.len(),
+            nb: 3,
+        };
         syrk_batch_device(&k, &mut mem, 64);
-        let (mut am, mut cm, mut got) =
-            (vec![0.0f32; n * n], vec![0.0f32; n * n], vec![0.0f32; n * n]);
+        let (mut am, mut cm, mut got) = (
+            vec![0.0f32; n * n],
+            vec![0.0f32; n * n],
+            vec![0.0f32; n * n],
+        );
         for mat in [0usize, 31, 63] {
             gather_matrix(&lay, &a, mat, &mut am, n);
             gather_matrix(&lay, &c0, mat, &mut cm, n);
@@ -380,11 +438,19 @@ mod tests {
         let mut mem = Vec::new();
         mem.extend_from_slice(&l);
         mem.extend_from_slice(&b0);
-        let k = InterleavedTrsm { layout: lay, l_offset: 0, b_offset: lay.len(), nb: 4 };
+        let k = InterleavedTrsm {
+            layout: lay,
+            l_offset: 0,
+            b_offset: lay.len(),
+            nb: 4,
+        };
         trsm_batch_device(&k, &mut mem, 64);
         // Check X · Lᵀ == B for a few matrices.
-        let (mut lm, mut bm, mut xm) =
-            (vec![0.0f32; n * n], vec![0.0f32; n * n], vec![0.0f32; n * n]);
+        let (mut lm, mut bm, mut xm) = (
+            vec![0.0f32; n * n],
+            vec![0.0f32; n * n],
+            vec![0.0f32; n * n],
+        );
         for mat in [0usize, 40] {
             gather_matrix(&lay, &l, mat, &mut lm, n);
             gather_matrix(&lay, &b0, mat, &mut bm, n);

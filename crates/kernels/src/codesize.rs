@@ -280,7 +280,11 @@ mod tests {
 
     #[test]
     fn full_unroll_code_grows_with_n() {
-        let mk = |n, unroll| KernelConfig { n, unroll, ..KernelConfig::baseline(n) };
+        let mk = |n, unroll| KernelConfig {
+            n,
+            unroll,
+            ..KernelConfig::baseline(n)
+        };
         let small = static_instrs(&mk(8, Unroll::Full));
         let big = static_instrs(&mk(32, Unroll::Full));
         assert!(big > 10 * small, "small {small} big {big}");
@@ -292,11 +296,17 @@ mod tests {
 
     #[test]
     fn full_unroll_statics_enable_reuse() {
-        let c = KernelConfig { unroll: Unroll::Full, ..KernelConfig::baseline(16) };
+        let c = KernelConfig {
+            unroll: Unroll::Full,
+            ..KernelConfig::baseline(16)
+        };
         let s = statics(&c);
         assert!(s.dead_store_elim, "tri(16)+24 = 160 fits");
         assert!(s.reg_reuse_capacity > 200);
-        let c = KernelConfig { unroll: Unroll::Full, ..KernelConfig::baseline(24) };
+        let c = KernelConfig {
+            unroll: Unroll::Full,
+            ..KernelConfig::baseline(24)
+        };
         let s = statics(&c);
         assert!(!s.dead_store_elim, "tri(24)+24 = 324 spills");
         assert!(s.regs_per_thread > 255);

@@ -182,7 +182,10 @@ mod tests {
 
     #[test]
     fn launch_covers_padded_batch() {
-        let c = KernelConfig { chunk_size: 128, ..KernelConfig::baseline(5) };
+        let c = KernelConfig {
+            chunk_size: 128,
+            ..KernelConfig::baseline(5)
+        };
         let lc = c.launch(1000);
         assert_eq!(lc.block, 128);
         // 1000 pads to 1024 (chunk 128): 8 blocks.
@@ -194,7 +197,11 @@ mod tests {
     fn launch_covers_interleaved_padding_with_large_blocks() {
         // Non-chunked: layout pads to 32, but blocks are 512 wide — the
         // grid must still cover every matrix.
-        let c = KernelConfig { chunked: false, chunk_size: 512, ..KernelConfig::baseline(4) };
+        let c = KernelConfig {
+            chunked: false,
+            chunk_size: 512,
+            ..KernelConfig::baseline(4)
+        };
         let lc = c.launch(100);
         assert_eq!(lc.block, 512);
         assert_eq!(lc.grid, 1);
@@ -203,15 +210,24 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_chunk() {
-        let c = KernelConfig { chunk_size: 48, ..KernelConfig::baseline(4) };
+        let c = KernelConfig {
+            chunk_size: 48,
+            ..KernelConfig::baseline(4)
+        };
         assert!(c.validate().is_err());
-        let c = KernelConfig { nb: 0, ..KernelConfig::baseline(4) };
+        let c = KernelConfig {
+            nb: 0,
+            ..KernelConfig::baseline(4)
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn nb_clamps_to_n() {
-        let c = KernelConfig { nb: 8, ..KernelConfig::baseline(3) };
+        let c = KernelConfig {
+            nb: 8,
+            ..KernelConfig::baseline(3)
+        };
         assert_eq!(c.nb_eff(), 3);
         assert_eq!(c.num_tile_blocks(), 1);
         assert!(!c.is_ragged());

@@ -55,7 +55,11 @@ pub fn emit_cuda(config: &KernelConfig) -> String {
     let n = config.n;
     let nb = config.nb_eff();
     let chunk = config.chunk_size;
-    let kind = if config.chunked { "chunked" } else { "interleaved" };
+    let kind = if config.chunked {
+        "chunked"
+    } else {
+        "interleaved"
+    };
     writeln!(
         s,
         "// Auto-generated batch Cholesky kernel (IPPS'17 reproduction).\n\
@@ -67,7 +71,11 @@ pub fn emit_cuda(config: &KernelConfig) -> String {
          // 128-byte transaction per warp.",
         config.looking.name(),
         config.unroll.name(),
-        if config.fast_math { "--use_fast_math" } else { "IEEE" },
+        if config.fast_math {
+            "--use_fast_math"
+        } else {
+            "IEEE"
+        },
     )
     .unwrap();
     writeln!(s, "#define N {n}").unwrap();
@@ -196,8 +204,7 @@ fn emit_op_statements(s: &mut String, op: TileOp, regs: OpRegs, at: Option<(usiz
             for col in 0..d {
                 for row in col..d {
                     for p in 0..k {
-                        writeln!(s, "{ind}{c}_{row}{col} -= {a}_{row}{p} * {a}_{col}{p};")
-                            .unwrap();
+                        writeln!(s, "{ind}{c}_{row}{col} -= {a}_{row}{p} * {a}_{col}{p};").unwrap();
                     }
                 }
             }
@@ -209,8 +216,7 @@ fn emit_op_statements(s: &mut String, op: TileOp, regs: OpRegs, at: Option<(usiz
             for col in 0..n {
                 for row in 0..m {
                     for p in 0..k {
-                        writeln!(s, "{ind}{c}_{row}{col} -= {a}_{row}{p} * {b}_{col}{p};")
-                            .unwrap();
+                        writeln!(s, "{ind}{c}_{row}{col} -= {a}_{row}{p} * {b}_{col}{p};").unwrap();
                     }
                 }
             }
@@ -237,7 +243,13 @@ fn emit_decls(s: &mut String, nb: usize) {
         let mut first = true;
         for col in 0..nb {
             for row in 0..nb {
-                write!(s, "{} {}_{row}{col}", if first { "" } else { "," }, reg.name()).unwrap();
+                write!(
+                    s,
+                    "{} {}_{row}{col}",
+                    if first { "" } else { "," },
+                    reg.name()
+                )
+                .unwrap();
                 first = false;
             }
         }
@@ -278,27 +290,71 @@ fn role_walk(config: &KernelConfig) -> Vec<RoleOp> {
         Looking::Right => {
             for kk in 0..nt {
                 let dk = dim(kk);
-                push(TileOp::LoadLower(dk), regs(Reg::A1, Reg::A1, Reg::A1), pos(kk, kk));
+                push(
+                    TileOp::LoadLower(dk),
+                    regs(Reg::A1, Reg::A1, Reg::A1),
+                    pos(kk, kk),
+                );
                 push(TileOp::Potrf(dk), regs(Reg::A1, Reg::A1, Reg::A1), None);
-                push(TileOp::StoreLower(dk), regs(Reg::A1, Reg::A1, Reg::A1), pos(kk, kk));
+                push(
+                    TileOp::StoreLower(dk),
+                    regs(Reg::A1, Reg::A1, Reg::A1),
+                    pos(kk, kk),
+                );
                 for mm in kk + 1..nt {
                     let dm = dim(mm);
-                    push(TileOp::LoadFull(dm, dk), regs(Reg::A2, Reg::A1, Reg::A1), pos(mm, kk));
+                    push(
+                        TileOp::LoadFull(dm, dk),
+                        regs(Reg::A2, Reg::A1, Reg::A1),
+                        pos(mm, kk),
+                    );
                     push(TileOp::Trsm(dm, dk), regs(Reg::A2, Reg::A1, Reg::A1), None);
-                    push(TileOp::StoreFull(dm, dk), regs(Reg::A2, Reg::A1, Reg::A1), pos(mm, kk));
+                    push(
+                        TileOp::StoreFull(dm, dk),
+                        regs(Reg::A2, Reg::A1, Reg::A1),
+                        pos(mm, kk),
+                    );
                 }
                 for nn in kk + 1..nt {
                     let dn = dim(nn);
-                    push(TileOp::LoadFull(dn, dk), regs(Reg::A1, Reg::A1, Reg::A1), pos(nn, kk));
-                    push(TileOp::LoadLower(dn), regs(Reg::A3, Reg::A1, Reg::A1), pos(nn, nn));
+                    push(
+                        TileOp::LoadFull(dn, dk),
+                        regs(Reg::A1, Reg::A1, Reg::A1),
+                        pos(nn, kk),
+                    );
+                    push(
+                        TileOp::LoadLower(dn),
+                        regs(Reg::A3, Reg::A1, Reg::A1),
+                        pos(nn, nn),
+                    );
                     push(TileOp::Syrk(dn, dk), regs(Reg::A3, Reg::A1, Reg::A1), None);
-                    push(TileOp::StoreLower(dn), regs(Reg::A3, Reg::A1, Reg::A1), pos(nn, nn));
+                    push(
+                        TileOp::StoreLower(dn),
+                        regs(Reg::A3, Reg::A1, Reg::A1),
+                        pos(nn, nn),
+                    );
                     for mm in nn + 1..nt {
                         let dm = dim(mm);
-                        push(TileOp::LoadFull(dm, dk), regs(Reg::A2, Reg::A1, Reg::A1), pos(mm, kk));
-                        push(TileOp::LoadFull(dm, dn), regs(Reg::A3, Reg::A1, Reg::A1), pos(mm, nn));
-                        push(TileOp::Gemm(dm, dn, dk), regs(Reg::A3, Reg::A2, Reg::A1), None);
-                        push(TileOp::StoreFull(dm, dn), regs(Reg::A3, Reg::A1, Reg::A1), pos(mm, nn));
+                        push(
+                            TileOp::LoadFull(dm, dk),
+                            regs(Reg::A2, Reg::A1, Reg::A1),
+                            pos(mm, kk),
+                        );
+                        push(
+                            TileOp::LoadFull(dm, dn),
+                            regs(Reg::A3, Reg::A1, Reg::A1),
+                            pos(mm, nn),
+                        );
+                        push(
+                            TileOp::Gemm(dm, dn, dk),
+                            regs(Reg::A3, Reg::A2, Reg::A1),
+                            None,
+                        );
+                        push(
+                            TileOp::StoreFull(dm, dn),
+                            regs(Reg::A3, Reg::A1, Reg::A1),
+                            pos(mm, nn),
+                        );
                     }
                 }
             }
@@ -306,27 +362,67 @@ fn role_walk(config: &KernelConfig) -> Vec<RoleOp> {
         Looking::Left => {
             for kk in 0..nt {
                 let dk = dim(kk);
-                push(TileOp::LoadLower(dk), regs(Reg::A1, Reg::A1, Reg::A1), pos(kk, kk));
+                push(
+                    TileOp::LoadLower(dk),
+                    regs(Reg::A1, Reg::A1, Reg::A1),
+                    pos(kk, kk),
+                );
                 for mm in 0..kk {
                     let dm = dim(mm);
-                    push(TileOp::LoadFull(dk, dm), regs(Reg::A2, Reg::A1, Reg::A1), pos(kk, mm));
+                    push(
+                        TileOp::LoadFull(dk, dm),
+                        regs(Reg::A2, Reg::A1, Reg::A1),
+                        pos(kk, mm),
+                    );
                     push(TileOp::Syrk(dk, dm), regs(Reg::A1, Reg::A2, Reg::A2), None);
                 }
                 push(TileOp::Potrf(dk), regs(Reg::A1, Reg::A1, Reg::A1), None);
-                push(TileOp::StoreLower(dk), regs(Reg::A1, Reg::A1, Reg::A1), pos(kk, kk));
+                push(
+                    TileOp::StoreLower(dk),
+                    regs(Reg::A1, Reg::A1, Reg::A1),
+                    pos(kk, kk),
+                );
                 for ii in kk + 1..nt {
                     let di = dim(ii);
-                    push(TileOp::LoadFull(di, dk), regs(Reg::A3, Reg::A1, Reg::A1), pos(ii, kk));
+                    push(
+                        TileOp::LoadFull(di, dk),
+                        regs(Reg::A3, Reg::A1, Reg::A1),
+                        pos(ii, kk),
+                    );
                     for mm in 0..kk {
                         let dm = dim(mm);
-                        push(TileOp::LoadFull(di, dm), regs(Reg::A2, Reg::A1, Reg::A1), pos(ii, mm));
-                        push(TileOp::LoadFull(dk, dm), regs(Reg::A1, Reg::A1, Reg::A1), pos(kk, mm));
-                        push(TileOp::Gemm(di, dk, dm), regs(Reg::A3, Reg::A2, Reg::A1), None);
+                        push(
+                            TileOp::LoadFull(di, dm),
+                            regs(Reg::A2, Reg::A1, Reg::A1),
+                            pos(ii, mm),
+                        );
+                        push(
+                            TileOp::LoadFull(dk, dm),
+                            regs(Reg::A1, Reg::A1, Reg::A1),
+                            pos(kk, mm),
+                        );
+                        push(
+                            TileOp::Gemm(di, dk, dm),
+                            regs(Reg::A3, Reg::A2, Reg::A1),
+                            None,
+                        );
                     }
-                    push(TileOp::StoreFull(di, dk), regs(Reg::A3, Reg::A1, Reg::A1), pos(ii, kk));
-                    push(TileOp::LoadLower(dk), regs(Reg::A1, Reg::A1, Reg::A1), pos(kk, kk));
+                    push(
+                        TileOp::StoreFull(di, dk),
+                        regs(Reg::A3, Reg::A1, Reg::A1),
+                        pos(ii, kk),
+                    );
+                    push(
+                        TileOp::LoadLower(dk),
+                        regs(Reg::A1, Reg::A1, Reg::A1),
+                        pos(kk, kk),
+                    );
                     push(TileOp::Trsm(di, dk), regs(Reg::A3, Reg::A1, Reg::A1), None);
-                    push(TileOp::StoreFull(di, dk), regs(Reg::A3, Reg::A1, Reg::A1), pos(ii, kk));
+                    push(
+                        TileOp::StoreFull(di, dk),
+                        regs(Reg::A3, Reg::A1, Reg::A1),
+                        pos(ii, kk),
+                    );
                 }
             }
         }
@@ -335,25 +431,61 @@ fn role_walk(config: &KernelConfig) -> Vec<RoleOp> {
                 let dk = dim(kk);
                 for nn in 0..kk {
                     let dn = dim(nn);
-                    push(TileOp::LoadFull(dk, dn), regs(Reg::A3, Reg::A1, Reg::A1), pos(kk, nn));
+                    push(
+                        TileOp::LoadFull(dk, dn),
+                        regs(Reg::A3, Reg::A1, Reg::A1),
+                        pos(kk, nn),
+                    );
                     for mm in 0..nn {
                         let dm = dim(mm);
-                        push(TileOp::LoadFull(dk, dm), regs(Reg::A1, Reg::A1, Reg::A1), pos(kk, mm));
-                        push(TileOp::LoadFull(dn, dm), regs(Reg::A2, Reg::A1, Reg::A1), pos(nn, mm));
-                        push(TileOp::Gemm(dk, dn, dm), regs(Reg::A3, Reg::A1, Reg::A2), None);
+                        push(
+                            TileOp::LoadFull(dk, dm),
+                            regs(Reg::A1, Reg::A1, Reg::A1),
+                            pos(kk, mm),
+                        );
+                        push(
+                            TileOp::LoadFull(dn, dm),
+                            regs(Reg::A2, Reg::A1, Reg::A1),
+                            pos(nn, mm),
+                        );
+                        push(
+                            TileOp::Gemm(dk, dn, dm),
+                            regs(Reg::A3, Reg::A1, Reg::A2),
+                            None,
+                        );
                     }
-                    push(TileOp::LoadLower(dn), regs(Reg::A1, Reg::A1, Reg::A1), pos(nn, nn));
+                    push(
+                        TileOp::LoadLower(dn),
+                        regs(Reg::A1, Reg::A1, Reg::A1),
+                        pos(nn, nn),
+                    );
                     push(TileOp::Trsm(dk, dn), regs(Reg::A3, Reg::A1, Reg::A1), None);
-                    push(TileOp::StoreFull(dk, dn), regs(Reg::A3, Reg::A1, Reg::A1), pos(kk, nn));
+                    push(
+                        TileOp::StoreFull(dk, dn),
+                        regs(Reg::A3, Reg::A1, Reg::A1),
+                        pos(kk, nn),
+                    );
                 }
-                push(TileOp::LoadLower(dk), regs(Reg::A1, Reg::A1, Reg::A1), pos(kk, kk));
+                push(
+                    TileOp::LoadLower(dk),
+                    regs(Reg::A1, Reg::A1, Reg::A1),
+                    pos(kk, kk),
+                );
                 for nn in 0..kk {
                     let dn = dim(nn);
-                    push(TileOp::LoadFull(dk, dn), regs(Reg::A2, Reg::A1, Reg::A1), pos(kk, nn));
+                    push(
+                        TileOp::LoadFull(dk, dn),
+                        regs(Reg::A2, Reg::A1, Reg::A1),
+                        pos(kk, nn),
+                    );
                     push(TileOp::Syrk(dk, dn), regs(Reg::A1, Reg::A2, Reg::A2), None);
                 }
                 push(TileOp::Potrf(dk), regs(Reg::A1, Reg::A1, Reg::A1), None);
-                push(TileOp::StoreLower(dk), regs(Reg::A1, Reg::A1, Reg::A1), pos(kk, kk));
+                push(
+                    TileOp::StoreLower(dk),
+                    regs(Reg::A1, Reg::A1, Reg::A1),
+                    pos(kk, kk),
+                );
             }
         }
     }
@@ -392,15 +524,35 @@ fn emit_partial(s: &mut String, config: &KernelConfig) {
             writeln!(s, "        LOAD_LOWER(kk, kk, rA1); SPOTRF_TILE(rA1);").unwrap();
             writeln!(s, "        STORE_LOWER(kk, kk, rA1);").unwrap();
             writeln!(s, "        for (mm = kk + 1; mm < {nt}; mm++) {{").unwrap();
-            writeln!(s, "            LOAD_FULL(mm, kk, rA2); STRSM_TILE(rA1, rA2);").unwrap();
+            writeln!(
+                s,
+                "            LOAD_FULL(mm, kk, rA2); STRSM_TILE(rA1, rA2);"
+            )
+            .unwrap();
             writeln!(s, "            STORE_FULL(mm, kk, rA2);").unwrap();
             writeln!(s, "        }}").unwrap();
             writeln!(s, "        for (nn = kk + 1; nn < {nt}; nn++) {{").unwrap();
-            writeln!(s, "            LOAD_FULL(nn, kk, rA1); LOAD_LOWER(nn, nn, rA3);").unwrap();
-            writeln!(s, "            SSYRK_TILE(rA1, rA3); STORE_LOWER(nn, nn, rA3);").unwrap();
+            writeln!(
+                s,
+                "            LOAD_FULL(nn, kk, rA1); LOAD_LOWER(nn, nn, rA3);"
+            )
+            .unwrap();
+            writeln!(
+                s,
+                "            SSYRK_TILE(rA1, rA3); STORE_LOWER(nn, nn, rA3);"
+            )
+            .unwrap();
             writeln!(s, "            for (mm = nn + 1; mm < {nt}; mm++) {{").unwrap();
-            writeln!(s, "                LOAD_FULL(mm, kk, rA2); LOAD_FULL(mm, nn, rA3);").unwrap();
-            writeln!(s, "                SGEMM_TILE(rA2, rA1, rA3); STORE_FULL(mm, nn, rA3);").unwrap();
+            writeln!(
+                s,
+                "                LOAD_FULL(mm, kk, rA2); LOAD_FULL(mm, nn, rA3);"
+            )
+            .unwrap();
+            writeln!(
+                s,
+                "                SGEMM_TILE(rA2, rA1, rA3); STORE_FULL(mm, nn, rA3);"
+            )
+            .unwrap();
             writeln!(s, "            }}").unwrap();
             writeln!(s, "        }}").unwrap();
             writeln!(s, "    }}").unwrap();
@@ -409,17 +561,29 @@ fn emit_partial(s: &mut String, config: &KernelConfig) {
             writeln!(s, "    for (kk = 0; kk < {nt}; kk++) {{").unwrap();
             writeln!(s, "        LOAD_LOWER(kk, kk, rA1);").unwrap();
             writeln!(s, "        for (mm = 0; mm < kk; mm++) {{").unwrap();
-            writeln!(s, "            LOAD_FULL(kk, mm, rA2); SSYRK_TILE(rA2, rA1);").unwrap();
+            writeln!(
+                s,
+                "            LOAD_FULL(kk, mm, rA2); SSYRK_TILE(rA2, rA1);"
+            )
+            .unwrap();
             writeln!(s, "        }}").unwrap();
             writeln!(s, "        SPOTRF_TILE(rA1); STORE_LOWER(kk, kk, rA1);").unwrap();
             writeln!(s, "        for (nn = kk + 1; nn < {nt}; nn++) {{").unwrap();
             writeln!(s, "            LOAD_FULL(nn, kk, rA3);").unwrap();
             writeln!(s, "            for (mm = 0; mm < kk; mm++) {{").unwrap();
-            writeln!(s, "                LOAD_FULL(nn, mm, rA2); LOAD_FULL(kk, mm, rA1);").unwrap();
+            writeln!(
+                s,
+                "                LOAD_FULL(nn, mm, rA2); LOAD_FULL(kk, mm, rA1);"
+            )
+            .unwrap();
             writeln!(s, "                SGEMM_TILE(rA2, rA1, rA3);").unwrap();
             writeln!(s, "            }}").unwrap();
             writeln!(s, "            STORE_FULL(nn, kk, rA3);").unwrap();
-            writeln!(s, "            LOAD_LOWER(kk, kk, rA1); STRSM_TILE(rA1, rA3);").unwrap();
+            writeln!(
+                s,
+                "            LOAD_LOWER(kk, kk, rA1); STRSM_TILE(rA1, rA3);"
+            )
+            .unwrap();
             writeln!(s, "            STORE_FULL(nn, kk, rA3);").unwrap();
             writeln!(s, "        }}").unwrap();
             writeln!(s, "    }}").unwrap();
@@ -430,15 +594,27 @@ fn emit_partial(s: &mut String, config: &KernelConfig) {
             writeln!(s, "        for (nn = 0; nn < kk; nn++) {{").unwrap();
             writeln!(s, "            LOAD_FULL(kk, nn, rA3);").unwrap();
             writeln!(s, "            for (mm = 0; mm < nn; mm++) {{").unwrap();
-            writeln!(s, "                LOAD_FULL(kk, mm, rA1); LOAD_FULL(nn, mm, rA2);").unwrap();
+            writeln!(
+                s,
+                "                LOAD_FULL(kk, mm, rA1); LOAD_FULL(nn, mm, rA2);"
+            )
+            .unwrap();
             writeln!(s, "                SGEMM_TILE(rA1, rA2, rA3);").unwrap();
             writeln!(s, "            }}").unwrap();
-            writeln!(s, "            LOAD_LOWER(nn, nn, rA1); STRSM_TILE(rA1, rA3);").unwrap();
+            writeln!(
+                s,
+                "            LOAD_LOWER(nn, nn, rA1); STRSM_TILE(rA1, rA3);"
+            )
+            .unwrap();
             writeln!(s, "            STORE_FULL(kk, nn, rA3);").unwrap();
             writeln!(s, "        }}").unwrap();
             writeln!(s, "        LOAD_LOWER(kk, kk, rA1);").unwrap();
             writeln!(s, "        for (nn = 0; nn < kk; nn++) {{").unwrap();
-            writeln!(s, "            LOAD_FULL(kk, nn, rA2); SSYRK_TILE(rA2, rA1);").unwrap();
+            writeln!(
+                s,
+                "            LOAD_FULL(kk, nn, rA2); SSYRK_TILE(rA2, rA1);"
+            )
+            .unwrap();
             writeln!(s, "        }}").unwrap();
             writeln!(s, "        SPOTRF_TILE(rA1); STORE_LOWER(kk, kk, rA1);").unwrap();
             writeln!(s, "    }}").unwrap();
@@ -501,7 +677,10 @@ mod tests {
 
     #[test]
     fn emitted_source_is_structurally_cuda() {
-        let config = KernelConfig { unroll: Unroll::Full, ..KernelConfig::baseline(8) };
+        let config = KernelConfig {
+            unroll: Unroll::Full,
+            ..KernelConfig::baseline(8)
+        };
         let src = emit_cuda(&config);
         assert!(src.contains("__global__ void spotrf_batch_n8_nb4_top_full"));
         assert!(src.contains("threadIdx.x"));
@@ -525,13 +704,22 @@ mod tests {
             assert!(src.contains("for (kk = 0;"), "{looking:?}");
             assert!(src.contains("SPOTRF_TILE"), "{looking:?}");
             assert!(src.contains("SGEMM_TILE"), "{looking:?}");
-            assert_eq!(src.matches('{').count(), src.matches('}').count(), "{looking:?}");
+            assert_eq!(
+                src.matches('{').count(),
+                src.matches('}').count(),
+                "{looking:?}"
+            );
         }
     }
 
     #[test]
     fn sqrt_count_equals_n_for_full_unroll() {
-        let config = KernelConfig { n: 12, nb: 4, unroll: Unroll::Full, ..KernelConfig::baseline(12) };
+        let config = KernelConfig {
+            n: 12,
+            nb: 4,
+            unroll: Unroll::Full,
+            ..KernelConfig::baseline(12)
+        };
         let src = emit_cuda(&config);
         assert_eq!(src.matches("sqrtf(").count(), 12);
         assert_eq!(src.matches("inv = 1.0f /").count(), 12);
@@ -539,8 +727,14 @@ mod tests {
 
     #[test]
     fn full_unroll_grows_with_n() {
-        let small = emit_cuda(&KernelConfig { unroll: Unroll::Full, ..KernelConfig::baseline(8) });
-        let big = emit_cuda(&KernelConfig { unroll: Unroll::Full, ..KernelConfig::baseline(24) });
+        let small = emit_cuda(&KernelConfig {
+            unroll: Unroll::Full,
+            ..KernelConfig::baseline(8)
+        });
+        let big = emit_cuda(&KernelConfig {
+            unroll: Unroll::Full,
+            ..KernelConfig::baseline(24)
+        });
         assert!(big.len() > 5 * small.len());
     }
 }

@@ -53,7 +53,9 @@ impl InterleavedCholesky {
     }
 
     fn block_dim(&self, b: usize) -> usize {
-        self.config.nb_eff().min(self.config.n - b * self.config.nb_eff())
+        self.config
+            .nb_eff()
+            .min(self.config.n - b * self.config.nb_eff())
     }
 }
 
@@ -172,9 +174,7 @@ mod tests {
     use crate::codesize::{walk, TileOp};
     use ibcf_core::spd::{fill_batch_spd, SpdKind};
     use ibcf_core::verify::batch_reconstruction_error;
-    use ibcf_gpu_sim::{
-        launch_functional, trace_warp, ExecOptions, LaunchConfig,
-    };
+    use ibcf_gpu_sim::{launch_functional, trace_warp, ExecOptions, LaunchConfig};
 
     fn run_config(config: KernelConfig, batch: usize) -> f64 {
         let kernel = InterleavedCholesky::new(config, batch);
@@ -182,7 +182,12 @@ mod tests {
         let mut data = vec![0.0f32; layout.len()];
         fill_batch_spd(&layout, &mut data, SpdKind::Wishart, 1234);
         let orig = data.clone();
-        launch_functional(&kernel, config.launch(batch), &mut data, ExecOptions::default());
+        launch_functional(
+            &kernel,
+            config.launch(batch),
+            &mut data,
+            ExecOptions::default(),
+        );
         batch_reconstruction_error(&layout, &orig, &data)
     }
 
@@ -223,8 +228,12 @@ mod tests {
         // walker: same op count per kind, in order.
         for looking in Looking::ALL {
             for (n, nb) in [(12, 4), (11, 4)] {
-                let config =
-                    KernelConfig { n, nb, looking, ..KernelConfig::baseline(n) };
+                let config = KernelConfig {
+                    n,
+                    nb,
+                    looking,
+                    ..KernelConfig::baseline(n)
+                };
                 let kernel = InterleavedCholesky::new(config, 64);
                 let trace = trace_warp(&kernel, config.launch(64), 0, 0);
                 // Expected element-granular load/store sequence.
@@ -276,10 +285,8 @@ mod tests {
         use ibcf_gpu_sim::coalesce::coalesce;
         use ibcf_layout::{Canonical, Layout};
         let config = KernelConfig::baseline(8);
-        let kernel = InterleavedCholesky::with_layout(
-            config,
-            Layout::Canonical(Canonical::new(8, 256)),
-        );
+        let kernel =
+            InterleavedCholesky::with_layout(config, Layout::Canonical(Canonical::new(8, 256)));
         let trace = trace_warp(&kernel, LaunchConfig::new(8, 32), 0, 0);
         let worst = trace
             .accesses
@@ -292,7 +299,10 @@ mod tests {
 
     #[test]
     fn fast_math_functional_path_still_accurate() {
-        let config = KernelConfig { fast_math: true, ..KernelConfig::baseline(12) };
+        let config = KernelConfig {
+            fast_math: true,
+            ..KernelConfig::baseline(12)
+        };
         let kernel = InterleavedCholesky::new(config, 64);
         let layout = *kernel.layout();
         let mut data = vec![0.0f32; layout.len()];
@@ -311,7 +321,10 @@ mod tests {
     #[test]
     fn nb_one_and_nb_equal_n_both_work() {
         for nb in [1usize, 9] {
-            let config = KernelConfig { nb, ..KernelConfig::baseline(9) };
+            let config = KernelConfig {
+                nb,
+                ..KernelConfig::baseline(9)
+            };
             let err = run_config(config, 64);
             assert!(err < 1e-4, "nb={nb}: err {err}");
         }

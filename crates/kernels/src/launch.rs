@@ -1,12 +1,14 @@
 //! Launch plumbing: run a configuration functionally (real numerics on the
 //! simulator's memory) or through the timing model.
 
-use crate::config::KernelConfig;
+use crate::config::{KernelConfig, Unroll};
 use crate::interleaved::InterleavedCholesky;
 use crate::traditional::TraditionalCholesky;
+use ibcf_core::Looking;
 use ibcf_gpu_sim::{
-    launch_block_functional, launch_functional, time_block_kernel, time_thread_kernel,
-    ExecOptions, GpuSpec, KernelTiming, LaunchConfig, TimingOptions,
+    launch_block_functional, launch_functional, plan_thread_kernel, price, time_block_kernel,
+    ExecOptions, GpuSpec, KernelTiming, LaunchConfig, PlanParams, PricingCtx, TimingOptions,
+    TraceCache, TracePlan,
 };
 use ibcf_layout::{BatchLayout, Layout};
 
@@ -17,12 +19,17 @@ use ibcf_layout::{BatchLayout, Layout};
 pub fn factorize_batch_device(config: &KernelConfig, batch: usize, data: &mut [f32]) -> Layout {
     let kernel = InterleavedCholesky::new(*config, batch);
     let layout = *kernel.layout();
-    assert!(data.len() >= layout.len(), "batch buffer too short for layout");
+    assert!(
+        data.len() >= layout.len(),
+        "batch buffer too short for layout"
+    );
     launch_functional(
         &kernel,
         config.launch(batch),
         data,
-        ExecOptions { fast_math: config.fast_math },
+        ExecOptions {
+            fast_math: config.fast_math,
+        },
     );
     layout
 }
@@ -31,7 +38,10 @@ pub fn factorize_batch_device(config: &KernelConfig, batch: usize, data: &mut [f
 /// (MAGMA-style) block-per-matrix kernel.
 pub fn factorize_batch_traditional(n: usize, batch: usize, data: &mut [f32]) {
     let kernel = TraditionalCholesky::new(n, batch);
-    assert!(data.len() >= kernel.layout().len(), "batch buffer too short");
+    assert!(
+        data.len() >= kernel.layout().len(),
+        "batch buffer too short"
+    );
     launch_block_functional(
         &kernel,
         LaunchConfig::new(kernel.grid(), kernel.block_threads()),
@@ -53,13 +63,96 @@ pub fn factorize_batch_traditional(n: usize, batch: usize, data: &mut [f32]) {
 /// assert!((t.transactions_per_access - 1.0).abs() < 1e-9);
 /// ```
 pub fn time_config(config: &KernelConfig, batch: usize, spec: &GpuSpec) -> KernelTiming {
+    let plan = plan_config(config, batch, PlanParams::from_spec(spec, false));
+    price_config(&plan, config, batch, spec)
+}
+
+/// The structural identity of a configuration's instruction stream: two
+/// configurations with equal keys trace identical warps, so they can share
+/// one [`TracePlan`]. Notably *absent* are `fast_math`, `cache_pref`, and
+/// (for chunked layouts) `chunk_size` and the batch — those only affect
+/// pricing, which is why a sweep-wide cache pays off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Effective tile size (`nb` clamped).
+    pub nb: usize,
+    /// Tile-operation evaluation order.
+    pub looking: Looking,
+    /// Outer-loop unrolling mode.
+    pub unroll: Unroll,
+    /// Chunked vs simple interleaved layout.
+    pub chunked: bool,
+    /// Lane stride of the traced addresses: the chunk size when chunked,
+    /// the padded batch (the only batch-dependent part) otherwise.
+    pub stride: usize,
+    /// Structural GPU parameters the plan was built under.
+    pub params: PlanParams,
+}
+
+impl PlanKey {
+    /// The key of `config` at `batch` under `params`.
+    pub fn of(config: &KernelConfig, batch: usize, params: PlanParams) -> Self {
+        let stride = if config.chunked {
+            config.chunk_size
+        } else {
+            config.layout(batch).padded_batch()
+        };
+        PlanKey {
+            n: config.n,
+            nb: config.nb_eff(),
+            looking: config.looking,
+            unroll: config.unroll,
+            chunked: config.chunked,
+            stride,
+            params,
+        }
+    }
+}
+
+/// Builds the structural [`TracePlan`] of an interleaved configuration:
+/// traces one representative warp and runs the register-reuse and
+/// coalescing passes. The result is shared by every configuration with the
+/// same [`PlanKey`].
+pub fn plan_config(config: &KernelConfig, batch: usize, params: PlanParams) -> TracePlan {
     let kernel = InterleavedCholesky::new(*config, batch);
-    time_thread_kernel(
-        &kernel,
-        config.launch(batch),
-        spec,
-        TimingOptions { fast_math: config.fast_math, ..Default::default() },
+    plan_thread_kernel(&kernel, config.launch(batch), params)
+}
+
+/// Prices a configuration's plan on `spec` at `batch`: the cheap half of
+/// [`time_config`], safe to repeat across pricing-only parameter changes.
+pub fn price_config(
+    plan: &TracePlan,
+    config: &KernelConfig,
+    batch: usize,
+    spec: &GpuSpec,
+) -> KernelTiming {
+    price(
+        plan,
+        &PricingCtx {
+            spec,
+            launch: config.launch(batch),
+            fast_math: config.fast_math,
+        },
     )
+}
+
+/// [`time_config`] through a shared plan cache: the hot path of autotuning
+/// sweeps. Produces bitwise-identical timings to [`time_config`].
+pub fn time_config_cached(
+    config: &KernelConfig,
+    batch: usize,
+    spec: &GpuSpec,
+    cache: &TraceCache<PlanKey>,
+) -> KernelTiming {
+    let params = PlanParams::from_spec(spec, false);
+    let key = PlanKey::of(config, batch, params);
+    let plan = cache.get_or_build(key, || plan_config(config, batch, params));
+    let start = std::time::Instant::now();
+    let timing = price_config(&plan, config, batch, spec);
+    cache.record_price_ns(start.elapsed().as_nanos() as u64);
+    timing
 }
 
 /// Batched POSV: factorizes the batch at the head of `mem` and solves the
@@ -71,14 +164,19 @@ pub fn time_config(config: &KernelConfig, batch: usize, spec: &GpuSpec) -> Kerne
 pub fn posv_batch_device(config: &KernelConfig, batch: usize, mem: &mut [f32]) -> Layout {
     let layout = config.layout(batch);
     let rhs_len = layout.n() * layout.padded_batch();
-    assert!(mem.len() >= layout.len() + rhs_len, "buffer must hold factors + rhs");
+    assert!(
+        mem.len() >= layout.len() + rhs_len,
+        "buffer must hold factors + rhs"
+    );
     factorize_batch_device(config, batch, &mut mem[..layout.len()]);
     // Solve under the same arithmetic mode the factorization used.
     crate::solve_kernel::solve_batch_device_opts(
         &layout,
         mem,
         config.chunk_size,
-        ibcf_gpu_sim::ExecOptions { fast_math: config.fast_math },
+        ibcf_gpu_sim::ExecOptions {
+            fast_math: config.fast_math,
+        },
     );
     layout
 }
@@ -90,7 +188,10 @@ pub fn time_traditional(n: usize, batch: usize, spec: &GpuSpec, fast_math: bool)
         &kernel,
         LaunchConfig::new(kernel.grid(), kernel.block_threads()),
         spec,
-        TimingOptions { fast_math, ..Default::default() },
+        TimingOptions {
+            fast_math,
+            ..Default::default()
+        },
     )
 }
 
@@ -148,7 +249,10 @@ mod tests {
         let spec = GpuSpec::p100();
         let batch = 16384;
         let n = 8;
-        let config = KernelConfig { unroll: Unroll::Full, ..KernelConfig::baseline(n) };
+        let config = KernelConfig {
+            unroll: Unroll::Full,
+            ..KernelConfig::baseline(n)
+        };
         let inter = gflops_of_config(&config, batch, &spec);
         let trad = time_traditional(n, batch, &spec, false)
             .gflops(ibcf_core::flops::cholesky_flops_std(n) * batch as f64);
@@ -162,8 +266,14 @@ mod tests {
     fn fast_math_beats_ieee_at_small_sizes() {
         let spec = GpuSpec::p100();
         let batch = 16384;
-        let ieee = KernelConfig { unroll: Unroll::Full, ..KernelConfig::baseline(12) };
-        let fast = KernelConfig { fast_math: true, ..ieee };
+        let ieee = KernelConfig {
+            unroll: Unroll::Full,
+            ..KernelConfig::baseline(12)
+        };
+        let fast = KernelConfig {
+            fast_math: true,
+            ..ieee
+        };
         let g_ieee = gflops_of_config(&ieee, batch, &spec);
         let g_fast = gflops_of_config(&fast, batch, &spec);
         assert!(g_fast > g_ieee, "fast {g_fast:.0} vs ieee {g_ieee:.0}");
@@ -220,6 +330,9 @@ mod tests {
         let right = times[0].1;
         let left = times[1].1;
         let top = times[2].1;
-        assert!(top <= left && left <= right, "right {right} left {left} top {top}");
+        assert!(
+            top <= left && left <= right,
+            "right {right} left {left} top {top}"
+        );
     }
 }

@@ -11,8 +11,8 @@
 //! packed data every time. `time_pack` quantifies the amortization.
 
 use ibcf_gpu_sim::{
-    launch_functional, time_thread_kernel, ExecOptions, GpuSpec, KernelCtx, KernelStatics,
-    KernelTiming, LaunchConfig, ThreadKernel, TimingOptions,
+    launch_functional, plan_thread_kernel, price, ExecOptions, GpuSpec, KernelCtx, KernelStatics,
+    KernelTiming, LaunchConfig, PlanParams, PricingCtx, ThreadKernel,
 };
 use ibcf_layout::{BatchLayout, Canonical, Layout};
 
@@ -48,8 +48,17 @@ impl PackKernel {
         direction: PackDirection,
     ) -> Self {
         assert_eq!(canonical.n(), interleaved.n(), "layouts disagree on n");
-        assert_eq!(canonical.batch(), interleaved.batch(), "layouts disagree on batch");
-        PackKernel { canonical, interleaved, interleaved_offset, direction }
+        assert_eq!(
+            canonical.batch(),
+            interleaved.batch(),
+            "layouts disagree on batch"
+        );
+        PackKernel {
+            canonical,
+            interleaved,
+            interleaved_offset,
+            direction,
+        }
     }
 
     /// Total buffer length required.
@@ -70,11 +79,14 @@ impl ThreadKernel for PackKernel {
                 match self.direction {
                     PackDirection::Pack => {
                         let v = ctx.ld(self.canonical.addr(mat, row, col));
-                        ctx.st(self.interleaved_offset + self.interleaved.addr(mat, row, col), v);
+                        ctx.st(
+                            self.interleaved_offset + self.interleaved.addr(mat, row, col),
+                            v,
+                        );
                     }
                     PackDirection::Unpack => {
-                        let v = ctx
-                            .ld(self.interleaved_offset + self.interleaved.addr(mat, row, col));
+                        let v =
+                            ctx.ld(self.interleaved_offset + self.interleaved.addr(mat, row, col));
                         ctx.st(self.canonical.addr(mat, row, col), v);
                     }
                 }
@@ -96,20 +108,38 @@ pub fn pack_batch_device(
     interleaved_offset: usize,
     mem: &mut [f32],
 ) {
-    let kernel = PackKernel::new(canonical, interleaved, interleaved_offset, PackDirection::Pack);
+    let kernel = PackKernel::new(
+        canonical,
+        interleaved,
+        interleaved_offset,
+        PackDirection::Pack,
+    );
     assert!(mem.len() >= kernel.required_len(), "buffer too short");
     let block = 64;
     let grid = canonical.batch().div_ceil(block);
-    launch_functional(&kernel, LaunchConfig::new(grid, block), mem, ExecOptions::default());
+    launch_functional(
+        &kernel,
+        LaunchConfig::new(grid, block),
+        mem,
+        ExecOptions::default(),
+    );
 }
 
-/// Times one pack pass on `spec`.
+/// Times one pack pass on `spec`, via the two-phase plan/price pipeline.
 pub fn time_pack(canonical: Canonical, interleaved: Layout, spec: &GpuSpec) -> KernelTiming {
-    let kernel =
-        PackKernel::new(canonical, interleaved, canonical.len(), PackDirection::Pack);
+    let kernel = PackKernel::new(canonical, interleaved, canonical.len(), PackDirection::Pack);
     let block = 64;
     let grid = canonical.batch().div_ceil(block);
-    time_thread_kernel(&kernel, LaunchConfig::new(grid, block), spec, TimingOptions::default())
+    let launch = LaunchConfig::new(grid, block);
+    let plan = plan_thread_kernel(&kernel, launch, PlanParams::from_spec(spec, false));
+    price(
+        &plan,
+        &PricingCtx {
+            spec,
+            launch,
+            fast_math: false,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -158,7 +188,12 @@ mod tests {
         mem[..off].fill(-1.0);
         let kernel = PackKernel::new(canonical, interleaved, off, PackDirection::Unpack);
         let grid = batch.div_ceil(64);
-        launch_functional(&kernel, LaunchConfig::new(grid, 64), &mut mem, ExecOptions::default());
+        launch_functional(
+            &kernel,
+            LaunchConfig::new(grid, 64),
+            &mut mem,
+            ExecOptions::default(),
+        );
         assert_eq!(&mem[..off], &orig[..]);
     }
 
@@ -172,9 +207,15 @@ mod tests {
         let canonical = Canonical::new(n, batch);
         let interleaved = Layout::build(LayoutKind::Chunked, n, batch, 64);
         let t_pack = time_pack(canonical, interleaved, &spec).time_s;
-        let t_factor =
-            time_config(&KernelConfig { fast_math: true, ..KernelConfig::baseline(n) }, batch, &spec)
-                .time_s;
+        let t_factor = time_config(
+            &KernelConfig {
+                fast_math: true,
+                ..KernelConfig::baseline(n)
+            },
+            batch,
+            &spec,
+        )
+        .time_s;
         assert!(
             t_pack < 6.0 * t_factor,
             "pack {t_pack} vs factorization {t_factor}"

@@ -9,8 +9,8 @@
 //! 128-byte transaction.
 
 use ibcf_gpu_sim::{
-    launch_functional, time_thread_kernel, ExecOptions, GpuSpec, KernelCtx, KernelStatics,
-    KernelTiming, LaunchConfig, ThreadKernel, TimingOptions,
+    launch_functional, plan_thread_kernel, price, ExecOptions, GpuSpec, KernelCtx, KernelStatics,
+    KernelTiming, LaunchConfig, PlanParams, PricingCtx, ThreadKernel,
 };
 use ibcf_layout::{BatchLayout, Layout};
 
@@ -118,28 +118,28 @@ pub fn solve_batch_device(layout: &Layout, mem: &mut [f32], block: usize) {
 
 /// [`solve_batch_device`] with explicit arithmetic options, so a pipeline
 /// factored under `--use_fast_math` can solve under the same mode.
-pub fn solve_batch_device_opts(
-    layout: &Layout,
-    mem: &mut [f32],
-    block: usize,
-    opts: ExecOptions,
-) {
+pub fn solve_batch_device_opts(layout: &Layout, mem: &mut [f32], block: usize, opts: ExecOptions) {
     let kernel = InterleavedSolve::new(*layout, layout.len());
     assert!(mem.len() >= kernel.required_len(), "buffer too short");
     let padded = ibcf_layout::align_up(layout.padded_batch(), block);
     launch_functional(&kernel, LaunchConfig::new(padded / block, block), mem, opts);
 }
 
-/// Times the solve kernel on `spec` for a batch of `batch` systems.
+/// Times the solve kernel on `spec` for a batch of `batch` systems, via
+/// the two-phase plan/price pipeline.
 pub fn time_solve(layout: &Layout, batch: usize, spec: &GpuSpec, block: usize) -> KernelTiming {
     let _ = batch;
     let kernel = InterleavedSolve::new(*layout, layout.len());
     let padded = ibcf_layout::align_up(layout.padded_batch(), block);
-    time_thread_kernel(
-        &kernel,
-        LaunchConfig::new(padded / block, block),
-        spec,
-        TimingOptions::default(),
+    let launch = LaunchConfig::new(padded / block, block);
+    let plan = plan_thread_kernel(&kernel, launch, PlanParams::from_spec(spec, false));
+    price(
+        &plan,
+        &PricingCtx {
+            spec,
+            launch,
+            fast_math: false,
+        },
     )
 }
 

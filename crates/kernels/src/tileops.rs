@@ -272,7 +272,12 @@ mod tests {
         fill_batch_spd(&layout, &mut data, SpdKind::Wishart, 3);
         let orig = data.clone();
         let k = TwoTile { layout, nb };
-        launch_functional_seq(&k, LaunchConfig::new(1, 32), &mut data, ExecOptions::default());
+        launch_functional_seq(
+            &k,
+            LaunchConfig::new(1, 32),
+            &mut data,
+            ExecOptions::default(),
+        );
         let err = batch_reconstruction_error(&layout, &orig, &data);
         assert!(err < 1e-5, "reconstruction error {err}");
     }

@@ -24,7 +24,9 @@ impl TraditionalCholesky {
     /// shared-memory-per-block limit).
     pub fn new(n: usize, batch: usize) -> Self {
         assert!(n > 0 && n <= 96, "traditional kernel supports n in 1..=96");
-        TraditionalCholesky { layout: Canonical::new(n, batch) }
+        TraditionalCholesky {
+            layout: Canonical::new(n, batch),
+        }
     }
 
     /// The canonical layout the kernel addresses.
@@ -132,7 +134,9 @@ mod tests {
     use super::*;
     use ibcf_core::spd::{fill_batch_spd, SpdKind};
     use ibcf_core::verify::batch_reconstruction_error;
-    use ibcf_gpu_sim::{launch_block_functional, time_block_kernel, GpuSpec, LaunchConfig, TimingOptions};
+    use ibcf_gpu_sim::{
+        launch_block_functional, time_block_kernel, GpuSpec, LaunchConfig, TimingOptions,
+    };
 
     fn check(n: usize, batch: usize) -> f64 {
         let kernel = TraditionalCholesky::new(n, batch);
@@ -203,6 +207,9 @@ mod tests {
         // At n=8 the kernel runs far below 10% of peak.
         let flops = 16384.0 * 8.0f64.powi(3) / 3.0;
         let gf = t.gflops(flops);
-        assert!(gf < spec.peak_gflops() * 0.1, "traditional n=8: {gf} GFLOP/s");
+        assert!(
+            gf < spec.peak_gflops() * 0.1,
+            "traditional n=8: {gf} GFLOP/s"
+        );
     }
 }

@@ -18,16 +18,22 @@ fn arb_config() -> impl Strategy<Value = KernelConfig> {
         any::<bool>(),
         any::<bool>(),
     )
-        .prop_map(|(n, nb, lk, chunked, chunk_size, full, fast_math, shared)| KernelConfig {
-            n,
-            nb,
-            looking: Looking::ALL[lk],
-            chunked,
-            chunk_size,
-            unroll: if full { Unroll::Full } else { Unroll::Partial },
-            fast_math,
-            cache_pref: if shared { CachePref::Shared } else { CachePref::L1 },
-        })
+        .prop_map(
+            |(n, nb, lk, chunked, chunk_size, full, fast_math, shared)| KernelConfig {
+                n,
+                nb,
+                looking: Looking::ALL[lk],
+                chunked,
+                chunk_size,
+                unroll: if full { Unroll::Full } else { Unroll::Partial },
+                fast_math,
+                cache_pref: if shared {
+                    CachePref::Shared
+                } else {
+                    CachePref::L1
+                },
+            },
+        )
 }
 
 proptest! {

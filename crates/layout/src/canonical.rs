@@ -33,7 +33,12 @@ impl Canonical {
         assert!(n > 0, "matrix dimension must be positive");
         assert!(lda >= n, "leading dimension must be >= n");
         assert!(stride >= lda * n, "matrix stride must cover the matrix");
-        Self { n, lda, batch, stride }
+        Self {
+            n,
+            lda,
+            batch,
+            stride,
+        }
     }
 
     /// Element distance between consecutive matrices.

@@ -56,7 +56,13 @@ impl Chunked {
             "chunk size must be a positive multiple of the warp size"
         );
         let padded = align_up(batch, chunk);
-        Self { n, lda, batch, padded, chunk }
+        Self {
+            n,
+            lda,
+            batch,
+            padded,
+            chunk,
+        }
     }
 
     /// Number of matrices per chunk.

@@ -79,9 +79,16 @@ pub fn transcode_into<T: Copy, A: BatchLayout, B: BatchLayout>(
     dst: &mut [T],
 ) {
     assert_eq!(src_layout.n(), dst_layout.n(), "layouts disagree on n");
-    assert_eq!(src_layout.batch(), dst_layout.batch(), "layouts disagree on batch");
+    assert_eq!(
+        src_layout.batch(),
+        dst_layout.batch(),
+        "layouts disagree on batch"
+    );
     assert!(src.len() >= src_layout.len(), "source buffer too short");
-    assert!(dst.len() >= dst_layout.len(), "destination buffer too short");
+    assert!(
+        dst.len() >= dst_layout.len(),
+        "destination buffer too short"
+    );
     let n = src_layout.n();
     for mat in 0..src_layout.batch() {
         for col in 0..n {

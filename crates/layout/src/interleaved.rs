@@ -42,7 +42,12 @@ impl Interleaved {
         assert!(lda >= n, "leading dimension must be >= n");
         assert!(batch > 0, "batch must be positive");
         let padded = align_up(batch, WARP_SIZE);
-        Self { n, lda, batch, padded }
+        Self {
+            n,
+            lda,
+            batch,
+            padded,
+        }
     }
 }
 

@@ -44,7 +44,12 @@ impl PackedChunked {
             "chunk size must be a positive multiple of the warp size"
         );
         let padded = align_up(batch, chunk);
-        PackedChunked { n, batch, padded, chunk }
+        PackedChunked {
+            n,
+            batch,
+            padded,
+            chunk,
+        }
     }
 
     /// Matrices per chunk.
@@ -118,7 +123,11 @@ pub fn pack_symmetric<T: Copy, L: BatchLayout>(
     dst: &mut [T],
 ) {
     assert_eq!(src_layout.n(), dst_layout.n(), "layouts disagree on n");
-    assert_eq!(src_layout.batch(), dst_layout.batch(), "layouts disagree on batch");
+    assert_eq!(
+        src_layout.batch(),
+        dst_layout.batch(),
+        "layouts disagree on batch"
+    );
     assert!(dst.len() >= dst_layout.len(), "destination too short");
     let n = src_layout.n();
     for mat in 0..src_layout.batch() {
@@ -139,7 +148,11 @@ pub fn unpack_symmetric<T: Copy, L: BatchLayout>(
     dst: &mut [T],
 ) {
     assert_eq!(src_layout.n(), dst_layout.n(), "layouts disagree on n");
-    assert_eq!(src_layout.batch(), dst_layout.batch(), "layouts disagree on batch");
+    assert_eq!(
+        src_layout.batch(),
+        dst_layout.batch(),
+        "layouts disagree on batch"
+    );
     assert!(dst.len() >= dst_layout.len(), "destination too short");
     let n = src_layout.n();
     for mat in 0..src_layout.batch() {

@@ -1,8 +1,6 @@
 //! Property tests for layout address maps and conversions.
 
-use ibcf_layout::{
-    transcode, BatchLayout, Canonical, Chunked, Interleaved, Layout, LayoutKind,
-};
+use ibcf_layout::{transcode, BatchLayout, Canonical, Chunked, Interleaved, Layout, LayoutKind};
 use proptest::prelude::*;
 use std::collections::HashSet;
 

@@ -42,7 +42,11 @@ fn synthetic_ratings(
             for k in 0..rank {
                 dot += u_true[user * rank + k] * v_true[item * rank + k];
             }
-            ratings.push(Rating { user, item, value: dot + 0.05 * (rng.random::<f32>() - 0.5) });
+            ratings.push(Rating {
+                user,
+                item,
+                value: dot + 0.05 * (rng.random::<f32>() - 0.5),
+            });
         }
     }
     (ratings, u_true, v_true)
@@ -70,7 +74,11 @@ fn als_half_step(
         }
     }
     for r in ratings {
-        let (entity, oidx) = if by_user { (r.user, r.item) } else { (r.item, r.user) };
+        let (entity, oidx) = if by_user {
+            (r.user, r.item)
+        } else {
+            (r.item, r.user)
+        };
         let v = &other[oidx * rank..(oidx + 1) * rank];
         for i in 0..rank {
             for j in 0..=i {
@@ -130,7 +138,9 @@ fn main() {
     );
 
     // Random init for V.
-    let mut v: Vec<f32> = (0..items * rank).map(|_| rng.random::<f32>() - 0.5).collect();
+    let mut v: Vec<f32> = (0..items * rank)
+        .map(|_| rng.random::<f32>() - 0.5)
+        .collect();
     let mut u = vec![0.0f32; users * rank];
     for sweep in 1..=8 {
         u = als_half_step(users, rank, lambda, &ratings, &v, true);
@@ -138,6 +148,9 @@ fn main() {
         println!("sweep {sweep}: RMSE {:.4}", rmse(&ratings, &u, &v, rank));
     }
     let final_rmse = rmse(&ratings, &u, &v, rank);
-    assert!(final_rmse < 0.1, "ALS failed to converge: RMSE {final_rmse}");
+    assert!(
+        final_rmse < 0.1,
+        "ALS failed to converge: RMSE {final_rmse}"
+    );
     println!("converged: RMSE {final_rmse:.4}");
 }

@@ -18,7 +18,16 @@ fn main() {
         space.len_per_n()
     );
 
-    let ds = sweep_sizes(&space, &sizes, &spec, &SweepOptions { batch, progress_every: 0, ..Default::default() });
+    let ds = sweep_sizes(
+        &space,
+        &sizes,
+        &spec,
+        &SweepOptions {
+            batch,
+            progress_every: 0,
+            ..Default::default()
+        },
+    );
     let table = BestTable::new(&ds);
 
     println!("\n{:<4} {:>10}  best configuration", "n", "GFLOP/s");
@@ -32,7 +41,10 @@ fn main() {
     for &n in &sizes {
         let base = ibcf::kernels::gflops_of_config(&KernelConfig::baseline(n), batch, &spec);
         let best = table.best(n).unwrap().gflops;
-        println!("  n={n:<3} baseline {base:>7.0} -> tuned {best:>7.0} ({:.2}x)", best / base);
+        println!(
+            "  n={n:<3} baseline {base:>7.0} -> tuned {best:>7.0} ({:.2}x)",
+            best / base
+        );
     }
 
     // Guided search: how close, how much cheaper?

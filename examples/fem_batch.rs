@@ -44,7 +44,9 @@ fn main() {
     let layout = config.layout(batch);
     let mut mats = vec![0.0f32; layout.len()];
     for e in 0..batch {
-        let k: Vec<f32> = (0..nodes - 1).map(|_| 1.0 + rng.random::<f32>() * 9.0).collect();
+        let k: Vec<f32> = (0..nodes - 1)
+            .map(|_| 1.0 + rng.random::<f32>() * 9.0)
+            .collect();
         let a = bar_stiffness(nodes, &k);
         scatter_matrix(&layout, &mut mats, e, &a, n);
     }
@@ -73,7 +75,9 @@ fn main() {
     // Sanity: displacement of an end-loaded bar = sum of segment
     // compliances; check element 0 against the closed form.
     let mut rng_check = StdRng::seed_from_u64(2024);
-    let k0: Vec<f32> = (0..nodes - 1).map(|_| 1.0 + rng_check.random::<f32>() * 9.0).collect();
+    let k0: Vec<f32> = (0..nodes - 1)
+        .map(|_| 1.0 + rng_check.random::<f32>() * 9.0)
+        .collect();
     let expect: f32 = k0.iter().map(|k| 1.0 / k).sum();
     let got = f[vb.addr(0, n - 1)];
     println!("element 0 end displacement: {got:.5} (closed form {expect:.5})");

@@ -28,7 +28,10 @@ fn main() {
 
     let layouts = [
         ("canonical", Layout::Canonical(Canonical::new(n, batch))),
-        ("interleaved", Layout::Interleaved(Interleaved::new(n, batch))),
+        (
+            "interleaved",
+            Layout::Interleaved(Interleaved::new(n, batch)),
+        ),
         ("chunked (64)", Layout::Chunked(Chunked::new(n, batch, 64))),
     ];
     for (name, layout) in layouts {
@@ -48,7 +51,10 @@ fn main() {
     println!("\nfirst warp access of the kernel, lane addresses (elements):");
     for (name, layout) in [
         ("canonical", Layout::Canonical(Canonical::new(n, batch))),
-        ("interleaved", Layout::Interleaved(Interleaved::new(n, batch))),
+        (
+            "interleaved",
+            Layout::Interleaved(Interleaved::new(n, batch)),
+        ),
     ] {
         let kernel = InterleavedCholesky::with_layout(config, layout);
         let trace = trace_warp(&kernel, config.launch(batch), 0, 0);

@@ -57,7 +57,10 @@ fn main() {
     ibcf::kernels::posv_batch_device(&config, batch, &mut mem);
     let dev = mem[layout.len()]; // x_0[0] from the device pipeline
     let host = rhs[vb.addr(0, 0)];
-    assert!((dev - host).abs() < 1e-5, "device POSV {dev} vs host {host}");
+    assert!(
+        (dev - host).abs() < 1e-5,
+        "device POSV {dev} vs host {host}"
+    );
     println!("device POSV agrees with the host solve: x_0[0] = {dev:.6}");
 
     // 6. What would this configuration do on the paper's P100 at the
@@ -74,8 +77,7 @@ fn main() {
     );
 
     // 7. Compare against the traditional (MAGMA-style) baseline.
-    let trad = time_traditional(n, 16384, &spec, false)
-        .gflops(cholesky_flops_std(n) * 16384.0);
+    let trad = time_traditional(n, 16384, &spec, false).gflops(cholesky_flops_std(n) * 16384.0);
     println!(
         "traditional baseline: {trad:.0} GFLOP/s -> interleaved speedup {:.1}x",
         gflops / trad

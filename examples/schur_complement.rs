@@ -16,7 +16,7 @@
 //!
 //! Run with: `cargo run --release --example schur_complement`
 
-use ibcf::kernels::{trsm_batch_device, syrk_batch_device, InterleavedSyrk, InterleavedTrsm};
+use ibcf::kernels::{syrk_batch_device, trsm_batch_device, InterleavedSyrk, InterleavedTrsm};
 use ibcf::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -60,19 +60,33 @@ fn main() {
         }
     }
 
-    println!("eliminating {batch} systems of size {}x{} (block size {n})", 2 * n, 2 * n);
+    println!(
+        "eliminating {batch} systems of size {}x{} (block size {n})",
+        2 * n,
+        2 * n
+    );
 
     // 1. Factor the A blocks in place.
     factorize_batch_device(&config, batch, &mut mem[..region]);
     // 2. X = B · L^-T.
     trsm_batch_device(
-        &InterleavedTrsm { layout: lay, l_offset: 0, b_offset: region, nb: config.nb },
+        &InterleavedTrsm {
+            layout: lay,
+            l_offset: 0,
+            b_offset: region,
+            nb: config.nb,
+        },
         &mut mem,
         config.chunk_size,
     );
     // 3. S = C − X·Xᵀ.
     syrk_batch_device(
-        &InterleavedSyrk { layout: lay, a_offset: region, c_offset: 2 * region, nb: config.nb },
+        &InterleavedSyrk {
+            layout: lay,
+            a_offset: region,
+            c_offset: 2 * region,
+            nb: config.nb,
+        },
         &mut mem,
         config.chunk_size,
     );

@@ -18,7 +18,11 @@ fn sweep_persist_reload_analyze() {
         &space,
         &[8, 16, 32],
         &spec,
-        &SweepOptions { batch: 4096, progress_every: 0, ..Default::default() },
+        &SweepOptions {
+            batch: 4096,
+            progress_every: 0,
+            ..Default::default()
+        },
     );
     assert_eq!(ds.measurements.len(), 3 * space.len_per_n());
 
@@ -46,12 +50,25 @@ fn sweep_persist_reload_analyze() {
     // Model the dataset: the forest must explain most of the variance.
     // The Table-I feature set excludes the arithmetic mode, so (like the
     // paper's analysis) restrict to the IEEE rows.
-    let ieee: Vec<_> = ds2.measurements.iter().filter(|m| !m.config.fast_math).collect();
+    let ieee: Vec<_> = ds2
+        .measurements
+        .iter()
+        .filter(|m| !m.config.fast_math)
+        .collect();
     let rows: Vec<Vec<f64>> = ieee.iter().map(|m| m.features()).collect();
     let targets: Vec<f64> = ieee.iter().map(|m| m.gflops).collect();
-    let names = Measurement::feature_names().iter().map(|s| s.to_string()).collect();
+    let names = Measurement::feature_names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let data = TableData::new(names, rows, targets);
-    let forest = Forest::fit(&data, ForestConfig { num_trees: 50, ..Default::default() });
+    let forest = Forest::fit(
+        &data,
+        ForestConfig {
+            num_trees: 50,
+            ..Default::default()
+        },
+    );
     let preds: Vec<f64> = data.rows.iter().map(|r| forest.predict(r)).collect();
     let score = r2(&preds, &data.targets);
     assert!(score > 0.85, "in-sample R² {score}");
@@ -59,9 +76,7 @@ fn sweep_persist_reload_analyze() {
     // Importance: the constant-by-construction cache feature cannot beat
     // the real knobs.
     let imp = permutation_importance(&forest, &data, 3);
-    let get = |name: &str| {
-        imp.inc_mse[imp.names.iter().position(|x| x == name).unwrap()]
-    };
+    let get = |name: &str| imp.inc_mse[imp.names.iter().position(|x| x == name).unwrap()];
     assert!(get("nb") > get("cache"), "{:?}", imp.ranking());
     assert!(get("chunking") > get("cache"), "{:?}", imp.ranking());
 
@@ -76,7 +91,16 @@ fn guided_search_is_consistent_with_exhaustive() {
     let space = ParamSpace::quick();
     let n = 16;
     let batch = 4096;
-    let ds = sweep_sizes(&space, &[n], &spec, &SweepOptions { batch, progress_every: 0, ..Default::default() });
+    let ds = sweep_sizes(
+        &space,
+        &[n],
+        &spec,
+        &SweepOptions {
+            batch,
+            progress_every: 0,
+            ..Default::default()
+        },
+    );
     // The climber explores one arithmetic mode (the space's first: IEEE);
     // compare against the exhaustive best under the same restriction.
     let best = BestTable::new(&ds)
@@ -84,6 +108,9 @@ fn guided_search_is_consistent_with_exhaustive() {
         .unwrap()
         .gflops;
     let guided = hill_climb(&space, n, batch, &spec, 5, 42);
-    assert!(guided.best.gflops <= best * 1.0000001, "guided exceeded exhaustive grid");
+    assert!(
+        guided.best.gflops <= best * 1.0000001,
+        "guided exceeded exhaustive grid"
+    );
     assert!(guided.best.gflops >= 0.85 * best, "guided too far off");
 }

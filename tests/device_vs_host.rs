@@ -48,7 +48,11 @@ fn every_looking_and_unroll_matches_host() {
 fn every_nb_matches_host_including_ragged() {
     for nb in 1..=8usize {
         for n in [7usize, 16, 23] {
-            let config = KernelConfig { n, nb, ..KernelConfig::baseline(n) };
+            let config = KernelConfig {
+                n,
+                nb,
+                ..KernelConfig::baseline(n)
+            };
             let d = device_vs_host(config, 64);
             assert!(d < 2e-3, "{config}: diff {d}");
         }
@@ -59,8 +63,11 @@ fn every_nb_matches_host_including_ragged() {
 fn every_chunk_size_and_layout_matches_host() {
     for chunk_size in [32usize, 64, 128, 256, 512] {
         for chunked in [false, true] {
-            let config =
-                KernelConfig { chunked, chunk_size, ..KernelConfig::baseline(9) };
+            let config = KernelConfig {
+                chunked,
+                chunk_size,
+                ..KernelConfig::baseline(9)
+            };
             let d = device_vs_host(config, 600);
             assert!(d < 1e-3, "{config}: diff {d}");
         }
@@ -94,8 +101,14 @@ fn results_are_identical_across_layouts() {
     // identical between the simple and chunked interleaved layouts.
     let n = 11;
     let batch = 256;
-    let base = KernelConfig { chunked: false, ..KernelConfig::baseline(n) };
-    let chunked = KernelConfig { chunked: true, ..base };
+    let base = KernelConfig {
+        chunked: false,
+        ..KernelConfig::baseline(n)
+    };
+    let chunked = KernelConfig {
+        chunked: true,
+        ..base
+    };
 
     let gather_all = |config: KernelConfig| -> Vec<f32> {
         let layout = config.layout(batch);

@@ -23,8 +23,9 @@ fn full_on_device_pipeline_pack_factor_solve() {
     let mut mem = vec![0.0f32; rhs_off + n * inter.padded_batch()];
     mem[..canon.len()].copy_from_slice(&canon_data);
     // Identity-fill padding slots so the factor kernel is happy.
-    let eye: Vec<f32> =
-        (0..n * n).map(|i| if i % (n + 1) == 0 { 1.0 } else { 0.0 }).collect();
+    let eye: Vec<f32> = (0..n * n)
+        .map(|i| if i % (n + 1) == 0 { 1.0 } else { 0.0 })
+        .collect();
     pack_batch_device(canon, inter, canon.len(), &mut mem);
     for m in batch..inter.padded_batch() {
         // scatter into the interleaved region
@@ -118,16 +119,31 @@ fn pdp_on_sweep_data_matches_table1_story() {
         &space,
         &[8, 16, 32],
         &spec,
-        &SweepOptions { batch: 4096, ..Default::default() },
+        &SweepOptions {
+            batch: 4096,
+            ..Default::default()
+        },
     );
-    let ieee: Vec<&Measurement> =
-        ds.measurements.iter().filter(|m| !m.config.fast_math).collect();
+    let ieee: Vec<&Measurement> = ds
+        .measurements
+        .iter()
+        .filter(|m| !m.config.fast_math)
+        .collect();
     let data = TableData::new(
-        Measurement::feature_names().iter().map(|s| s.to_string()).collect(),
+        Measurement::feature_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
         ieee.iter().map(|m| m.features()).collect(),
         ieee.iter().map(|m| m.gflops).collect(),
     );
-    let forest = Forest::fit(&data, ForestConfig { num_trees: 40, ..Default::default() });
+    let forest = Forest::fit(
+        &data,
+        ForestConfig {
+            num_trees: 40,
+            ..Default::default()
+        },
+    );
     let chunking = partial_dependence(&forest, &data, 3, None, 400);
     let cache = partial_dependence(&forest, &data, 6, None, 400);
     assert!(
@@ -148,16 +164,33 @@ fn noisy_sweep_still_ranks_chunking_first() {
         &space,
         &[16, 32],
         &spec,
-        &SweepOptions { batch: 8192, noise_sigma: 0.05, noise_seed: 3, ..Default::default() },
+        &SweepOptions {
+            batch: 8192,
+            noise_sigma: 0.05,
+            noise_seed: 3,
+            ..Default::default()
+        },
     );
-    let ieee: Vec<&Measurement> =
-        ds.measurements.iter().filter(|m| !m.config.fast_math).collect();
+    let ieee: Vec<&Measurement> = ds
+        .measurements
+        .iter()
+        .filter(|m| !m.config.fast_math)
+        .collect();
     let data = TableData::new(
-        Measurement::feature_names().iter().map(|s| s.to_string()).collect(),
+        Measurement::feature_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
         ieee.iter().map(|m| m.features()).collect(),
         ieee.iter().map(|m| m.gflops).collect(),
     );
-    let forest = Forest::fit(&data, ForestConfig { num_trees: 60, ..Default::default() });
+    let forest = Forest::fit(
+        &data,
+        ForestConfig {
+            num_trees: 60,
+            ..Default::default()
+        },
+    );
     let imp = permutation_importance(&forest, &data, 5);
     let rank = imp.ranking();
     // Under 5% measurement noise, chunking must stay a top-2 predictor and

@@ -84,7 +84,10 @@ fn packed_timing_moves_less_memory() {
     use ibcf::gpu::{time_thread_kernel, TimingOptions};
     let n = 16;
     let batch = 16384;
-    let config = KernelConfig { nb: 1, ..KernelConfig::baseline(n) };
+    let config = KernelConfig {
+        nb: 1,
+        ..KernelConfig::baseline(n)
+    };
     let spec = GpuSpec::p100();
     // nb = 1 streams every element it touches; packed touches the same
     // lower-triangle elements, so DRAM traffic matches the square layout

@@ -6,24 +6,26 @@ use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = KernelConfig> {
     (
-        2usize..=20,                   // n
-        1usize..=8,                    // nb
-        0usize..3,                     // looking
-        any::<bool>(),                 // chunked
+        2usize..=20,   // n
+        1usize..=8,    // nb
+        0usize..3,     // looking
+        any::<bool>(), // chunked
         prop::sample::select(vec![32usize, 64, 128, 256, 512]),
-        any::<bool>(),                 // full unroll
-        any::<bool>(),                 // fast math
+        any::<bool>(), // full unroll
+        any::<bool>(), // fast math
     )
-        .prop_map(|(n, nb, lk, chunked, chunk_size, full, fast_math)| KernelConfig {
-            n,
-            nb,
-            looking: Looking::ALL[lk],
-            chunked,
-            chunk_size,
-            unroll: if full { Unroll::Full } else { Unroll::Partial },
-            fast_math,
-            cache_pref: CachePref::L1,
-        })
+        .prop_map(
+            |(n, nb, lk, chunked, chunk_size, full, fast_math)| KernelConfig {
+                n,
+                nb,
+                looking: Looking::ALL[lk],
+                chunked,
+                chunk_size,
+                unroll: if full { Unroll::Full } else { Unroll::Partial },
+                fast_math,
+                cache_pref: CachePref::L1,
+            },
+        )
 }
 
 proptest! {

@@ -9,11 +9,21 @@ fn fast_math_never_slower() {
     let spec = GpuSpec::p100();
     for n in [4usize, 12, 24, 48] {
         for unroll in Unroll::ALL {
-            let ieee = KernelConfig { unroll, ..KernelConfig::baseline(n) };
-            let fast = KernelConfig { fast_math: true, ..ieee };
+            let ieee = KernelConfig {
+                unroll,
+                ..KernelConfig::baseline(n)
+            };
+            let fast = KernelConfig {
+                fast_math: true,
+                ..ieee
+            };
             let ti = time_config(&ieee, 16384, &spec).time_s;
             let tf = time_config(&fast, 16384, &spec).time_s;
-            assert!(tf <= ti * 1.0000001, "n={n} {}: fast {tf} > ieee {ti}", unroll.name());
+            assert!(
+                tf <= ti * 1.0000001,
+                "n={n} {}: fast {tf} > ieee {ti}",
+                unroll.name()
+            );
         }
     }
 }
@@ -44,12 +54,19 @@ fn interleaved_is_perfectly_coalesced_canonical_is_not() {
     );
     use ibcf::gpu::{time_thread_kernel, TimingOptions};
     use ibcf::kernels::InterleavedCholesky;
-    let canon = InterleavedCholesky::with_layout(
-        config,
-        Layout::Canonical(Canonical::new(n, batch)),
+    let canon =
+        InterleavedCholesky::with_layout(config, Layout::Canonical(Canonical::new(n, batch)));
+    let t = time_thread_kernel(
+        &canon,
+        config.launch(batch),
+        &spec,
+        TimingOptions::default(),
     );
-    let t = time_thread_kernel(&canon, config.launch(batch), &spec, TimingOptions::default());
-    assert!(t.transactions_per_access > 8.0, "canonical txn/access {}", t.transactions_per_access);
+    assert!(
+        t.transactions_per_access > 8.0,
+        "canonical txn/access {}",
+        t.transactions_per_access
+    );
     assert!(t.time_s > inter.time_s, "canonical must be slower");
 }
 
@@ -70,8 +87,11 @@ fn gflops_below_hardware_peak() {
     let spec = GpuSpec::p100();
     for n in [4usize, 16, 32, 64] {
         for unroll in Unroll::ALL {
-            let config =
-                KernelConfig { fast_math: true, unroll, ..KernelConfig::baseline(n) };
+            let config = KernelConfig {
+                fast_math: true,
+                unroll,
+                ..KernelConfig::baseline(n)
+            };
             let g = gflops_of_config(&config, 16384, &spec);
             assert!(g > 0.0 && g < spec.peak_gflops(), "n={n}: {g}");
         }
@@ -80,7 +100,10 @@ fn gflops_below_hardware_peak() {
 
 #[test]
 fn v100_is_faster_than_p100_on_memory_bound_kernels() {
-    let config = KernelConfig { fast_math: true, ..KernelConfig::baseline(16) };
+    let config = KernelConfig {
+        fast_math: true,
+        ..KernelConfig::baseline(16)
+    };
     let p = time_config(&config, 16384, &GpuSpec::p100()).time_s;
     let v = time_config(&config, 16384, &GpuSpec::v100()).time_s;
     assert!(v < p, "V100 {v} should beat P100 {p}");
@@ -90,8 +113,14 @@ fn v100_is_faster_than_p100_on_memory_bound_kernels() {
 fn register_pressure_reduces_occupancy() {
     let spec = GpuSpec::p100();
     // Full unroll at n=20 needs ~234 registers; partial needs ~72.
-    let heavy = KernelConfig { unroll: Unroll::Full, ..KernelConfig::baseline(20) };
-    let light = KernelConfig { unroll: Unroll::Partial, ..KernelConfig::baseline(20) };
+    let heavy = KernelConfig {
+        unroll: Unroll::Full,
+        ..KernelConfig::baseline(20)
+    };
+    let light = KernelConfig {
+        unroll: Unroll::Partial,
+        ..KernelConfig::baseline(20)
+    };
     let oh = time_config(&heavy, 16384, &spec).occupancy;
     let ol = time_config(&light, 16384, &spec).occupancy;
     assert!(oh.occupancy < ol.occupancy, "heavy {oh:?} vs light {ol:?}");
@@ -100,10 +129,16 @@ fn register_pressure_reduces_occupancy() {
 #[test]
 fn full_unroll_past_register_capacity_spills() {
     let spec = GpuSpec::p100();
-    let over = KernelConfig { unroll: Unroll::Full, ..KernelConfig::baseline(32) };
+    let over = KernelConfig {
+        unroll: Unroll::Full,
+        ..KernelConfig::baseline(32)
+    };
     let t = time_config(&over, 16384, &spec);
     assert!(t.spill_bytes > 0, "tri(32)+24 = 552 regs must spill");
-    let under = KernelConfig { unroll: Unroll::Full, ..KernelConfig::baseline(16) };
+    let under = KernelConfig {
+        unroll: Unroll::Full,
+        ..KernelConfig::baseline(16)
+    };
     let t = time_config(&under, 16384, &spec);
     assert_eq!(t.spill_bytes, 0, "tri(16)+24 = 160 regs fits");
 }
@@ -113,7 +148,10 @@ fn full_unroll_within_capacity_moves_compulsory_traffic_only() {
     let spec = GpuSpec::p100();
     let batch = 16384usize;
     let n = 16;
-    let config = KernelConfig { unroll: Unroll::Full, ..KernelConfig::baseline(n) };
+    let config = KernelConfig {
+        unroll: Unroll::Full,
+        ..KernelConfig::baseline(n)
+    };
     let t = time_config(&config, batch, &spec);
     // Compulsory: read + write the lower triangle once per matrix.
     let compulsory = (2 * (n * (n + 1) / 2) * 4 * batch) as u64;

@@ -92,7 +92,9 @@ fn non_spd_matrices_are_reported_not_silently_wrong() {
     let mut data = vec![0.0f32; layout.len()];
     fill_batch_spd(&layout, &mut data, SpdKind::Wishart, 1);
     // Corrupt two matrices.
-    let bad: Vec<f32> = (0..n * n).map(|i| if i % (n + 1) == 0 { -5.0 } else { 0.1 }).collect();
+    let bad: Vec<f32> = (0..n * n)
+        .map(|i| if i % (n + 1) == 0 { -5.0 } else { 0.1 })
+        .collect();
     scatter_matrix(&layout, &mut data, 10, &bad, n);
     scatter_matrix(&layout, &mut data, 20, &bad, n);
     let report = factorize_batch(&layout, &mut data);

@@ -1,0 +1,320 @@
+//! Offline shim of `rayon`: indexed parallel iterators over ranges and
+//! slices with `map`/`filter_map`/`for_each`/`collect`.
+//!
+//! Work is split into one contiguous chunk per worker thread
+//! (`std::thread::scope`), which preserves item order on `collect` without
+//! any reordering step. On a single-CPU host (or for a single item) the
+//! drive degenerates to an inline loop with zero thread overhead.
+
+use std::num::NonZeroUsize;
+
+/// Worker count: `available_parallelism`, or 1 if unknown.
+fn workers() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// An indexed source of optional items. `produce(i)` runs on worker
+/// threads; `None` means the item was filtered out (order of survivors is
+/// still the index order).
+pub trait ParallelIterator: Sized + Sync {
+    /// Item type after all adapters.
+    type Item: Send;
+
+    /// Number of underlying indices.
+    fn len(&self) -> usize;
+
+    /// Whether the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produces item `i`, or `None` if an adapter filtered it out.
+    fn produce(&self, i: usize) -> Option<Self::Item>;
+
+    /// Maps every item through `f` in parallel.
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+
+    /// Maps and filters in one pass.
+    fn filter_map<R: Send, F: Fn(Self::Item) -> Option<R> + Sync>(
+        self,
+        f: F,
+    ) -> FilterMap<Self, F> {
+        FilterMap { base: self, f }
+    }
+
+    /// Runs `f` on every item in parallel.
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        drive(&self, &|_, item| f(item));
+    }
+
+    /// Collects the surviving items, in index order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+}
+
+/// Collection types a parallel iterator can gather into.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Gathers `iter`'s items in index order.
+    fn from_par_iter<P: ParallelIterator<Item = T>>(iter: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(iter: P) -> Self {
+        let mut chunks = drive(&iter, &|_, item| item);
+        if chunks.len() == 1 {
+            return chunks.pop().unwrap();
+        }
+        let mut out = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+        for c in chunks {
+            out.extend(c);
+        }
+        out
+    }
+}
+
+/// Runs `sink` over every produced item, one contiguous index chunk per
+/// worker; returns the per-chunk sink outputs in chunk (= index) order.
+fn drive<P: ParallelIterator, R, F>(iter: &P, sink: &F) -> Vec<Vec<R>>
+where
+    R: Send,
+    F: Fn(usize, P::Item) -> R + Sync,
+{
+    let len = iter.len();
+    let nt = workers().min(len.max(1));
+    if nt <= 1 {
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len {
+            if let Some(item) = iter.produce(i) {
+                out.push(sink(i, item));
+            }
+        }
+        return vec![out];
+    }
+    let chunk = len.div_ceil(nt);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..nt)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(len);
+                scope.spawn(move || {
+                    let mut out = Vec::with_capacity(hi - lo);
+                    for i in lo..hi {
+                        if let Some(item) = iter.produce(i) {
+                            out.push(sink(i, item));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon shim worker panicked"))
+            .collect()
+    })
+}
+
+/// `map` adapter.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn produce(&self, i: usize) -> Option<R> {
+        self.base.produce(i).map(&self.f)
+    }
+}
+
+/// `filter_map` adapter.
+pub struct FilterMap<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, R, F> ParallelIterator for FilterMap<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> Option<R> + Sync,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn produce(&self, i: usize) -> Option<R> {
+        self.base.produce(i).and_then(&self.f)
+    }
+}
+
+/// Sources that can become parallel iterators by value.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Sources whose references can be iterated in parallel.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Parallel iterator over references.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangeIter<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! impl_range_source {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Item = $t;
+            type Iter = RangeIter<$t>;
+            fn into_par_iter(self) -> RangeIter<$t> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                RangeIter { start: self.start, len }
+            }
+        }
+
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+
+            fn len(&self) -> usize {
+                self.len
+            }
+
+            fn produce(&self, i: usize) -> Option<$t> {
+                Some(self.start + i as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_source!(u32, u64, usize);
+
+/// Parallel iterator over slice references.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync + 'a> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn produce(&self, i: usize) -> Option<&'a T> {
+        Some(&self.slice[i])
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// The traits, like `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_map_keeps_index_order() {
+        let v: Vec<usize> = (0..100usize)
+            .into_par_iter()
+            .filter_map(|i| (i % 3 == 0).then_some(i))
+            .collect();
+        assert_eq!(v, (0..100).filter(|i| i % 3 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_visits_every_item() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let sum = AtomicUsize::new(0);
+        (0..100u64).into_par_iter().for_each(|i| {
+            sum.fetch_add(i as usize, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn slice_par_iter_references() {
+        let data = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+}

@@ -1,0 +1,544 @@
+//! Offline shim of `serde`: serialization through an in-memory JSON value
+//! tree.
+//!
+//! Real serde abstracts over wire formats with visitor machinery; the only
+//! format this workspace uses is JSON lines, so the shim collapses the
+//! design to two one-method traits — [`Serialize::to_value`] and
+//! [`Deserialize::from_value`] — over a single [`Value`] tree. The derive
+//! macros (feature `derive`, crate `serde_derive`) generate the same JSON
+//! shapes real serde would: structs as objects, unit enum variants as
+//! strings, newtype/struct variants as single-key objects.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (only produced for negative numbers).
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+/// The shared null used when indexing misses.
+pub const NULL: Value = Value::Null;
+
+impl Value {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(u) => Some(u),
+            Value::I64(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(i) => Some(i),
+            Value::U64(u) => i64::try_from(u).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(f) => Some(f),
+            Value::I64(i) => Some(i as f64),
+            Value::U64(u) => Some(u as f64),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Object member by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Object member by key, or [`Value::Null`] when absent — the lookup
+    /// the derive macros use so `Option` fields tolerate missing keys.
+    pub fn field(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+
+    /// One-word description of the value's kind, for error messages.
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.field(key)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Serialization or deserialization failure.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error with the given message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+
+    fn mismatch(expected: &str, got: &Value) -> Self {
+        Error::custom(format!("expected {expected}, got {}", got.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Types that can render themselves as a [`Value`].
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses `v` into `Self`.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let u = v.as_u64().ok_or_else(|| Error::mismatch("unsigned integer", v))?;
+                <$t>::try_from(u).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 { Value::U64(i as u64) } else { Value::I64(i) }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let i = v.as_i64().ok_or_else(|| Error::mismatch("integer", v))?;
+                <$t>::try_from(i).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::mismatch("number", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.as_f64().ok_or_else(|| Error::mismatch("number", v))? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::mismatch("bool", v))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::mismatch("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(Deserialize::from_value).collect(),
+            _ => Err(Error::mismatch("array", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+/// Map keys, serialized as JSON object keys (strings), like real
+/// `serde_json`.
+pub trait JsonKey: Ord + Sized {
+    /// The string form of the key.
+    fn to_key(&self) -> String;
+    /// Parses the string form back.
+    fn from_key(s: &str) -> Result<Self, Error>;
+}
+
+impl JsonKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+
+    fn from_key(s: &str) -> Result<Self, Error> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! impl_int_key {
+    ($($t:ty),*) => {$(
+        impl JsonKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+
+            fn from_key(s: &str) -> Result<Self, Error> {
+                s.parse().map_err(|_| Error::custom(format!("invalid integer key {s:?}")))
+            }
+        }
+    )*};
+}
+
+impl_int_key!(u32, u64, usize, i32, i64, isize);
+
+impl<K: JsonKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: JsonKey, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            _ => Err(Error::mismatch("object", v)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) => Ok(($($name::from_value(
+                        items.get($idx).unwrap_or(&NULL))?,)+)),
+                    _ => Err(Error::mismatch("array", v)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+}
+
+/// Renders `value` as compact JSON text into `out`.
+pub fn write_json(out: &mut String, value: &Value) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(i) => out.push_str(&i.to_string()),
+        Value::U64(u) => out.push_str(&u.to_string()),
+        Value::F64(f) => {
+            if f.is_finite() {
+                let s = f.to_string();
+                out.push_str(&s);
+                // Keep the number a JSON *number* that reloads as f64.
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_json_string(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            out.push('{');
+            for (i, (k, v)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_string(out, k);
+                out.push(':');
+                write_json(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        write_json(&mut s, self);
+        f.write_str(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(usize::from_value(&42usize.to_value()).unwrap(), 42);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(i64::from_value(&(-3i64).to_value()).unwrap(), -3);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn f64_accepts_integer_values() {
+        assert_eq!(f64::from_value(&Value::U64(7)).unwrap(), 7.0);
+        assert_eq!(f64::from_value(&Value::I64(-7)).unwrap(), -7.0);
+    }
+
+    #[test]
+    fn display_is_json() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::U64(1)),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+            ("c".into(), Value::F64(2.0)),
+        ]);
+        assert_eq!(v.to_string(), r#"{"a":1,"b":[true,null],"c":2.0}"#);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = Value::Str("a\"b\\c\nd".into());
+        assert_eq!(v.to_string(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn btreemap_uses_string_keys() {
+        let mut m = BTreeMap::new();
+        m.insert(8usize, 1.0f64);
+        m.insert(16usize, 2.0f64);
+        let v = m.to_value();
+        assert_eq!(v["8"].as_f64(), Some(1.0));
+        let back: BTreeMap<usize, f64> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn index_missing_is_null() {
+        let v = Value::Object(vec![]);
+        assert!(matches!(v["nope"], Value::Null));
+        assert_eq!(v["nope"].as_str(), None);
+    }
+}

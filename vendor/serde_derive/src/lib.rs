@@ -1,0 +1,343 @@
+//! Offline shim of `serde_derive`: hand-rolled `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` over the vendored value-tree traits, with no
+//! `syn`/`quote` dependency.
+//!
+//! The token-level parser handles exactly the shapes this workspace
+//! derives on: structs with named fields, enums with unit variants,
+//! tuple variants, and struct variants. Generics and tuple structs are
+//! rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+enum Parsed {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, VariantKind)>,
+    },
+}
+
+/// Skips `#[...]` attribute pairs starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a `pub` / `pub(...)` visibility starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Field names of a named-field body `{ a: T, b: U }`, tracking
+/// angle-bracket depth so commas inside `BTreeMap<K, V>` don't split.
+fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs(body, i);
+        i = skip_vis(body, i);
+        if i >= body.len() {
+            break;
+        }
+        let name = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected field name, got {other}"),
+        };
+        i += 1;
+        match &body[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive shim: expected ':' after field {name}, got {other}"),
+        }
+        // Skip the type: consume until a top-level comma.
+        let mut angle = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn parse_variants(body: &[TokenTree]) -> Vec<(String, VariantKind)> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs(body, i);
+        if i >= body.len() {
+            break;
+        }
+        let name = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected variant name, got {other}"),
+        };
+        i += 1;
+        let kind = match body.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut arity = if inner.is_empty() { 0 } else { 1 };
+                let mut angle = 0i32;
+                for t in &inner {
+                    match t {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => arity += 1,
+                        _ => {}
+                    }
+                }
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                VariantKind::Struct(parse_named_fields(&inner))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant and the separating comma.
+        while i < body.len() {
+            if let TokenTree::Punct(p) = &body[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push((name, kind));
+    }
+    variants
+}
+
+fn parse(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kw = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic types are not supported (on {name})");
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            g.stream().into_iter().collect::<Vec<_>>()
+        }
+        _ => {
+            panic!("serde_derive shim: {name} must have a braced body (tuple structs unsupported)")
+        }
+    };
+    match kw.as_str() {
+        "struct" => Parsed::Struct {
+            name,
+            fields: parse_named_fields(&body),
+        },
+        "enum" => Parsed::Enum {
+            name,
+            variants: parse_variants(&body),
+        },
+        other => panic!("serde_derive shim: cannot derive for {other}"),
+    }
+}
+
+/// Derives `serde::Serialize` (the vendored value-tree trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse(input) {
+        Parsed::Struct { name, fields } => {
+            let mut pairs = String::new();
+            for f in &fields {
+                pairs.push_str(&format!(
+                    "({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})),"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{pairs}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Parsed::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (v, kind) in &variants {
+                match kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "Self::{v} => ::serde::Value::Str({v:?}.to_string()),"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "Self::{v}(f0) => ::serde::Value::Object(vec![({v:?}.to_string(), \
+                         ::serde::Serialize::to_value(f0))]),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "Self::{v}({}) => ::serde::Value::Object(vec![({v:?}.to_string(), \
+                             ::serde::Value::Array(vec![{}]))]),",
+                            binders.join(","),
+                            items.join(",")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binders = fields.join(",");
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "Self::{v} {{ {binders} }} => ::serde::Value::Object(vec![\
+                             ({v:?}.to_string(), ::serde::Value::Object(vec![{}]))]),",
+                            items.join(",")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde_derive shim: generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (the vendored value-tree trait).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse(input) {
+        Parsed::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(v.field({f:?}))?,"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Object(_) => Ok(Self {{ {inits} }}),\n\
+                             _ => Err(::serde::Error::custom(concat!(\"expected object for \", stringify!({name})))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Parsed::Enum { name, variants } => {
+            let mut str_arms = String::new();
+            let mut obj_arms = String::new();
+            for (v, kind) in &variants {
+                match kind {
+                    VariantKind::Unit => {
+                        str_arms.push_str(&format!("{v:?} => Ok(Self::{v}),"));
+                    }
+                    VariantKind::Tuple(1) => {
+                        obj_arms.push_str(&format!(
+                            "{v:?} => Ok(Self::{v}(::serde::Deserialize::from_value(inner)?)),"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&inner[{k}])?"))
+                            .collect();
+                        obj_arms.push_str(&format!("{v:?} => Ok(Self::{v}({})),", items.join(",")));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(inner.field({f:?}))?"
+                                )
+                            })
+                            .collect();
+                        obj_arms.push_str(&format!(
+                            "{v:?} => Ok(Self::{v} {{ {} }}),",
+                            inits.join(",")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {str_arms}\n\
+                                 other => Err(::serde::Error::custom(format!(\"unknown variant {{other:?}} of {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                                 let (key, inner) = &pairs[0];\n\
+                                 let _ = inner;\n\
+                                 match key.as_str() {{\n\
+                                     {obj_arms}\n\
+                                     other => Err(::serde::Error::custom(format!(\"unknown variant {{other:?}} of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => Err(::serde::Error::custom(concat!(\"expected variant of \", stringify!({name})))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde_derive shim: generated invalid Deserialize impl")
+}
