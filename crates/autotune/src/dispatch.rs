@@ -184,6 +184,44 @@ mod tests {
     }
 
     #[test]
+    fn extrapolation_below_the_smallest_swept_size_stays_valid() {
+        use ibcf_core::spd::{fill_batch_spd, SpdKind};
+        use ibcf_core::verify::batch_reconstruction_error;
+        use ibcf_kernels::factorize_batch_device;
+        // Force a winner with nb = 8 at the smallest swept size, so a
+        // retarget to n = 2 exercises the nb > n clamp.
+        let mut d = TunedDispatch::default();
+        d.table.insert(
+            8,
+            ibcf_kernels::KernelConfig {
+                nb: 8,
+                ..ibcf_kernels::KernelConfig::baseline(8)
+            },
+        );
+        for n in [1usize, 2, 3, 5, 7] {
+            let config = d.config_for(n).unwrap();
+            assert_eq!(config.n, n);
+            assert_eq!(config.nb, 8, "retarget keeps the winner's nb");
+            assert!(config.nb_eff() <= n, "nb_eff must clamp to n");
+            config.validate().unwrap_or_else(|e| panic!("n={n}: {e}"));
+            // The retargeted config must still factorize correctly.
+            let batch = 64;
+            let layout = config.layout(batch);
+            let mut data = vec![0.0f32; ibcf_layout::BatchLayout::len(&layout)];
+            fill_batch_spd(&layout, &mut data, SpdKind::Wishart, 5);
+            let orig = data.clone();
+            factorize_batch_device(&config, batch, &mut data);
+            let err = batch_reconstruction_error(&layout, &orig, &data);
+            assert!(err < 1e-4, "n={n} via {config}: {err}");
+        }
+        // Same below-the-table path on a real swept dispatch.
+        let (_, d) = dispatch();
+        let c2 = d.config_for(2).unwrap();
+        assert_eq!(c2.n, 2);
+        c2.validate().unwrap();
+    }
+
+    #[test]
     fn save_load_round_trip() {
         let (_, d) = dispatch();
         let dir = std::env::temp_dir().join("ibcf_dispatch");

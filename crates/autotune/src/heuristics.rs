@@ -11,7 +11,7 @@ use ibcf_gpu_sim::{GpuSpec, TraceCache};
 use ibcf_kernels::{KernelConfig, PlanKey};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use std::collections::HashSet;
+use std::collections::HashMap;
 
 /// Result of a guided search.
 #[derive(Debug, Clone)]
@@ -82,16 +82,24 @@ pub fn hill_climb(
     seed: u64,
 ) -> SearchResult {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut seen: HashSet<String> = HashSet::new();
+    // Memoized evaluations: a configuration is measured (and counted)
+    // at most once, so random restarts that re-pick an already-visited
+    // start reuse its measurement instead of inflating `evaluations` —
+    // the count the guided-vs-exhaustive comparison rests on.
+    let mut seen: HashMap<String, Measurement> = HashMap::new();
     let mut evals = 0usize;
     // Online tuning revisits structural neighbors constantly (fast_math
     // and chunk-size moves keep the instruction stream); a local plan
     // cache makes those evaluations price-only.
     let cache: TraceCache<PlanKey> = TraceCache::default();
-    let eval = |c: &KernelConfig, seen: &mut HashSet<String>, evals: &mut usize| {
-        seen.insert(key(c));
+    let eval = |c: &KernelConfig, seen: &mut HashMap<String, Measurement>, evals: &mut usize| {
+        if let Some(m) = seen.get(&key(c)) {
+            return m.clone();
+        }
         *evals += 1;
-        measure_cached(c, batch, spec, &cache)
+        let m = measure_cached(c, batch, spec, &cache);
+        seen.insert(key(c), m.clone());
+        m
     };
 
     let pick = |rng: &mut StdRng, space: &ParamSpace| KernelConfig {
@@ -111,7 +119,7 @@ pub fn hill_climb(
         loop {
             let mut improved = false;
             for nb in neighbors(space, &cur.config) {
-                if seen.contains(&key(&nb)) {
+                if seen.contains_key(&key(&nb)) {
                     continue;
                 }
                 let m = eval(&nb, &mut seen, &mut evals);
@@ -173,6 +181,28 @@ mod tests {
             "guided search used {} >= grid {}",
             result.evaluations,
             space.len_per_n()
+        );
+    }
+
+    #[test]
+    fn eval_count_is_bounded_by_distinct_configs() {
+        // With 200 restarts over the (fast_math, cache_pref)-restricted
+        // quick space (144 configurations), starts *must* repeat; honest
+        // accounting keeps `evaluations` at or below the distinct count.
+        // The pre-fix code counted every restart pick, so 200 restarts
+        // alone would exceed the restricted grid.
+        let space = ParamSpace::quick();
+        let spec = GpuSpec::p100();
+        let restricted = space.nb.len()
+            * space.looking.len()
+            * space.chunked.len()
+            * space.chunk_size.len()
+            * space.unroll.len();
+        let result = hill_climb(&space, 16, 1024, &spec, 200, 3);
+        assert!(
+            result.evaluations <= restricted,
+            "evaluations {} exceed the {restricted} distinct configurations",
+            result.evaluations
         );
     }
 

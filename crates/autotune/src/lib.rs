@@ -11,15 +11,21 @@
 pub mod best;
 pub mod dispatch;
 pub mod heuristics;
+pub mod log;
 pub mod record;
 pub mod runner;
 pub mod space;
 
 pub use best::BestTable;
 pub use dispatch::TunedDispatch;
+pub use log::{
+    grid_configs, merge_logs, MergeReport, ShardSpec, SweepLog, SweepLogEntry, SweepLogHeader,
+    SweepLogWriter,
+};
 pub use record::{Dataset, Measurement};
 pub use runner::{
     measure, measure_cached, measure_noisy, measure_noisy_cached, sweep, sweep_sizes,
-    sweep_sizes_with, ProgressSink, SilentProgress, StderrProgress, SweepOptions, SweepReport,
+    sweep_sizes_logged, sweep_sizes_with, LoggedSweepReport, ProgressSink, SilentProgress,
+    StderrProgress, SweepOptions, SweepReport,
 };
 pub use space::ParamSpace;

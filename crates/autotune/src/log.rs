@@ -1,0 +1,711 @@
+//! Crash-safe, shardable sweep logs.
+//!
+//! The paper's exhaustive sweep is >14,000 runs per GPU; at that scale a
+//! sweep must survive interruption and be splittable across processes.
+//! A [`SweepLog`] is an append-only file the runner streams completed
+//! [`Measurement`]s into, one fsync'd line at a time, so a killed sweep
+//! loses at most the line being written when the process died.
+//!
+//! ## File format
+//!
+//! Every line is self-validating: 8 lowercase hex digits of the CRC-32
+//! (IEEE) of the JSON payload, one space, then the payload.
+//!
+//! ```text
+//! c0ffee12 {"format":"ibcf-sweep-log","version":1,"gpu":...,"total":576,...}
+//! 1a2b3c4d {"seq":0,"m":{...measurement...}}
+//! 5e6f7a8b {"seq":3,"m":{...measurement...}}
+//! ```
+//!
+//! The first line is a [`SweepLogHeader`]: everything needed to reproduce
+//! the sweep (GPU, batch, sizes, the full [`ParamSpace`], noise
+//! parameters, shard assignment, grid total). Each following line is one
+//! measurement tagged with `seq`, the configuration's index in the
+//! canonical grid enumeration (sizes outer, [`ParamSpace::configs`]
+//! inner) — so a log can be reassembled into the canonical dataset order
+//! no matter what order the parallel workers finished in.
+//!
+//! ## Recovery semantics
+//!
+//! A crash can tear at most the final line (appends are single `write`
+//! calls followed by `fdatasync`). Reading with `recover = true` drops a
+//! corrupt *final* line and reports it; a corrupt line anywhere else —
+//! or a bad header, a checksum mismatch, a `seq` out of range, an entry
+//! whose configuration disagrees with the header's grid — is always a
+//! hard [`InvalidData`](std::io::ErrorKind::InvalidData) error, never a
+//! silent default.
+//!
+//! ## Sharding
+//!
+//! A [`ShardSpec`] `i/k` deterministically owns every grid index
+//! `seq % k == i` (round-robin, so shards are load-balanced across sizes).
+//! [`merge_logs`] reassembles shard logs into one canonical [`Dataset`],
+//! detecting duplicates (identical re-measurements are deduplicated) and
+//! conflicts (same `seq`, different measurement — a hard error).
+
+use crate::record::{Dataset, Measurement};
+use crate::space::ParamSpace;
+use ibcf_kernels::KernelConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+
+/// The `format` tag every sweep-log header carries.
+pub const LOG_FORMAT: &str = "ibcf-sweep-log";
+
+/// Current log format version.
+pub const LOG_VERSION: u32 = 1;
+
+fn invalid(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), bitwise — log lines are
+/// short and rare enough that a table is not worth carrying.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Frames a JSON payload as a self-validating log line (no newline).
+fn encode_line(json: &str) -> String {
+    format!("{:08x} {json}", crc32(json.as_bytes()))
+}
+
+/// Unframes a log line, verifying its checksum.
+fn decode_line(line: &str) -> Result<&str, String> {
+    let (crc_hex, json) = line
+        .split_once(' ')
+        .ok_or_else(|| "missing checksum field".to_string())?;
+    if crc_hex.len() != 8 {
+        return Err(format!(
+            "checksum field has {} chars, want 8",
+            crc_hex.len()
+        ));
+    }
+    let want =
+        u32::from_str_radix(crc_hex, 16).map_err(|_| format!("bad checksum hex {crc_hex:?}"))?;
+    let got = crc32(json.as_bytes());
+    if want != got {
+        return Err(format!(
+            "checksum mismatch (stored {crc_hex}, computed {got:08x})"
+        ));
+    }
+    Ok(json)
+}
+
+/// The canonical configuration grid of a sweep: sizes outer,
+/// [`ParamSpace::configs`] inner. Index into this vector is the `seq`
+/// every log entry carries, and the order of the final dataset.
+pub fn grid_configs(space: &ParamSpace, sizes: &[usize]) -> Vec<KernelConfig> {
+    let mut all = Vec::with_capacity(sizes.len() * space.len_per_n());
+    for &n in sizes {
+        all.extend(space.configs(n));
+    }
+    all
+}
+
+/// A deterministic partition of the sweep grid: shard `index` of `count`
+/// owns every configuration whose grid index is `index (mod count)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// This shard's index, `0 <= index < count`.
+    pub index: usize,
+    /// Total number of shards.
+    pub count: usize,
+}
+
+impl ShardSpec {
+    /// The trivial single-shard partition (an unsharded sweep).
+    pub fn whole() -> Self {
+        ShardSpec { index: 0, count: 1 }
+    }
+
+    /// A validated shard spec.
+    pub fn new(index: usize, count: usize) -> Result<Self, String> {
+        if count == 0 {
+            return Err("shard count must be positive".into());
+        }
+        if index >= count {
+            return Err(format!(
+                "shard index {index} out of range for {count} shards"
+            ));
+        }
+        Ok(ShardSpec { index, count })
+    }
+
+    /// Parses `"i/k"` (e.g. `--shard 2/8`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (i, k) = s
+            .split_once('/')
+            .ok_or_else(|| format!("shard must be i/k (e.g. 0/4), got {s:?}"))?;
+        let index = i
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad shard index {i:?}"))?;
+        let count = k
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad shard count {k:?}"))?;
+        ShardSpec::new(index, count)
+    }
+
+    /// `true` if this shard owns grid index `seq`.
+    pub fn owns(&self, seq: usize) -> bool {
+        seq % self.count == self.index
+    }
+
+    /// Number of grid indices in `0..total` this shard owns.
+    pub fn owned_of(&self, total: usize) -> usize {
+        (total + self.count - 1).saturating_sub(self.index) / self.count
+    }
+}
+
+impl std::fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// The first line of a sweep log: everything needed to reproduce (and
+/// therefore resume) the sweep it records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepLogHeader {
+    /// Always [`LOG_FORMAT`].
+    pub format: String,
+    /// Log format version ([`LOG_VERSION`]).
+    pub version: u32,
+    /// GPU spec name the model used.
+    pub gpu: String,
+    /// Batch size of every launch.
+    pub batch: usize,
+    /// Matrix dimensions swept, in sweep order.
+    pub sizes: Vec<usize>,
+    /// The full parameter space, so the grid can be re-enumerated.
+    pub space: ParamSpace,
+    /// Measurement-noise sigma (resume must reproduce the noise).
+    pub noise_sigma: f64,
+    /// Measurement-noise seed.
+    pub noise_seed: u64,
+    /// Which slice of the grid this log covers.
+    pub shard: ShardSpec,
+    /// Total grid size across all shards (`sizes.len() * len_per_n`).
+    pub total: usize,
+}
+
+impl SweepLogHeader {
+    /// Structural validity: known format and version, consistent total.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.format != LOG_FORMAT {
+            return Err(format!("not a sweep log (format {:?})", self.format));
+        }
+        if self.version != LOG_VERSION {
+            return Err(format!(
+                "unsupported sweep-log version {} (this build reads {LOG_VERSION})",
+                self.version
+            ));
+        }
+        if self.shard.count == 0 || self.shard.index >= self.shard.count {
+            return Err(format!("invalid shard {}", self.shard));
+        }
+        if self.total != self.sizes.len() * self.space.len_per_n() {
+            return Err(format!(
+                "header total {} disagrees with grid ({} sizes x {})",
+                self.total,
+                self.sizes.len(),
+                self.space.len_per_n()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Checks that two logs describe the *same sweep* (shard assignment
+    /// aside): merging or resuming across incompatible headers is an
+    /// error, not a best-effort guess.
+    pub fn compatible_with(&self, other: &SweepLogHeader) -> Result<(), String> {
+        if self.version != other.version {
+            return Err(format!("version {} vs {}", self.version, other.version));
+        }
+        if self.gpu != other.gpu {
+            return Err(format!("gpu {:?} vs {:?}", self.gpu, other.gpu));
+        }
+        if self.batch != other.batch {
+            return Err(format!("batch {} vs {}", self.batch, other.batch));
+        }
+        if self.sizes != other.sizes {
+            return Err(format!("sizes {:?} vs {:?}", self.sizes, other.sizes));
+        }
+        if self.space != other.space {
+            return Err("parameter spaces differ".into());
+        }
+        if self.noise_sigma != other.noise_sigma || self.noise_seed != other.noise_seed {
+            return Err("noise models differ".into());
+        }
+        if self.total != other.total {
+            return Err(format!("grid total {} vs {}", self.total, other.total));
+        }
+        Ok(())
+    }
+}
+
+/// One log line: a measurement tagged with its canonical grid index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepLogEntry {
+    /// Index into [`grid_configs`] of the header's space and sizes.
+    pub seq: usize,
+    /// The measurement.
+    pub m: Measurement,
+}
+
+/// A parsed sweep log: header, validated entries, recovery notes.
+#[derive(Debug, Clone)]
+pub struct SweepLog {
+    /// The sweep description.
+    pub header: SweepLogHeader,
+    /// Validated entries, in file order (not grid order).
+    pub entries: Vec<SweepLogEntry>,
+    /// `Some(reason)` if a torn final line was dropped during recovery.
+    pub dropped_tail: Option<String>,
+    /// Identical re-measurements that were deduplicated while reading.
+    pub duplicates: usize,
+    /// Byte length of the validated prefix of the file. Equal to the file
+    /// size unless a torn tail was dropped — appenders must truncate the
+    /// file to this length first, or the next read sees a line glued to
+    /// the torn fragment.
+    pub valid_len: u64,
+}
+
+impl SweepLog {
+    /// Reads and validates a sweep log.
+    ///
+    /// With `recover = true`, a corrupt **final** line (the signature of
+    /// a crash mid-append) is dropped and reported via `dropped_tail`;
+    /// with `recover = false` it is an error. Corruption anywhere else is
+    /// always an error.
+    pub fn read(path: &Path, recover: bool) -> std::io::Result<SweepLog> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| std::io::Error::new(e.kind(), format!("{}: {e}", path.display())))?;
+        // Keep byte offsets so recovery can report (and appenders can
+        // truncate away) exactly the torn suffix.
+        let mut raw: Vec<(u64, &str)> = Vec::new();
+        let mut offset = 0u64;
+        for piece in text.split_inclusive('\n') {
+            raw.push((offset, piece.trim_end_matches(['\n', '\r'])));
+            offset += piece.len() as u64;
+        }
+        let at = |msg: String| invalid(format!("{}: {msg}", path.display()));
+        if raw.is_empty() {
+            return Err(at("empty sweep log".into()));
+        }
+        let header_json = decode_line(raw[0].1).map_err(|e| at(format!("bad header line: {e}")))?;
+        let header: SweepLogHeader =
+            serde_json::from_str(header_json).map_err(|e| at(format!("bad header: {e}")))?;
+        header.validate().map_err(&at)?;
+        let grid = grid_configs(&header.space, &header.sizes);
+        let mut entries: Vec<SweepLogEntry> = Vec::new();
+        let mut by_seq: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut dropped_tail = None;
+        let mut valid_len = text.len() as u64;
+        let mut duplicates = 0usize;
+        for (i, &(start, line)) in raw.iter().enumerate().skip(1) {
+            let lineno = i + 1;
+            let last = i == raw.len() - 1;
+            let parsed = decode_line(line).and_then(|json| {
+                serde_json::from_str::<SweepLogEntry>(json).map_err(|e| e.to_string())
+            });
+            let e = match parsed {
+                Ok(e) => e,
+                Err(msg) if recover && last => {
+                    dropped_tail = Some(format!("dropped torn final line {lineno}: {msg}"));
+                    valid_len = start;
+                    break;
+                }
+                Err(msg) => return Err(at(format!("corrupt line {lineno}: {msg}"))),
+            };
+            if e.seq >= header.total {
+                return Err(at(format!(
+                    "line {lineno}: seq {} out of range (grid total {})",
+                    e.seq, header.total
+                )));
+            }
+            if !header.shard.owns(e.seq) {
+                return Err(at(format!(
+                    "line {lineno}: seq {} does not belong to shard {}",
+                    e.seq, header.shard
+                )));
+            }
+            if e.m.config != grid[e.seq] {
+                return Err(at(format!(
+                    "line {lineno}: configuration {} disagrees with grid seq {} ({})",
+                    e.m.config, e.seq, grid[e.seq]
+                )));
+            }
+            if e.m.batch != header.batch {
+                return Err(at(format!(
+                    "line {lineno}: batch {} disagrees with header batch {}",
+                    e.m.batch, header.batch
+                )));
+            }
+            if let Some(&j) = by_seq.get(&e.seq) {
+                if entries[j].m == e.m {
+                    duplicates += 1;
+                    continue;
+                }
+                return Err(at(format!(
+                    "line {lineno}: conflicting re-measurement of seq {}",
+                    e.seq
+                )));
+            }
+            by_seq.insert(e.seq, entries.len());
+            entries.push(e);
+        }
+        Ok(SweepLog {
+            header,
+            entries,
+            dropped_tail,
+            duplicates,
+            valid_len,
+        })
+    }
+
+    /// Number of grid indices this log's shard is responsible for.
+    pub fn owned_total(&self) -> usize {
+        self.header.shard.owned_of(self.header.total)
+    }
+
+    /// `true` once every owned configuration has a measurement.
+    pub fn is_complete(&self) -> bool {
+        self.entries.len() == self.owned_total()
+    }
+
+    /// The log's measurements as a [`Dataset`] in canonical grid order.
+    pub fn dataset(&self) -> Dataset {
+        let mut es: Vec<&SweepLogEntry> = self.entries.iter().collect();
+        es.sort_by_key(|e| e.seq);
+        Dataset {
+            gpu: self.header.gpu.clone(),
+            batch: self.header.batch,
+            measurements: es.into_iter().map(|e| e.m.clone()).collect(),
+        }
+    }
+}
+
+/// Appends self-validating lines to a sweep log, optionally fsync'ing
+/// every line (`durable = true`, the crash-safe default).
+#[derive(Debug)]
+pub struct SweepLogWriter {
+    file: std::fs::File,
+    durable: bool,
+}
+
+impl SweepLogWriter {
+    /// Creates a fresh log at `path`, writing (and syncing) the header.
+    pub fn create(path: &Path, header: &SweepLogHeader, durable: bool) -> std::io::Result<Self> {
+        header.validate().map_err(invalid)?;
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)?;
+        let mut w = SweepLogWriter { file, durable };
+        let json = serde_json::to_string(header)?;
+        w.write_line(&json)?;
+        Ok(w)
+    }
+
+    /// Opens an existing log for appending (the resume path). The caller
+    /// is expected to have validated the log via [`SweepLog::read`].
+    pub fn open_append(path: &Path, durable: bool) -> std::io::Result<Self> {
+        let file = std::fs::OpenOptions::new().append(true).open(path)?;
+        Ok(SweepLogWriter { file, durable })
+    }
+
+    /// Appends one measurement. The framed line is written with a single
+    /// `write` call and then fsync'd, so a crash tears at most this line —
+    /// which recovery drops.
+    pub fn append(&mut self, seq: usize, m: &Measurement) -> std::io::Result<()> {
+        let json = serde_json::to_string(&SweepLogEntry { seq, m: m.clone() })?;
+        self.write_line(&json)
+    }
+
+    fn write_line(&mut self, json: &str) -> std::io::Result<()> {
+        let mut line = encode_line(json);
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        if self.durable {
+            self.file.sync_data()?;
+        }
+        Ok(())
+    }
+}
+
+/// What [`merge_logs`] did.
+#[derive(Debug, Clone, Copy)]
+pub struct MergeReport {
+    /// Number of shard logs merged.
+    pub shards: usize,
+    /// Distinct configurations covered.
+    pub measured: usize,
+    /// Grid total the headers agree on.
+    pub total: usize,
+    /// Identical duplicate measurements that were deduplicated.
+    pub duplicates: usize,
+}
+
+/// Merges shard logs into one canonical [`Dataset`].
+///
+/// All headers must describe the same sweep (GPU, batch, sizes, space,
+/// noise — shard assignment may differ). Identical duplicate
+/// measurements are deduplicated; a `seq` measured twice with different
+/// results is a conflict and a hard error. Unless `allow_partial`, the
+/// union must cover the full grid.
+pub fn merge_logs(
+    paths: &[std::path::PathBuf],
+    allow_partial: bool,
+) -> std::io::Result<(Dataset, MergeReport)> {
+    if paths.is_empty() {
+        return Err(invalid("merge: no logs given"));
+    }
+    let mut merged: BTreeMap<usize, Measurement> = BTreeMap::new();
+    let mut first: Option<SweepLogHeader> = None;
+    let mut duplicates = 0usize;
+    for p in paths {
+        let log = SweepLog::read(p, true)?;
+        match &first {
+            Some(f) => f
+                .compatible_with(&log.header)
+                .map_err(|e| invalid(format!("{}: incompatible shard log: {e}", p.display())))?,
+            None => first = Some(log.header.clone()),
+        }
+        duplicates += log.duplicates;
+        for e in log.entries {
+            match merged.get(&e.seq) {
+                Some(have) if *have == e.m => duplicates += 1,
+                Some(_) => {
+                    return Err(invalid(format!(
+                        "{}: conflicting measurements for grid seq {}",
+                        p.display(),
+                        e.seq
+                    )))
+                }
+                None => {
+                    merged.insert(e.seq, e.m);
+                }
+            }
+        }
+    }
+    let header = first.expect("at least one log");
+    let measured = merged.len();
+    if measured < header.total && !allow_partial {
+        return Err(invalid(format!(
+            "merged logs cover {measured}/{} configurations ({} missing); \
+             add the missing shard logs, or allow a partial merge (--partial)",
+            header.total,
+            header.total - measured
+        )));
+    }
+    let dataset = Dataset {
+        gpu: header.gpu.clone(),
+        batch: header.batch,
+        measurements: merged.into_values().collect(),
+    };
+    Ok((
+        dataset,
+        MergeReport {
+            shards: paths.len(),
+            measured,
+            total: header.total,
+            duplicates,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{measure, SweepOptions};
+    use ibcf_gpu_sim::GpuSpec;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("ibcf_log_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn header(sizes: &[usize]) -> SweepLogHeader {
+        let space = ParamSpace::quick();
+        let total = sizes.len() * space.len_per_n();
+        SweepLogHeader {
+            format: LOG_FORMAT.into(),
+            version: LOG_VERSION,
+            gpu: GpuSpec::p100().name,
+            batch: 512,
+            sizes: sizes.to_vec(),
+            space,
+            noise_sigma: 0.0,
+            noise_seed: 0,
+            shard: ShardSpec::whole(),
+            total,
+        }
+    }
+
+    #[test]
+    fn crc_frame_round_trips_and_rejects_flips() {
+        let json = r#"{"seq":7,"m":"x"}"#;
+        let line = encode_line(json);
+        assert_eq!(decode_line(&line).unwrap(), json);
+        let mut bad = line.clone();
+        bad.replace_range(9..10, "X");
+        assert!(decode_line(&bad).unwrap_err().contains("mismatch"));
+        assert!(decode_line("zz").unwrap_err().contains("checksum"));
+    }
+
+    #[test]
+    fn shard_spec_parses_and_partitions() {
+        let s = ShardSpec::parse("2/5").unwrap();
+        assert_eq!((s.index, s.count), (2, 5));
+        assert_eq!(s.to_string(), "2/5");
+        assert!(ShardSpec::parse("5/5").is_err());
+        assert!(ShardSpec::parse("1of4").is_err());
+        assert!(ShardSpec::parse("0/0").is_err());
+        // Every index owned by exactly one shard; owned_of counts agree.
+        let total = 97;
+        let shards: Vec<ShardSpec> = (0..5).map(|i| ShardSpec::new(i, 5).unwrap()).collect();
+        let mut owned = 0;
+        for s in &shards {
+            let mine = (0..total).filter(|&q| s.owns(q)).count();
+            assert_eq!(mine, s.owned_of(total), "{s}");
+            owned += mine;
+        }
+        assert_eq!(owned, total);
+        for q in 0..total {
+            assert_eq!(shards.iter().filter(|s| s.owns(q)).count(), 1);
+        }
+    }
+
+    #[test]
+    fn write_read_round_trip_in_canonical_order() {
+        let dir = tmpdir("roundtrip");
+        let p = dir.join("a.log");
+        std::fs::remove_file(&p).ok();
+        let h = header(&[8]);
+        let grid = grid_configs(&h.space, &h.sizes);
+        let spec = GpuSpec::p100();
+        let opts = SweepOptions::default();
+        let mut w = SweepLogWriter::create(&p, &h, true).unwrap();
+        // Append out of order; the dataset must come back in grid order.
+        for &s in &[5usize, 0, 3] {
+            w.append(s, &measure(&grid[s], opts.batch.min(512), &spec))
+                .unwrap();
+        }
+        let log = SweepLog::read(&p, false).unwrap();
+        assert_eq!(log.entries.len(), 3);
+        assert!(log.dropped_tail.is_none());
+        assert!(!log.is_complete());
+        let ds = log.dataset();
+        assert_eq!(ds.measurements[0].config, grid[0]);
+        assert_eq!(ds.measurements[1].config, grid[3]);
+        assert_eq!(ds.measurements[2].config, grid[5]);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn torn_tail_recovers_but_mid_file_corruption_is_fatal() {
+        let dir = tmpdir("torn");
+        let p = dir.join("b.log");
+        std::fs::remove_file(&p).ok();
+        let h = header(&[8]);
+        let grid = grid_configs(&h.space, &h.sizes);
+        let spec = GpuSpec::p100();
+        let mut w = SweepLogWriter::create(&p, &h, true).unwrap();
+        for s in 0..3 {
+            w.append(s, &measure(&grid[s], h.batch, &spec)).unwrap();
+        }
+        drop(w);
+        // Simulate a crash mid-append: a torn final line.
+        let text = std::fs::read_to_string(&p).unwrap();
+        std::fs::write(&p, format!("{text}deadbeef {{\"seq\":3")).unwrap();
+        assert!(SweepLog::read(&p, false).is_err());
+        let log = SweepLog::read(&p, true).unwrap();
+        assert_eq!(log.entries.len(), 3);
+        assert!(log.dropped_tail.is_some());
+        // Corruption before the end is fatal even in recovery mode.
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        lines[2] = lines[2].replace(|c: char| c.is_ascii_digit(), "9");
+        std::fs::write(&p, lines.join("\n")).unwrap();
+        let err = SweepLog::read(&p, true).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn grid_mismatch_and_foreign_shard_entries_are_rejected() {
+        let dir = tmpdir("grid");
+        let p = dir.join("c.log");
+        std::fs::remove_file(&p).ok();
+        let h = header(&[8]);
+        let grid = grid_configs(&h.space, &h.sizes);
+        let spec = GpuSpec::p100();
+        let mut w = SweepLogWriter::create(&p, &h, true).unwrap();
+        // Entry whose config belongs to a different seq.
+        w.append(1, &measure(&grid[0], h.batch, &spec)).unwrap();
+        drop(w);
+        let err = SweepLog::read(&p, true).unwrap_err().to_string();
+        assert!(err.contains("disagrees with grid"), "{err}");
+        // Entry outside the shard's slice.
+        std::fs::remove_file(&p).ok();
+        let mut h2 = header(&[8]);
+        h2.shard = ShardSpec::new(0, 2).unwrap();
+        let mut w = SweepLogWriter::create(&p, &h2, true).unwrap();
+        w.append(1, &measure(&grid[1], h2.batch, &spec)).unwrap();
+        drop(w);
+        let err = SweepLog::read(&p, true).unwrap_err().to_string();
+        assert!(err.contains("does not belong to shard"), "{err}");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn duplicates_dedupe_but_conflicts_are_fatal() {
+        let dir = tmpdir("dup");
+        let p = dir.join("d.log");
+        std::fs::remove_file(&p).ok();
+        let h = header(&[8]);
+        let grid = grid_configs(&h.space, &h.sizes);
+        let spec = GpuSpec::p100();
+        let m = measure(&grid[0], h.batch, &spec);
+        let mut w = SweepLogWriter::create(&p, &h, true).unwrap();
+        w.append(0, &m).unwrap();
+        w.append(0, &m).unwrap();
+        drop(w);
+        let log = SweepLog::read(&p, false).unwrap();
+        assert_eq!(log.entries.len(), 1);
+        assert_eq!(log.duplicates, 1);
+        // Same seq, different numbers: conflict.
+        let mut w = SweepLogWriter::open_append(&p, true).unwrap();
+        let mut m2 = m.clone();
+        m2.gflops += 1.0;
+        w.append(0, &m2).unwrap();
+        drop(w);
+        let err = SweepLog::read(&p, false).unwrap_err().to_string();
+        assert!(err.contains("conflicting"), "{err}");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn create_refuses_to_clobber() {
+        let dir = tmpdir("clobber");
+        let p = dir.join("e.log");
+        std::fs::remove_file(&p).ok();
+        let h = header(&[8]);
+        SweepLogWriter::create(&p, &h, false).unwrap();
+        assert!(SweepLogWriter::create(&p, &h, false).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+}

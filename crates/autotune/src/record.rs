@@ -8,7 +8,10 @@ use std::io::{BufRead, Write};
 use std::path::Path;
 
 /// One autotuning measurement: a configuration and its modeled performance.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// Equality is bitwise — the model is deterministic, so re-measuring a
+/// configuration must reproduce the measurement exactly (the sweep log's
+/// duplicate/conflict detection relies on this).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Measurement {
     /// The configuration measured.
     pub config: KernelConfig,
@@ -101,16 +104,29 @@ impl Dataset {
         Ok(())
     }
 
-    /// Reads a dataset written by [`Dataset::save_jsonl`].
+    /// Reads a dataset written by [`Dataset::save_jsonl`]. A missing or
+    /// malformed header is an [`InvalidData`](std::io::ErrorKind::InvalidData)
+    /// error — a truncated or corrupt file must never load as a
+    /// plausible-looking dataset.
     pub fn load_jsonl(path: &Path) -> std::io::Result<Self> {
+        let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
         let f = std::io::BufReader::new(std::fs::File::open(path)?);
         let mut lines = f.lines();
-        let header: serde_json::Value =
-            serde_json::from_str(&lines.next().ok_or_else(|| {
-                std::io::Error::new(std::io::ErrorKind::InvalidData, "empty dataset")
-            })??)?;
-        let gpu = header["gpu"].as_str().unwrap_or("unknown").to_string();
-        let batch = header["batch"].as_u64().unwrap_or(0) as usize;
+        let header: serde_json::Value = serde_json::from_str(
+            &lines
+                .next()
+                .ok_or_else(|| invalid("empty dataset".into()))??,
+        )?;
+        let gpu = header
+            .get("gpu")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| invalid(r#"dataset header missing string field "gpu""#.into()))?
+            .to_string();
+        let batch = header
+            .get("batch")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| invalid(r#"dataset header missing integer field "batch""#.into()))?
+            as usize;
         let mut measurements = Vec::new();
         for line in lines {
             let line = line?;
@@ -193,6 +209,31 @@ mod tests {
         assert_eq!(back.measurements.len(), 2);
         assert_eq!(back.measurements[1].config.n, 16);
         assert_eq!(back.sizes(), vec![8, 16]);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn corrupt_or_truncated_headers_are_invalid_data() {
+        let dir = std::env::temp_dir().join("ibcf_test_ds");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("bad_header.jsonl");
+        // A measurement line where the header should be: no gpu/batch.
+        let m = serde_json::to_string(&sample(8, 50.0)).unwrap();
+        for bad in [
+            "".to_string(),
+            "{}".to_string(),
+            r#"{"gpu":"t"}"#.to_string(),
+            r#"{"gpu":7,"batch":8}"#.to_string(),
+            r#"{"gpu":"t","batch":"many"}"#.to_string(),
+            m,
+        ] {
+            std::fs::write(&p, format!("{bad}\n")).unwrap();
+            let err = Dataset::load_jsonl(&p).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{bad:?}");
+        }
+        // Garbage (a truncated header) fails the JSON parse outright.
+        std::fs::write(&p, "{\"gpu\":\"t\",\"ba\n").unwrap();
+        assert!(Dataset::load_jsonl(&p).is_err());
         std::fs::remove_file(&p).ok();
     }
 

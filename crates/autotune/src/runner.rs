@@ -1,12 +1,17 @@
 //! The exhaustive sweep runner.
 
+use crate::log::{grid_configs, ShardSpec, SweepLog, SweepLogHeader, SweepLogWriter};
+use crate::log::{LOG_FORMAT, LOG_VERSION};
 use crate::record::{Dataset, Measurement};
 use crate::space::ParamSpace;
 use ibcf_core::flops::cholesky_flops_std;
 use ibcf_gpu_sim::{CacheStats, GpuSpec, TraceCache};
-use ibcf_kernels::{time_config, time_config_cached, KernelConfig, PlanKey};
+use ibcf_kernels::{time_config, time_config_cached, CachePref, KernelConfig, PlanKey, Unroll};
 use rayon::prelude::*;
+use std::collections::BTreeMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Sweep options.
@@ -28,6 +33,11 @@ pub struct SweepOptions {
     /// bitwise-identical either way; disabling exists for benchmarking
     /// the cache itself.
     pub share_plans: bool,
+    /// fsync the sweep log after every appended measurement
+    /// ([`sweep_sizes_logged`] only). On by default — that is the
+    /// crash-safety guarantee; turning it off trades durability of the
+    /// last few lines for append throughput.
+    pub log_fsync: bool,
 }
 
 impl Default for SweepOptions {
@@ -38,6 +48,7 @@ impl Default for SweepOptions {
             noise_sigma: 0.0,
             noise_seed: 0,
             share_plans: true,
+            log_fsync: true,
         }
     }
 }
@@ -110,6 +121,18 @@ fn noise_factor(config: &KernelConfig, sigma: f64, seed: u64) -> f64 {
         ibcf_core::Looking::Right => 11,
         ibcf_core::Looking::Left => 13,
         ibcf_core::Looking::Top => 17,
+    });
+    // Every tuning parameter must feed the hash: omitting one gives
+    // configurations differing only in that parameter *identical* noise,
+    // which biases exactly the per-parameter best-slice comparisons the
+    // analysis rests on.
+    mix(match config.unroll {
+        Unroll::Partial => 19,
+        Unroll::Full => 23,
+    });
+    mix(match config.cache_pref {
+        CachePref::L1 => 29,
+        CachePref::Shared => 31,
     });
     // Irwin-Hall(4) centered: mean 0, variance 1/3; scale to unit-ish.
     let mut z = 0.0f64;
@@ -228,10 +251,7 @@ pub fn sweep_sizes_with(
     opts: &SweepOptions,
     sink: &dyn ProgressSink,
 ) -> SweepReport {
-    let mut all: Vec<KernelConfig> = Vec::new();
-    for &n in sizes {
-        all.extend(space.configs(n));
-    }
+    let all = grid_configs(space, sizes);
     let done = AtomicUsize::new(0);
     let total = all.len();
     let cache: TraceCache<PlanKey> = TraceCache::default();
@@ -239,18 +259,7 @@ pub fn sweep_sizes_with(
     let measurements: Vec<Measurement> = all
         .par_iter()
         .map(|config| {
-            let m = if opts.share_plans {
-                measure_noisy_cached(
-                    config,
-                    opts.batch,
-                    spec,
-                    opts.noise_sigma,
-                    opts.noise_seed,
-                    &cache,
-                )
-            } else {
-                measure_noisy(config, opts.batch, spec, opts.noise_sigma, opts.noise_seed)
-            };
+            let m = measure_opts(config, spec, opts, &cache);
             if opts.progress_every > 0 {
                 let k = done.fetch_add(1, Ordering::Relaxed) + 1;
                 if k.is_multiple_of(opts.progress_every) {
@@ -270,6 +279,165 @@ pub fn sweep_sizes_with(
         cache: cache.stats(),
         wall_s,
     }
+}
+
+/// One measurement under the sweep's options (noise model, shared cache).
+fn measure_opts(
+    config: &KernelConfig,
+    spec: &GpuSpec,
+    opts: &SweepOptions,
+    cache: &TraceCache<PlanKey>,
+) -> Measurement {
+    if opts.share_plans {
+        measure_noisy_cached(
+            config,
+            opts.batch,
+            spec,
+            opts.noise_sigma,
+            opts.noise_seed,
+            cache,
+        )
+    } else {
+        measure_noisy(config, opts.batch, spec, opts.noise_sigma, opts.noise_seed)
+    }
+}
+
+/// A [`SweepReport`] plus what the crash-safe log contributed: how much
+/// of the sweep was resumed from disk vs measured this run.
+#[derive(Debug, Clone)]
+pub struct LoggedSweepReport {
+    /// Dataset (canonical grid order), cache counters, wall clock.
+    pub report: SweepReport,
+    /// Measurements recovered from an existing log (skipped this run).
+    pub resumed: usize,
+    /// Measurements performed (and appended) this run.
+    pub measured: usize,
+    /// `Some(reason)` if a torn final log line was dropped on recovery.
+    pub dropped_tail: Option<String>,
+    /// The shard of the grid this run covered.
+    pub shard: ShardSpec,
+}
+
+/// [`sweep_sizes_with`] made crash-safe and resumable: every completed
+/// measurement is appended (fsync'd, self-validating) to the log at
+/// `log_path` the moment it finishes.
+///
+/// If the log already exists it must describe the same sweep (GPU,
+/// batch, sizes, space, noise, shard — anything else is an error); its
+/// measurements are loaded, already-measured configurations are skipped,
+/// and only the remainder runs. Because the model is deterministic, an
+/// interrupted-and-resumed sweep produces a dataset bitwise-identical to
+/// an uninterrupted one, in the same canonical grid order.
+///
+/// `shard` restricts this run to its deterministic slice of the grid
+/// (see [`ShardSpec`]); shard logs are reassembled with
+/// [`crate::merge_logs`]. Pass [`ShardSpec::whole`] for an unsharded
+/// sweep.
+pub fn sweep_sizes_logged(
+    space: &ParamSpace,
+    sizes: &[usize],
+    spec: &GpuSpec,
+    opts: &SweepOptions,
+    sink: &dyn ProgressSink,
+    log_path: &Path,
+    shard: ShardSpec,
+) -> std::io::Result<LoggedSweepReport> {
+    let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    let grid = grid_configs(space, sizes);
+    let header = SweepLogHeader {
+        format: LOG_FORMAT.into(),
+        version: LOG_VERSION,
+        gpu: spec.name.clone(),
+        batch: opts.batch,
+        sizes: sizes.to_vec(),
+        space: space.clone(),
+        noise_sigma: opts.noise_sigma,
+        noise_seed: opts.noise_seed,
+        shard,
+        total: grid.len(),
+    };
+    let mut done: BTreeMap<usize, Measurement> = BTreeMap::new();
+    let mut dropped_tail = None;
+    let writer = if log_path.exists() {
+        let log = SweepLog::read(log_path, true)?;
+        header.compatible_with(&log.header).map_err(|e| {
+            invalid(format!(
+                "{}: log belongs to a different sweep: {e}",
+                log_path.display()
+            ))
+        })?;
+        if log.header.shard != shard {
+            return Err(invalid(format!(
+                "{}: log covers shard {}, this run wants {shard}",
+                log_path.display(),
+                log.header.shard
+            )));
+        }
+        dropped_tail = log.dropped_tail.clone();
+        if dropped_tail.is_some() {
+            // Cut the torn fragment off before appending, or the next
+            // line would be glued to it and corrupt the log mid-file.
+            let f = std::fs::OpenOptions::new().write(true).open(log_path)?;
+            f.set_len(log.valid_len)?;
+            f.sync_data()?;
+        }
+        for e in log.entries {
+            done.insert(e.seq, e.m);
+        }
+        SweepLogWriter::open_append(log_path, opts.log_fsync)?
+    } else {
+        SweepLogWriter::create(log_path, &header, opts.log_fsync)?
+    };
+    let resumed = done.len();
+    let todo: Vec<usize> = (0..grid.len())
+        .filter(|&s| shard.owns(s) && !done.contains_key(&s))
+        .collect();
+    let total_todo = todo.len();
+    let cache: TraceCache<PlanKey> = TraceCache::default();
+    let counter = AtomicUsize::new(0);
+    let writer = Mutex::new(writer);
+    let write_err: Mutex<Option<std::io::Error>> = Mutex::new(None);
+    let start = Instant::now();
+    let fresh: Vec<(usize, Measurement)> = todo
+        .par_iter()
+        .map(|&s| {
+            let m = measure_opts(&grid[s], spec, opts, &cache);
+            {
+                let mut w = writer.lock().expect("log writer lock");
+                if let Err(e) = w.append(s, &m) {
+                    let mut we = write_err.lock().expect("error slot lock");
+                    we.get_or_insert(e);
+                }
+            }
+            if opts.progress_every > 0 {
+                let k = counter.fetch_add(1, Ordering::Relaxed) + 1;
+                if k.is_multiple_of(opts.progress_every) {
+                    sink.on_progress(k, total_todo);
+                }
+            }
+            (s, m)
+        })
+        .collect();
+    let wall_s = start.elapsed().as_secs_f64();
+    if let Some(e) = write_err.into_inner().expect("error slot lock") {
+        return Err(e);
+    }
+    done.extend(fresh);
+    Ok(LoggedSweepReport {
+        report: SweepReport {
+            dataset: Dataset {
+                gpu: spec.name.clone(),
+                batch: opts.batch,
+                measurements: done.into_values().collect(),
+            },
+            cache: cache.stats(),
+            wall_s,
+        },
+        resumed,
+        measured: total_todo,
+        dropped_tail,
+        shard,
+    })
 }
 
 #[cfg(test)]
@@ -362,6 +530,36 @@ mod tests {
         for (a, b) in noisy.measurements.iter().zip(&noisy2.measurements) {
             assert_eq!(a.gflops, b.gflops);
         }
+    }
+
+    #[test]
+    fn noise_is_decorrelated_across_every_parameter() {
+        // Configurations differing only in unroll (or only in cache_pref)
+        // must draw *distinct* noise factors — correlated noise biases the
+        // best-by-unroll / best-by-cache comparisons (Fig. 19 slices).
+        let spec = GpuSpec::p100();
+        let batch = 2048;
+        let sigma = 0.05;
+        let factor = |c: &KernelConfig| {
+            let clean = measure(c, batch, &spec);
+            let noisy = measure_noisy(c, batch, &spec, sigma, 42);
+            noisy.gflops / clean.gflops
+        };
+        let base = KernelConfig::baseline(16);
+        let full = KernelConfig {
+            unroll: ibcf_kernels::Unroll::Full,
+            ..base
+        };
+        assert_ne!(factor(&base), factor(&full), "unroll variants share noise");
+        let shared = KernelConfig {
+            cache_pref: ibcf_kernels::CachePref::Shared,
+            ..base
+        };
+        assert_ne!(
+            factor(&base),
+            factor(&shared),
+            "cache_pref variants share noise"
+        );
     }
 
     #[test]

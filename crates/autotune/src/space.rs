@@ -5,7 +5,7 @@ use ibcf_kernels::{CachePref, KernelConfig, Unroll};
 use serde::{Deserialize, Serialize};
 
 /// A rectangular parameter space: the cross product of the listed values.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ParamSpace {
     /// Tile sizes to sweep.
     pub nb: Vec<usize>,

@@ -1,0 +1,255 @@
+//! End-to-end guarantees of the crash-safe sweep log: a sweep
+//! interrupted at an arbitrary point and resumed produces a dataset
+//! bitwise-identical to an uninterrupted run, and merging shard logs
+//! equals the unsharded sweep.
+
+use ibcf_autotune::{
+    merge_logs, sweep_sizes_logged, sweep_sizes_with, ParamSpace, ShardSpec, SilentProgress,
+    SweepOptions,
+};
+use ibcf_gpu_sim::GpuSpec;
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("ibcf_sweeplog_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn opts(noise_sigma: f64) -> SweepOptions {
+    SweepOptions {
+        batch: 1024,
+        noise_sigma,
+        noise_seed: 11,
+        // Unit tests hammer the log; skip per-line fsync for speed. The
+        // recovery semantics under test are unaffected.
+        log_fsync: false,
+        ..Default::default()
+    }
+}
+
+fn jsonl_bytes(ds: &ibcf_autotune::Dataset, path: &PathBuf) -> Vec<u8> {
+    ds.save_jsonl(path).unwrap();
+    std::fs::read(path).unwrap()
+}
+
+#[test]
+fn interrupted_resume_is_bitwise_identical_to_uninterrupted() {
+    for sigma in [0.0, 0.05] {
+        let dir = tmpdir(&format!("resume{}", (sigma * 100.0) as u32));
+        let space = ParamSpace::quick();
+        let sizes = [8usize, 16];
+        let spec = GpuSpec::p100();
+        let o = opts(sigma);
+
+        // Reference: plain in-memory sweep (no log at all).
+        let plain = sweep_sizes_with(&space, &sizes, &spec, &o, &SilentProgress).dataset;
+
+        // Uninterrupted logged sweep.
+        let full_log = dir.join("full.log");
+        std::fs::remove_file(&full_log).ok();
+        let full = sweep_sizes_logged(
+            &space,
+            &sizes,
+            &spec,
+            &o,
+            &SilentProgress,
+            &full_log,
+            ShardSpec::whole(),
+        )
+        .unwrap();
+        assert_eq!(full.resumed, 0);
+        assert_eq!(full.measured, plain.measurements.len());
+
+        // Interrupt "at an arbitrary point": keep the header plus a
+        // prefix of the appended lines, then tear the next line in half
+        // (exactly what SIGKILL mid-append leaves behind).
+        let text = std::fs::read_to_string(&full_log).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let cut = 1 + (lines.len() - 1) / 3;
+        let half = &lines[cut][..lines[cut].len() / 2];
+        let torn = format!("{}\n{half}", lines[..cut].join("\n"));
+        let part_log = dir.join("part.log");
+        std::fs::write(&part_log, torn).unwrap();
+
+        let resumed = sweep_sizes_logged(
+            &space,
+            &sizes,
+            &spec,
+            &o,
+            &SilentProgress,
+            &part_log,
+            ShardSpec::whole(),
+        )
+        .unwrap();
+        assert_eq!(resumed.resumed, cut - 1);
+        assert_eq!(
+            resumed.resumed + resumed.measured,
+            plain.measurements.len(),
+            "resume must cover exactly the remainder"
+        );
+        assert!(resumed.dropped_tail.is_some(), "torn line must be reported");
+
+        // All three datasets must serialize to identical bytes.
+        let a = jsonl_bytes(&plain, &dir.join("plain.jsonl"));
+        let b = jsonl_bytes(&full.report.dataset, &dir.join("full.jsonl"));
+        let c = jsonl_bytes(&resumed.report.dataset, &dir.join("resumed.jsonl"));
+        assert_eq!(a, b, "sigma={sigma}: logged sweep differs from plain");
+        assert_eq!(a, c, "sigma={sigma}: resumed sweep differs from plain");
+
+        // Resuming a complete log measures nothing and still agrees.
+        let again = sweep_sizes_logged(
+            &space,
+            &sizes,
+            &spec,
+            &o,
+            &SilentProgress,
+            &part_log,
+            ShardSpec::whole(),
+        )
+        .unwrap();
+        assert_eq!(again.measured, 0);
+        assert_eq!(again.resumed, plain.measurements.len());
+        let d = jsonl_bytes(&again.report.dataset, &dir.join("again.jsonl"));
+        assert_eq!(a, d);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn merged_shards_equal_the_unsharded_sweep() {
+    let dir = tmpdir("shards");
+    let space = ParamSpace::quick();
+    let sizes = [8usize, 16];
+    let spec = GpuSpec::p100();
+    let o = opts(0.02);
+
+    let plain = sweep_sizes_with(&space, &sizes, &spec, &o, &SilentProgress).dataset;
+
+    let k = 3;
+    let mut paths = Vec::new();
+    let mut covered = 0usize;
+    for i in 0..k {
+        let shard = ShardSpec::new(i, k).unwrap();
+        let p = dir.join(format!("shard{i}.log"));
+        std::fs::remove_file(&p).ok();
+        let r = sweep_sizes_logged(&space, &sizes, &spec, &o, &SilentProgress, &p, shard).unwrap();
+        assert_eq!(r.measured, shard.owned_of(plain.measurements.len()));
+        covered += r.measured;
+        paths.push(p);
+    }
+    assert_eq!(covered, plain.measurements.len());
+
+    // Partial union (missing one shard) is rejected unless allowed.
+    let err = merge_logs(&paths[..2], false).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    let (partial, rep) = merge_logs(&paths[..2], true).unwrap();
+    assert_eq!(partial.measurements.len(), rep.measured);
+    assert!(rep.measured < rep.total);
+
+    // The full merge equals the unsharded sweep, bitwise.
+    let (merged, rep) = merge_logs(&paths, false).unwrap();
+    assert_eq!(rep.shards, k);
+    assert_eq!(rep.measured, rep.total);
+    assert_eq!(rep.duplicates, 0);
+    let a = jsonl_bytes(&plain, &dir.join("plain.jsonl"));
+    let b = jsonl_bytes(&merged, &dir.join("merged.jsonl"));
+    assert_eq!(a, b, "merged shards differ from the unsharded sweep");
+
+    // Merging a shard with itself dedupes; a doctored log conflicts.
+    let twice = vec![
+        paths[0].clone(),
+        paths[0].clone(),
+        paths[1].clone(),
+        paths[2].clone(),
+    ];
+    let (_, rep) = merge_logs(&twice, false).unwrap();
+    assert!(rep.duplicates > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_rejects_mismatched_sweeps() {
+    let dir = tmpdir("mismatch");
+    let space = ParamSpace::quick();
+    let spec = GpuSpec::p100();
+    let o = opts(0.0);
+    let log = dir.join("a.log");
+    std::fs::remove_file(&log).ok();
+    sweep_sizes_logged(
+        &space,
+        &[8],
+        &spec,
+        &o,
+        &SilentProgress,
+        &log,
+        ShardSpec::whole(),
+    )
+    .unwrap();
+
+    // Different batch.
+    let other = SweepOptions {
+        batch: 2048,
+        ..opts(0.0)
+    };
+    let err = sweep_sizes_logged(
+        &space,
+        &[8],
+        &spec,
+        &other,
+        &SilentProgress,
+        &log,
+        ShardSpec::whole(),
+    )
+    .unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+    // Different sizes.
+    assert!(sweep_sizes_logged(
+        &space,
+        &[8, 16],
+        &spec,
+        &o,
+        &SilentProgress,
+        &log,
+        ShardSpec::whole(),
+    )
+    .is_err());
+
+    // Different shard.
+    assert!(sweep_sizes_logged(
+        &space,
+        &[8],
+        &spec,
+        &o,
+        &SilentProgress,
+        &log,
+        ShardSpec::new(0, 2).unwrap(),
+    )
+    .is_err());
+
+    // Different space.
+    assert!(sweep_sizes_logged(
+        &ParamSpace::paper(),
+        &[8],
+        &spec,
+        &o,
+        &SilentProgress,
+        &log,
+        ShardSpec::whole(),
+    )
+    .is_err());
+
+    // Different noise model.
+    assert!(sweep_sizes_logged(
+        &space,
+        &[8],
+        &spec,
+        &opts(0.5),
+        &SilentProgress,
+        &log,
+        ShardSpec::whole(),
+    )
+    .is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,99 @@
+//! Resume-overhead bench: what the crash-safe sweep log costs.
+//!
+//! Three paths over the same multi-size quick-space grid:
+//!   * `plain`            — in-memory sweep, no log (the PR-1 baseline)
+//!   * `logged_fresh`     — full sweep streaming fsync-free appends
+//!   * `resume_complete`  — load a finished log, skip everything:
+//!                          pure log-parse + dedup overhead
+//! plus a headline print comparing fsync'd vs buffered append
+//! throughput, since per-line fsync is the durability knob.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ibcf_autotune::{
+    sweep_sizes_logged, sweep_sizes_with, ParamSpace, ShardSpec, SilentProgress, SweepOptions,
+};
+use ibcf_gpu_sim::GpuSpec;
+use std::path::PathBuf;
+
+const SIZES: &[usize] = &[8, 16, 32];
+
+fn opts(log_fsync: bool) -> SweepOptions {
+    SweepOptions {
+        batch: 4096,
+        log_fsync,
+        ..Default::default()
+    }
+}
+
+fn bench_dir() -> PathBuf {
+    let d = std::env::temp_dir().join(format!("ibcf_resume_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn logged_sweep(log: &PathBuf, fsync: bool) -> f64 {
+    let report = sweep_sizes_logged(
+        &ParamSpace::quick(),
+        SIZES,
+        &GpuSpec::p100(),
+        &opts(fsync),
+        &SilentProgress,
+        log,
+        ShardSpec::whole(),
+    )
+    .unwrap();
+    report.report.configs_per_sec()
+}
+
+fn bench_resume(c: &mut Criterion) {
+    let dir = bench_dir();
+    let mut group = c.benchmark_group("resume");
+    group.sample_size(10);
+
+    group.bench_function("plain_no_log", |b| {
+        b.iter(|| {
+            sweep_sizes_with(
+                &ParamSpace::quick(),
+                SIZES,
+                &GpuSpec::p100(),
+                &opts(false),
+                &SilentProgress,
+            )
+            .dataset
+            .measurements
+            .len()
+        })
+    });
+
+    group.bench_function("logged_fresh", |b| {
+        b.iter(|| {
+            let log = dir.join("fresh.log");
+            std::fs::remove_file(&log).ok();
+            logged_sweep(&log, false)
+        })
+    });
+
+    let complete = dir.join("complete.log");
+    std::fs::remove_file(&complete).ok();
+    logged_sweep(&complete, false);
+    group.bench_function("resume_complete_log", |b| {
+        b.iter(|| logged_sweep(&complete, false))
+    });
+    group.finish();
+
+    // Headline: the price of per-line durability.
+    let log = dir.join("fsync.log");
+    std::fs::remove_file(&log).ok();
+    let durable = logged_sweep(&log, true);
+    std::fs::remove_file(&log).ok();
+    let buffered = logged_sweep(&log, false);
+    println!(
+        "logged sweep throughput: {durable:.0} configs/s fsync'd vs {buffered:.0} buffered \
+         ({:.2}x overhead)",
+        buffered / durable
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_resume);
+criterion_main!(benches);

@@ -2,8 +2,9 @@
 
 use crate::args::Args;
 use ibcf_autotune::{
-    sweep_sizes, sweep_sizes_with, BestTable, Dataset, Measurement, ParamSpace, StderrProgress,
-    SweepOptions, TunedDispatch,
+    merge_logs, sweep_sizes, sweep_sizes_logged, sweep_sizes_with, BestTable, Dataset,
+    LoggedSweepReport, Measurement, ParamSpace, ShardSpec, StderrProgress, SweepLog, SweepOptions,
+    SweepReport, TunedDispatch,
 };
 use ibcf_core::flops::cholesky_flops_std;
 use ibcf_core::spd::{fill_batch_spd, SpdKind};
@@ -25,8 +26,17 @@ commands:
             [--simple] [--full] [--fast] [--batch B] [--gpu p100|v100]
             time one kernel configuration on the simulator
   best      --n N [--batch B] [--quick]      sweep one size, print winners
-  sweep     --sizes 8,16,24 --out F.jsonl [--batch B] [--quick]
-            run an exhaustive sweep and persist the dataset
+  sweep     --sizes 8,16,24 [--out F.jsonl] [--log F.log] [--shard i/k]
+            [--batch B] [--quick] [--noise SIGMA] [--noise-seed S]
+            run an exhaustive sweep and persist the dataset; with --log,
+            stream every measurement to a crash-safe resumable log
+  resume    --log F.log [--out F.jsonl]
+            finish an interrupted sweep from its log (all sweep
+            parameters come from the log header)
+  merge     --out F.jsonl [--partial] SHARD.log...
+            reassemble shard logs into one canonical dataset
+  verify-log [--strict] F.log
+            validate a sweep log (checksums, grid, coverage)
   analyze   --data F.jsonl [--trees T]       random-forest importances
   tune      --data F.jsonl --out D.jsonl [--fast]
             build a per-size dispatch table from a sweep dataset
@@ -201,51 +211,17 @@ fn parse_sizes(s: &str) -> Result<Vec<usize>, String> {
         .collect()
 }
 
-/// `ibcf sweep`: persist a dataset.
-pub fn sweep(args: &Args) -> i32 {
-    let sizes = match args.require("sizes").and_then(parse_sizes) {
-        Ok(s) => s,
-        Err(e) => return fail(e),
-    };
-    let out = match args.require("out") {
-        Ok(o) => o.to_string(),
-        Err(e) => return fail(e),
-    };
-    let batch = match args.get("batch", 16_384usize) {
-        Ok(b) => b,
-        Err(e) => return fail(e),
-    };
-    let spec = match gpu_of(args) {
-        Ok(s) => s,
-        Err(e) => return fail(e),
-    };
-    let space = if args.flag("quick") {
-        ParamSpace::quick()
-    } else {
-        ParamSpace::paper()
-    };
-    eprintln!(
-        "sweeping {} configurations ({} sizes x {})...",
-        sizes.len() * space.len_per_n(),
-        sizes.len(),
-        space.len_per_n()
-    );
-    let report = sweep_sizes_with(
-        &space,
-        &sizes,
-        &spec,
-        &SweepOptions {
-            batch,
-            progress_every: 2000,
-            ..Default::default()
-        },
-        &StderrProgress,
-    );
-    let ds = &report.dataset;
-    if let Err(e) = ds.save_jsonl(Path::new(&out)) {
-        return fail(format!("{out}: {e}"));
+/// The GPU spec whose `name` a sweep-log header recorded.
+fn spec_from_name(name: &str) -> Result<GpuSpec, String> {
+    for spec in [GpuSpec::p100(), GpuSpec::v100()] {
+        if spec.name == name {
+            return Ok(spec);
+        }
     }
-    println!("wrote {} measurements to {out}", ds.measurements.len());
+    Err(format!("log was swept on unknown gpu {name:?}"))
+}
+
+fn print_sweep_stats(report: &SweepReport) {
     println!(
         "sweep took {:.1}s ({:.0} configs/s)",
         report.wall_s,
@@ -262,6 +238,226 @@ pub fn sweep(args: &Args) -> i32 {
         report.cache.plan_ns as f64 / 1e6,
         report.cache.price_ns as f64 / 1e6
     );
+}
+
+/// Writes the dataset if `--out` was given, then prints logged-sweep
+/// bookkeeping (resumed/measured counts, torn-tail recovery).
+fn finish_logged(args: &Args, logged: &LoggedSweepReport, log: &str) -> i32 {
+    if let Some(tail) = &logged.dropped_tail {
+        eprintln!("recovered {log}: {tail}");
+    }
+    println!(
+        "log {log}: {} resumed + {} measured = {} of shard {}",
+        logged.resumed,
+        logged.measured,
+        logged.resumed + logged.measured,
+        logged.shard,
+    );
+    if let Some(out) = args.options.get("out") {
+        let ds = &logged.report.dataset;
+        if let Err(e) = ds.save_jsonl(Path::new(out)) {
+            return fail(format!("{out}: {e}"));
+        }
+        println!("wrote {} measurements to {out}", ds.measurements.len());
+    }
+    print_sweep_stats(&logged.report);
+    0
+}
+
+/// `ibcf sweep`: persist a dataset, optionally through a crash-safe log.
+pub fn sweep(args: &Args) -> i32 {
+    let sizes = match args.require("sizes").and_then(parse_sizes) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    let log = args.options.get("log").cloned();
+    let out = match (args.options.get("out"), &log) {
+        (Some(o), _) => Some(o.to_string()),
+        (None, Some(_)) => None, // the log is the artifact
+        (None, None) => return fail("missing required option --out (or --log)"),
+    };
+    let (batch, noise_sigma, noise_seed) = match (
+        args.get("batch", 16_384usize),
+        args.get("noise", 0.0f64),
+        args.get("noise-seed", 0u64),
+    ) {
+        (Ok(b), Ok(s), Ok(n)) => (b, s, n),
+        (Err(e), ..) | (_, Err(e), _) | (.., Err(e)) => return fail(e),
+    };
+    let shard = match args.options.get("shard") {
+        None => ShardSpec::whole(),
+        Some(s) => match ShardSpec::parse(s) {
+            Ok(s) => s,
+            Err(e) => return fail(e),
+        },
+    };
+    if shard.count > 1 && log.is_none() {
+        return fail("--shard requires --log (shard logs are what merge reassembles)");
+    }
+    let spec = match gpu_of(args) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    let space = if args.flag("quick") {
+        ParamSpace::quick()
+    } else {
+        ParamSpace::paper()
+    };
+    let opts = SweepOptions {
+        batch,
+        noise_sigma,
+        noise_seed,
+        progress_every: 2000,
+        ..Default::default()
+    };
+    eprintln!(
+        "sweeping {} configurations ({} sizes x {}, shard {shard})...",
+        shard.owned_of(sizes.len() * space.len_per_n()),
+        sizes.len(),
+        space.len_per_n()
+    );
+    if let Some(log) = log {
+        let logged = match sweep_sizes_logged(
+            &space,
+            &sizes,
+            &spec,
+            &opts,
+            &StderrProgress,
+            Path::new(&log),
+            shard,
+        ) {
+            Ok(r) => r,
+            Err(e) => return fail(e),
+        };
+        return finish_logged(args, &logged, &log);
+    }
+    let report = sweep_sizes_with(&space, &sizes, &spec, &opts, &StderrProgress);
+    let ds = &report.dataset;
+    let out = out.expect("out required without --log");
+    if let Err(e) = ds.save_jsonl(Path::new(&out)) {
+        return fail(format!("{out}: {e}"));
+    }
+    println!("wrote {} measurements to {out}", ds.measurements.len());
+    print_sweep_stats(&report);
+    0
+}
+
+/// `ibcf resume`: finish an interrupted sweep from its log. Everything —
+/// sizes, space, batch, GPU, noise, shard — comes from the log header,
+/// so the resumed half cannot drift from the original run.
+pub fn resume(args: &Args) -> i32 {
+    let log = match args.require("log") {
+        Ok(l) => l.to_string(),
+        Err(e) => return fail(e),
+    };
+    // SweepLog / logged-sweep errors already name the log path.
+    let parsed = match SweepLog::read(Path::new(&log), true) {
+        Ok(p) => p,
+        Err(e) => return fail(e),
+    };
+    let h = &parsed.header;
+    let spec = match spec_from_name(&h.gpu) {
+        Ok(s) => s,
+        Err(e) => return fail(format!("{log}: {e}")),
+    };
+    let opts = SweepOptions {
+        batch: h.batch,
+        noise_sigma: h.noise_sigma,
+        noise_seed: h.noise_seed,
+        progress_every: 2000,
+        ..Default::default()
+    };
+    eprintln!(
+        "resuming {log}: {}/{} of shard {} already measured",
+        parsed.entries.len(),
+        parsed.owned_total(),
+        h.shard
+    );
+    let logged = match sweep_sizes_logged(
+        &h.space.clone(),
+        &h.sizes.clone(),
+        &spec,
+        &opts,
+        &StderrProgress,
+        Path::new(&log),
+        h.shard,
+    ) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    finish_logged(args, &logged, &log)
+}
+
+/// `ibcf merge`: reassemble shard logs into one canonical dataset.
+pub fn merge(args: &Args) -> i32 {
+    let out = match args.require("out") {
+        Ok(o) => o.to_string(),
+        Err(e) => return fail(e),
+    };
+    if args.positional.is_empty() {
+        return fail("merge needs at least one shard log (positional arguments)");
+    }
+    let paths: Vec<std::path::PathBuf> = args
+        .positional
+        .iter()
+        .map(std::path::PathBuf::from)
+        .collect();
+    let (ds, report) = match merge_logs(&paths, args.flag("partial")) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    if let Err(e) = ds.save_jsonl(Path::new(&out)) {
+        return fail(format!("{out}: {e}"));
+    }
+    println!(
+        "merged {} shard logs: {}/{} configurations ({} duplicates deduplicated)",
+        report.shards, report.measured, report.total, report.duplicates
+    );
+    println!("wrote {} measurements to {out}", ds.measurements.len());
+    0
+}
+
+/// `ibcf verify-log`: validate a sweep log and report its coverage.
+pub fn verify_log(args: &Args) -> i32 {
+    let path = match args
+        .positional
+        .first()
+        .cloned()
+        .or_else(|| args.options.get("log").cloned())
+    {
+        Some(p) => p,
+        None => return fail("verify-log needs a log path"),
+    };
+    let strict = args.flag("strict");
+    let log = match SweepLog::read(Path::new(&path), !strict) {
+        Ok(l) => l,
+        Err(e) => return fail(e),
+    };
+    let h = &log.header;
+    println!("log     : {path}");
+    println!("gpu     : {}", h.gpu);
+    println!("batch   : {}", h.batch);
+    println!("sizes   : {:?}", h.sizes);
+    println!("noise   : sigma {} seed {}", h.noise_sigma, h.noise_seed);
+    println!(
+        "shard   : {} ({} of {} grid configs)",
+        h.shard,
+        log.owned_total(),
+        h.total
+    );
+    println!(
+        "coverage: {}/{} measured{}",
+        log.entries.len(),
+        log.owned_total(),
+        if log.is_complete() { " (complete)" } else { "" }
+    );
+    if log.duplicates > 0 {
+        println!("dedup   : {} identical duplicate lines", log.duplicates);
+    }
+    match &log.dropped_tail {
+        Some(reason) => println!("recovery: {reason}"),
+        None => println!("recovery: clean (no torn tail)"),
+    }
     0
 }
 

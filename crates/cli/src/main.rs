@@ -9,8 +9,19 @@
 //! ibcf best --n 16 [--batch 16384] [--quick]
 //!     Exhaustively sweep one size and print the winning configurations.
 //!
-//! ibcf sweep --sizes 8,16,24 --out sweep.jsonl [--batch 16384] [--quick]
-//!     Run a full sweep and persist the dataset (JSON lines).
+//! ibcf sweep --sizes 8,16,24 [--out sweep.jsonl] [--log sweep.log]
+//!            [--shard i/k] [--batch 16384] [--quick]
+//!     Run a full sweep and persist the dataset (JSON lines). With
+//!     --log, stream every measurement to a crash-safe resumable log.
+//!
+//! ibcf resume --log sweep.log [--out sweep.jsonl]
+//!     Finish an interrupted sweep from its log.
+//!
+//! ibcf merge --out sweep.jsonl shard0.log shard1.log ...
+//!     Reassemble shard logs into one canonical dataset.
+//!
+//! ibcf verify-log sweep.log [--strict]
+//!     Validate a sweep log (checksums, grid consistency, coverage).
 //!
 //! ibcf analyze --data sweep.jsonl [--trees 500]
 //!     Fit the random forest and print Table-I-style importances.
@@ -43,6 +54,9 @@ fn main() {
         Some("simulate") => commands::simulate(&parsed),
         Some("best") => commands::best(&parsed),
         Some("sweep") => commands::sweep(&parsed),
+        Some("resume") => commands::resume(&parsed),
+        Some("merge") => commands::merge(&parsed),
+        Some("verify-log") => commands::verify_log(&parsed),
         Some("analyze") => commands::analyze(&parsed),
         Some("tune") => commands::tune(&parsed),
         Some("emit") => commands::emit(&parsed),

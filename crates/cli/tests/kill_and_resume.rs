@@ -1,0 +1,164 @@
+//! Kill-and-resume integration test: spawn a logged sweep as a real
+//! process, SIGKILL it mid-flight, resume from the log, and require the
+//! final dataset to be bitwise-identical to an uninterrupted run.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_ibcf");
+const SWEEP_ARGS: &[&str] = &[
+    "--sizes",
+    "8,16,24,32",
+    "--quick",
+    "--batch",
+    "1024",
+    "--noise",
+    "0.03",
+    "--noise-seed",
+    "7",
+];
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("ibcf_kill_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn run_ok(args: &[&str]) {
+    let out = Command::new(BIN).args(args).output().unwrap();
+    assert!(
+        out.status.success(),
+        "ibcf {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+fn sweep_args(log: &Path, out: Option<&Path>, extra: &[&str]) -> Vec<String> {
+    let mut v: Vec<String> = ["sweep"]
+        .iter()
+        .chain(SWEEP_ARGS)
+        .map(|s| s.to_string())
+        .collect();
+    v.push("--log".into());
+    v.push(log.display().to_string());
+    if let Some(out) = out {
+        v.push("--out".into());
+        v.push(out.display().to_string());
+    }
+    v.extend(extra.iter().map(|s| s.to_string()));
+    v
+}
+
+fn line_count(path: &Path) -> usize {
+    std::fs::read_to_string(path)
+        .map(|t| t.lines().count())
+        .unwrap_or(0)
+}
+
+#[test]
+fn killed_sweep_resumes_to_identical_dataset() {
+    let dir = tmpdir("resume");
+    let ref_log = dir.join("ref.log");
+    let ref_out = dir.join("ref.jsonl");
+    let int_log = dir.join("int.log");
+    let int_out = dir.join("int.jsonl");
+
+    // Uninterrupted reference run.
+    let args: Vec<String> = sweep_args(&ref_log, Some(&ref_out), &[]);
+    run_ok(&args.iter().map(String::as_str).collect::<Vec<_>>());
+
+    // Interrupted run: SIGKILL as soon as the log shows real progress.
+    let args: Vec<String> = sweep_args(&int_log, None, &[]);
+    let mut child = Command::new(BIN)
+        .args(&args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut killed = false;
+    loop {
+        if line_count(&int_log) > 10 {
+            // SIGKILL: no chance to flush or finalize anything.
+            child.kill().ok();
+            killed = true;
+            break;
+        }
+        if child.try_wait().unwrap().is_some() {
+            break; // finished before we could kill it; resume is a no-op
+        }
+        assert!(Instant::now() < deadline, "sweep made no progress");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    child.wait().unwrap();
+    let lines_after_kill = line_count(&int_log);
+    assert!(lines_after_kill > 1, "log never got past its header");
+
+    // Simulate the worst crash artifact on top: tear the final line.
+    if killed {
+        let text = std::fs::read_to_string(&int_log).unwrap();
+        let keep = text.len() - text.len().min(7);
+        std::fs::write(&int_log, &text.as_bytes()[..keep]).unwrap();
+    }
+
+    // Resume (parameters come from the log header) and compare.
+    run_ok(&[
+        "resume",
+        "--log",
+        int_log.to_str().unwrap(),
+        "--out",
+        int_out.to_str().unwrap(),
+    ]);
+    let a = std::fs::read(&ref_out).unwrap();
+    let b = std::fs::read(&int_out).unwrap();
+    assert_eq!(a, b, "resumed dataset differs from uninterrupted run");
+
+    // The completed log verifies clean.
+    run_ok(&["verify-log", int_log.to_str().unwrap(), "--strict"]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sharded_sweeps_merge_to_the_unsharded_dataset() {
+    let dir = tmpdir("shards");
+    let ref_log = dir.join("ref.log");
+    let ref_out = dir.join("ref.jsonl");
+    let args: Vec<String> = sweep_args(&ref_log, Some(&ref_out), &[]);
+    run_ok(&args.iter().map(String::as_str).collect::<Vec<_>>());
+
+    let mut shard_logs = Vec::new();
+    for i in 0..2 {
+        let log = dir.join(format!("s{i}.log"));
+        let shard = format!("{i}/2");
+        let args: Vec<String> = sweep_args(&log, None, &["--shard", &shard]);
+        run_ok(&args.iter().map(String::as_str).collect::<Vec<_>>());
+        shard_logs.push(log);
+    }
+
+    let merged = dir.join("merged.jsonl");
+    run_ok(&[
+        "merge",
+        "--out",
+        merged.to_str().unwrap(),
+        shard_logs[0].to_str().unwrap(),
+        shard_logs[1].to_str().unwrap(),
+    ]);
+    let a = std::fs::read(&ref_out).unwrap();
+    let b = std::fs::read(&merged).unwrap();
+    assert_eq!(a, b, "merged shards differ from the unsharded sweep");
+
+    // Merging an incomplete set of shards must fail loudly.
+    let out = Command::new(BIN)
+        .args([
+            "merge",
+            "--out",
+            dir.join("bad.jsonl").to_str().unwrap(),
+            shard_logs[0].to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "partial merge must be rejected");
+    std::fs::remove_dir_all(&dir).ok();
+}
