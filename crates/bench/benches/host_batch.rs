@@ -1,12 +1,27 @@
-//! Criterion benches for the host (CPU) batch factorization — the oracle
-//! and CPU baseline — sequential vs rayon-parallel across layouts.
+//! Criterion benches for the host (CPU) batch factorization, across the
+//! axes of the paper translated to the host: layout × engine × size ×
+//! precision at the paper's batch of 16384.
+//!
+//! Engines per layout:
+//! * `seq`          — gather / `potrf_unblocked` / scatter, one thread;
+//! * `gather_rayon` — same round trip, rayon-parallel over matrices;
+//! * `lane`         — the in-place lane-vectorized engine (for the
+//!   canonical layout this is the auto path: pack + lane + unpack).
+//!
+//! Pristine input buffers are rebuilt outside the timed region
+//! (`iter_with_setup`), so the numbers measure factorization only.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ibcf_core::host_batch::{factorize_batch, factorize_batch_blocked, factorize_batch_seq};
 use ibcf_core::spd::{fill_batch_spd, SpdKind};
-use ibcf_core::Looking;
-use ibcf_layout::{BatchLayout, Canonical, Chunked, Interleaved, Layout};
+use ibcf_core::{factorize_batch_auto, Looking, Real};
+use ibcf_layout::{alloc_batch, AlignedVec, Canonical, Chunked, Interleaved, Layout};
 use std::hint::black_box;
+
+/// The paper's batch size.
+const BATCH: usize = 16384;
+/// Sizes spanning the paper's n ∈ [4, 32] range.
+const SIZES: [usize; 5] = [4, 8, 16, 24, 32];
 
 fn layouts(n: usize, batch: usize) -> Vec<(&'static str, Layout)> {
     vec![
@@ -19,48 +34,79 @@ fn layouts(n: usize, batch: usize) -> Vec<(&'static str, Layout)> {
     ]
 }
 
-fn bench_host_batch(c: &mut Criterion) {
-    let n = 16;
-    let batch = 1024;
-    let mut g = c.benchmark_group(format!("host_batch_{n}x{n}x{batch}"));
-    g.sample_size(20);
-    for (name, layout) in layouts(n, batch) {
-        let mut base = vec![0.0f32; layout.len()];
-        fill_batch_spd(&layout, &mut base, SpdKind::Wishart, 7);
-        g.bench_function(format!("{name}_seq"), |b| {
-            b.iter(|| {
-                let mut data = base.clone();
-                black_box(factorize_batch_seq(&layout, &mut data))
-            })
-        });
-        g.bench_function(format!("{name}_parallel"), |b| {
-            b.iter(|| {
-                let mut data = base.clone();
-                black_box(factorize_batch(&layout, &mut data))
-            })
-        });
+fn bench_engines<T: Real>(c: &mut Criterion, ty: &str) {
+    for n in SIZES {
+        let mut g = c.benchmark_group(format!("host_{ty}_n{n}_b{BATCH}"));
+        g.sample_size(10);
+        for (lname, layout) in layouts(n, BATCH) {
+            let mut base: AlignedVec<T> = alloc_batch(&layout);
+            fill_batch_spd(&layout, &mut base, SpdKind::DiagDominant, 7);
+            g.bench_function(format!("{lname}_seq"), |b| {
+                b.iter_with_setup(
+                    || base.clone(),
+                    |mut data| {
+                        black_box(factorize_batch_seq(&layout, &mut data));
+                        data
+                    },
+                )
+            });
+            g.bench_function(format!("{lname}_gather_rayon"), |b| {
+                b.iter_with_setup(
+                    || base.clone(),
+                    |mut data| {
+                        black_box(factorize_batch(&layout, &mut data));
+                        data
+                    },
+                )
+            });
+            g.bench_function(format!("{lname}_lane"), |b| {
+                b.iter_with_setup(
+                    || base.clone(),
+                    |mut data| {
+                        black_box(factorize_batch_auto(&layout, &mut data));
+                        data
+                    },
+                )
+            });
+        }
+        g.finish();
     }
-    g.finish();
+}
+
+fn bench_host_batch_f32(c: &mut Criterion) {
+    bench_engines::<f32>(c, "f32");
+}
+
+fn bench_host_batch_f64(c: &mut Criterion) {
+    bench_engines::<f64>(c, "f64");
 }
 
 fn bench_blocked_lookings(c: &mut Criterion) {
     let n = 32;
     let batch = 512;
     let layout = Layout::Chunked(Chunked::new(n, batch, 64));
-    let mut base = vec![0.0f32; layout.len()];
+    let mut base: AlignedVec<f32> = alloc_batch(&layout);
     fill_batch_spd(&layout, &mut base, SpdKind::Wishart, 11);
     let mut g = c.benchmark_group(format!("host_blocked_{n}x{n}x{batch}"));
     g.sample_size(20);
     for looking in Looking::ALL {
         g.bench_function(looking.name(), |b| {
-            b.iter(|| {
-                let mut data = base.clone();
-                black_box(factorize_batch_blocked(&layout, &mut data, 8, looking))
-            })
+            b.iter_with_setup(
+                || base.clone(),
+                |mut data| {
+                    black_box(factorize_batch_blocked(&layout, &mut data, 8, looking));
+                    data
+                },
+            )
         });
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_host_batch, bench_blocked_lookings);
+criterion_group!(
+    benches,
+    bench_host_batch_f32,
+    bench_host_batch_f64,
+    bench_blocked_lookings
+);
 criterion_main!(benches);

@@ -7,14 +7,16 @@ use ibcf_autotune::{
     SweepReport, TunedDispatch,
 };
 use ibcf_core::flops::cholesky_flops_std;
+use ibcf_core::host_batch::{factorize_batch, factorize_batch_seq, BatchReport};
 use ibcf_core::spd::{fill_batch_spd, SpdKind};
 use ibcf_core::verify::batch_reconstruction_error;
-use ibcf_core::Looking;
+use ibcf_core::{factorize_batch_auto, Looking, Real};
 use ibcf_forest::{permutation_importance, Forest, ForestConfig, TableData};
 use ibcf_gpu_sim::GpuSpec;
 use ibcf_kernels::{
     emit_cuda, factorize_batch_device, time_config, time_traditional, KernelConfig, Unroll,
 };
+use ibcf_layout::{alloc_batch, Canonical, Chunked, Interleaved, Layout};
 use std::path::Path;
 
 /// Help text.
@@ -43,6 +45,9 @@ commands:
   emit      --n N [--nb NB] [--looking L] [--full] [--out F.cu]
             emit the generated CUDA C source
   verify    --n N [--batch B] [--fast]       functional factorization check
+  host-bench [--sizes 8,16,24,32] [--batch B] [--reps R] [--f32|--f64]
+            CPU baseline throughput per layout: sequential vs
+            rayon-gather vs the in-place lane-vectorized engine
   help                                        this text
 ";
 
@@ -590,6 +595,109 @@ pub fn verify(args: &Args) -> i32 {
     }
 }
 
+/// One engine of the host benchmark: name + entry point.
+type HostEngine<T> = (&'static str, fn(&Layout, &mut [T]) -> BatchReport);
+
+/// Times `engine` on pristine copies of `data`, returning the best-of-`reps`
+/// wall time in seconds. The copy back to pristine state is not timed.
+fn time_host_engine<T: Real>(
+    layout: &Layout,
+    pristine: &[T],
+    engine: fn(&Layout, &mut [T]) -> BatchReport,
+    reps: usize,
+) -> f64 {
+    let mut work = alloc_batch::<T, _>(layout);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        work.copy_from_slice(pristine);
+        let t0 = std::time::Instant::now();
+        let report = engine(layout, &mut work);
+        let dt = t0.elapsed().as_secs_f64();
+        assert!(report.all_ok(), "benchmark batch must factorize");
+        best = best.min(dt);
+    }
+    best
+}
+
+/// Benches one (element type, size) cell of the host table across layouts.
+fn host_bench_size<T: Real>(ty: &str, n: usize, batch: usize, reps: usize) {
+    let flops = cholesky_flops_std(n) * batch as f64;
+    let layouts: Vec<(&str, Layout)> = vec![
+        (
+            "interleaved",
+            Layout::Interleaved(Interleaved::new(n, batch)),
+        ),
+        ("chunked64", Layout::Chunked(Chunked::new(n, batch, 64))),
+        ("canonical", Layout::Canonical(Canonical::new(n, batch))),
+    ];
+    // For canonical the "lane" engine is the auto path: pack into an
+    // aligned chunked scratch, lane-factorize, unpack — pack cost included.
+    let engines: [HostEngine<T>; 3] = [
+        ("seq", factorize_batch_seq::<T, Layout>),
+        ("rayon-gather", factorize_batch::<T, Layout>),
+        ("lane", factorize_batch_auto::<T, Layout>),
+    ];
+    for (lname, layout) in layouts {
+        let mut pristine = alloc_batch::<T, _>(&layout);
+        fill_batch_spd(&layout, &mut pristine, SpdKind::DiagDominant, 42);
+        let mut base = f64::NAN;
+        for (ename, engine) in engines {
+            let t = time_host_engine(&layout, &pristine, engine, reps);
+            if ename == "rayon-gather" {
+                base = t;
+            }
+            println!(
+                "{ty}  n={n:<3} {lname:<12} {ename:<13} {:>9.2} Gflop/s {:>13.0} mats/s {:>7}",
+                flops / t / 1e9,
+                batch as f64 / t,
+                if base.is_nan() {
+                    "-".to_string()
+                } else {
+                    format!("{:.2}x", base / t)
+                },
+            );
+        }
+    }
+}
+
+/// `ibcf host-bench`: CPU baseline throughput table — how much of the
+/// interleaved layout's coalescing advantage the host lane engine
+/// recovers over the gather/scatter baselines. Speedups are relative to
+/// `rayon-gather` (the parallel gather/factor/scatter baseline).
+pub fn host_bench(args: &Args) -> i32 {
+    let sizes = match args
+        .options
+        .get("sizes")
+        .map_or(Ok(vec![8, 16, 24, 32]), |s| parse_sizes(s))
+    {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    let (batch, reps) = match (args.get("batch", 16_384usize), args.get("reps", 3usize)) {
+        (Ok(b), Ok(r)) => (b, r),
+        (Err(e), _) | (_, Err(e)) => return fail(e),
+    };
+    if sizes.contains(&0) {
+        return fail("--sizes entries must be positive");
+    }
+    let f32_only = args.flag("f32");
+    let f64_only = args.flag("f64");
+    println!(
+        "host batch Cholesky, batch {batch}, best of {reps} rep(s), {} threads",
+        std::thread::available_parallelism().map_or(1, usize::from)
+    );
+    println!("type n    layout       engine         throughput        matrices       speedup");
+    for &n in &sizes {
+        if !f64_only {
+            host_bench_size::<f32>("f32", n, batch, reps);
+        }
+        if !f32_only {
+            host_bench_size::<f64>("f64", n, batch, reps);
+        }
+    }
+    0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -637,6 +745,18 @@ mod tests {
     fn verify_command_succeeds() {
         let a = args("verify --n 6 --batch 64");
         assert_eq!(verify(&a), 0);
+    }
+
+    #[test]
+    fn host_bench_command_succeeds() {
+        let a = args("host-bench --sizes 6 --batch 128 --reps 1 --f32");
+        assert_eq!(host_bench(&a), 0);
+    }
+
+    #[test]
+    fn host_bench_rejects_bad_sizes() {
+        assert_eq!(host_bench(&args("host-bench --sizes 6,x")), 2);
+        assert_eq!(host_bench(&args("host-bench --sizes 0 --reps 1")), 2);
     }
 
     #[test]

@@ -34,6 +34,11 @@
 //!
 //! ibcf verify --n 16 [--batch 1024]
 //!     Factor a random batch functionally and report the residual.
+//!
+//! ibcf host-bench [--sizes 8,16,24,32] [--batch 16384] [--reps 3]
+//!     Benchmark the CPU baselines per layout: sequential and
+//!     rayon-gather gather/scatter vs the in-place lane-vectorized
+//!     engine.
 //! ```
 
 mod args;
@@ -61,6 +66,7 @@ fn main() {
         Some("tune") => commands::tune(&parsed),
         Some("emit") => commands::emit(&parsed),
         Some("verify") => commands::verify(&parsed),
+        Some("host-bench") => commands::host_bench(&parsed),
         Some("help") | None => {
             print!("{}", commands::USAGE);
             0

@@ -31,14 +31,18 @@ impl BatchReport {
 
 /// Factorizes every live matrix of the batch in place using the unblocked
 /// reference algorithm, sequentially.
+///
+/// Cholesky never reads or writes above the diagonal, so only the lower
+/// triangle is gathered and scattered — half the copy traffic of a full
+/// square round trip.
 pub fn factorize_batch_seq<T: Real, L: BatchLayout>(layout: &L, data: &mut [T]) -> BatchReport {
     let n = layout.n();
     let mut scratch = vec![T::ZERO; n * n];
     let mut report = BatchReport::default();
     for mat in 0..layout.batch() {
-        ibcf_layout::gather_matrix(layout, data, mat, &mut scratch, n);
+        ibcf_layout::gather_lower(layout, data, mat, &mut scratch, n);
         match potrf_unblocked(n, &mut scratch, n) {
-            Ok(()) => ibcf_layout::scatter_matrix(layout, data, mat, &scratch, n),
+            Ok(()) => ibcf_layout::scatter_lower(layout, data, mat, &scratch, n),
             Err(e) => report.failures.push((mat, e)),
         }
     }
@@ -59,8 +63,10 @@ pub fn factorize_batch<T: Real, L: BatchLayout + Sync>(layout: &L, data: &mut [T
         .into_par_iter()
         .filter_map(|mat| {
             let mut scratch = vec![T::ZERO; n * n];
+            // Lower triangle only: the factorization never touches the
+            // strictly-upper part, so copying it would be wasted traffic.
             for col in 0..n {
-                for row in 0..n {
+                for row in col..n {
                     // SAFETY: layout addresses are injective per (mat, row,
                     // col) and each `mat` is owned by exactly one worker.
                     scratch[row + col * n] = unsafe { shared.read(layout.addr(mat, row, col)) };
@@ -69,7 +75,7 @@ pub fn factorize_batch<T: Real, L: BatchLayout + Sync>(layout: &L, data: &mut [T
             match potrf_unblocked(n, &mut scratch, n) {
                 Ok(()) => {
                     for col in 0..n {
-                        for row in 0..n {
+                        for row in col..n {
                             // SAFETY: as above — disjoint per matrix.
                             unsafe {
                                 shared.write(layout.addr(mat, row, col), scratch[row + col * n]);
@@ -108,8 +114,10 @@ pub fn factorize_batch_blocked<T: Real, L: BatchLayout + Sync>(
             // Local single-matrix canonical layout and buffer.
             let local = ibcf_layout::Canonical::new(n, 1);
             let mut buf = vec![T::ZERO; local.len()];
+            // The tile kernels only ever read and write at or below the
+            // diagonal, so the round trip copies the lower triangle only.
             for col in 0..n {
-                for row in 0..n {
+                for row in col..n {
                     // SAFETY: disjoint per matrix (injective layout).
                     buf[local.addr(0, row, col)] =
                         unsafe { shared.read(layout.addr(mat, row, col)) };
@@ -118,7 +126,7 @@ pub fn factorize_batch_blocked<T: Real, L: BatchLayout + Sync>(
             match potrf_blocked(&local, &mut buf, 0, nb, looking) {
                 Ok(()) => {
                     for col in 0..n {
-                        for row in 0..n {
+                        for row in col..n {
                             // SAFETY: as above.
                             unsafe {
                                 shared.write(

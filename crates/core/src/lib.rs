@@ -20,6 +20,9 @@
 //! * [`host_batch`] — a rayon-parallel, layout-aware batch factorization
 //!   used both as a CPU baseline and as the oracle for the GPU-simulator
 //!   kernels.
+//! * [`lane_batch`] — the lane-vectorized in-place batch factorization:
+//!   the host-side analogue of the paper's warp-coalesced interleaved
+//!   kernels, several times faster than the gather/scatter baseline.
 //! * [`verify`] — residual and reconstruction checks.
 
 #![warn(missing_docs)]
@@ -29,6 +32,7 @@ pub mod cond;
 pub mod error;
 pub mod flops;
 pub mod host_batch;
+pub mod lane_batch;
 pub mod matrix;
 pub mod reference;
 pub mod scalar;
@@ -42,6 +46,10 @@ pub mod verify;
 pub use blocked::{potrf_blocked, Looking};
 pub use cond::{batch_cond_estimate, cond_estimate};
 pub use error::CholeskyError;
+pub use lane_batch::{
+    factorize_batch_auto, factorize_batch_lanes, factorize_batch_lanes_with, lane_compatible,
+    preferred_lanes, LaneOrder, LaneWidth,
+};
 pub use matrix::ColMatrix;
 pub use reference::potrf_unblocked;
 pub use scalar::Real;

@@ -63,6 +63,43 @@ impl<'a, T> SyncSlice<'a, T> {
     pub unsafe fn write(&self, idx: usize, value: T) {
         unsafe { *self.data[idx].get() = value };
     }
+
+    /// A shared view of the `len` contiguous elements starting at `idx` —
+    /// the lane-block read primitive of the vectorized batch engine.
+    ///
+    /// # Panics
+    /// If `idx + len` exceeds the slice.
+    ///
+    /// # Safety
+    /// No other thread may concurrently write any element of the range,
+    /// and the caller must not hold an overlapping `block_mut` while the
+    /// returned reference is live.
+    #[inline]
+    pub unsafe fn block(&self, idx: usize, len: usize) -> &[T] {
+        assert!(idx + len <= self.data.len(), "block out of bounds");
+        // SAFETY: bounds checked above; aliasing discipline is the
+        // caller's contract. `UnsafeCell<T>` has the layout of `T`, so
+        // consecutive cells are consecutive `T`s.
+        unsafe { std::slice::from_raw_parts(self.data[idx].get() as *const T, len) }
+    }
+
+    /// A mutable view of the `len` contiguous elements starting at `idx` —
+    /// the lane-block write primitive of the vectorized batch engine.
+    ///
+    /// # Panics
+    /// If `idx + len` exceeds the slice.
+    ///
+    /// # Safety
+    /// No other thread may concurrently access any element of the range,
+    /// and the caller must not hold any other reference overlapping it
+    /// while the returned reference is live.
+    #[inline]
+    #[allow(clippy::mut_from_ref)] // the whole point of SyncSlice
+    pub unsafe fn block_mut(&self, idx: usize, len: usize) -> &mut [T] {
+        assert!(idx + len <= self.data.len(), "block out of bounds");
+        // SAFETY: as in `block`, with exclusivity promised by the caller.
+        unsafe { std::slice::from_raw_parts_mut(self.data[idx].get(), len) }
+    }
 }
 
 #[cfg(test)]
@@ -88,6 +125,30 @@ mod tests {
         for (i, &v) in buf.iter().enumerate() {
             assert_eq!(v, (i % 8) as u64 + 1);
         }
+    }
+
+    #[test]
+    fn blocks_read_and_write_ranges() {
+        let mut buf: Vec<f32> = (0..16).map(|x| x as f32).collect();
+        {
+            let s = SyncSlice::new(&mut buf);
+            unsafe {
+                assert_eq!(s.block(4, 4), &[4.0, 5.0, 6.0, 7.0]);
+                let b = s.block_mut(8, 4);
+                for x in b.iter_mut() {
+                    *x += 100.0;
+                }
+            }
+        }
+        assert_eq!(&buf[8..12], &[108.0, 109.0, 110.0, 111.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "block out of bounds")]
+    fn block_bounds_checked() {
+        let mut buf = vec![0.0f32; 4];
+        let s = SyncSlice::new(&mut buf);
+        let _ = unsafe { s.block(2, 3) };
     }
 
     #[test]

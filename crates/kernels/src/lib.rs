@@ -39,6 +39,8 @@ pub use launch::{
     factorize_batch_device, factorize_batch_traditional, gflops_of_config, plan_config,
     posv_batch_device, price_config, time_config, time_config_cached, time_traditional, PlanKey,
 };
-pub use pack::{pack_batch_device, time_pack, PackDirection, PackKernel};
+pub use pack::{
+    pack_batch_device, pack_batch_host, time_pack, unpack_batch_host, PackDirection, PackKernel,
+};
 pub use solve_kernel::{solve_batch_device, solve_batch_device_opts, time_solve, InterleavedSolve};
 pub use traditional::TraditionalCholesky;

@@ -14,7 +14,7 @@ use ibcf_gpu_sim::{
     launch_functional, plan_thread_kernel, price, ExecOptions, GpuSpec, KernelCtx, KernelStatics,
     KernelTiming, LaunchConfig, PlanParams, PricingCtx, ThreadKernel,
 };
-use ibcf_layout::{BatchLayout, Canonical, Layout};
+use ibcf_layout::{alloc_batch, transcode_into, AlignedVec, BatchLayout, Canonical, Layout};
 
 /// Direction of the device transcode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +125,41 @@ pub fn pack_batch_device(
     );
 }
 
+/// The host mirror of [`pack_batch_device`]: re-lays-out a batch from
+/// `src_layout` into a freshly allocated, 128-byte-aligned buffer in
+/// `dst_layout`. This is the staging step for the lane-vectorized host
+/// engine (`ibcf_core::lane_batch`) when data arrives canonically — pay
+/// one memory sweep once, then every factorization (or ALS solve sweep)
+/// runs on coalescable interleaved data.
+///
+/// # Panics
+/// If the layouts disagree on `n` or `batch`, or `src` is too short.
+pub fn pack_batch_host<T: Copy + Default, A: BatchLayout, B: BatchLayout>(
+    src_layout: &A,
+    src: &[T],
+    dst_layout: &B,
+) -> AlignedVec<T> {
+    let mut dst = alloc_batch::<T, _>(dst_layout);
+    transcode_into(src_layout, src, dst_layout, &mut dst);
+    dst
+}
+
+/// The inverse of [`pack_batch_host`]: writes the live matrices of a
+/// packed batch back into a caller-provided buffer in `dst_layout`.
+/// Padding slots of `dst` are left untouched.
+///
+/// # Panics
+/// If the layouts disagree on `n` or `batch`, or either buffer is too
+/// short.
+pub fn unpack_batch_host<T: Copy, A: BatchLayout, B: BatchLayout>(
+    src_layout: &A,
+    src: &[T],
+    dst_layout: &B,
+    dst: &mut [T],
+) {
+    transcode_into(src_layout, src, dst_layout, dst);
+}
+
 /// Times one pack pass on `spec`, via the two-phase plan/price pipeline.
 pub fn time_pack(canonical: Canonical, interleaved: Layout, spec: &GpuSpec) -> KernelTiming {
     let kernel = PackKernel::new(canonical, interleaved, canonical.len(), PackDirection::Pack);
@@ -195,6 +230,49 @@ mod tests {
             ExecOptions::default(),
         );
         assert_eq!(&mem[..off], &orig[..]);
+    }
+
+    #[test]
+    fn host_pack_is_aligned_and_round_trips() {
+        let n = 6;
+        let batch = 150;
+        let canonical = Canonical::new(n, batch);
+        let interleaved = Layout::build(LayoutKind::Chunked, n, batch, 32);
+        let data: Vec<f32> = (0..canonical.len()).map(|i| (i as f32).cos()).collect();
+        let packed = pack_batch_host(&canonical, &data, &interleaved);
+        assert_eq!(packed.as_ptr() as usize % ibcf_layout::BUFFER_ALIGN, 0);
+        assert_eq!(packed.len(), interleaved.len());
+        let host = transcode(&canonical, &data, &interleaved);
+        let mut a = vec![0.0f32; n * n];
+        let mut b = vec![0.0f32; n * n];
+        for mat in 0..batch {
+            ibcf_layout::gather_matrix(&interleaved, &packed, mat, &mut a, n);
+            ibcf_layout::gather_matrix(&interleaved, &host, mat, &mut b, n);
+            assert_eq!(a, b, "matrix {mat}");
+        }
+        let mut back = vec![0.0f32; canonical.len()];
+        unpack_batch_host(&interleaved, &packed, &canonical, &mut back);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn host_pack_feeds_the_lane_engine() {
+        // The whole point of the host pack path: canonical data, packed
+        // once, factorizes with the in-place lane engine and unpacks to
+        // the same factors the direct canonical oracle produces.
+        let n = 8;
+        let batch = 100;
+        let canonical = Canonical::new(n, batch);
+        let mut data = vec![0.0f32; canonical.len()];
+        ibcf_core::spd::fill_batch_spd(&canonical, &mut data, ibcf_core::spd::SpdKind::Wishart, 9);
+        let mut oracle = data.clone();
+        assert!(ibcf_core::host_batch::factorize_batch_seq(&canonical, &mut oracle).all_ok());
+
+        let interleaved = Layout::build(LayoutKind::Chunked, n, batch, 64);
+        let mut packed = pack_batch_host(&canonical, &data, &interleaved);
+        assert!(ibcf_core::factorize_batch_lanes(&interleaved, &mut packed).all_ok());
+        unpack_batch_host(&interleaved, &packed, &canonical, &mut data);
+        assert_eq!(data, oracle);
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! 128-byte-aligned batch buffers.
+//!
+//! The coalescing story of the interleaved layouts assumes the batch
+//! buffer starts on a 128-byte boundary: a warp's 32 consecutive lanes of
+//! one `f32` element plane then fall into exactly one 128-byte memory
+//! transaction (see [`Interleaved`](crate::Interleaved)). On the host the
+//! same boundary is what keeps a lane group's `[T; LANES]` block inside
+//! whole cache lines, so SIMD loads of a block never split across lines.
+//! `Vec` only guarantees the element type's own alignment; this module
+//! provides the stronger guarantee.
+//!
+//! This is the one corner of the crate that needs `unsafe` (raw
+//! allocation); everything else remains `#![deny(unsafe_code)]`-clean.
+#![allow(unsafe_code)]
+
+use crate::traits::BatchLayout;
+use std::alloc::{alloc, dealloc, handle_alloc_error, Layout as AllocLayout};
+use std::ops::{Deref, DerefMut};
+use std::ptr::NonNull;
+
+/// Alignment, in bytes, of every buffer this module hands out: one full
+/// 128-byte memory transaction / two 64-byte cache lines.
+pub const BUFFER_ALIGN: usize = 128;
+
+/// A fixed-length heap buffer of `T` whose base address is aligned to
+/// [`BUFFER_ALIGN`] bytes. Dereferences to `[T]`, so it drops into every
+/// API that takes a slice.
+pub struct AlignedVec<T> {
+    ptr: NonNull<T>,
+    len: usize,
+}
+
+// SAFETY: `AlignedVec` uniquely owns its allocation, exactly like `Vec`.
+unsafe impl<T: Send> Send for AlignedVec<T> {}
+unsafe impl<T: Sync> Sync for AlignedVec<T> {}
+
+impl<T: Copy + Default> AlignedVec<T> {
+    /// Allocates `len` elements, each initialized to `T::default()`.
+    ///
+    /// # Panics
+    /// If the allocation size overflows `isize`.
+    pub fn new(len: usize) -> Self {
+        if len == 0 {
+            // No allocation: a well-aligned dangling pointer, never read.
+            let ptr = NonNull::new(BUFFER_ALIGN as *mut T).expect("non-null");
+            return AlignedVec { ptr, len };
+        }
+        let layout = Self::alloc_layout(len);
+        // SAFETY: `layout` has non-zero size.
+        let raw = unsafe { alloc(layout) } as *mut T;
+        let Some(ptr) = NonNull::new(raw) else {
+            handle_alloc_error(layout);
+        };
+        for i in 0..len {
+            // SAFETY: `i < len` elements fit the allocation just made.
+            unsafe { ptr.as_ptr().add(i).write(T::default()) };
+        }
+        AlignedVec { ptr, len }
+    }
+
+    fn alloc_layout(len: usize) -> AllocLayout {
+        let bytes = std::mem::size_of::<T>()
+            .checked_mul(len)
+            .expect("allocation size overflow");
+        let align = BUFFER_ALIGN.max(std::mem::align_of::<T>());
+        AllocLayout::from_size_align(bytes, align).expect("allocation size overflow")
+    }
+}
+
+impl<T> AlignedVec<T> {
+    /// Number of elements.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The buffer as a shared slice.
+    pub fn as_slice(&self) -> &[T] {
+        // SAFETY: `ptr` points at `len` initialized elements.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// The buffer as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        // SAFETY: as above, and we hold `&mut self`.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl<T> Drop for AlignedVec<T> {
+    fn drop(&mut self) {
+        if self.len == 0 {
+            return;
+        }
+        let bytes = std::mem::size_of::<T>() * self.len;
+        let align = BUFFER_ALIGN.max(std::mem::align_of::<T>());
+        let layout = AllocLayout::from_size_align(bytes, align).expect("valid at alloc time");
+        // SAFETY: allocated in `new` with this exact layout; `T: Copy`
+        // buffers need no element drops.
+        unsafe { dealloc(self.ptr.as_ptr() as *mut u8, layout) };
+    }
+}
+
+impl<T> Deref for AlignedVec<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T> DerefMut for AlignedVec<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy + Default> Clone for AlignedVec<T> {
+    fn clone(&self) -> Self {
+        let mut out = AlignedVec::new(self.len);
+        out.as_mut_slice().copy_from_slice(self.as_slice());
+        out
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for AlignedVec<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlignedVec")
+            .field("len", &self.len)
+            .field("align", &BUFFER_ALIGN)
+            .finish()
+    }
+}
+
+/// Allocates a zero-initialized, 128-byte-aligned buffer of `len`
+/// elements.
+pub fn alloc_aligned<T: Copy + Default>(len: usize) -> AlignedVec<T> {
+    AlignedVec::new(len)
+}
+
+/// Allocates a 128-byte-aligned buffer sized for `layout` — the
+/// recommended way to materialize any batch the layouts describe.
+pub fn alloc_batch<T: Copy + Default, L: BatchLayout>(layout: &L) -> AlignedVec<T> {
+    AlignedVec::new(layout.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Chunked, Interleaved, WARP_SIZE};
+
+    #[test]
+    fn buffers_are_128_byte_aligned() {
+        for len in [1usize, 3, 100, 4096, 100_000] {
+            let f = alloc_aligned::<f32>(len);
+            assert_eq!(f.as_slice().as_ptr() as usize % BUFFER_ALIGN, 0);
+            assert_eq!(f.len(), len);
+            assert!(f.iter().all(|&x| x == 0.0));
+            let d = alloc_aligned::<f64>(len);
+            assert_eq!(d.as_slice().as_ptr() as usize % BUFFER_ALIGN, 0);
+        }
+    }
+
+    #[test]
+    fn zero_length_is_fine() {
+        let v = alloc_aligned::<f64>(0);
+        assert!(v.is_empty());
+        assert_eq!(v.as_slice(), &[] as &[f64]);
+        let _ = v.clone();
+    }
+
+    #[test]
+    fn clone_copies_contents() {
+        let mut v = alloc_aligned::<f32>(64);
+        for (i, x) in v.iter_mut().enumerate() {
+            *x = i as f32;
+        }
+        let c = v.clone();
+        assert_eq!(c.as_slice(), v.as_slice());
+        assert_eq!(c.as_ptr() as usize % BUFFER_ALIGN, 0);
+    }
+
+    /// The promise the coalescing docs make: with a 128-byte-aligned base,
+    /// every warp-wide access of one element plane across 32 consecutive
+    /// matrices of an interleaved batch touches exactly one 128-byte line
+    /// (f32) — the byte address of each warp's first lane is a multiple of
+    /// `32 * size_of::<f32>() = 128`.
+    #[test]
+    fn interleaved_warp_blocks_start_on_transaction_boundaries() {
+        let n = 5;
+        let batch = 96;
+        let il = Interleaved::new(n, batch);
+        let buf = alloc_batch::<f32, _>(&il);
+        let base = buf.as_ptr() as usize;
+        assert_eq!(base % BUFFER_ALIGN, 0);
+        for mat0 in (0..il.padded_batch()).step_by(WARP_SIZE) {
+            for col in 0..n {
+                for row in 0..n {
+                    let byte = base + il.addr(mat0, row, col) * std::mem::size_of::<f32>();
+                    assert_eq!(byte % BUFFER_ALIGN, 0, "mat0={mat0} ({row},{col})");
+                }
+            }
+        }
+        // Chunked interleaving keeps the same property inside each chunk.
+        let ch = Chunked::new(n, batch, 64);
+        let buf = alloc_batch::<f32, _>(&ch);
+        let base = buf.as_ptr() as usize;
+        for mat0 in (0..ch.padded_batch()).step_by(WARP_SIZE) {
+            let byte = base + ch.addr(mat0, 0, 0) * std::mem::size_of::<f32>();
+            assert_eq!(byte % BUFFER_ALIGN, 0, "mat0={mat0}");
+        }
+    }
+}

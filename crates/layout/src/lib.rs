@@ -36,9 +36,12 @@
 //! assert_eq!(chunked.addr(70, 2, 1), 64 * 16 + (1 * 4 + 2) * 64 + 6);
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and allowed in exactly one place: the
+// aligned allocator in `alloc`, which needs raw allocation calls.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod alloc;
 mod canonical;
 mod chunked;
 mod convert;
@@ -47,9 +50,12 @@ mod packed;
 mod traits;
 mod util;
 
+pub use alloc::{alloc_aligned, alloc_batch, AlignedVec, BUFFER_ALIGN};
 pub use canonical::Canonical;
 pub use chunked::Chunked;
-pub use convert::{gather_matrix, scatter_matrix, transcode, transcode_into};
+pub use convert::{
+    gather_lower, gather_matrix, scatter_lower, scatter_matrix, transcode, transcode_into,
+};
 pub use interleaved::Interleaved;
 pub use packed::{pack_symmetric, unpack_symmetric, PackedChunked};
 pub use traits::{BatchLayout, LayoutKind};

@@ -52,6 +52,9 @@ pub mod prelude {
     };
     pub use ibcf_core::flops::{batch_gflops, cholesky_flops_std};
     pub use ibcf_core::host_batch::{factorize_batch, factorize_batch_seq};
+    pub use ibcf_core::lane_batch::{
+        factorize_batch_auto, factorize_batch_lanes, lane_compatible, LaneOrder, LaneWidth,
+    };
     pub use ibcf_core::solve::{solve_batch, solve_cholesky, VectorBatch};
     pub use ibcf_core::spd::{fill_batch_spd, random_spd, SpdKind};
     pub use ibcf_core::verify::{batch_reconstruction_error, reconstruction_error};
@@ -65,12 +68,13 @@ pub mod prelude {
     pub use ibcf_gpu_sim::{GpuSpec, KernelTiming, LaunchConfig};
     pub use ibcf_kernels::{
         emit_cuda, factorize_batch_device, factorize_batch_traditional, gflops_of_config,
-        pack_batch_device, solve_batch_device, time_config, time_solve, time_traditional,
-        CachePref, InterleavedCholesky, InterleavedSolve, KernelConfig, PackKernel,
-        TraditionalCholesky, Unroll,
+        pack_batch_device, pack_batch_host, solve_batch_device, time_config, time_solve,
+        time_traditional, unpack_batch_host, CachePref, InterleavedCholesky, InterleavedSolve,
+        KernelConfig, PackKernel, TraditionalCholesky, Unroll,
     };
     pub use ibcf_layout::{
-        gather_matrix, pack_symmetric, scatter_matrix, transcode, unpack_symmetric, BatchLayout,
-        Canonical, Chunked, Interleaved, Layout, LayoutKind, PackedChunked,
+        alloc_aligned, alloc_batch, gather_lower, gather_matrix, pack_symmetric, scatter_lower,
+        scatter_matrix, transcode, unpack_symmetric, AlignedVec, BatchLayout, Canonical, Chunked,
+        Interleaved, Layout, LayoutKind, PackedChunked, BUFFER_ALIGN,
     };
 }

@@ -5,9 +5,26 @@
 //! Each `bench_function` does a short warm-up, then `sample_size` timed
 //! samples of an adaptively-chosen iteration count, and prints the median
 //! time per iteration.
+//!
+//! Like the real crate, passing `--test` on the bench binary's command
+//! line (i.e. `cargo bench -- --test`) switches to **smoke mode**: every
+//! benchmark closure runs exactly once with no calibration or sampling,
+//! so CI can prove the bench targets still build and execute without
+//! paying for measurements.
 
 use std::hint::black_box as std_black_box;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// `true` when the bench binary was invoked with `--test` (smoke mode).
+fn smoke_mode() -> bool {
+    static MODE: OnceLock<bool> = OnceLock::new();
+    *MODE.get_or_init(|| is_smoke_mode(std::env::args()))
+}
+
+fn is_smoke_mode(mut args: impl Iterator<Item = String>) -> bool {
+    args.any(|a| a == "--test")
+}
 
 /// Re-export so benches can use `criterion::black_box` too.
 pub fn black_box<T>(x: T) -> T {
@@ -86,9 +103,37 @@ impl Bencher {
         }
         self.elapsed = start.elapsed();
     }
+
+    /// Times `iters` calls of `routine`, excluding the per-call `setup`
+    /// that builds its input — for routines that consume or mutate state
+    /// (e.g. an in-place factorization needing a pristine buffer each
+    /// call), where timing the rebuild would dilute the measurement.
+    pub fn iter_with_setup<I, R, S: FnMut() -> I, F: FnMut(I) -> R>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
 }
 
 fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    if smoke_mode() {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("  {name}: ok (smoke test, 1 iter)");
+        return;
+    }
     // Calibrate: grow the iteration count until one sample takes ≥ ~2 ms,
     // so short routines aren't all timer noise.
     let mut iters: u64 = 1;
@@ -172,6 +217,34 @@ mod tests {
         });
         g.finish();
         assert!(count > 0);
+    }
+
+    #[test]
+    fn iter_with_setup_excludes_setup_time() {
+        let mut b = Bencher {
+            iters: 4,
+            elapsed: Duration::ZERO,
+        };
+        let mut built = 0u32;
+        b.iter_with_setup(
+            || {
+                built += 1;
+                vec![0u8; 8]
+            },
+            |v| v.len(),
+        );
+        assert_eq!(built, 4);
+        assert!(b.elapsed < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn smoke_mode_flag_detection() {
+        assert!(is_smoke_mode(
+            ["bench", "--bench", "--test"].map(String::from).into_iter()
+        ));
+        assert!(!is_smoke_mode(
+            ["bench", "--bench"].map(String::from).into_iter()
+        ));
     }
 
     #[test]
