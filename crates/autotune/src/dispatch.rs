@@ -2,7 +2,7 @@
 //! selector — what ATLAS-lineage libraries (and the BONSAI project this
 //! paper's grant funded) do with sweep results.
 //!
-//! A [`TunedDispatch`] holds the winning configuration per matrix size;
+//! A [`DispatchTable`] holds the winning configuration per matrix size;
 //! at run time, a request for dimension `n` gets the exact winner if `n`
 //! was swept, or the winner of the nearest swept size with `n`
 //! substituted — a sensible interpolation because the optimal qualitative
@@ -18,14 +18,18 @@ use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
 use std::path::Path;
 
+/// The name this table carried before the serving layer grew around it;
+/// kept so existing imports keep compiling.
+pub type TunedDispatch = DispatchTable;
+
 /// A per-size table of winning configurations.
 #[derive(Debug, Clone, Serialize, Deserialize, Default)]
-pub struct TunedDispatch {
+pub struct DispatchTable {
     /// Winning configuration per swept matrix dimension.
     pub table: BTreeMap<usize, KernelConfig>,
 }
 
-impl TunedDispatch {
+impl DispatchTable {
     /// Builds the dispatch table from a sweep dataset, optionally
     /// restricted to one arithmetic mode (`Some(false)` = IEEE winners
     /// only — the common case, since fast-math changes numerics).
@@ -41,7 +45,7 @@ impl TunedDispatch {
                 table.insert(n, m.config);
             }
         }
-        TunedDispatch { table }
+        DispatchTable { table }
     }
 
     /// Number of tuned sizes.
@@ -108,24 +112,47 @@ impl TunedDispatch {
         Ok(())
     }
 
-    /// Loads a table saved by [`TunedDispatch::save`].
+    /// Loads a table saved by [`DispatchTable::save`].
+    ///
+    /// Every line must parse, carry a matching `n`, and describe a
+    /// structurally valid configuration — a table that silently dropped or
+    /// mangled entries would mis-dispatch every request routed through it,
+    /// so corruption is an `InvalidData` error, never a default.
     pub fn load(path: &Path) -> std::io::Result<Self> {
+        let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
         let f = std::io::BufReader::new(std::fs::File::open(path)?);
         let mut table = BTreeMap::new();
-        for line in f.lines() {
+        for (lineno, line) in f.lines().enumerate() {
             let line = line?;
             if line.trim().is_empty() {
                 continue;
             }
-            let v: serde_json::Value = serde_json::from_str(&line)?;
+            let v: serde_json::Value = serde_json::from_str(&line)
+                .map_err(|e| bad(format!("line {}: {e}", lineno + 1)))?;
             let n = v["n"]
                 .as_u64()
-                .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "missing n"))?
+                .ok_or_else(|| bad(format!("line {}: missing n", lineno + 1)))?
                 as usize;
-            let config: KernelConfig = serde_json::from_value(v["config"].clone())?;
-            table.insert(n, config);
+            let config: KernelConfig = serde_json::from_value(v["config"].clone())
+                .map_err(|e| bad(format!("line {}: {e}", lineno + 1)))?;
+            if config.n != n {
+                return Err(bad(format!(
+                    "line {}: entry n={n} disagrees with config n={}",
+                    lineno + 1,
+                    config.n
+                )));
+            }
+            config
+                .validate()
+                .map_err(|e| bad(format!("line {}: {e}", lineno + 1)))?;
+            if table.insert(n, config).is_some() {
+                return Err(bad(format!(
+                    "line {}: duplicate entry for n={n}",
+                    lineno + 1
+                )));
+            }
         }
-        Ok(TunedDispatch { table })
+        Ok(DispatchTable { table })
     }
 }
 
@@ -136,7 +163,7 @@ mod tests {
     use crate::space::ParamSpace;
     use ibcf_gpu_sim::GpuSpec;
 
-    fn dispatch() -> (Dataset, TunedDispatch) {
+    fn dispatch() -> (Dataset, DispatchTable) {
         let ds = sweep_sizes(
             &ParamSpace::quick(),
             &[8, 16, 32],
@@ -146,7 +173,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        let d = TunedDispatch::from_dataset(&ds, Some(false));
+        let d = DispatchTable::from_dataset(&ds, Some(false));
         (ds, d)
     }
 
@@ -190,7 +217,7 @@ mod tests {
         use ibcf_kernels::factorize_batch_device;
         // Force a winner with nb = 8 at the smallest swept size, so a
         // retarget to n = 2 exercises the nb > n clamp.
-        let mut d = TunedDispatch::default();
+        let mut d = DispatchTable::default();
         d.table.insert(
             8,
             ibcf_kernels::KernelConfig {
@@ -228,7 +255,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let p = dir.join("dispatch.jsonl");
         d.save(&p).unwrap();
-        let back = TunedDispatch::load(&p).unwrap();
+        let back = DispatchTable::load(&p).unwrap();
         assert_eq!(back.len(), d.len());
         for n in [8usize, 16, 32] {
             assert_eq!(back.config_for(n), d.config_for(n));
@@ -238,7 +265,7 @@ mod tests {
 
     #[test]
     fn empty_table_returns_none() {
-        let d = TunedDispatch::default();
+        let d = DispatchTable::default();
         assert!(d.is_empty());
         assert!(d.config_for(16).is_none());
     }

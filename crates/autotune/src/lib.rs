@@ -17,7 +17,7 @@ pub mod runner;
 pub mod space;
 
 pub use best::BestTable;
-pub use dispatch::TunedDispatch;
+pub use dispatch::{DispatchTable, TunedDispatch};
 pub use log::{
     grid_configs, merge_logs, MergeReport, ShardSpec, SweepLog, SweepLogEntry, SweepLogHeader,
     SweepLogWriter,

@@ -625,8 +625,8 @@ mod tests {
         let grid = grid_configs(&h.space, &h.sizes);
         let spec = GpuSpec::p100();
         let mut w = SweepLogWriter::create(&p, &h, true).unwrap();
-        for s in 0..3 {
-            w.append(s, &measure(&grid[s], h.batch, &spec)).unwrap();
+        for (s, cfg) in grid.iter().enumerate().take(3) {
+            w.append(s, &measure(cfg, h.batch, &spec)).unwrap();
         }
         drop(w);
         // Simulate a crash mid-append: a torn final line.

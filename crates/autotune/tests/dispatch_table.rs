@@ -1,0 +1,136 @@
+//! `DispatchTable::save`/`load` round-trip property tests plus
+//! corrupt-file rejection — the same hardening contract as
+//! `Dataset::load_jsonl`: a dispatch table that loads at all must be
+//! exactly the table that was saved, and anything mangled is an
+//! `InvalidData` error rather than a silently defaulted entry (a wrong
+//! table would mis-dispatch every request the serving layer routes
+//! through it).
+
+use ibcf_autotune::heuristics::heuristic_config;
+use ibcf_autotune::{DispatchTable, ParamSpace};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::io::ErrorKind;
+use std::path::PathBuf;
+
+fn tmpfile(tag: &str, case: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ibcf_dispatch_prop_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}_{case}.jsonl"))
+}
+
+/// A random valid table: 0..12 distinct sizes, each with a configuration
+/// drawn uniformly from the paper's full parameter space.
+fn random_table(seed: u64) -> DispatchTable {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let space = ParamSpace::paper();
+    let mut table = DispatchTable::default();
+    let sizes = rng.random_range(0..12usize);
+    for _ in 0..sizes {
+        let n = rng.random_range(1..=64usize);
+        let configs = space.configs(n);
+        let config = configs[rng.random_range(0..configs.len())];
+        table.table.insert(n, config);
+    }
+    table
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn save_load_round_trips_any_table(seed in any::<u64>()) {
+        let table = random_table(seed);
+        let path = tmpfile("rt", seed);
+        table.save(&path).unwrap();
+        let back = DispatchTable::load(&path).unwrap();
+        prop_assert_eq!(back.table.len(), table.table.len());
+        for (n, config) in &table.table {
+            prop_assert_eq!(back.table.get(n), Some(config));
+        }
+        // The loaded table dispatches identically everywhere, swept or not.
+        for n in 1..=80usize {
+            prop_assert_eq!(back.config_for(n), table.config_for(n));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_or_garbled_files_are_rejected(seed in any::<u64>()) {
+        let mut table = random_table(seed);
+        table.table.insert(16, heuristic_config(16));
+        let path = tmpfile("corrupt", seed);
+        table.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+
+        // Cut mid-line: the torn JSON must not parse.
+        let cut = text.len() - text.len().min(9);
+        std::fs::write(&path, &text.as_bytes()[..cut]).unwrap();
+        let err = DispatchTable::load(&path).unwrap_err();
+        prop_assert_eq!(err.kind(), ErrorKind::InvalidData);
+
+        // Arbitrary garbage is no better.
+        std::fs::write(&path, b"not json at all\n{\"n\": oops}\n").unwrap();
+        let err = DispatchTable::load(&path).unwrap_err();
+        prop_assert_eq!(err.kind(), ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn semantic_corruption_is_rejected() {
+    let dir = std::env::temp_dir().join(format!("ibcf_dispatch_sem_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("d.jsonl");
+    let mut table = DispatchTable::default();
+    table.table.insert(16, heuristic_config(16));
+    table.save(&path).unwrap();
+    let good = std::fs::read_to_string(&path).unwrap();
+
+    // A structurally invalid configuration (chunk size not a multiple of
+    // the warp size) must be rejected, not dispatched.
+    let bad = good.replace("\"chunk_size\":64", "\"chunk_size\":48");
+    assert_ne!(bad, good, "fixture expects chunk_size 64 in the heuristic");
+    std::fs::write(&path, &bad).unwrap();
+    assert_eq!(
+        DispatchTable::load(&path).unwrap_err().kind(),
+        ErrorKind::InvalidData
+    );
+
+    // An entry whose key disagrees with its configuration's `n` (replace
+    // only the outer key; the config keeps n = 16).
+    let bad = good.replacen("{\"n\":16,\"config\"", "{\"n\":24,\"config\"", 1);
+    assert_ne!(bad, good);
+    std::fs::write(&path, &bad).unwrap();
+    assert_eq!(
+        DispatchTable::load(&path).unwrap_err().kind(),
+        ErrorKind::InvalidData
+    );
+
+    // A duplicated size: two winners for one n is a merge bug upstream.
+    std::fs::write(&path, format!("{good}{good}")).unwrap();
+    assert_eq!(
+        DispatchTable::load(&path).unwrap_err().kind(),
+        ErrorKind::InvalidData
+    );
+
+    // Missing `n` key entirely.
+    let bad = good.replacen("{\"n\":16,\"config\"", "{\"config\"", 1);
+    std::fs::write(&path, &bad).unwrap();
+    assert_eq!(
+        DispatchTable::load(&path).unwrap_err().kind(),
+        ErrorKind::InvalidData
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn heuristic_fallback_is_valid_at_every_size() {
+    for n in 1..=64 {
+        let c = heuristic_config(n);
+        assert_eq!(c.n, n);
+        c.validate().unwrap_or_else(|e| panic!("n={n}: {e}"));
+        assert!(c.chunked, "heuristic prefers the chunked interleave");
+    }
+}

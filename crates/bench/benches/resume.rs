@@ -1,10 +1,11 @@
 //! Resume-overhead bench: what the crash-safe sweep log costs.
 //!
 //! Three paths over the same multi-size quick-space grid:
-//!   * `plain`            — in-memory sweep, no log (the PR-1 baseline)
-//!   * `logged_fresh`     — full sweep streaming fsync-free appends
-//!   * `resume_complete`  — load a finished log, skip everything:
-//!                          pure log-parse + dedup overhead
+//! * `plain` — in-memory sweep, no log (the PR-1 baseline)
+//! * `logged_fresh` — full sweep streaming fsync-free appends
+//! * `resume_complete` — load a finished log, skip everything: pure
+//!   log-parse + dedup overhead
+//!
 //! plus a headline print comparing fsync'd vs buffered append
 //! throughput, since per-line fsync is the durability knob.
 
@@ -13,7 +14,7 @@ use ibcf_autotune::{
     sweep_sizes_logged, sweep_sizes_with, ParamSpace, ShardSpec, SilentProgress, SweepOptions,
 };
 use ibcf_gpu_sim::GpuSpec;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 const SIZES: &[usize] = &[8, 16, 32];
 
@@ -31,7 +32,7 @@ fn bench_dir() -> PathBuf {
     d
 }
 
-fn logged_sweep(log: &PathBuf, fsync: bool) -> f64 {
+fn logged_sweep(log: &Path, fsync: bool) -> f64 {
     let report = sweep_sizes_logged(
         &ParamSpace::quick(),
         SIZES,

@@ -48,6 +48,17 @@ commands:
   host-bench [--sizes 8,16,24,32] [--batch B] [--reps R] [--f32|--f64]
             CPU baseline throughput per layout: sequential vs
             rayon-gather vs the in-place lane-vectorized engine
+  serve     [--host H] [--port P] [--workers W] [--queue-cap Q]
+            [--max-batch B] [--max-delay-us D] [--max-n N] [--dispatch F]
+            run the dynamic-batching factorization service over TCP
+            (engine plans come from the tuned dispatch table F when
+            given, from heuristics otherwise)
+  loadgen   [--addr H:P] [--sizes 16,24] [--dtype f32|f64]
+            [--requests R] [--conns C] [--window W | --rate R/s]
+            [--plant-bad K] [--seed S] [--shutdown]
+            drive a running server closed-loop (fixed window) or
+            open-loop (fixed arrival rate); prints throughput, latency
+            percentiles, and mean batch occupancy
   help                                        this text
 ";
 
@@ -696,6 +707,166 @@ pub fn host_bench(args: &Args) -> i32 {
         }
     }
     0
+}
+
+/// `ibcf serve`: run the dynamic-batching factorization service over TCP.
+pub fn serve(args: &Args) -> i32 {
+    use ibcf_service::{EngineSelector, Service, ServiceConfig, TcpServer};
+    let host = match args.get("host", "127.0.0.1".to_string()) {
+        Ok(h) => h,
+        Err(e) => return fail(e),
+    };
+    let parsed = (
+        args.get("port", 7117u16),
+        args.get("workers", 1usize),
+        args.get("queue-cap", 8192usize),
+        args.get("max-batch", 1024usize),
+        args.get("max-delay-us", 1000u64),
+        args.get("max-n", 64usize),
+    );
+    let (port, workers, queue_cap, max_batch, max_delay_us, max_n) = match parsed {
+        (Ok(a), Ok(b), Ok(c), Ok(d), Ok(e), Ok(f)) => (a, b, c, d, e, f),
+        (Err(e), ..)
+        | (_, Err(e), ..)
+        | (_, _, Err(e), ..)
+        | (_, _, _, Err(e), ..)
+        | (_, _, _, _, Err(e), _)
+        | (.., Err(e)) => return fail(e),
+    };
+    if workers == 0 || max_batch == 0 || queue_cap == 0 || max_n == 0 {
+        return fail("--workers, --max-batch, --queue-cap and --max-n must be positive");
+    }
+    let selector = match args.options.get("dispatch") {
+        None => EngineSelector::heuristic(),
+        Some(path) => match EngineSelector::load(Path::new(path)) {
+            Ok(s) => s,
+            Err(e) => return fail(format!("loading dispatch table {path}: {e}")),
+        },
+    };
+    let config = ServiceConfig {
+        workers,
+        queue_cap,
+        max_batch,
+        max_delay: std::time::Duration::from_micros(max_delay_us),
+        max_n,
+    };
+    let server = match TcpServer::bind(&format!("{host}:{port}")) {
+        Ok(s) => s,
+        Err(e) => return fail(format!("binding {host}:{port}: {e}")),
+    };
+    let addr = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => return fail(e),
+    };
+    let service = Service::start(config, selector);
+    let client = service.client();
+    println!(
+        "serving on {addr} ({} engine, {workers} worker(s), batch <= {max_batch}, \
+         deadline {max_delay_us} us, queue {queue_cap}, n <= {max_n})",
+        if client.is_tuned() {
+            "tuned"
+        } else {
+            "heuristic"
+        }
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    let run = server.run(client);
+    let snap = service.shutdown();
+    if let Err(e) = run {
+        return fail(format!("server loop: {e}"));
+    }
+    let (p50, p95, p99) = snap.percentiles_us();
+    println!(
+        "served {} requests in {} batches ({} matrices, {} rejected, {} failed)",
+        snap.requests, snap.batches, snap.matrices, snap.rejected, snap.replies_failed
+    );
+    println!(
+        "mean batch occupancy {:.1}%, latency p50/p95/p99 = {p50:.0}/{p95:.0}/{p99:.0} us",
+        100.0 * snap.mean_occupancy
+    );
+    0
+}
+
+/// `ibcf loadgen`: drive a running `ibcf serve` and report throughput,
+/// latency percentiles, and batch occupancy.
+pub fn loadgen(args: &Args) -> i32 {
+    use ibcf_service::{ArrivalMode, Dtype, LoadgenConfig, TcpConn};
+    let sizes = match args
+        .options
+        .get("sizes")
+        .map_or(Ok(vec![16]), |s| parse_sizes(s))
+    {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    if sizes.is_empty() || sizes.contains(&0) {
+        return fail("--sizes entries must be positive");
+    }
+    let parsed = (
+        args.get("addr", "127.0.0.1:7117".to_string()),
+        args.get("requests", 100_000u64),
+        args.get("conns", 4usize),
+        args.get("window", 256usize),
+        args.get("plant-bad", 0u64),
+        args.get("seed", 1u64),
+        args.get("dtype", Dtype::F32),
+    );
+    let (addr, requests, conns, window, plant_bad, seed, dtype) = match parsed {
+        (Ok(a), Ok(b), Ok(c), Ok(d), Ok(e), Ok(f), Ok(g)) => (a, b, c, d, e, f, g),
+        (Err(e), ..)
+        | (_, Err(e), ..)
+        | (_, _, Err(e), ..)
+        | (_, _, _, Err(e), ..)
+        | (_, _, _, _, Err(e), ..)
+        | (_, _, _, _, _, Err(e), _)
+        | (.., Err(e)) => return fail(e),
+    };
+    if requests == 0 || conns == 0 {
+        return fail("--requests and --conns must be positive");
+    }
+    if plant_bad > requests {
+        return fail("--plant-bad cannot exceed --requests");
+    }
+    let mode = match args.get("rate", 0.0f64) {
+        Ok(rate) if rate > 0.0 => ArrivalMode::Open { rate },
+        Ok(_) => ArrivalMode::Closed { window },
+        Err(e) => return fail(e),
+    };
+    let cfg = LoadgenConfig {
+        addr,
+        sizes,
+        dtype,
+        requests,
+        conns,
+        mode,
+        plant_bad,
+        seed,
+    };
+    println!(
+        "loadgen: {} requests ({} planted non-SPD), sizes {:?} {}, {} conn(s), {:?}",
+        cfg.requests, cfg.plant_bad, cfg.sizes, cfg.dtype, cfg.conns, cfg.mode
+    );
+    let report = match ibcf_service::loadgen::run(&cfg) {
+        Ok(r) => r,
+        Err(e) => return fail(format!("loadgen against {}: {e}", cfg.addr)),
+    };
+    println!("{}", report.render());
+    if args.flag("shutdown") {
+        match TcpConn::connect(&cfg.addr).and_then(|mut c| c.shutdown_server()) {
+            Ok(()) => println!("server shutdown acknowledged"),
+            Err(e) => return fail(format!("shutting down server: {e}")),
+        }
+    }
+    if report.clean() {
+        0
+    } else {
+        eprintln!(
+            "error: {} replies contradicted expectations",
+            report.mismatched
+        );
+        1
+    }
 }
 
 #[cfg(test)]

@@ -39,6 +39,12 @@
 //!     Benchmark the CPU baselines per layout: sequential and
 //!     rayon-gather gather/scatter vs the in-place lane-vectorized
 //!     engine.
+//!
+//! ibcf serve [--port 7117] [--workers 1] [--dispatch dispatch.jsonl]
+//!     Run the dynamic-batching factorization service over TCP.
+//!
+//! ibcf loadgen [--addr 127.0.0.1:7117] [--requests 100000] [--rate R]
+//!     Drive a running server and report throughput and latency.
 //! ```
 
 mod args;
@@ -67,6 +73,8 @@ fn main() {
         Some("emit") => commands::emit(&parsed),
         Some("verify") => commands::verify(&parsed),
         Some("host-bench") => commands::host_bench(&parsed),
+        Some("serve") => commands::serve(&parsed),
+        Some("loadgen") => commands::loadgen(&parsed),
         Some("help") | None => {
             print!("{}", commands::USAGE);
             0

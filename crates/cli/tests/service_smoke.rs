@@ -1,0 +1,127 @@
+//! End-to-end smoke test: `ibcf serve` on an ephemeral port, a short
+//! `ibcf loadgen` run with mixed sizes and planted non-SPD requests, and
+//! a clean shutdown.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_ibcf")
+}
+
+/// Waits for the child to exit, killing it if `limit` passes first.
+fn wait_with_timeout(child: &mut Child, limit: Duration) -> std::process::ExitStatus {
+    let start = Instant::now();
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return status;
+        }
+        if start.elapsed() > limit {
+            child.kill().ok();
+            child.wait().ok();
+            panic!("child did not exit within {limit:?}");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn serve_loadgen_round_trip_with_planted_failures() {
+    let mut serve = Command::new(bin())
+        .args([
+            "serve",
+            "--port",
+            "0", // ephemeral: the first stdout line reports the real port
+            "--workers",
+            "2",
+            "--max-delay-us",
+            "500",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn ibcf serve");
+
+    let mut serve_out = BufReader::new(serve.stdout.take().expect("serve stdout"));
+    let mut banner = String::new();
+    serve_out.read_line(&mut banner).expect("read serve banner");
+    assert!(
+        banner.starts_with("serving on "),
+        "unexpected banner: {banner:?}"
+    );
+    let addr = banner
+        .trim_start_matches("serving on ")
+        .split_whitespace()
+        .next()
+        .expect("address in banner")
+        .to_string();
+
+    // Short mixed-size run with planted non-SPD requests. loadgen itself
+    // asserts per-request failure routing (exit 1 on any mismatch): each
+    // planted request must come back NotSpd{column: 0} while its
+    // same-batch neighbors factorize.
+    let loadgen = Command::new(bin())
+        .args([
+            "loadgen",
+            "--addr",
+            &addr,
+            "--requests",
+            "600",
+            "--conns",
+            "2",
+            "--window",
+            "64",
+            "--sizes",
+            "8,16,17",
+            "--plant-bad",
+            "7",
+            "--shutdown",
+        ])
+        .output()
+        .expect("run ibcf loadgen");
+    let stdout = String::from_utf8_lossy(&loadgen.stdout);
+    assert!(
+        loadgen.status.success(),
+        "loadgen failed: {stdout}\n{}",
+        String::from_utf8_lossy(&loadgen.stderr)
+    );
+    assert!(
+        stdout.contains("7 planted non-SPD caught"),
+        "planted failures not all routed: {stdout}"
+    );
+    assert!(
+        stdout.contains("0 mismatched"),
+        "mismatched replies: {stdout}"
+    );
+    assert!(
+        stdout.contains("server shutdown acknowledged"),
+        "no shutdown ack: {stdout}"
+    );
+
+    // --shutdown must take the server down cleanly: exit 0 and a final
+    // stats report accounting for every request.
+    let status = wait_with_timeout(&mut serve, Duration::from_secs(30));
+    assert!(status.success(), "serve exited with {status:?}");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut serve_out, &mut rest).expect("read serve report");
+    assert!(
+        rest.contains("served 600 requests"),
+        "serve report wrong: {rest}"
+    );
+    assert!(
+        rest.contains("mean batch occupancy"),
+        "no occupancy: {rest}"
+    );
+}
+
+#[test]
+fn loadgen_against_no_server_fails_cleanly() {
+    let out = Command::new(bin())
+        .args(["loadgen", "--addr", "127.0.0.1:1", "--requests", "1"])
+        .output()
+        .expect("run ibcf loadgen");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error"), "no error message: {stderr}");
+}

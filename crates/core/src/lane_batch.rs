@@ -240,9 +240,13 @@ unsafe fn pivot_step<T: Real, const LANES: usize>(
 }
 
 /// Factorizes one lane group of `LANES` matrices in place. Lane `l` owns
-/// matrix `first_mat + l`; lanes `>= live` are padding slots, masked from
-/// the start and restored on completion. Returns the failures of live
-/// lanes, in lane order.
+/// matrix `first_mat + l`; lanes `>= live` are padding slots, seeded with
+/// identity matrices (which factorize exactly to themselves, so the tail
+/// group runs at full width with no dead-lane masking and no arithmetic
+/// on garbage data — NaN or denormal residue in padding slots would
+/// otherwise drag the whole group through slow FP paths), restored
+/// bitwise on completion, and never reported. Returns the failures of
+/// live lanes, in lane order.
 ///
 /// The per-element operation sequence (and therefore the rounding) is
 /// identical to [`crate::reference::potrf_unblocked`] for both orders, so
@@ -270,14 +274,19 @@ unsafe fn factor_group<T: Real, const LANES: usize>(
     let mut idx = 0;
     for j in 0..n {
         for i in j..n {
-            snap[idx..idx + LANES].copy_from_slice(unsafe { shared.block(off(i, j), LANES) });
+            let block = unsafe { shared.block_mut(off(i, j), LANES) };
+            snap[idx..idx + LANES].copy_from_slice(block);
+            // Identity-pad the tail: padding lanes factor I = I·Iᵀ.
+            if live < LANES {
+                let fill = if i == j { T::ONE } else { T::ZERO };
+                for x in &mut block[live..] {
+                    *x = fill;
+                }
+            }
             idx += LANES;
         }
     }
-    let mut alive = [false; LANES];
-    for (l, a) in alive.iter_mut().enumerate() {
-        *a = l < live;
-    }
+    let mut alive = [true; LANES];
     let mut fail: [Option<CholeskyError>; LANES] = [None; LANES];
     match order {
         LaneOrder::Right => {
@@ -324,14 +333,15 @@ unsafe fn factor_group<T: Real, const LANES: usize>(
         }
     }
     let mut out = Vec::new();
-    if alive.iter().any(|&a| !a) {
-        // Restore every masked lane (failed or padding) from the snapshot.
+    if alive.iter().any(|&a| !a) || live < LANES {
+        // Restore every failed lane and every padding slot bitwise from
+        // the snapshot — padding never escapes, failures report untouched.
         let mut idx = 0;
         for j in 0..n {
             for i in j..n {
                 let block = unsafe { shared.block_mut(off(i, j), LANES) };
                 for l in 0..LANES {
-                    if !alive[l] {
+                    if !alive[l] || l >= live {
                         block[l] = snap[idx + l];
                     }
                 }
@@ -623,6 +633,61 @@ mod tests {
         assert_eq!(preferred_lanes::<f64>(), 8);
         assert_eq!(LaneWidth::Auto.lanes::<f32>(), 16);
         assert_eq!(LaneWidth::W32.lanes::<f64>(), 32);
+    }
+
+    #[test]
+    fn tail_group_pads_with_identity_at_lanes_plus_one() {
+        // batch = LANES + 1: the final group holds exactly one live matrix
+        // and LANES - 1 padding slots. The tail must still run the lane
+        // engine (no scalar fallback), stay bitwise-exact, report a
+        // planted failure on the lone tail matrix (and never a padding
+        // index), and leave padding slots bitwise untouched — even when
+        // they hold NaN garbage, which must not poison the live lane.
+        let n = 7;
+        for width in LaneWidth::ALL {
+            let lanes = width.lanes::<f32>();
+            let batch = lanes + 1;
+            for layout in lane_layouts(n, batch) {
+                assert!(lane_compatible::<f32, _>(&layout, width));
+                let mut data = vec![0.0f32; layout.len()];
+                fill_batch_spd(&layout, &mut data, SpdKind::Wishart, 21);
+                // Poison every padding slot with NaN garbage.
+                let nan = vec![f32::NAN; n * n];
+                for pad in batch..layout.padded_batch() {
+                    scatter_matrix(&layout, &mut data, pad, &nan, n);
+                }
+                // Plant a failure on the tail group's only live matrix.
+                let neg_eye: Vec<f32> = (0..n * n)
+                    .map(|i| if i % (n + 1) == 0 { -1.0 } else { 0.0 })
+                    .collect();
+                scatter_matrix(&layout, &mut data, lanes, &neg_eye, n);
+                let mut expect = data.clone();
+                let r_seq = factorize_batch_seq(&layout, &mut expect);
+                let report =
+                    factorize_batch_lanes_with(&layout, &mut data, LaneOrder::Right, width);
+                assert_eq!(
+                    report.failures,
+                    r_seq.failures,
+                    "{:?} lanes={lanes}",
+                    layout.kind()
+                );
+                assert_eq!(
+                    report.failures,
+                    vec![(lanes, CholeskyError::NotPositiveDefinite { column: 0 })]
+                );
+                assert!(report.failures.iter().all(|&(m, _)| m < batch));
+                // Bitwise comparison (NaN-safe): live matrices match the
+                // oracle, padding slots keep their exact NaN payloads.
+                for (i, (x, y)) in data.iter().zip(&expect).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{:?} lanes={lanes} elem {i}: {x} vs {y}",
+                        layout.kind()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

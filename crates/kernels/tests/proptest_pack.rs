@@ -1,0 +1,102 @@
+//! Property tests for the host pack path: `pack_batch_host` followed by
+//! `unpack_batch_host` is a bitwise round trip for every (src, dst)
+//! layout pair, every small dimension, and batch sizes that are *not*
+//! multiples of any lane width — the exact staging contract the batch
+//! former in the serving layer leans on.
+
+use ibcf_kernels::{pack_batch_host, unpack_batch_host};
+use ibcf_layout::{BatchLayout, Layout, LayoutKind};
+use proptest::prelude::*;
+
+fn layouts(n: usize, batch: usize, chunk: usize) -> Vec<Layout> {
+    vec![
+        Layout::build(LayoutKind::Canonical, n, batch, chunk),
+        Layout::build(LayoutKind::Interleaved, n, batch, chunk),
+        Layout::build(LayoutKind::Chunked, n, batch, chunk),
+    ]
+}
+
+/// Fills the live matrices of a laid-out buffer with distinct, seedable
+/// bit patterns (including negative zero and denormals, which a lossy
+/// copy path could normalize away — hence the bitwise comparison below).
+fn fill_live(layout: &Layout, data: &mut [f32], seed: u64) {
+    let n = layout.n();
+    for mat in 0..layout.batch() {
+        for col in 0..n {
+            for row in 0..n {
+                let h = seed
+                    ^ (mat as u64)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(((row * n + col) as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+                let h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+                // Keep a valid (possibly denormal) finite float; flush the
+                // NaN/inf exponent range down into large finite values.
+                let mut bits = (h >> 32) as u32;
+                if bits & 0x7F80_0000 == 0x7F80_0000 {
+                    bits &= !0x0080_0000;
+                }
+                data[layout.addr(mat, row, col)] = f32::from_bits(bits);
+            }
+        }
+    }
+}
+
+/// (n, batch, chunk, seed): n covers 1..=33, batch deliberately includes
+/// lane-width non-multiples (primes, lanes ± 1), chunk ∈ {32, 64, 128}.
+fn params() -> impl Strategy<Value = (usize, usize, usize, u64)> {
+    (
+        1usize..=33,
+        prop::sample::select(vec![1usize, 2, 7, 8, 9, 15, 17, 31, 33, 63, 65, 97, 130]),
+        prop::sample::select(vec![32usize, 64, 128]),
+        any::<u64>(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn pack_unpack_round_trips_bitwise((n, batch, chunk, seed) in params()) {
+        for src_layout in layouts(n, batch, chunk) {
+            let mut src = vec![0.0f32; src_layout.len()];
+            fill_live(&src_layout, &mut src, seed);
+            let orig = src.clone();
+            for dst_layout in layouts(n, batch, chunk) {
+                let packed = pack_batch_host(&src_layout, &src, &dst_layout);
+                // The packed buffer is aligned for the lane engine.
+                prop_assert_eq!(
+                    packed.as_ptr() as usize % ibcf_layout::BUFFER_ALIGN,
+                    0
+                );
+                prop_assert_eq!(packed.len(), dst_layout.len());
+                // Every live element crossed over bitwise.
+                for mat in 0..batch {
+                    for col in 0..n {
+                        for row in col..n {
+                            let a = src[src_layout.addr(mat, row, col)];
+                            let b = packed[dst_layout.addr(mat, row, col)];
+                            prop_assert_eq!(
+                                a.to_bits(),
+                                b.to_bits(),
+                                "{:?}->{:?} mat {} ({},{})",
+                                src_layout.kind(), dst_layout.kind(), mat, row, col
+                            );
+                        }
+                    }
+                }
+                // Unpacking lands back on the original buffer bitwise,
+                // padding slots of the destination untouched.
+                let mut back = orig.clone();
+                unpack_batch_host(&dst_layout, &packed, &src_layout, &mut back);
+                for (i, (x, y)) in back.iter().zip(&orig).enumerate() {
+                    prop_assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{:?}->{:?} elem {}",
+                        src_layout.kind(), dst_layout.kind(), i
+                    );
+                }
+            }
+        }
+    }
+}

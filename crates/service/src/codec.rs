@@ -1,0 +1,298 @@
+//! Length-prefixed binary frame codec for the TCP front-end.
+//!
+//! Every frame is `u32` little-endian length (of everything after the
+//! length word) followed by a one-byte kind and the kind's body. All
+//! integers are little-endian; matrix elements travel as raw IEEE-754
+//! bits in column-major order, so a factor reply round-trips bitwise.
+//!
+//! Kinds:
+//!
+//! | kind | name          | body |
+//! |------|---------------|------|
+//! | 1    | factor req    | `id: u64`, `n: u32`, `dtype: u8`, `n*n` elements |
+//! | 2    | factor reply  | `id: u64`, `status: u8`, `dtype: u8`, `aux: u32`, elements iff ok |
+//! | 3    | stats req     | empty |
+//! | 4    | stats reply   | UTF-8 JSON [`StatsSnapshot`](crate::stats::StatsSnapshot) |
+//! | 5    | shutdown      | empty |
+//! | 6    | shutdown ack  | empty |
+//!
+//! Reply `status`: 0 = factor (elements follow), 1 = not SPD (`aux` =
+//! failing column), 2 = non-finite (`aux` = column), 3 = rejected
+//! (`aux` = [`RejectReason`] tag).
+
+use crate::request::{Dtype, FactorReply, Outcome, Payload, RejectReason};
+use std::io::{self, Read, Write};
+
+/// Frame kind: factorization request.
+pub const K_FACTOR_REQ: u8 = 1;
+/// Frame kind: factorization reply.
+pub const K_FACTOR_REPLY: u8 = 2;
+/// Frame kind: stats request.
+pub const K_STATS_REQ: u8 = 3;
+/// Frame kind: stats reply (JSON snapshot).
+pub const K_STATS_REPLY: u8 = 4;
+/// Frame kind: shutdown request.
+pub const K_SHUTDOWN: u8 = 5;
+/// Frame kind: shutdown acknowledged.
+pub const K_SHUTDOWN_ACK: u8 = 6;
+
+/// Largest accepted frame (a 64 × 64 f64 matrix is ~32 KiB; this leaves
+/// three orders of magnitude of headroom while bounding a hostile or
+/// corrupt length word).
+pub const MAX_FRAME: usize = 1 << 25;
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Writes one frame (single `write_all`, so concurrent writers on a
+/// shared stream would still interleave whole frames — the server
+/// serializes through a writer thread anyway).
+pub fn write_frame(w: &mut impl Write, kind: u8, body: &[u8]) -> io::Result<()> {
+    let len = body.len() + 1;
+    assert!(len <= MAX_FRAME, "frame too large to encode");
+    let mut frame = Vec::with_capacity(4 + len);
+    frame.extend_from_slice(&(len as u32).to_le_bytes());
+    frame.push(kind);
+    frame.extend_from_slice(body);
+    w.write_all(&frame)
+}
+
+/// Reads one frame, returning `(kind, body)`. `Ok(None)` is a clean EOF
+/// at a frame boundary.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(u8, Vec<u8>)>> {
+    let mut len_word = [0u8; 4];
+    match r.read_exact(&mut len_word) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_word) as usize;
+    if len == 0 {
+        return Err(bad("zero-length frame"));
+    }
+    if len > MAX_FRAME {
+        return Err(bad(format!("frame of {len} bytes exceeds MAX_FRAME")));
+    }
+    let mut kind = [0u8; 1];
+    r.read_exact(&mut kind)?;
+    let mut body = vec![0u8; len - 1];
+    r.read_exact(&mut body)?;
+    Ok(Some((kind[0], body)))
+}
+
+fn put_elems(out: &mut Vec<u8>, payload: &Payload) {
+    match payload {
+        Payload::F32(v) => {
+            for x in v {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        Payload::F64(v) => {
+            for x in v {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+    }
+}
+
+fn take_elems(bytes: &[u8], dtype: Dtype, count: usize) -> io::Result<Payload> {
+    if bytes.len() != count * dtype.elem_bytes() {
+        return Err(bad(format!(
+            "element section is {} bytes, want {} × {}",
+            bytes.len(),
+            count,
+            dtype.elem_bytes()
+        )));
+    }
+    Ok(match dtype {
+        Dtype::F32 => Payload::F32(
+            bytes
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                .collect(),
+        ),
+        Dtype::F64 => Payload::F64(
+            bytes
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                .collect(),
+        ),
+    })
+}
+
+/// Encodes a factorization request body.
+pub fn encode_factor_req(id: u64, n: usize, payload: &Payload) -> Vec<u8> {
+    let mut body = Vec::with_capacity(13 + payload.len() * payload.dtype().elem_bytes());
+    body.extend_from_slice(&id.to_le_bytes());
+    body.extend_from_slice(&(n as u32).to_le_bytes());
+    body.push(payload.dtype().to_u8());
+    put_elems(&mut body, payload);
+    body
+}
+
+/// Decodes a factorization request body into `(id, n, payload)`.
+///
+/// Only structural validity is checked here (whole elements, known
+/// dtype). An element count that disagrees with `n * n` decodes fine and
+/// is the *service's* call to reject — the submitter then gets a typed
+/// `BadPayload` reply instead of a dropped connection.
+pub fn decode_factor_req(body: &[u8]) -> io::Result<(u64, usize, Payload)> {
+    if body.len() < 13 {
+        return Err(bad("factor request header truncated"));
+    }
+    let id = u64::from_le_bytes(body[0..8].try_into().unwrap());
+    let n = u32::from_le_bytes(body[8..12].try_into().unwrap()) as usize;
+    let dtype = Dtype::from_u8(body[12]).ok_or_else(|| bad("unknown dtype tag"))?;
+    let elems = &body[13..];
+    if !elems.len().is_multiple_of(dtype.elem_bytes()) {
+        return Err(bad("element section is not a whole number of elements"));
+    }
+    let payload = take_elems(elems, dtype, elems.len() / dtype.elem_bytes())?;
+    Ok((id, n, payload))
+}
+
+/// Encodes a factorization reply body. `dtype` tags failure replies too
+/// (they carry no elements) so the client can decode without pairing
+/// state.
+pub fn encode_factor_reply(reply: &FactorReply, dtype: Dtype) -> Vec<u8> {
+    let (status, aux) = match &reply.outcome {
+        Outcome::Factor(_) => (0u8, 0u32),
+        Outcome::NotSpd { column } => (1, *column as u32),
+        Outcome::NonFinite { column } => (2, *column as u32),
+        Outcome::Rejected(reason) => (3, reason.to_u8() as u32),
+    };
+    let mut body = Vec::new();
+    body.extend_from_slice(&reply.id.to_le_bytes());
+    body.push(status);
+    body.push(dtype.to_u8());
+    body.extend_from_slice(&aux.to_le_bytes());
+    if let Outcome::Factor(payload) = &reply.outcome {
+        debug_assert_eq!(payload.dtype(), dtype);
+        put_elems(&mut body, payload);
+    }
+    body
+}
+
+/// Decodes a factorization reply body.
+pub fn decode_factor_reply(body: &[u8]) -> io::Result<FactorReply> {
+    if body.len() < 14 {
+        return Err(bad("factor reply header truncated"));
+    }
+    let id = u64::from_le_bytes(body[0..8].try_into().unwrap());
+    let status = body[8];
+    let dtype = Dtype::from_u8(body[9]).ok_or_else(|| bad("unknown dtype tag"))?;
+    let aux = u32::from_le_bytes(body[10..14].try_into().unwrap());
+    let elems = &body[14..];
+    let outcome = match status {
+        0 => {
+            let count = elems.len() / dtype.elem_bytes();
+            Outcome::Factor(take_elems(elems, dtype, count)?)
+        }
+        1 => Outcome::NotSpd {
+            column: aux as usize,
+        },
+        2 => Outcome::NonFinite {
+            column: aux as usize,
+        },
+        3 => Outcome::Rejected(
+            RejectReason::from_u8(aux as u8).ok_or_else(|| bad("unknown reject reason"))?,
+        ),
+        other => return Err(bad(format!("unknown reply status {other}"))),
+    };
+    if status != 0 && !elems.is_empty() {
+        return Err(bad("failure reply carries elements"));
+    }
+    Ok(FactorReply { id, outcome })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_req_round_trips_bitwise() {
+        let payload = Payload::F32(vec![1.5, -0.0, f32::MIN_POSITIVE, 3.25e7]);
+        let body = encode_factor_req(77, 2, &payload);
+        let (id, n, back) = decode_factor_req(&body).unwrap();
+        assert_eq!((id, n), (77, 2));
+        assert_eq!(back, payload);
+
+        let payload = Payload::F64(vec![std::f64::consts::PI; 9]);
+        let body = encode_factor_req(u64::MAX, 3, &payload);
+        let (id, n, back) = decode_factor_req(&body).unwrap();
+        assert_eq!((id, n), (u64::MAX, 3));
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn factor_reply_round_trips_every_status() {
+        let replies = [
+            FactorReply {
+                id: 1,
+                outcome: Outcome::Factor(Payload::F32(vec![2.0, 0.5, 0.0, 1.25])),
+            },
+            FactorReply {
+                id: 2,
+                outcome: Outcome::NotSpd { column: 11 },
+            },
+            FactorReply {
+                id: 3,
+                outcome: Outcome::NonFinite { column: 0 },
+            },
+            FactorReply {
+                id: 4,
+                outcome: Outcome::Rejected(RejectReason::QueueFull),
+            },
+        ];
+        for reply in &replies {
+            let body = encode_factor_reply(reply, Dtype::F32);
+            let back = decode_factor_reply(&body).unwrap();
+            assert_eq!(&back, reply);
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_through_a_byte_stream() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, K_STATS_REQ, &[]).unwrap();
+        write_frame(
+            &mut wire,
+            K_FACTOR_REQ,
+            &encode_factor_req(9, 1, &Payload::F32(vec![4.0])),
+        )
+        .unwrap();
+        write_frame(&mut wire, K_SHUTDOWN, &[]).unwrap();
+        let mut r = wire.as_slice();
+        let (k1, b1) = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!((k1, b1.len()), (K_STATS_REQ, 0));
+        let (k2, b2) = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(k2, K_FACTOR_REQ);
+        assert_eq!(decode_factor_req(&b2).unwrap().0, 9);
+        let (k3, _) = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(k3, K_SHUTDOWN);
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        // Oversized length word.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        assert!(read_frame(&mut wire.as_slice()).is_err());
+        // Zero-length frame.
+        let wire = 0u32.to_le_bytes();
+        assert!(read_frame(&mut wire.as_slice()).is_err());
+        // Truncated mid-frame is an error, not a clean EOF.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, K_FACTOR_REQ, &[1, 2, 3]).unwrap();
+        wire.truncate(wire.len() - 2);
+        assert!(read_frame(&mut wire.as_slice()).is_err());
+        // Garbage bodies.
+        assert!(decode_factor_req(&[0; 5]).is_err());
+        assert!(decode_factor_reply(&[0; 5]).is_err());
+        let mut body = encode_factor_req(1, 2, &Payload::F32(vec![0.0; 4]));
+        body.truncate(body.len() - 1);
+        assert!(decode_factor_req(&body).is_err());
+    }
+}

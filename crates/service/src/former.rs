@@ -1,0 +1,327 @@
+//! Deadline-based batch forming: the host analogue of wave quantization.
+//!
+//! Tiny Cholesky factorizations only pay off executed thousands at a time
+//! (the paper's entire premise), but requests arrive one by one. The
+//! former holds arrivals in per-`(n, dtype)` groups and flushes a group
+//! when it reaches the size threshold (occupancy wins) or when its oldest
+//! request has waited `max_delay` (latency wins) — the same trade the GPU
+//! makes when a partially-filled last wave ships anyway.
+//!
+//! A flushed group is staged into a canonical buffer (requests arrive as
+//! plain column-major matrices), padded to a full lane group with
+//! identity matrices, and packed through
+//! [`pack_batch_host`](ibcf_kernels::pack_batch_host) into a 128-byte
+//! aligned buffer in the interleave the [`EnginePlan`] chose — so the
+//! worker's factorization runs the in-place lane engine with every group
+//! full and no scalar tail.
+
+use crate::engine::{EnginePlan, EngineSelector};
+use crate::queue::IngestQueue;
+use crate::request::{Dtype, FactorReply, Outcome, Payload, Pending, RejectReason};
+use crate::stats::ServiceStats;
+use ibcf_core::Real;
+use ibcf_kernels::pack_batch_host;
+use ibcf_layout::{AlignedVec, BatchLayout, Canonical, Layout};
+use std::collections::HashMap;
+use std::sync::mpsc::SyncSender;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Batch-forming policy.
+#[derive(Debug, Clone, Copy)]
+pub struct FormerConfig {
+    /// Flush a group as soon as it holds this many live requests.
+    pub max_batch: usize,
+    /// Flush a group once its oldest request has waited this long.
+    pub max_delay: Duration,
+}
+
+impl Default for FormerConfig {
+    fn default() -> Self {
+        FormerConfig {
+            max_batch: 1024,
+            max_delay: Duration::from_millis(1),
+        }
+    }
+}
+
+/// A packed, ready-to-factorize buffer in either precision.
+pub enum PackedData {
+    /// Single-precision batch.
+    F32(AlignedVec<f32>),
+    /// Double-precision batch.
+    F64(AlignedVec<f64>),
+}
+
+impl std::fmt::Debug for PackedData {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PackedData::F32(v) => write!(f, "PackedData::F32(len {})", v.len()),
+            PackedData::F64(v) => write!(f, "PackedData::F64(len {})", v.len()),
+        }
+    }
+}
+
+/// One formed batch: matrix `i` of the packed buffer belongs to
+/// `reqs[i]`; slots `reqs.len()..slots` are identity padding.
+#[derive(Debug)]
+pub struct FormedBatch {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Element type.
+    pub dtype: Dtype,
+    /// Engine parameters the worker must run with.
+    pub plan: EnginePlan,
+    /// The packed layout (`batch() == slots`).
+    pub layout: Layout,
+    /// The packed, aligned buffer.
+    pub data: PackedData,
+    /// The requests, in matrix order.
+    pub reqs: Vec<Pending>,
+    /// Lane-rounded slot count (live + identity padding).
+    pub slots: usize,
+}
+
+/// Stages `reqs` (all dimension `n`, element type `T`) into a canonical
+/// buffer, identity-pads to a full lane group, and packs into the plan's
+/// interleave.
+fn pack_group<T: Real>(
+    n: usize,
+    reqs: &[Pending],
+    plan: EnginePlan,
+    elems: impl Fn(&Payload) -> &[T],
+) -> (Layout, AlignedVec<T>, usize) {
+    let lanes = plan.lanes::<T>();
+    let slots = reqs.len().div_ceil(lanes) * lanes;
+    let canonical = Canonical::new(n, slots);
+    let mut staging = vec![T::ZERO; canonical.len()];
+    for (mat, req) in reqs.iter().enumerate() {
+        // Canonical with lda == n: matrix `mat` is the contiguous window
+        // starting at its (0, 0) element.
+        let base = canonical.addr(mat, 0, 0);
+        staging[base..base + n * n].copy_from_slice(elems(&req.payload));
+    }
+    for mat in reqs.len()..slots {
+        let base = canonical.addr(mat, 0, 0);
+        for d in 0..n {
+            staging[base + d * n + d] = T::ONE;
+        }
+    }
+    let layout = plan.layout(n, slots);
+    let packed = pack_batch_host(&canonical, &staging, &layout);
+    (layout, packed, slots)
+}
+
+/// Builds a [`FormedBatch`] from one flushed group.
+pub fn form_batch(n: usize, dtype: Dtype, reqs: Vec<Pending>, plan: EnginePlan) -> FormedBatch {
+    let (layout, data, slots) = match dtype {
+        Dtype::F32 => {
+            let (layout, packed, slots) = pack_group::<f32>(n, &reqs, plan, |p| match p {
+                Payload::F32(v) => v.as_slice(),
+                Payload::F64(_) => unreachable!("group mixed dtypes"),
+            });
+            (layout, PackedData::F32(packed), slots)
+        }
+        Dtype::F64 => {
+            let (layout, packed, slots) = pack_group::<f64>(n, &reqs, plan, |p| match p {
+                Payload::F64(v) => v.as_slice(),
+                Payload::F32(_) => unreachable!("group mixed dtypes"),
+            });
+            (layout, PackedData::F64(packed), slots)
+        }
+    };
+    FormedBatch {
+        n,
+        dtype,
+        plan,
+        layout,
+        data,
+        reqs,
+        slots,
+    }
+}
+
+struct Group {
+    reqs: Vec<Pending>,
+    oldest: Instant,
+}
+
+/// The former thread body: drains the ingest queue into per-`(n, dtype)`
+/// groups, flushes on size or deadline, and hands formed batches to the
+/// worker pool. Returns when the queue closes and every group flushed.
+pub fn run_former(
+    queue: Arc<IngestQueue>,
+    selector: EngineSelector,
+    config: FormerConfig,
+    stats: Arc<ServiceStats>,
+    out: SyncSender<FormedBatch>,
+) {
+    let mut groups: HashMap<(usize, Dtype), Group> = HashMap::new();
+    let flush = |key: (usize, Dtype), group: Group, out: &SyncSender<FormedBatch>| {
+        let (n, dtype) = key;
+        let plan = selector.plan(n);
+        let batch = form_batch(n, dtype, group.reqs, plan);
+        stats.record_batch(batch.reqs.len(), batch.slots);
+        if let Err(send_err) = out.send(batch) {
+            // Workers are gone (shutdown race): fail the requests rather
+            // than dropping them silently.
+            for req in send_err.0.reqs {
+                stats
+                    .rejected
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                (req.sink)(FactorReply {
+                    id: req.id,
+                    outcome: Outcome::Rejected(RejectReason::Closed),
+                });
+            }
+        }
+    };
+    loop {
+        let deadline = groups.values().map(|g| g.oldest + config.max_delay).min();
+        let (items, closed) = queue.drain_until(deadline);
+        for p in items {
+            let key = (p.n, p.payload.dtype());
+            let group = groups.entry(key).or_insert_with(|| Group {
+                oldest: p.enqueued,
+                reqs: Vec::new(),
+            });
+            if group.reqs.is_empty() {
+                group.oldest = p.enqueued;
+            }
+            group.reqs.push(p);
+            if group.reqs.len() >= config.max_batch {
+                let group = groups.remove(&key).expect("just inserted");
+                flush(key, group, &out);
+            }
+        }
+        let now = Instant::now();
+        let due: Vec<(usize, Dtype)> = groups
+            .iter()
+            .filter(|(_, g)| closed || g.oldest + config.max_delay <= now)
+            .map(|(&k, _)| k)
+            .collect();
+        for key in due {
+            let group = groups.remove(&key).expect("listed above");
+            flush(key, group, &out);
+        }
+        if closed && groups.is_empty() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Payload;
+    use ibcf_layout::gather_matrix;
+    use std::sync::mpsc::sync_channel;
+
+    fn req(id: u64, n: usize, value: f32) -> Pending {
+        Pending {
+            id,
+            n,
+            payload: Payload::F32(vec![value; n * n]),
+            enqueued: Instant::now(),
+            sink: Box::new(|_| {}),
+        }
+    }
+
+    #[test]
+    fn formed_batch_pads_tail_with_identity() {
+        let n = 4;
+        let plan = EngineSelector::heuristic().plan(n);
+        let lanes = plan.lanes::<f32>();
+        let reqs: Vec<Pending> = (0..lanes + 3).map(|i| req(i as u64, n, i as f32)).collect();
+        let batch = form_batch(n, Dtype::F32, reqs, plan);
+        assert_eq!(batch.slots, 2 * lanes);
+        assert_eq!(batch.layout.batch(), 2 * lanes);
+        let data = match &batch.data {
+            PackedData::F32(v) => v,
+            _ => unreachable!(),
+        };
+        let mut m = vec![0.0f32; n * n];
+        // Live matrices carry their payloads...
+        gather_matrix(&batch.layout, data.as_slice(), 2, &mut m, n);
+        assert!(m.iter().all(|&x| x == 2.0));
+        // ...padding slots are exact identities.
+        for pad in batch.reqs.len()..batch.slots {
+            gather_matrix(&batch.layout, data.as_slice(), pad, &mut m, n);
+            for col in 0..n {
+                for row in 0..n {
+                    let want = if row == col { 1.0 } else { 0.0 };
+                    assert_eq!(m[col * n + row], want, "pad {pad} ({row},{col})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn former_flushes_on_size_threshold() {
+        let queue = Arc::new(IngestQueue::new(4096));
+        let stats = Arc::new(ServiceStats::default());
+        let (tx, rx) = sync_channel(8);
+        let config = FormerConfig {
+            max_batch: 32,
+            max_delay: Duration::from_secs(3600), // deadline never fires
+        };
+        let (q2, s2) = (queue.clone(), stats.clone());
+        let handle =
+            std::thread::spawn(move || run_former(q2, EngineSelector::heuristic(), config, s2, tx));
+        for i in 0..64 {
+            queue.try_push(req(i, 8, 1.0)).unwrap();
+        }
+        let a = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let b = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(a.reqs.len(), 32);
+        assert_eq!(b.reqs.len(), 32);
+        queue.close();
+        handle.join().unwrap();
+        assert_eq!(stats.batches.load(std::sync::atomic::Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn former_flushes_on_deadline_and_groups_by_key() {
+        let queue = Arc::new(IngestQueue::new(4096));
+        let stats = Arc::new(ServiceStats::default());
+        let (tx, rx) = sync_channel(8);
+        let config = FormerConfig {
+            max_batch: 1024, // size threshold never fires
+            max_delay: Duration::from_millis(10),
+        };
+        let (q2, s2) = (queue.clone(), stats.clone());
+        let handle =
+            std::thread::spawn(move || run_former(q2, EngineSelector::heuristic(), config, s2, tx));
+        // Two sizes and one f64 request: three distinct groups.
+        for i in 0..5 {
+            queue.try_push(req(i, 8, 1.0)).unwrap();
+        }
+        for i in 5..8 {
+            queue.try_push(req(i, 16, 1.0)).unwrap();
+        }
+        queue
+            .try_push(Pending {
+                id: 8,
+                n: 8,
+                payload: Payload::F64(vec![0.0; 64]),
+                enqueued: Instant::now(),
+                sink: Box::new(|_| {}),
+            })
+            .unwrap();
+        let mut batches = Vec::new();
+        for _ in 0..3 {
+            batches.push(rx.recv_timeout(Duration::from_secs(5)).unwrap());
+        }
+        queue.close();
+        handle.join().unwrap();
+        let mut keys: Vec<(usize, Dtype, usize)> = batches
+            .iter()
+            .map(|b| (b.n, b.dtype, b.reqs.len()))
+            .collect();
+        keys.sort();
+        assert_eq!(
+            keys,
+            vec![(8, Dtype::F32, 5), (8, Dtype::F64, 1), (16, Dtype::F32, 3)]
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Dynamic-batching factorization service.
+//!
+//! The paper's batched kernels assume someone already has thousands of
+//! small SPD matrices in one interleaved buffer. This crate closes the
+//! loop for the serving case where matrices arrive one at a time:
+//!
+//! 1. an [`IngestQueue`](queue::IngestQueue) admits requests under a
+//!    hard bound (non-blocking rejection or blocking backpressure);
+//! 2. a [former](former) groups them by `(n, dtype)` and flushes each
+//!    group on a size threshold or a deadline, packing payloads into a
+//!    128-byte-aligned interleaved buffer padded to a full lane group;
+//! 3. a worker pool factorizes each batch in place with the
+//!    lane-vectorized engine, under the layout/order the
+//!    [`EngineSelector`](engine::EngineSelector) picked from a tuned
+//!    [`DispatchTable`](ibcf_autotune::DispatchTable) (heuristics when
+//!    no sweep log exists), and routes per-matrix failures back to
+//!    exactly the originating request;
+//! 4. [`ServiceStats`](stats::ServiceStats) tracks counters, a batch
+//!    occupancy histogram, and reply-latency percentiles;
+//! 5. a std::net TCP front-end ([`server`]) speaks a length-prefixed
+//!    binary frame protocol ([`codec`]), and a [load generator](loadgen)
+//!    drives it in closed- or open-loop arrivals.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod engine;
+pub mod former;
+pub mod loadgen;
+pub mod queue;
+pub mod request;
+pub mod server;
+pub mod service;
+pub mod stats;
+
+pub use engine::{EnginePlan, EngineSelector};
+pub use former::{FormerConfig, PackedData};
+pub use loadgen::{ArrivalMode, LoadReport, LoadgenConfig};
+pub use request::{Dtype, FactorReply, Outcome, Payload, RejectReason};
+pub use server::{TcpConn, TcpServer};
+pub use service::{Client, Service, ServiceConfig};
+pub use stats::{ServiceStats, StatsSnapshot};

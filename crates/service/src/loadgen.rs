@@ -1,0 +1,476 @@
+//! Load generator for a running `ibcf serve` instance.
+//!
+//! Drives the TCP front-end with a mix of matrix sizes in one of two
+//! arrival disciplines:
+//!
+//! * **closed-loop** — each connection keeps a fixed window of requests
+//!   outstanding, so offered load tracks service capacity (throughput
+//!   measurement at saturation);
+//! * **open-loop** — requests depart on a fixed schedule regardless of
+//!   replies, so a slow server sheds load through admission control
+//!   (latency/rejection measurement under a target arrival rate).
+//!
+//! A configurable fraction of requests is *planted* non-SPD (`-I`); the
+//! generator asserts each one comes back as its own `NotSpd` reply while
+//! its same-batch neighbors succeed — the end-to-end check that failure
+//! routing never smears across a batch.
+
+use crate::codec::{
+    decode_factor_reply, encode_factor_req, read_frame, write_frame, K_FACTOR_REPLY, K_FACTOR_REQ,
+};
+use crate::request::{Dtype, Outcome, Payload};
+use crate::server::TcpConn;
+use crate::stats::StatsSnapshot;
+use ibcf_core::spd::{random_spd, SpdKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How requests are released.
+#[derive(Debug, Clone, Copy)]
+pub enum ArrivalMode {
+    /// Keep `window` requests outstanding per connection.
+    Closed {
+        /// Outstanding requests per connection.
+        window: usize,
+    },
+    /// Depart at `rate` requests/second (aggregate, split across
+    /// connections), never waiting for replies.
+    Open {
+        /// Aggregate arrival rate in requests per second.
+        rate: f64,
+    },
+}
+
+/// Load-generation parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Matrix sizes, cycled per request.
+    pub sizes: Vec<usize>,
+    /// Element type of every request.
+    pub dtype: Dtype,
+    /// Total requests across all connections.
+    pub requests: u64,
+    /// Concurrent connections.
+    pub conns: usize,
+    /// Arrival discipline.
+    pub mode: ArrivalMode,
+    /// Number of planted non-SPD requests, spread evenly.
+    pub plant_bad: u64,
+    /// RNG seed for the payload pool.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7117".into(),
+            sizes: vec![16],
+            dtype: Dtype::F32,
+            requests: 100_000,
+            conns: 4,
+            mode: ArrivalMode::Closed { window: 256 },
+            plant_bad: 0,
+            seed: 1,
+        }
+    }
+}
+
+/// What the run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests sent.
+    pub sent: u64,
+    /// Successful factor replies.
+    pub ok: u64,
+    /// Planted requests correctly reported non-SPD.
+    pub planted_caught: u64,
+    /// Requests rejected by admission control.
+    pub rejected: u64,
+    /// Replies that contradicted expectations (good request failed,
+    /// planted request succeeded, unknown id, wrong column).
+    pub mismatched: u64,
+    /// Wall-clock of the send/receive phase.
+    pub elapsed: Duration,
+    /// Completed (non-rejected) replies per second.
+    pub throughput: f64,
+    /// Client-measured send-to-reply latency percentiles, microseconds.
+    pub p50_us: f64,
+    /// 95th percentile latency, microseconds.
+    pub p95_us: f64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: f64,
+    /// Mean batch occupancy on the server over this run's batches.
+    pub mean_occupancy: f64,
+    /// Server stats after the run.
+    pub server: StatsSnapshot,
+}
+
+impl LoadReport {
+    /// `true` when every reply matched expectations.
+    pub fn clean(&self) -> bool {
+        self.mismatched == 0
+    }
+
+    /// One-paragraph human-readable summary.
+    pub fn render(&self) -> String {
+        format!(
+            "sent {} requests in {:.3} s: {} ok, {} planted non-SPD caught, \
+             {} rejected, {} mismatched\nthroughput {:.0} matrices/s, \
+             latency p50/p95/p99 = {:.0}/{:.0}/{:.0} us, \
+             mean batch occupancy {:.1}%",
+            self.sent,
+            self.elapsed.as_secs_f64(),
+            self.ok,
+            self.planted_caught,
+            self.rejected,
+            self.mismatched,
+            self.throughput,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            100.0 * self.mean_occupancy,
+        )
+    }
+}
+
+/// Pre-generated payloads: a small pool of SPD matrices per size (reused
+/// round-robin so generation cost stays out of the send path) plus the
+/// planted non-SPD payload (`-I`).
+struct PayloadPool {
+    good: HashMap<usize, Vec<Payload>>,
+    bad: HashMap<usize, Payload>,
+}
+
+const POOL_PER_SIZE: usize = 16;
+
+fn neg_identity(n: usize, dtype: Dtype) -> Payload {
+    match dtype {
+        Dtype::F32 => {
+            let mut m = vec![0.0f32; n * n];
+            for d in 0..n {
+                m[d * n + d] = -1.0;
+            }
+            Payload::F32(m)
+        }
+        Dtype::F64 => {
+            let mut m = vec![0.0f64; n * n];
+            for d in 0..n {
+                m[d * n + d] = -1.0;
+            }
+            Payload::F64(m)
+        }
+    }
+}
+
+impl PayloadPool {
+    fn build(sizes: &[usize], dtype: Dtype, seed: u64) -> PayloadPool {
+        let mut good = HashMap::new();
+        let mut bad = HashMap::new();
+        for &n in sizes {
+            if good.contains_key(&n) {
+                continue;
+            }
+            let pool: Vec<Payload> = (0..POOL_PER_SIZE)
+                .map(|i| {
+                    let mut rng = StdRng::seed_from_u64(
+                        seed ^ (n as u64) << 32 ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                    );
+                    match dtype {
+                        Dtype::F32 => Payload::F32(
+                            random_spd::<f32>(n, SpdKind::Wishart, &mut rng).into_vec(),
+                        ),
+                        Dtype::F64 => Payload::F64(
+                            random_spd::<f64>(n, SpdKind::Wishart, &mut rng).into_vec(),
+                        ),
+                    }
+                })
+                .collect();
+            good.insert(n, pool);
+            bad.insert(n, neg_identity(n, dtype));
+        }
+        PayloadPool { good, bad }
+    }
+}
+
+/// `true` if global request index `r` is a planted non-SPD request
+/// (spreads `plant_bad` requests evenly over `total`).
+fn is_planted(r: u64, total: u64, plant_bad: u64) -> bool {
+    if plant_bad == 0 {
+        return false;
+    }
+    // The index where ⌊r·plant/total⌋ increments.
+    (r + 1) * plant_bad / total != r * plant_bad / total
+}
+
+struct Inflight {
+    sent_at: HashMap<u64, Instant>,
+    outstanding: usize,
+}
+
+struct ConnTally {
+    ok: u64,
+    planted_caught: u64,
+    rejected: u64,
+    mismatched: u64,
+    sent: u64,
+    latencies_ns: Vec<u64>,
+}
+
+/// One connection's closed- or open-loop exchange. `ids` are the global
+/// request indices this connection owns.
+fn run_conn(
+    addr: &str,
+    ids: Vec<u64>,
+    cfg: &LoadgenConfig,
+    pool: &PayloadPool,
+    per_conn_rate: f64,
+) -> io::Result<ConnTally> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    let mut reader = BufReader::new(stream);
+    let state = Arc::new((
+        Mutex::new(Inflight {
+            sent_at: HashMap::with_capacity(1024),
+            outstanding: 0,
+        }),
+        Condvar::new(),
+    ));
+    let total = cfg.requests;
+    let n_of = |r: u64| cfg.sizes[(r % cfg.sizes.len() as u64) as usize];
+    let expected_replies = ids.len() as u64;
+
+    // Writer inline, reader on a helper thread: the reader drains replies
+    // and timestamps latency while the writer paces departures.
+    let reader_state = state.clone();
+    let plant_bad = cfg.plant_bad;
+    let reader_thread = std::thread::Builder::new()
+        .name("ibcf-loadgen-reader".into())
+        .spawn(move || -> io::Result<ConnTally> {
+            let mut tally = ConnTally {
+                ok: 0,
+                planted_caught: 0,
+                rejected: 0,
+                mismatched: 0,
+                sent: 0,
+                latencies_ns: Vec::with_capacity(expected_replies as usize),
+            };
+            for _ in 0..expected_replies {
+                let reply = match read_frame(&mut reader)? {
+                    Some((K_FACTOR_REPLY, body)) => decode_factor_reply(&body)?,
+                    Some((kind, _)) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("unexpected frame kind {kind} mid-run"),
+                        ))
+                    }
+                    None => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "server closed the connection mid-run",
+                        ))
+                    }
+                };
+                let now = Instant::now();
+                let r = reply.id;
+                let sent_at = {
+                    let (lock, cvar) = &*reader_state;
+                    let mut s = lock.lock().unwrap();
+                    let at = s.sent_at.remove(&r);
+                    s.outstanding = s.outstanding.saturating_sub(1);
+                    cvar.notify_one();
+                    at
+                };
+                match sent_at {
+                    Some(at) => tally
+                        .latencies_ns
+                        .push(now.duration_since(at).as_nanos() as u64),
+                    None => {
+                        tally.mismatched += 1;
+                        continue;
+                    }
+                }
+                let planted = is_planted(r, total, plant_bad);
+                match (&reply.outcome, planted) {
+                    (Outcome::Factor(_), false) => tally.ok += 1,
+                    (Outcome::NotSpd { column: 0 }, true) => tally.planted_caught += 1,
+                    (Outcome::Rejected(_), _) => tally.rejected += 1,
+                    _ => tally.mismatched += 1,
+                }
+            }
+            Ok(tally)
+        })
+        .expect("spawn loadgen reader");
+
+    let start = Instant::now();
+    for (i, &r) in ids.iter().enumerate() {
+        let n = n_of(r);
+        let payload = if is_planted(r, total, cfg.plant_bad) {
+            &pool.bad[&n]
+        } else {
+            &pool.good[&n][(r as usize / cfg.sizes.len().max(1)) % POOL_PER_SIZE]
+        };
+        match cfg.mode {
+            ArrivalMode::Closed { window } => {
+                let (lock, cvar) = &*state;
+                let mut s = lock.lock().unwrap();
+                if s.outstanding >= window.max(1) {
+                    // About to block on replies: everything recorded as
+                    // outstanding must actually be on the wire first.
+                    drop(s);
+                    writer.flush()?;
+                    s = lock.lock().unwrap();
+                    while s.outstanding >= window.max(1) {
+                        s = cvar.wait(s).unwrap();
+                    }
+                }
+                s.outstanding += 1;
+                s.sent_at.insert(r, Instant::now());
+            }
+            ArrivalMode::Open { .. } => {
+                let due = start + Duration::from_secs_f64(i as f64 / per_conn_rate);
+                let now = Instant::now();
+                if due > now {
+                    std::thread::sleep(due - now);
+                }
+                let (lock, _) = &*state;
+                let mut s = lock.lock().unwrap();
+                s.outstanding += 1;
+                s.sent_at.insert(r, Instant::now());
+            }
+        }
+        write_frame(&mut writer, K_FACTOR_REQ, &encode_factor_req(r, n, payload))?;
+        // Open-loop must flush every departure to honor the pacing
+        // schedule; closed-loop flushes just before it blocks (above).
+        if matches!(cfg.mode, ArrivalMode::Open { .. }) {
+            writer.flush()?;
+        }
+    }
+    writer.flush()?;
+    let mut tally = reader_thread.join().expect("loadgen reader panicked")?;
+    tally.sent = ids.len() as u64;
+    Ok(tally)
+}
+
+/// Runs the configured load against a server and returns the report.
+pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadReport> {
+    assert!(!cfg.sizes.is_empty(), "need at least one matrix size");
+    assert!(cfg.conns > 0, "need at least one connection");
+    assert!(cfg.requests > 0, "need at least one request");
+    let pool = Arc::new(PayloadPool::build(&cfg.sizes, cfg.dtype, cfg.seed));
+
+    // Delta baseline so a long-lived server's history doesn't dilute this
+    // run's occupancy measurement.
+    let before = TcpConn::connect(&cfg.addr)?.fetch_stats()?;
+
+    let per_conn_rate = match cfg.mode {
+        ArrivalMode::Open { rate } => (rate / cfg.conns as f64).max(1.0),
+        ArrivalMode::Closed { .. } => f64::MAX,
+    };
+    let start = Instant::now();
+    let tallies: Vec<io::Result<ConnTally>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.conns)
+            .map(|c| {
+                let ids: Vec<u64> = (0..cfg.requests)
+                    .filter(|r| (*r as usize) % cfg.conns == c)
+                    .collect();
+                let (pool, cfg) = (pool.clone(), cfg.clone());
+                scope.spawn(move || run_conn(&cfg.addr, ids, &cfg, &pool, per_conn_rate))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = start.elapsed();
+
+    let mut sent = 0;
+    let mut ok = 0;
+    let mut planted_caught = 0;
+    let mut rejected = 0;
+    let mut mismatched = 0;
+    let mut latencies: Vec<u64> = Vec::new();
+    for tally in tallies {
+        let t = tally?;
+        sent += t.sent;
+        ok += t.ok;
+        planted_caught += t.planted_caught;
+        rejected += t.rejected;
+        mismatched += t.mismatched;
+        latencies.extend(t.latencies_ns);
+    }
+    latencies.sort_unstable();
+    let pct = |q: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len()) - 1;
+        latencies[idx] as f64 / 1000.0
+    };
+
+    let after = TcpConn::connect(&cfg.addr)?.fetch_stats()?;
+    let batches_delta = after.batches.saturating_sub(before.batches);
+    let mean_occupancy = if batches_delta == 0 {
+        0.0
+    } else {
+        // Reconstruct the per-window mean from the two lifetime means.
+        let sum_after = after.mean_occupancy * after.batches as f64;
+        let sum_before = before.mean_occupancy * before.batches as f64;
+        ((sum_after - sum_before) / batches_delta as f64).clamp(0.0, 1.0)
+    };
+
+    Ok(LoadReport {
+        sent,
+        ok,
+        planted_caught,
+        rejected,
+        mismatched,
+        elapsed,
+        throughput: (ok + planted_caught) as f64 / elapsed.as_secs_f64(),
+        p50_us: pct(0.50),
+        p95_us: pct(0.95),
+        p99_us: pct(0.99),
+        mean_occupancy,
+        server: after,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planted_spread_is_even_and_exact() {
+        for (total, plant) in [(100u64, 10u64), (97, 7), (50, 0), (10, 10), (1000, 1)] {
+            let count = (0..total).filter(|&r| is_planted(r, total, plant)).count() as u64;
+            assert_eq!(count, plant, "total={total} plant={plant}");
+            // Even spread: no two planted indices closer than half the
+            // ideal gap (except the degenerate all-planted case).
+            if plant > 1 && plant < total {
+                let planted: Vec<u64> = (0..total)
+                    .filter(|&r| is_planted(r, total, plant))
+                    .collect();
+                let min_gap = planted.windows(2).map(|w| w[1] - w[0]).min().unwrap();
+                assert!(min_gap >= total / plant / 2, "gap {min_gap}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_has_good_and_bad_payloads_per_size() {
+        let pool = PayloadPool::build(&[4, 8, 4], Dtype::F32, 7);
+        assert_eq!(pool.good.len(), 2);
+        assert_eq!(pool.good[&4].len(), POOL_PER_SIZE);
+        let Payload::F32(bad) = &pool.bad[&8] else {
+            panic!("wrong dtype");
+        };
+        assert_eq!(bad[0], -1.0);
+        assert_eq!(bad.len(), 64);
+    }
+}

@@ -1,0 +1,209 @@
+//! The bounded ingest queue between clients and the batch former.
+//!
+//! One mutex-guarded deque with two condvars — `not_empty` wakes the
+//! former, `not_full` wakes blocked producers. Admission control is the
+//! non-blocking [`IngestQueue::try_push`] (full queue → the request is
+//! handed back and the caller rejects it); backpressure is the blocking
+//! [`IngestQueue::push_wait`] for embedded clients that prefer to stall
+//! over shedding load.
+
+use crate::request::Pending;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+struct State {
+    deque: VecDeque<Pending>,
+    closed: bool,
+}
+
+/// A bounded MPSC queue of pending requests.
+pub struct IngestQueue {
+    state: Mutex<State>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+}
+
+impl IngestQueue {
+    /// A queue admitting at most `cap` queued requests.
+    ///
+    /// # Panics
+    /// If `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "queue capacity must be positive");
+        IngestQueue {
+            state: Mutex::new(State {
+                deque: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Capacity the queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Requests currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().deque.len()
+    }
+
+    /// `true` if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking admission: queues the request, or hands it back when
+    /// the queue is full or closed (`Err` carries the request so the
+    /// caller can reject it with its own sink).
+    pub fn try_push(&self, p: Pending) -> Result<(), (Pending, bool)> {
+        let mut s = self.state.lock().unwrap();
+        if s.closed {
+            return Err((p, true));
+        }
+        if s.deque.len() >= self.cap {
+            return Err((p, false));
+        }
+        s.deque.push_back(p);
+        drop(s);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking submission: waits for space (backpressure) instead of
+    /// shedding. Returns the request back only if the queue closed while
+    /// waiting.
+    pub fn push_wait(&self, p: Pending) -> Result<(), Pending> {
+        let mut s = self.state.lock().unwrap();
+        while s.deque.len() >= self.cap && !s.closed {
+            s = self.not_full.wait(s).unwrap();
+        }
+        if s.closed {
+            return Err(p);
+        }
+        s.deque.push_back(p);
+        drop(s);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Drains everything currently queued, waiting until at least one
+    /// request is available or `deadline` passes (`None` = wait until
+    /// something arrives or the queue closes). An empty result with
+    /// `closed = false` means the deadline fired; `closed = true` means no
+    /// more requests will ever arrive.
+    pub fn drain_until(&self, deadline: Option<Instant>) -> (Vec<Pending>, bool) {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if !s.deque.is_empty() {
+                let out: Vec<Pending> = s.deque.drain(..).collect();
+                let closed = s.closed;
+                drop(s);
+                self.not_full.notify_all();
+                return (out, closed);
+            }
+            if s.closed {
+                return (Vec::new(), true);
+            }
+            match deadline {
+                None => s = self.not_empty.wait(s).unwrap(),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return (Vec::new(), false);
+                    }
+                    let (guard, timeout) = self.not_empty.wait_timeout(s, d - now).unwrap();
+                    s = guard;
+                    if timeout.timed_out() && s.deque.is_empty() {
+                        return (Vec::new(), s.closed);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Closes the queue: producers are refused from now on, and the former
+    /// drains whatever is left.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{FactorReply, Payload};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn pending(id: u64) -> Pending {
+        Pending {
+            id,
+            n: 2,
+            payload: Payload::F32(vec![0.0; 4]),
+            enqueued: Instant::now(),
+            sink: Box::new(|_: FactorReply| {}),
+        }
+    }
+
+    #[test]
+    fn try_push_rejects_when_full() {
+        let q = IngestQueue::new(2);
+        assert!(q.try_push(pending(0)).is_ok());
+        assert!(q.try_push(pending(1)).is_ok());
+        let (back, closed) = q.try_push(pending(2)).unwrap_err();
+        assert_eq!(back.id, 2);
+        assert!(!closed);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn drain_waits_for_deadline_then_returns_empty() {
+        let q = IngestQueue::new(4);
+        let t0 = Instant::now();
+        let (items, closed) = q.drain_until(Some(t0 + Duration::from_millis(20)));
+        assert!(items.is_empty());
+        assert!(!closed);
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn push_wait_applies_backpressure_until_consumer_drains() {
+        let q = Arc::new(IngestQueue::new(1));
+        q.try_push(pending(0)).unwrap();
+        let done = Arc::new(AtomicUsize::new(0));
+        let (q2, d2) = (q.clone(), done.clone());
+        let producer = std::thread::spawn(move || {
+            q2.push_wait(pending(1)).unwrap();
+            d2.store(1, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(done.load(Ordering::SeqCst), 0, "producer must be blocked");
+        let (items, _) = q.drain_until(None);
+        assert_eq!(items.len(), 1);
+        producer.join().unwrap();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn close_wakes_everyone() {
+        let q = Arc::new(IngestQueue::new(4));
+        let q2 = q.clone();
+        let consumer = std::thread::spawn(move || q2.drain_until(None));
+        std::thread::sleep(Duration::from_millis(10));
+        q.close();
+        let (items, closed) = consumer.join().unwrap();
+        assert!(items.is_empty());
+        assert!(closed);
+        assert!(q.try_push(pending(9)).is_err());
+    }
+}

@@ -1,0 +1,209 @@
+//! Request and reply types shared by the in-process client, the batch
+//! former, and the TCP codec.
+
+use std::time::Instant;
+
+/// Element type of a request's matrix payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dtype {
+    /// Single precision (the paper's working precision).
+    F32,
+    /// Double precision.
+    F64,
+}
+
+impl Dtype {
+    /// Wire tag (stable across versions of the frame codec).
+    pub fn to_u8(self) -> u8 {
+        match self {
+            Dtype::F32 => 0,
+            Dtype::F64 => 1,
+        }
+    }
+
+    /// Inverse of [`Dtype::to_u8`].
+    pub fn from_u8(tag: u8) -> Option<Dtype> {
+        match tag {
+            0 => Some(Dtype::F32),
+            1 => Some(Dtype::F64),
+            _ => None,
+        }
+    }
+
+    /// Bytes per element on the wire.
+    pub fn elem_bytes(self) -> usize {
+        match self {
+            Dtype::F32 => 4,
+            Dtype::F64 => 8,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dtype::F32 => "f32",
+            Dtype::F64 => "f64",
+        }
+    }
+}
+
+impl std::fmt::Display for Dtype {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Dtype {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "f32" => Ok(Dtype::F32),
+            "f64" => Ok(Dtype::F64),
+            other => Err(format!("unknown dtype {other} (use f32 or f64)")),
+        }
+    }
+}
+
+/// A column-major `n × n` matrix payload in either precision.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Single-precision elements.
+    F32(Vec<f32>),
+    /// Double-precision elements.
+    F64(Vec<f64>),
+}
+
+impl Payload {
+    /// The payload's element type.
+    pub fn dtype(&self) -> Dtype {
+        match self {
+            Payload::F32(_) => Dtype::F32,
+            Payload::F64(_) => Dtype::F64,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::F32(v) => v.len(),
+            Payload::F64(v) => v.len(),
+        }
+    }
+
+    /// `true` if the payload holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Why a request was turned away at the door instead of queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The ingest queue is at capacity (admission control).
+    QueueFull,
+    /// `n` is zero or above the service's configured maximum.
+    BadDimension,
+    /// The payload length does not match `n × n`.
+    BadPayload,
+    /// The service is shutting down.
+    Closed,
+}
+
+impl RejectReason {
+    /// Wire tag.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            RejectReason::QueueFull => 0,
+            RejectReason::BadDimension => 1,
+            RejectReason::BadPayload => 2,
+            RejectReason::Closed => 3,
+        }
+    }
+
+    /// Inverse of [`RejectReason::to_u8`].
+    pub fn from_u8(tag: u8) -> Option<RejectReason> {
+        match tag {
+            0 => Some(RejectReason::QueueFull),
+            1 => Some(RejectReason::BadDimension),
+            2 => Some(RejectReason::BadPayload),
+            3 => Some(RejectReason::Closed),
+            _ => None,
+        }
+    }
+
+    /// Human-readable description.
+    pub fn describe(self) -> &'static str {
+        match self {
+            RejectReason::QueueFull => "ingest queue full",
+            RejectReason::BadDimension => "bad matrix dimension",
+            RejectReason::BadPayload => "payload length != n*n",
+            RejectReason::Closed => "service shutting down",
+        }
+    }
+}
+
+/// Per-request result. `Factor` carries the full square buffer: the lower
+/// triangle (diagonal included) holds `L`, the strictly-upper part is the
+/// submitted data untouched — the LAPACK `potrf` convention.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Factorization succeeded.
+    Factor(Payload),
+    /// The matrix is not positive definite; the pivot at `column` failed.
+    NotSpd {
+        /// First failing column.
+        column: usize,
+    },
+    /// A NaN or infinity surfaced at `column`.
+    NonFinite {
+        /// First non-finite column.
+        column: usize,
+    },
+    /// The request never entered the queue.
+    Rejected(RejectReason),
+}
+
+impl Outcome {
+    /// `true` for a successful factorization.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Outcome::Factor(_))
+    }
+}
+
+/// A completed request, correlated by the id the submitter chose.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactorReply {
+    /// Caller-chosen correlation id, echoed verbatim.
+    pub id: u64,
+    /// What happened.
+    pub outcome: Outcome,
+}
+
+/// Where a finished reply goes: invoked exactly once per request, from a
+/// worker thread (or inline at submit time for rejections).
+pub type ReplySink = Box<dyn FnOnce(FactorReply) + Send + 'static>;
+
+/// A queued request: payload plus everything needed to route and time the
+/// reply.
+pub struct Pending {
+    /// Caller-chosen correlation id.
+    pub id: u64,
+    /// Matrix dimension.
+    pub n: usize,
+    /// Column-major `n × n` input.
+    pub payload: Payload,
+    /// When the request entered the ingest queue (latency clock start).
+    pub enqueued: Instant,
+    /// Reply destination.
+    pub sink: ReplySink,
+}
+
+impl std::fmt::Debug for Pending {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pending")
+            .field("id", &self.id)
+            .field("n", &self.n)
+            .field("dtype", &self.payload.dtype())
+            .finish()
+    }
+}

@@ -1,0 +1,369 @@
+//! std::net TCP front-end: accepts connections, decodes request frames,
+//! submits them through the in-process [`Client`], and streams replies
+//! back as they complete (replies may reorder relative to requests; the
+//! caller correlates by id).
+//!
+//! Per connection: the accept loop spawns a reader thread (decodes and
+//! submits) and a writer thread (serializes reply frames through an mpsc
+//! channel — worker threads finish batches concurrently, and a reply
+//! frame must hit the socket atomically). A `shutdown` frame is acked,
+//! then stops the accept loop and returns control to the caller, which
+//! shuts the service down.
+
+use crate::codec::{
+    decode_factor_req, encode_factor_reply, read_frame, write_frame, K_FACTOR_REPLY, K_FACTOR_REQ,
+    K_SHUTDOWN, K_SHUTDOWN_ACK, K_STATS_REPLY, K_STATS_REQ,
+};
+use crate::request::FactorReply;
+use crate::service::Client;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Serializes reply frames onto the socket. Batches consecutive pending
+/// frames into one flush.
+fn writer_loop(stream: TcpStream, rx: Receiver<Vec<u8>>) -> io::Result<()> {
+    let mut w = BufWriter::new(stream);
+    while let Ok(frame) = rx.recv() {
+        w.write_all(&frame)?;
+        while let Ok(more) = rx.try_recv() {
+            w.write_all(&more)?;
+        }
+        w.flush()?;
+    }
+    Ok(())
+}
+
+fn frame_of(reply: &FactorReply, dtype: crate::request::Dtype) -> Vec<u8> {
+    let body = encode_factor_reply(reply, dtype);
+    let mut frame = Vec::with_capacity(5 + body.len());
+    frame.extend_from_slice(&((body.len() + 1) as u32).to_le_bytes());
+    frame.push(K_FACTOR_REPLY);
+    frame.extend_from_slice(&body);
+    frame
+}
+
+/// Reads frames off one connection until EOF, error, or shutdown.
+/// Returns `true` if this connection requested server shutdown.
+fn conn_loop(stream: TcpStream, client: Client) -> io::Result<bool> {
+    let out_stream = stream.try_clone()?;
+    let (tx, rx) = channel::<Vec<u8>>();
+    let writer = std::thread::Builder::new()
+        .name("ibcf-conn-writer".into())
+        .spawn(move || writer_loop(out_stream, rx))
+        .expect("spawn connection writer");
+    let mut r = BufReader::new(stream);
+    let mut shutdown = false;
+    while let Some((kind, body)) = read_frame(&mut r)? {
+        match kind {
+            K_FACTOR_REQ => {
+                let (id, n, payload) = decode_factor_req(&body)?;
+                let dtype = payload.dtype();
+                let tx = tx.clone();
+                // Non-blocking admission: a full queue answers with a
+                // QueueFull rejection frame instead of stalling the
+                // reader (which would deadlock a pipelining client).
+                client.submit_sink(
+                    id,
+                    n,
+                    payload,
+                    Box::new(move |reply| {
+                        // Send failure = connection gone; the reply is
+                        // dropped with it.
+                        let _ = tx.send(frame_of(&reply, dtype));
+                    }),
+                    false,
+                );
+            }
+            K_STATS_REQ => {
+                let snap = client.stats();
+                let json = serde_json::to_string(&snap)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                let mut frame = Vec::with_capacity(5 + json.len());
+                frame.extend_from_slice(&((json.len() + 1) as u32).to_le_bytes());
+                frame.push(K_STATS_REPLY);
+                frame.extend_from_slice(json.as_bytes());
+                let _ = tx.send(frame);
+            }
+            K_SHUTDOWN => {
+                let _ = tx.send(vec![1, 0, 0, 0, K_SHUTDOWN_ACK]);
+                shutdown = true;
+                break;
+            }
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown frame kind {other}"),
+                ));
+            }
+        }
+    }
+    drop(tx);
+    let _ = writer.join().expect("connection writer panicked");
+    Ok(shutdown)
+}
+
+/// The TCP front-end. Owns the listener; [`TcpServer::run`] blocks until
+/// a client sends a shutdown frame (or [`TcpServer::stop`] is flagged
+/// from another thread).
+pub struct TcpServer {
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+}
+
+impl TcpServer {
+    /// Binds to `addr` (use port 0 for an ephemeral port).
+    pub fn bind(addr: &str) -> io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(TcpServer {
+            listener,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (reports the real port after binding to port 0).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A flag that stops the accept loop when set from another thread.
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        self.stop.clone()
+    }
+
+    /// Accepts and serves connections until a shutdown frame arrives or
+    /// the stop flag is set. Returns once every connection thread joined,
+    /// leaving the service itself to the caller to shut down.
+    pub fn run(&self, client: Client) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let mut conns: Vec<JoinHandle<()>> = Vec::new();
+        while !self.stop.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    stream.set_nodelay(true).ok();
+                    let client = client.clone();
+                    let stop = self.stop.clone();
+                    let handle = std::thread::Builder::new()
+                        .name("ibcf-conn".into())
+                        .spawn(move || {
+                            match conn_loop(stream, client) {
+                                Ok(true) => stop.store(true, Ordering::SeqCst),
+                                Ok(false) => {}
+                                // A broken connection kills itself, not
+                                // the server.
+                                Err(_) => {}
+                            }
+                        })
+                        .expect("spawn connection thread");
+                    conns.push(handle);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => return Err(e),
+            }
+            conns.retain(|h| !h.is_finished());
+        }
+        for handle in conns {
+            handle.join().expect("connection thread panicked");
+        }
+        Ok(())
+    }
+}
+
+/// A blocking TCP client for tests and the load generator: one stream,
+/// frames written directly, replies read by the caller.
+pub struct TcpConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl TcpConn {
+    /// Connects to a running server.
+    pub fn connect(addr: &str) -> io::Result<TcpConn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        // A stuck server must fail a test, not hang it.
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        let writer = stream.try_clone()?;
+        Ok(TcpConn {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends a factorization request frame.
+    pub fn send_factor_req(
+        &mut self,
+        id: u64,
+        n: usize,
+        payload: &crate::request::Payload,
+    ) -> io::Result<()> {
+        let body = crate::codec::encode_factor_req(id, n, payload);
+        write_frame(&mut self.writer, K_FACTOR_REQ, &body)
+    }
+
+    /// Sends a stats request frame.
+    pub fn send_stats_req(&mut self) -> io::Result<()> {
+        write_frame(&mut self.writer, K_STATS_REQ, &[])
+    }
+
+    /// Sends a shutdown frame.
+    pub fn send_shutdown(&mut self) -> io::Result<()> {
+        write_frame(&mut self.writer, K_SHUTDOWN, &[])
+    }
+
+    /// Reads the next frame (`None` on clean EOF).
+    pub fn read(&mut self) -> io::Result<Option<(u8, Vec<u8>)>> {
+        read_frame(&mut self.reader)
+    }
+
+    /// Reads frames until the next factor reply (stats frames in between
+    /// are an error here — use typed readers in interleaved protocols).
+    pub fn read_factor_reply(&mut self) -> io::Result<FactorReply> {
+        match self.read()? {
+            Some((K_FACTOR_REPLY, body)) => crate::codec::decode_factor_reply(&body),
+            Some((kind, _)) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected factor reply, got frame kind {kind}"),
+            )),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before reply",
+            )),
+        }
+    }
+
+    /// Requests and decodes a stats snapshot.
+    pub fn fetch_stats(&mut self) -> io::Result<crate::stats::StatsSnapshot> {
+        self.send_stats_req()?;
+        match self.read()? {
+            Some((K_STATS_REPLY, body)) => {
+                let text = std::str::from_utf8(&body)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                serde_json::from_str(text)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+            }
+            Some((kind, _)) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected stats reply, got frame kind {kind}"),
+            )),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before stats reply",
+            )),
+        }
+    }
+
+    /// Sends shutdown and waits for the ack.
+    pub fn shutdown_server(&mut self) -> io::Result<()> {
+        self.send_shutdown()?;
+        match self.read()? {
+            Some((K_SHUTDOWN_ACK, _)) => Ok(()),
+            Some((kind, _)) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected shutdown ack, got frame kind {kind}"),
+            )),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before shutdown ack",
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineSelector;
+    use crate::request::{Outcome, Payload};
+    use crate::service::{Service, ServiceConfig};
+
+    fn start_server() -> (Service, std::net::SocketAddr, JoinHandle<io::Result<()>>) {
+        let service = Service::start(
+            ServiceConfig {
+                max_delay: Duration::from_millis(1),
+                ..ServiceConfig::default()
+            },
+            EngineSelector::heuristic(),
+        );
+        let server = TcpServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let client = service.client();
+        let handle = std::thread::spawn(move || server.run(client));
+        (service, addr, handle)
+    }
+
+    #[test]
+    fn tcp_round_trip_factor_stats_shutdown() {
+        let (service, addr, server) = start_server();
+        let mut conn = TcpConn::connect(&addr.to_string()).unwrap();
+
+        // A 2×2 SPD matrix with a known exact factor: [[4,2],[2,5]] →
+        // L = [[2,0],[1,2]].
+        let a = Payload::F32(vec![4.0, 2.0, 2.0, 5.0]);
+        conn.send_factor_req(123, 2, &a).unwrap();
+        let reply = conn.read_factor_reply().unwrap();
+        assert_eq!(reply.id, 123);
+        let Outcome::Factor(Payload::F32(l)) = reply.outcome else {
+            panic!("expected factor, got {:?}", reply.outcome);
+        };
+        assert_eq!(l, vec![2.0, 1.0, 2.0, 2.0]); // upper 2.0 = input, untouched
+
+        // Malformed request is rejected, not dropped.
+        conn.send_factor_req(124, 3, &Payload::F32(vec![1.0; 4]))
+            .unwrap();
+        let reply = conn.read_factor_reply().unwrap();
+        assert_eq!(reply.id, 124);
+        assert!(matches!(reply.outcome, Outcome::Rejected(_)));
+
+        let stats = conn.fetch_stats().unwrap();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.replies_ok, 1);
+
+        conn.shutdown_server().unwrap();
+        server.join().unwrap().unwrap();
+        service.shutdown();
+    }
+
+    #[test]
+    fn concurrent_connections_each_get_their_own_replies() {
+        let (service, addr, server) = start_server();
+        let workers: Vec<_> = (0..4u64)
+            .map(|c| {
+                let addr = addr.to_string();
+                std::thread::spawn(move || {
+                    let mut conn = TcpConn::connect(&addr).unwrap();
+                    for i in 0..8u64 {
+                        let id = c * 100 + i;
+                        let a = Payload::F64(vec![4.0, 2.0, 2.0, 5.0]);
+                        conn.send_factor_req(id, 2, &a).unwrap();
+                    }
+                    let mut seen: Vec<u64> = (0..8)
+                        .map(|_| {
+                            let reply = conn.read_factor_reply().unwrap();
+                            assert!(reply.outcome.is_ok());
+                            reply.id
+                        })
+                        .collect();
+                    seen.sort_unstable();
+                    let want: Vec<u64> = (0..8).map(|i| c * 100 + i).collect();
+                    assert_eq!(seen, want, "conn {c} got someone else's replies");
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let mut conn = TcpConn::connect(&addr.to_string()).unwrap();
+        conn.shutdown_server().unwrap();
+        server.join().unwrap().unwrap();
+        let snap = service.shutdown();
+        assert_eq!(snap.replies_ok, 32);
+    }
+}

@@ -1,0 +1,487 @@
+//! The service: ingest queue → batch former → tuned-engine worker pool,
+//! with an in-process [`Client`] handle.
+//!
+//! Thread shape: one former thread owns the consumer side of the
+//! [`IngestQueue`]; `workers` threads share a `sync_channel` of
+//! [`FormedBatch`]es. Each worker factorizes its batch in place with
+//! [`factorize_batch_auto_with`] under the plan the [`EngineSelector`]
+//! chose, then routes every per-matrix outcome — factor or non-SPD
+//! failure — back to exactly the originating request's sink.
+
+use crate::engine::EngineSelector;
+use crate::former::{run_former, FormedBatch, FormerConfig, PackedData};
+use crate::queue::IngestQueue;
+use crate::request::{FactorReply, Outcome, Payload, Pending, RejectReason, ReplySink};
+use crate::stats::{ServiceStats, StatsSnapshot};
+use ibcf_core::lane_batch::factorize_batch_auto_with;
+use ibcf_core::{CholeskyError, Real};
+use ibcf_layout::{gather_matrix, Layout};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Service construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads executing formed batches.
+    pub workers: usize,
+    /// Ingest queue capacity (admission-control bound).
+    pub queue_cap: usize,
+    /// Batch former size threshold.
+    pub max_batch: usize,
+    /// Batch former deadline.
+    pub max_delay: Duration,
+    /// Largest admissible matrix dimension.
+    pub max_n: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 1,
+            queue_cap: 8192,
+            max_batch: 1024,
+            max_delay: Duration::from_millis(1),
+            max_n: 64,
+        }
+    }
+}
+
+struct Inner {
+    queue: Arc<IngestQueue>,
+    stats: Arc<ServiceStats>,
+    max_n: usize,
+    tuned: bool,
+}
+
+/// A running factorization service. Dropping without
+/// [`Service::shutdown`] detaches the threads; shut down for a clean
+/// exit.
+pub struct Service {
+    inner: Arc<Inner>,
+    former: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts the former and worker threads.
+    pub fn start(config: ServiceConfig, selector: EngineSelector) -> Service {
+        assert!(config.workers > 0, "need at least one worker");
+        assert!(config.max_batch > 0, "max_batch must be positive");
+        let queue = Arc::new(IngestQueue::new(config.queue_cap));
+        let stats = Arc::new(ServiceStats::default());
+        let inner = Arc::new(Inner {
+            queue: queue.clone(),
+            stats: stats.clone(),
+            max_n: config.max_n,
+            tuned: selector.is_tuned(),
+        });
+        // Shallow channel: the former should stall (and keep accumulating
+        // arrivals into bigger batches) when workers are saturated, not
+        // buffer an unbounded backlog of packed buffers.
+        let (batch_tx, batch_rx) = sync_channel::<FormedBatch>(2 * config.workers);
+        let former_cfg = FormerConfig {
+            max_batch: config.max_batch,
+            max_delay: config.max_delay,
+        };
+        let former = {
+            let (q, s) = (queue, stats.clone());
+            std::thread::Builder::new()
+                .name("ibcf-former".into())
+                .spawn(move || run_former(q, selector, former_cfg, s, batch_tx))
+                .expect("spawn former")
+        };
+        let batch_rx = Arc::new(Mutex::new(batch_rx));
+        let workers = (0..config.workers)
+            .map(|w| {
+                let (rx, s) = (batch_rx.clone(), stats.clone());
+                std::thread::Builder::new()
+                    .name(format!("ibcf-worker-{w}"))
+                    .spawn(move || run_worker(&rx, &s))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Service {
+            inner,
+            former: Some(former),
+            workers,
+        }
+    }
+
+    /// A submission handle. Clients stay valid until shutdown; submissions
+    /// after shutdown are rejected with [`RejectReason::Closed`].
+    pub fn client(&self) -> Client {
+        Client {
+            inner: self.inner.clone(),
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Closes the queue, drains everything already admitted, and joins
+    /// all threads. Every admitted request receives its reply before this
+    /// returns.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.inner.queue.close();
+        if let Some(former) = self.former.take() {
+            former.join().expect("former panicked");
+        }
+        // The former dropped the batch sender; workers drain and exit.
+        for w in self.workers.drain(..) {
+            w.join().expect("worker panicked");
+        }
+        self.inner.stats.snapshot()
+    }
+}
+
+/// Factorizes one formed batch in place and distributes replies.
+fn run_worker(rx: &Mutex<Receiver<FormedBatch>>, stats: &ServiceStats) {
+    loop {
+        let batch = {
+            let guard = rx.lock().unwrap();
+            match guard.recv() {
+                Ok(b) => b,
+                Err(_) => return, // former gone and channel drained
+            }
+        };
+        execute_batch(batch, stats);
+    }
+}
+
+fn execute_batch(mut batch: FormedBatch, stats: &ServiceStats) {
+    let layout = batch.layout;
+    let plan = batch.plan;
+    let failures = match &mut batch.data {
+        PackedData::F32(data) => {
+            factorize_batch_auto_with(&layout, data.as_mut_slice(), plan.order, plan.width).failures
+        }
+        PackedData::F64(data) => {
+            factorize_batch_auto_with(&layout, data.as_mut_slice(), plan.order, plan.width).failures
+        }
+    };
+    let n = batch.n;
+    // `failures` is sorted by matrix index; walk it alongside the
+    // requests so each failure lands on exactly its originator.
+    let mut fail_iter = failures.into_iter().peekable();
+    for (mat, req) in batch.reqs.into_iter().enumerate() {
+        let failure = match fail_iter.peek() {
+            Some(&(idx, _)) if idx == mat => fail_iter.next().map(|(_, e)| e),
+            _ => None,
+        };
+        let outcome = match failure {
+            Some(CholeskyError::NotPositiveDefinite { column }) => Outcome::NotSpd { column },
+            Some(CholeskyError::NonFinite { column }) => Outcome::NonFinite { column },
+            None => Outcome::Factor(gather_payload(&layout, &batch.data, mat, n)),
+        };
+        if outcome.is_ok() {
+            stats.replies_ok.fetch_add(1, Ordering::Relaxed);
+        } else {
+            stats.replies_failed.fetch_add(1, Ordering::Relaxed);
+        }
+        stats.record_latency(req.enqueued.elapsed());
+        (req.sink)(FactorReply {
+            id: req.id,
+            outcome,
+        });
+    }
+    // Any remaining failure would sit in a padding slot — impossible,
+    // padding is the identity matrix.
+    debug_assert!(
+        fail_iter.peek().is_none(),
+        "failure reported for an identity padding slot"
+    );
+}
+
+fn gather_payload(layout: &Layout, data: &PackedData, mat: usize, n: usize) -> Payload {
+    fn full_square<T: Real>(layout: &Layout, data: &[T], mat: usize, n: usize) -> Vec<T> {
+        let mut out = vec![T::ZERO; n * n];
+        gather_matrix(layout, data, mat, &mut out, n);
+        out
+    }
+    match data {
+        PackedData::F32(v) => Payload::F32(full_square(layout, v.as_slice(), mat, n)),
+        PackedData::F64(v) => Payload::F64(full_square(layout, v.as_slice(), mat, n)),
+    }
+}
+
+/// An in-process submission handle (cheap to clone, `Send`).
+#[derive(Clone)]
+pub struct Client {
+    inner: Arc<Inner>,
+}
+
+impl Client {
+    /// `true` if the service was started from a tuned dispatch table.
+    pub fn is_tuned(&self) -> bool {
+        self.inner.tuned
+    }
+
+    /// Current counters (serves the `stats` request).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Largest admissible `n`.
+    pub fn max_n(&self) -> usize {
+        self.inner.max_n
+    }
+
+    /// Submits a request, delivering the reply through `sink`. With
+    /// `blocking` the call waits for queue space (backpressure);
+    /// otherwise a full queue rejects immediately (admission control).
+    /// The sink is always invoked exactly once, inline for rejections.
+    pub fn submit_sink(
+        &self,
+        id: u64,
+        n: usize,
+        payload: Payload,
+        sink: ReplySink,
+        blocking: bool,
+    ) {
+        let reject = |sink: ReplySink, reason: RejectReason, stats: &ServiceStats| {
+            stats.rejected.fetch_add(1, Ordering::Relaxed);
+            sink(FactorReply {
+                id,
+                outcome: Outcome::Rejected(reason),
+            });
+        };
+        if n == 0 || n > self.inner.max_n {
+            return reject(sink, RejectReason::BadDimension, &self.inner.stats);
+        }
+        if payload.len() != n * n {
+            return reject(sink, RejectReason::BadPayload, &self.inner.stats);
+        }
+        let pending = Pending {
+            id,
+            n,
+            payload,
+            enqueued: Instant::now(),
+            sink,
+        };
+        let outcome = if blocking {
+            self.inner
+                .queue
+                .push_wait(pending)
+                .map_err(|p| (p, RejectReason::Closed))
+        } else {
+            self.inner.queue.try_push(pending).map_err(|(p, closed)| {
+                let reason = if closed {
+                    RejectReason::Closed
+                } else {
+                    RejectReason::QueueFull
+                };
+                (p, reason)
+            })
+        };
+        match outcome {
+            Ok(()) => {
+                self.inner.stats.requests.fetch_add(1, Ordering::Relaxed);
+            }
+            Err((p, reason)) => reject(p.sink, reason, &self.inner.stats),
+        }
+    }
+
+    /// Submits and returns a receiver for the reply (non-blocking
+    /// admission).
+    pub fn submit(
+        &self,
+        id: u64,
+        n: usize,
+        payload: Payload,
+    ) -> std::sync::mpsc::Receiver<FactorReply> {
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        self.submit_sink(id, n, payload, Box::new(move |r| drop(tx.send(r))), false);
+        rx
+    }
+
+    /// Submits with backpressure and waits for the reply.
+    pub fn call(&self, id: u64, n: usize, payload: Payload) -> FactorReply {
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        self.submit_sink(id, n, payload, Box::new(move |r| drop(tx.send(r))), true);
+        rx.recv().expect("reply sink dropped without reply")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibcf_core::spd::{random_spd, SpdKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spd_vec<T: Real>(n: usize, seed: u64) -> Vec<T> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        random_spd::<T>(n, SpdKind::Wishart, &mut rng).into_vec()
+    }
+
+    fn spd_payload(n: usize, seed: u64) -> Payload {
+        Payload::F32(spd_vec(n, seed))
+    }
+
+    fn neg_identity(n: usize) -> Payload {
+        let mut m = vec![0.0f32; n * n];
+        for d in 0..n {
+            m[d * n + d] = -1.0;
+        }
+        Payload::F32(m)
+    }
+
+    fn check_factor(n: usize, input: &Payload, reply: &FactorReply) {
+        let Outcome::Factor(Payload::F32(out)) = &reply.outcome else {
+            panic!("expected a factor, got {:?}", reply.outcome);
+        };
+        let Payload::F32(a) = input else {
+            unreachable!()
+        };
+        // L·Lᵀ ≈ A on the lower triangle.
+        for col in 0..n {
+            for row in col..n {
+                let mut sum = 0.0f64;
+                for k in 0..=col.min(row) {
+                    sum += out[k * n + row] as f64 * out[k * n + col] as f64;
+                }
+                let want = a[col * n + row] as f64;
+                assert!(
+                    (sum - want).abs() <= 1e-3 * want.abs().max(1.0),
+                    "n={n} ({row},{col}): {sum} vs {want}"
+                );
+            }
+        }
+        // Strict upper triangle is the input, untouched.
+        for col in 1..n {
+            for row in 0..col {
+                assert_eq!(out[col * n + row], a[col * n + row]);
+            }
+        }
+    }
+
+    #[test]
+    fn end_to_end_factorization_round_trip() {
+        let service = Service::start(
+            ServiceConfig {
+                workers: 2,
+                max_delay: Duration::from_millis(2),
+                ..ServiceConfig::default()
+            },
+            EngineSelector::heuristic(),
+        );
+        let client = service.client();
+        let inputs: Vec<(u64, usize, Payload)> = (0..40)
+            .map(|i| {
+                let n = [3, 8, 16, 17][i as usize % 4];
+                (i, n, spd_payload(n, 1000 + i))
+            })
+            .collect();
+        let receivers: Vec<_> = inputs
+            .iter()
+            .map(|(id, n, p)| client.submit(*id, *n, p.clone()))
+            .collect();
+        for ((id, n, input), rx) in inputs.iter().zip(receivers) {
+            let reply = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+            assert_eq!(reply.id, *id);
+            check_factor(*n, input, &reply);
+        }
+        let snap = service.shutdown();
+        assert_eq!(snap.requests, 40);
+        assert_eq!(snap.replies_ok, 40);
+        assert_eq!(snap.rejected, 0);
+        assert!(snap.batches >= 4, "four (n, dtype) groups at minimum");
+    }
+
+    #[test]
+    fn non_spd_failure_routes_to_exactly_the_bad_request() {
+        let service = Service::start(
+            ServiceConfig {
+                max_delay: Duration::from_millis(2),
+                ..ServiceConfig::default()
+            },
+            EngineSelector::heuristic(),
+        );
+        let client = service.client();
+        let n = 16;
+        // One poisoned request sandwiched between good neighbors that land
+        // in the same (n, dtype) batch.
+        let receivers: Vec<_> = (0..20u64)
+            .map(|i| {
+                let payload = if i == 7 {
+                    neg_identity(n)
+                } else {
+                    spd_payload(n, 2000 + i)
+                };
+                client.submit(i, n, payload)
+            })
+            .collect();
+        for (i, rx) in receivers.into_iter().enumerate() {
+            let reply = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+            assert_eq!(reply.id, i as u64);
+            if i == 7 {
+                assert_eq!(reply.outcome, Outcome::NotSpd { column: 0 });
+            } else {
+                assert!(reply.outcome.is_ok(), "req {i}: {:?}", reply.outcome);
+            }
+        }
+        let snap = service.shutdown();
+        assert_eq!(snap.replies_failed, 1);
+        assert_eq!(snap.replies_ok, 19);
+    }
+
+    #[test]
+    fn admission_control_rejects_malformed_and_oversize_requests() {
+        let service = Service::start(ServiceConfig::default(), EngineSelector::heuristic());
+        let client = service.client();
+        let r = client.call(1, 0, Payload::F32(vec![]));
+        assert_eq!(r.outcome, Outcome::Rejected(RejectReason::BadDimension));
+        let r = client.call(2, 65, Payload::F32(vec![0.0; 65 * 65]));
+        assert_eq!(r.outcome, Outcome::Rejected(RejectReason::BadDimension));
+        let r = client.call(3, 8, Payload::F32(vec![0.0; 63]));
+        assert_eq!(r.outcome, Outcome::Rejected(RejectReason::BadPayload));
+        let snap = service.shutdown();
+        assert_eq!(snap.rejected, 3);
+        assert_eq!(snap.requests, 0);
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_rejected_closed() {
+        let service = Service::start(ServiceConfig::default(), EngineSelector::heuristic());
+        let client = service.client();
+        let reply = client.call(1, 8, spd_payload(8, 42));
+        assert!(reply.outcome.is_ok());
+        service.shutdown();
+        let reply = client.call(2, 8, spd_payload(8, 43));
+        assert_eq!(reply.outcome, Outcome::Rejected(RejectReason::Closed));
+        let rx = client.submit(3, 8, spd_payload(8, 44));
+        let reply = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(reply.outcome, Outcome::Rejected(RejectReason::Closed));
+    }
+
+    #[test]
+    fn f64_requests_are_served() {
+        let service = Service::start(
+            ServiceConfig {
+                max_delay: Duration::from_millis(1),
+                ..ServiceConfig::default()
+            },
+            EngineSelector::heuristic(),
+        );
+        let client = service.client();
+        let n = 12;
+        let a = spd_vec::<f64>(n, 99);
+        let reply = client.call(5, n, Payload::F64(a.clone()));
+        let Outcome::Factor(Payload::F64(l)) = &reply.outcome else {
+            panic!("expected f64 factor, got {:?}", reply.outcome);
+        };
+        for col in 0..n {
+            let mut sum = 0.0;
+            for k in 0..=col {
+                sum += l[k * n + col] * l[k * n + col];
+            }
+            assert!((sum - a[col * n + col]).abs() < 1e-9 * a[col * n + col].max(1.0));
+        }
+        service.shutdown();
+    }
+}

@@ -1,0 +1,232 @@
+//! Service counters: request/batch accounting, a batch-occupancy
+//! histogram, and an enqueue-to-reply latency histogram with percentile
+//! extraction.
+//!
+//! Everything is lock-free atomics so the hot path (workers finishing
+//! thousands of matrices per batch) never serializes on a stats mutex.
+//! Latencies go into power-of-two nanosecond buckets; percentiles are
+//! read out as the geometric midpoint of the covering bucket, which is
+//! exact to within ~41% of the value — plenty for p50/p95/p99 that span
+//! orders of magnitude between an in-process call and a deadline flush.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets (bucket `i` covers
+/// `[2^(i-1), 2^i)` ns; bucket 0 is `< 1` ns; the last bucket is open).
+pub const LATENCY_BUCKETS: usize = 48;
+
+/// Number of occupancy buckets (10% each; the last includes 100%).
+pub const OCCUPANCY_BUCKETS: usize = 10;
+
+/// Live, thread-shared counters.
+#[derive(Debug)]
+pub struct ServiceStats {
+    /// Requests admitted into the queue.
+    pub requests: AtomicU64,
+    /// Requests refused (admission control, bad dimension, bad payload).
+    pub rejected: AtomicU64,
+    /// Replies delivered with a factor.
+    pub replies_ok: AtomicU64,
+    /// Replies delivered with a per-matrix failure (non-SPD, non-finite).
+    pub replies_failed: AtomicU64,
+    /// Batches formed and executed.
+    pub batches: AtomicU64,
+    /// Live matrices factorized across all batches (excludes padding).
+    pub matrices: AtomicU64,
+    occupancy: [AtomicU64; OCCUPANCY_BUCKETS],
+    occupancy_sum_milli: AtomicU64,
+    latency: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for ServiceStats {
+    fn default() -> Self {
+        ServiceStats {
+            requests: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            replies_ok: AtomicU64::new(0),
+            replies_failed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            matrices: AtomicU64::new(0),
+            occupancy: std::array::from_fn(|_| AtomicU64::new(0)),
+            occupancy_sum_milli: AtomicU64::new(0),
+            latency: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl ServiceStats {
+    /// Records one formed batch: `live` real requests in `slots` padded
+    /// lane slots.
+    pub fn record_batch(&self, live: usize, slots: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.matrices.fetch_add(live as u64, Ordering::Relaxed);
+        let frac = if slots == 0 {
+            0.0
+        } else {
+            live as f64 / slots as f64
+        };
+        let bucket = ((frac * OCCUPANCY_BUCKETS as f64) as usize).min(OCCUPANCY_BUCKETS - 1);
+        self.occupancy[bucket].fetch_add(1, Ordering::Relaxed);
+        self.occupancy_sum_milli
+            .fetch_add((frac * 1000.0) as u64, Ordering::Relaxed);
+    }
+
+    /// Records one reply's enqueue-to-reply latency.
+    pub fn record_latency(&self, d: Duration) {
+        let ns = d.as_nanos().min(u64::MAX as u128) as u64;
+        let bucket = (64 - ns.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy of every counter (individual loads are
+    /// relaxed; exactness across counters is not needed for reporting).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let occupancy_hist: Vec<u64> = self
+            .occupancy
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let latency_hist: Vec<u64> = self
+            .latency
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let batches = self.batches.load(Ordering::Relaxed);
+        let mean_occupancy = if batches == 0 {
+            0.0
+        } else {
+            self.occupancy_sum_milli.load(Ordering::Relaxed) as f64 / 1000.0 / batches as f64
+        };
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            replies_ok: self.replies_ok.load(Ordering::Relaxed),
+            replies_failed: self.replies_failed.load(Ordering::Relaxed),
+            batches,
+            matrices: self.matrices.load(Ordering::Relaxed),
+            mean_occupancy,
+            occupancy_hist,
+            latency_hist,
+        }
+    }
+}
+
+/// A point-in-time copy of [`ServiceStats`], serializable for the `stats`
+/// wire request and CLI reports.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Requests admitted into the queue.
+    pub requests: u64,
+    /// Requests refused.
+    pub rejected: u64,
+    /// Successful replies.
+    pub replies_ok: u64,
+    /// Per-matrix failure replies.
+    pub replies_failed: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Live matrices factorized.
+    pub matrices: u64,
+    /// Mean live/slots fraction over all batches.
+    pub mean_occupancy: f64,
+    /// 10%-wide occupancy buckets.
+    pub occupancy_hist: Vec<u64>,
+    /// Power-of-two nanosecond latency buckets.
+    pub latency_hist: Vec<u64>,
+}
+
+impl StatsSnapshot {
+    /// The `q`-quantile (`0 < q <= 1`) of the latency histogram, in
+    /// microseconds: the geometric midpoint of the bucket holding the
+    /// quantile sample. `None` until at least one reply was recorded.
+    pub fn latency_quantile_us(&self, q: f64) -> Option<f64> {
+        let total: u64 = self.latency_hist.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &count) in self.latency_hist.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                let hi = (1u128 << i) as f64;
+                let lo = if i == 0 {
+                    0.5
+                } else {
+                    (1u128 << (i - 1)) as f64
+                };
+                return Some((lo * hi).sqrt() / 1000.0);
+            }
+        }
+        None
+    }
+
+    /// p50/p95/p99 latency in microseconds (zeros until data exists).
+    pub fn percentiles_us(&self) -> (f64, f64, f64) {
+        (
+            self.latency_quantile_us(0.50).unwrap_or(0.0),
+            self.latency_quantile_us(0.95).unwrap_or(0.0),
+            self.latency_quantile_us(0.99).unwrap_or(0.0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_mean_and_buckets() {
+        let s = ServiceStats::default();
+        s.record_batch(16, 16); // 100%
+        s.record_batch(8, 16); // 50%
+        s.record_batch(1, 16); // 6.25%
+        let snap = s.snapshot();
+        assert_eq!(snap.batches, 3);
+        assert_eq!(snap.matrices, 25);
+        assert!((snap.mean_occupancy - (1.0 + 0.5 + 0.0625) / 3.0).abs() < 1e-2);
+        assert_eq!(snap.occupancy_hist[9], 1);
+        assert_eq!(snap.occupancy_hist[5], 1);
+        assert_eq!(snap.occupancy_hist[0], 1);
+    }
+
+    #[test]
+    fn latency_percentiles_bracket_the_data() {
+        let s = ServiceStats::default();
+        for _ in 0..99 {
+            s.record_latency(Duration::from_micros(100));
+        }
+        s.record_latency(Duration::from_millis(10));
+        let snap = s.snapshot();
+        let (p50, p95, p99) = snap.percentiles_us();
+        // Bucketed estimates: within a factor of 2 of the true value.
+        assert!((50.0..200.0).contains(&p50), "p50={p50}");
+        assert!((50.0..200.0).contains(&p95), "p95={p95}");
+        assert!((50.0..200.0).contains(&p99), "p99={p99}");
+        let p100 = snap.latency_quantile_us(1.0).unwrap();
+        assert!((5_000.0..20_000.0).contains(&p100), "p100={p100}");
+    }
+
+    #[test]
+    fn empty_snapshot_has_no_percentiles() {
+        let snap = ServiceStats::default().snapshot();
+        assert!(snap.latency_quantile_us(0.5).is_none());
+        assert_eq!(snap.percentiles_us(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let s = ServiceStats::default();
+        s.requests.fetch_add(7, Ordering::Relaxed);
+        s.record_batch(10, 16);
+        s.record_latency(Duration::from_micros(250));
+        let snap = s.snapshot();
+        let text = serde_json::to_string(&snap).unwrap();
+        let back: StatsSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.requests, 7);
+        assert_eq!(back.occupancy_hist, snap.occupancy_hist);
+        assert_eq!(back.latency_hist, snap.latency_hist);
+    }
+}
