@@ -8,12 +8,15 @@
 //! * `service_end_to_end` — submit/factorize/reply through a running
 //!   in-process service with one worker, measuring sustained
 //!   matrices/second including queueing, forming, and reply routing.
+//!   Run twice — fault hook disabled vs an enabled-but-inert plan — so
+//!   a regression in the "zero-cost when disabled" claim (or a hook
+//!   check that got expensive) shows up as a gap between the two.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ibcf_core::spd::{random_spd, SpdKind};
 use ibcf_service::former::form_batch;
 use ibcf_service::request::{Payload, Pending};
-use ibcf_service::{Dtype, EngineSelector, Service, ServiceConfig};
+use ibcf_service::{Dtype, EngineSelector, FaultHook, FaultPlan, Service, ServiceConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -36,6 +39,7 @@ fn pending_batch(n: usize, count: usize, pool: &[Vec<f32>]) -> Vec<Pending> {
             n,
             payload: Payload::F32(pool[i % pool.len()].clone()),
             enqueued: Instant::now(),
+            deadline: None,
             sink: Box::new(|_| {}),
         })
         .collect()
@@ -63,50 +67,60 @@ fn bench_service(c: &mut Criterion) {
     let mut g = c.benchmark_group(format!("service_end_to_end_n{N}"));
     g.sample_size(10);
     let pool: Vec<Payload> = (0..16).map(|i| Payload::F32(spd_f32(N, 200 + i))).collect();
-    g.bench_function(format!("submit{BATCH}_w1"), |b| {
-        let service = Service::start(
-            ServiceConfig {
-                workers: 1,
-                max_batch: BATCH,
-                max_delay: Duration::from_micros(200),
-                queue_cap: 4 * BATCH,
-                ..ServiceConfig::default()
-            },
-            EngineSelector::heuristic(),
-        );
-        let client = service.client();
-        b.iter(|| {
-            // Count replies with a condvar so an iteration is a full
-            // submit → batch → factorize → reply round trip.
-            let done = Arc::new((Mutex::new(0usize), Condvar::new()));
-            let failures = Arc::new(AtomicU64::new(0));
-            for i in 0..BATCH {
-                let done = done.clone();
-                let failures = failures.clone();
-                client.submit_sink(
-                    i as u64,
-                    N,
-                    pool[i % pool.len()].clone(),
-                    Box::new(move |reply| {
-                        if !reply.outcome.is_ok() {
-                            failures.fetch_add(1, Ordering::Relaxed);
-                        }
-                        let (lock, cvar) = &*done;
-                        *lock.lock().unwrap() += 1;
-                        cvar.notify_one();
-                    }),
-                    true,
-                );
-            }
-            let (lock, cvar) = &*done;
-            let mut n = lock.lock().unwrap();
-            while *n < BATCH {
-                n = cvar.wait(n).unwrap();
-            }
-            assert_eq!(failures.load(Ordering::Relaxed), 0);
+    // The inert plan's rules never fire: any measurable gap versus the
+    // disabled hook is pure per-check overhead on the hot path.
+    let variants: [(&str, fn() -> FaultHook); 2] = [
+        ("hook_disabled", FaultHook::disabled),
+        ("hook_inert", || FaultHook::from_plan(FaultPlan::inert(1))),
+    ];
+    for (label, hook) in variants {
+        g.bench_function(format!("submit{BATCH}_w1_{label}"), |b| {
+            let service = Service::start(
+                ServiceConfig {
+                    workers: 1,
+                    max_batch: BATCH,
+                    max_delay: Duration::from_micros(200),
+                    queue_cap: 4 * BATCH,
+                    fault: hook(),
+                    ..ServiceConfig::default()
+                },
+                EngineSelector::heuristic(),
+            );
+            let client = service.client();
+            b.iter(|| {
+                // Count replies with a condvar so an iteration is a full
+                // submit → batch → factorize → reply round trip.
+                let done = Arc::new((Mutex::new(0usize), Condvar::new()));
+                let failures = Arc::new(AtomicU64::new(0));
+                for i in 0..BATCH {
+                    let done = done.clone();
+                    let failures = failures.clone();
+                    client.submit_sink(
+                        i as u64,
+                        N,
+                        pool[i % pool.len()].clone(),
+                        None,
+                        Box::new(move |reply| {
+                            if !reply.outcome.is_ok() {
+                                failures.fetch_add(1, Ordering::Relaxed);
+                            }
+                            let (lock, cvar) = &*done;
+                            *lock.lock().unwrap() += 1;
+                            cvar.notify_one();
+                        }),
+                        true,
+                    );
+                }
+                let (lock, cvar) = &*done;
+                let mut n = lock.lock().unwrap();
+                while *n < BATCH {
+                    n = cvar.wait(n).unwrap();
+                }
+                assert_eq!(failures.load(Ordering::Relaxed), 0);
+            });
+            service.shutdown();
         });
-        service.shutdown();
-    });
+    }
     g.finish();
 }
 

@@ -55,10 +55,20 @@ commands:
             given, from heuristics otherwise)
   loadgen   [--addr H:P] [--sizes 16,24] [--dtype f32|f64]
             [--requests R] [--conns C] [--window W | --rate R/s]
-            [--plant-bad K] [--seed S] [--shutdown]
+            [--plant-bad K] [--seed S] [--deadline-us D] [--retry]
+            [--read-timeout-ms T] [--shutdown]
             drive a running server closed-loop (fixed window) or
             open-loop (fixed arrival rate); prints throughput, latency
-            percentiles, and mean batch occupancy
+            percentiles, and mean batch occupancy; with --retry,
+            reconnect and resubmit outstanding requests on a dropped
+            or stalled connection
+  chaos     [--plan P] [--seed S] [--requests R] [--conns C]
+            [--window W] [--sizes 8,16] [--plant-bad K] [--workers W]
+            [--max-batch B] [--deadline-us D]
+            run loadgen against an in-process service under a seeded
+            fault plan (worker-panic, slow-batch, queue-stall,
+            conn-drop, frame-corrupt, mixed, inert) and verify the
+            exactly-one-reply invariant: 0 lost, 0 duplicates
   help                                        this text
 ";
 
@@ -749,6 +759,7 @@ pub fn serve(args: &Args) -> i32 {
         max_batch,
         max_delay: std::time::Duration::from_micros(max_delay_us),
         max_n,
+        ..ServiceConfig::default()
     };
     let server = match TcpServer::bind(&format!("{host}:{port}")) {
         Ok(s) => s,
@@ -791,7 +802,7 @@ pub fn serve(args: &Args) -> i32 {
 /// `ibcf loadgen`: drive a running `ibcf serve` and report throughput,
 /// latency percentiles, and batch occupancy.
 pub fn loadgen(args: &Args) -> i32 {
-    use ibcf_service::{ArrivalMode, Dtype, LoadgenConfig, TcpConn};
+    use ibcf_service::{ArrivalMode, Dtype, LoadgenConfig, RetryPolicy, TcpConn};
     let sizes = match args
         .options
         .get("sizes")
@@ -811,17 +822,24 @@ pub fn loadgen(args: &Args) -> i32 {
         args.get("plant-bad", 0u64),
         args.get("seed", 1u64),
         args.get("dtype", Dtype::F32),
+        args.get("deadline-us", 0u64),
+        args.get("read-timeout-ms", 60_000u64),
     );
-    let (addr, requests, conns, window, plant_bad, seed, dtype) = match parsed {
-        (Ok(a), Ok(b), Ok(c), Ok(d), Ok(e), Ok(f), Ok(g)) => (a, b, c, d, e, f, g),
-        (Err(e), ..)
-        | (_, Err(e), ..)
-        | (_, _, Err(e), ..)
-        | (_, _, _, Err(e), ..)
-        | (_, _, _, _, Err(e), ..)
-        | (_, _, _, _, _, Err(e), _)
-        | (.., Err(e)) => return fail(e),
-    };
+    let (addr, requests, conns, window, plant_bad, seed, dtype, deadline_us, read_timeout_ms) =
+        match parsed {
+            (Ok(a), Ok(b), Ok(c), Ok(d), Ok(e), Ok(f), Ok(g), Ok(h), Ok(i)) => {
+                (a, b, c, d, e, f, g, h, i)
+            }
+            (Err(e), ..)
+            | (_, Err(e), ..)
+            | (_, _, Err(e), ..)
+            | (_, _, _, Err(e), ..)
+            | (_, _, _, _, Err(e), ..)
+            | (_, _, _, _, _, Err(e), ..)
+            | (_, _, _, _, _, _, Err(e), ..)
+            | (_, _, _, _, _, _, _, Err(e), _)
+            | (.., Err(e)) => return fail(e),
+        };
     if requests == 0 || conns == 0 {
         return fail("--requests and --conns must be positive");
     }
@@ -842,6 +860,13 @@ pub fn loadgen(args: &Args) -> i32 {
         mode,
         plant_bad,
         seed,
+        deadline: (deadline_us > 0).then(|| std::time::Duration::from_micros(deadline_us)),
+        retry: if args.flag("retry") {
+            RetryPolicy::standard(seed)
+        } else {
+            RetryPolicy::disabled()
+        },
+        read_timeout: std::time::Duration::from_millis(read_timeout_ms.max(1)),
     };
     println!(
         "loadgen: {} requests ({} planted non-SPD), sizes {:?} {}, {} conn(s), {:?}",
@@ -865,6 +890,169 @@ pub fn loadgen(args: &Args) -> i32 {
             "error: {} replies contradicted expectations",
             report.mismatched
         );
+        1
+    }
+}
+
+/// `ibcf chaos`: run the load generator against an in-process service
+/// under a seeded fault plan and check the exactly-one-reply invariant.
+///
+/// The whole run is reproducible from `--plan` + `--seed`: the plan
+/// derives every fault firing (worker panics, stalls, connection drops,
+/// frame corruption) from per-site logical clocks, not wall time.
+pub fn chaos(args: &Args) -> i32 {
+    use ibcf_service::{
+        ArrivalMode, Dtype, EngineSelector, FaultHook, FaultPlan, LoadgenConfig, RetryPolicy,
+        Service, ServiceConfig, TcpConn, TcpServer,
+    };
+    use std::time::{Duration, Instant};
+    let sizes = match args
+        .options
+        .get("sizes")
+        .map_or(Ok(vec![8, 16]), |s| parse_sizes(s))
+    {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    if sizes.is_empty() || sizes.contains(&0) {
+        return fail("--sizes entries must be positive");
+    }
+    let parsed = (
+        args.get("plan", "mixed".to_string()),
+        args.get("seed", 1u64),
+        args.get("requests", 2000u64),
+        args.get("conns", 4usize),
+        args.get("window", 64usize),
+        args.get("plant-bad", 0u64),
+        args.get("workers", 2usize),
+        args.get("max-batch", 32usize),
+        args.get("deadline-us", 0u64),
+    );
+    let (plan_name, seed, requests, conns, window, plant_bad, workers, max_batch, deadline_us) =
+        match parsed {
+            (Ok(a), Ok(b), Ok(c), Ok(d), Ok(e), Ok(f), Ok(g), Ok(h), Ok(i)) => {
+                (a, b, c, d, e, f, g, h, i)
+            }
+            (Err(e), ..)
+            | (_, Err(e), ..)
+            | (_, _, Err(e), ..)
+            | (_, _, _, Err(e), ..)
+            | (_, _, _, _, Err(e), ..)
+            | (_, _, _, _, _, Err(e), ..)
+            | (_, _, _, _, _, _, Err(e), ..)
+            | (_, _, _, _, _, _, _, Err(e), _)
+            | (.., Err(e)) => return fail(e),
+        };
+    if requests == 0 || conns == 0 || workers == 0 || max_batch == 0 {
+        return fail("--requests, --conns, --workers and --max-batch must be positive");
+    }
+    if plant_bad > requests {
+        return fail("--plant-bad cannot exceed --requests");
+    }
+    let plan = match FaultPlan::named(&plan_name, seed) {
+        Ok(p) => p,
+        Err(e) => return fail(e),
+    };
+    let hook = FaultHook::from_plan(plan);
+    let service = Service::start(
+        ServiceConfig {
+            workers,
+            max_batch,
+            max_delay: Duration::from_micros(500),
+            fault: hook.clone(),
+            ..ServiceConfig::default()
+        },
+        EngineSelector::heuristic(),
+    );
+    let server = match TcpServer::bind("127.0.0.1:0") {
+        Ok(s) => s,
+        Err(e) => return fail(format!("binding chaos server: {e}")),
+    };
+    let addr = match server.local_addr() {
+        Ok(a) => a.to_string(),
+        Err(e) => return fail(e),
+    };
+    let client = service.client();
+    let server_hook = hook.clone();
+    let server_thread = std::thread::spawn(move || server.run_with_faults(client, server_hook));
+    println!(
+        "chaos: plan {plan_name} seed {seed}, {requests} requests \
+         ({plant_bad} planted non-SPD), sizes {sizes:?}, {conns} conn(s), \
+         {workers} worker(s), batch <= {max_batch}"
+    );
+    let cfg = LoadgenConfig {
+        addr: addr.clone(),
+        sizes,
+        dtype: Dtype::F32,
+        requests,
+        conns,
+        mode: ArrivalMode::Closed { window },
+        plant_bad,
+        seed,
+        deadline: (deadline_us > 0).then(|| Duration::from_micros(deadline_us)),
+        // Chaos clients always retry: the plan may kill their
+        // connections, and lost-vs-duplicate accounting is the point.
+        retry: RetryPolicy::standard(seed),
+        read_timeout: Duration::from_secs(5),
+    };
+    let report = match ibcf_service::loadgen::run(&cfg) {
+        Ok(r) => r,
+        Err(e) => return fail(format!("chaos loadgen against {addr}: {e}")),
+    };
+    // Stop the server. The shutdown connection itself can be a fault
+    // victim, so keep asking until the run loop actually exits.
+    let stop_start = Instant::now();
+    while !server_thread.is_finished() && stop_start.elapsed() < Duration::from_secs(30) {
+        TcpConn::connect(&addr)
+            .and_then(|mut c| c.shutdown_server())
+            .ok();
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    if !server_thread.is_finished() {
+        return fail("chaos server did not drain within 30 s");
+    }
+    let run = server_thread.join().expect("chaos server thread");
+    let snap = service.shutdown();
+    if let Err(e) = run {
+        return fail(format!("chaos server loop: {e}"));
+    }
+    println!("{}", report.render());
+    println!(
+        "faults injected: {} ({} worker crashes, {} restarts, {} deadline-expired)",
+        hook.injected(),
+        snap.worker_crashes,
+        snap.worker_restarts,
+        snap.deadline_expired
+    );
+    let mut failures: Vec<String> = Vec::new();
+    if !report.clean() {
+        failures.push(format!(
+            "{} lost, {} duplicates, {} mismatched",
+            report.lost, report.duplicates, report.mismatched
+        ));
+    }
+    if plan_name == "worker-panic" && snap.worker_crashes < 3 {
+        failures.push(format!(
+            "worker-panic plan produced only {} crashes (need >= 3 to prove supervision)",
+            snap.worker_crashes
+        ));
+    }
+    if snap.worker_restarts != snap.worker_crashes {
+        failures.push(format!(
+            "{} crashes but {} restarts",
+            snap.worker_crashes, snap.worker_restarts
+        ));
+    }
+    if failures.is_empty() {
+        println!(
+            "exactly-one-reply invariant holds: {} sent, 0 lost, 0 duplicates",
+            report.sent
+        );
+        0
+    } else {
+        for f in &failures {
+            eprintln!("error: {f}");
+        }
         1
     }
 }

@@ -45,6 +45,10 @@
 //!
 //! ibcf loadgen [--addr 127.0.0.1:7117] [--requests 100000] [--rate R]
 //!     Drive a running server and report throughput and latency.
+//!
+//! ibcf chaos [--plan mixed] [--seed 1] [--requests 2000]
+//!     Run loadgen against an in-process service under a seeded fault
+//!     plan and verify every request gets exactly one reply.
 //! ```
 
 mod args;
@@ -75,6 +79,7 @@ fn main() {
         Some("host-bench") => commands::host_bench(&parsed),
         Some("serve") => commands::serve(&parsed),
         Some("loadgen") => commands::loadgen(&parsed),
+        Some("chaos") => commands::chaos(&parsed),
         Some("help") | None => {
             print!("{}", commands::USAGE);
             0

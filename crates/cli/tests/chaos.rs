@@ -1,0 +1,90 @@
+//! Chaos regression tests: `ibcf chaos` under fixed fault plans and
+//! seeds must uphold the exactly-one-reply invariant (0 lost,
+//! 0 duplicates) and, for the panic plan, survive repeated worker
+//! crashes without losing the process.
+
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_ibcf")
+}
+
+fn run_chaos(plan: &str, seed: &str, extra: &[&str]) -> (std::process::ExitStatus, String, String) {
+    let mut args = vec![
+        "chaos",
+        "--plan",
+        plan,
+        "--seed",
+        seed,
+        "--requests",
+        "1000",
+        "--conns",
+        "3",
+        "--window",
+        "32",
+        "--plant-bad",
+        "5",
+    ];
+    args.extend_from_slice(extra);
+    let out = Command::new(bin())
+        .args(&args)
+        .output()
+        .expect("run ibcf chaos");
+    (
+        out.status,
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn assert_invariant(plan: &str, seed: &str, extra: &[&str]) -> String {
+    let (status, stdout, stderr) = run_chaos(plan, seed, extra);
+    assert!(
+        status.success(),
+        "chaos --plan {plan} --seed {seed} failed:\n{stdout}\n{stderr}"
+    );
+    assert!(
+        stdout.contains("exactly-one-reply invariant holds"),
+        "invariant line missing for {plan}/{seed}: {stdout}"
+    );
+    assert!(
+        stdout.contains("invariant: 0 lost, 0 duplicates"),
+        "non-zero loss or duplication for {plan}/{seed}: {stdout}"
+    );
+    stdout
+}
+
+#[test]
+fn chaos_worker_panic_survives_repeated_crashes() {
+    let stdout = assert_invariant("worker-panic", "42", &[]);
+    // The command itself enforces >= 3 crashes for this plan; check the
+    // report surfaced them so a silently-inert plan can't pass.
+    let crashes: u64 = stdout
+        .lines()
+        .find(|l| l.starts_with("faults injected"))
+        .and_then(|l| l.split('(').nth(1))
+        .and_then(|l| l.split_whitespace().next())
+        .and_then(|w| w.parse().ok())
+        .expect("crash count in report");
+    assert!(crashes >= 3, "only {crashes} worker crashes: {stdout}");
+}
+
+#[test]
+fn chaos_slow_batch_loses_nothing() {
+    assert_invariant("slow-batch", "1009", &[]);
+}
+
+#[test]
+fn chaos_conn_drop_reconnects_and_resubmits() {
+    assert_invariant("conn-drop", "7", &[]);
+}
+
+#[test]
+fn chaos_rejects_unknown_plan() {
+    let (status, _, stderr) = run_chaos("flaky-gpu", "1", &[]);
+    assert!(!status.success());
+    assert!(
+        stderr.contains("unknown fault plan"),
+        "no plan diagnostics: {stderr}"
+    );
+}

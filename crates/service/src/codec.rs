@@ -9,7 +9,7 @@
 //!
 //! | kind | name          | body |
 //! |------|---------------|------|
-//! | 1    | factor req    | `id: u64`, `n: u32`, `dtype: u8`, `n*n` elements |
+//! | 1    | factor req    | `id: u64`, `n: u32`, `dtype: u8`, `deadline_us: u32` (0 = none), `n*n` elements |
 //! | 2    | factor reply  | `id: u64`, `status: u8`, `dtype: u8`, `aux: u32`, elements iff ok |
 //! | 3    | stats req     | empty |
 //! | 4    | stats reply   | UTF-8 JSON [`StatsSnapshot`](crate::stats::StatsSnapshot) |
@@ -18,7 +18,13 @@
 //!
 //! Reply `status`: 0 = factor (elements follow), 1 = not SPD (`aux` =
 //! failing column), 2 = non-finite (`aux` = column), 3 = rejected
-//! (`aux` = [`RejectReason`] tag).
+//! (`aux` = [`RejectReason`] tag), 4 = worker crashed (safe to
+//! resubmit).
+//!
+//! Decoding failures are typed ([`FrameError`]): a *torn* frame (EOF in
+//! the middle of a frame) is distinguished from a *malformed* one (bad
+//! length, unknown tag, short body) so the server can log the right
+//! thing and close only the offending connection — never the listener.
 
 use crate::request::{Dtype, FactorReply, Outcome, Payload, RejectReason};
 use std::io::{self, Read, Write};
@@ -41,8 +47,77 @@ pub const K_SHUTDOWN_ACK: u8 = 6;
 /// corrupt length word).
 pub const MAX_FRAME: usize = 1 << 25;
 
-fn bad(msg: impl Into<String>) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+/// Why reading or decoding a frame failed. One bad frame costs one
+/// connection, never the process: callers close the stream the error
+/// came from and keep accepting.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying transport failed (reset, broken pipe, ...).
+    Io(io::Error),
+    /// The stream ended in the middle of a frame — the peer died or was
+    /// cut off mid-write. `context` names the section that was cut.
+    Torn {
+        /// Which part of the frame the EOF landed in.
+        context: &'static str,
+    },
+    /// The bytes arrived intact but don't parse: bad length word,
+    /// unknown tag, short or inconsistent body.
+    Malformed(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::Torn { context } => write!(f, "torn frame: EOF inside {context}"),
+            FrameError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> FrameError {
+        FrameError::Io(e)
+    }
+}
+
+impl From<FrameError> for io::Error {
+    fn from(e: FrameError) -> io::Error {
+        match e {
+            FrameError::Io(inner) => inner,
+            FrameError::Torn { .. } => io::Error::new(io::ErrorKind::UnexpectedEof, e.to_string()),
+            FrameError::Malformed(_) => io::Error::new(io::ErrorKind::InvalidData, e.to_string()),
+        }
+    }
+}
+
+fn bad(msg: impl Into<String>) -> FrameError {
+    FrameError::Malformed(msg.into())
+}
+
+/// `read_exact` that converts an unexpected EOF into [`FrameError::Torn`]
+/// tagged with the frame section being read.
+fn read_section(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    context: &'static str,
+) -> Result<(), FrameError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            FrameError::Torn { context }
+        } else {
+            FrameError::Io(e)
+        }
+    })
 }
 
 /// Writes one frame (single `write_all`, so concurrent writers on a
@@ -59,13 +134,14 @@ pub fn write_frame(w: &mut impl Write, kind: u8, body: &[u8]) -> io::Result<()> 
 }
 
 /// Reads one frame, returning `(kind, body)`. `Ok(None)` is a clean EOF
-/// at a frame boundary.
-pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(u8, Vec<u8>)>> {
+/// at a frame boundary; EOF anywhere *inside* a frame is
+/// [`FrameError::Torn`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>, FrameError> {
     let mut len_word = [0u8; 4];
     match r.read_exact(&mut len_word) {
         Ok(()) => {}
         Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
+        Err(e) => return Err(FrameError::Io(e)),
     }
     let len = u32::from_le_bytes(len_word) as usize;
     if len == 0 {
@@ -75,9 +151,9 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(u8, Vec<u8>)>> {
         return Err(bad(format!("frame of {len} bytes exceeds MAX_FRAME")));
     }
     let mut kind = [0u8; 1];
-    r.read_exact(&mut kind)?;
+    read_section(r, &mut kind, "kind byte")?;
     let mut body = vec![0u8; len - 1];
-    r.read_exact(&mut body)?;
+    read_section(r, &mut body, "frame body")?;
     Ok(Some((kind[0], body)))
 }
 
@@ -96,7 +172,7 @@ fn put_elems(out: &mut Vec<u8>, payload: &Payload) {
     }
 }
 
-fn take_elems(bytes: &[u8], dtype: Dtype, count: usize) -> io::Result<Payload> {
+fn take_elems(bytes: &[u8], dtype: Dtype, count: usize) -> Result<Payload, FrameError> {
     if bytes.len() != count * dtype.elem_bytes() {
         return Err(bad(format!(
             "element section is {} bytes, want {} × {}",
@@ -121,35 +197,40 @@ fn take_elems(bytes: &[u8], dtype: Dtype, count: usize) -> io::Result<Payload> {
     })
 }
 
-/// Encodes a factorization request body.
-pub fn encode_factor_req(id: u64, n: usize, payload: &Payload) -> Vec<u8> {
-    let mut body = Vec::with_capacity(13 + payload.len() * payload.dtype().elem_bytes());
+/// Encodes a factorization request body. `deadline_us` is a relative
+/// deadline in microseconds from receipt (`0` = no deadline) — relative,
+/// not absolute, so client and server clocks need not agree.
+pub fn encode_factor_req(id: u64, n: usize, deadline_us: u32, payload: &Payload) -> Vec<u8> {
+    let mut body = Vec::with_capacity(17 + payload.len() * payload.dtype().elem_bytes());
     body.extend_from_slice(&id.to_le_bytes());
     body.extend_from_slice(&(n as u32).to_le_bytes());
     body.push(payload.dtype().to_u8());
+    body.extend_from_slice(&deadline_us.to_le_bytes());
     put_elems(&mut body, payload);
     body
 }
 
-/// Decodes a factorization request body into `(id, n, payload)`.
+/// Decodes a factorization request body into
+/// `(id, n, deadline_us, payload)`.
 ///
 /// Only structural validity is checked here (whole elements, known
 /// dtype). An element count that disagrees with `n * n` decodes fine and
 /// is the *service's* call to reject — the submitter then gets a typed
 /// `BadPayload` reply instead of a dropped connection.
-pub fn decode_factor_req(body: &[u8]) -> io::Result<(u64, usize, Payload)> {
-    if body.len() < 13 {
+pub fn decode_factor_req(body: &[u8]) -> Result<(u64, usize, u32, Payload), FrameError> {
+    if body.len() < 17 {
         return Err(bad("factor request header truncated"));
     }
     let id = u64::from_le_bytes(body[0..8].try_into().unwrap());
     let n = u32::from_le_bytes(body[8..12].try_into().unwrap()) as usize;
     let dtype = Dtype::from_u8(body[12]).ok_or_else(|| bad("unknown dtype tag"))?;
-    let elems = &body[13..];
+    let deadline_us = u32::from_le_bytes(body[13..17].try_into().unwrap());
+    let elems = &body[17..];
     if !elems.len().is_multiple_of(dtype.elem_bytes()) {
         return Err(bad("element section is not a whole number of elements"));
     }
     let payload = take_elems(elems, dtype, elems.len() / dtype.elem_bytes())?;
-    Ok((id, n, payload))
+    Ok((id, n, deadline_us, payload))
 }
 
 /// Encodes a factorization reply body. `dtype` tags failure replies too
@@ -161,6 +242,7 @@ pub fn encode_factor_reply(reply: &FactorReply, dtype: Dtype) -> Vec<u8> {
         Outcome::NotSpd { column } => (1, *column as u32),
         Outcome::NonFinite { column } => (2, *column as u32),
         Outcome::Rejected(reason) => (3, reason.to_u8() as u32),
+        Outcome::WorkerCrashed => (4, 0),
     };
     let mut body = Vec::new();
     body.extend_from_slice(&reply.id.to_le_bytes());
@@ -175,7 +257,7 @@ pub fn encode_factor_reply(reply: &FactorReply, dtype: Dtype) -> Vec<u8> {
 }
 
 /// Decodes a factorization reply body.
-pub fn decode_factor_reply(body: &[u8]) -> io::Result<FactorReply> {
+pub fn decode_factor_reply(body: &[u8]) -> Result<FactorReply, FrameError> {
     if body.len() < 14 {
         return Err(bad("factor reply header truncated"));
     }
@@ -198,6 +280,7 @@ pub fn decode_factor_reply(body: &[u8]) -> io::Result<FactorReply> {
         3 => Outcome::Rejected(
             RejectReason::from_u8(aux as u8).ok_or_else(|| bad("unknown reject reason"))?,
         ),
+        4 => Outcome::WorkerCrashed,
         other => return Err(bad(format!("unknown reply status {other}"))),
     };
     if status != 0 && !elems.is_empty() {
@@ -213,15 +296,15 @@ mod tests {
     #[test]
     fn factor_req_round_trips_bitwise() {
         let payload = Payload::F32(vec![1.5, -0.0, f32::MIN_POSITIVE, 3.25e7]);
-        let body = encode_factor_req(77, 2, &payload);
-        let (id, n, back) = decode_factor_req(&body).unwrap();
-        assert_eq!((id, n), (77, 2));
+        let body = encode_factor_req(77, 2, 0, &payload);
+        let (id, n, deadline_us, back) = decode_factor_req(&body).unwrap();
+        assert_eq!((id, n, deadline_us), (77, 2, 0));
         assert_eq!(back, payload);
 
         let payload = Payload::F64(vec![std::f64::consts::PI; 9]);
-        let body = encode_factor_req(u64::MAX, 3, &payload);
-        let (id, n, back) = decode_factor_req(&body).unwrap();
-        assert_eq!((id, n), (u64::MAX, 3));
+        let body = encode_factor_req(u64::MAX, 3, 15_000, &payload);
+        let (id, n, deadline_us, back) = decode_factor_req(&body).unwrap();
+        assert_eq!((id, n, deadline_us), (u64::MAX, 3, 15_000));
         assert_eq!(back, payload);
     }
 
@@ -244,6 +327,14 @@ mod tests {
                 id: 4,
                 outcome: Outcome::Rejected(RejectReason::QueueFull),
             },
+            FactorReply {
+                id: 5,
+                outcome: Outcome::Rejected(RejectReason::DeadlineExceeded),
+            },
+            FactorReply {
+                id: 6,
+                outcome: Outcome::WorkerCrashed,
+            },
         ];
         for reply in &replies {
             let body = encode_factor_reply(reply, Dtype::F32);
@@ -259,7 +350,7 @@ mod tests {
         write_frame(
             &mut wire,
             K_FACTOR_REQ,
-            &encode_factor_req(9, 1, &Payload::F32(vec![4.0])),
+            &encode_factor_req(9, 1, 0, &Payload::F32(vec![4.0])),
         )
         .unwrap();
         write_frame(&mut wire, K_SHUTDOWN, &[]).unwrap();
@@ -279,20 +370,43 @@ mod tests {
         // Oversized length word.
         let mut wire = Vec::new();
         wire.extend_from_slice(&(MAX_FRAME as u32 + 1).to_le_bytes());
-        assert!(read_frame(&mut wire.as_slice()).is_err());
+        assert!(matches!(
+            read_frame(&mut wire.as_slice()),
+            Err(FrameError::Malformed(_))
+        ));
         // Zero-length frame.
         let wire = 0u32.to_le_bytes();
-        assert!(read_frame(&mut wire.as_slice()).is_err());
-        // Truncated mid-frame is an error, not a clean EOF.
-        let mut wire = Vec::new();
-        write_frame(&mut wire, K_FACTOR_REQ, &[1, 2, 3]).unwrap();
-        wire.truncate(wire.len() - 2);
-        assert!(read_frame(&mut wire.as_slice()).is_err());
+        assert!(matches!(
+            read_frame(&mut wire.as_slice()),
+            Err(FrameError::Malformed(_))
+        ));
         // Garbage bodies.
         assert!(decode_factor_req(&[0; 5]).is_err());
         assert!(decode_factor_reply(&[0; 5]).is_err());
-        let mut body = encode_factor_req(1, 2, &Payload::F32(vec![0.0; 4]));
+        let mut body = encode_factor_req(1, 2, 0, &Payload::F32(vec![0.0; 4]));
         body.truncate(body.len() - 1);
         assert!(decode_factor_req(&body).is_err());
+    }
+
+    #[test]
+    fn torn_frames_are_typed_not_clean_eof() {
+        // EOF inside the body: Torn, not Ok(None) and not Malformed.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, K_FACTOR_REQ, &[1, 2, 3]).unwrap();
+        wire.truncate(wire.len() - 2);
+        match read_frame(&mut wire.as_slice()) {
+            Err(FrameError::Torn { context }) => assert_eq!(context, "frame body"),
+            other => panic!("expected torn body, got {other:?}"),
+        }
+        // EOF after the length word but before the kind byte.
+        let wire = 5u32.to_le_bytes();
+        match read_frame(&mut wire.as_slice()) {
+            Err(FrameError::Torn { context }) => assert_eq!(context, "kind byte"),
+            other => panic!("expected torn kind, got {other:?}"),
+        }
+        // A torn error converts to an UnexpectedEof io::Error for callers
+        // that flatten into io::Result.
+        let e: io::Error = FrameError::Torn { context: "x" }.into();
+        assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof);
     }
 }

@@ -16,6 +16,7 @@
 //! full and no scalar tail.
 
 use crate::engine::{EnginePlan, EngineSelector};
+use crate::fault::{FaultAction, FaultHook, FaultSite};
 use crate::queue::IngestQueue;
 use crate::request::{Dtype, FactorReply, Outcome, Payload, Pending, RejectReason};
 use crate::stats::ServiceStats;
@@ -34,6 +35,10 @@ pub struct FormerConfig {
     pub max_batch: usize,
     /// Flush a group once its oldest request has waited this long.
     pub max_delay: Duration,
+    /// How far *before* a member's deadline its group is flushed, so the
+    /// worker has a chance to finish inside the deadline instead of the
+    /// former holding the request until the deadline itself.
+    pub deadline_margin: Duration,
 }
 
 impl Default for FormerConfig {
@@ -41,6 +46,7 @@ impl Default for FormerConfig {
         FormerConfig {
             max_batch: 1024,
             max_delay: Duration::from_millis(1),
+            deadline_margin: Duration::from_micros(200),
         }
     }
 }
@@ -144,23 +150,73 @@ pub fn form_batch(n: usize, dtype: Dtype, reqs: Vec<Pending>, plan: EnginePlan) 
 struct Group {
     reqs: Vec<Pending>,
     oldest: Instant,
+    /// Soonest member deadline, if any member has one: the flush clock
+    /// tightens to it so deadline-carrying requests are packed early
+    /// enough to finish in time.
+    tightest: Option<Instant>,
+}
+
+impl Group {
+    fn flush_at(&self, config: &FormerConfig) -> Instant {
+        let by_delay = self.oldest + config.max_delay;
+        match self.tightest {
+            Some(t) => by_delay.min(t.checked_sub(config.deadline_margin).unwrap_or(t)),
+            None => by_delay,
+        }
+    }
+}
+
+/// Sheds a request whose deadline already passed: the caller promised it
+/// would never pay for a factorization it can't use.
+fn shed(p: Pending, stats: &ServiceStats) {
+    let id = p.id;
+    (p.sink)(FactorReply {
+        id,
+        outcome: Outcome::Rejected(RejectReason::DeadlineExceeded),
+    });
+    // Counters bump after delivery: `Client::drained` counts
+    // `deadline_expired` as an answered admitted request.
+    stats
+        .deadline_expired
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    stats
+        .rejected
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}
+
+fn expired(p: &Pending, now: Instant) -> bool {
+    p.deadline.is_some_and(|d| now >= d)
 }
 
 /// The former thread body: drains the ingest queue into per-`(n, dtype)`
 /// groups, flushes on size or deadline, and hands formed batches to the
-/// worker pool. Returns when the queue closes and every group flushed.
+/// worker pool. Requests whose deadline has already passed are shed with
+/// [`RejectReason::DeadlineExceeded`] *before* packing — dead work never
+/// reaches a worker. Returns when the queue closes and every group
+/// flushed.
 pub fn run_former(
     queue: Arc<IngestQueue>,
     selector: EngineSelector,
     config: FormerConfig,
     stats: Arc<ServiceStats>,
     out: SyncSender<FormedBatch>,
+    hook: FaultHook,
 ) {
     let mut groups: HashMap<(usize, Dtype), Group> = HashMap::new();
     let flush = |key: (usize, Dtype), group: Group, out: &SyncSender<FormedBatch>| {
         let (n, dtype) = key;
+        // Last-gasp shed: members can expire while the group waits.
+        let now = Instant::now();
+        let (live, dead): (Vec<Pending>, Vec<Pending>) =
+            group.reqs.into_iter().partition(|p| !expired(p, now));
+        for p in dead {
+            shed(p, &stats);
+        }
+        if live.is_empty() {
+            return;
+        }
         let plan = selector.plan(n);
-        let batch = form_batch(n, dtype, group.reqs, plan);
+        let batch = form_batch(n, dtype, live, plan);
         stats.record_batch(batch.reqs.len(), batch.slots);
         if let Err(send_err) = out.send(batch) {
             // Workers are gone (shutdown race): fail the requests rather
@@ -171,23 +227,39 @@ pub fn run_former(
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 (req.sink)(FactorReply {
                     id: req.id,
-                    outcome: Outcome::Rejected(RejectReason::Closed),
+                    outcome: Outcome::Rejected(RejectReason::ShuttingDown),
                 });
             }
         }
     };
     loop {
-        let deadline = groups.values().map(|g| g.oldest + config.max_delay).min();
+        if let Some(FaultAction::Delay(d)) = hook.check(FaultSite::FormerDrain) {
+            // Injected queue stall: the former goes dark for a moment,
+            // letting the ingest queue back up behind it.
+            std::thread::sleep(d);
+        }
+        let deadline = groups.values().map(|g| g.flush_at(&config)).min();
         let (items, closed) = queue.drain_until(deadline);
+        let now = Instant::now();
         for p in items {
+            if expired(&p, now) {
+                shed(p, &stats);
+                continue;
+            }
             let key = (p.n, p.payload.dtype());
             let group = groups.entry(key).or_insert_with(|| Group {
                 oldest: p.enqueued,
                 reqs: Vec::new(),
+                tightest: None,
             });
             if group.reqs.is_empty() {
                 group.oldest = p.enqueued;
+                group.tightest = None;
             }
+            group.tightest = match (group.tightest, p.deadline) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
             group.reqs.push(p);
             if group.reqs.len() >= config.max_batch {
                 let group = groups.remove(&key).expect("just inserted");
@@ -197,7 +269,7 @@ pub fn run_former(
         let now = Instant::now();
         let due: Vec<(usize, Dtype)> = groups
             .iter()
-            .filter(|(_, g)| closed || g.oldest + config.max_delay <= now)
+            .filter(|(_, g)| closed || g.flush_at(&config) <= now)
             .map(|(&k, _)| k)
             .collect();
         for key in due {
@@ -223,6 +295,7 @@ mod tests {
             n,
             payload: Payload::F32(vec![value; n * n]),
             enqueued: Instant::now(),
+            deadline: None,
             sink: Box::new(|_| {}),
         }
     }
@@ -264,10 +337,19 @@ mod tests {
         let config = FormerConfig {
             max_batch: 32,
             max_delay: Duration::from_secs(3600), // deadline never fires
+            ..FormerConfig::default()
         };
         let (q2, s2) = (queue.clone(), stats.clone());
-        let handle =
-            std::thread::spawn(move || run_former(q2, EngineSelector::heuristic(), config, s2, tx));
+        let handle = std::thread::spawn(move || {
+            run_former(
+                q2,
+                EngineSelector::heuristic(),
+                config,
+                s2,
+                tx,
+                FaultHook::disabled(),
+            )
+        });
         for i in 0..64 {
             queue.try_push(req(i, 8, 1.0)).unwrap();
         }
@@ -288,10 +370,19 @@ mod tests {
         let config = FormerConfig {
             max_batch: 1024, // size threshold never fires
             max_delay: Duration::from_millis(10),
+            ..FormerConfig::default()
         };
         let (q2, s2) = (queue.clone(), stats.clone());
-        let handle =
-            std::thread::spawn(move || run_former(q2, EngineSelector::heuristic(), config, s2, tx));
+        let handle = std::thread::spawn(move || {
+            run_former(
+                q2,
+                EngineSelector::heuristic(),
+                config,
+                s2,
+                tx,
+                FaultHook::disabled(),
+            )
+        });
         // Two sizes and one f64 request: three distinct groups.
         for i in 0..5 {
             queue.try_push(req(i, 8, 1.0)).unwrap();
@@ -305,6 +396,7 @@ mod tests {
                 n: 8,
                 payload: Payload::F64(vec![0.0; 64]),
                 enqueued: Instant::now(),
+                deadline: None,
                 sink: Box::new(|_| {}),
             })
             .unwrap();
@@ -323,5 +415,98 @@ mod tests {
             keys,
             vec![(8, Dtype::F32, 5), (8, Dtype::F64, 1), (16, Dtype::F32, 3)]
         );
+    }
+
+    #[test]
+    fn expired_requests_are_shed_before_packing() {
+        let queue = Arc::new(IngestQueue::new(4096));
+        let stats = Arc::new(ServiceStats::default());
+        let (tx, rx) = sync_channel(8);
+        let config = FormerConfig {
+            max_batch: 4,
+            max_delay: Duration::from_secs(3600),
+            ..FormerConfig::default()
+        };
+        let (q2, s2) = (queue.clone(), stats.clone());
+        let handle = std::thread::spawn(move || {
+            run_former(
+                q2,
+                EngineSelector::heuristic(),
+                config,
+                s2,
+                tx,
+                FaultHook::disabled(),
+            )
+        });
+        let (reply_tx, reply_rx) = sync_channel(8);
+        // Two requests whose deadline already passed, then enough live
+        // ones to trip the size threshold.
+        for id in [100u64, 101] {
+            let rt = reply_tx.clone();
+            queue
+                .try_push(Pending {
+                    id,
+                    n: 8,
+                    payload: Payload::F32(vec![0.0; 64]),
+                    enqueued: Instant::now(),
+                    deadline: Some(Instant::now() - Duration::from_millis(1)),
+                    sink: Box::new(move |r| rt.send(r).unwrap()),
+                })
+                .unwrap();
+        }
+        for i in 0..4 {
+            queue.try_push(req(i, 8, 1.0)).unwrap();
+        }
+        let batch = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let ids: Vec<u64> = batch.reqs.iter().map(|p| p.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3], "expired requests never packed");
+        for _ in 0..2 {
+            let r = reply_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert!(r.id >= 100);
+            assert_eq!(r.outcome, Outcome::Rejected(RejectReason::DeadlineExceeded));
+        }
+        queue.close();
+        handle.join().unwrap();
+        use std::sync::atomic::Ordering;
+        assert_eq!(stats.deadline_expired.load(Ordering::Relaxed), 2);
+        assert_eq!(stats.rejected.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn tightest_member_deadline_advances_the_flush() {
+        let queue = Arc::new(IngestQueue::new(4096));
+        let stats = Arc::new(ServiceStats::default());
+        let (tx, rx) = sync_channel(8);
+        let config = FormerConfig {
+            max_batch: 1024,                      // size never fires
+            max_delay: Duration::from_secs(3600), // age never fires
+            deadline_margin: Duration::from_millis(5),
+        };
+        let (q2, s2) = (queue.clone(), stats.clone());
+        let handle = std::thread::spawn(move || {
+            run_former(
+                q2,
+                EngineSelector::heuristic(),
+                config,
+                s2,
+                tx,
+                FaultHook::disabled(),
+            )
+        });
+        let mut p = req(7, 8, 1.0);
+        let deadline = Instant::now() + Duration::from_millis(40);
+        p.deadline = Some(deadline);
+        queue.try_push(p).unwrap();
+        // Without deadline propagation this would sit for an hour; the
+        // member deadline must flush it (margin early) while still live.
+        let batch = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(
+            Instant::now() < deadline,
+            "flushed before the member deadline, not at max_delay"
+        );
+        assert_eq!(batch.reqs.len(), 1);
+        assert_eq!(batch.reqs[0].id, 7);
+        queue.close();
+        handle.join().unwrap();
     }
 }

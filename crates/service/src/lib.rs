@@ -8,35 +8,49 @@
 //!    hard bound (non-blocking rejection or blocking backpressure);
 //! 2. a [former](former) groups them by `(n, dtype)` and flushes each
 //!    group on a size threshold or a deadline, packing payloads into a
-//!    128-byte-aligned interleaved buffer padded to a full lane group;
-//! 3. a worker pool factorizes each batch in place with the
+//!    128-byte-aligned interleaved buffer padded to a full lane group —
+//!    shedding any request whose own deadline already expired;
+//! 3. a supervised worker pool factorizes each batch in place with the
 //!    lane-vectorized engine, under the layout/order the
 //!    [`EngineSelector`](engine::EngineSelector) picked from a tuned
 //!    [`DispatchTable`](ibcf_autotune::DispatchTable) (heuristics when
 //!    no sweep log exists), and routes per-matrix failures back to
-//!    exactly the originating request;
+//!    exactly the originating request; a panicking batch yields typed
+//!    [`Outcome::WorkerCrashed`] replies and a restarted worker, never
+//!    a dead process;
 //! 4. [`ServiceStats`](stats::ServiceStats) tracks counters, a batch
 //!    occupancy histogram, and reply-latency percentiles;
 //! 5. a std::net TCP front-end ([`server`]) speaks a length-prefixed
-//!    binary frame protocol ([`codec`]), and a [load generator](loadgen)
-//!    drives it in closed- or open-loop arrivals.
+//!    binary frame protocol ([`codec`]) with typed frame errors and
+//!    graceful drain, and a [load generator](loadgen) drives it in
+//!    closed- or open-loop arrivals with reconnect/resubmit retry;
+//! 6. a seeded [fault-injection harness](fault) can be threaded through
+//!    every stage to prove, reproducibly, that each admitted request
+//!    receives exactly one reply under worker panics, stalls,
+//!    connection drops, and frame corruption.
 
 #![warn(missing_docs)]
 
 pub mod codec;
 pub mod engine;
+pub mod fault;
 pub mod former;
 pub mod loadgen;
 pub mod queue;
 pub mod request;
+pub mod retry;
 pub mod server;
 pub mod service;
 pub mod stats;
 
+pub use codec::FrameError;
 pub use engine::{EnginePlan, EngineSelector};
+pub use fault::{FaultAction, FaultHook, FaultPlan, FaultSite};
 pub use former::{FormerConfig, PackedData};
 pub use loadgen::{ArrivalMode, LoadReport, LoadgenConfig};
+pub use queue::PushRefused;
 pub use request::{Dtype, FactorReply, Outcome, Payload, RejectReason};
+pub use retry::RetryPolicy;
 pub use server::{TcpConn, TcpServer};
 pub use service::{Client, Service, ServiceConfig};
 pub use stats::{ServiceStats, StatsSnapshot};

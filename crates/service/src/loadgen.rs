@@ -14,11 +14,20 @@
 //! generator asserts each one comes back as its own `NotSpd` reply while
 //! its same-batch neighbors succeed — the end-to-end check that failure
 //! routing never smears across a batch.
+//!
+//! With a [`RetryPolicy`] enabled the generator is *resilient*: a
+//! dropped, corrupted, or stalled connection is reconnected with
+//! exponential backoff and every request that never got a reply is
+//! resubmitted (factorization is idempotent, and the lost connection
+//! took its undelivered replies with it, so this preserves the
+//! exactly-one-reply invariant). The report tallies duplicates and lost
+//! replies so a chaos run can assert both are zero.
 
 use crate::codec::{
     decode_factor_reply, encode_factor_req, read_frame, write_frame, K_FACTOR_REPLY, K_FACTOR_REQ,
 };
 use crate::request::{Dtype, Outcome, Payload};
+use crate::retry::RetryPolicy;
 use crate::server::TcpConn;
 use crate::stats::StatsSnapshot;
 use ibcf_core::spd::{random_spd, SpdKind};
@@ -65,6 +74,14 @@ pub struct LoadgenConfig {
     pub plant_bad: u64,
     /// RNG seed for the payload pool.
     pub seed: u64,
+    /// Per-request relative deadline sent on the wire (`None` = no
+    /// deadline).
+    pub deadline: Option<Duration>,
+    /// Reconnect/resubmit policy for lost or stalled connections.
+    pub retry: RetryPolicy,
+    /// Socket read timeout: a stalled connection is declared dead (and,
+    /// with retry enabled, replaced) after this long without a reply.
+    pub read_timeout: Duration,
 }
 
 impl Default for LoadgenConfig {
@@ -78,6 +95,9 @@ impl Default for LoadgenConfig {
             mode: ArrivalMode::Closed { window: 256 },
             plant_bad: 0,
             seed: 1,
+            deadline: None,
+            retry: RetryPolicy::disabled(),
+            read_timeout: Duration::from_secs(60),
         }
     }
 }
@@ -85,16 +105,26 @@ impl Default for LoadgenConfig {
 /// What the run measured.
 #[derive(Debug, Clone)]
 pub struct LoadReport {
-    /// Requests sent.
+    /// Unique requests submitted (resubmissions not double-counted).
     pub sent: u64,
     /// Successful factor replies.
     pub ok: u64,
     /// Planted requests correctly reported non-SPD.
     pub planted_caught: u64,
-    /// Requests rejected by admission control.
+    /// Requests rejected by admission control (queue full, deadline
+    /// exceeded, shutdown).
     pub rejected: u64,
+    /// Requests whose batch's worker panicked (typed `WorkerCrashed`).
+    pub crashed: u64,
+    /// Replies carrying an id that was not outstanding: a duplicate
+    /// answer. Must be zero — the exactly-one-reply invariant.
+    pub duplicates: u64,
+    /// Requests that never received any reply. Must be zero.
+    pub lost: u64,
+    /// Successful reconnections after a dropped or stalled connection.
+    pub reconnects: u64,
     /// Replies that contradicted expectations (good request failed,
-    /// planted request succeeded, unknown id, wrong column).
+    /// planted request succeeded, wrong column).
     pub mismatched: u64,
     /// Wall-clock of the send/receive phase.
     pub elapsed: Duration,
@@ -113,16 +143,20 @@ pub struct LoadReport {
 }
 
 impl LoadReport {
-    /// `true` when every reply matched expectations.
+    /// `true` when every reply matched expectations and the
+    /// exactly-one-reply invariant held: nothing lost, nothing answered
+    /// twice.
     pub fn clean(&self) -> bool {
-        self.mismatched == 0
+        self.mismatched == 0 && self.duplicates == 0 && self.lost == 0
     }
 
     /// One-paragraph human-readable summary.
     pub fn render(&self) -> String {
         format!(
             "sent {} requests in {:.3} s: {} ok, {} planted non-SPD caught, \
-             {} rejected, {} mismatched\nthroughput {:.0} matrices/s, \
+             {} rejected, {} crashed, {} mismatched\n\
+             invariant: {} lost, {} duplicates, {} reconnects\n\
+             throughput {:.0} matrices/s, \
              latency p50/p95/p99 = {:.0}/{:.0}/{:.0} us, \
              mean batch occupancy {:.1}%",
             self.sent,
@@ -130,7 +164,11 @@ impl LoadReport {
             self.ok,
             self.planted_caught,
             self.rejected,
+            self.crashed,
             self.mismatched,
+            self.lost,
+            self.duplicates,
+            self.reconnects,
             self.throughput,
             self.p50_us,
             self.p95_us,
@@ -209,22 +247,97 @@ fn is_planted(r: u64, total: u64, plant_bad: u64) -> bool {
     (r + 1) * plant_bad / total != r * plant_bad / total
 }
 
-struct Inflight {
+/// Shared between a connection's pacing loop and its reader thread.
+/// `sent_at` doubles as the outstanding set: a reply removes its entry,
+/// a reconnect resubmits whatever is still present.
+struct ConnState {
     sent_at: HashMap<u64, Instant>,
     outstanding: usize,
+    replied: u64,
+    conn_dead: bool,
+    ok: u64,
+    planted_caught: u64,
+    rejected: u64,
+    crashed: u64,
+    duplicates: u64,
+    mismatched: u64,
+    latencies_ns: Vec<u64>,
 }
 
 struct ConnTally {
     ok: u64,
     planted_caught: u64,
     rejected: u64,
+    crashed: u64,
+    duplicates: u64,
     mismatched: u64,
+    reconnects: u64,
     sent: u64,
+    replied: u64,
     latencies_ns: Vec<u64>,
 }
 
-/// One connection's closed- or open-loop exchange. `ids` are the global
-/// request indices this connection owns.
+type Shared = Arc<(Mutex<ConnState>, Condvar)>;
+
+/// Consumes reply frames until every expected reply arrived or the
+/// connection dies (error, EOF, desync, or read timeout). Always leaves
+/// `conn_dead` accurate and wakes the pacing loop on exit.
+fn reader_loop(stream: TcpStream, state: Shared, total: u64, plant_bad: u64, expected: u64) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        let reply = match read_frame(&mut reader) {
+            Ok(Some((K_FACTOR_REPLY, body))) => match decode_factor_reply(&body) {
+                Ok(r) => r,
+                Err(_) => break, // corrupted reply: kill the connection
+            },
+            // Desync (unknown kind — e.g. a corrupted kind byte), EOF
+            // mid-run, torn frame, i/o error, or read timeout: this
+            // connection is done.
+            _ => break,
+        };
+        let now = Instant::now();
+        let (lock, cvar) = &*state;
+        let mut s = lock.lock().unwrap();
+        let r = reply.id;
+        match s.sent_at.remove(&r) {
+            None => {
+                // Not outstanding: either never sent on this run or —
+                // the invariant violation chaos hunts — answered twice.
+                s.duplicates += 1;
+            }
+            Some(at) => {
+                s.outstanding = s.outstanding.saturating_sub(1);
+                s.replied += 1;
+                s.latencies_ns
+                    .push(now.duration_since(at).as_nanos() as u64);
+                let planted = is_planted(r, total, plant_bad);
+                match (&reply.outcome, planted) {
+                    (Outcome::Factor(_), false) => s.ok += 1,
+                    (Outcome::NotSpd { column: 0 }, true) => s.planted_caught += 1,
+                    // A planted request in a crashed batch legitimately
+                    // comes back WorkerCrashed — it never reached the
+                    // pivot check.
+                    (Outcome::WorkerCrashed, _) => s.crashed += 1,
+                    (Outcome::Rejected(_), _) => s.rejected += 1,
+                    _ => s.mismatched += 1,
+                }
+            }
+        }
+        let done = s.replied >= expected;
+        cvar.notify_all();
+        if done {
+            return;
+        }
+    }
+    let (lock, cvar) = &*state;
+    let mut s = lock.lock().unwrap();
+    s.conn_dead = true;
+    cvar.notify_all();
+}
+
+/// One connection's closed- or open-loop exchange, surviving connection
+/// loss when the retry policy allows. `ids` are the global request
+/// indices this connection owns.
 fn run_conn(
     addr: &str,
     ids: Vec<u64>,
@@ -232,132 +345,217 @@ fn run_conn(
     pool: &PayloadPool,
     per_conn_rate: f64,
 ) -> io::Result<ConnTally> {
-    let stream = TcpStream::connect(addr)?;
-    stream.set_nodelay(true).ok();
-    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
-    let mut writer = BufWriter::new(stream.try_clone()?);
-    let mut reader = BufReader::new(stream);
-    let state = Arc::new((
-        Mutex::new(Inflight {
-            sent_at: HashMap::with_capacity(1024),
-            outstanding: 0,
-        }),
-        Condvar::new(),
-    ));
     let total = cfg.requests;
+    let expected = ids.len() as u64;
     let n_of = |r: u64| cfg.sizes[(r % cfg.sizes.len() as u64) as usize];
-    let expected_replies = ids.len() as u64;
-
-    // Writer inline, reader on a helper thread: the reader drains replies
-    // and timestamps latency while the writer paces departures.
-    let reader_state = state.clone();
-    let plant_bad = cfg.plant_bad;
-    let reader_thread = std::thread::Builder::new()
-        .name("ibcf-loadgen-reader".into())
-        .spawn(move || -> io::Result<ConnTally> {
-            let mut tally = ConnTally {
-                ok: 0,
-                planted_caught: 0,
-                rejected: 0,
-                mismatched: 0,
-                sent: 0,
-                latencies_ns: Vec::with_capacity(expected_replies as usize),
-            };
-            for _ in 0..expected_replies {
-                let reply = match read_frame(&mut reader)? {
-                    Some((K_FACTOR_REPLY, body)) => decode_factor_reply(&body)?,
-                    Some((kind, _)) => {
-                        return Err(io::Error::new(
-                            io::ErrorKind::InvalidData,
-                            format!("unexpected frame kind {kind} mid-run"),
-                        ))
-                    }
-                    None => {
-                        return Err(io::Error::new(
-                            io::ErrorKind::UnexpectedEof,
-                            "server closed the connection mid-run",
-                        ))
-                    }
-                };
-                let now = Instant::now();
-                let r = reply.id;
-                let sent_at = {
-                    let (lock, cvar) = &*reader_state;
-                    let mut s = lock.lock().unwrap();
-                    let at = s.sent_at.remove(&r);
-                    s.outstanding = s.outstanding.saturating_sub(1);
-                    cvar.notify_one();
-                    at
-                };
-                match sent_at {
-                    Some(at) => tally
-                        .latencies_ns
-                        .push(now.duration_since(at).as_nanos() as u64),
-                    None => {
-                        tally.mismatched += 1;
-                        continue;
-                    }
-                }
-                let planted = is_planted(r, total, plant_bad);
-                match (&reply.outcome, planted) {
-                    (Outcome::Factor(_), false) => tally.ok += 1,
-                    (Outcome::NotSpd { column: 0 }, true) => tally.planted_caught += 1,
-                    (Outcome::Rejected(_), _) => tally.rejected += 1,
-                    _ => tally.mismatched += 1,
-                }
-            }
-            Ok(tally)
-        })
-        .expect("spawn loadgen reader");
-
-    let start = Instant::now();
-    for (i, &r) in ids.iter().enumerate() {
+    let payload_of = |r: u64| -> &Payload {
         let n = n_of(r);
-        let payload = if is_planted(r, total, cfg.plant_bad) {
+        if is_planted(r, total, cfg.plant_bad) {
             &pool.bad[&n]
         } else {
             &pool.good[&n][(r as usize / cfg.sizes.len().max(1)) % POOL_PER_SIZE]
+        }
+    };
+    let deadline_us: u32 = cfg
+        .deadline
+        .map_or(0, |d| d.as_micros().min(u128::from(u32::MAX)) as u32);
+    let state: Shared = Arc::new((
+        Mutex::new(ConnState {
+            sent_at: HashMap::with_capacity(1024),
+            outstanding: 0,
+            replied: 0,
+            conn_dead: false,
+            ok: 0,
+            planted_caught: 0,
+            rejected: 0,
+            crashed: 0,
+            duplicates: 0,
+            mismatched: 0,
+            latencies_ns: Vec::with_capacity(expected as usize),
+        }),
+        Condvar::new(),
+    ));
+    let mut next_idx = 0usize; // first id not yet sent at all
+    let mut attempt = 0u32; // consecutive no-progress recovery attempts
+    let mut reconnects = 0u64;
+    let start = Instant::now();
+    loop {
+        let replied_before = state.0.lock().unwrap().replied;
+        let stream = match TcpStream::connect(addr) {
+            Ok(s) => s,
+            Err(e) => {
+                attempt += 1;
+                if attempt >= cfg.retry.max_attempts {
+                    return Err(e);
+                }
+                std::thread::sleep(cfg.retry.backoff(attempt));
+                continue;
+            }
         };
-        match cfg.mode {
-            ArrivalMode::Closed { window } => {
-                let (lock, cvar) = &*state;
-                let mut s = lock.lock().unwrap();
-                if s.outstanding >= window.max(1) {
-                    // About to block on replies: everything recorded as
-                    // outstanding must actually be on the wire first.
-                    drop(s);
-                    writer.flush()?;
-                    s = lock.lock().unwrap();
-                    while s.outstanding >= window.max(1) {
-                        s = cvar.wait(s).unwrap();
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(cfg.read_timeout))?;
+        let mut writer = BufWriter::new(stream.try_clone()?);
+        {
+            let mut s = state.0.lock().unwrap();
+            s.conn_dead = false;
+        }
+        let reader = {
+            let state = state.clone();
+            let plant_bad = cfg.plant_bad;
+            std::thread::Builder::new()
+                .name("ibcf-loadgen-reader".into())
+                .spawn(move || reader_loop(stream, state, total, plant_bad, expected))
+                .expect("spawn loadgen reader")
+        };
+
+        // Resubmit everything outstanding from the previous connection:
+        // those replies died with it, so resubmission keeps
+        // exactly-one-reply (factorization is idempotent).
+        let resend: Vec<u64> = {
+            let mut s = state.0.lock().unwrap();
+            let mut v: Vec<u64> = s.sent_at.keys().copied().collect();
+            v.sort_unstable();
+            let now = Instant::now();
+            for r in &v {
+                s.sent_at.insert(*r, now); // latency clock restarts
+            }
+            v
+        };
+        let mut write_err = false;
+        for &r in &resend {
+            let body = encode_factor_req(r, n_of(r), deadline_us, payload_of(r));
+            if write_frame(&mut writer, K_FACTOR_REQ, &body).is_err() {
+                write_err = true;
+                break;
+            }
+        }
+
+        // Pace the remaining first-time sends.
+        while !write_err && next_idx < ids.len() {
+            let r = ids[next_idx];
+            let paced = match cfg.mode {
+                ArrivalMode::Closed { window } => {
+                    let (lock, cvar) = &*state;
+                    let mut s = lock.lock().unwrap();
+                    if s.outstanding >= window.max(1) && !s.conn_dead {
+                        // About to block on replies: everything recorded
+                        // as outstanding must actually be on the wire.
+                        drop(s);
+                        if writer.flush().is_err() {
+                            write_err = true;
+                            continue;
+                        }
+                        s = lock.lock().unwrap();
+                        while s.outstanding >= window.max(1) && !s.conn_dead {
+                            s = cvar.wait(s).unwrap();
+                        }
+                    }
+                    if s.conn_dead {
+                        None
+                    } else {
+                        s.outstanding += 1;
+                        s.sent_at.insert(r, Instant::now());
+                        Some(())
                     }
                 }
-                s.outstanding += 1;
-                s.sent_at.insert(r, Instant::now());
-            }
-            ArrivalMode::Open { .. } => {
-                let due = start + Duration::from_secs_f64(i as f64 / per_conn_rate);
-                let now = Instant::now();
-                if due > now {
-                    std::thread::sleep(due - now);
+                ArrivalMode::Open { .. } => {
+                    let due = start + Duration::from_secs_f64(next_idx as f64 / per_conn_rate);
+                    let now = Instant::now();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                    let (lock, _) = &*state;
+                    let mut s = lock.lock().unwrap();
+                    if s.conn_dead {
+                        None
+                    } else {
+                        s.outstanding += 1;
+                        s.sent_at.insert(r, Instant::now());
+                        Some(())
+                    }
                 }
-                let (lock, _) = &*state;
-                let mut s = lock.lock().unwrap();
-                s.outstanding += 1;
-                s.sent_at.insert(r, Instant::now());
+            };
+            if paced.is_none() {
+                break; // connection died mid-pacing; reconnect resubmits
+            }
+            let body = encode_factor_req(r, n_of(r), deadline_us, payload_of(r));
+            if write_frame(&mut writer, K_FACTOR_REQ, &body).is_err() {
+                write_err = true;
+            }
+            next_idx += 1;
+            // Open-loop must flush every departure to honor the pacing
+            // schedule; closed-loop flushes just before it blocks.
+            if matches!(cfg.mode, ArrivalMode::Open { .. }) && writer.flush().is_err() {
+                write_err = true;
             }
         }
-        write_frame(&mut writer, K_FACTOR_REQ, &encode_factor_req(r, n, payload))?;
-        // Open-loop must flush every departure to honor the pacing
-        // schedule; closed-loop flushes just before it blocks (above).
-        if matches!(cfg.mode, ArrivalMode::Open { .. }) {
-            writer.flush()?;
+        let _ = writer.flush();
+
+        // Wait for the reader to finish this connection: either every
+        // reply arrived, or the connection died.
+        {
+            let (lock, cvar) = &*state;
+            let mut s = lock.lock().unwrap();
+            while s.replied < expected && !s.conn_dead {
+                s = cvar.wait(s).unwrap();
+            }
+        }
+        // The reader owns the stream and exits on reply completion,
+        // error, EOF, or its read timeout (the backstop when only the
+        // write side failed).
+        reader.join().expect("loadgen reader panicked");
+
+        let s = state.0.lock().unwrap();
+        if s.replied >= expected {
+            break;
+        }
+        let progressed = s.replied > replied_before;
+        drop(s);
+        if progressed {
+            attempt = 0;
+        }
+        attempt += 1;
+        if attempt >= cfg.retry.max_attempts {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                format!("connection lost and retry budget exhausted after {attempt} attempts"),
+            ));
+        }
+        reconnects += 1;
+        std::thread::sleep(cfg.retry.backoff(attempt));
+    }
+    let mut s = state.0.lock().unwrap();
+    let latencies_ns = std::mem::take(&mut s.latencies_ns);
+    Ok(ConnTally {
+        ok: s.ok,
+        planted_caught: s.planted_caught,
+        rejected: s.rejected,
+        crashed: s.crashed,
+        duplicates: s.duplicates,
+        mismatched: s.mismatched,
+        reconnects,
+        sent: expected,
+        replied: s.replied,
+        latencies_ns,
+    })
+}
+
+/// Fetches server stats, retrying under the config's policy (chaos plans
+/// can drop the stats connection too).
+fn fetch_stats_retrying(cfg: &LoadgenConfig) -> io::Result<StatsSnapshot> {
+    let mut attempt = 0u32;
+    loop {
+        match TcpConn::connect(&cfg.addr).and_then(|mut c| c.fetch_stats()) {
+            Ok(snap) => return Ok(snap),
+            Err(e) => {
+                attempt += 1;
+                if attempt >= cfg.retry.max_attempts {
+                    return Err(e);
+                }
+                std::thread::sleep(cfg.retry.backoff(attempt));
+            }
         }
     }
-    writer.flush()?;
-    let mut tally = reader_thread.join().expect("loadgen reader panicked")?;
-    tally.sent = ids.len() as u64;
-    Ok(tally)
 }
 
 /// Runs the configured load against a server and returns the report.
@@ -369,7 +567,7 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadReport> {
 
     // Delta baseline so a long-lived server's history doesn't dilute this
     // run's occupancy measurement.
-    let before = TcpConn::connect(&cfg.addr)?.fetch_stats()?;
+    let before = fetch_stats_retrying(cfg)?;
 
     let per_conn_rate = match cfg.mode {
         ArrivalMode::Open { rate } => (rate / cfg.conns as f64).max(1.0),
@@ -394,7 +592,11 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadReport> {
     let mut ok = 0;
     let mut planted_caught = 0;
     let mut rejected = 0;
+    let mut crashed = 0;
+    let mut duplicates = 0;
     let mut mismatched = 0;
+    let mut reconnects = 0;
+    let mut replied = 0;
     let mut latencies: Vec<u64> = Vec::new();
     for tally in tallies {
         let t = tally?;
@@ -402,7 +604,11 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadReport> {
         ok += t.ok;
         planted_caught += t.planted_caught;
         rejected += t.rejected;
+        crashed += t.crashed;
+        duplicates += t.duplicates;
         mismatched += t.mismatched;
+        reconnects += t.reconnects;
+        replied += t.replied;
         latencies.extend(t.latencies_ns);
     }
     latencies.sort_unstable();
@@ -414,7 +620,7 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadReport> {
         latencies[idx] as f64 / 1000.0
     };
 
-    let after = TcpConn::connect(&cfg.addr)?.fetch_stats()?;
+    let after = fetch_stats_retrying(cfg)?;
     let batches_delta = after.batches.saturating_sub(before.batches);
     let mean_occupancy = if batches_delta == 0 {
         0.0
@@ -430,6 +636,10 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadReport> {
         ok,
         planted_caught,
         rejected,
+        crashed,
+        duplicates,
+        lost: sent.saturating_sub(replied),
+        reconnects,
         mismatched,
         elapsed,
         throughput: (ok + planted_caught) as f64 / elapsed.as_secs_f64(),
@@ -472,5 +682,43 @@ mod tests {
         };
         assert_eq!(bad[0], -1.0);
         assert_eq!(bad.len(), 64);
+    }
+
+    #[test]
+    fn clean_requires_the_invariant() {
+        let base = LoadReport {
+            sent: 10,
+            ok: 10,
+            planted_caught: 0,
+            rejected: 0,
+            crashed: 0,
+            duplicates: 0,
+            lost: 0,
+            reconnects: 3,
+            mismatched: 0,
+            elapsed: Duration::from_secs(1),
+            throughput: 10.0,
+            p50_us: 0.0,
+            p95_us: 0.0,
+            p99_us: 0.0,
+            mean_occupancy: 1.0,
+            server: StatsSnapshot::default(),
+        };
+        assert!(base.clean(), "reconnects alone don't dirty a run");
+        assert!(!LoadReport {
+            lost: 1,
+            ..base.clone()
+        }
+        .clean());
+        assert!(!LoadReport {
+            duplicates: 1,
+            ..base.clone()
+        }
+        .clean());
+        assert!(!LoadReport {
+            mismatched: 1,
+            ..base
+        }
+        .clean());
     }
 }

@@ -12,6 +12,17 @@ use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
+/// Why a blocking [`IngestQueue::push_wait`] handed the request back.
+/// Carries the [`Pending`] so the caller rejects it through its own sink.
+#[derive(Debug)]
+pub enum PushRefused {
+    /// The queue closed (shutdown) before space appeared.
+    ShuttingDown(Pending),
+    /// The request's own deadline expired while parked at capacity;
+    /// waiting longer could only produce dead work.
+    DeadlineExceeded(Pending),
+}
+
 struct State {
     deque: VecDeque<Pending>,
     closed: bool,
@@ -76,15 +87,27 @@ impl IngestQueue {
     }
 
     /// Blocking submission: waits for space (backpressure) instead of
-    /// shedding. Returns the request back only if the queue closed while
-    /// waiting.
-    pub fn push_wait(&self, p: Pending) -> Result<(), Pending> {
+    /// shedding. A producer parked at capacity is woken the moment the
+    /// queue closes — shutdown must never leave it blocked forever — and
+    /// handed the request back as [`PushRefused::ShuttingDown`]; a parked
+    /// request whose own deadline passes comes back as
+    /// [`PushRefused::DeadlineExceeded`] without ever entering the queue.
+    pub fn push_wait(&self, p: Pending) -> Result<(), PushRefused> {
         let mut s = self.state.lock().unwrap();
         while s.deque.len() >= self.cap && !s.closed {
-            s = self.not_full.wait(s).unwrap();
+            match p.deadline {
+                None => s = self.not_full.wait(s).unwrap(),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Err(PushRefused::DeadlineExceeded(p));
+                    }
+                    s = self.not_full.wait_timeout(s, d - now).unwrap().0;
+                }
+            }
         }
         if s.closed {
-            return Err(p);
+            return Err(PushRefused::ShuttingDown(p));
         }
         s.deque.push_back(p);
         drop(s);
@@ -150,6 +173,7 @@ mod tests {
             n: 2,
             payload: Payload::F32(vec![0.0; 4]),
             enqueued: Instant::now(),
+            deadline: None,
             sink: Box::new(|_: FactorReply| {}),
         }
     }
@@ -192,6 +216,52 @@ mod tests {
         producer.join().unwrap();
         assert_eq!(done.load(Ordering::SeqCst), 1);
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn blocked_push_observes_shutdown_instead_of_parking_forever() {
+        // Regression: a blocking submit parked at capacity must come back
+        // with ShuttingDown when the queue closes underneath it — the
+        // former never drains again after shutdown starts, so nothing
+        // else would ever wake it.
+        let q = Arc::new(IngestQueue::new(1));
+        q.try_push(pending(0)).unwrap();
+        let parked = Arc::new(AtomicUsize::new(0));
+        let producers: Vec<_> = (1..=3u64)
+            .map(|id| {
+                let (q2, p2) = (q.clone(), parked.clone());
+                std::thread::spawn(move || {
+                    p2.fetch_add(1, Ordering::SeqCst);
+                    q2.push_wait(pending(id))
+                })
+            })
+            .collect();
+        while parked.load(Ordering::SeqCst) < 3 {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(Duration::from_millis(20)); // let them park
+        q.close();
+        for (i, h) in producers.into_iter().enumerate() {
+            match h.join().unwrap() {
+                Err(PushRefused::ShuttingDown(p)) => assert_eq!(p.id, i as u64 + 1),
+                other => panic!("producer {i} got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parked_push_respects_its_own_deadline() {
+        let q = IngestQueue::new(1);
+        q.try_push(pending(0)).unwrap();
+        let mut p = pending(1);
+        p.deadline = Some(Instant::now() + Duration::from_millis(25));
+        let t0 = Instant::now();
+        match q.push_wait(p) {
+            Err(PushRefused::DeadlineExceeded(back)) => assert_eq!(back.id, 1),
+            other => panic!("expected deadline refusal, got {other:?}"),
+        }
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+        assert_eq!(q.len(), 1, "the expired request never entered");
     }
 
     #[test]

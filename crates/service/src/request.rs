@@ -96,7 +96,7 @@ impl Payload {
     }
 }
 
-/// Why a request was turned away at the door instead of queued.
+/// Why a request was turned away instead of factorized.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RejectReason {
     /// The ingest queue is at capacity (admission control).
@@ -105,8 +105,12 @@ pub enum RejectReason {
     BadDimension,
     /// The payload length does not match `n × n`.
     BadPayload,
-    /// The service is shutting down.
-    Closed,
+    /// The service is draining: admission has stopped, queued work is
+    /// still being answered.
+    ShuttingDown,
+    /// The request's deadline expired before its batch was packed; dead
+    /// work is shed, never factorized.
+    DeadlineExceeded,
 }
 
 impl RejectReason {
@@ -116,7 +120,8 @@ impl RejectReason {
             RejectReason::QueueFull => 0,
             RejectReason::BadDimension => 1,
             RejectReason::BadPayload => 2,
-            RejectReason::Closed => 3,
+            RejectReason::ShuttingDown => 3,
+            RejectReason::DeadlineExceeded => 4,
         }
     }
 
@@ -126,7 +131,8 @@ impl RejectReason {
             0 => Some(RejectReason::QueueFull),
             1 => Some(RejectReason::BadDimension),
             2 => Some(RejectReason::BadPayload),
-            3 => Some(RejectReason::Closed),
+            3 => Some(RejectReason::ShuttingDown),
+            4 => Some(RejectReason::DeadlineExceeded),
             _ => None,
         }
     }
@@ -137,7 +143,8 @@ impl RejectReason {
             RejectReason::QueueFull => "ingest queue full",
             RejectReason::BadDimension => "bad matrix dimension",
             RejectReason::BadPayload => "payload length != n*n",
-            RejectReason::Closed => "service shutting down",
+            RejectReason::ShuttingDown => "service shutting down",
+            RejectReason::DeadlineExceeded => "deadline expired before packing",
         }
     }
 }
@@ -159,7 +166,12 @@ pub enum Outcome {
         /// First non-finite column.
         column: usize,
     },
-    /// The request never entered the queue.
+    /// The worker executing this request's batch panicked; the batch was
+    /// abandoned and the worker restarted. The request was *not*
+    /// factorized — resubmitting is safe (factorization is idempotent).
+    WorkerCrashed,
+    /// The request was never factorized (admission refusal, shutdown, or
+    /// a deadline expiring before packing).
     Rejected(RejectReason),
 }
 
@@ -194,6 +206,11 @@ pub struct Pending {
     pub payload: Payload,
     /// When the request entered the ingest queue (latency clock start).
     pub enqueued: Instant,
+    /// The latest instant the caller still wants an answer. Propagates
+    /// queue → former: an expired request is shed with
+    /// [`RejectReason::DeadlineExceeded`] before packing, and the
+    /// former's flush deadline tightens to the soonest member deadline.
+    pub deadline: Option<Instant>,
     /// Reply destination.
     pub sink: ReplySink,
 }

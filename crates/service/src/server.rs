@@ -6,32 +6,81 @@
 //! Per connection: the accept loop spawns a reader thread (decodes and
 //! submits) and a writer thread (serializes reply frames through an mpsc
 //! channel — worker threads finish batches concurrently, and a reply
-//! frame must hit the socket atomically). A `shutdown` frame is acked,
-//! then stops the accept loop and returns control to the caller, which
-//! shuts the service down.
+//! frame must hit the socket atomically). A `shutdown` frame triggers a
+//! *graceful drain*: admission stops, every already-admitted request is
+//! answered, then the ack goes out and the accept loop stops.
+//!
+//! Failure containment: a malformed or torn frame ([`FrameError`]) costs
+//! exactly the connection it arrived on — the accept loop keeps serving
+//! everyone else. The [`FaultHook`] threads chaos-harness faults
+//! (connection drops, frame corruption/truncation, write stalls) through
+//! the same paths production errors take.
 
 use crate::codec::{
-    decode_factor_req, encode_factor_reply, read_frame, write_frame, K_FACTOR_REPLY, K_FACTOR_REQ,
-    K_SHUTDOWN, K_SHUTDOWN_ACK, K_STATS_REPLY, K_STATS_REQ,
+    decode_factor_req, encode_factor_reply, read_frame, write_frame, FrameError, K_FACTOR_REPLY,
+    K_FACTOR_REQ, K_SHUTDOWN, K_SHUTDOWN_ACK, K_STATS_REPLY, K_STATS_REQ,
 };
+use crate::fault::{FaultAction, FaultHook, FaultSite};
 use crate::request::FactorReply;
 use crate::service::Client;
 use std::io::{self, BufReader, BufWriter, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Longest a graceful drain waits for in-flight requests before acking
+/// shutdown anyway (replies still flush as they finish).
+const DRAIN_WAIT_CAP: Duration = Duration::from_secs(30);
+
+/// Writes one reply frame, first applying any scheduled write-side fault:
+/// corruption flips the kind byte (so the peer *detects* it instead of
+/// accepting garbage elements), truncation sends half the frame then
+/// kills the socket, a drop kills it outright.
+fn send_one(
+    w: &mut BufWriter<TcpStream>,
+    raw: &TcpStream,
+    mut frame: Vec<u8>,
+    hook: &FaultHook,
+) -> io::Result<()> {
+    match hook.check(FaultSite::ConnWrite) {
+        Some(FaultAction::CorruptFrame) => {
+            if frame.len() > 4 {
+                frame[4] ^= 0x55;
+            }
+        }
+        Some(FaultAction::TruncateFrame) => {
+            w.write_all(&frame[..frame.len() / 2])?;
+            w.flush()?;
+            raw.shutdown(Shutdown::Both).ok();
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "injected frame truncation",
+            ));
+        }
+        Some(FaultAction::DropConn) => {
+            raw.shutdown(Shutdown::Both).ok();
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "injected connection drop",
+            ));
+        }
+        Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+        Some(FaultAction::PanicWorker) | None => {}
+    }
+    w.write_all(&frame)
+}
 
 /// Serializes reply frames onto the socket. Batches consecutive pending
 /// frames into one flush.
-fn writer_loop(stream: TcpStream, rx: Receiver<Vec<u8>>) -> io::Result<()> {
-    let mut w = BufWriter::new(stream);
+fn writer_loop(stream: TcpStream, rx: Receiver<Vec<u8>>, hook: FaultHook) -> io::Result<()> {
+    let mut w = BufWriter::new(stream.try_clone()?);
     while let Ok(frame) = rx.recv() {
-        w.write_all(&frame)?;
+        send_one(&mut w, &stream, frame, &hook)?;
         while let Ok(more) = rx.try_recv() {
-            w.write_all(&more)?;
+            send_one(&mut w, &stream, more, &hook)?;
         }
         w.flush()?;
     }
@@ -48,21 +97,46 @@ fn frame_of(reply: &FactorReply, dtype: crate::request::Dtype) -> Vec<u8> {
 }
 
 /// Reads frames off one connection until EOF, error, or shutdown.
-/// Returns `true` if this connection requested server shutdown.
-fn conn_loop(stream: TcpStream, client: Client) -> io::Result<bool> {
+/// Returns `true` if this connection requested server shutdown. Any
+/// [`FrameError`] (torn frame, malformed body) surfaces as the `Err`
+/// branch and closes only this connection.
+fn conn_loop(stream: TcpStream, client: Client, hook: FaultHook) -> io::Result<bool> {
     let out_stream = stream.try_clone()?;
+    let ctrl = stream.try_clone()?;
     let (tx, rx) = channel::<Vec<u8>>();
-    let writer = std::thread::Builder::new()
-        .name("ibcf-conn-writer".into())
-        .spawn(move || writer_loop(out_stream, rx))
-        .expect("spawn connection writer");
+    let writer = {
+        let hook = hook.clone();
+        std::thread::Builder::new()
+            .name("ibcf-conn-writer".into())
+            .spawn(move || writer_loop(out_stream, rx, hook))
+            .map_err(|e| io::Error::other(format!("spawn connection writer: {e}")))?
+    };
     let mut r = BufReader::new(stream);
     let mut shutdown = false;
-    while let Some((kind, body)) = read_frame(&mut r)? {
+    let result = loop {
+        if let Some(FaultAction::DropConn) = hook.check(FaultSite::ConnRead) {
+            ctrl.shutdown(Shutdown::Both).ok();
+            break Err(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "injected connection drop (read side)",
+            ));
+        }
+        let (kind, body) = match read_frame(&mut r) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break Ok(()), // clean EOF at a frame boundary
+            Err(e @ (FrameError::Torn { .. } | FrameError::Malformed(_))) => {
+                // One bad peer costs one connection, never the server.
+                break Err(e.into());
+            }
+            Err(FrameError::Io(e)) => break Err(e),
+        };
         match kind {
             K_FACTOR_REQ => {
-                let (id, n, payload) = decode_factor_req(&body)?;
+                let (id, n, deadline_us, payload) =
+                    decode_factor_req(&body).map_err(io::Error::from)?;
                 let dtype = payload.dtype();
+                let deadline = (deadline_us > 0)
+                    .then(|| Instant::now() + Duration::from_micros(u64::from(deadline_us)));
                 let tx = tx.clone();
                 // Non-blocking admission: a full queue answers with a
                 // QueueFull rejection frame instead of stalling the
@@ -71,6 +145,7 @@ fn conn_loop(stream: TcpStream, client: Client) -> io::Result<bool> {
                     id,
                     n,
                     payload,
+                    deadline,
                     Box::new(move |reply| {
                         // Send failure = connection gone; the reply is
                         // dropped with it.
@@ -90,26 +165,38 @@ fn conn_loop(stream: TcpStream, client: Client) -> io::Result<bool> {
                 let _ = tx.send(frame);
             }
             K_SHUTDOWN => {
+                // Graceful drain: stop admission, answer everything that
+                // was already admitted, then ack. Replies for other
+                // connections flush through their own writers.
+                client.begin_drain();
+                let t0 = Instant::now();
+                while !client.drained() && t0.elapsed() < DRAIN_WAIT_CAP {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
                 let _ = tx.send(vec![1, 0, 0, 0, K_SHUTDOWN_ACK]);
                 shutdown = true;
-                break;
+                break Ok(());
             }
             other => {
-                return Err(io::Error::new(
+                break Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     format!("unknown frame kind {other}"),
                 ));
             }
         }
-    }
+    };
     drop(tx);
-    let _ = writer.join().expect("connection writer panicked");
-    Ok(shutdown)
+    // Writer errors (including injected drops) were already terminal for
+    // the connection; joining must still succeed.
+    let _ = writer
+        .join()
+        .map_err(|_| io::Error::other("connection writer panicked"))?;
+    result.map(|()| shutdown)
 }
 
 /// The TCP front-end. Owns the listener; [`TcpServer::run`] blocks until
-/// a client sends a shutdown frame (or [`TcpServer::stop`] is flagged
-/// from another thread).
+/// a client sends a shutdown frame (or [`TcpServer::stop_flag`] is
+/// flagged from another thread).
 pub struct TcpServer {
     listener: TcpListener,
     stop: Arc<AtomicBool>,
@@ -135,22 +222,35 @@ impl TcpServer {
         self.stop.clone()
     }
 
+    /// [`TcpServer::run_with_faults`] with the injector disabled.
+    pub fn run(&self, client: Client) -> io::Result<()> {
+        self.run_with_faults(client, FaultHook::disabled())
+    }
+
     /// Accepts and serves connections until a shutdown frame arrives or
     /// the stop flag is set. Returns once every connection thread joined,
-    /// leaving the service itself to the caller to shut down.
-    pub fn run(&self, client: Client) -> io::Result<()> {
+    /// leaving the service itself to the caller to shut down. The hook
+    /// injects connection-level faults on every accepted stream.
+    pub fn run_with_faults(&self, client: Client, hook: FaultHook) -> io::Result<()> {
         self.listener.set_nonblocking(true)?;
         let mut conns: Vec<JoinHandle<()>> = Vec::new();
+        // Clones of every accepted stream, so the drain path below can
+        // wake readers idling in a blocking read.
+        let registry: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
         while !self.stop.load(Ordering::SeqCst) {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
                     stream.set_nodelay(true).ok();
+                    if let Ok(clone) = stream.try_clone() {
+                        registry.lock().unwrap().push(clone);
+                    }
                     let client = client.clone();
                     let stop = self.stop.clone();
+                    let hook = hook.clone();
                     let handle = std::thread::Builder::new()
                         .name("ibcf-conn".into())
                         .spawn(move || {
-                            match conn_loop(stream, client) {
+                            match conn_loop(stream, client, hook) {
                                 Ok(true) => stop.store(true, Ordering::SeqCst),
                                 Ok(false) => {}
                                 // A broken connection kills itself, not
@@ -168,8 +268,16 @@ impl TcpServer {
             }
             conns.retain(|h| !h.is_finished());
         }
+        // Give idle connections an EOF (shutting down only the read half
+        // lets their writers flush any reply still in flight), so every
+        // reader unblocks and its thread joins.
+        for stream in registry.lock().unwrap().drain(..) {
+            stream.shutdown(Shutdown::Read).ok();
+        }
         for handle in conns {
-            handle.join().expect("connection thread panicked");
+            handle
+                .join()
+                .map_err(|_| io::Error::other("connection thread panicked"))?;
         }
         Ok(())
     }
@@ -185,10 +293,16 @@ pub struct TcpConn {
 impl TcpConn {
     /// Connects to a running server.
     pub fn connect(addr: &str) -> io::Result<TcpConn> {
+        TcpConn::connect_with_timeout(addr, Duration::from_secs(60))
+    }
+
+    /// Connects with an explicit read timeout (a stuck server must fail
+    /// a test, not hang it; chaos clients use a short timeout to detect
+    /// stalled connections quickly).
+    pub fn connect_with_timeout(addr: &str, read_timeout: Duration) -> io::Result<TcpConn> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
-        // A stuck server must fail a test, not hang it.
-        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        stream.set_read_timeout(Some(read_timeout))?;
         let writer = stream.try_clone()?;
         Ok(TcpConn {
             reader: BufReader::new(stream),
@@ -196,14 +310,16 @@ impl TcpConn {
         })
     }
 
-    /// Sends a factorization request frame.
+    /// Sends a factorization request frame. `deadline_us` is the relative
+    /// deadline in microseconds (0 = none).
     pub fn send_factor_req(
         &mut self,
         id: u64,
         n: usize,
+        deadline_us: u32,
         payload: &crate::request::Payload,
     ) -> io::Result<()> {
-        let body = crate::codec::encode_factor_req(id, n, payload);
+        let body = crate::codec::encode_factor_req(id, n, deadline_us, payload);
         write_frame(&mut self.writer, K_FACTOR_REQ, &body)
     }
 
@@ -219,14 +335,16 @@ impl TcpConn {
 
     /// Reads the next frame (`None` on clean EOF).
     pub fn read(&mut self) -> io::Result<Option<(u8, Vec<u8>)>> {
-        read_frame(&mut self.reader)
+        read_frame(&mut self.reader).map_err(io::Error::from)
     }
 
     /// Reads frames until the next factor reply (stats frames in between
     /// are an error here — use typed readers in interleaved protocols).
     pub fn read_factor_reply(&mut self) -> io::Result<FactorReply> {
         match self.read()? {
-            Some((K_FACTOR_REPLY, body)) => crate::codec::decode_factor_reply(&body),
+            Some((K_FACTOR_REPLY, body)) => {
+                crate::codec::decode_factor_reply(&body).map_err(io::Error::from)
+            }
             Some((kind, _)) => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("expected factor reply, got frame kind {kind}"),
@@ -259,7 +377,8 @@ impl TcpConn {
         }
     }
 
-    /// Sends shutdown and waits for the ack.
+    /// Sends shutdown and waits for the ack (the server drains first, so
+    /// the ack can take a moment under load).
     pub fn shutdown_server(&mut self) -> io::Result<()> {
         self.send_shutdown()?;
         match self.read()? {
@@ -306,7 +425,7 @@ mod tests {
         // A 2×2 SPD matrix with a known exact factor: [[4,2],[2,5]] →
         // L = [[2,0],[1,2]].
         let a = Payload::F32(vec![4.0, 2.0, 2.0, 5.0]);
-        conn.send_factor_req(123, 2, &a).unwrap();
+        conn.send_factor_req(123, 2, 0, &a).unwrap();
         let reply = conn.read_factor_reply().unwrap();
         assert_eq!(reply.id, 123);
         let Outcome::Factor(Payload::F32(l)) = reply.outcome else {
@@ -315,7 +434,7 @@ mod tests {
         assert_eq!(l, vec![2.0, 1.0, 2.0, 2.0]); // upper 2.0 = input, untouched
 
         // Malformed request is rejected, not dropped.
-        conn.send_factor_req(124, 3, &Payload::F32(vec![1.0; 4]))
+        conn.send_factor_req(124, 3, 0, &Payload::F32(vec![1.0; 4]))
             .unwrap();
         let reply = conn.read_factor_reply().unwrap();
         assert_eq!(reply.id, 124);
@@ -342,7 +461,7 @@ mod tests {
                     for i in 0..8u64 {
                         let id = c * 100 + i;
                         let a = Payload::F64(vec![4.0, 2.0, 2.0, 5.0]);
-                        conn.send_factor_req(id, 2, &a).unwrap();
+                        conn.send_factor_req(id, 2, 0, &a).unwrap();
                     }
                     let mut seen: Vec<u64> = (0..8)
                         .map(|_| {
@@ -365,5 +484,66 @@ mod tests {
         server.join().unwrap().unwrap();
         let snap = service.shutdown();
         assert_eq!(snap.replies_ok, 32);
+    }
+
+    #[test]
+    fn torn_frame_closes_one_connection_not_the_server() {
+        // Regression for the unwrap()-on-bad-frame class of crash: a peer
+        // that dies mid-frame (or sends garbage) must cost exactly its
+        // own connection; the accept loop keeps serving everyone else.
+        let (service, addr, server) = start_server();
+
+        // Half a frame: a length word promising 64 bytes, then silence.
+        {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&64u32.to_le_bytes()).unwrap();
+            s.write_all(&[K_FACTOR_REQ, 1, 2, 3]).unwrap();
+            // Dropped here: mid-frame EOF on the server's reader.
+        }
+        // Garbage that parses as an unknown frame kind.
+        {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&2u32.to_le_bytes()).unwrap();
+            s.write_all(&[0xEE, 0xEE]).unwrap();
+        }
+
+        // The server still serves a healthy connection afterwards.
+        let mut conn = TcpConn::connect(&addr.to_string()).unwrap();
+        let a = Payload::F32(vec![4.0, 2.0, 2.0, 5.0]);
+        conn.send_factor_req(7, 2, 0, &a).unwrap();
+        let reply = conn.read_factor_reply().unwrap();
+        assert_eq!(reply.id, 7);
+        assert!(reply.outcome.is_ok());
+
+        conn.shutdown_server().unwrap();
+        server.join().unwrap().unwrap();
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_inflight_requests_before_acking() {
+        let (service, addr, server) = start_server();
+        let mut conn = TcpConn::connect(&addr.to_string()).unwrap();
+        let a = Payload::F32(vec![4.0, 2.0, 2.0, 5.0]);
+        // Pipeline a burst, then shutdown on the same connection: the
+        // server reads the frames in order, so all 64 are admitted before
+        // the drain starts, and the drain must answer every one before
+        // the ack goes out.
+        for id in 0..64u64 {
+            conn.send_factor_req(id, 2, 0, &a).unwrap();
+        }
+        conn.send_shutdown().unwrap();
+        for _ in 0..64 {
+            let reply = conn.read_factor_reply().unwrap();
+            assert!(reply.outcome.is_ok());
+        }
+        // Only after all 64 replies: the ack.
+        match conn.read().unwrap() {
+            Some((K_SHUTDOWN_ACK, _)) => {}
+            other => panic!("expected shutdown ack after the drain, got {other:?}"),
+        }
+        server.join().unwrap().unwrap();
+        let snap = service.shutdown();
+        assert_eq!(snap.replies_ok, 64);
     }
 }

@@ -2,20 +2,31 @@
 //! with an in-process [`Client`] handle.
 //!
 //! Thread shape: one former thread owns the consumer side of the
-//! [`IngestQueue`]; `workers` threads share a `sync_channel` of
-//! [`FormedBatch`]es. Each worker factorizes its batch in place with
+//! [`IngestQueue`]; `workers` supervisor threads each own one live
+//! worker thread sharing a `sync_channel` of [`FormedBatch`]es. Each
+//! worker factorizes its batch in place with
 //! [`factorize_batch_auto_with`] under the plan the [`EngineSelector`]
 //! chose, then routes every per-matrix outcome — factor or non-SPD
 //! failure — back to exactly the originating request's sink.
+//!
+//! Workers are *supervised*: a batch executes under `catch_unwind`, so a
+//! panic (a kernel bug, or one injected by the chaos harness) costs only
+//! that batch — its requests get a typed [`Outcome::WorkerCrashed`]
+//! reply, the crashed worker thread is restarted with capped exponential
+//! backoff, and the process never exits. Combined with deadline shedding
+//! in the former, every admitted request receives exactly one reply no
+//! matter what faults fire.
 
 use crate::engine::EngineSelector;
+use crate::fault::{silence_injected_panics, FaultAction, FaultHook, FaultSite};
 use crate::former::{run_former, FormedBatch, FormerConfig, PackedData};
-use crate::queue::IngestQueue;
+use crate::queue::{IngestQueue, PushRefused};
 use crate::request::{FactorReply, Outcome, Payload, Pending, RejectReason, ReplySink};
 use crate::stats::{ServiceStats, StatsSnapshot};
 use ibcf_core::lane_batch::factorize_batch_auto_with;
 use ibcf_core::{CholeskyError, Real};
 use ibcf_layout::{gather_matrix, Layout};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::{Arc, Mutex};
@@ -35,6 +46,9 @@ pub struct ServiceConfig {
     pub max_delay: Duration,
     /// Largest admissible matrix dimension.
     pub max_n: usize,
+    /// Fault injection hook ([`FaultHook::disabled`] in production: one
+    /// `None` check per site, no other cost).
+    pub fault: FaultHook,
 }
 
 impl Default for ServiceConfig {
@@ -45,9 +59,16 @@ impl Default for ServiceConfig {
             max_batch: 1024,
             max_delay: Duration::from_millis(1),
             max_n: 64,
+            fault: FaultHook::disabled(),
         }
     }
 }
+
+/// First supervisor backoff after a worker crash; doubles per
+/// consecutive crash.
+const RESTART_BACKOFF_BASE: Duration = Duration::from_millis(1);
+/// Supervisor backoff ceiling.
+const RESTART_BACKOFF_CAP: Duration = Duration::from_millis(250);
 
 struct Inner {
     queue: Arc<IngestQueue>,
@@ -70,6 +91,9 @@ impl Service {
     pub fn start(config: ServiceConfig, selector: EngineSelector) -> Service {
         assert!(config.workers > 0, "need at least one worker");
         assert!(config.max_batch > 0, "max_batch must be positive");
+        if config.fault.is_enabled() {
+            silence_injected_panics();
+        }
         let queue = Arc::new(IngestQueue::new(config.queue_cap));
         let stats = Arc::new(ServiceStats::default());
         let inner = Arc::new(Inner {
@@ -85,22 +109,23 @@ impl Service {
         let former_cfg = FormerConfig {
             max_batch: config.max_batch,
             max_delay: config.max_delay,
+            ..FormerConfig::default()
         };
         let former = {
-            let (q, s) = (queue, stats.clone());
+            let (q, s, h) = (queue, stats.clone(), config.fault.clone());
             std::thread::Builder::new()
                 .name("ibcf-former".into())
-                .spawn(move || run_former(q, selector, former_cfg, s, batch_tx))
+                .spawn(move || run_former(q, selector, former_cfg, s, batch_tx, h))
                 .expect("spawn former")
         };
         let batch_rx = Arc::new(Mutex::new(batch_rx));
         let workers = (0..config.workers)
             .map(|w| {
-                let (rx, s) = (batch_rx.clone(), stats.clone());
+                let (rx, s, h) = (batch_rx.clone(), stats.clone(), config.fault.clone());
                 std::thread::Builder::new()
-                    .name(format!("ibcf-worker-{w}"))
-                    .spawn(move || run_worker(&rx, &s))
-                    .expect("spawn worker")
+                    .name(format!("ibcf-supervisor-{w}"))
+                    .spawn(move || run_supervisor(w, &rx, &s, &h))
+                    .expect("spawn supervisor")
             })
             .collect();
         Service {
@@ -111,7 +136,7 @@ impl Service {
     }
 
     /// A submission handle. Clients stay valid until shutdown; submissions
-    /// after shutdown are rejected with [`RejectReason::Closed`].
+    /// after shutdown are rejected with [`RejectReason::ShuttingDown`].
     pub fn client(&self) -> Client {
         Client {
             inner: self.inner.clone(),
@@ -131,44 +156,142 @@ impl Service {
         if let Some(former) = self.former.take() {
             former.join().expect("former panicked");
         }
-        // The former dropped the batch sender; workers drain and exit.
+        // The former dropped the batch sender; workers drain and exit,
+        // and each supervisor follows its drained worker out.
         for w in self.workers.drain(..) {
-            w.join().expect("worker panicked");
+            w.join().expect("supervisor panicked");
         }
         self.inner.stats.snapshot()
     }
 }
 
-/// Factorizes one formed batch in place and distributes replies.
-fn run_worker(rx: &Mutex<Receiver<FormedBatch>>, stats: &ServiceStats) {
+/// Why a worker thread returned.
+enum WorkerExit {
+    /// The batch channel disconnected and drained: clean shutdown.
+    Drained,
+    /// A batch panicked (caught); `processed` batches completed before
+    /// the crash — the supervisor resets its backoff when that is > 0.
+    Crashed { processed: u64 },
+}
+
+/// Supervises one worker slot: spawns the worker thread, joins it, and
+/// respawns after a crash with capped exponential backoff. Backoff
+/// resets whenever the crashed incarnation made progress first, so a
+/// poisoned workload can't permanently slow a healthy worker, while a
+/// crash loop (instant repeated panics) backs off instead of spinning.
+fn run_supervisor(
+    slot: usize,
+    rx: &Arc<Mutex<Receiver<FormedBatch>>>,
+    stats: &Arc<ServiceStats>,
+    hook: &FaultHook,
+) {
+    let mut backoff = RESTART_BACKOFF_BASE;
+    let mut incarnation = 0u64;
+    loop {
+        let (rx2, s2, h2) = (rx.clone(), stats.clone(), hook.clone());
+        let worker = std::thread::Builder::new()
+            .name(format!("ibcf-worker-{slot}.{incarnation}"))
+            .spawn(move || run_worker(&rx2, &s2, &h2))
+            .expect("spawn worker");
+        match worker.join().expect("worker escaped catch_unwind") {
+            WorkerExit::Drained => return,
+            WorkerExit::Crashed { processed } => {
+                stats.worker_restarts.fetch_add(1, Ordering::Relaxed);
+                if processed > 0 {
+                    backoff = RESTART_BACKOFF_BASE;
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(RESTART_BACKOFF_CAP);
+                incarnation += 1;
+            }
+        }
+    }
+}
+
+/// Factorizes formed batches in place and distributes replies, until the
+/// channel drains (clean exit) or a batch panics (supervised exit).
+fn run_worker(
+    rx: &Mutex<Receiver<FormedBatch>>,
+    stats: &ServiceStats,
+    hook: &FaultHook,
+) -> WorkerExit {
+    let mut processed = 0u64;
     loop {
         let batch = {
             let guard = rx.lock().unwrap();
             match guard.recv() {
                 Ok(b) => b,
-                Err(_) => return, // former gone and channel drained
+                Err(_) => return WorkerExit::Drained, // former gone, drained
             }
         };
-        execute_batch(batch, stats);
+        match execute_batch(batch, stats, hook) {
+            Ok(()) => processed += 1,
+            Err(()) => return WorkerExit::Crashed { processed },
+        }
     }
 }
 
-fn execute_batch(mut batch: FormedBatch, stats: &ServiceStats) {
-    let layout = batch.layout;
-    let plan = batch.plan;
-    let failures = match &mut batch.data {
-        PackedData::F32(data) => {
-            factorize_batch_auto_with(&layout, data.as_mut_slice(), plan.order, plan.width).failures
+/// Runs one batch. A panic inside the factorization (or one injected by
+/// the chaos hook) is caught here: every request in the batch gets a
+/// typed [`Outcome::WorkerCrashed`] reply — never silence, never a
+/// process abort — and `Err` tells the worker loop to die and be
+/// restarted by its supervisor.
+fn execute_batch(batch: FormedBatch, stats: &ServiceStats, hook: &FaultHook) -> Result<(), ()> {
+    let FormedBatch {
+        n,
+        plan,
+        layout,
+        mut data,
+        reqs,
+        ..
+    } = batch;
+    let mut inject_panic = false;
+    match hook.check(FaultSite::WorkerBatch) {
+        Some(FaultAction::PanicWorker) => inject_panic = true,
+        Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+        _ => {}
+    }
+    // The requests (and their reply sinks) stay *outside* the unwind
+    // scope: only the packed buffer and the factorization cross it, so a
+    // panic can still be routed back to every originator.
+    let factored = catch_unwind(AssertUnwindSafe(move || {
+        if inject_panic {
+            panic!("{} (chaos harness)", crate::fault::INJECTED_PANIC_MARKER);
         }
-        PackedData::F64(data) => {
-            factorize_batch_auto_with(&layout, data.as_mut_slice(), plan.order, plan.width).failures
+        let failures = match &mut data {
+            PackedData::F32(buf) => {
+                factorize_batch_auto_with(&layout, buf.as_mut_slice(), plan.order, plan.width)
+                    .failures
+            }
+            PackedData::F64(buf) => {
+                factorize_batch_auto_with(&layout, buf.as_mut_slice(), plan.order, plan.width)
+                    .failures
+            }
+        };
+        (data, failures)
+    }));
+    let (data, failures) = match factored {
+        Ok(pair) => pair,
+        Err(_) => {
+            stats.worker_crashes.fetch_add(1, Ordering::Relaxed);
+            for req in reqs {
+                let latency = req.enqueued.elapsed();
+                (req.sink)(FactorReply {
+                    id: req.id,
+                    outcome: Outcome::WorkerCrashed,
+                });
+                // Counters bump *after* delivery so `drained()` implies
+                // every reply already left through its sink.
+                stats.record_latency(latency);
+                stats.replies_failed.fetch_add(1, Ordering::Relaxed);
+            }
+            return Err(());
         }
     };
-    let n = batch.n;
     // `failures` is sorted by matrix index; walk it alongside the
     // requests so each failure lands on exactly its originator.
     let mut fail_iter = failures.into_iter().peekable();
-    for (mat, req) in batch.reqs.into_iter().enumerate() {
+    for (mat, req) in reqs.into_iter().enumerate() {
         let failure = match fail_iter.peek() {
             Some(&(idx, _)) if idx == mat => fail_iter.next().map(|(_, e)| e),
             _ => None,
@@ -176,18 +299,22 @@ fn execute_batch(mut batch: FormedBatch, stats: &ServiceStats) {
         let outcome = match failure {
             Some(CholeskyError::NotPositiveDefinite { column }) => Outcome::NotSpd { column },
             Some(CholeskyError::NonFinite { column }) => Outcome::NonFinite { column },
-            None => Outcome::Factor(gather_payload(&layout, &batch.data, mat, n)),
+            None => Outcome::Factor(gather_payload(&layout, &data, mat, n)),
         };
-        if outcome.is_ok() {
-            stats.replies_ok.fetch_add(1, Ordering::Relaxed);
-        } else {
-            stats.replies_failed.fetch_add(1, Ordering::Relaxed);
-        }
-        stats.record_latency(req.enqueued.elapsed());
+        let ok = outcome.is_ok();
+        let latency = req.enqueued.elapsed();
         (req.sink)(FactorReply {
             id: req.id,
             outcome,
         });
+        // Counters bump *after* delivery so `drained()` implies every
+        // reply already left through its sink.
+        stats.record_latency(latency);
+        if ok {
+            stats.replies_ok.fetch_add(1, Ordering::Relaxed);
+        } else {
+            stats.replies_failed.fetch_add(1, Ordering::Relaxed);
+        }
     }
     // Any remaining failure would sit in a padding slot — impossible,
     // padding is the identity matrix.
@@ -195,6 +322,7 @@ fn execute_batch(mut batch: FormedBatch, stats: &ServiceStats) {
         fail_iter.peek().is_none(),
         "failure reported for an identity padding slot"
     );
+    Ok(())
 }
 
 fn gather_payload(layout: &Layout, data: &PackedData, mat: usize, n: usize) -> Payload {
@@ -231,15 +359,38 @@ impl Client {
         self.inner.max_n
     }
 
+    /// Stops admission (new submissions are rejected with
+    /// [`RejectReason::ShuttingDown`]) while everything already admitted
+    /// keeps flowing to workers. Poll [`Client::drained`] to learn when
+    /// every admitted request has been answered.
+    pub fn begin_drain(&self) {
+        self.inner.queue.close();
+    }
+
+    /// `true` once every admitted request has received its reply. Only
+    /// meaningful after [`Client::begin_drain`] (or shutdown) stopped
+    /// admission; before that, in-flight arrivals can flip it back.
+    pub fn drained(&self) -> bool {
+        let s = &self.inner.stats;
+        let answered = s.replies_ok.load(Ordering::Relaxed)
+            + s.replies_failed.load(Ordering::Relaxed)
+            + s.deadline_expired.load(Ordering::Relaxed);
+        answered >= s.requests.load(Ordering::Relaxed)
+    }
+
     /// Submits a request, delivering the reply through `sink`. With
     /// `blocking` the call waits for queue space (backpressure);
     /// otherwise a full queue rejects immediately (admission control).
-    /// The sink is always invoked exactly once, inline for rejections.
+    /// A `deadline` propagates to the former: if it expires before the
+    /// request is packed into a batch, the request is shed with
+    /// [`RejectReason::DeadlineExceeded`]. The sink is always invoked
+    /// exactly once, inline for rejections.
     pub fn submit_sink(
         &self,
         id: u64,
         n: usize,
         payload: Payload,
+        deadline: Option<Instant>,
         sink: ReplySink,
         blocking: bool,
     ) {
@@ -256,22 +407,28 @@ impl Client {
         if payload.len() != n * n {
             return reject(sink, RejectReason::BadPayload, &self.inner.stats);
         }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            // Dead on arrival: refuse at the door rather than admitting
+            // work the former would immediately shed.
+            return reject(sink, RejectReason::DeadlineExceeded, &self.inner.stats);
+        }
         let pending = Pending {
             id,
             n,
             payload,
             enqueued: Instant::now(),
+            deadline,
             sink,
         };
         let outcome = if blocking {
-            self.inner
-                .queue
-                .push_wait(pending)
-                .map_err(|p| (p, RejectReason::Closed))
+            self.inner.queue.push_wait(pending).map_err(|e| match e {
+                PushRefused::ShuttingDown(p) => (p, RejectReason::ShuttingDown),
+                PushRefused::DeadlineExceeded(p) => (p, RejectReason::DeadlineExceeded),
+            })
         } else {
             self.inner.queue.try_push(pending).map_err(|(p, closed)| {
                 let reason = if closed {
-                    RejectReason::Closed
+                    RejectReason::ShuttingDown
                 } else {
                     RejectReason::QueueFull
                 };
@@ -287,7 +444,7 @@ impl Client {
     }
 
     /// Submits and returns a receiver for the reply (non-blocking
-    /// admission).
+    /// admission, no deadline).
     pub fn submit(
         &self,
         id: u64,
@@ -295,14 +452,28 @@ impl Client {
         payload: Payload,
     ) -> std::sync::mpsc::Receiver<FactorReply> {
         let (tx, rx) = std::sync::mpsc::sync_channel(1);
-        self.submit_sink(id, n, payload, Box::new(move |r| drop(tx.send(r))), false);
+        self.submit_sink(
+            id,
+            n,
+            payload,
+            None,
+            Box::new(move |r| drop(tx.send(r))),
+            false,
+        );
         rx
     }
 
     /// Submits with backpressure and waits for the reply.
     pub fn call(&self, id: u64, n: usize, payload: Payload) -> FactorReply {
         let (tx, rx) = std::sync::mpsc::sync_channel(1);
-        self.submit_sink(id, n, payload, Box::new(move |r| drop(tx.send(r))), true);
+        self.submit_sink(
+            id,
+            n,
+            payload,
+            None,
+            Box::new(move |r| drop(tx.send(r))),
+            true,
+        );
         rx.recv().expect("reply sink dropped without reply")
     }
 }
@@ -446,17 +617,174 @@ mod tests {
     }
 
     #[test]
-    fn submissions_after_shutdown_are_rejected_closed() {
+    fn submissions_after_shutdown_are_rejected_shutting_down() {
         let service = Service::start(ServiceConfig::default(), EngineSelector::heuristic());
         let client = service.client();
         let reply = client.call(1, 8, spd_payload(8, 42));
         assert!(reply.outcome.is_ok());
         service.shutdown();
         let reply = client.call(2, 8, spd_payload(8, 43));
-        assert_eq!(reply.outcome, Outcome::Rejected(RejectReason::Closed));
+        assert_eq!(reply.outcome, Outcome::Rejected(RejectReason::ShuttingDown));
         let rx = client.submit(3, 8, spd_payload(8, 44));
         let reply = rx.recv_timeout(Duration::from_secs(5)).unwrap();
-        assert_eq!(reply.outcome, Outcome::Rejected(RejectReason::Closed));
+        assert_eq!(reply.outcome, Outcome::Rejected(RejectReason::ShuttingDown));
+    }
+
+    #[test]
+    fn worker_panics_are_contained_typed_and_survived() {
+        use crate::fault::FaultPlan;
+        // A panic plan that fires every few batches: many batches must
+        // crash, every crashed batch's requests must get a typed
+        // WorkerCrashed reply, and the service must keep serving.
+        let hook = FaultHook::from_plan(FaultPlan::worker_panic(0xC0FFEE));
+        let service = Service::start(
+            ServiceConfig {
+                workers: 2,
+                max_batch: 4,
+                max_delay: Duration::from_millis(1),
+                fault: hook.clone(),
+                ..ServiceConfig::default()
+            },
+            EngineSelector::heuristic(),
+        );
+        let client = service.client();
+        let total = 96u64;
+        let receivers: Vec<_> = (0..total)
+            .map(|i| client.submit(i, 8, spd_payload(8, 5000 + i)))
+            .collect();
+        let mut ok = 0u64;
+        let mut crashed = 0u64;
+        for (i, rx) in receivers.into_iter().enumerate() {
+            let reply = rx.recv_timeout(Duration::from_secs(20)).unwrap();
+            assert_eq!(reply.id, i as u64, "replies route to their originator");
+            match reply.outcome {
+                Outcome::Factor(_) => ok += 1,
+                Outcome::WorkerCrashed => crashed += 1,
+                other => panic!("req {i}: unexpected outcome {other:?}"),
+            }
+        }
+        let snap = service.shutdown();
+        assert_eq!(ok + crashed, total, "exactly one reply per request");
+        assert!(
+            snap.worker_crashes >= 3,
+            "plan should fire repeatedly, got {} crashes",
+            snap.worker_crashes
+        );
+        // Crashes count per batch, crashed replies per request: every
+        // crashed batch holds between 1 and `max_batch` requests.
+        assert!(
+            crashed >= snap.worker_crashes,
+            "every crash answered someone"
+        );
+        assert!(
+            crashed <= snap.worker_crashes * 4,
+            "crashed replies bounded by batch size"
+        );
+        assert_eq!(snap.worker_restarts, snap.worker_crashes);
+        assert_eq!(snap.replies_ok, ok);
+        assert!(hook.injected() >= 3);
+    }
+
+    #[test]
+    fn queue_stall_faults_delay_but_never_lose_requests() {
+        use crate::fault::FaultPlan;
+        let hook = FaultHook::from_plan(FaultPlan::queue_stall(7));
+        let service = Service::start(
+            ServiceConfig {
+                max_delay: Duration::from_millis(1),
+                fault: hook.clone(),
+                ..ServiceConfig::default()
+            },
+            EngineSelector::heuristic(),
+        );
+        let client = service.client();
+        // Trickle requests in so the former's drain loop actually
+        // iterates enough times to reach the plan's clock residue.
+        let receivers: Vec<_> = (0..50u64)
+            .map(|i| {
+                if i % 2 == 0 {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                client.submit(i, 8, spd_payload(8, 7000 + i))
+            })
+            .collect();
+        for (i, rx) in receivers.into_iter().enumerate() {
+            let reply = rx.recv_timeout(Duration::from_secs(20)).unwrap();
+            assert!(reply.outcome.is_ok(), "req {i}: {:?}", reply.outcome);
+        }
+        let snap = service.shutdown();
+        assert_eq!(snap.replies_ok, 50);
+        assert!(hook.injected() > 0, "the stall plan must actually fire");
+    }
+
+    #[test]
+    fn expired_deadline_requests_get_typed_replies() {
+        let service = Service::start(
+            ServiceConfig {
+                max_delay: Duration::from_millis(1),
+                ..ServiceConfig::default()
+            },
+            EngineSelector::heuristic(),
+        );
+        let client = service.client();
+        // Dead on arrival: refused at the door.
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        client.submit_sink(
+            1,
+            8,
+            spd_payload(8, 1),
+            Some(Instant::now() - Duration::from_millis(1)),
+            Box::new(move |r| drop(tx.send(r))),
+            false,
+        );
+        let reply = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(
+            reply.outcome,
+            Outcome::Rejected(RejectReason::DeadlineExceeded)
+        );
+        // A generous deadline sails through.
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        client.submit_sink(
+            2,
+            8,
+            spd_payload(8, 2),
+            Some(Instant::now() + Duration::from_secs(30)),
+            Box::new(move |r| drop(tx.send(r))),
+            false,
+        );
+        let reply = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert!(reply.outcome.is_ok());
+        let snap = service.shutdown();
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.replies_ok, 1);
+    }
+
+    #[test]
+    fn drain_answers_everything_then_refuses_new_work() {
+        let service = Service::start(
+            ServiceConfig {
+                max_delay: Duration::from_millis(1),
+                ..ServiceConfig::default()
+            },
+            EngineSelector::heuristic(),
+        );
+        let client = service.client();
+        let receivers: Vec<_> = (0..30u64)
+            .map(|i| client.submit(i, 8, spd_payload(8, 9000 + i)))
+            .collect();
+        client.begin_drain();
+        let t0 = Instant::now();
+        while !client.drained() {
+            assert!(t0.elapsed() < Duration::from_secs(20), "drain stuck");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for rx in receivers {
+            let reply = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert!(reply.outcome.is_ok());
+        }
+        let reply = client.call(99, 8, spd_payload(8, 9999));
+        assert_eq!(reply.outcome, Outcome::Rejected(RejectReason::ShuttingDown));
+        service.shutdown();
     }
 
     #[test]

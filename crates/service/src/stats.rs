@@ -35,6 +35,12 @@ pub struct ServiceStats {
     pub batches: AtomicU64,
     /// Live matrices factorized across all batches (excludes padding).
     pub matrices: AtomicU64,
+    /// Worker panics caught by the supervisor (each fails one batch).
+    pub worker_crashes: AtomicU64,
+    /// Worker threads restarted by the supervisor after a crash.
+    pub worker_restarts: AtomicU64,
+    /// Requests shed because their deadline expired before packing.
+    pub deadline_expired: AtomicU64,
     occupancy: [AtomicU64; OCCUPANCY_BUCKETS],
     occupancy_sum_milli: AtomicU64,
     latency: [AtomicU64; LATENCY_BUCKETS],
@@ -49,6 +55,9 @@ impl Default for ServiceStats {
             replies_failed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             matrices: AtomicU64::new(0),
+            worker_crashes: AtomicU64::new(0),
+            worker_restarts: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
             occupancy: std::array::from_fn(|_| AtomicU64::new(0)),
             occupancy_sum_milli: AtomicU64::new(0),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -106,6 +115,9 @@ impl ServiceStats {
             replies_failed: self.replies_failed.load(Ordering::Relaxed),
             batches,
             matrices: self.matrices.load(Ordering::Relaxed),
+            worker_crashes: self.worker_crashes.load(Ordering::Relaxed),
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
             mean_occupancy,
             occupancy_hist,
             latency_hist,
@@ -129,6 +141,12 @@ pub struct StatsSnapshot {
     pub batches: u64,
     /// Live matrices factorized.
     pub matrices: u64,
+    /// Worker panics caught by the supervisor.
+    pub worker_crashes: u64,
+    /// Worker threads restarted after a crash.
+    pub worker_restarts: u64,
+    /// Requests shed on an expired deadline before packing.
+    pub deadline_expired: u64,
     /// Mean live/slots fraction over all batches.
     pub mean_occupancy: f64,
     /// 10%-wide occupancy buckets.
@@ -170,6 +188,41 @@ impl StatsSnapshot {
             self.latency_quantile_us(0.95).unwrap_or(0.0),
             self.latency_quantile_us(0.99).unwrap_or(0.0),
         )
+    }
+
+    /// Combines two snapshots (e.g. from sharded services or across a
+    /// restart) by summing counters and histograms bucket-wise. Because
+    /// the histograms use fixed bucket boundaries, any quantile of the
+    /// merge is bracketed by the same quantile of the two inputs, and
+    /// quantiles stay monotone in `q`.
+    pub fn merge(&self, other: &StatsSnapshot) -> StatsSnapshot {
+        fn add_hist(a: &[u64], b: &[u64]) -> Vec<u64> {
+            (0..a.len().max(b.len()))
+                .map(|i| a.get(i).copied().unwrap_or(0) + b.get(i).copied().unwrap_or(0))
+                .collect()
+        }
+        let batches = self.batches + other.batches;
+        let mean_occupancy = if batches == 0 {
+            0.0
+        } else {
+            (self.mean_occupancy * self.batches as f64
+                + other.mean_occupancy * other.batches as f64)
+                / batches as f64
+        };
+        StatsSnapshot {
+            requests: self.requests + other.requests,
+            rejected: self.rejected + other.rejected,
+            replies_ok: self.replies_ok + other.replies_ok,
+            replies_failed: self.replies_failed + other.replies_failed,
+            batches,
+            matrices: self.matrices + other.matrices,
+            worker_crashes: self.worker_crashes + other.worker_crashes,
+            worker_restarts: self.worker_restarts + other.worker_restarts,
+            deadline_expired: self.deadline_expired + other.deadline_expired,
+            mean_occupancy,
+            occupancy_hist: add_hist(&self.occupancy_hist, &other.occupancy_hist),
+            latency_hist: add_hist(&self.latency_hist, &other.latency_hist),
+        }
     }
 }
 
@@ -214,6 +267,88 @@ mod tests {
         let snap = ServiceStats::default().snapshot();
         assert!(snap.latency_quantile_us(0.5).is_none());
         assert_eq!(snap.percentiles_us(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn concurrent_recorders_lose_nothing() {
+        // Churn check: latency/occupancy histograms and the restart
+        // counters are hammered from many threads at once; the final
+        // snapshot must account for every single recorded event.
+        use std::sync::Arc;
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 5_000;
+        let s = Arc::new(ServiceStats::default());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        s.record_latency(Duration::from_nanos((1 + t * i) as u64));
+                        s.record_batch(i % 17, 16.max(i % 17));
+                        s.worker_crashes.fetch_add(1, Ordering::Relaxed);
+                        s.worker_restarts.fetch_add(1, Ordering::Relaxed);
+                        s.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = s.snapshot();
+        let want = (THREADS * PER_THREAD) as u64;
+        assert_eq!(snap.latency_hist.iter().sum::<u64>(), want);
+        assert_eq!(snap.occupancy_hist.iter().sum::<u64>(), want);
+        assert_eq!(snap.batches, want);
+        assert_eq!(snap.worker_crashes, want);
+        assert_eq!(snap.worker_restarts, want);
+        assert_eq!(snap.deadline_expired, want);
+        assert!((0.0..=1.0).contains(&snap.mean_occupancy));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bracketed_under_merge() {
+        let fast = ServiceStats::default();
+        for i in 0..500u64 {
+            fast.record_latency(Duration::from_micros(50 + i % 100));
+        }
+        let slow = ServiceStats::default();
+        for i in 0..300u64 {
+            slow.record_latency(Duration::from_millis(2 + i % 8));
+        }
+        let (a, b) = (fast.snapshot(), slow.snapshot());
+        let m = a.merge(&b);
+        assert_eq!(
+            m.latency_hist.iter().sum::<u64>(),
+            a.latency_hist.iter().sum::<u64>() + b.latency_hist.iter().sum::<u64>()
+        );
+        let qs = [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+        let mut prev = 0.0;
+        for q in qs {
+            let (qa, qb, qm) = (
+                a.latency_quantile_us(q).unwrap(),
+                b.latency_quantile_us(q).unwrap(),
+                m.latency_quantile_us(q).unwrap(),
+            );
+            // Monotone in q...
+            assert!(qm >= prev, "q={q}: {qm} < {prev}");
+            prev = qm;
+            // ...and bracketed by the inputs' same quantile.
+            assert!(
+                qm >= qa.min(qb) && qm <= qa.max(qb),
+                "q={q}: merged {qm} outside [{}, {}]",
+                qa.min(qb),
+                qa.max(qb)
+            );
+        }
+        // Counter merge is plain addition.
+        let x = StatsSnapshot {
+            worker_crashes: 3,
+            worker_restarts: 2,
+            ..StatsSnapshot::default()
+        };
+        let y = x.merge(&x);
+        assert_eq!((y.worker_crashes, y.worker_restarts), (6, 4));
     }
 
     #[test]
