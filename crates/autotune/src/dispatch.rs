@@ -22,11 +22,37 @@ use std::path::Path;
 /// kept so existing imports keep compiling.
 pub type TunedDispatch = DispatchTable;
 
+/// How a dispatch table was produced: which selector, how much of the
+/// space it measured, and what regret it guarantees. Written as an
+/// optional header line by [`DispatchTable::save`]; tables from before
+/// provenance existed load with `provenance = None`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableProvenance {
+    /// Selector strategy that chose the winners (e.g. `"exhaustive"`,
+    /// `"analytic"`).
+    pub selector: String,
+    /// GPU spec name measured on.
+    pub gpu: String,
+    /// Batch size of every measurement.
+    pub batch: usize,
+    /// Configurations actually measured across all sizes.
+    pub configs_evaluated: usize,
+    /// Full grid size an exhaustive sweep would have measured.
+    pub grid_total: usize,
+    /// Worst per-size bound on relative regret vs the space's true best,
+    /// when the selector computes one (early-stopping strategies).
+    pub regret_bound: Option<f64>,
+}
+
 /// A per-size table of winning configurations.
 #[derive(Debug, Clone, Serialize, Deserialize, Default)]
 pub struct DispatchTable {
     /// Winning configuration per swept matrix dimension.
     pub table: BTreeMap<usize, KernelConfig>,
+    /// How this table was produced, when known. The vendored serde shim
+    /// treats `Option` fields as optional keys, so pre-provenance
+    /// serialized tables deserialize with `None` here.
+    pub provenance: Option<TableProvenance>,
 }
 
 impl DispatchTable {
@@ -45,7 +71,10 @@ impl DispatchTable {
                 table.insert(n, m.config);
             }
         }
-        DispatchTable { table }
+        DispatchTable {
+            table,
+            provenance: None,
+        }
     }
 
     /// Number of tuned sizes.
@@ -102,9 +131,16 @@ impl DispatchTable {
         Some((config, timing))
     }
 
-    /// Saves the table as JSON lines (`n` + config per line).
+    /// Saves the table as JSON lines: an optional provenance header line
+    /// (when this table carries one), then one `n` + config entry per
+    /// line. Tables without provenance write the exact pre-provenance
+    /// format, so older readers stay compatible both ways.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
         let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        if let Some(p) = &self.provenance {
+            let line = serde_json::json!({ "provenance": p });
+            writeln!(f, "{line}")?;
+        }
         for (n, config) in &self.table {
             let line = serde_json::json!({ "n": n, "config": config });
             writeln!(f, "{line}")?;
@@ -114,14 +150,19 @@ impl DispatchTable {
 
     /// Loads a table saved by [`DispatchTable::save`].
     ///
-    /// Every line must parse, carry a matching `n`, and describe a
-    /// structurally valid configuration — a table that silently dropped or
-    /// mangled entries would mis-dispatch every request routed through it,
-    /// so corruption is an `InvalidData` error, never a default.
+    /// A `{"provenance": ...}` first line, when present, is parsed into
+    /// [`DispatchTable::provenance`]; files from before provenance existed
+    /// (entry lines only) load with `provenance = None`. Every entry line
+    /// must parse, carry a matching `n`, and describe a structurally valid
+    /// configuration — a table that silently dropped or mangled entries
+    /// would mis-dispatch every request routed through it, so corruption
+    /// is an `InvalidData` error, never a default.
     pub fn load(path: &Path) -> std::io::Result<Self> {
         let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
         let f = std::io::BufReader::new(std::fs::File::open(path)?);
         let mut table = BTreeMap::new();
+        let mut provenance = None;
+        let mut saw_entry = false;
         for (lineno, line) in f.lines().enumerate() {
             let line = line?;
             if line.trim().is_empty() {
@@ -129,6 +170,20 @@ impl DispatchTable {
             }
             let v: serde_json::Value = serde_json::from_str(&line)
                 .map_err(|e| bad(format!("line {}: {e}", lineno + 1)))?;
+            if let Some(p) = v.get("provenance") {
+                if saw_entry || provenance.is_some() {
+                    return Err(bad(format!(
+                        "line {}: provenance must be the single first line",
+                        lineno + 1
+                    )));
+                }
+                provenance = Some(
+                    serde_json::from_value::<TableProvenance>(p.clone())
+                        .map_err(|e| bad(format!("line {}: bad provenance: {e}", lineno + 1)))?,
+                );
+                continue;
+            }
+            saw_entry = true;
             let n = v["n"]
                 .as_u64()
                 .ok_or_else(|| bad(format!("line {}: missing n", lineno + 1)))?
@@ -152,7 +207,7 @@ impl DispatchTable {
                 )));
             }
         }
-        Ok(DispatchTable { table })
+        Ok(DispatchTable { table, provenance })
     }
 }
 

@@ -5,13 +5,11 @@
 //! few evaluations?
 
 use crate::record::Measurement;
-use crate::runner::measure_cached;
+use crate::runner::SweepOptions;
+use crate::select::{run_search, HillSelector};
 use crate::space::ParamSpace;
 use ibcf_gpu_sim::{GpuSpec, TraceCache};
 use ibcf_kernels::{KernelConfig, PlanKey};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use std::collections::HashMap;
 
 /// A configuration chosen without any sweep data — the zero-measurement
 /// fallback the serving layer uses when no dispatch table exists yet.
@@ -42,13 +40,9 @@ pub struct SearchResult {
     pub evaluations: usize,
 }
 
-fn key(c: &KernelConfig) -> String {
-    format!("{c}")
-}
-
 /// Neighbors of a configuration: one parameter moved one step within the
 /// space.
-fn neighbors(space: &ParamSpace, c: &KernelConfig) -> Vec<KernelConfig> {
+pub(crate) fn neighbors(space: &ParamSpace, c: &KernelConfig) -> Vec<KernelConfig> {
     let mut out = Vec::new();
     let step = |vals: &[usize], cur: usize| -> Vec<usize> {
         let i = vals.iter().position(|&v| v == cur);
@@ -93,6 +87,12 @@ fn neighbors(space: &ParamSpace, c: &KernelConfig) -> Vec<KernelConfig> {
 /// Hill climbing with random restarts over the space restricted to one
 /// arithmetic mode and cache preference (the paper's Table I variables
 /// that actually move performance).
+///
+/// A thin wrapper over the shared selector driver ([`run_search`] with a
+/// [`HillSelector`]): the driver owns the measurement loop, the
+/// configuration dedup (restarts that re-pick a visited configuration
+/// reuse its measurement instead of inflating `evaluations`), and the
+/// plan cache that makes structural-neighbor revisits price-only.
 pub fn hill_climb(
     space: &ParamSpace,
     n: usize,
@@ -101,64 +101,16 @@ pub fn hill_climb(
     restarts: usize,
     seed: u64,
 ) -> SearchResult {
-    let mut rng = StdRng::seed_from_u64(seed);
-    // Memoized evaluations: a configuration is measured (and counted)
-    // at most once, so random restarts that re-pick an already-visited
-    // start reuse its measurement instead of inflating `evaluations` —
-    // the count the guided-vs-exhaustive comparison rests on.
-    let mut seen: HashMap<String, Measurement> = HashMap::new();
-    let mut evals = 0usize;
-    // Online tuning revisits structural neighbors constantly (fast_math
-    // and chunk-size moves keep the instruction stream); a local plan
-    // cache makes those evaluations price-only.
+    let opts = SweepOptions {
+        batch,
+        ..Default::default()
+    };
     let cache: TraceCache<PlanKey> = TraceCache::default();
-    let eval = |c: &KernelConfig, seen: &mut HashMap<String, Measurement>, evals: &mut usize| {
-        if let Some(m) = seen.get(&key(c)) {
-            return m.clone();
-        }
-        *evals += 1;
-        let m = measure_cached(c, batch, spec, &cache);
-        seen.insert(key(c), m.clone());
-        m
-    };
-
-    let pick = |rng: &mut StdRng, space: &ParamSpace| KernelConfig {
-        n,
-        nb: space.nb[rng.random_range(0..space.nb.len())],
-        looking: space.looking[rng.random_range(0..space.looking.len())],
-        chunked: space.chunked[rng.random_range(0..space.chunked.len())],
-        chunk_size: space.chunk_size[rng.random_range(0..space.chunk_size.len())],
-        unroll: space.unroll[rng.random_range(0..space.unroll.len())],
-        fast_math: space.fast_math[0],
-        cache_pref: space.cache_pref[0],
-    };
-
-    let mut best: Option<Measurement> = None;
-    for _ in 0..restarts.max(1) {
-        let mut cur = eval(&pick(&mut rng, space), &mut seen, &mut evals);
-        loop {
-            let mut improved = false;
-            for nb in neighbors(space, &cur.config) {
-                if seen.contains_key(&key(&nb)) {
-                    continue;
-                }
-                let m = eval(&nb, &mut seen, &mut evals);
-                if m.gflops > cur.gflops {
-                    cur = m;
-                    improved = true;
-                }
-            }
-            if !improved {
-                break;
-            }
-        }
-        if best.as_ref().is_none_or(|b| cur.gflops > b.gflops) {
-            best = Some(cur);
-        }
-    }
+    let mut selector = HillSelector::new(restarts, seed);
+    let outcome = run_search(&mut selector, space, n, spec, &opts, &cache);
     SearchResult {
-        best: best.expect("at least one restart"),
-        evaluations: evals,
+        best: outcome.best,
+        evaluations: outcome.evaluated,
     }
 }
 

@@ -8,16 +8,19 @@
 
 #![warn(missing_docs)]
 
+pub mod analytic;
 pub mod best;
 pub mod dispatch;
 pub mod heuristics;
 pub mod log;
 pub mod record;
 pub mod runner;
+pub mod select;
 pub mod space;
 
+pub use analytic::{best_config, rank_candidates, score_config, AnalyticScore};
 pub use best::BestTable;
-pub use dispatch::{DispatchTable, TunedDispatch};
+pub use dispatch::{DispatchTable, TableProvenance, TunedDispatch};
 pub use log::{
     grid_configs, merge_logs, MergeReport, ShardSpec, SweepLog, SweepLogEntry, SweepLogHeader,
     SweepLogWriter,
@@ -27,5 +30,10 @@ pub use runner::{
     measure, measure_cached, measure_noisy, measure_noisy_cached, sweep, sweep_sizes,
     sweep_sizes_logged, sweep_sizes_with, LoggedSweepReport, ProgressSink, SilentProgress,
     StderrProgress, SweepOptions, SweepReport,
+};
+pub use select::{
+    run_search, run_sizes, run_sizes_logged, AnalyticSelector, Candidate, Evaluation,
+    ExhaustiveSelector, HeuristicSelector, HillSelector, SelectCtx, SelectionReport, Selector,
+    SelectorKind, SizeOutcome,
 };
 pub use space::ParamSpace;

@@ -92,13 +92,21 @@ pub struct SweepReport {
 }
 
 impl SweepReport {
-    /// Configurations measured per wall-clock second.
+    /// Configurations measured per wall-clock second. Guarded: an empty
+    /// sweep, a zero/negative wall clock, or a non-finite wall clock all
+    /// report `0.0` rather than NaN or infinity.
     pub fn configs_per_sec(&self) -> f64 {
-        if self.wall_s > 0.0 {
-            self.dataset.measurements.len() as f64 / self.wall_s
-        } else {
-            0.0
-        }
+        rate(self.dataset.measurements.len(), self.wall_s)
+    }
+}
+
+/// `count / wall_s`, guarded so degenerate inputs (empty, zero, negative,
+/// or non-finite wall clock) yield `0.0` instead of NaN or infinity.
+pub(crate) fn rate(count: usize, wall_s: f64) -> f64 {
+    if count == 0 || !wall_s.is_finite() || wall_s <= 0.0 {
+        0.0
+    } else {
+        count as f64 / wall_s
     }
 }
 
@@ -282,7 +290,7 @@ pub fn sweep_sizes_with(
 }
 
 /// One measurement under the sweep's options (noise model, shared cache).
-fn measure_opts(
+pub(crate) fn measure_opts(
     config: &KernelConfig,
     spec: &GpuSpec,
     opts: &SweepOptions,
@@ -316,6 +324,16 @@ pub struct LoggedSweepReport {
     pub dropped_tail: Option<String>,
     /// The shard of the grid this run covered.
     pub shard: ShardSpec,
+}
+
+impl LoggedSweepReport {
+    /// Freshly measured configurations per wall-clock second. Guarded like
+    /// [`SweepReport::configs_per_sec`]: a fully resumed run (nothing
+    /// measured) or a degenerate wall clock reports `0.0`, never NaN or
+    /// infinity.
+    pub fn measured_per_sec(&self) -> f64 {
+        rate(self.measured, self.report.wall_s)
+    }
 }
 
 /// [`sweep_sizes_with`] made crash-safe and resumable: every completed

@@ -95,6 +95,38 @@ impl ParamSpace {
         out
     }
 
+    /// The index of `config` in the [`ParamSpace::configs`] enumeration of
+    /// its own `n`, or `None` when any axis value lies outside the space.
+    /// This is the per-size half of the canonical grid `seq` the sweep log
+    /// tags entries with, so guided searches can share the exhaustive
+    /// sweep's log format.
+    pub fn index_of(&self, config: &ibcf_kernels::KernelConfig) -> Option<usize> {
+        let pos_usize = |vals: &[usize], v: usize| vals.iter().position(|&x| x == v);
+        let i_nb = pos_usize(&self.nb, config.nb)?;
+        let i_lk = self.looking.iter().position(|&x| x == config.looking)?;
+        let i_ch = self.chunked.iter().position(|&x| x == config.chunked)?;
+        let i_cs = pos_usize(&self.chunk_size, config.chunk_size)?;
+        let i_un = self.unroll.iter().position(|&x| x == config.unroll)?;
+        let i_fm = self.fast_math.iter().position(|&x| x == config.fast_math)?;
+        let i_cp = self
+            .cache_pref
+            .iter()
+            .position(|&x| x == config.cache_pref)?;
+        let mut idx = i_nb;
+        idx = idx * self.looking.len() + i_lk;
+        idx = idx * self.chunked.len() + i_ch;
+        idx = idx * self.chunk_size.len() + i_cs;
+        idx = idx * self.unroll.len() + i_un;
+        idx = idx * self.fast_math.len() + i_fm;
+        idx = idx * self.cache_pref.len() + i_cp;
+        Some(idx)
+    }
+
+    /// `true` if every axis value of `config` is listed in this space.
+    pub fn contains(&self, config: &ibcf_kernels::KernelConfig) -> bool {
+        self.index_of(config).is_some()
+    }
+
     /// The paper's default size sweep (8 sizes × the full space ≈ 15k
     /// configurations, matching the reported "over 14,000 measurements").
     pub fn paper_sizes() -> Vec<usize> {
@@ -121,6 +153,25 @@ mod tests {
         for c in s.configs(17) {
             c.validate().unwrap_or_else(|e| panic!("{c}: {e}"));
         }
+    }
+
+    #[test]
+    fn index_of_inverts_configs_enumeration() {
+        for space in [ParamSpace::paper(), ParamSpace::quick()] {
+            for (i, c) in space.configs(17).iter().enumerate() {
+                assert_eq!(space.index_of(c), Some(i), "{c}");
+                assert!(space.contains(c));
+            }
+        }
+    }
+
+    #[test]
+    fn index_of_rejects_out_of_space_configs() {
+        let space = ParamSpace::quick();
+        let mut c = KernelConfig::baseline(16);
+        c.nb = 3; // quick space has nb ∈ {1, 2, 4, 8}
+        assert_eq!(space.index_of(&c), None);
+        assert!(!space.contains(&c));
     }
 
     #[test]

@@ -126,6 +126,78 @@ fn semantic_corruption_is_rejected() {
 }
 
 #[test]
+fn pre_provenance_fixture_still_loads() {
+    // A table saved before provenance existed (checked-in fixture, entry
+    // lines only) must load unchanged, with `provenance = None` — the
+    // backward-compat contract of the provenance header line.
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/dispatch_v0.jsonl");
+    let table = DispatchTable::load(&path).unwrap();
+    assert!(table.provenance.is_none());
+    assert_eq!(table.len(), 3);
+    for n in [8usize, 16, 24] {
+        let c = table
+            .table
+            .get(&n)
+            .unwrap_or_else(|| panic!("missing n={n}"));
+        assert_eq!(c.n, n);
+        c.validate().unwrap();
+    }
+    // The fixture exercises both variants of every enum axis the v0
+    // format serialized.
+    assert!(table.table[&8].unroll == ibcf_kernels::Unroll::Full);
+    assert!(table.table[&24].fast_math && !table.table[&24].chunked);
+
+    // Saving a provenance-free table reproduces the v0 byte format
+    // exactly, so old readers keep working on new writers too.
+    let out = tmpfile("v0_resave", 0);
+    table.save(&out).unwrap();
+    assert_eq!(
+        std::fs::read_to_string(&out).unwrap(),
+        std::fs::read_to_string(&path).unwrap()
+    );
+    std::fs::remove_file(&out).ok();
+}
+
+#[test]
+fn provenance_round_trips_and_rejects_misplacement() {
+    use ibcf_autotune::TableProvenance;
+    let mut table = random_table(7);
+    table.table.insert(16, heuristic_config(16));
+    table.provenance = Some(TableProvenance {
+        selector: "analytic".into(),
+        gpu: "NVIDIA P100 (Pascal)".into(),
+        batch: 16_384,
+        configs_evaluated: 96,
+        grid_total: 960,
+        regret_bound: Some(0.031),
+    });
+    let path = tmpfile("prov", 1);
+    table.save(&path).unwrap();
+    let back = DispatchTable::load(&path).unwrap();
+    assert_eq!(back.provenance, table.provenance);
+    assert_eq!(back.table, table.table);
+
+    // The provenance line anywhere but first — or duplicated — is
+    // corruption, not data.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut lines: Vec<&str> = text.lines().collect();
+    assert!(lines[0].contains("provenance"));
+    lines.rotate_left(1);
+    std::fs::write(&path, lines.join("\n")).unwrap();
+    assert_eq!(
+        DispatchTable::load(&path).unwrap_err().kind(),
+        ErrorKind::InvalidData
+    );
+    let first = text.lines().next().unwrap();
+    std::fs::write(&path, format!("{first}\n{text}")).unwrap();
+    assert_eq!(
+        DispatchTable::load(&path).unwrap_err().kind(),
+        ErrorKind::InvalidData
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn heuristic_fallback_is_valid_at_every_size() {
     for n in 1..=64 {
         let c = heuristic_config(n);

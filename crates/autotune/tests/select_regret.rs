@@ -1,0 +1,181 @@
+//! Cross-layer acceptance tests for the selector layer.
+//!
+//! Three contracts, straight from the roadmap item that introduced the
+//! pluggable selectors: the analytic prior may only ever propose
+//! configurations inside the parameter space it was asked to rank (a
+//! candidate outside the space could never be logged or resumed); the
+//! early-stopped analytic search must land within 5% of the exhaustive
+//! winner while measuring a strict subset of the grid; and a guided
+//! search writes the same CRC-framed sweep log the exhaustive sweep
+//! does, so `resume`/`verify-log` semantics carry over unchanged.
+
+use ibcf_autotune::{
+    rank_candidates, run_sizes, run_sizes_logged, BestTable, ParamSpace, SelectorKind, ShardSpec,
+    SilentProgress, SweepLog, SweepOptions,
+};
+use ibcf_gpu_sim::GpuSpec;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn opts(batch: usize) -> SweepOptions {
+    SweepOptions {
+        batch,
+        progress_every: 0,
+        ..Default::default()
+    }
+}
+
+fn tmpfile(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ibcf_select_regret_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}.log"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every candidate the analytic prior ranks — for any size, any GPU
+    /// preset, any batch — is a member of the space it ranked, is
+    /// structurally valid, and the ranking covers the whole per-size grid
+    /// exactly once.
+    #[test]
+    fn analytic_candidates_stay_inside_the_paper_space(
+        n in 1..=64usize,
+        spec_idx in 0..4usize,
+        batch_pow in 8..=14u32,
+    ) {
+        let space = ParamSpace::paper();
+        let spec = &GpuSpec::presets()[spec_idx];
+        let batch = 1usize << batch_pow;
+        let ranked = rank_candidates(&space, n, batch, spec);
+        prop_assert_eq!(ranked.len(), space.len_per_n());
+        let mut seen = std::collections::HashSet::new();
+        for s in &ranked {
+            prop_assert!(space.contains(&s.config), "{} not in space", s.config);
+            s.config.validate().map_err(|e| {
+                TestCaseError::fail(format!("{}: {e}", s.config))
+            })?;
+            prop_assert_eq!(s.config.n, n);
+            prop_assert!(s.time_s.is_finite() && s.time_s > 0.0);
+            prop_assert!(seen.insert(space.index_of(&s.config).unwrap()), "duplicate candidate");
+        }
+    }
+}
+
+/// The headline regret contract on the quick space: at every size the
+/// analytic early-stopped search must sit within 5% of the exhaustive
+/// winner's time while evaluating strictly fewer configurations.
+#[test]
+fn analytic_search_is_within_five_percent_of_exhaustive() {
+    let space = ParamSpace::quick();
+    let spec = GpuSpec::p100();
+    let sizes = [8usize, 16, 24, 32];
+    let o = opts(4096);
+
+    let exhaustive = run_sizes(
+        SelectorKind::Exhaustive,
+        &space,
+        &sizes,
+        &spec,
+        &o,
+        &SilentProgress,
+    );
+    let exhaustive_ds = exhaustive.dataset(&space);
+    let truth = BestTable::new(&exhaustive_ds);
+
+    let analytic = run_sizes(
+        SelectorKind::Analytic,
+        &space,
+        &sizes,
+        &spec,
+        &o,
+        &SilentProgress,
+    );
+    assert!(
+        analytic.evaluated() < exhaustive.evaluated(),
+        "guided search measured the whole grid ({} of {})",
+        analytic.evaluated(),
+        exhaustive.evaluated()
+    );
+    for out in &analytic.outcomes {
+        let best = truth.best(out.n).expect("exhaustive covers every size");
+        assert!(
+            out.best.time_s <= 1.05 * best.time_s,
+            "n={}: analytic pick {:.3e}s vs exhaustive best {:.3e}s (regret {:.1}%)",
+            out.n,
+            out.best.time_s,
+            best.time_s,
+            (out.best.time_s / best.time_s - 1.0) * 100.0
+        );
+        assert!(
+            out.evaluated <= out.grid_total,
+            "n={}: evaluated more than the grid",
+            out.n
+        );
+    }
+}
+
+/// A guided search writes the same crash-safe log the exhaustive sweep
+/// writes: the log validates, every sequence number is a canonical grid
+/// index, and re-running against the same log resumes every measurement
+/// instead of re-measuring.
+#[test]
+fn analytic_log_is_resumable_and_verifiable() {
+    let space = ParamSpace::quick();
+    let spec = GpuSpec::p100();
+    let sizes = [8usize, 16];
+    let o = opts(2048);
+    let path = tmpfile("analytic");
+    std::fs::remove_file(&path).ok();
+
+    let first = run_sizes_logged(
+        SelectorKind::Analytic,
+        &space,
+        &sizes,
+        &spec,
+        &o,
+        &SilentProgress,
+        &path,
+        ShardSpec::whole(),
+    )
+    .unwrap();
+    assert_eq!(first.resumed, 0);
+    assert!(first.evaluated() > 0);
+
+    // The log a guided selector writes is a valid sweep log.
+    let log = SweepLog::read(&path, false).unwrap();
+    log.header.validate().unwrap();
+    assert_eq!(log.dropped_tail, None);
+    assert_eq!(log.duplicates, 0);
+    assert_eq!(log.entries.len(), first.evaluated());
+    let grid = sizes.len() * space.len_per_n();
+    for e in &log.entries {
+        assert!(e.seq < grid, "seq {} outside grid {grid}", e.seq);
+    }
+
+    // A second run against the same log measures nothing fresh and lands
+    // on the same winners.
+    let second = run_sizes_logged(
+        SelectorKind::Analytic,
+        &space,
+        &sizes,
+        &spec,
+        &o,
+        &SilentProgress,
+        &path,
+        ShardSpec::whole(),
+    )
+    .unwrap();
+    assert_eq!(second.resumed, first.evaluated());
+    for out in &second.outcomes {
+        assert_eq!(out.measured_fresh, 0, "n={} re-measured", out.n);
+        let was = first
+            .outcomes
+            .iter()
+            .find(|o| o.n == out.n)
+            .expect("same sizes");
+        assert_eq!(out.best.config, was.best.config, "n={}", out.n);
+        assert_eq!(out.best.time_s, was.best.time_s, "n={}", out.n);
+    }
+    std::fs::remove_file(&path).ok();
+}

@@ -2,9 +2,9 @@
 
 use crate::args::Args;
 use ibcf_autotune::{
-    merge_logs, sweep_sizes, sweep_sizes_logged, sweep_sizes_with, BestTable, Dataset,
-    LoggedSweepReport, Measurement, ParamSpace, ShardSpec, StderrProgress, SweepLog, SweepOptions,
-    SweepReport, TunedDispatch,
+    merge_logs, run_sizes, run_sizes_logged, sweep_sizes, sweep_sizes_logged, sweep_sizes_with,
+    BestTable, Dataset, LoggedSweepReport, Measurement, ParamSpace, SelectionReport, SelectorKind,
+    ShardSpec, StderrProgress, SweepLog, SweepOptions, SweepReport, TunedDispatch,
 };
 use ibcf_core::flops::cholesky_flops_std;
 use ibcf_core::host_batch::{factorize_batch, factorize_batch_seq, BatchReport};
@@ -25,13 +25,17 @@ ibcf - interleaved batch Cholesky factorization (IPPS'17 reproduction)
 
 commands:
   simulate  --n N [--nb NB] [--looking right|left|top] [--chunk C]
-            [--simple] [--full] [--fast] [--batch B] [--gpu p100|v100]
+            [--simple] [--full] [--fast] [--batch B]
+            [--gpu p100|v100|a100|gtx1080]
             time one kernel configuration on the simulator
   best      --n N [--batch B] [--quick]      sweep one size, print winners
   sweep     --sizes 8,16,24 [--out F.jsonl] [--log F.log] [--shard i/k]
             [--batch B] [--quick] [--noise SIGMA] [--noise-seed S]
-            run an exhaustive sweep and persist the dataset; with --log,
-            stream every measurement to a crash-safe resumable log
+            [--selector exhaustive|analytic|hill]
+            run a sweep and persist the dataset; with --log, stream every
+            measurement to a crash-safe resumable log; --selector swaps
+            the exhaustive grid for a model-guided or hill-climbing
+            search over the same logging machinery
   resume    --log F.log [--out F.jsonl]
             finish an interrupted sweep from its log (all sweep
             parameters come from the log header)
@@ -41,7 +45,13 @@ commands:
             validate a sweep log (checksums, grid, coverage)
   analyze   --data F.jsonl [--trees T]       random-forest importances
   tune      --data F.jsonl --out D.jsonl [--fast]
-            build a per-size dispatch table from a sweep dataset
+            build a per-size dispatch table from a sweep dataset; or
+  tune      --out D.jsonl [--sizes 8,...,64] [--selector analytic|hill]
+            [--gpu G] [--batch B] [--quick] [--regret]
+            search directly (no dataset needed): the analytic model
+            ranks candidates and early stopping measures only the
+            plausible ones; --regret also runs the exhaustive
+            reference and prints the true per-size regret
   emit      --n N [--nb NB] [--looking L] [--full] [--out F.cu]
             emit the generated CUDA C source
   verify    --n N [--batch B] [--fast]       functional factorization check
@@ -50,9 +60,10 @@ commands:
             rayon-gather vs the in-place lane-vectorized engine
   serve     [--host H] [--port P] [--workers W] [--queue-cap Q]
             [--max-batch B] [--max-delay-us D] [--max-n N] [--dispatch F]
+            [--analytic G]
             run the dynamic-batching factorization service over TCP
-            (engine plans come from the tuned dispatch table F when
-            given, from heuristics otherwise)
+            (engine plans fall back table -> analytic model for gpu G
+            -> heuristics; each tier is optional)
   loadgen   [--addr H:P] [--sizes 16,24] [--dtype f32|f64]
             [--requests R] [--conns C] [--window W | --rate R/s]
             [--plant-bad K] [--seed S] [--deadline-us D] [--retry]
@@ -73,11 +84,15 @@ commands:
 ";
 
 fn gpu_of(args: &Args) -> Result<GpuSpec, String> {
-    match args.get("gpu", "p100".to_string())?.as_str() {
-        "p100" => Ok(GpuSpec::p100()),
-        "v100" => Ok(GpuSpec::v100()),
-        other => Err(format!("unknown gpu {other} (use p100 or v100)")),
-    }
+    let name = args.get("gpu", "p100".to_string())?;
+    GpuSpec::by_name(&name)
+        .ok_or_else(|| format!("unknown gpu {name} (use p100, v100, a100, or gtx1080)"))
+}
+
+fn selector_of(args: &Args) -> Result<SelectorKind, String> {
+    let name = args.get("selector", "exhaustive".to_string())?;
+    SelectorKind::parse(&name)
+        .ok_or_else(|| format!("unknown selector {name} (use exhaustive, analytic, or hill)"))
 }
 
 fn config_of(args: &Args) -> Result<KernelConfig, String> {
@@ -239,12 +254,10 @@ fn parse_sizes(s: &str) -> Result<Vec<usize>, String> {
 
 /// The GPU spec whose `name` a sweep-log header recorded.
 fn spec_from_name(name: &str) -> Result<GpuSpec, String> {
-    for spec in [GpuSpec::p100(), GpuSpec::v100()] {
-        if spec.name == name {
-            return Ok(spec);
-        }
-    }
-    Err(format!("log was swept on unknown gpu {name:?}"))
+    GpuSpec::presets()
+        .into_iter()
+        .find(|spec| spec.name == name)
+        .ok_or_else(|| format!("log was swept on unknown gpu {name:?}"))
 }
 
 fn print_sweep_stats(report: &SweepReport) {
@@ -290,7 +303,42 @@ fn finish_logged(args: &Args, logged: &LoggedSweepReport, log: &str) -> i32 {
     0
 }
 
+/// Prints per-size selection stats (evaluations vs grid, regret bounds).
+fn print_selection_stats(report: &SelectionReport) {
+    for o in &report.outcomes {
+        let bound = o
+            .regret_bound
+            .map_or("-".to_string(), |b| format!("{:.1}%", b * 100.0));
+        println!(
+            "  n={:<4} best {:>8.0} GFLOP/s  {}/{} configs{}  regret bound {bound}",
+            o.n,
+            o.best.gflops,
+            o.evaluated,
+            o.grid_total,
+            if o.stopped_early {
+                " (stopped early)"
+            } else {
+                ""
+            },
+        );
+    }
+    println!(
+        "selector {}: {}/{} configurations evaluated in {:.2}s ({:.0} configs/s)",
+        report.selector,
+        report.evaluated(),
+        report.grid_total(),
+        report.wall_s,
+        report.configs_per_sec()
+    );
+}
+
 /// `ibcf sweep`: persist a dataset, optionally through a crash-safe log.
+///
+/// `--selector` swaps the strategy: `exhaustive` (default) measures the
+/// whole grid; `analytic` measures the analytic model's ranking with
+/// early stopping; `hill` runs restarted hill climbing. All strategies
+/// share the logging/resume machinery (`--log`), though only the
+/// exhaustive sweep shards.
 pub fn sweep(args: &Args) -> i32 {
     let sizes = match args.require("sizes").and_then(parse_sizes) {
         Ok(s) => s,
@@ -320,9 +368,9 @@ pub fn sweep(args: &Args) -> i32 {
     if shard.count > 1 && log.is_none() {
         return fail("--shard requires --log (shard logs are what merge reassembles)");
     }
-    let spec = match gpu_of(args) {
-        Ok(s) => s,
-        Err(e) => return fail(e),
+    let (spec, kind) = match (gpu_of(args), selector_of(args)) {
+        (Ok(s), Ok(k)) => (s, k),
+        (Err(e), _) | (_, Err(e)) => return fail(e),
     };
     let space = if args.flag("quick") {
         ParamSpace::quick()
@@ -336,35 +384,82 @@ pub fn sweep(args: &Args) -> i32 {
         progress_every: 2000,
         ..Default::default()
     };
+    if kind == SelectorKind::Exhaustive {
+        eprintln!(
+            "sweeping {} configurations ({} sizes x {}, shard {shard})...",
+            shard.owned_of(sizes.len() * space.len_per_n()),
+            sizes.len(),
+            space.len_per_n()
+        );
+        if let Some(log) = log {
+            let logged = match sweep_sizes_logged(
+                &space,
+                &sizes,
+                &spec,
+                &opts,
+                &StderrProgress,
+                Path::new(&log),
+                shard,
+            ) {
+                Ok(r) => r,
+                Err(e) => return fail(e),
+            };
+            return finish_logged(args, &logged, &log);
+        }
+        let report = sweep_sizes_with(&space, &sizes, &spec, &opts, &StderrProgress);
+        let ds = &report.dataset;
+        let out = out.expect("out required without --log");
+        if let Err(e) = ds.save_jsonl(Path::new(&out)) {
+            return fail(format!("{out}: {e}"));
+        }
+        println!("wrote {} measurements to {out}", ds.measurements.len());
+        print_sweep_stats(&report);
+        return 0;
+    }
+    // Guided strategies: same driver, same log format, no sharding.
+    if shard != ShardSpec::whole() {
+        return fail(format!(
+            "--selector {} does not shard; use --selector exhaustive",
+            kind.name()
+        ));
+    }
     eprintln!(
-        "sweeping {} configurations ({} sizes x {}, shard {shard})...",
-        shard.owned_of(sizes.len() * space.len_per_n()),
+        "searching {} sizes x up to {} configurations with selector {}...",
         sizes.len(),
-        space.len_per_n()
+        space.len_per_n(),
+        kind.name()
     );
-    if let Some(log) = log {
-        let logged = match sweep_sizes_logged(
+    let report = if let Some(log) = &log {
+        match run_sizes_logged(
+            kind,
             &space,
             &sizes,
             &spec,
             &opts,
             &StderrProgress,
-            Path::new(&log),
+            Path::new(log),
             shard,
         ) {
             Ok(r) => r,
             Err(e) => return fail(e),
-        };
-        return finish_logged(args, &logged, &log);
+        }
+    } else {
+        run_sizes(kind, &space, &sizes, &spec, &opts, &StderrProgress)
+    };
+    if let Some(tail) = &report.dropped_tail {
+        eprintln!("recovered log: {tail}");
     }
-    let report = sweep_sizes_with(&space, &sizes, &spec, &opts, &StderrProgress);
-    let ds = &report.dataset;
-    let out = out.expect("out required without --log");
-    if let Err(e) = ds.save_jsonl(Path::new(&out)) {
-        return fail(format!("{out}: {e}"));
+    if report.resumed > 0 {
+        println!("resumed {} measurements from the log", report.resumed);
     }
-    println!("wrote {} measurements to {out}", ds.measurements.len());
-    print_sweep_stats(&report);
+    if let Some(out) = out {
+        let ds = report.dataset(&space);
+        if let Err(e) = ds.save_jsonl(Path::new(&out)) {
+            return fail(format!("{out}: {e}"));
+        }
+        println!("wrote {} measurements to {out}", ds.measurements.len());
+    }
+    print_selection_stats(&report);
     0
 }
 
@@ -539,31 +634,120 @@ pub fn analyze(args: &Args) -> i32 {
     0
 }
 
-/// `ibcf tune`: dispatch table from a sweep dataset.
+/// `ibcf tune`: build a dispatch table, either from a saved sweep dataset
+/// (`--data`, the original path) or by searching directly (`--sizes` with
+/// a `--selector`, the model-guided fast path: no full sweep required).
 pub fn tune(args: &Args) -> i32 {
-    let data = match args.require("data") {
-        Ok(p) => p.to_string(),
-        Err(e) => return fail(e),
-    };
     let out = match args.require("out") {
         Ok(o) => o.to_string(),
         Err(e) => return fail(e),
     };
-    let ds = match Dataset::load_jsonl(Path::new(&data)) {
-        Ok(d) => d,
-        Err(e) => return fail(format!("{data}: {e}")),
-    };
-    let fast = if args.flag("fast") { None } else { Some(false) };
-    let dispatch = TunedDispatch::from_dataset(&ds, fast);
-    if dispatch.is_empty() {
-        return fail("dataset produced an empty dispatch table");
+    if let Some(data) = args.options.get("data") {
+        let ds = match Dataset::load_jsonl(Path::new(data)) {
+            Ok(d) => d,
+            Err(e) => return fail(format!("{data}: {e}")),
+        };
+        let fast = if args.flag("fast") { None } else { Some(false) };
+        let dispatch = TunedDispatch::from_dataset(&ds, fast);
+        return finish_tune(dispatch, &out);
     }
-    if let Err(e) = dispatch.save(Path::new(&out)) {
+    // Fast path: search now, on the simulator, with the chosen selector.
+    let sizes = match args
+        .options
+        .get("sizes")
+        .map_or_else(|| Ok(ParamSpace::paper_sizes()), |s| parse_sizes(s))
+    {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    if sizes.is_empty() || sizes.contains(&0) {
+        return fail("--sizes entries must be positive");
+    }
+    let batch = match args.get("batch", 16_384usize) {
+        Ok(b) => b,
+        Err(e) => return fail(e),
+    };
+    let spec = match gpu_of(args) {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    let kind = match args.get("selector", "analytic".to_string()) {
+        Ok(name) => match SelectorKind::parse(&name) {
+            Some(k) => k,
+            None => return fail(format!("unknown selector {name}")),
+        },
+        Err(e) => return fail(e),
+    };
+    let space = if args.flag("quick") {
+        ParamSpace::quick()
+    } else {
+        ParamSpace::paper()
+    };
+    let opts = SweepOptions {
+        batch,
+        progress_every: 0,
+        ..Default::default()
+    };
+    eprintln!(
+        "tuning {} sizes on {} with selector {}...",
+        sizes.len(),
+        spec.name,
+        kind.name()
+    );
+    let report = run_sizes(kind, &space, &sizes, &spec, &opts, &StderrProgress);
+    print_selection_stats(&report);
+    if args.flag("regret") {
+        // Measure the true exhaustive winner per size and report how far
+        // the guided pick landed from it.
+        eprintln!("computing exhaustive reference for regret...");
+        let exhaustive = sweep_sizes_with(&space, &sizes, &spec, &opts, &StderrProgress);
+        let best = BestTable::new(&exhaustive.dataset);
+        let mut worst: f64 = 0.0;
+        for o in &report.outcomes {
+            let truth = best.best(o.n).expect("exhaustive covers every size");
+            let regret = o.best.time_s / truth.time_s - 1.0;
+            worst = worst.max(regret);
+            println!(
+                "  n={:<4} regret {:>6.2}%  (picked {:.0} vs true best {:.0} GFLOP/s)",
+                o.n,
+                regret * 100.0,
+                o.best.gflops,
+                truth.gflops
+            );
+        }
+        println!(
+            "worst regret {:.2}% at {}/{} of exhaustive cost",
+            worst * 100.0,
+            report.evaluated(),
+            report.grid_total()
+        );
+    }
+    finish_tune(report.dispatch_table(), &out)
+}
+
+/// Validates, saves, and prints a freshly built dispatch table.
+fn finish_tune(dispatch: TunedDispatch, out: &str) -> i32 {
+    if dispatch.is_empty() {
+        return fail("tuning produced an empty dispatch table");
+    }
+    if let Err(e) = dispatch.save(Path::new(out)) {
         return fail(format!("{out}: {e}"));
     }
     println!("tuned {} sizes:", dispatch.len());
     for (n, config) in &dispatch.table {
         println!("  n={n:<4} -> {config}");
+    }
+    if let Some(p) = &dispatch.provenance {
+        println!(
+            "provenance: selector {}, {}/{} configs evaluated{}",
+            p.selector,
+            p.configs_evaluated,
+            p.grid_total,
+            p.regret_bound.map_or(String::new(), |b| format!(
+                ", regret bound {:.1}%",
+                b * 100.0
+            ))
+        );
     }
     println!("wrote {out}");
     0
@@ -753,6 +937,16 @@ pub fn serve(args: &Args) -> i32 {
             Err(e) => return fail(format!("loading dispatch table {path}: {e}")),
         },
     };
+    // The analytic middle tier: sizes the table cannot answer are
+    // resolved by the model for the named GPU (at the paper's batch)
+    // before falling back to the heuristic.
+    let selector = match args.options.get("analytic") {
+        None => selector,
+        Some(name) => match GpuSpec::by_name(name) {
+            Some(spec) => selector.with_analytic(spec, 16_384),
+            None => return fail(format!("unknown gpu {name} for --analytic")),
+        },
+    };
     let config = ServiceConfig {
         workers,
         queue_cap,
@@ -769,16 +963,17 @@ pub fn serve(args: &Args) -> i32 {
         Ok(a) => a,
         Err(e) => return fail(e),
     };
+    let engine = match (selector.is_tuned(), selector.has_analytic()) {
+        (true, true) => "tuned+analytic",
+        (true, false) => "tuned",
+        (false, true) => "analytic",
+        (false, false) => "heuristic",
+    };
     let service = Service::start(config, selector);
     let client = service.client();
     println!(
-        "serving on {addr} ({} engine, {workers} worker(s), batch <= {max_batch}, \
-         deadline {max_delay_us} us, queue {queue_cap}, n <= {max_n})",
-        if client.is_tuned() {
-            "tuned"
-        } else {
-            "heuristic"
-        }
+        "serving on {addr} ({engine} engine, {workers} worker(s), batch <= {max_batch}, \
+         deadline {max_delay_us} us, queue {queue_cap}, n <= {max_n})"
     );
     use std::io::Write as _;
     std::io::stdout().flush().ok();

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! ibcf simulate --n 16 [--nb 4] [--looking top] [--chunk 64] [--simple]
-//!               [--full] [--fast] [--batch 16384] [--gpu p100|v100]
+//!               [--full] [--fast] [--batch 16384]
+//!               [--gpu p100|v100|a100|gtx1080]
 //!     Time one kernel configuration and print the full model breakdown.
 //!
 //! ibcf best --n 16 [--batch 16384] [--quick]
@@ -11,8 +12,11 @@
 //!
 //! ibcf sweep --sizes 8,16,24 [--out sweep.jsonl] [--log sweep.log]
 //!            [--shard i/k] [--batch 16384] [--quick]
-//!     Run a full sweep and persist the dataset (JSON lines). With
-//!     --log, stream every measurement to a crash-safe resumable log.
+//!            [--selector exhaustive|analytic|hill]
+//!     Run a sweep and persist the dataset (JSON lines). With --log,
+//!     stream every measurement to a crash-safe resumable log. With
+//!     --selector, swap the exhaustive grid for a model-guided or
+//!     hill-climbing search over the same logging machinery.
 //!
 //! ibcf resume --log sweep.log [--out sweep.jsonl]
 //!     Finish an interrupted sweep from its log.
@@ -28,6 +32,10 @@
 //!
 //! ibcf tune --data sweep.jsonl --out dispatch.jsonl
 //!     Build a per-size kernel dispatch table from a sweep dataset.
+//!
+//! ibcf tune --out dispatch.jsonl [--selector analytic] [--regret]
+//!     Model-guided fast path: build the table by searching directly,
+//!     measuring only the analytic model's plausible candidates.
 //!
 //! ibcf emit --n 16 [--nb 4] [--looking top] [--full] [--out k.cu]
 //!     Emit the CUDA C source the paper's generator would produce.

@@ -198,6 +198,64 @@ impl GpuSpec {
         }
     }
 
+    /// NVIDIA A100 (Ampere, GA100) — the data-center generation after
+    /// Volta: more SMs at a similar clock, a much larger L2 and shared
+    /// memory, and roughly twice the HBM bandwidth.
+    pub fn a100() -> Self {
+        GpuSpec {
+            name: "NVIDIA A100 (Ampere)".to_string(),
+            sms: 108,
+            clock_ghz: 1.41,
+            shared_per_sm: 164 * 1024,
+            max_shared_per_block: 160 * 1024,
+            l2_bytes: 40 * 1024 * 1024,
+            dram_gbps: 1555.0,
+            dram_open_rows: 32,
+            icache_bytes: 32 * 1024,
+            icache_beta: 0.08,
+            ..Self::p100()
+        }
+    }
+
+    /// A consumer-class GeForce card (GTX-1080-like, Pascal GP104):
+    /// fewer, wider SMs, a small L2, and GDDR with smaller row buffers
+    /// and a steeper row-miss penalty than HBM — the regime where the
+    /// paper's chunked layouts matter most.
+    pub fn gtx1080() -> Self {
+        GpuSpec {
+            name: "NVIDIA GTX 1080 (Pascal, GeForce)".to_string(),
+            sms: 20,
+            clock_ghz: 1.733,
+            fp32_lanes_per_sm: 128,
+            shared_per_sm: 96 * 1024,
+            l2_bytes: 2 * 1024 * 1024,
+            dram_gbps: 320.0,
+            dram_row_bytes: 2048,
+            dram_open_rows: 8,
+            dram_row_miss_penalty: 3.0,
+            icache_bytes: 8 * 1024,
+            icache_beta: 0.12,
+            ..Self::p100()
+        }
+    }
+
+    /// Every built-in preset, in presentation order.
+    pub fn presets() -> Vec<GpuSpec> {
+        vec![Self::p100(), Self::v100(), Self::a100(), Self::gtx1080()]
+    }
+
+    /// Looks a preset up by its short CLI name (`p100`, `v100`, `a100`,
+    /// `gtx1080`; `consumer` and `geforce` alias the GeForce preset).
+    pub fn by_name(name: &str) -> Option<GpuSpec> {
+        match name.to_ascii_lowercase().as_str() {
+            "p100" => Some(Self::p100()),
+            "v100" => Some(Self::v100()),
+            "a100" => Some(Self::a100()),
+            "gtx1080" | "1080" | "consumer" | "geforce" => Some(Self::gtx1080()),
+            _ => None,
+        }
+    }
+
     /// Peak FP32 throughput in GFLOP/s (2 flops per lane-FMA per cycle).
     pub fn peak_gflops(&self) -> f64 {
         self.sms as f64 * self.fp32_lanes_per_sm as f64 * 2.0 * self.clock_ghz
@@ -251,6 +309,33 @@ mod tests {
         assert!(v.peak_gflops() > p.peak_gflops());
         assert!(v.dram_gbps > p.dram_gbps);
         assert_eq!(v.warp_size, 32);
+    }
+
+    #[test]
+    fn presets_resolve_by_name() {
+        for spec in GpuSpec::presets() {
+            assert!(spec.sms > 0 && spec.dram_gbps > 0.0, "{}", spec.name);
+        }
+        assert_eq!(GpuSpec::by_name("P100").unwrap().sms, 56);
+        assert_eq!(GpuSpec::by_name("a100").unwrap().sms, 108);
+        assert_eq!(GpuSpec::by_name("consumer").unwrap().sms, 20);
+        assert_eq!(
+            GpuSpec::by_name("geforce").unwrap().name,
+            GpuSpec::by_name("gtx1080").unwrap().name
+        );
+        assert!(GpuSpec::by_name("k80").is_none());
+    }
+
+    #[test]
+    fn a100_and_consumer_bracket_the_p100() {
+        let p = GpuSpec::p100();
+        let a = GpuSpec::a100();
+        let g = GpuSpec::gtx1080();
+        assert!(a.peak_gflops() > p.peak_gflops());
+        assert!(a.dram_gbps > 2.0 * p.dram_gbps);
+        assert!(g.dram_gbps < p.dram_gbps);
+        assert!(g.dram_row_bytes < p.dram_row_bytes);
+        assert!(g.l2_bytes < p.l2_bytes);
     }
 
     #[test]

@@ -11,12 +11,15 @@
 //! no sweep has ever been run.
 
 use ibcf_autotune::heuristics::heuristic_config;
-use ibcf_autotune::DispatchTable;
+use ibcf_autotune::{best_config, DispatchTable, ParamSpace};
 use ibcf_core::lane_batch::{LaneOrder, LaneWidth};
 use ibcf_core::{Looking, Real};
+use ibcf_gpu_sim::GpuSpec;
 use ibcf_kernels::KernelConfig;
 use ibcf_layout::{Layout, LayoutKind};
+use std::collections::BTreeMap;
 use std::path::Path;
+use std::sync::{Arc, Mutex};
 
 /// The host engine parameters one formed batch runs with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,23 +65,49 @@ fn plan_of(config: &KernelConfig) -> EnginePlan {
     }
 }
 
-/// Chooses an [`EnginePlan`] per matrix dimension, from a tuned dispatch
-/// table when one exists, from the heuristic otherwise.
+/// The model-guided middle tier of the fallback chain: picks the analytic
+/// model's top-ranked configuration for a size, memoized per `n` (the
+/// ranking walks the whole parameter space, so a hot serving path must
+/// not recompute it per request).
+#[derive(Debug, Clone)]
+struct AnalyticTier {
+    spec: GpuSpec,
+    batch: usize,
+    memo: Arc<Mutex<BTreeMap<usize, KernelConfig>>>,
+}
+
+impl AnalyticTier {
+    fn config_for(&self, n: usize) -> KernelConfig {
+        let mut memo = self.memo.lock().expect("analytic memo lock");
+        *memo
+            .entry(n)
+            .or_insert_with(|| best_config(&ParamSpace::paper(), n, self.batch, &self.spec))
+    }
+}
+
+/// Chooses an [`EnginePlan`] per matrix dimension through a fallback
+/// chain: the tuned dispatch table when one exists, else the analytic
+/// model's pick when a GPU spec was given, else the zero-measurement
+/// §11 heuristic.
 #[derive(Debug, Clone, Default)]
 pub struct EngineSelector {
     table: Option<DispatchTable>,
+    analytic: Option<AnalyticTier>,
 }
 
 impl EngineSelector {
     /// A selector answering purely from the no-sweep heuristic.
     pub fn heuristic() -> Self {
-        EngineSelector { table: None }
+        EngineSelector::default()
     }
 
     /// A selector backed by a tuned dispatch table.
     pub fn from_table(table: DispatchTable) -> Self {
         let table = if table.is_empty() { None } else { Some(table) };
-        EngineSelector { table }
+        EngineSelector {
+            table,
+            analytic: None,
+        }
     }
 
     /// Loads a dispatch table saved by `ibcf tune`. A corrupt file is an
@@ -88,17 +117,35 @@ impl EngineSelector {
         Ok(Self::from_table(DispatchTable::load(path)?))
     }
 
+    /// Adds the analytic middle tier: sizes the dispatch table cannot
+    /// answer are resolved by the analytic model for `spec` at `batch`
+    /// instead of dropping straight to the heuristic.
+    pub fn with_analytic(mut self, spec: GpuSpec, batch: usize) -> Self {
+        self.analytic = Some(AnalyticTier {
+            spec,
+            batch,
+            memo: Arc::new(Mutex::new(BTreeMap::new())),
+        });
+        self
+    }
+
     /// `true` if a sweep backs this selector.
     pub fn is_tuned(&self) -> bool {
         self.table.is_some()
     }
 
-    /// The engine plan for dimension `n`.
+    /// `true` if the analytic middle tier is configured.
+    pub fn has_analytic(&self) -> bool {
+        self.analytic.is_some()
+    }
+
+    /// The engine plan for dimension `n`, through the fallback chain.
     pub fn plan(&self, n: usize) -> EnginePlan {
         let config = self
             .table
             .as_ref()
             .and_then(|t| t.config_for(n))
+            .or_else(|| self.analytic.as_ref().map(|a| a.config_for(n)))
             .unwrap_or_else(|| heuristic_config(n));
         plan_of(&config)
     }
@@ -148,5 +195,36 @@ mod tests {
         let sel = EngineSelector::from_table(DispatchTable::default());
         assert!(!sel.is_tuned());
         assert_eq!(sel.plan(16).kind, LayoutKind::Chunked);
+    }
+
+    #[test]
+    fn analytic_tier_sits_between_table_and_heuristic() {
+        let sel = EngineSelector::heuristic().with_analytic(GpuSpec::p100(), 4096);
+        assert!(!sel.is_tuned());
+        assert!(sel.has_analytic());
+        // The analytic pick must produce a lane-compatible plan, and the
+        // memo must make repeated queries answer identically.
+        for n in [8usize, 24, 40] {
+            let plan = sel.plan(n);
+            assert_eq!(plan, sel.plan(n), "n={n}");
+            let lanes = plan.lanes::<f32>();
+            let layout = plan.layout(n, 2 * lanes + 1);
+            assert!(
+                ibcf_core::lane_batch::lane_compatible::<f32, _>(&layout, plan.width),
+                "n={n} {plan:?}"
+            );
+        }
+        // A tuned table still wins over the analytic tier.
+        let mut table = DispatchTable::default();
+        table.table.insert(
+            16,
+            KernelConfig {
+                chunked: false,
+                looking: Looking::Right,
+                ..KernelConfig::baseline(16)
+            },
+        );
+        let sel = EngineSelector::from_table(table).with_analytic(GpuSpec::p100(), 4096);
+        assert_eq!(sel.plan(16).kind, LayoutKind::Interleaved);
     }
 }

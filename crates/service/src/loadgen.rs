@@ -284,16 +284,12 @@ type Shared = Arc<(Mutex<ConnState>, Condvar)>;
 /// `conn_dead` accurate and wakes the pacing loop on exit.
 fn reader_loop(stream: TcpStream, state: Shared, total: u64, plant_bad: u64, expected: u64) {
     let mut reader = BufReader::new(stream);
-    loop {
-        let reply = match read_frame(&mut reader) {
-            Ok(Some((K_FACTOR_REPLY, body))) => match decode_factor_reply(&body) {
-                Ok(r) => r,
-                Err(_) => break, // corrupted reply: kill the connection
-            },
-            // Desync (unknown kind — e.g. a corrupted kind byte), EOF
-            // mid-run, torn frame, i/o error, or read timeout: this
-            // connection is done.
-            _ => break,
+    // Anything but a well-formed factor reply — desync (unknown kind,
+    // e.g. a corrupted kind byte), EOF mid-run, torn frame, i/o error,
+    // read timeout, or a corrupted reply body — kills the connection.
+    while let Ok(Some((K_FACTOR_REPLY, body))) = read_frame(&mut reader) {
+        let Ok(reply) = decode_factor_reply(&body) else {
+            break;
         };
         let now = Instant::now();
         let (lock, cvar) = &*state;
