@@ -69,6 +69,7 @@ fn bench_service(c: &mut Criterion) {
     let pool: Vec<Payload> = (0..16).map(|i| Payload::F32(spd_f32(N, 200 + i))).collect();
     // The inert plan's rules never fire: any measurable gap versus the
     // disabled hook is pure per-check overhead on the hot path.
+    #[allow(clippy::type_complexity)]
     let variants: [(&str, fn() -> FaultHook); 2] = [
         ("hook_disabled", FaultHook::disabled),
         ("hook_inert", || FaultHook::from_plan(FaultPlan::inert(1))),

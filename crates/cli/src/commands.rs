@@ -60,10 +60,14 @@ commands:
             rayon-gather vs the in-place lane-vectorized engine
   serve     [--host H] [--port P] [--workers W] [--queue-cap Q]
             [--max-batch B] [--max-delay-us D] [--max-n N] [--dispatch F]
-            [--analytic G]
+            [--analytic G] [--shards N] [--policy hash|least-loaded]
+            [--retry-after-us U]
             run the dynamic-batching factorization service over TCP
             (engine plans fall back table -> analytic model for gpu G
-            -> heuristics; each tier is optional)
+            -> heuristics; each tier is optional); --shards N > 1 runs a
+            health-checked in-process fleet behind a router keyed by
+            (n, dtype) — a full shard answers with a typed backpressure
+            reject carrying the --retry-after-us hint
   loadgen   [--addr H:P] [--sizes 16,24] [--dtype f32|f64]
             [--requests R] [--conns C] [--window W | --rate R/s]
             [--plant-bad K] [--seed S] [--deadline-us D] [--retry]
@@ -75,11 +79,14 @@ commands:
             or stalled connection
   chaos     [--plan P] [--seed S] [--requests R] [--conns C]
             [--window W] [--sizes 8,16] [--plant-bad K] [--workers W]
-            [--max-batch B] [--deadline-us D]
+            [--max-batch B] [--deadline-us D] [--shards N]
             run loadgen against an in-process service under a seeded
             fault plan (worker-panic, slow-batch, queue-stall,
-            conn-drop, frame-corrupt, mixed, inert) and verify the
-            exactly-one-reply invariant: 0 lost, 0 duplicates
+            conn-drop, frame-corrupt, shard-kill, mixed, inert) and
+            verify the exactly-one-reply invariant: 0 lost,
+            0 duplicates; --shards N > 1 routes over an in-process
+            fleet and lets the plan kill whole shards mid-run
+            (failover must keep the invariant)
   help                                        this text
 ";
 
@@ -903,9 +910,15 @@ pub fn host_bench(args: &Args) -> i32 {
     0
 }
 
-/// `ibcf serve`: run the dynamic-batching factorization service over TCP.
+/// `ibcf serve`: run the dynamic-batching factorization service over
+/// TCP — one service, or (`--shards N`) a router-fronted in-process
+/// fleet with health-checked failover and typed backpressure.
 pub fn serve(args: &Args) -> i32 {
-    use ibcf_service::{EngineSelector, Service, ServiceConfig, TcpServer};
+    use ibcf_service::{
+        EngineSelector, InProcessShard, RoutePolicy, Router, RouterConfig, Service, ServiceConfig,
+        ShardBackend, TcpServer,
+    };
+    use std::sync::Arc;
     let host = match args.get("host", "127.0.0.1".to_string()) {
         Ok(h) => h,
         Err(e) => return fail(e),
@@ -917,19 +930,31 @@ pub fn serve(args: &Args) -> i32 {
         args.get("max-batch", 1024usize),
         args.get("max-delay-us", 1000u64),
         args.get("max-n", 64usize),
+        args.get("shards", 1usize),
+        args.get("retry-after-us", 1000u32),
     );
-    let (port, workers, queue_cap, max_batch, max_delay_us, max_n) = match parsed {
-        (Ok(a), Ok(b), Ok(c), Ok(d), Ok(e), Ok(f)) => (a, b, c, d, e, f),
-        (Err(e), ..)
-        | (_, Err(e), ..)
-        | (_, _, Err(e), ..)
-        | (_, _, _, Err(e), ..)
-        | (_, _, _, _, Err(e), _)
-        | (.., Err(e)) => return fail(e),
-    };
-    if workers == 0 || max_batch == 0 || queue_cap == 0 || max_n == 0 {
-        return fail("--workers, --max-batch, --queue-cap and --max-n must be positive");
+    let (port, workers, queue_cap, max_batch, max_delay_us, max_n, shards, retry_after_us) =
+        match parsed {
+            (Ok(a), Ok(b), Ok(c), Ok(d), Ok(e), Ok(f), Ok(g), Ok(h)) => (a, b, c, d, e, f, g, h),
+            (Err(e), ..)
+            | (_, Err(e), ..)
+            | (_, _, Err(e), ..)
+            | (_, _, _, Err(e), ..)
+            | (_, _, _, _, Err(e), ..)
+            | (_, _, _, _, _, Err(e), ..)
+            | (_, _, _, _, _, _, Err(e), _)
+            | (.., Err(e)) => return fail(e),
+        };
+    if workers == 0 || max_batch == 0 || queue_cap == 0 || max_n == 0 || shards == 0 {
+        return fail("--workers, --max-batch, --queue-cap, --max-n and --shards must be positive");
     }
+    let policy: RoutePolicy = match args.get("policy", "hash".to_string()) {
+        Ok(name) => match name.parse() {
+            Ok(p) => p,
+            Err(e) => return fail(e),
+        },
+        Err(e) => return fail(e),
+    };
     let selector = match args.options.get("dispatch") {
         None => EngineSelector::heuristic(),
         Some(path) => match EngineSelector::load(Path::new(path)) {
@@ -969,16 +994,42 @@ pub fn serve(args: &Args) -> i32 {
         (false, true) => "analytic",
         (false, false) => "heuristic",
     };
-    let service = Service::start(config, selector);
-    let client = service.client();
-    println!(
-        "serving on {addr} ({engine} engine, {workers} worker(s), batch <= {max_batch}, \
-         deadline {max_delay_us} us, queue {queue_cap}, n <= {max_n})"
-    );
     use std::io::Write as _;
-    std::io::stdout().flush().ok();
-    let run = server.run(client);
-    let snap = service.shutdown();
+    let (run, snap) = if shards > 1 {
+        let backends: Vec<Arc<dyn ShardBackend>> = (0..shards)
+            .map(|i| {
+                let service = Service::start(config.clone(), selector.clone());
+                Arc::new(InProcessShard::new(format!("shard-{i}"), service))
+                    as Arc<dyn ShardBackend>
+            })
+            .collect();
+        let router = Router::start(
+            backends,
+            RouterConfig {
+                policy,
+                retry_after_us,
+                ..RouterConfig::default()
+            },
+        );
+        println!(
+            "serving on {addr} ({engine} engine, {shards} shards x {workers} worker(s), \
+             {policy:?} routing, retry-after {retry_after_us} us, batch <= {max_batch}, \
+             deadline {max_delay_us} us, queue {queue_cap}/shard, n <= {max_n})"
+        );
+        std::io::stdout().flush().ok();
+        let run = server.run(router.client());
+        (run, router.shutdown())
+    } else {
+        let service = Service::start(config, selector);
+        let client = service.client();
+        println!(
+            "serving on {addr} ({engine} engine, {workers} worker(s), batch <= {max_batch}, \
+             deadline {max_delay_us} us, queue {queue_cap}, n <= {max_n})"
+        );
+        std::io::stdout().flush().ok();
+        let run = server.run(client);
+        (run, service.shutdown())
+    };
     if let Err(e) = run {
         return fail(format!("server loop: {e}"));
     }
@@ -991,6 +1042,18 @@ pub fn serve(args: &Args) -> i32 {
         "mean batch occupancy {:.1}%, latency p50/p95/p99 = {p50:.0}/{p95:.0}/{p99:.0} us",
         100.0 * snap.mean_occupancy
     );
+    if let Some(shard_stats) = &snap.shards {
+        for sh in shard_stats {
+            let (sp50, _, sp99) = sh.snapshot.percentiles_us();
+            println!(
+                "  shard {} [{}]: {} routed, {} served, p50/p99 = {sp50:.0}/{sp99:.0} us",
+                sh.name,
+                if sh.healthy { "up" } else { "down" },
+                sh.routed,
+                sh.snapshot.requests,
+            );
+        }
+    }
     0
 }
 
@@ -1097,9 +1160,11 @@ pub fn loadgen(args: &Args) -> i32 {
 /// frame corruption) from per-site logical clocks, not wall time.
 pub fn chaos(args: &Args) -> i32 {
     use ibcf_service::{
-        ArrivalMode, Dtype, EngineSelector, FaultHook, FaultPlan, LoadgenConfig, RetryPolicy,
-        Service, ServiceConfig, TcpConn, TcpServer,
+        ArrivalMode, Dtype, EngineSelector, FaultHook, FaultPlan, InProcessShard, LoadgenConfig,
+        RetryPolicy, Router, RouterConfig, Service, ServiceConfig, ShardBackend, TcpConn,
+        TcpServer,
     };
+    use std::sync::Arc;
     use std::time::{Duration, Instant};
     let sizes = match args
         .options
@@ -1122,24 +1187,37 @@ pub fn chaos(args: &Args) -> i32 {
         args.get("workers", 2usize),
         args.get("max-batch", 32usize),
         args.get("deadline-us", 0u64),
+        args.get("shards", 1usize),
     );
-    let (plan_name, seed, requests, conns, window, plant_bad, workers, max_batch, deadline_us) =
-        match parsed {
-            (Ok(a), Ok(b), Ok(c), Ok(d), Ok(e), Ok(f), Ok(g), Ok(h), Ok(i)) => {
-                (a, b, c, d, e, f, g, h, i)
-            }
-            (Err(e), ..)
-            | (_, Err(e), ..)
-            | (_, _, Err(e), ..)
-            | (_, _, _, Err(e), ..)
-            | (_, _, _, _, Err(e), ..)
-            | (_, _, _, _, _, Err(e), ..)
-            | (_, _, _, _, _, _, Err(e), ..)
-            | (_, _, _, _, _, _, _, Err(e), _)
-            | (.., Err(e)) => return fail(e),
-        };
-    if requests == 0 || conns == 0 || workers == 0 || max_batch == 0 {
-        return fail("--requests, --conns, --workers and --max-batch must be positive");
+    #[allow(clippy::type_complexity)]
+    let (
+        plan_name,
+        seed,
+        requests,
+        conns,
+        window,
+        plant_bad,
+        workers,
+        max_batch,
+        deadline_us,
+        shards,
+    ) = match parsed {
+        (Ok(a), Ok(b), Ok(c), Ok(d), Ok(e), Ok(f), Ok(g), Ok(h), Ok(i), Ok(j)) => {
+            (a, b, c, d, e, f, g, h, i, j)
+        }
+        (Err(e), ..)
+        | (_, Err(e), ..)
+        | (_, _, Err(e), ..)
+        | (_, _, _, Err(e), ..)
+        | (_, _, _, _, Err(e), ..)
+        | (_, _, _, _, _, Err(e), ..)
+        | (_, _, _, _, _, _, Err(e), ..)
+        | (_, _, _, _, _, _, _, Err(e), ..)
+        | (_, _, _, _, _, _, _, _, Err(e), _)
+        | (.., Err(e)) => return fail(e),
+    };
+    if requests == 0 || conns == 0 || workers == 0 || max_batch == 0 || shards == 0 {
+        return fail("--requests, --conns, --workers, --max-batch and --shards must be positive");
     }
     if plant_bad > requests {
         return fail("--plant-bad cannot exceed --requests");
@@ -1149,16 +1227,37 @@ pub fn chaos(args: &Args) -> i32 {
         Err(e) => return fail(e),
     };
     let hook = FaultHook::from_plan(plan);
-    let service = Service::start(
-        ServiceConfig {
-            workers,
-            max_batch,
-            max_delay: Duration::from_micros(500),
-            fault: hook.clone(),
-            ..ServiceConfig::default()
-        },
-        EngineSelector::heuristic(),
-    );
+    let service_config = ServiceConfig {
+        workers,
+        max_batch,
+        max_delay: Duration::from_micros(500),
+        fault: hook.clone(),
+        ..ServiceConfig::default()
+    };
+    // One service, or a routed fleet the plan can kill whole shards of.
+    enum Fleet {
+        Single(Service),
+        Routed(Router),
+    }
+    let fleet = if shards > 1 {
+        let backends: Vec<Arc<dyn ShardBackend>> = (0..shards)
+            .map(|i| {
+                let service = Service::start(service_config.clone(), EngineSelector::heuristic());
+                Arc::new(InProcessShard::new(format!("shard-{i}"), service))
+                    as Arc<dyn ShardBackend>
+            })
+            .collect();
+        Fleet::Routed(Router::start(
+            backends,
+            RouterConfig {
+                health_interval: Duration::from_millis(2),
+                fault: hook.clone(),
+                ..RouterConfig::default()
+            },
+        ))
+    } else {
+        Fleet::Single(Service::start(service_config, EngineSelector::heuristic()))
+    };
     let server = match TcpServer::bind("127.0.0.1:0") {
         Ok(s) => s,
         Err(e) => return fail(format!("binding chaos server: {e}")),
@@ -1167,13 +1266,21 @@ pub fn chaos(args: &Args) -> i32 {
         Ok(a) => a.to_string(),
         Err(e) => return fail(e),
     };
-    let client = service.client();
     let server_hook = hook.clone();
-    let server_thread = std::thread::spawn(move || server.run_with_faults(client, server_hook));
+    let server_thread = match &fleet {
+        Fleet::Single(service) => {
+            let client = service.client();
+            std::thread::spawn(move || server.run_with_faults(client, server_hook))
+        }
+        Fleet::Routed(router) => {
+            let client = router.client();
+            std::thread::spawn(move || server.run_with_faults(client, server_hook))
+        }
+    };
     println!(
         "chaos: plan {plan_name} seed {seed}, {requests} requests \
          ({plant_bad} planted non-SPD), sizes {sizes:?}, {conns} conn(s), \
-         {workers} worker(s), batch <= {max_batch}"
+         {shards} shard(s), {workers} worker(s), batch <= {max_batch}"
     );
     let cfg = LoadgenConfig {
         addr: addr.clone(),
@@ -1207,7 +1314,27 @@ pub fn chaos(args: &Args) -> i32 {
         return fail("chaos server did not drain within 30 s");
     }
     let run = server_thread.join().expect("chaos server thread");
-    let snap = service.shutdown();
+    // For a routed fleet, capture the live healthy/killed picture before
+    // shutdown flattens it, then fold in the router counters.
+    let (snap, routing) = match fleet {
+        Fleet::Single(service) => (service.shutdown(), None),
+        Fleet::Routed(router) => {
+            let kills = router.kills();
+            let failovers = router.failovers();
+            let backpressured = router.backpressured();
+            // The loadgen's final stats fetch ran before shutdown
+            // drained the fleet, so its shard list is the live picture.
+            let survivors = report
+                .server
+                .shards
+                .as_ref()
+                .map_or(0, |s| s.iter().filter(|sh| sh.healthy).count());
+            (
+                router.shutdown(),
+                Some((kills, failovers, backpressured, survivors)),
+            )
+        }
+    };
     if let Err(e) = run {
         return fail(format!("chaos server loop: {e}"));
     }
@@ -1219,6 +1346,12 @@ pub fn chaos(args: &Args) -> i32 {
         snap.worker_restarts,
         snap.deadline_expired
     );
+    if let Some((kills, failovers, backpressured, survivors)) = routing {
+        println!(
+            "fleet: {shards} shards, {kills} killed by the plan, {survivors} healthy at end, \
+             {failovers} failovers, {backpressured} backpressure rejects"
+        );
+    }
     let mut failures: Vec<String> = Vec::new();
     if !report.clean() {
         failures.push(format!(
@@ -1237,6 +1370,18 @@ pub fn chaos(args: &Args) -> i32 {
             "{} crashes but {} restarts",
             snap.worker_crashes, snap.worker_restarts
         ));
+    }
+    match routing {
+        Some((kills, ..)) if plan_name == "shard-kill" && kills == 0 => {
+            failures.push("shard-kill plan never killed a shard".into());
+        }
+        Some((_, _, _, 0)) => {
+            failures.push("no shard survived the run (the last one must be immune)".into());
+        }
+        None if plan_name == "shard-kill" => {
+            failures.push("shard-kill plan needs --shards > 1 to have anything to kill".into());
+        }
+        _ => {}
     }
     if failures.is_empty() {
         println!(

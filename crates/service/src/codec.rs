@@ -19,7 +19,12 @@
 //! Reply `status`: 0 = factor (elements follow), 1 = not SPD (`aux` =
 //! failing column), 2 = non-finite (`aux` = column), 3 = rejected
 //! (`aux` = [`RejectReason`] tag), 4 = worker crashed (safe to
-//! resubmit).
+//! resubmit), 5 = backpressure (`aux` = retry-after hint in
+//! microseconds; resubmit no sooner than the hint).
+//!
+//! `deadline_us = 0` means *no deadline*, so encoders must never round a
+//! real-but-tiny remaining deadline down to 0 — use
+//! [`wire_deadline_us`], which clamps a present deadline to ≥ 1 µs.
 //!
 //! Decoding failures are typed ([`FrameError`]): a *torn* frame (EOF in
 //! the middle of a frame) is distinguished from a *malformed* one (bad
@@ -28,6 +33,7 @@
 
 use crate::request::{Dtype, FactorReply, Outcome, Payload, RejectReason};
 use std::io::{self, Read, Write};
+use std::time::Duration;
 
 /// Frame kind: factorization request.
 pub const K_FACTOR_REQ: u8 = 1;
@@ -197,6 +203,20 @@ fn take_elems(bytes: &[u8], dtype: Dtype, count: usize) -> Result<Payload, Frame
     })
 }
 
+/// Encodes a remaining deadline for the wire. `None` maps to `0`
+/// (*no deadline*); a present deadline is clamped to the `1 ..= u32::MAX`
+/// microsecond range. The low clamp matters: the wire reserves `0` for
+/// "no deadline", so rounding an almost-expired deadline (< 1 µs
+/// remaining) down to zero would silently make the request immortal —
+/// it must instead arrive as an already-hopeless 1 µs deadline and be
+/// shed with a typed `DeadlineExceeded`.
+pub fn wire_deadline_us(remaining: Option<Duration>) -> u32 {
+    match remaining {
+        None => 0,
+        Some(d) => d.as_micros().clamp(1, u128::from(u32::MAX)) as u32,
+    }
+}
+
 /// Encodes a factorization request body. `deadline_us` is a relative
 /// deadline in microseconds from receipt (`0` = no deadline) — relative,
 /// not absolute, so client and server clocks need not agree.
@@ -241,6 +261,9 @@ pub fn encode_factor_reply(reply: &FactorReply, dtype: Dtype) -> Vec<u8> {
         Outcome::Factor(_) => (0u8, 0u32),
         Outcome::NotSpd { column } => (1, *column as u32),
         Outcome::NonFinite { column } => (2, *column as u32),
+        // Backpressure gets its own status so the aux field is free to
+        // carry the retry-after hint instead of the reason tag.
+        Outcome::Rejected(RejectReason::Backpressure { retry_after_us }) => (5, *retry_after_us),
         Outcome::Rejected(reason) => (3, reason.to_u8() as u32),
         Outcome::WorkerCrashed => (4, 0),
     };
@@ -281,6 +304,9 @@ pub fn decode_factor_reply(body: &[u8]) -> Result<FactorReply, FrameError> {
             RejectReason::from_u8(aux as u8).ok_or_else(|| bad("unknown reject reason"))?,
         ),
         4 => Outcome::WorkerCrashed,
+        5 => Outcome::Rejected(RejectReason::Backpressure {
+            retry_after_us: aux,
+        }),
         other => return Err(bad(format!("unknown reply status {other}"))),
     };
     if status != 0 && !elems.is_empty() {
@@ -335,12 +361,56 @@ mod tests {
                 id: 6,
                 outcome: Outcome::WorkerCrashed,
             },
+            FactorReply {
+                id: 7,
+                outcome: Outcome::Rejected(RejectReason::Backpressure {
+                    retry_after_us: 1_500,
+                }),
+            },
+            FactorReply {
+                id: 8,
+                outcome: Outcome::Rejected(RejectReason::Backpressure {
+                    retry_after_us: u32::MAX,
+                }),
+            },
         ];
         for reply in &replies {
             let body = encode_factor_reply(reply, Dtype::F32);
             let back = decode_factor_reply(&body).unwrap();
             assert_eq!(&back, reply);
         }
+    }
+
+    #[test]
+    fn backpressure_reply_with_elements_is_malformed() {
+        let reply = FactorReply {
+            id: 9,
+            outcome: Outcome::Rejected(RejectReason::Backpressure { retry_after_us: 10 }),
+        };
+        let mut body = encode_factor_reply(&reply, Dtype::F32);
+        body.extend_from_slice(&1.0f32.to_le_bytes());
+        assert!(matches!(
+            decode_factor_reply(&body),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn wire_deadline_never_rounds_a_real_deadline_to_none() {
+        // `0` is reserved for "no deadline": a sub-microsecond remaining
+        // deadline must clamp *up* to 1 µs, not truncate down to
+        // immortality.
+        assert_eq!(wire_deadline_us(None), 0);
+        assert_eq!(wire_deadline_us(Some(Duration::ZERO)), 1);
+        assert_eq!(wire_deadline_us(Some(Duration::from_nanos(1))), 1);
+        assert_eq!(wire_deadline_us(Some(Duration::from_nanos(999))), 1);
+        assert_eq!(wire_deadline_us(Some(Duration::from_micros(1))), 1);
+        assert_eq!(wire_deadline_us(Some(Duration::from_micros(250))), 250);
+        // And the far end saturates instead of wrapping.
+        assert_eq!(
+            wire_deadline_us(Some(Duration::from_secs(10_000_000))),
+            u32::MAX
+        );
     }
 
     #[test]

@@ -33,9 +33,12 @@ pub enum FaultSite {
     /// A connection writer about to write one reply frame (drops,
     /// corruption, truncation).
     ConnWrite = 3,
+    /// The router's health loop visiting one shard slot (whole-shard
+    /// kills). Ticks once per shard per health round.
+    RouterShard = 4,
 }
 
-const SITES: usize = 4;
+const SITES: usize = 5;
 
 /// What the injector asks the passing thread to do.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +55,12 @@ pub enum FaultAction {
     /// Write only the first half of the frame, then drop the connection
     /// (a torn frame: the peer sees EOF mid-frame, a typed error).
     TruncateFrame,
+    /// Kill the shard the router's health loop is visiting: admission
+    /// stops (already-admitted work still drains) and the router must
+    /// fail traffic over to the surviving shards. The router refuses to
+    /// kill the last healthy shard, so a budgeted plan can never take
+    /// the whole fleet down.
+    KillShard,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -93,6 +102,7 @@ impl FaultPlan {
         "queue-stall",
         "conn-drop",
         "frame-corrupt",
+        "shard-kill",
         "mixed",
         "inert",
     ];
@@ -105,6 +115,7 @@ impl FaultPlan {
             "queue-stall" => Ok(Self::queue_stall(seed)),
             "conn-drop" => Ok(Self::conn_drop(seed)),
             "frame-corrupt" => Ok(Self::frame_corrupt(seed)),
+            "shard-kill" => Ok(Self::shard_kill(seed)),
             "mixed" => Ok(Self::mixed(seed)),
             "inert" => Ok(Self::inert(seed)),
             other => Err(format!(
@@ -219,6 +230,25 @@ impl FaultPlan {
                     action: FaultAction::TruncateFrame,
                 },
             ],
+        }
+    }
+
+    /// Kills whole shards from the router's health loop, twice: enough
+    /// to prove failover re-routes live traffic, and one below the
+    /// fleet size the chaos harness runs with (the router additionally
+    /// refuses to kill the last healthy shard).
+    pub fn shard_kill(seed: u64) -> FaultPlan {
+        let every = 20 + splitmix(seed) % 12;
+        FaultPlan {
+            seed,
+            name: "shard-kill",
+            rules: vec![Rule {
+                site: FaultSite::RouterShard,
+                every,
+                offset: splitmix(seed ^ 12) % every,
+                max: 2,
+                action: FaultAction::KillShard,
+            }],
         }
     }
 

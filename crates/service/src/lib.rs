@@ -27,7 +27,12 @@
 //! 6. a seeded [fault-injection harness](fault) can be threaded through
 //!    every stage to prove, reproducibly, that each admitted request
 //!    receives exactly one reply under worker panics, stalls,
-//!    connection drops, and frame corruption.
+//!    connection drops, and frame corruption;
+//! 7. a [router](router) fronts N shards (in-process or TCP) with
+//!    rendezvous or least-loaded routing keyed by `(n, dtype)`,
+//!    health-checked failover, deterministic shard kills, and typed
+//!    [`Backpressure`](request::RejectReason::Backpressure) retry-after
+//!    rejects instead of blocking.
 
 #![warn(missing_docs)]
 
@@ -39,6 +44,7 @@ pub mod loadgen;
 pub mod queue;
 pub mod request;
 pub mod retry;
+pub mod router;
 pub mod server;
 pub mod service;
 pub mod stats;
@@ -49,8 +55,11 @@ pub use fault::{FaultAction, FaultHook, FaultPlan, FaultSite};
 pub use former::{FormerConfig, PackedData};
 pub use loadgen::{ArrivalMode, LoadReport, LoadgenConfig};
 pub use queue::PushRefused;
-pub use request::{Dtype, FactorReply, Outcome, Payload, RejectReason};
+pub use request::{Dtype, FactorReply, Outcome, Payload, RejectReason, ReplySink};
 pub use retry::RetryPolicy;
+pub use router::{
+    InProcessShard, RoutePolicy, Router, RouterClient, RouterConfig, ShardBackend, TcpShard,
+};
 pub use server::{TcpConn, TcpServer};
-pub use service::{Client, Service, ServiceConfig};
-pub use stats::{ServiceStats, StatsSnapshot};
+pub use service::{Client, Frontend, Service, ServiceConfig};
+pub use stats::{ServiceStats, ShardStat, StatsSnapshot};

@@ -24,9 +24,10 @@
 //! replies so a chaos run can assert both are zero.
 
 use crate::codec::{
-    decode_factor_reply, encode_factor_req, read_frame, write_frame, K_FACTOR_REPLY, K_FACTOR_REQ,
+    decode_factor_reply, encode_factor_req, read_frame, wire_deadline_us, write_frame,
+    K_FACTOR_REPLY, K_FACTOR_REQ,
 };
-use crate::request::{Dtype, Outcome, Payload};
+use crate::request::{Dtype, Outcome, Payload, RejectReason};
 use crate::retry::RetryPolicy;
 use crate::server::TcpConn;
 use crate::stats::StatsSnapshot;
@@ -114,6 +115,9 @@ pub struct LoadReport {
     /// Requests rejected by admission control (queue full, deadline
     /// exceeded, shutdown).
     pub rejected: u64,
+    /// Backpressure hints received; each was resubmitted after (never
+    /// before) its `retry_after_us` delay elapsed.
+    pub backpressured: u64,
     /// Requests whose batch's worker panicked (typed `WorkerCrashed`).
     pub crashed: u64,
     /// Replies carrying an id that was not outstanding: a duplicate
@@ -150,11 +154,12 @@ impl LoadReport {
         self.mismatched == 0 && self.duplicates == 0 && self.lost == 0
     }
 
-    /// One-paragraph human-readable summary.
+    /// One-paragraph human-readable summary; a routed fleet gets one
+    /// extra line per shard plus the fleet-wide totals.
     pub fn render(&self) -> String {
-        format!(
+        let mut out = format!(
             "sent {} requests in {:.3} s: {} ok, {} planted non-SPD caught, \
-             {} rejected, {} crashed, {} mismatched\n\
+             {} rejected, {} backpressured, {} crashed, {} mismatched\n\
              invariant: {} lost, {} duplicates, {} reconnects\n\
              throughput {:.0} matrices/s, \
              latency p50/p95/p99 = {:.0}/{:.0}/{:.0} us, \
@@ -164,6 +169,7 @@ impl LoadReport {
             self.ok,
             self.planted_caught,
             self.rejected,
+            self.backpressured,
             self.crashed,
             self.mismatched,
             self.lost,
@@ -174,7 +180,30 @@ impl LoadReport {
             self.p95_us,
             self.p99_us,
             100.0 * self.mean_occupancy,
-        )
+        );
+        if let Some(shards) = &self.server.shards {
+            for sh in shards {
+                let (p50, _, p99) = sh.snapshot.percentiles_us();
+                out.push_str(&format!(
+                    "\n  shard {} [{}]: {} routed, {} served, \
+                     p50/p99 = {:.0}/{:.0} us",
+                    sh.name,
+                    if sh.healthy { "up" } else { "down" },
+                    sh.routed,
+                    sh.snapshot.requests,
+                    p50,
+                    p99,
+                ));
+            }
+            out.push_str(&format!(
+                "\n  fleet: {} requests, {} rejected, {} batches across {} shards",
+                self.server.requests,
+                self.server.rejected,
+                self.server.batches,
+                shards.len(),
+            ));
+        }
+        out
     }
 }
 
@@ -258,16 +287,48 @@ struct ConnState {
     ok: u64,
     planted_caught: u64,
     rejected: u64,
+    backpressured: u64,
     crashed: u64,
     duplicates: u64,
     mismatched: u64,
     latencies_ns: Vec<u64>,
+    /// Backpressured requests parked until their retry-after hint
+    /// elapses: `(request id, earliest resubmission instant)`.
+    retry_at: Vec<(u64, Instant)>,
+}
+
+/// Pops every parked retry whose hinted delay has elapsed, re-registers
+/// it as outstanding, and returns the ids to resubmit (sorted, for
+/// deterministic wire order). Requests still inside their hint window
+/// stay parked — the contract is *after* the hint, never before.
+fn take_due_retries(s: &mut ConnState, now: Instant) -> Vec<u64> {
+    let mut due = Vec::new();
+    s.retry_at.retain(|&(r, at)| {
+        if at <= now {
+            due.push(r);
+            false
+        } else {
+            true
+        }
+    });
+    due.sort_unstable();
+    for &r in &due {
+        s.sent_at.insert(r, now);
+        s.outstanding += 1;
+    }
+    due
+}
+
+/// Earliest instant any parked retry becomes due.
+fn earliest_retry(s: &ConnState) -> Option<Instant> {
+    s.retry_at.iter().map(|&(_, at)| at).min()
 }
 
 struct ConnTally {
     ok: u64,
     planted_caught: u64,
     rejected: u64,
+    backpressured: u64,
     crashed: u64,
     duplicates: u64,
     mismatched: u64,
@@ -303,19 +364,31 @@ fn reader_loop(stream: TcpStream, state: Shared, total: u64, plant_bad: u64, exp
             }
             Some(at) => {
                 s.outstanding = s.outstanding.saturating_sub(1);
-                s.replied += 1;
-                s.latencies_ns
-                    .push(now.duration_since(at).as_nanos() as u64);
-                let planted = is_planted(r, total, plant_bad);
-                match (&reply.outcome, planted) {
-                    (Outcome::Factor(_), false) => s.ok += 1,
-                    (Outcome::NotSpd { column: 0 }, true) => s.planted_caught += 1,
-                    // A planted request in a crashed batch legitimately
-                    // comes back WorkerCrashed — it never reached the
-                    // pivot check.
-                    (Outcome::WorkerCrashed, _) => s.crashed += 1,
-                    (Outcome::Rejected(_), _) => s.rejected += 1,
-                    _ => s.mismatched += 1,
+                if let Outcome::Rejected(RejectReason::Backpressure { retry_after_us }) =
+                    reply.outcome
+                {
+                    // Not a terminal answer: the fleet asked us to come
+                    // back later. Park the request until the hint
+                    // elapses — the pacing/wait loops resubmit it no
+                    // sooner than `retry_after_us` from now.
+                    s.backpressured += 1;
+                    s.retry_at
+                        .push((r, now + Duration::from_micros(u64::from(retry_after_us))));
+                } else {
+                    s.replied += 1;
+                    s.latencies_ns
+                        .push(now.duration_since(at).as_nanos() as u64);
+                    let planted = is_planted(r, total, plant_bad);
+                    match (&reply.outcome, planted) {
+                        (Outcome::Factor(_), false) => s.ok += 1,
+                        (Outcome::NotSpd { column: 0 }, true) => s.planted_caught += 1,
+                        // A planted request in a crashed batch
+                        // legitimately comes back WorkerCrashed — it
+                        // never reached the pivot check.
+                        (Outcome::WorkerCrashed, _) => s.crashed += 1,
+                        (Outcome::Rejected(_), _) => s.rejected += 1,
+                        _ => s.mismatched += 1,
+                    }
                 }
             }
         }
@@ -352,9 +425,9 @@ fn run_conn(
             &pool.good[&n][(r as usize / cfg.sizes.len().max(1)) % POOL_PER_SIZE]
         }
     };
-    let deadline_us: u32 = cfg
-        .deadline
-        .map_or(0, |d| d.as_micros().min(u128::from(u32::MAX)) as u32);
+    // wire_deadline_us clamps a sub-microsecond deadline up to 1 µs —
+    // truncating to 0 would silently mean "no deadline at all".
+    let deadline_us: u32 = wire_deadline_us(cfg.deadline);
     let state: Shared = Arc::new((
         Mutex::new(ConnState {
             sent_at: HashMap::with_capacity(1024),
@@ -364,10 +437,12 @@ fn run_conn(
             ok: 0,
             planted_caught: 0,
             rejected: 0,
+            backpressured: 0,
             crashed: 0,
             duplicates: 0,
             mismatched: 0,
             latencies_ns: Vec::with_capacity(expected as usize),
+            retry_at: Vec::new(),
         }),
         Condvar::new(),
     ));
@@ -428,6 +503,23 @@ fn run_conn(
 
         // Pace the remaining first-time sends.
         while !write_err && next_idx < ids.len() {
+            // Backpressured requests whose hint elapsed go first. They
+            // bypass the closed-loop window: the server already admitted
+            // them once, and making them queue behind fresh sends would
+            // stretch their hinted delay unboundedly.
+            let due = {
+                let mut s = state.0.lock().unwrap();
+                take_due_retries(&mut s, Instant::now())
+            };
+            for &r in &due {
+                let body = encode_factor_req(r, n_of(r), deadline_us, payload_of(r));
+                if write_frame(&mut writer, K_FACTOR_REQ, &body).is_err() {
+                    write_err = true;
+                }
+            }
+            if write_err {
+                break;
+            }
             let r = ids[next_idx];
             let paced = match cfg.mode {
                 ArrivalMode::Closed { window } => {
@@ -487,13 +579,43 @@ fn run_conn(
         }
         let _ = writer.flush();
 
-        // Wait for the reader to finish this connection: either every
-        // reply arrived, or the connection died.
-        {
-            let (lock, cvar) = &*state;
-            let mut s = lock.lock().unwrap();
-            while s.replied < expected && !s.conn_dead {
-                s = cvar.wait(s).unwrap();
+        // Wait for the reader to finish this connection: every reply
+        // arrived, the connection died, or a backpressured request came
+        // due and must be resubmitted (written outside the lock so a
+        // blocked socket can never deadlock the reader).
+        loop {
+            let due: Vec<u64> = {
+                let (lock, cvar) = &*state;
+                let mut s = lock.lock().unwrap();
+                loop {
+                    if s.replied >= expected || s.conn_dead {
+                        break Vec::new();
+                    }
+                    let due = take_due_retries(&mut s, Instant::now());
+                    if !due.is_empty() {
+                        break due;
+                    }
+                    let timeout = earliest_retry(&s)
+                        .map(|at| at.saturating_duration_since(Instant::now()))
+                        .unwrap_or(Duration::from_secs(3600))
+                        .max(Duration::from_micros(50));
+                    s = cvar.wait_timeout(s, timeout).unwrap().0;
+                }
+            };
+            if due.is_empty() {
+                break;
+            }
+            let mut retry_write_err = false;
+            for &r in &due {
+                let body = encode_factor_req(r, n_of(r), deadline_us, payload_of(r));
+                if write_frame(&mut writer, K_FACTOR_REQ, &body).is_err() {
+                    retry_write_err = true;
+                }
+            }
+            if writer.flush().is_err() || retry_write_err {
+                // Write side is gone; the reader's timeout backstop will
+                // flag the connection dead and trigger a reconnect.
+                break;
             }
         }
         // The reader owns the stream and exits on reply completion,
@@ -526,6 +648,7 @@ fn run_conn(
         ok: s.ok,
         planted_caught: s.planted_caught,
         rejected: s.rejected,
+        backpressured: s.backpressured,
         crashed: s.crashed,
         duplicates: s.duplicates,
         mismatched: s.mismatched,
@@ -588,6 +711,7 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadReport> {
     let mut ok = 0;
     let mut planted_caught = 0;
     let mut rejected = 0;
+    let mut backpressured = 0;
     let mut crashed = 0;
     let mut duplicates = 0;
     let mut mismatched = 0;
@@ -600,6 +724,7 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadReport> {
         ok += t.ok;
         planted_caught += t.planted_caught;
         rejected += t.rejected;
+        backpressured += t.backpressured;
         crashed += t.crashed;
         duplicates += t.duplicates;
         mismatched += t.mismatched;
@@ -632,6 +757,7 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadReport> {
         ok,
         planted_caught,
         rejected,
+        backpressured,
         crashed,
         duplicates,
         lost: sent.saturating_sub(replied),
@@ -669,6 +795,53 @@ mod tests {
     }
 
     #[test]
+    fn retries_fire_after_the_hint_never_before() {
+        let mut s = ConnState {
+            sent_at: HashMap::new(),
+            outstanding: 0,
+            replied: 0,
+            conn_dead: false,
+            ok: 0,
+            planted_caught: 0,
+            rejected: 0,
+            backpressured: 0,
+            crashed: 0,
+            duplicates: 0,
+            mismatched: 0,
+            latencies_ns: Vec::new(),
+            retry_at: Vec::new(),
+        };
+        let t0 = Instant::now();
+        s.retry_at.push((7, t0 + Duration::from_micros(500)));
+        s.retry_at.push((3, t0 + Duration::from_micros(500)));
+        s.retry_at.push((9, t0 + Duration::from_millis(50)));
+
+        // Before any hint elapses: nothing is due.
+        assert!(take_due_retries(&mut s, t0).is_empty());
+        assert_eq!(s.outstanding, 0);
+        assert_eq!(earliest_retry(&s), Some(t0 + Duration::from_micros(500)));
+
+        // One microsecond short of the first hint: still nothing.
+        assert!(take_due_retries(&mut s, t0 + Duration::from_micros(499)).is_empty());
+
+        // First hint elapsed: exactly those two fire, sorted, and are
+        // re-registered as outstanding; the later one stays parked.
+        let due = take_due_retries(&mut s, t0 + Duration::from_micros(500));
+        assert_eq!(due, vec![3, 7]);
+        assert_eq!(s.outstanding, 2);
+        assert!(s.sent_at.contains_key(&3) && s.sent_at.contains_key(&7));
+        assert_eq!(earliest_retry(&s), Some(t0 + Duration::from_millis(50)));
+
+        // And the stragglers fire once their own hint elapses.
+        assert_eq!(
+            take_due_retries(&mut s, t0 + Duration::from_millis(50)),
+            vec![9]
+        );
+        assert!(s.retry_at.is_empty());
+        assert_eq!(earliest_retry(&s), None);
+    }
+
+    #[test]
     fn pool_has_good_and_bad_payloads_per_size() {
         let pool = PayloadPool::build(&[4, 8, 4], Dtype::F32, 7);
         assert_eq!(pool.good.len(), 2);
@@ -687,6 +860,7 @@ mod tests {
             ok: 10,
             planted_caught: 0,
             rejected: 0,
+            backpressured: 2,
             crashed: 0,
             duplicates: 0,
             lost: 0,
@@ -700,7 +874,10 @@ mod tests {
             mean_occupancy: 1.0,
             server: StatsSnapshot::default(),
         };
-        assert!(base.clean(), "reconnects alone don't dirty a run");
+        assert!(
+            base.clean(),
+            "reconnects and honored backpressure don't dirty a run"
+        );
         assert!(!LoadReport {
             lost: 1,
             ..base.clone()

@@ -69,6 +69,13 @@ impl IngestQueue {
         self.len() == 0
     }
 
+    /// `true` once the queue stopped admitting (drain/shutdown began).
+    /// The router's health probe reads this: a closed queue means the
+    /// shard will refuse everything routed its way.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().unwrap().closed
+    }
+
     /// Non-blocking admission: queues the request, or hands it back when
     /// the queue is full or closed (`Err` carries the request so the
     /// caller can reject it with its own sink).

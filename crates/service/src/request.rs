@@ -111,10 +111,21 @@ pub enum RejectReason {
     /// The request's deadline expired before its batch was packed; dead
     /// work is shed, never factorized.
     DeadlineExceeded,
+    /// The routed shard's queue is full and the router refuses to block:
+    /// resubmit no sooner than `retry_after_us` microseconds from now.
+    /// Unlike the other reasons this one is a *hint*, not a verdict —
+    /// the request is welcome back after the window.
+    Backpressure {
+        /// Earliest sensible resubmission delay, in microseconds.
+        retry_after_us: u32,
+    },
 }
 
 impl RejectReason {
-    /// Wire tag.
+    /// Wire tag. `Backpressure` additionally carries its retry-after
+    /// hint in the reply's aux field (it travels as its own reply
+    /// status, see `codec`), so the tag alone does not round-trip it —
+    /// [`RejectReason::from_u8`] is the inverse for tags 0–4 only.
     pub fn to_u8(self) -> u8 {
         match self {
             RejectReason::QueueFull => 0,
@@ -122,10 +133,13 @@ impl RejectReason {
             RejectReason::BadPayload => 2,
             RejectReason::ShuttingDown => 3,
             RejectReason::DeadlineExceeded => 4,
+            RejectReason::Backpressure { .. } => 5,
         }
     }
 
-    /// Inverse of [`RejectReason::to_u8`].
+    /// Inverse of [`RejectReason::to_u8`] for the hint-less reasons.
+    /// `Backpressure` decodes through its dedicated reply status (the
+    /// aux field carries the hint), never through this table.
     pub fn from_u8(tag: u8) -> Option<RejectReason> {
         match tag {
             0 => Some(RejectReason::QueueFull),
@@ -145,6 +159,7 @@ impl RejectReason {
             RejectReason::BadPayload => "payload length != n*n",
             RejectReason::ShuttingDown => "service shutting down",
             RejectReason::DeadlineExceeded => "deadline expired before packing",
+            RejectReason::Backpressure { .. } => "shard at capacity, retry after hint",
         }
     }
 }

@@ -71,8 +71,11 @@ impl RetryPolicy {
         x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
         x ^= x >> 31;
         let half = exp / 2;
-        let jitter_ns = (x % (half.as_nanos().max(1) as u64)) as u32;
-        half + Duration::new(0, jitter_ns)
+        // Jitter stays in u64 nanoseconds: a cap above ~4.29 s makes
+        // `half` exceed `u32::MAX` ns, and narrowing here would wrap the
+        // modulus and skew the distribution toward the low end.
+        let jitter_ns = x % (half.as_nanos().max(1) as u64);
+        half + Duration::from_nanos(jitter_ns)
     }
 }
 
@@ -92,6 +95,35 @@ mod tests {
             assert!(d <= exp, "attempt {attempt}: {d:?} > {exp:?}");
         }
         assert!(p.backoff(100) <= p.cap, "late attempts stay capped");
+
+        // Multi-second cap: `half` is 10 s, far above u32::MAX ns. The
+        // old u32 narrowing kept every jitter below ~4.29 s; computed in
+        // u64 the jitter must range across the full (0, half) interval.
+        let slow = RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_secs(1),
+            cap: Duration::from_secs(20),
+            seed: 0,
+        };
+        let half = slow.cap / 2;
+        let mut max_jitter = Duration::ZERO;
+        for seed in 0..64u64 {
+            let p = RetryPolicy {
+                seed,
+                ..slow.clone()
+            };
+            for attempt in 6..=9u32 {
+                let d = p.backoff(attempt);
+                assert!(d >= half, "attempt {attempt}: {d:?} < {half:?}");
+                assert!(d <= slow.cap, "attempt {attempt}: {d:?} > {:?}", slow.cap);
+                max_jitter = max_jitter.max(d - half);
+            }
+        }
+        assert!(
+            max_jitter > Duration::from_nanos(u64::from(u32::MAX)),
+            "jitter never exceeded the u32 range ({max_jitter:?}); \
+             the modulus is being narrowed"
+        );
     }
 
     #[test]

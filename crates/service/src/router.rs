@@ -1,0 +1,1082 @@
+//! Router/shard tier: one front door over N factorization shards.
+//!
+//! ROADMAP item 2's production shape is *many* servers, with routing
+//! keyed by `(n, dtype)` so each shard's batch former sees homogeneous
+//! traffic and keeps lane occupancy high. This module provides that
+//! tier:
+//!
+//! - a [`Router`] fronts N [`ShardBackend`]s — in-process services
+//!   ([`InProcessShard`]) or remote `ibcf serve` processes over TCP
+//!   ([`TcpShard`]);
+//! - requests route by [`RoutePolicy`]: rendezvous (highest-random-
+//!   weight) hashing of `(n, dtype)` for stable keys with minimal
+//!   movement on failover, or least-loaded by ingest-queue depth;
+//! - a health thread probes every shard on a fixed cadence and marks
+//!   dead shards unroutable; live submissions that hit a dying shard
+//!   fail over to the next healthy candidate immediately;
+//! - a full shard queue is *never* spilled to a colder shard and never
+//!   blocks the router: the client gets a typed
+//!   [`RejectReason::Backpressure`] carrying a retry-after hint, and is
+//!   expected to resubmit no sooner than the hint (the load generator's
+//!   retry loop honors this);
+//! - the chaos harness kills whole shards deterministically through
+//!   [`FaultSite::RouterShard`](crate::fault::FaultSite) /
+//!   [`FaultAction::KillShard`]: the health loop drains the victim
+//!   (already-admitted work is still answered — exactly-one-reply
+//!   survives shard death) and refuses to kill the last healthy shard.
+//!
+//! The [`RouterClient`] implements [`Frontend`], so the TCP server can
+//! front a whole fleet exactly as it fronts one service, and
+//! [`RouterClient::stats`] reports the fleet merge (via
+//! [`StatsSnapshot::merge`]) with a per-shard breakdown attached.
+
+use crate::codec::{
+    decode_factor_reply, encode_factor_req, read_frame, wire_deadline_us, write_frame,
+    K_FACTOR_REPLY, K_FACTOR_REQ,
+};
+use crate::fault::{FaultAction, FaultHook, FaultSite};
+use crate::request::{FactorReply, Outcome, Payload, RejectReason, ReplySink};
+use crate::server::TcpConn;
+use crate::service::{Client, Frontend, Service};
+use crate::stats::{ShardStat, StatsSnapshot};
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A refusal handed back by [`ShardBackend::try_submit`]: nothing was
+/// delivered through the sink, so the router still owns the request.
+pub type SubmitRefusal = (RejectReason, Payload, ReplySink);
+
+/// One backend the router can route to.
+pub trait ShardBackend: Send + Sync {
+    /// Display name (stable for the life of the fleet, e.g. `shard-0`).
+    fn name(&self) -> &str;
+
+    /// Non-blocking admission. `Ok` means the shard owns the request and
+    /// will invoke the sink exactly once; `Err` hands reason, payload,
+    /// and sink back untouched so the router can re-route or reject.
+    fn try_submit(
+        &self,
+        id: u64,
+        n: usize,
+        payload: Payload,
+        deadline: Option<Instant>,
+        sink: ReplySink,
+    ) -> Result<(), SubmitRefusal>;
+
+    /// `true` while the shard can accept new work (the health probe).
+    fn probe(&self) -> bool;
+
+    /// Backlog estimate for least-loaded routing (queued requests).
+    fn load(&self) -> usize;
+
+    /// The shard's own counters.
+    fn stats(&self) -> StatsSnapshot;
+
+    /// Stops admission on this shard (the deterministic shard kill).
+    /// Already-admitted work must still drain to its sinks.
+    fn kill(&self);
+
+    /// `true` once every admitted request has been answered.
+    fn drained(&self) -> bool;
+
+    /// Releases the shard's resources (joins worker threads). Called
+    /// once, from [`Router::shutdown`], after [`ShardBackend::kill`].
+    fn shutdown(&self);
+}
+
+/// A shard running inside this process: one [`Service`] with its own
+/// former, queue, and worker pool.
+pub struct InProcessShard {
+    name: String,
+    client: Client,
+    service: Mutex<Option<Service>>,
+}
+
+impl InProcessShard {
+    /// Wraps a started service as a routable shard.
+    pub fn new(name: impl Into<String>, service: Service) -> InProcessShard {
+        InProcessShard {
+            name: name.into(),
+            client: service.client(),
+            service: Mutex::new(Some(service)),
+        }
+    }
+}
+
+impl ShardBackend for InProcessShard {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn try_submit(
+        &self,
+        id: u64,
+        n: usize,
+        payload: Payload,
+        deadline: Option<Instant>,
+        sink: ReplySink,
+    ) -> Result<(), SubmitRefusal> {
+        self.client.try_submit(id, n, payload, deadline, sink)
+    }
+
+    fn probe(&self) -> bool {
+        self.client.is_accepting()
+    }
+
+    fn load(&self) -> usize {
+        self.client.queue_depth()
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.client.stats()
+    }
+
+    fn kill(&self) {
+        // Graceful: stop admission, keep answering what was admitted.
+        self.client.begin_drain();
+    }
+
+    fn drained(&self) -> bool {
+        self.client.drained()
+    }
+
+    fn shutdown(&self) {
+        if let Some(service) = self.service.lock().unwrap().take() {
+            service.shutdown();
+        }
+    }
+}
+
+/// Requests in flight on one TCP shard connection, keyed by the wire id
+/// the shard sees (the router renumbers — caller ids are only unique per
+/// front-end connection, not fleet-wide).
+struct TcpPending {
+    map: HashMap<u64, (u64, ReplySink)>,
+    /// Set by the dying reader, under this lock, *before* it drains the
+    /// map — so a submitter holding the lock either sees `dead` or gets
+    /// its entry drained, never neither.
+    dead: bool,
+}
+
+struct TcpShardConn {
+    stream: TcpStream,
+    reader: JoinHandle<()>,
+    pending: Arc<Mutex<TcpPending>>,
+}
+
+/// A shard behind a TCP connection to a remote `ibcf serve` process.
+///
+/// The router renumbers requests onto a private wire-id space, pumps
+/// replies back through a reader thread, and answers everything still in
+/// flight with a typed [`Outcome::WorkerCrashed`] (idempotent — safe to
+/// resubmit) if the connection dies mid-stream.
+pub struct TcpShard {
+    name: String,
+    addr: String,
+    next_wire_id: AtomicU64,
+    killed: AtomicBool,
+    conn: Mutex<Option<TcpShardConn>>,
+}
+
+impl TcpShard {
+    /// A shard that will lazily connect to `addr` on first use.
+    pub fn new(name: impl Into<String>, addr: impl Into<String>) -> TcpShard {
+        TcpShard {
+            name: name.into(),
+            addr: addr.into(),
+            next_wire_id: AtomicU64::new(1),
+            killed: AtomicBool::new(false),
+            conn: Mutex::new(None),
+        }
+    }
+
+    /// Ensures a live connection exists, reaping a dead one first.
+    /// Returns `false` when the shard is unreachable.
+    fn ensure_conn(&self, conn: &mut Option<TcpShardConn>) -> bool {
+        if let Some(c) = conn.as_ref() {
+            if !c.pending.lock().unwrap().dead {
+                return true;
+            }
+            let c = conn.take().unwrap();
+            let _ = c.reader.join();
+        }
+        let Ok(stream) = TcpStream::connect(&self.addr) else {
+            return false;
+        };
+        stream.set_nodelay(true).ok();
+        let Ok(read_half) = stream.try_clone() else {
+            return false;
+        };
+        let pending = Arc::new(Mutex::new(TcpPending {
+            map: HashMap::new(),
+            dead: false,
+        }));
+        let reader = {
+            let pending = pending.clone();
+            std::thread::Builder::new()
+                .name("ibcf-shard-reader".into())
+                .spawn(move || {
+                    let mut r = BufReader::new(read_half);
+                    loop {
+                        match read_frame(&mut r) {
+                            Ok(Some((K_FACTOR_REPLY, body))) => {
+                                let Ok(reply) = decode_factor_reply(&body) else {
+                                    break;
+                                };
+                                let entry = pending.lock().unwrap().map.remove(&reply.id);
+                                if let Some((caller_id, sink)) = entry {
+                                    sink(FactorReply {
+                                        id: caller_id,
+                                        outcome: reply.outcome,
+                                    });
+                                }
+                            }
+                            Ok(Some(_)) => {} // unexpected kind: ignore
+                            Ok(None) | Err(_) => break,
+                        }
+                    }
+                    // The connection is gone: everything still in flight
+                    // gets a typed crash reply (resubmitting is safe).
+                    // `dead` flips under the same lock, so no submitter
+                    // can add an entry nobody will ever answer.
+                    let drained: Vec<(u64, ReplySink)> = {
+                        let mut p = pending.lock().unwrap();
+                        p.dead = true;
+                        p.map.drain().map(|(_, v)| v).collect()
+                    };
+                    for (caller_id, sink) in drained {
+                        sink(FactorReply {
+                            id: caller_id,
+                            outcome: Outcome::WorkerCrashed,
+                        });
+                    }
+                })
+                .expect("spawn shard reader")
+        };
+        *conn = Some(TcpShardConn {
+            stream,
+            reader,
+            pending,
+        });
+        true
+    }
+}
+
+impl ShardBackend for TcpShard {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn try_submit(
+        &self,
+        id: u64,
+        n: usize,
+        payload: Payload,
+        deadline: Option<Instant>,
+        sink: ReplySink,
+    ) -> Result<(), SubmitRefusal> {
+        if self.killed.load(Ordering::SeqCst) {
+            return Err((RejectReason::ShuttingDown, payload, sink));
+        }
+        let mut conn = self.conn.lock().unwrap();
+        if !self.ensure_conn(&mut conn) {
+            return Err((RejectReason::ShuttingDown, payload, sink));
+        }
+        let c = conn.as_mut().unwrap();
+        let wire_id = self.next_wire_id.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut p = c.pending.lock().unwrap();
+            if p.dead {
+                return Err((RejectReason::ShuttingDown, payload, sink));
+            }
+            p.map.insert(wire_id, (id, sink));
+        }
+        // Forward the *remaining* deadline; wire_deadline_us keeps an
+        // almost-expired one from truncating to "no deadline".
+        let wire_deadline =
+            wire_deadline_us(deadline.map(|d| d.saturating_duration_since(Instant::now())));
+        let body = encode_factor_req(wire_id, n, wire_deadline, &payload);
+        let mut w = &c.stream;
+        if write_frame(&mut w, K_FACTOR_REQ, &body).is_err() {
+            c.stream.shutdown(Shutdown::Both).ok();
+            return match c.pending.lock().unwrap().map.remove(&wire_id) {
+                // We still own the sink: hand everything back.
+                Some((_, sink)) => Err((RejectReason::ShuttingDown, payload, sink)),
+                // The reader drained it first (typed crash reply went
+                // out): the request was answered, nothing to hand back.
+                None => Ok(()),
+            };
+        }
+        Ok(())
+    }
+
+    fn probe(&self) -> bool {
+        if self.killed.load(Ordering::SeqCst) {
+            return false;
+        }
+        let mut conn = self.conn.lock().unwrap();
+        self.ensure_conn(&mut conn)
+    }
+
+    fn load(&self) -> usize {
+        self.conn
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map_or(0, |c| c.pending.lock().unwrap().map.len())
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        TcpConn::connect_with_timeout(&self.addr, Duration::from_secs(2))
+            .and_then(|mut c| c.fetch_stats())
+            .unwrap_or_default()
+    }
+
+    fn kill(&self) {
+        self.killed.store(true, Ordering::SeqCst);
+        if let Some(c) = self.conn.lock().unwrap().as_ref() {
+            // Wakes the reader, which answers all in-flight requests
+            // with typed crash replies.
+            c.stream.shutdown(Shutdown::Both).ok();
+        }
+    }
+
+    fn drained(&self) -> bool {
+        self.load() == 0
+    }
+
+    fn shutdown(&self) {
+        self.kill();
+        if let Some(c) = self.conn.lock().unwrap().take() {
+            let _ = c.reader.join();
+        }
+    }
+}
+
+/// How the router picks a shard for a request key `(n, dtype)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutePolicy {
+    /// Rendezvous (highest-random-weight) hashing over the healthy
+    /// shards: a key always lands on the same shard while that shard
+    /// lives, and only the dead shard's keys move on failover — batch
+    /// formers keep seeing homogeneous traffic.
+    ConsistentHash,
+    /// The healthy shard with the shallowest ingest queue.
+    LeastLoaded,
+}
+
+impl std::str::FromStr for RoutePolicy {
+    type Err = String;
+    fn from_str(s: &str) -> Result<RoutePolicy, String> {
+        match s {
+            "hash" | "consistent-hash" => Ok(RoutePolicy::ConsistentHash),
+            "least-loaded" | "load" => Ok(RoutePolicy::LeastLoaded),
+            other => Err(format!(
+                "unknown route policy {other} (use hash or least-loaded)"
+            )),
+        }
+    }
+}
+
+/// Router construction parameters.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Shard selection policy.
+    pub policy: RoutePolicy,
+    /// Health probe cadence (every shard, every round).
+    pub health_interval: Duration,
+    /// The retry-after hint handed out when the routed shard's queue is
+    /// full. Should cover roughly one former flush cycle.
+    pub retry_after_us: u32,
+    /// Fault hook for deterministic shard kills
+    /// ([`FaultSite::RouterShard`]).
+    pub fault: FaultHook,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            policy: RoutePolicy::ConsistentHash,
+            health_interval: Duration::from_millis(10),
+            retry_after_us: 1_000,
+            fault: FaultHook::disabled(),
+        }
+    }
+}
+
+/// SplitMix64 — the same mixer the fault plans use; good avalanche for
+/// rendezvous weights.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+struct ShardSlot {
+    backend: Arc<dyn ShardBackend>,
+    healthy: AtomicBool,
+    killed: AtomicBool,
+    /// Requests the router handed this shard.
+    routed: AtomicU64,
+    /// Rendezvous salt (fixed per slot).
+    salt: u64,
+}
+
+struct RouterCore {
+    slots: Vec<ShardSlot>,
+    policy: RoutePolicy,
+    retry_after_us: u32,
+    stop: AtomicBool,
+    /// Router-level rejections (delivered by the router itself, so no
+    /// shard counted them).
+    rejected: AtomicU64,
+    /// Subset of `rejected` that were backpressure hints.
+    backpressured: AtomicU64,
+    /// Submissions that had to skip a refusing shard.
+    failovers: AtomicU64,
+    /// Shards actually killed by the fault plan.
+    kills: AtomicU64,
+}
+
+impl RouterCore {
+    /// Healthy slot indices ranked by the active policy for key
+    /// `(n, dtype)`.
+    fn pick_order(&self, n: usize, dtype_tag: u8) -> Vec<usize> {
+        let mut healthy: Vec<usize> = (0..self.slots.len())
+            .filter(|&i| self.slots[i].healthy.load(Ordering::SeqCst))
+            .collect();
+        match self.policy {
+            RoutePolicy::ConsistentHash => {
+                let key = mix((n as u64) << 8 | u64::from(dtype_tag));
+                healthy.sort_by_key(|&i| std::cmp::Reverse(mix(key ^ self.slots[i].salt)));
+            }
+            RoutePolicy::LeastLoaded => {
+                healthy.sort_by_key(|&i| (self.slots[i].backend.load(), i));
+            }
+        }
+        healthy
+    }
+
+    fn submit(
+        &self,
+        id: u64,
+        n: usize,
+        payload: Payload,
+        deadline: Option<Instant>,
+        sink: ReplySink,
+    ) {
+        let reject = |sink: ReplySink, reason: RejectReason| {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            sink(FactorReply {
+                id,
+                outcome: Outcome::Rejected(reason),
+            });
+        };
+        let order = self.pick_order(n, payload.dtype().to_u8());
+        let mut payload = payload;
+        let mut sink = sink;
+        for (attempt, &i) in order.iter().enumerate() {
+            if attempt > 0 {
+                self.failovers.fetch_add(1, Ordering::Relaxed);
+            }
+            let slot = &self.slots[i];
+            match slot.backend.try_submit(id, n, payload, deadline, sink) {
+                Ok(()) => {
+                    slot.routed.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                Err((RejectReason::QueueFull, _, s)) => {
+                    // The shard this key belongs on is at capacity.
+                    // Spilling to a colder shard would wreck its former's
+                    // homogeneity and hide the hotspot, and blocking
+                    // would stall every connection behind this one — so
+                    // shed with a typed retry-after hint instead.
+                    self.backpressured.fetch_add(1, Ordering::Relaxed);
+                    return reject(
+                        s,
+                        RejectReason::Backpressure {
+                            retry_after_us: self.retry_after_us,
+                        },
+                    );
+                }
+                Err((RejectReason::ShuttingDown, p, s)) => {
+                    // The shard died between the health round and now:
+                    // mark it unroutable and fail over.
+                    slot.healthy.store(false, Ordering::SeqCst);
+                    payload = p;
+                    sink = s;
+                }
+                Err((reason, _, s)) => {
+                    // BadDimension / BadPayload / DeadlineExceeded: the
+                    // request itself is at fault, no shard can help.
+                    return reject(s, reason);
+                }
+            }
+        }
+        // No healthy shard accepted.
+        reject(sink, RejectReason::ShuttingDown);
+    }
+
+    /// One health round: maybe kill a shard (fault plan), then re-probe
+    /// every slot.
+    fn health_round(&self, fault: &FaultHook) {
+        for slot in &self.slots {
+            if let Some(FaultAction::KillShard) = fault.check(FaultSite::RouterShard) {
+                let alive = self
+                    .slots
+                    .iter()
+                    .filter(|s| s.healthy.load(Ordering::SeqCst))
+                    .count();
+                // Never take the whole fleet down: the last healthy
+                // shard is immune.
+                if alive > 1 && !slot.killed.swap(true, Ordering::SeqCst) {
+                    slot.backend.kill();
+                    self.kills.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            let up = !slot.killed.load(Ordering::SeqCst) && slot.backend.probe();
+            slot.healthy.store(up, Ordering::SeqCst);
+        }
+    }
+
+    fn fleet_snapshot(&self) -> StatsSnapshot {
+        let shards: Vec<ShardStat> = self
+            .slots
+            .iter()
+            .map(|slot| ShardStat {
+                name: slot.backend.name().to_string(),
+                healthy: slot.healthy.load(Ordering::SeqCst),
+                routed: slot.routed.load(Ordering::Relaxed),
+                snapshot: slot.backend.stats(),
+            })
+            .collect();
+        let mut fleet = shards
+            .iter()
+            .fold(StatsSnapshot::default(), |acc, s| acc.merge(&s.snapshot));
+        // Rejections the router delivered itself (backpressure, no
+        // healthy shard) were never seen by any shard.
+        fleet.rejected += self.rejected.load(Ordering::Relaxed);
+        fleet.shards = Some(shards);
+        fleet
+    }
+}
+
+/// The shard tier's front door. Owns the health thread; hand
+/// [`Router::client`] to the TCP server (it implements [`Frontend`]).
+pub struct Router {
+    core: Arc<RouterCore>,
+    health: Option<JoinHandle<()>>,
+}
+
+impl Router {
+    /// Starts a router over `shards` with the given config. The health
+    /// thread probes every shard each `health_interval` and drives the
+    /// fault plan's shard kills.
+    pub fn start(shards: Vec<Arc<dyn ShardBackend>>, cfg: RouterConfig) -> Router {
+        assert!(!shards.is_empty(), "router needs at least one shard");
+        let slots: Vec<ShardSlot> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, backend)| ShardSlot {
+                healthy: AtomicBool::new(backend.probe()),
+                killed: AtomicBool::new(false),
+                routed: AtomicU64::new(0),
+                salt: mix(0xC0FFEE ^ (i as u64) << 17),
+                backend,
+            })
+            .collect();
+        let core = Arc::new(RouterCore {
+            slots,
+            policy: cfg.policy,
+            retry_after_us: cfg.retry_after_us,
+            stop: AtomicBool::new(false),
+            rejected: AtomicU64::new(0),
+            backpressured: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            kills: AtomicU64::new(0),
+        });
+        let health = {
+            let core = core.clone();
+            let fault = cfg.fault.clone();
+            let interval = cfg.health_interval;
+            std::thread::Builder::new()
+                .name("ibcf-router-health".into())
+                .spawn(move || {
+                    while !core.stop.load(Ordering::SeqCst) {
+                        core.health_round(&fault);
+                        std::thread::sleep(interval);
+                    }
+                })
+                .expect("spawn router health thread")
+        };
+        Router {
+            core,
+            health: Some(health),
+        }
+    }
+
+    /// A cheap, cloneable submission handle (the [`Frontend`] the TCP
+    /// server runs on).
+    pub fn client(&self) -> RouterClient {
+        RouterClient {
+            core: self.core.clone(),
+        }
+    }
+
+    /// Shards the fault plan killed.
+    pub fn kills(&self) -> u64 {
+        self.core.kills.load(Ordering::Relaxed)
+    }
+
+    /// Submissions that skipped at least one refusing shard.
+    pub fn failovers(&self) -> u64 {
+        self.core.failovers.load(Ordering::Relaxed)
+    }
+
+    /// Backpressure rejections the router handed out.
+    pub fn backpressured(&self) -> u64 {
+        self.core.backpressured.load(Ordering::Relaxed)
+    }
+
+    /// Stops the health thread, drains and shuts every shard down, and
+    /// returns the final fleet snapshot (per-shard breakdown attached).
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.core.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.health.take() {
+            let _ = h.join();
+        }
+        for slot in &self.core.slots {
+            slot.backend.kill();
+        }
+        let t0 = Instant::now();
+        while !self.core.slots.iter().all(|s| s.backend.drained())
+            && t0.elapsed() < Duration::from_secs(30)
+        {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for slot in &self.core.slots {
+            slot.backend.shutdown();
+        }
+        self.core.fleet_snapshot()
+    }
+}
+
+/// Cloneable handle routing submissions across the fleet; the router's
+/// [`Frontend`] implementation.
+#[derive(Clone)]
+pub struct RouterClient {
+    core: Arc<RouterCore>,
+}
+
+impl RouterClient {
+    /// Routes one request; the reply arrives through `sink` exactly once
+    /// (inline for rejections and backpressure).
+    pub fn submit_sink(
+        &self,
+        id: u64,
+        n: usize,
+        payload: Payload,
+        deadline: Option<Instant>,
+        sink: ReplySink,
+    ) {
+        self.core.submit(id, n, payload, deadline, sink);
+    }
+
+    /// Fleet-merged counters with the per-shard breakdown attached.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.core.fleet_snapshot()
+    }
+
+    /// Stops admission fleet-wide; queued work keeps draining.
+    pub fn begin_drain(&self) {
+        for slot in &self.core.slots {
+            slot.healthy.store(false, Ordering::SeqCst);
+            slot.backend.kill();
+        }
+    }
+
+    /// `true` once every shard answered everything it admitted.
+    pub fn drained(&self) -> bool {
+        self.core.slots.iter().all(|s| s.backend.drained())
+    }
+}
+
+impl Frontend for RouterClient {
+    fn submit_sink(
+        &self,
+        id: u64,
+        n: usize,
+        payload: Payload,
+        deadline: Option<Instant>,
+        sink: ReplySink,
+        _blocking: bool,
+    ) {
+        // The router never blocks: a full shard queue is a typed
+        // backpressure reject, whatever the caller asked for.
+        RouterClient::submit_sink(self, id, n, payload, deadline, sink);
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        RouterClient::stats(self)
+    }
+
+    fn begin_drain(&self) {
+        RouterClient::begin_drain(self);
+    }
+
+    fn drained(&self) -> bool {
+        RouterClient::drained(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineSelector;
+    use crate::fault::FaultPlan;
+    use crate::service::ServiceConfig;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc;
+
+    /// A scripted backend: refuses with a fixed reason, or accepts and
+    /// echoes the payload back as a factor.
+    struct TestBackend {
+        name: String,
+        refuse: Mutex<Option<RejectReason>>,
+        accepted: Mutex<Vec<u64>>,
+        load: AtomicUsize,
+    }
+
+    impl TestBackend {
+        fn new(name: &str) -> Arc<TestBackend> {
+            Arc::new(TestBackend {
+                name: name.to_string(),
+                refuse: Mutex::new(None),
+                accepted: Mutex::new(Vec::new()),
+                load: AtomicUsize::new(0),
+            })
+        }
+
+        fn refuse_with(&self, reason: Option<RejectReason>) {
+            *self.refuse.lock().unwrap() = reason;
+        }
+
+        fn accepted_ids(&self) -> Vec<u64> {
+            self.accepted.lock().unwrap().clone()
+        }
+    }
+
+    impl ShardBackend for TestBackend {
+        fn name(&self) -> &str {
+            &self.name
+        }
+
+        fn try_submit(
+            &self,
+            id: u64,
+            n: usize,
+            payload: Payload,
+            _deadline: Option<Instant>,
+            sink: ReplySink,
+        ) -> Result<(), SubmitRefusal> {
+            let _ = n;
+            if let Some(reason) = *self.refuse.lock().unwrap() {
+                return Err((reason, payload, sink));
+            }
+            self.accepted.lock().unwrap().push(id);
+            sink(FactorReply {
+                id,
+                outcome: Outcome::Factor(payload),
+            });
+            Ok(())
+        }
+
+        fn probe(&self) -> bool {
+            !matches!(
+                *self.refuse.lock().unwrap(),
+                Some(RejectReason::ShuttingDown)
+            )
+        }
+
+        fn load(&self) -> usize {
+            self.load.load(Ordering::Relaxed)
+        }
+
+        fn stats(&self) -> StatsSnapshot {
+            StatsSnapshot {
+                requests: self.accepted.lock().unwrap().len() as u64,
+                ..StatsSnapshot::default()
+            }
+        }
+
+        fn kill(&self) {
+            self.refuse_with(Some(RejectReason::ShuttingDown));
+        }
+
+        fn drained(&self) -> bool {
+            true
+        }
+
+        fn shutdown(&self) {}
+    }
+
+    fn fakes(n: usize) -> Vec<Arc<TestBackend>> {
+        (0..n).map(|i| TestBackend::new(&format!("s{i}"))).collect()
+    }
+
+    fn as_backends(f: &[Arc<TestBackend>]) -> Vec<Arc<dyn ShardBackend>> {
+        f.iter()
+            .map(|b| b.clone() as Arc<dyn ShardBackend>)
+            .collect()
+    }
+
+    fn call(client: &RouterClient, id: u64, n: usize) -> FactorReply {
+        let (tx, rx) = mpsc::sync_channel(1);
+        client.submit_sink(
+            id,
+            n,
+            Payload::F32(vec![1.0; n * n]),
+            None,
+            Box::new(move |r| drop(tx.send(r))),
+        );
+        rx.recv().expect("sink never invoked")
+    }
+
+    #[test]
+    fn rendezvous_routing_is_stable_and_spreads_keys() {
+        let f = fakes(4);
+        let router = Router::start(as_backends(&f), RouterConfig::default());
+        let client = router.client();
+        // Same key, many submissions: all land on one shard.
+        for id in 0..32 {
+            assert!(call(&client, id, 8).outcome.is_ok());
+        }
+        let owners: Vec<usize> = (0..4).map(|i| f[i].accepted_ids().len()).collect();
+        assert_eq!(
+            owners.iter().filter(|&&c| c > 0).count(),
+            1,
+            "one key must map to exactly one shard, got {owners:?}"
+        );
+        // Many distinct keys: more than one shard sees traffic.
+        for (id, n) in (1..=32usize).enumerate() {
+            assert!(call(&client, 100 + id as u64, n).outcome.is_ok());
+        }
+        let spread = (0..4).filter(|&i| !f[i].accepted_ids().is_empty()).count();
+        assert!(spread > 1, "32 keys all hashed to one of 4 shards");
+        router.shutdown();
+    }
+
+    #[test]
+    fn failover_reroutes_live_traffic_off_a_dead_shard() {
+        let f = fakes(3);
+        let router = Router::start(as_backends(&f), RouterConfig::default());
+        let client = router.client();
+        assert!(call(&client, 1, 6).outcome.is_ok());
+        let owner = (0..3)
+            .position(|i| !f[i].accepted_ids().is_empty())
+            .unwrap();
+        // The owner dies without the health thread noticing yet: the
+        // submit path itself must fail over.
+        f[owner].kill();
+        let reply = call(&client, 2, 6);
+        assert!(reply.outcome.is_ok(), "failover failed: {reply:?}");
+        assert_eq!(router.failovers(), 1);
+        let new_owner = (0..3)
+            .position(|i| i != owner && !f[i].accepted_ids().is_empty())
+            .expect("no other shard accepted the rerouted request");
+        // The rerouted key sticks to its new shard on the next submit.
+        assert!(call(&client, 3, 6).outcome.is_ok());
+        assert_eq!(f[new_owner].accepted_ids(), vec![2, 3]);
+        // All shards dead: a typed ShuttingDown, not a hang.
+        for b in &f {
+            b.kill();
+        }
+        let reply = call(&client, 4, 6);
+        assert_eq!(reply.outcome, Outcome::Rejected(RejectReason::ShuttingDown));
+        router.shutdown();
+    }
+
+    #[test]
+    fn full_queue_is_typed_backpressure_not_spill_or_block() {
+        let f = fakes(2);
+        let cfg = RouterConfig {
+            retry_after_us: 777,
+            ..RouterConfig::default()
+        };
+        let router = Router::start(as_backends(&f), cfg);
+        let client = router.client();
+        assert!(call(&client, 1, 5).outcome.is_ok());
+        let owner = (0..2)
+            .position(|i| !f[i].accepted_ids().is_empty())
+            .unwrap();
+        f[owner].refuse_with(Some(RejectReason::QueueFull));
+        let reply = call(&client, 2, 5);
+        assert_eq!(
+            reply.outcome,
+            Outcome::Rejected(RejectReason::Backpressure {
+                retry_after_us: 777
+            }),
+            "full queue must surface as a typed retry-after hint"
+        );
+        // No spill: the other shard saw nothing.
+        assert!(f[1 - owner].accepted_ids().is_empty());
+        assert_eq!(router.backpressured(), 1);
+        assert_eq!(router.failovers(), 0);
+        router.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_reject_typed_without_failover() {
+        let f = fakes(2);
+        let router = Router::start(as_backends(&f), RouterConfig::default());
+        let client = router.client();
+        assert!(call(&client, 1, 4).outcome.is_ok());
+        let owner = (0..2)
+            .position(|i| !f[i].accepted_ids().is_empty())
+            .unwrap();
+        f[owner].refuse_with(Some(RejectReason::BadDimension));
+        let reply = call(&client, 2, 4);
+        assert_eq!(reply.outcome, Outcome::Rejected(RejectReason::BadDimension));
+        assert_eq!(router.failovers(), 0, "a bad request must not shard-hop");
+        router.shutdown();
+    }
+
+    #[test]
+    fn least_loaded_picks_the_shallowest_queue() {
+        let f = fakes(2);
+        let cfg = RouterConfig {
+            policy: RoutePolicy::LeastLoaded,
+            ..RouterConfig::default()
+        };
+        let router = Router::start(as_backends(&f), cfg);
+        let client = router.client();
+        f[0].load.store(5, Ordering::Relaxed);
+        assert!(call(&client, 1, 4).outcome.is_ok());
+        assert_eq!(f[1].accepted_ids(), vec![1]);
+        f[0].load.store(0, Ordering::Relaxed);
+        f[1].load.store(9, Ordering::Relaxed);
+        assert!(call(&client, 2, 4).outcome.is_ok());
+        assert_eq!(f[0].accepted_ids(), vec![2]);
+        router.shutdown();
+    }
+
+    #[test]
+    fn fault_plan_kills_shards_but_never_the_last_one() {
+        let f = fakes(2);
+        let cfg = RouterConfig {
+            health_interval: Duration::from_millis(1),
+            fault: FaultHook::from_plan(FaultPlan::shard_kill(99)),
+            ..RouterConfig::default()
+        };
+        let router = Router::start(as_backends(&f), cfg);
+        let client = router.client();
+        // Let the health loop run well past both budgeted kill firings.
+        let t0 = Instant::now();
+        while router.kills() == 0 && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(
+            router.kills(),
+            1,
+            "the second budgeted kill must be refused (last healthy shard)"
+        );
+        let alive = f.iter().filter(|b| b.probe()).count();
+        assert_eq!(alive, 1, "exactly one shard must survive");
+        // And the survivor still serves.
+        assert!(call(&client, 1, 4).outcome.is_ok());
+        router.shutdown();
+    }
+
+    #[test]
+    fn fleet_stats_merge_shards_and_count_router_rejects() {
+        let f = fakes(2);
+        let cfg = RouterConfig {
+            retry_after_us: 50,
+            ..RouterConfig::default()
+        };
+        let router = Router::start(as_backends(&f), cfg);
+        let client = router.client();
+        for id in 0..6 {
+            // Distinct n per id so both shards likely see traffic.
+            assert!(call(&client, id, 2 + id as usize).outcome.is_ok());
+        }
+        f[0].refuse_with(Some(RejectReason::QueueFull));
+        f[1].refuse_with(Some(RejectReason::QueueFull));
+        let r = call(&client, 99, 3);
+        assert!(matches!(
+            r.outcome,
+            Outcome::Rejected(RejectReason::Backpressure { .. })
+        ));
+        let snap = Frontend::stats(&client);
+        assert_eq!(snap.requests, 6, "fleet requests = sum of shards");
+        assert_eq!(snap.rejected, 1, "router-level rejects count in fleet");
+        let shards = snap.shards.expect("fleet snapshot carries shard list");
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards.iter().map(|s| s.routed).sum::<u64>(), 6);
+        assert_eq!(shards.iter().map(|s| s.snapshot.requests).sum::<u64>(), 6);
+        router.shutdown();
+    }
+
+    /// End-to-end over real in-process services: route, kill a shard
+    /// mid-stream, and require every request to get exactly one reply.
+    #[test]
+    fn in_process_fleet_survives_a_shard_kill_end_to_end() {
+        let shards: Vec<Arc<dyn ShardBackend>> = (0..3)
+            .map(|i| {
+                let service = Service::start(
+                    ServiceConfig {
+                        max_delay: Duration::from_micros(200),
+                        ..ServiceConfig::default()
+                    },
+                    EngineSelector::heuristic(),
+                );
+                Arc::new(InProcessShard::new(format!("shard-{i}"), service))
+                    as Arc<dyn ShardBackend>
+            })
+            .collect();
+        let router = Router::start(shards, RouterConfig::default());
+        let client = router.client();
+        let (tx, rx) = mpsc::channel::<FactorReply>();
+        let total = 120u64;
+        for id in 0..total {
+            // Cycle a few sizes so rendezvous spreads the keys.
+            let n = 2 + (id % 4) as usize;
+            let mut a = vec![0.0f32; n * n];
+            for d in 0..n {
+                a[d * n + d] = 4.0;
+            }
+            let tx = tx.clone();
+            client.submit_sink(
+                id,
+                n,
+                Payload::F32(a),
+                None,
+                Box::new(move |r| drop(tx.send(r))),
+            );
+            if id == total / 2 {
+                // Kill one shard mid-stream, as the chaos plan would.
+                router.core.slots[0].killed.store(true, Ordering::SeqCst);
+                router.core.slots[0].backend.kill();
+            }
+        }
+        drop(tx);
+        let mut ids: Vec<u64> = rx.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(
+            ids,
+            (0..total).collect::<Vec<_>>(),
+            "exactly one reply per request, even across a shard kill"
+        );
+        let snap = router.shutdown();
+        let shards = snap.shards.expect("fleet snapshot has shard breakdown");
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards.iter().map(|s| s.routed).sum::<u64>(), total);
+    }
+}

@@ -1,7 +1,9 @@
 //! std::net TCP front-end: accepts connections, decodes request frames,
-//! submits them through the in-process [`Client`], and streams replies
-//! back as they complete (replies may reorder relative to requests; the
-//! caller correlates by id).
+//! submits them through a [`Frontend`] — a single service's
+//! [`Client`](crate::service::Client) or a
+//! [`RouterClient`](crate::router::RouterClient) fronting a sharded
+//! fleet — and streams replies back as they complete (replies may
+//! reorder relative to requests; the caller correlates by id).
 //!
 //! Per connection: the accept loop spawns a reader thread (decodes and
 //! submits) and a writer thread (serializes reply frames through an mpsc
@@ -22,7 +24,7 @@ use crate::codec::{
 };
 use crate::fault::{FaultAction, FaultHook, FaultSite};
 use crate::request::FactorReply;
-use crate::service::Client;
+use crate::service::Frontend;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -68,7 +70,7 @@ fn send_one(
             ));
         }
         Some(FaultAction::Delay(d)) => std::thread::sleep(d),
-        Some(FaultAction::PanicWorker) | None => {}
+        Some(FaultAction::PanicWorker) | Some(FaultAction::KillShard) | None => {}
     }
     w.write_all(&frame)
 }
@@ -100,7 +102,7 @@ fn frame_of(reply: &FactorReply, dtype: crate::request::Dtype) -> Vec<u8> {
 /// Returns `true` if this connection requested server shutdown. Any
 /// [`FrameError`] (torn frame, malformed body) surfaces as the `Err`
 /// branch and closes only this connection.
-fn conn_loop(stream: TcpStream, client: Client, hook: FaultHook) -> io::Result<bool> {
+fn conn_loop<F: Frontend>(stream: TcpStream, client: F, hook: FaultHook) -> io::Result<bool> {
     let out_stream = stream.try_clone()?;
     let ctrl = stream.try_clone()?;
     let (tx, rx) = channel::<Vec<u8>>();
@@ -223,15 +225,15 @@ impl TcpServer {
     }
 
     /// [`TcpServer::run_with_faults`] with the injector disabled.
-    pub fn run(&self, client: Client) -> io::Result<()> {
+    pub fn run<F: Frontend>(&self, client: F) -> io::Result<()> {
         self.run_with_faults(client, FaultHook::disabled())
     }
 
     /// Accepts and serves connections until a shutdown frame arrives or
     /// the stop flag is set. Returns once every connection thread joined,
-    /// leaving the service itself to the caller to shut down. The hook
+    /// leaving the frontend itself to the caller to shut down. The hook
     /// injects connection-level faults on every accepted stream.
-    pub fn run_with_faults(&self, client: Client, hook: FaultHook) -> io::Result<()> {
+    pub fn run_with_faults<F: Frontend>(&self, client: F, hook: FaultHook) -> io::Result<()> {
         self.listener.set_nonblocking(true)?;
         let mut conns: Vec<JoinHandle<()>> = Vec::new();
         // Clones of every accepted stream, so the drain path below can
@@ -399,7 +401,7 @@ impl TcpConn {
 mod tests {
     use super::*;
     use crate::engine::EngineSelector;
-    use crate::request::{Outcome, Payload};
+    use crate::request::{Outcome, Payload, RejectReason};
     use crate::service::{Service, ServiceConfig};
 
     fn start_server() -> (Service, std::net::SocketAddr, JoinHandle<io::Result<()>>) {
@@ -487,6 +489,80 @@ mod tests {
     }
 
     #[test]
+    fn routed_fleet_serves_tcp_and_backpressure_is_honored_end_to_end() {
+        use crate::loadgen::{self, ArrivalMode, LoadgenConfig};
+        use crate::router::{InProcessShard, Router, RouterConfig, ShardBackend};
+
+        // Two shards with tiny ingest queues: a 48-deep closed-loop
+        // window must overflow them, so the router hands out real
+        // Backpressure { retry_after_us } rejects and the load
+        // generator's retry loop has to honor the hints for the run to
+        // finish with nothing lost.
+        let shards: Vec<Arc<dyn ShardBackend>> = (0..2)
+            .map(|i| {
+                let service = Service::start(
+                    ServiceConfig {
+                        queue_cap: 2,
+                        max_delay: Duration::from_millis(2),
+                        ..ServiceConfig::default()
+                    },
+                    EngineSelector::heuristic(),
+                );
+                Arc::new(InProcessShard::new(format!("shard-{i}"), service))
+                    as Arc<dyn ShardBackend>
+            })
+            .collect();
+        let router = Router::start(
+            shards,
+            RouterConfig {
+                retry_after_us: 300,
+                ..RouterConfig::default()
+            },
+        );
+        let server = TcpServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let client = router.client();
+        let handle = std::thread::spawn(move || server.run(client));
+
+        let report = loadgen::run(&LoadgenConfig {
+            addr: addr.to_string(),
+            sizes: vec![4, 6],
+            requests: 400,
+            conns: 2,
+            mode: ArrivalMode::Closed { window: 48 },
+            seed: 11,
+            ..LoadgenConfig::default()
+        })
+        .unwrap();
+
+        assert!(report.clean(), "fleet run not clean:\n{}", report.render());
+        assert_eq!(report.lost, 0);
+        assert_eq!(report.duplicates, 0);
+        assert!(
+            report.backpressured > 0,
+            "tiny shard queues under a deep window must backpressure:\n{}",
+            report.render()
+        );
+        let shard_stats = report.server.shards.as_ref().expect("fleet breakdown");
+        assert_eq!(shard_stats.len(), 2);
+        let rendered = report.render();
+        assert!(
+            rendered.contains("shard-0") && rendered.contains("fleet:"),
+            "report must show per-shard lines and fleet totals:\n{rendered}"
+        );
+
+        let mut conn = TcpConn::connect(&addr.to_string()).unwrap();
+        conn.shutdown_server().unwrap();
+        handle.join().unwrap().unwrap();
+        let snap = router.shutdown();
+        assert_eq!(
+            snap.shards.expect("final fleet snapshot").len(),
+            2,
+            "shutdown snapshot keeps the shard breakdown"
+        );
+    }
+
+    #[test]
     fn torn_frame_closes_one_connection_not_the_server() {
         // Regression for the unwrap()-on-bad-frame class of crash: a peer
         // that dies mid-frame (or sends garbage) must cost exactly its
@@ -515,6 +591,31 @@ mod tests {
         assert_eq!(reply.id, 7);
         assert!(reply.outcome.is_ok());
 
+        conn.shutdown_server().unwrap();
+        server.join().unwrap().unwrap();
+        service.shutdown();
+    }
+
+    #[test]
+    fn near_zero_deadline_is_shed_not_served_unbounded() {
+        // Regression: the wire reserves `deadline_us = 0` for "no
+        // deadline", so a remaining deadline that rounds below 1 µs used
+        // to encode as 0 and silently become immortal. It must instead
+        // clamp up to 1 µs and come back as a typed DeadlineExceeded —
+        // shed, never served unbounded.
+        let (service, addr, server) = start_server();
+        let mut conn = TcpConn::connect(&addr.to_string()).unwrap();
+        let a = Payload::F32(vec![4.0, 2.0, 2.0, 5.0]);
+        let wire = crate::codec::wire_deadline_us(Some(Duration::from_nanos(1)));
+        assert_eq!(wire, 1, "sub-µs deadline must clamp up, not truncate");
+        conn.send_factor_req(42, 2, wire, &a).unwrap();
+        let reply = conn.read_factor_reply().unwrap();
+        assert_eq!(reply.id, 42);
+        assert_eq!(
+            reply.outcome,
+            Outcome::Rejected(RejectReason::DeadlineExceeded),
+            "a ~0-remaining deadline must be shed"
+        );
         conn.shutdown_server().unwrap();
         server.join().unwrap().unwrap();
         service.shutdown();

@@ -378,6 +378,68 @@ impl Client {
         answered >= s.requests.load(Ordering::Relaxed)
     }
 
+    /// Requests queued but not yet drained into a batch — the router's
+    /// least-loaded signal.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue.len()
+    }
+
+    /// `true` while the ingest queue still admits new work; flips false
+    /// once a drain or shutdown began. The router's health probe.
+    pub fn is_accepting(&self) -> bool {
+        !self.inner.queue.is_closed()
+    }
+
+    /// Non-blocking admission that hands everything back on refusal:
+    /// like `submit_sink(.., blocking = false)` but instead of rejecting
+    /// through the sink, a refusal returns `(reason, payload, sink)` to
+    /// the caller — nothing was delivered, nothing was counted — so a
+    /// router can re-route the request to another shard or translate a
+    /// full queue into a typed backpressure reject. On `Ok` the request
+    /// was admitted and the sink will be invoked exactly once by the
+    /// service.
+    #[allow(clippy::type_complexity)]
+    pub fn try_submit(
+        &self,
+        id: u64,
+        n: usize,
+        payload: Payload,
+        deadline: Option<Instant>,
+        sink: ReplySink,
+    ) -> Result<(), (RejectReason, Payload, ReplySink)> {
+        if n == 0 || n > self.inner.max_n {
+            return Err((RejectReason::BadDimension, payload, sink));
+        }
+        if payload.len() != n * n {
+            return Err((RejectReason::BadPayload, payload, sink));
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err((RejectReason::DeadlineExceeded, payload, sink));
+        }
+        let pending = Pending {
+            id,
+            n,
+            payload,
+            enqueued: Instant::now(),
+            deadline,
+            sink,
+        };
+        match self.inner.queue.try_push(pending) {
+            Ok(()) => {
+                self.inner.stats.requests.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err((p, closed)) => {
+                let reason = if closed {
+                    RejectReason::ShuttingDown
+                } else {
+                    RejectReason::QueueFull
+                };
+                Err((reason, p.payload, p.sink))
+            }
+        }
+    }
+
     /// Submits a request, delivering the reply through `sink`. With
     /// `blocking` the call waits for queue space (backpressure);
     /// otherwise a full queue rejects immediately (admission control).
@@ -475,6 +537,59 @@ impl Client {
             true,
         );
         rx.recv().expect("reply sink dropped without reply")
+    }
+}
+
+/// What the TCP front-end needs from whatever answers requests: one
+/// service's [`Client`], or a [`RouterClient`](crate::router::RouterClient)
+/// fronting a whole fleet. The contract is the service one — `submit_sink`
+/// invokes its sink exactly once (inline for rejections), and once
+/// `begin_drain` stopped admission, `drained` eventually turns (and
+/// stays) true.
+pub trait Frontend: Clone + Send + 'static {
+    /// Submits one request; the reply arrives through `sink` exactly
+    /// once. Implementations may ignore `blocking` (the router never
+    /// blocks — it sheds with a typed backpressure reject instead).
+    fn submit_sink(
+        &self,
+        id: u64,
+        n: usize,
+        payload: Payload,
+        deadline: Option<Instant>,
+        sink: ReplySink,
+        blocking: bool,
+    );
+    /// Current counters, for the stats frame.
+    fn stats(&self) -> StatsSnapshot;
+    /// Stops admission; already-admitted work keeps draining.
+    fn begin_drain(&self);
+    /// `true` once every admitted request has been answered.
+    fn drained(&self) -> bool;
+}
+
+impl Frontend for Client {
+    fn submit_sink(
+        &self,
+        id: u64,
+        n: usize,
+        payload: Payload,
+        deadline: Option<Instant>,
+        sink: ReplySink,
+        blocking: bool,
+    ) {
+        Client::submit_sink(self, id, n, payload, deadline, sink, blocking);
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        Client::stats(self)
+    }
+
+    fn begin_drain(&self) {
+        Client::begin_drain(self);
+    }
+
+    fn drained(&self) -> bool {
+        Client::drained(self)
     }
 }
 

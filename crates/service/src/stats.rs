@@ -121,6 +121,7 @@ impl ServiceStats {
             mean_occupancy,
             occupancy_hist,
             latency_hist,
+            shards: None,
         }
     }
 }
@@ -153,6 +154,25 @@ pub struct StatsSnapshot {
     pub occupancy_hist: Vec<u64>,
     /// Power-of-two nanosecond latency buckets.
     pub latency_hist: Vec<u64>,
+    /// Per-shard breakdown when this snapshot describes a routed fleet;
+    /// `None` for a single service. Optional so old and new snapshots
+    /// keep deserializing each other.
+    pub shards: Option<Vec<ShardStat>>,
+}
+
+/// One shard's contribution to a fleet snapshot: its own full
+/// [`StatsSnapshot`] plus the router's view of its health.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardStat {
+    /// The shard's display name (e.g. `shard-0`).
+    pub name: String,
+    /// Whether the router's health loop considered it routable at
+    /// snapshot time.
+    pub healthy: bool,
+    /// Requests the router sent its way.
+    pub routed: u64,
+    /// The shard's own counters and histograms.
+    pub snapshot: StatsSnapshot,
 }
 
 impl StatsSnapshot {
@@ -222,6 +242,16 @@ impl StatsSnapshot {
             mean_occupancy,
             occupancy_hist: add_hist(&self.occupancy_hist, &other.occupancy_hist),
             latency_hist: add_hist(&self.latency_hist, &other.latency_hist),
+            shards: match (&self.shards, &other.shards) {
+                (None, None) => None,
+                (a, b) => Some(
+                    a.iter()
+                        .flatten()
+                        .chain(b.iter().flatten())
+                        .cloned()
+                        .collect(),
+                ),
+            },
         }
     }
 }
@@ -363,5 +393,48 @@ mod tests {
         assert_eq!(back.requests, 7);
         assert_eq!(back.occupancy_hist, snap.occupancy_hist);
         assert_eq!(back.latency_hist, snap.latency_hist);
+        assert!(back.shards.is_none(), "single service has no shard list");
+    }
+
+    #[test]
+    fn shard_breakdown_survives_json_and_merge() {
+        let shard = |name: &str, requests: u64, healthy: bool| ShardStat {
+            name: name.to_string(),
+            healthy,
+            routed: requests,
+            snapshot: StatsSnapshot {
+                requests,
+                ..StatsSnapshot::default()
+            },
+        };
+        let fleet = StatsSnapshot {
+            requests: 12,
+            shards: Some(vec![shard("shard-0", 7, true), shard("shard-1", 5, false)]),
+            ..StatsSnapshot::default()
+        };
+        let text = serde_json::to_string(&fleet).unwrap();
+        let back: StatsSnapshot = serde_json::from_str(&text).unwrap();
+        let shards = back.shards.as_ref().unwrap();
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0].name, "shard-0");
+        assert!(shards[0].healthy && !shards[1].healthy);
+        assert_eq!(shards[1].snapshot.requests, 5);
+
+        // Merging fleets concatenates the shard lists; merging a fleet
+        // with a plain service keeps the fleet's list.
+        let other = StatsSnapshot {
+            requests: 3,
+            shards: Some(vec![shard("shard-2", 3, true)]),
+            ..StatsSnapshot::default()
+        };
+        let m = fleet.merge(&other);
+        assert_eq!(m.requests, 15);
+        assert_eq!(m.shards.as_ref().unwrap().len(), 3);
+        let m2 = fleet.merge(&StatsSnapshot::default());
+        assert_eq!(m2.shards.as_ref().unwrap().len(), 2);
+        assert!(StatsSnapshot::default()
+            .merge(&StatsSnapshot::default())
+            .shards
+            .is_none());
     }
 }

@@ -1,0 +1,126 @@
+//! Property tests for the wire codec: arbitrary, truncated, and mutated
+//! byte bodies must never panic a decoder — every failure surfaces as a
+//! typed [`FrameError`] — and the backpressure reply frame keeps its
+//! retry-after hint intact under round-trip while rejecting any stray
+//! trailing elements.
+
+use ibcf_service::codec::{
+    decode_factor_reply, decode_factor_req, encode_factor_reply, read_frame,
+};
+use ibcf_service::{Dtype, FactorReply, FrameError, Outcome, RejectReason};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+fn backpressure_body(id: u64, retry_after_us: u32) -> Vec<u8> {
+    encode_factor_reply(
+        &FactorReply {
+            id,
+            outcome: Outcome::Rejected(RejectReason::Backpressure { retry_after_us }),
+        },
+        Dtype::F32,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes into the request decoder: any outcome is fine as
+    /// long as it is a typed result, never a panic.
+    #[test]
+    fn decode_factor_req_never_panics(body in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_factor_req(&body);
+    }
+
+    /// Arbitrary bytes into the reply decoder, covering the status-5
+    /// backpressure arm via arbitrary status bytes.
+    #[test]
+    fn decode_factor_reply_never_panics(body in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_factor_reply(&body);
+    }
+
+    /// Arbitrary streams into the framer: a random length prefix may
+    /// promise far more than the stream holds — that must come back as
+    /// a typed torn/malformed error, not a panic or a hang.
+    #[test]
+    fn read_frame_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = read_frame(&mut Cursor::new(bytes));
+    }
+
+    /// A well-formed backpressure reply survives the round trip with its
+    /// hint intact; every strict prefix of it is a typed error (the
+    /// header is fixed-size, so no truncation can masquerade as valid);
+    /// and any trailing bytes are rejected — a failure reply must not
+    /// smuggle elements.
+    #[test]
+    fn backpressure_frame_roundtrips_and_rejects_damage(
+        id in any::<u64>(),
+        hint in any::<u32>(),
+        extra in proptest::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let body = backpressure_body(id, hint);
+        let reply = decode_factor_reply(&body).expect("valid frame must decode");
+        prop_assert_eq!(reply.id, id);
+        prop_assert_eq!(
+            reply.outcome,
+            Outcome::Rejected(RejectReason::Backpressure { retry_after_us: hint })
+        );
+
+        for cut in 0..body.len() {
+            prop_assert!(
+                decode_factor_reply(&body[..cut]).is_err(),
+                "truncation to {} bytes decoded", cut
+            );
+        }
+
+        let mut padded = body;
+        padded.extend_from_slice(&extra);
+        prop_assert!(
+            matches!(decode_factor_reply(&padded), Err(FrameError::Malformed(_))),
+            "backpressure reply with trailing elements must be malformed"
+        );
+    }
+
+    /// Flipping one byte anywhere in a valid backpressure frame must
+    /// never panic the decoder: it either still decodes to some typed
+    /// reply or fails with a typed error.
+    #[test]
+    fn mutated_backpressure_frame_never_panics(
+        id in any::<u64>(),
+        hint in any::<u32>(),
+        pos in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let mut body = backpressure_body(id, hint);
+        let i = (pos as usize) % body.len();
+        body[i] ^= flip;
+        let _ = decode_factor_reply(&body);
+    }
+
+    /// A valid request frame truncated mid-stream comes back torn or
+    /// malformed through the framer, never a panic.
+    #[test]
+    fn truncated_request_stream_is_a_typed_error(
+        id in any::<u64>(),
+        n in 1usize..8,
+        cut_pick in any::<u64>(),
+    ) {
+        use ibcf_service::codec::{encode_factor_req, write_frame, K_FACTOR_REQ};
+        use ibcf_service::Payload;
+
+        let payload = Payload::F32(vec![1.0; n * n]);
+        let body = encode_factor_req(id, n, 0, &payload);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, K_FACTOR_REQ, &body).unwrap();
+        // Cut strictly inside the frame (keep at least nothing, lose at
+        // least one byte) so the stream always ends mid-frame.
+        let cut = (cut_pick as usize) % wire.len();
+        match read_frame(&mut Cursor::new(&wire[..cut])) {
+            Ok(None) => prop_assert!(cut < 4, "clean EOF only before the length word"),
+            Ok(Some(_)) => prop_assert!(false, "truncated frame decoded whole"),
+            Err(FrameError::Torn { .. }) | Err(FrameError::Malformed(_)) => {}
+            Err(FrameError::Io(e)) => {
+                prop_assert!(false, "unexpected io error from a cursor: {e}");
+            }
+        }
+    }
+}
