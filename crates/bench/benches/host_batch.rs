@@ -5,16 +5,21 @@
 //! Engines per layout:
 //! * `seq`          — gather / `potrf_unblocked` / scatter, one thread;
 //! * `gather_rayon` — same round trip, rayon-parallel over matrices;
-//! * `lane`         — the in-place lane-vectorized engine (for the
-//!   canonical layout this is the auto path: pack + lane + unpack).
+//! * `lane`         — the in-place lane-vectorized engine pinned to the
+//!   autovectorized kernels (for the canonical layout this is the auto
+//!   path: pack + lane + unpack);
+//! * `simd`         — the same engine under explicit-SIMD dispatch
+//!   (AVX-512/AVX2 where the CPU has them; identical to `lane` on
+//!   hardware without either, or under `IBCF_SIMD=off`).
 //!
 //! Pristine input buffers are rebuilt outside the timed region
 //! (`iter_with_setup`), so the numbers measure factorization only.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ibcf_core::host_batch::{factorize_batch, factorize_batch_blocked, factorize_batch_seq};
+use ibcf_core::lane_batch::{LaneOrder, LaneWidth};
 use ibcf_core::spd::{fill_batch_spd, SpdKind};
-use ibcf_core::{factorize_batch_auto, Looking, Real};
+use ibcf_core::{factorize_batch_auto_backend, LaneBackend, Looking, Real};
 use ibcf_layout::{alloc_batch, AlignedVec, Canonical, Chunked, Interleaved, Layout};
 use std::hint::black_box;
 
@@ -63,7 +68,28 @@ fn bench_engines<T: Real>(c: &mut Criterion, ty: &str) {
                 b.iter_with_setup(
                     || base.clone(),
                     |mut data| {
-                        black_box(factorize_batch_auto(&layout, &mut data));
+                        black_box(factorize_batch_auto_backend(
+                            &layout,
+                            &mut data,
+                            LaneOrder::default(),
+                            LaneWidth::Auto,
+                            LaneBackend::Autovec,
+                        ));
+                        data
+                    },
+                )
+            });
+            g.bench_function(format!("{lname}_simd"), |b| {
+                b.iter_with_setup(
+                    || base.clone(),
+                    |mut data| {
+                        black_box(factorize_batch_auto_backend(
+                            &layout,
+                            &mut data,
+                            LaneOrder::default(),
+                            LaneWidth::Auto,
+                            LaneBackend::Simd,
+                        ));
                         data
                     },
                 )

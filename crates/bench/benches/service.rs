@@ -1,22 +1,27 @@
 //! Criterion benches for the dynamic-batching service's hot path.
 //!
 //! Two tiers:
-//! * `former_pack` — the batch former alone: stage requests into the
-//!   canonical buffer, identity-pad to a full lane group, and pack into
-//!   the plan's interleave (the per-batch CPU cost the service adds on
-//!   top of factorization);
+//! * `former_pack` — the batch former alone, in both ingest modes:
+//!   `fused` scatters each payload once straight into the aligned
+//!   interleaved group buffer (identity tail written in place), while
+//!   `staged` is the legacy canonical-stage-then-`pack_batch_host`
+//!   round trip kept for A/B reference;
 //! * `service_end_to_end` — submit/factorize/reply through a running
 //!   in-process service with one worker, measuring sustained
 //!   matrices/second including queueing, forming, and reply routing.
-//!   Run twice — fault hook disabled vs an enabled-but-inert plan — so
-//!   a regression in the "zero-cost when disabled" claim (or a hook
-//!   check that got expensive) shows up as a gap between the two.
+//!   Variants cross the fault hook (disabled vs enabled-but-inert, so
+//!   a regression in the "zero-cost when disabled" claim shows up as a
+//!   gap) with the engine/ingest pairing: `simd_fused` is the default
+//!   fast path, `autovec_staged` the pre-SIMD pre-fusion baseline.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ibcf_core::spd::{random_spd, SpdKind};
-use ibcf_service::former::form_batch;
+use ibcf_core::LaneBackend;
+use ibcf_service::former::form_batch_mode;
 use ibcf_service::request::{Payload, Pending};
-use ibcf_service::{Dtype, EngineSelector, FaultHook, FaultPlan, Service, ServiceConfig};
+use ibcf_service::{
+    Dtype, EngineSelector, FaultHook, FaultPlan, IngestMode, Service, ServiceConfig,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -53,12 +58,14 @@ fn bench_former(c: &mut Criterion) {
     g.sample_size(10);
     // Non-lane-multiple count exercises the identity-padding tail too.
     for count in [BATCH, BATCH + 7] {
-        g.bench_function(format!("batch{count}"), |b| {
-            b.iter_with_setup(
-                || pending_batch(N, count, &pool),
-                |reqs| black_box(form_batch(N, Dtype::F32, reqs, plan)),
-            )
-        });
+        for mode in [IngestMode::Fused, IngestMode::Staged] {
+            g.bench_function(format!("batch{count}_{}", mode.name()), |b| {
+                b.iter_with_setup(
+                    || pending_batch(N, count, &pool),
+                    |reqs| black_box(form_batch_mode(N, Dtype::F32, reqs, plan, mode)),
+                )
+            });
+        }
     }
     g.finish();
 }
@@ -70,11 +77,27 @@ fn bench_service(c: &mut Criterion) {
     // The inert plan's rules never fire: any measurable gap versus the
     // disabled hook is pure per-check overhead on the hot path.
     #[allow(clippy::type_complexity)]
-    let variants: [(&str, fn() -> FaultHook); 2] = [
-        ("hook_disabled", FaultHook::disabled),
-        ("hook_inert", || FaultHook::from_plan(FaultPlan::inert(1))),
+    let variants: [(&str, fn() -> FaultHook, LaneBackend, IngestMode); 3] = [
+        (
+            "hook_disabled_simd_fused",
+            FaultHook::disabled,
+            LaneBackend::Simd,
+            IngestMode::Fused,
+        ),
+        (
+            "hook_disabled_autovec_staged",
+            FaultHook::disabled,
+            LaneBackend::Autovec,
+            IngestMode::Staged,
+        ),
+        (
+            "hook_inert_simd_fused",
+            || FaultHook::from_plan(FaultPlan::inert(1)),
+            LaneBackend::Simd,
+            IngestMode::Fused,
+        ),
     ];
-    for (label, hook) in variants {
+    for (label, hook, backend, ingest) in variants {
         g.bench_function(format!("submit{BATCH}_w1_{label}"), |b| {
             let service = Service::start(
                 ServiceConfig {
@@ -83,9 +106,10 @@ fn bench_service(c: &mut Criterion) {
                     max_delay: Duration::from_micros(200),
                     queue_cap: 4 * BATCH,
                     fault: hook(),
+                    ingest,
                     ..ServiceConfig::default()
                 },
-                EngineSelector::heuristic(),
+                EngineSelector::heuristic().with_backend(backend),
             );
             let client = service.client();
             b.iter(|| {

@@ -8,9 +8,10 @@ use ibcf_autotune::{
 };
 use ibcf_core::flops::cholesky_flops_std;
 use ibcf_core::host_batch::{factorize_batch, factorize_batch_seq, BatchReport};
+use ibcf_core::lane_batch::{LaneOrder, LaneWidth};
 use ibcf_core::spd::{fill_batch_spd, SpdKind};
 use ibcf_core::verify::batch_reconstruction_error;
-use ibcf_core::{factorize_batch_auto, Looking, Real};
+use ibcf_core::{detect_isa, factorize_batch_auto_backend, LaneBackend, Looking, Real};
 use ibcf_forest::{permutation_importance, Forest, ForestConfig, TableData};
 use ibcf_gpu_sim::GpuSpec;
 use ibcf_kernels::{
@@ -57,17 +58,23 @@ commands:
   verify    --n N [--batch B] [--fast]       functional factorization check
   host-bench [--sizes 8,16,24,32] [--batch B] [--reps R] [--f32|--f64]
             CPU baseline throughput per layout: sequential vs
-            rayon-gather vs the in-place lane-vectorized engine
+            rayon-gather vs the autovectorized lane engine vs the
+            explicit-SIMD lane engine (the simd column reports the
+            dispatched ISA: avx512, avx2, or fallback; force it with
+            IBCF_SIMD=off|avx2|avx512)
   serve     [--host H] [--port P] [--workers W] [--queue-cap Q]
             [--max-batch B] [--max-delay-us D] [--max-n N] [--dispatch F]
             [--analytic G] [--shards N] [--policy hash|least-loaded]
-            [--retry-after-us U]
+            [--retry-after-us U] [--autovec] [--staged-ingest]
             run the dynamic-batching factorization service over TCP
             (engine plans fall back table -> analytic model for gpu G
             -> heuristics; each tier is optional); --shards N > 1 runs a
             health-checked in-process fleet behind a router keyed by
             (n, dtype) — a full shard answers with a typed backpressure
-            reject carrying the --retry-after-us hint
+            reject carrying the --retry-after-us hint; --autovec pins
+            workers to the autovectorized lane kernels (no explicit
+            SIMD); --staged-ingest restores the legacy stage-then-pack
+            copy instead of the fused zero-copy scatter
   loadgen   [--addr H:P] [--sizes 16,24] [--dtype f32|f64]
             [--requests R] [--conns C] [--window W | --rate R/s]
             [--plant-bad K] [--seed S] [--deadline-us D] [--retry]
@@ -807,8 +814,37 @@ pub fn verify(args: &Args) -> i32 {
     }
 }
 
-/// One engine of the host benchmark: name + entry point.
-type HostEngine<T> = (&'static str, fn(&Layout, &mut [T]) -> BatchReport);
+/// One engine of the host benchmark: name + entry point + the SIMD path
+/// it runs on (`-` for scalar engines, `autovec` for the portable lane
+/// path, the dispatched ISA for the explicit-SIMD engine).
+type HostEngine<T> = (
+    &'static str,
+    fn(&Layout, &mut [T]) -> BatchReport,
+    &'static str,
+);
+
+/// The lane engine pinned to the autovectorized backend — the pre-SIMD
+/// baseline, kept as a bench row so the explicit-SIMD win stays visible.
+fn lane_autovec<T: Real>(layout: &Layout, data: &mut [T]) -> BatchReport {
+    factorize_batch_auto_backend(
+        layout,
+        data,
+        LaneOrder::default(),
+        LaneWidth::Auto,
+        LaneBackend::Autovec,
+    )
+}
+
+/// The lane engine on the runtime-dispatched explicit-SIMD backend.
+fn lane_simd<T: Real>(layout: &Layout, data: &mut [T]) -> BatchReport {
+    factorize_batch_auto_backend(
+        layout,
+        data,
+        LaneOrder::default(),
+        LaneWidth::Auto,
+        LaneBackend::Simd,
+    )
+}
 
 /// Times `engine` on pristine copies of `data`, returning the best-of-`reps`
 /// wall time in seconds. The copy back to pristine state is not timed.
@@ -842,24 +878,26 @@ fn host_bench_size<T: Real>(ty: &str, n: usize, batch: usize, reps: usize) {
         ("chunked64", Layout::Chunked(Chunked::new(n, batch, 64))),
         ("canonical", Layout::Canonical(Canonical::new(n, batch))),
     ];
-    // For canonical the "lane" engine is the auto path: pack into an
-    // aligned chunked scratch, lane-factorize, unpack — pack cost included.
-    let engines: [HostEngine<T>; 3] = [
-        ("seq", factorize_batch_seq::<T, Layout>),
-        ("rayon-gather", factorize_batch::<T, Layout>),
-        ("lane", factorize_batch_auto::<T, Layout>),
+    // For canonical the "lane"/"simd" engines are the auto path: pack
+    // into an aligned chunked scratch, lane-factorize, unpack — pack cost
+    // included.
+    let engines: [HostEngine<T>; 4] = [
+        ("seq", factorize_batch_seq::<T, Layout>, "-"),
+        ("rayon-gather", factorize_batch::<T, Layout>, "-"),
+        ("lane", lane_autovec::<T>, "autovec"),
+        ("simd", lane_simd::<T>, detect_isa().name()),
     ];
     for (lname, layout) in layouts {
         let mut pristine = alloc_batch::<T, _>(&layout);
         fill_batch_spd(&layout, &mut pristine, SpdKind::DiagDominant, 42);
         let mut base = f64::NAN;
-        for (ename, engine) in engines {
+        for (ename, engine, isa) in engines {
             let t = time_host_engine(&layout, &pristine, engine, reps);
             if ename == "rayon-gather" {
                 base = t;
             }
             println!(
-                "{ty}  n={n:<3} {lname:<12} {ename:<13} {:>9.2} Gflop/s {:>13.0} mats/s {:>7}",
+                "{ty}  n={n:<3} {lname:<12} {ename:<13} {:>9.2} Gflop/s {:>13.0} mats/s {:>7} {isa:>8}",
                 flops / t / 1e9,
                 batch as f64 / t,
                 if base.is_nan() {
@@ -895,10 +933,13 @@ pub fn host_bench(args: &Args) -> i32 {
     let f32_only = args.flag("f32");
     let f64_only = args.flag("f64");
     println!(
-        "host batch Cholesky, batch {batch}, best of {reps} rep(s), {} threads",
-        std::thread::available_parallelism().map_or(1, usize::from)
+        "host batch Cholesky, batch {batch}, best of {reps} rep(s), {} threads, simd dispatch: {}",
+        std::thread::available_parallelism().map_or(1, usize::from),
+        detect_isa().name(),
     );
-    println!("type n    layout       engine         throughput        matrices       speedup");
+    println!(
+        "type n    layout       engine         throughput        matrices       speedup     simd"
+    );
     for &n in &sizes {
         if !f64_only {
             host_bench_size::<f32>("f32", n, batch, reps);
@@ -915,8 +956,8 @@ pub fn host_bench(args: &Args) -> i32 {
 /// fleet with health-checked failover and typed backpressure.
 pub fn serve(args: &Args) -> i32 {
     use ibcf_service::{
-        EngineSelector, InProcessShard, RoutePolicy, Router, RouterConfig, Service, ServiceConfig,
-        ShardBackend, TcpServer,
+        EngineSelector, InProcessShard, IngestMode, RoutePolicy, Router, RouterConfig, Service,
+        ServiceConfig, ShardBackend, TcpServer,
     };
     use std::sync::Arc;
     let host = match args.get("host", "127.0.0.1".to_string()) {
@@ -972,12 +1013,23 @@ pub fn serve(args: &Args) -> i32 {
             None => return fail(format!("unknown gpu {name} for --analytic")),
         },
     };
+    let selector = if args.flag("autovec") {
+        selector.with_backend(LaneBackend::Autovec)
+    } else {
+        selector
+    };
+    let ingest = if args.flag("staged-ingest") {
+        IngestMode::Staged
+    } else {
+        IngestMode::Fused
+    };
     let config = ServiceConfig {
         workers,
         queue_cap,
         max_batch,
         max_delay: std::time::Duration::from_micros(max_delay_us),
         max_n,
+        ingest,
         ..ServiceConfig::default()
     };
     let server = match TcpServer::bind(&format!("{host}:{port}")) {
@@ -993,6 +1045,11 @@ pub fn serve(args: &Args) -> i32 {
         (true, false) => "tuned",
         (false, true) => "analytic",
         (false, false) => "heuristic",
+    };
+    let simd = if args.flag("autovec") {
+        "autovec"
+    } else {
+        detect_isa().name()
     };
     use std::io::Write as _;
     let (run, snap) = if shards > 1 {
@@ -1012,9 +1069,11 @@ pub fn serve(args: &Args) -> i32 {
             },
         );
         println!(
-            "serving on {addr} ({engine} engine, {shards} shards x {workers} worker(s), \
+            "serving on {addr} ({engine} engine, simd {simd}, {} ingest, \
+             {shards} shards x {workers} worker(s), \
              {policy:?} routing, retry-after {retry_after_us} us, batch <= {max_batch}, \
-             deadline {max_delay_us} us, queue {queue_cap}/shard, n <= {max_n})"
+             deadline {max_delay_us} us, queue {queue_cap}/shard, n <= {max_n})",
+            ingest.name()
         );
         std::io::stdout().flush().ok();
         let run = server.run(router.client());
@@ -1023,8 +1082,10 @@ pub fn serve(args: &Args) -> i32 {
         let service = Service::start(config, selector);
         let client = service.client();
         println!(
-            "serving on {addr} ({engine} engine, {workers} worker(s), batch <= {max_batch}, \
-             deadline {max_delay_us} us, queue {queue_cap}, n <= {max_n})"
+            "serving on {addr} ({engine} engine, simd {simd}, {} ingest, \
+             {workers} worker(s), batch <= {max_batch}, \
+             deadline {max_delay_us} us, queue {queue_cap}, n <= {max_n})",
+            ingest.name()
         );
         std::io::stdout().flush().ok();
         let run = server.run(client);

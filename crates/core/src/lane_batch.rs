@@ -29,10 +29,12 @@
 
 use crate::error::CholeskyError;
 use crate::host_batch::{factorize_batch, BatchReport};
+use crate::lane_simd::{Autovec, LaneBackend, LaneOps, SimdIsa};
 use crate::scalar::Real;
 use crate::sync_slice::SyncSlice;
 use ibcf_layout::{alloc_batch, transcode_into, tri, BatchLayout, Chunked};
 use rayon::prelude::*;
+use std::any::TypeId;
 
 /// Loop order of the lane-vectorized unblocked factorization — the
 /// unblocked counterparts of [`crate::blocked::Looking`]'s right- and
@@ -193,10 +195,16 @@ unsafe fn read_block<T: Real, const LANES: usize>(shared: &SyncSlice<T>, off: us
 /// harmless pivot of `1` for dead lanes (branch-free select), store the
 /// square root, and return the reciprocal block for the column scale.
 ///
+/// The classification and select stay scalar (cheap, once per column);
+/// the sqrt/reciprocal block goes through the [`LaneOps`] backend, which
+/// is required to be bitwise-identical to the scalar `sqrt`/`recip`.
+///
 /// # Safety
-/// The caller must own the group's blocks (see [`factor_group`]).
+/// The caller must own the group's blocks (see [`factor_group`]) and, if
+/// `O` is an intrinsic backend, guarantee its ISA is present (see
+/// [`LaneOps`]).
 #[inline(always)]
-unsafe fn pivot_step<T: Real, const LANES: usize>(
+unsafe fn pivot_step<T: Real, O: LaneOps<T>, const LANES: usize>(
     shared: &SyncSlice<T>,
     off_kk: usize,
     k: usize,
@@ -228,13 +236,8 @@ unsafe fn pivot_step<T: Real, const LANES: usize>(
         }
     }
     let mut root = [T::ZERO; LANES];
-    for l in 0..LANES {
-        root[l] = piv[l].sqrt();
-    }
     let mut inv = [T::ZERO; LANES];
-    for l in 0..LANES {
-        inv[l] = root[l].recip();
-    }
+    unsafe { O::sqrt_recip(&piv, &mut root, &mut inv) };
     unsafe { shared.block_mut(off_kk, LANES) }.copy_from_slice(&root);
     inv
 }
@@ -255,9 +258,11 @@ unsafe fn pivot_step<T: Real, const LANES: usize>(
 /// # Safety
 /// The group's blocks (`base + i·rs + j·cs .. + LANES` for every lower
 /// `(i, j)`) must be in bounds and not concurrently accessed by any other
-/// thread.
+/// thread. If `O` is an intrinsic backend its ISA must be present (see
+/// [`LaneOps`]).
 #[allow(clippy::too_many_arguments)]
-unsafe fn factor_group<T: Real, const LANES: usize>(
+#[inline(always)]
+unsafe fn factor_group_ops<T: Real, O: LaneOps<T>, const LANES: usize>(
     n: usize,
     shared: &SyncSlice<T>,
     base: usize,
@@ -291,21 +296,19 @@ unsafe fn factor_group<T: Real, const LANES: usize>(
     match order {
         LaneOrder::Right => {
             for k in 0..n {
-                let inv = unsafe { pivot_step(shared, off(k, k), k, &mut alive, &mut fail) };
+                let inv = unsafe {
+                    pivot_step::<T, O, LANES>(shared, off(k, k), k, &mut alive, &mut fail)
+                };
                 for m in k + 1..n {
                     let amk = unsafe { shared.block_mut(off(m, k), LANES) };
-                    for l in 0..LANES {
-                        amk[l] *= inv[l];
-                    }
+                    unsafe { O::scale(amk, &inv) };
                 }
                 for j in k + 1..n {
                     let ajk: [T; LANES] = unsafe { read_block(shared, off(j, k)) };
                     for m in j..n {
                         let amk: [T; LANES] = unsafe { read_block(shared, off(m, k)) };
                         let amj = unsafe { shared.block_mut(off(m, j), LANES) };
-                        for l in 0..LANES {
-                            amj[l] -= amk[l] * ajk[l];
-                        }
+                        unsafe { O::mulsub(amj, &amk, &ajk) };
                     }
                 }
             }
@@ -317,17 +320,15 @@ unsafe fn factor_group<T: Real, const LANES: usize>(
                     for i in j..n {
                         let aik: [T; LANES] = unsafe { read_block(shared, off(i, k)) };
                         let aij = unsafe { shared.block_mut(off(i, j), LANES) };
-                        for l in 0..LANES {
-                            aij[l] -= aik[l] * ajk[l];
-                        }
+                        unsafe { O::mulsub(aij, &aik, &ajk) };
                     }
                 }
-                let inv = unsafe { pivot_step(shared, off(j, j), j, &mut alive, &mut fail) };
+                let inv = unsafe {
+                    pivot_step::<T, O, LANES>(shared, off(j, j), j, &mut alive, &mut fail)
+                };
                 for i in j + 1..n {
                     let aij = unsafe { shared.block_mut(off(i, j), LANES) };
-                    for l in 0..LANES {
-                        aij[l] *= inv[l];
-                    }
+                    unsafe { O::scale(aij, &inv) };
                 }
             }
         }
@@ -357,11 +358,123 @@ unsafe fn factor_group<T: Real, const LANES: usize>(
     out
 }
 
+/// Monomorphic `#[target_feature]` shells around [`factor_group_ops`].
+///
+/// Intrinsics only inline into callers whose target-feature set is a
+/// superset of their own, so the generic `#[inline(always)]` kernel body
+/// is instantiated *inside* one wrapper per (ISA, element type); the
+/// whole group factorization then compiles as a single AVX2/AVX-512
+/// function with every block primitive inlined.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod isa_kernels {
+    use super::*;
+    use crate::lane_simd::x86::{Avx2, Avx512};
+
+    macro_rules! isa_wrapper {
+        ($name:ident, $ty:ty, $ops:ty, $feat:literal) => {
+            /// # Safety
+            /// Same contract as [`factor_group_ops`]; additionally the
+            /// CPU must support the wrapper's target features.
+            #[allow(clippy::too_many_arguments)]
+            #[target_feature(enable = $feat)]
+            pub(super) unsafe fn $name<const LANES: usize>(
+                n: usize,
+                shared: &SyncSlice<$ty>,
+                base: usize,
+                rs: usize,
+                cs: usize,
+                order: LaneOrder,
+                first_mat: usize,
+                live: usize,
+                snap: &mut [$ty],
+            ) -> Vec<(usize, CholeskyError)> {
+                unsafe {
+                    factor_group_ops::<$ty, $ops, LANES>(
+                        n, shared, base, rs, cs, order, first_mat, live, snap,
+                    )
+                }
+            }
+        };
+    }
+
+    isa_wrapper!(avx2_f32, f32, Avx2, "avx2");
+    isa_wrapper!(avx2_f64, f64, Avx2, "avx2");
+    isa_wrapper!(avx512_f32, f32, Avx512, "avx512f,avx512vl");
+    isa_wrapper!(avx512_f64, f64, Avx512, "avx512f,avx512vl");
+}
+
+/// Routes one group to the kernel for `isa`, falling back to the
+/// autovectorized body for element types without an intrinsic kernel.
+///
+/// The public API is generic over `T: Real` but the intrinsic kernels are
+/// monomorphic, so the bridge is a `TypeId` check plus a same-type
+/// pointer cast (sound: the branch is only taken when `T` *is* the
+/// concrete type, and `Real: 'static` makes the check exact).
+///
+/// # Safety
+/// Same contract as [`factor_group_ops`]; `isa` must have been obtained
+/// from [`crate::lane_simd::detect_isa`]-guarded resolution so the ISA is
+/// actually present.
+#[allow(clippy::too_many_arguments)]
+unsafe fn dispatch_group<T: Real, const LANES: usize>(
+    isa: SimdIsa,
+    n: usize,
+    shared: &SyncSlice<T>,
+    base: usize,
+    rs: usize,
+    cs: usize,
+    order: LaneOrder,
+    first_mat: usize,
+    live: usize,
+    snap: &mut [T],
+) -> Vec<(usize, CholeskyError)> {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if isa != SimdIsa::Fallback {
+        if TypeId::of::<T>() == TypeId::of::<f32>() {
+            let shared = unsafe { &*(shared as *const SyncSlice<T> as *const SyncSlice<f32>) };
+            let snap = unsafe { &mut *(snap as *mut [T] as *mut [f32]) };
+            return match isa {
+                SimdIsa::Avx512 => unsafe {
+                    isa_kernels::avx512_f32::<LANES>(
+                        n, shared, base, rs, cs, order, first_mat, live, snap,
+                    )
+                },
+                _ => unsafe {
+                    isa_kernels::avx2_f32::<LANES>(
+                        n, shared, base, rs, cs, order, first_mat, live, snap,
+                    )
+                },
+            };
+        }
+        if TypeId::of::<T>() == TypeId::of::<f64>() {
+            let shared = unsafe { &*(shared as *const SyncSlice<T> as *const SyncSlice<f64>) };
+            let snap = unsafe { &mut *(snap as *mut [T] as *mut [f64]) };
+            return match isa {
+                SimdIsa::Avx512 => unsafe {
+                    isa_kernels::avx512_f64::<LANES>(
+                        n, shared, base, rs, cs, order, first_mat, live, snap,
+                    )
+                },
+                _ => unsafe {
+                    isa_kernels::avx2_f64::<LANES>(
+                        n, shared, base, rs, cs, order, first_mat, live, snap,
+                    )
+                },
+            };
+        }
+    }
+    let _ = isa;
+    unsafe {
+        factor_group_ops::<T, Autovec, LANES>(n, shared, base, rs, cs, order, first_mat, live, snap)
+    }
+}
+
 fn run_groups<T: Real, L: BatchLayout + Sync, const LANES: usize>(
     layout: &L,
     data: &mut [T],
     plan: &LanePlan,
     order: LaneOrder,
+    isa: SimdIsa,
 ) -> BatchReport {
     let n = layout.n();
     let batch = layout.batch();
@@ -379,9 +492,11 @@ fn run_groups<T: Real, L: BatchLayout + Sync, const LANES: usize>(
             // SAFETY: the plan validated that group `g` owns the blocks
             // `bases[g] + i·rs + j·cs .. + LANES` in bounds; the layout
             // address map is injective, so groups are pairwise disjoint,
-            // and each group is processed by exactly one worker.
+            // and each group is processed by exactly one worker. `isa`
+            // comes from detect_isa-guarded resolution.
             let fails = unsafe {
-                factor_group::<T, LANES>(
+                dispatch_group::<T, LANES>(
+                    isa,
                     n,
                     &shared,
                     plan.bases[g],
@@ -425,20 +540,36 @@ pub fn factorize_batch_lanes<T: Real, L: BatchLayout + Sync>(
 }
 
 /// [`factorize_batch_lanes`] with an explicit loop order and lane width.
+/// Uses the [`LaneBackend::Auto`] engine (SIMD where detected).
 pub fn factorize_batch_lanes_with<T: Real, L: BatchLayout + Sync>(
     layout: &L,
     data: &mut [T],
     order: LaneOrder,
     width: LaneWidth,
 ) -> BatchReport {
+    factorize_batch_lanes_backend(layout, data, order, width, LaneBackend::Auto)
+}
+
+/// [`factorize_batch_lanes_with`] with an explicit [`LaneBackend`]: force
+/// the autovectorized path, force SIMD resolution, or let detection pick.
+/// Every backend produces bitwise-identical results — the choice only
+/// affects speed.
+pub fn factorize_batch_lanes_backend<T: Real, L: BatchLayout + Sync>(
+    layout: &L,
+    data: &mut [T],
+    order: LaneOrder,
+    width: LaneWidth,
+    backend: LaneBackend,
+) -> BatchReport {
     let lanes = width.lanes::<T>();
     let Some(plan) = lane_plan(layout, lanes) else {
         return factorize_batch(layout, data);
     };
+    let isa = backend.resolve();
     match lanes {
-        8 => run_groups::<T, L, 8>(layout, data, &plan, order),
-        16 => run_groups::<T, L, 16>(layout, data, &plan, order),
-        32 => run_groups::<T, L, 32>(layout, data, &plan, order),
+        8 => run_groups::<T, L, 8>(layout, data, &plan, order, isa),
+        16 => run_groups::<T, L, 16>(layout, data, &plan, order, isa),
+        32 => run_groups::<T, L, 32>(layout, data, &plan, order, isa),
         _ => unreachable!("lane_plan only accepts 8/16/32"),
     }
 }
@@ -457,22 +588,35 @@ pub fn factorize_batch_auto<T: Real, L: BatchLayout + Sync>(
 }
 
 /// [`factorize_batch_auto`] with an explicit loop order and lane width.
+/// Uses the [`LaneBackend::Auto`] engine (SIMD where detected).
 pub fn factorize_batch_auto_with<T: Real, L: BatchLayout + Sync>(
     layout: &L,
     data: &mut [T],
     order: LaneOrder,
     width: LaneWidth,
 ) -> BatchReport {
+    factorize_batch_auto_backend(layout, data, order, width, LaneBackend::Auto)
+}
+
+/// [`factorize_batch_auto_with`] with an explicit [`LaneBackend`].
+pub fn factorize_batch_auto_backend<T: Real, L: BatchLayout + Sync>(
+    layout: &L,
+    data: &mut [T],
+    order: LaneOrder,
+    width: LaneWidth,
+    backend: LaneBackend,
+) -> BatchReport {
     let lanes = width.lanes::<T>();
     if lane_plan(layout, lanes).is_some() {
-        return factorize_batch_lanes_with(layout, data, order, width);
+        return factorize_batch_lanes_backend(layout, data, order, width, backend);
     }
     // Pack path: chunk 64 is a multiple of every lane width and keeps a
     // group's working set within one contiguous chunk window.
     let scratch_layout = Chunked::new(layout.n(), layout.batch(), 64);
     let mut scratch = alloc_batch::<T, _>(&scratch_layout);
     transcode_into(layout, data, &scratch_layout, &mut scratch);
-    let report = factorize_batch_lanes_with(&scratch_layout, &mut scratch, order, width);
+    let report =
+        factorize_batch_lanes_backend(&scratch_layout, &mut scratch, order, width, backend);
     transcode_into(&scratch_layout, &scratch, layout, data);
     report
 }
@@ -687,6 +831,83 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn simd_backend_matches_autovec_and_oracle_bitwise() {
+        // Whatever ISA detection resolves to on this machine, the forced
+        // autovec path, the auto path, and the scalar oracle must agree
+        // bitwise — including a planted non-SPD matrix that must be
+        // restored identically by all three.
+        let n = 10;
+        for width in LaneWidth::ALL {
+            let lanes = width.lanes::<f32>();
+            let batch = 3 * lanes + 5;
+            for layout in lane_layouts(n, batch) {
+                for order in LaneOrder::ALL {
+                    let mut seq = vec![0.0f32; layout.len()];
+                    fill_batch_spd(&layout, &mut seq, SpdKind::Wishart, 77);
+                    let neg_eye: Vec<f32> = (0..n * n)
+                        .map(|i| if i % (n + 1) == 0 { -1.0 } else { 0.0 })
+                        .collect();
+                    scatter_matrix(&layout, &mut seq, lanes + 1, &neg_eye, n);
+                    let mut autovec = seq.clone();
+                    let mut simd = seq.clone();
+                    let r_seq = factorize_batch_seq(&layout, &mut seq);
+                    let r_autovec = factorize_batch_lanes_backend(
+                        &layout,
+                        &mut autovec,
+                        order,
+                        width,
+                        LaneBackend::Autovec,
+                    );
+                    let r_simd = factorize_batch_lanes_backend(
+                        &layout,
+                        &mut simd,
+                        order,
+                        width,
+                        LaneBackend::Simd,
+                    );
+                    assert_eq!(r_seq.failures, r_autovec.failures);
+                    assert_eq!(r_seq.failures, r_simd.failures);
+                    for (i, ((x, y), z)) in seq.iter().zip(&autovec).zip(&simd).enumerate() {
+                        assert_eq!(
+                            x.to_bits(),
+                            y.to_bits(),
+                            "autovec {:?} {order:?} lanes={lanes} elem {i}",
+                            layout.kind()
+                        );
+                        assert_eq!(
+                            x.to_bits(),
+                            z.to_bits(),
+                            "simd {:?} {order:?} lanes={lanes} elem {i}",
+                            layout.kind()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simd_backend_matches_oracle_bitwise_f64() {
+        let n = 9;
+        let layout = Interleaved::new(n, 45);
+        let mut seq = vec![0.0f64; layout.len()];
+        fill_batch_spd(&layout, &mut seq, SpdKind::Wishart, 13);
+        let mut simd = seq.clone();
+        let r_seq = factorize_batch_seq(&layout, &mut seq);
+        let r_simd = factorize_batch_lanes_backend(
+            &layout,
+            &mut simd,
+            LaneOrder::Right,
+            LaneWidth::Auto,
+            LaneBackend::Simd,
+        );
+        assert!(r_seq.all_ok() && r_simd.all_ok());
+        for (x, y) in seq.iter().zip(&simd) {
+            assert_eq!(x.to_bits(), y.to_bits());
         }
     }
 

@@ -23,6 +23,9 @@
 //! * [`lane_batch`] — the lane-vectorized in-place batch factorization:
 //!   the host-side analogue of the paper's warp-coalesced interleaved
 //!   kernels, several times faster than the gather/scatter baseline.
+//! * [`lane_simd`] — explicit AVX2/AVX-512 implementations of the lane
+//!   block primitives with runtime ISA dispatch (autovectorized fallback),
+//!   bitwise-identical to the scalar oracle.
 //! * [`verify`] — residual and reconstruction checks.
 
 #![warn(missing_docs)]
@@ -33,6 +36,7 @@ pub mod error;
 pub mod flops;
 pub mod host_batch;
 pub mod lane_batch;
+pub mod lane_simd;
 pub mod matrix;
 pub mod reference;
 pub mod scalar;
@@ -47,9 +51,11 @@ pub use blocked::{potrf_blocked, Looking};
 pub use cond::{batch_cond_estimate, cond_estimate};
 pub use error::CholeskyError;
 pub use lane_batch::{
-    factorize_batch_auto, factorize_batch_lanes, factorize_batch_lanes_with, lane_compatible,
-    preferred_lanes, LaneOrder, LaneWidth,
+    factorize_batch_auto, factorize_batch_auto_backend, factorize_batch_lanes,
+    factorize_batch_lanes_backend, factorize_batch_lanes_with, lane_compatible, preferred_lanes,
+    LaneOrder, LaneWidth,
 };
+pub use lane_simd::{detect_isa, LaneBackend, SimdIsa};
 pub use matrix::ColMatrix;
 pub use reference::potrf_unblocked;
 pub use scalar::Real;

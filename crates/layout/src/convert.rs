@@ -49,6 +49,191 @@ pub fn scatter_matrix<T: Copy, L: BatchLayout>(
     }
 }
 
+/// Resolves `layout`'s address map to its per-matrix affine form
+/// `addr(mat, row, col) = base + row·rs + col·cs`, or `None` if the
+/// probed corners do not fit one.
+///
+/// Every in-tree layout family (canonical, interleaved, chunked) is
+/// exactly affine within a single matrix — a matrix never straddles an
+/// interleave group — so the map can be evaluated once per matrix
+/// instead of once per element (the generic `addr` pays a div/mod per
+/// call for the chunked family). The corner probes are a cheap
+/// validation so exotic `BatchLayout` implementations (e.g. the
+/// symmetric packed layout, whose upper triangle mirrors) safely fall
+/// back to the element-wise path.
+fn matrix_affine<L: BatchLayout>(layout: &L, mat: usize) -> Option<(usize, usize, usize)> {
+    let n = layout.n();
+    let base = layout.addr(mat, 0, 0);
+    if n == 1 {
+        return Some((base, 0, 0));
+    }
+    let rs = layout.addr(mat, 1, 0).checked_sub(base)?;
+    let cs = layout.addr(mat, 0, 1).checked_sub(base)?;
+    let probe = |row: usize, col: usize| layout.addr(mat, row, col) == base + row * rs + col * cs;
+    (probe(1, 1) && probe(n - 1, 0) && probe(0, n - 1) && probe(n - 1, n - 1))
+        .then_some((base, rs, cs))
+}
+
+/// [`scatter_matrix`], but through the affine fast path where the
+/// layout admits one (all in-tree families do): the address map is
+/// resolved once per matrix, so the copy loop is one add per element
+/// instead of one full `addr` evaluation. Bitwise-identical writes to
+/// [`scatter_matrix`] in either case.
+///
+/// # Panics
+/// As [`scatter_matrix`].
+pub fn scatter_matrix_affine<T: Copy, L: BatchLayout>(
+    layout: &L,
+    dst: &mut [T],
+    mat: usize,
+    src: &[T],
+    src_lda: usize,
+) {
+    let n = layout.n();
+    assert!(mat < layout.padded_batch(), "matrix index out of range");
+    assert!(src_lda >= n, "source leading dimension too small");
+    assert!(src.len() >= src_lda * n, "source buffer too short");
+    if n == 0 {
+        return;
+    }
+    match matrix_affine(layout, mat) {
+        Some((base, rs, cs)) => {
+            assert!(
+                base + (n - 1) * rs + (n - 1) * cs < dst.len(),
+                "affine span out of range"
+            );
+            for col in 0..n {
+                let mut at = base + col * cs;
+                for row in 0..n {
+                    dst[at] = src[col * src_lda + row];
+                    at += rs;
+                }
+            }
+        }
+        None => scatter_matrix(layout, dst, mat, src, src_lda),
+    }
+}
+
+/// [`gather_matrix`], but through the affine fast path where the
+/// layout admits one — the read-side twin of [`scatter_matrix_affine`],
+/// used by the serving reply path to walk factors back out of the
+/// batch buffer without paying the generic `addr` per element.
+///
+/// # Panics
+/// As [`gather_matrix`].
+pub fn gather_matrix_affine<T: Copy, L: BatchLayout>(
+    layout: &L,
+    src: &[T],
+    mat: usize,
+    dst: &mut [T],
+    dst_lda: usize,
+) {
+    let n = layout.n();
+    assert!(mat < layout.padded_batch(), "matrix index out of range");
+    assert!(dst_lda >= n, "destination leading dimension too small");
+    assert!(dst.len() >= dst_lda * n, "destination buffer too short");
+    if n == 0 {
+        return;
+    }
+    match matrix_affine(layout, mat) {
+        Some((base, rs, cs)) => {
+            assert!(
+                base + (n - 1) * rs + (n - 1) * cs < src.len(),
+                "affine span out of range"
+            );
+            for col in 0..n {
+                let mut at = base + col * cs;
+                for row in 0..n {
+                    dst[col * dst_lda + row] = src[at];
+                    at += rs;
+                }
+            }
+        }
+        None => gather_matrix(layout, src, mat, dst, dst_lda),
+    }
+}
+
+/// Scatters `mats.len()` column-major source matrices (`src_lda >= n`
+/// each) into slots `0..mats.len()` of `dst` in one pass, exploiting
+/// lane adjacency: matrices that sit consecutively within an interleave
+/// group (`addr(m+1, r, c) == addr(m, r, c) + 1`) are written as one
+/// contiguous block per element, and elements are walked in address
+/// order — so for the interleaved families the destination is written
+/// as a single (near-)sequential stream instead of one strided pass per
+/// matrix. Per-matrix strided writes revisit the same cache sets
+/// `n` times per matrix (pathologically so when the stride is a power
+/// of two); the blocked order touches every destination line exactly
+/// once.
+///
+/// Runs of adjacent matrices are discovered by probing base addresses,
+/// so chunk boundaries, ragged tails, and non-adjacent layouts
+/// (canonical) all degrade gracefully to [`scatter_matrix_affine`].
+/// Writes are bitwise-identical to scattering each matrix individually.
+///
+/// # Panics
+/// If `mats.len()` exceeds the layout's padded batch or any source is
+/// shorter than `src_lda * n`.
+pub fn scatter_batch_affine<T: Copy, L: BatchLayout>(
+    layout: &L,
+    dst: &mut [T],
+    mats: &[&[T]],
+    src_lda: usize,
+) {
+    let n = layout.n();
+    assert!(mats.len() <= layout.padded_batch(), "too many matrices");
+    assert!(src_lda >= n, "source leading dimension too small");
+    for (m, src) in mats.iter().enumerate() {
+        assert!(src.len() >= src_lda * n, "source {m} too short");
+    }
+    if n == 0 {
+        return;
+    }
+    let count = mats.len();
+    let mut m0 = 0;
+    while m0 < count {
+        let base0 = layout.addr(m0, 0, 0);
+        let mut m1 = m0 + 1;
+        while m1 < count && layout.addr(m1, 0, 0) == base0 + (m1 - m0) {
+            m1 += 1;
+        }
+        let run = m1 - m0;
+        let blocked = match (matrix_affine(layout, m0), matrix_affine(layout, m1 - 1)) {
+            (Some((base, rs, cs)), Some((last, lrs, lcs)))
+                if last == base + run - 1 && lrs == rs && lcs == cs =>
+            {
+                Some((base, rs, cs))
+            }
+            _ => None,
+        };
+        match blocked {
+            Some((base, rs, cs)) => {
+                assert!(
+                    base + (n - 1) * rs + (n - 1) * cs + run <= dst.len(),
+                    "affine span out of range"
+                );
+                // `rs <= cs` for every in-tree family, so col-outer /
+                // row-inner visits strictly increasing addresses.
+                for col in 0..n {
+                    for row in 0..n {
+                        let at = base + row * rs + col * cs;
+                        let e = col * src_lda + row;
+                        let block = &mut dst[at..at + run];
+                        for (slot, mat) in block.iter_mut().zip(&mats[m0..m1]) {
+                            *slot = mat[e];
+                        }
+                    }
+                }
+            }
+            None => {
+                for (m, mat) in mats.iter().enumerate().take(m1).skip(m0) {
+                    scatter_matrix_affine(layout, dst, m, mat, src_lda);
+                }
+            }
+        }
+        m0 = m1;
+    }
+}
+
 /// Copies the lower triangle (diagonal included) of matrix `mat` out of
 /// `src` into `dst`, a plain column-major buffer. The strictly-upper part
 /// of `dst` is left untouched.
@@ -255,6 +440,75 @@ mod tests {
                 assert_eq!(low[col * 5 + row], full[col * 5 + row]);
             }
         }
+    }
+
+    #[test]
+    fn affine_variants_match_generic_on_every_family() {
+        let n = 5;
+        let batch = 67; // ragged against every interleave granularity
+        let layouts: [crate::Layout; 3] = [
+            crate::Layout::Canonical(Canonical::new(n, batch)),
+            crate::Layout::Interleaved(Interleaved::new(n, batch)),
+            crate::Layout::Chunked(Chunked::new(n, batch, 32)),
+        ];
+        let src: Vec<f32> = (0..n * n).map(|x| (x as f32).cos()).collect();
+        for layout in &layouts {
+            let mut generic = vec![0.0f32; layout.len()];
+            let mut affine = vec![0.0f32; layout.len()];
+            for mat in 0..layout.padded_batch() {
+                scatter_matrix(layout, &mut generic, mat, &src, n);
+                scatter_matrix_affine(layout, &mut affine, mat, &src, n);
+            }
+            assert_eq!(generic, affine, "{:?}", layout.kind());
+            let mut g = vec![0.0f32; n * n];
+            let mut a = vec![0.0f32; n * n];
+            for mat in 0..layout.padded_batch() {
+                gather_matrix(layout, &generic, mat, &mut g, n);
+                gather_matrix_affine(layout, &affine, mat, &mut a, n);
+                assert_eq!(g, a, "{:?} mat {mat}", layout.kind());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_scatter_matches_per_matrix_scatter() {
+        let n = 6;
+        for batch in [1usize, 31, 64, 67, 130] {
+            let layouts: [crate::Layout; 3] = [
+                crate::Layout::Canonical(Canonical::new(n, batch)),
+                crate::Layout::Interleaved(Interleaved::new(n, batch)),
+                crate::Layout::Chunked(Chunked::new(n, batch, 32)),
+            ];
+            let sources: Vec<Vec<f32>> = (0..batch)
+                .map(|m| (0..n * n).map(|e| (m * 100 + e) as f32).collect())
+                .collect();
+            let refs: Vec<&[f32]> = sources.iter().map(|s| s.as_slice()).collect();
+            for layout in &layouts {
+                let mut one_by_one = vec![0.0f32; layout.len()];
+                for (m, src) in refs.iter().enumerate() {
+                    scatter_matrix(layout, &mut one_by_one, m, src, n);
+                }
+                let mut batched = vec![0.0f32; layout.len()];
+                scatter_batch_affine(layout, &mut batched, &refs, n);
+                assert_eq!(one_by_one, batched, "{:?} batch {batch}", layout.kind());
+            }
+        }
+    }
+
+    #[test]
+    fn affine_probe_rejects_the_mirrored_packed_layout() {
+        // The symmetric packed layout mirrors its upper triangle onto the
+        // lower one, so it is not affine; the probe must route it to the
+        // generic path (same bits either way).
+        let layout = crate::PackedChunked::new(4, 9, 32);
+        let src: Vec<f32> = (0..16).map(|x| x as f32).collect();
+        let mut generic = vec![0.0f32; layout.len()];
+        let mut affine = vec![0.0f32; layout.len()];
+        for mat in 0..layout.padded_batch() {
+            scatter_matrix(&layout, &mut generic, mat, &src, 4);
+            scatter_matrix_affine(&layout, &mut affine, mat, &src, 4);
+        }
+        assert_eq!(generic, affine);
     }
 
     #[test]

@@ -54,7 +54,8 @@ pub use alloc::{alloc_aligned, alloc_batch, AlignedVec, BUFFER_ALIGN};
 pub use canonical::Canonical;
 pub use chunked::Chunked;
 pub use convert::{
-    gather_lower, gather_matrix, scatter_lower, scatter_matrix, transcode, transcode_into,
+    gather_lower, gather_matrix, gather_matrix_affine, scatter_batch_affine, scatter_lower,
+    scatter_matrix, scatter_matrix_affine, transcode, transcode_into,
 };
 pub use interleaved::Interleaved;
 pub use packed::{pack_symmetric, unpack_symmetric, PackedChunked};

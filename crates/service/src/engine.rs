@@ -13,7 +13,7 @@
 use ibcf_autotune::heuristics::heuristic_config;
 use ibcf_autotune::{best_config, DispatchTable, ParamSpace};
 use ibcf_core::lane_batch::{LaneOrder, LaneWidth};
-use ibcf_core::{Looking, Real};
+use ibcf_core::{LaneBackend, Looking, Real};
 use ibcf_gpu_sim::GpuSpec;
 use ibcf_kernels::KernelConfig;
 use ibcf_layout::{Layout, LayoutKind};
@@ -32,6 +32,9 @@ pub struct EnginePlan {
     pub order: LaneOrder,
     /// Matrices per lockstep group.
     pub width: LaneWidth,
+    /// Lane arithmetic backend: runtime-dispatched SIMD (default) or the
+    /// forced autovectorized path. Bitwise-identical either way.
+    pub backend: LaneBackend,
 }
 
 impl EnginePlan {
@@ -62,6 +65,7 @@ fn plan_of(config: &KernelConfig) -> EnginePlan {
             Looking::Left | Looking::Top => LaneOrder::Left,
         },
         width: LaneWidth::Auto,
+        backend: LaneBackend::Auto,
     }
 }
 
@@ -93,6 +97,7 @@ impl AnalyticTier {
 pub struct EngineSelector {
     table: Option<DispatchTable>,
     analytic: Option<AnalyticTier>,
+    backend: LaneBackend,
 }
 
 impl EngineSelector {
@@ -106,7 +111,7 @@ impl EngineSelector {
         let table = if table.is_empty() { None } else { Some(table) };
         EngineSelector {
             table,
-            analytic: None,
+            ..EngineSelector::default()
         }
     }
 
@@ -129,6 +134,15 @@ impl EngineSelector {
         self
     }
 
+    /// Forces every plan this selector produces onto `backend` — the
+    /// `serve --autovec` escape hatch and the A/B axis of the service
+    /// benches. The default is [`LaneBackend::Auto`] (SIMD where the
+    /// machine has it).
+    pub fn with_backend(mut self, backend: LaneBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// `true` if a sweep backs this selector.
     pub fn is_tuned(&self) -> bool {
         self.table.is_some()
@@ -147,7 +161,10 @@ impl EngineSelector {
             .and_then(|t| t.config_for(n))
             .or_else(|| self.analytic.as_ref().map(|a| a.config_for(n)))
             .unwrap_or_else(|| heuristic_config(n));
-        plan_of(&config)
+        EnginePlan {
+            backend: self.backend,
+            ..plan_of(&config)
+        }
     }
 }
 
@@ -226,5 +243,15 @@ mod tests {
         );
         let sel = EngineSelector::from_table(table).with_analytic(GpuSpec::p100(), 4096);
         assert_eq!(sel.plan(16).kind, LayoutKind::Interleaved);
+    }
+
+    #[test]
+    fn with_backend_threads_into_every_plan() {
+        let sel = EngineSelector::heuristic();
+        assert_eq!(sel.plan(16).backend, LaneBackend::Auto);
+        let sel = sel.with_backend(LaneBackend::Autovec);
+        for n in [4usize, 16, 48] {
+            assert_eq!(sel.plan(n).backend, LaneBackend::Autovec, "n={n}");
+        }
     }
 }

@@ -7,11 +7,16 @@
 //! 1. an [`IngestQueue`](queue::IngestQueue) admits requests under a
 //!    hard bound (non-blocking rejection or blocking backpressure);
 //! 2. a [former](former) groups them by `(n, dtype)` and flushes each
-//!    group on a size threshold or a deadline, packing payloads into a
-//!    128-byte-aligned interleaved buffer padded to a full lane group —
+//!    group on a size threshold or a deadline, scattering each payload
+//!    **once** directly into a 128-byte-aligned interleaved buffer
+//!    padded in place to a full lane group (the fused zero-copy ingest
+//!    path; the legacy stage-then-pack round trip survives as
+//!    [`IngestMode::Staged`](former::IngestMode) for A/B reference) —
 //!    shedding any request whose own deadline already expired;
 //! 3. a supervised worker pool factorizes each batch in place with the
-//!    lane-vectorized engine, under the layout/order the
+//!    lane-vectorized engine — explicit AVX2/AVX-512 kernels where the
+//!    CPU has them, autovectorized fallback otherwise — under the
+//!    layout/order the
 //!    [`EngineSelector`](engine::EngineSelector) picked from a tuned
 //!    [`DispatchTable`](ibcf_autotune::DispatchTable) (heuristics when
 //!    no sweep log exists), and routes per-matrix failures back to
@@ -52,7 +57,7 @@ pub mod stats;
 pub use codec::FrameError;
 pub use engine::{EnginePlan, EngineSelector};
 pub use fault::{FaultAction, FaultHook, FaultPlan, FaultSite};
-pub use former::{FormerConfig, PackedData};
+pub use former::{FormerConfig, IngestMode, PackedData};
 pub use loadgen::{ArrivalMode, LoadReport, LoadgenConfig};
 pub use queue::PushRefused;
 pub use request::{Dtype, FactorReply, Outcome, Payload, RejectReason, ReplySink};

@@ -5,8 +5,9 @@
 //! [`IngestQueue`]; `workers` supervisor threads each own one live
 //! worker thread sharing a `sync_channel` of [`FormedBatch`]es. Each
 //! worker factorizes its batch in place with
-//! [`factorize_batch_auto_with`] under the plan the [`EngineSelector`]
-//! chose, then routes every per-matrix outcome — factor or non-SPD
+//! [`factorize_batch_auto_backend`] under the plan the [`EngineSelector`]
+//! chose (including its lane backend: runtime-dispatched SIMD by
+//! default), then routes every per-matrix outcome — factor or non-SPD
 //! failure — back to exactly the originating request's sink.
 //!
 //! Workers are *supervised*: a batch executes under `catch_unwind`, so a
@@ -19,13 +20,13 @@
 
 use crate::engine::EngineSelector;
 use crate::fault::{silence_injected_panics, FaultAction, FaultHook, FaultSite};
-use crate::former::{run_former, FormedBatch, FormerConfig, PackedData};
+use crate::former::{run_former, FormedBatch, FormerConfig, IngestMode, PackedData};
 use crate::queue::{IngestQueue, PushRefused};
 use crate::request::{FactorReply, Outcome, Payload, Pending, RejectReason, ReplySink};
 use crate::stats::{ServiceStats, StatsSnapshot};
-use ibcf_core::lane_batch::factorize_batch_auto_with;
+use ibcf_core::lane_batch::factorize_batch_auto_backend;
 use ibcf_core::{CholeskyError, Real};
-use ibcf_layout::{gather_matrix, Layout};
+use ibcf_layout::{gather_matrix_affine, Layout};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{sync_channel, Receiver};
@@ -49,6 +50,10 @@ pub struct ServiceConfig {
     /// Fault injection hook ([`FaultHook::disabled`] in production: one
     /// `None` check per site, no other cost).
     pub fault: FaultHook,
+    /// How the former packs flushed groups ([`IngestMode::Fused`] by
+    /// default; [`IngestMode::Staged`] keeps the legacy extra-copy path
+    /// alive for A/B comparison).
+    pub ingest: IngestMode,
 }
 
 impl Default for ServiceConfig {
@@ -60,6 +65,7 @@ impl Default for ServiceConfig {
             max_delay: Duration::from_millis(1),
             max_n: 64,
             fault: FaultHook::disabled(),
+            ingest: IngestMode::Fused,
         }
     }
 }
@@ -109,6 +115,7 @@ impl Service {
         let former_cfg = FormerConfig {
             max_batch: config.max_batch,
             max_delay: config.max_delay,
+            ingest: config.ingest,
             ..FormerConfig::default()
         };
         let former = {
@@ -260,12 +267,24 @@ fn execute_batch(batch: FormedBatch, stats: &ServiceStats, hook: &FaultHook) -> 
         }
         let failures = match &mut data {
             PackedData::F32(buf) => {
-                factorize_batch_auto_with(&layout, buf.as_mut_slice(), plan.order, plan.width)
-                    .failures
+                factorize_batch_auto_backend(
+                    &layout,
+                    buf.as_mut_slice(),
+                    plan.order,
+                    plan.width,
+                    plan.backend,
+                )
+                .failures
             }
             PackedData::F64(buf) => {
-                factorize_batch_auto_with(&layout, buf.as_mut_slice(), plan.order, plan.width)
-                    .failures
+                factorize_batch_auto_backend(
+                    &layout,
+                    buf.as_mut_slice(),
+                    plan.order,
+                    plan.width,
+                    plan.backend,
+                )
+                .failures
             }
         };
         (data, failures)
@@ -328,7 +347,7 @@ fn execute_batch(batch: FormedBatch, stats: &ServiceStats, hook: &FaultHook) -> 
 fn gather_payload(layout: &Layout, data: &PackedData, mat: usize, n: usize) -> Payload {
     fn full_square<T: Real>(layout: &Layout, data: &[T], mat: usize, n: usize) -> Vec<T> {
         let mut out = vec![T::ZERO; n * n];
-        gather_matrix(layout, data, mat, &mut out, n);
+        gather_matrix_affine(layout, data, mat, &mut out, n);
         out
     }
     match data {

@@ -41,6 +41,10 @@ pub struct ServiceStats {
     pub worker_restarts: AtomicU64,
     /// Requests shed because their deadline expired before packing.
     pub deadline_expired: AtomicU64,
+    /// Batches assembled by the fused (zero-copy scatter) ingest path.
+    pub ingest_fused: AtomicU64,
+    /// Batches assembled by the legacy stage-then-pack ingest path.
+    pub ingest_staged: AtomicU64,
     occupancy: [AtomicU64; OCCUPANCY_BUCKETS],
     occupancy_sum_milli: AtomicU64,
     latency: [AtomicU64; LATENCY_BUCKETS],
@@ -58,6 +62,8 @@ impl Default for ServiceStats {
             worker_crashes: AtomicU64::new(0),
             worker_restarts: AtomicU64::new(0),
             deadline_expired: AtomicU64::new(0),
+            ingest_fused: AtomicU64::new(0),
+            ingest_staged: AtomicU64::new(0),
             occupancy: std::array::from_fn(|_| AtomicU64::new(0)),
             occupancy_sum_milli: AtomicU64::new(0),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -80,6 +86,15 @@ impl ServiceStats {
         self.occupancy[bucket].fetch_add(1, Ordering::Relaxed);
         self.occupancy_sum_milli
             .fetch_add((frac * 1000.0) as u64, Ordering::Relaxed);
+    }
+
+    /// Records which ingest path assembled one batch.
+    pub fn record_ingest(&self, fused: bool) {
+        if fused {
+            self.ingest_fused.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.ingest_staged.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Records one reply's enqueue-to-reply latency.
@@ -118,6 +133,8 @@ impl ServiceStats {
             worker_crashes: self.worker_crashes.load(Ordering::Relaxed),
             worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
             deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            ingest_fused: self.ingest_fused.load(Ordering::Relaxed),
+            ingest_staged: self.ingest_staged.load(Ordering::Relaxed),
             mean_occupancy,
             occupancy_hist,
             latency_hist,
@@ -148,6 +165,10 @@ pub struct StatsSnapshot {
     pub worker_restarts: u64,
     /// Requests shed on an expired deadline before packing.
     pub deadline_expired: u64,
+    /// Batches assembled by the fused (zero-copy scatter) ingest path.
+    pub ingest_fused: u64,
+    /// Batches assembled by the legacy stage-then-pack ingest path.
+    pub ingest_staged: u64,
     /// Mean live/slots fraction over all batches.
     pub mean_occupancy: f64,
     /// 10%-wide occupancy buckets.
@@ -239,6 +260,8 @@ impl StatsSnapshot {
             worker_crashes: self.worker_crashes + other.worker_crashes,
             worker_restarts: self.worker_restarts + other.worker_restarts,
             deadline_expired: self.deadline_expired + other.deadline_expired,
+            ingest_fused: self.ingest_fused + other.ingest_fused,
+            ingest_staged: self.ingest_staged + other.ingest_staged,
             mean_occupancy,
             occupancy_hist: add_hist(&self.occupancy_hist, &other.occupancy_hist),
             latency_hist: add_hist(&self.latency_hist, &other.latency_hist),

@@ -1,0 +1,196 @@
+//! Property tests for the fused (zero-copy) ingest path: for any mix of
+//! payloads, dtypes, plan layouts, and ragged tails, the fused
+//! scatter-once path must produce a **bitwise-identical** packed buffer
+//! to the legacy stage-then-`pack_batch_host` path — and factorizing
+//! either buffer must route per-matrix failures to exactly the same
+//! request ids.
+
+use ibcf_core::lane_batch::{LaneOrder, LaneWidth};
+use ibcf_core::spd::{random_spd, SpdKind};
+use ibcf_core::{factorize_batch_auto_backend, LaneBackend};
+use ibcf_layout::{BatchLayout, LayoutKind, BUFFER_ALIGN};
+use ibcf_service::former::{form_batch_mode, IngestMode, PackedData};
+use ibcf_service::request::{Payload, Pending};
+use ibcf_service::{Dtype, EnginePlan};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+fn plan_of(
+    kind_pick: usize,
+    chunk_pick: usize,
+    order_pick: usize,
+    width_pick: usize,
+) -> EnginePlan {
+    EnginePlan {
+        kind: [LayoutKind::Interleaved, LayoutKind::Chunked][kind_pick % 2],
+        chunk: [32, 64, 128][chunk_pick % 3],
+        order: LaneOrder::ALL[order_pick % 2],
+        width: [
+            LaneWidth::Auto,
+            LaneWidth::W8,
+            LaneWidth::W16,
+            LaneWidth::W32,
+        ][width_pick % 4],
+        backend: LaneBackend::Auto,
+    }
+}
+
+/// `count` requests of dimension `n`; indices in `bad` carry a planted
+/// indefinite matrix (−I), everyone else a random SPD one.
+fn requests_f32(n: usize, count: usize, bad: &BTreeSet<usize>, seed: u64) -> Vec<Pending> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let m = if bad.contains(&i) {
+                (0..n * n)
+                    .map(|e| if e % (n + 1) == 0 { -1.0 } else { 0.0 })
+                    .collect()
+            } else {
+                random_spd::<f32>(n, SpdKind::Wishart, &mut rng).into_vec()
+            };
+            Pending {
+                id: 1000 + i as u64,
+                n,
+                payload: Payload::F32(m),
+                enqueued: Instant::now(),
+                deadline: None,
+                sink: Box::new(|_| {}),
+            }
+        })
+        .collect()
+}
+
+fn requests_f64(n: usize, count: usize, bad: &BTreeSet<usize>, seed: u64) -> Vec<Pending> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let m = if bad.contains(&i) {
+                (0..n * n)
+                    .map(|e| if e % (n + 1) == 0 { -1.0 } else { 0.0 })
+                    .collect()
+            } else {
+                random_spd::<f64>(n, SpdKind::Wishart, &mut rng).into_vec()
+            };
+            Pending {
+                id: 1000 + i as u64,
+                n,
+                payload: Payload::F64(m),
+                enqueued: Instant::now(),
+                deadline: None,
+                sink: Box::new(|_| {}),
+            }
+        })
+        .collect()
+}
+
+fn params() -> impl Strategy<Value = (usize, usize, usize, usize, usize, usize, u64)> {
+    (
+        1usize..=12,  // n
+        1usize..=80,  // count (ragged tails almost always)
+        0usize..2,    // layout kind pick
+        0usize..3,    // chunk pick
+        0usize..2,    // order pick
+        0usize..4,    // width pick
+        any::<u64>(), // seed
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Fused and staged ingest produce bitwise-identical packed buffers —
+    /// same layout, same slot count, same bits in every element including
+    /// identity padding and the layout's own padding — for both dtypes.
+    #[test]
+    fn fused_ingest_is_bitwise_identical_to_staged(
+        (n, count, k, c, o, w, seed) in params(),
+        f64_pick in any::<bool>(),
+    ) {
+        let plan = plan_of(k, c, o, w);
+        let bad = BTreeSet::new();
+        let (fused, staged) = if f64_pick {
+            (
+                form_batch_mode(n, Dtype::F64, requests_f64(n, count, &bad, seed), plan, IngestMode::Fused),
+                form_batch_mode(n, Dtype::F64, requests_f64(n, count, &bad, seed), plan, IngestMode::Staged),
+            )
+        } else {
+            (
+                form_batch_mode(n, Dtype::F32, requests_f32(n, count, &bad, seed), plan, IngestMode::Fused),
+                form_batch_mode(n, Dtype::F32, requests_f32(n, count, &bad, seed), plan, IngestMode::Staged),
+            )
+        };
+        prop_assert_eq!(fused.slots, staged.slots);
+        prop_assert_eq!(fused.layout.kind(), staged.layout.kind());
+        match (&fused.data, &staged.data) {
+            (PackedData::F32(a), PackedData::F32(b)) => {
+                prop_assert_eq!(a.len(), b.len());
+                prop_assert_eq!(a.as_slice().as_ptr() as usize % BUFFER_ALIGN, 0);
+                for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+                    prop_assert!(
+                        x.to_bits() == y.to_bits(),
+                        "n={} count={} elem {}: {} vs {}", n, count, i, x, y
+                    );
+                }
+            }
+            (PackedData::F64(a), PackedData::F64(b)) => {
+                prop_assert_eq!(a.len(), b.len());
+                prop_assert_eq!(a.as_slice().as_ptr() as usize % BUFFER_ALIGN, 0);
+                for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+                    prop_assert!(
+                        x.to_bits() == y.to_bits(),
+                        "n={} count={} elem {}: {} vs {}", n, count, i, x, y
+                    );
+                }
+            }
+            _ => prop_assert!(false, "dtype mismatch between modes"),
+        }
+    }
+
+    /// Factorizing a fused-ingested batch reports failures on exactly the
+    /// same request ids as factorizing the staged one — planted non-SPD
+    /// payloads route identically through either pack path, and padding
+    /// slots never fail.
+    #[test]
+    fn fused_ingest_routes_failures_identically(
+        (n, count, k, c, o, w, seed) in params(),
+        bad_mask in any::<u64>(),
+    ) {
+        let plan = plan_of(k, c, o, w);
+        // Up to 8 planted failures at pseudo-random request indices.
+        let bad: BTreeSet<usize> = (0..8)
+            .map(|i| (bad_mask.rotate_left(8 * i) & 0xff) as usize % count)
+            .take_while(|_| bad_mask != 0)
+            .collect();
+        let mut failed_ids: Vec<Vec<u64>> = Vec::new();
+        for mode in [IngestMode::Fused, IngestMode::Staged] {
+            let batch = form_batch_mode(
+                n, Dtype::F32, requests_f32(n, count, &bad, seed), plan, mode,
+            );
+            let mut data = match batch.data {
+                PackedData::F32(v) => v,
+                _ => unreachable!(),
+            };
+            let report = factorize_batch_auto_backend(
+                &batch.layout,
+                data.as_mut_slice(),
+                plan.order,
+                plan.width,
+                plan.backend,
+            );
+            // Map failed matrix slots onto request ids, exactly as the
+            // worker's reply routing does.
+            let mut ids: Vec<u64> = Vec::new();
+            for &(mat, _) in &report.failures {
+                prop_assert!(mat < batch.reqs.len(), "padding slot {} failed", mat);
+                ids.push(batch.reqs[mat].id);
+            }
+            failed_ids.push(ids);
+        }
+        prop_assert_eq!(&failed_ids[0], &failed_ids[1]);
+        let want: Vec<u64> = bad.iter().map(|&i| 1000 + i as u64).collect();
+        prop_assert_eq!(&failed_ids[0], &want);
+    }
+}
