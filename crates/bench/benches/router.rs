@@ -50,11 +50,22 @@ impl ShardBackend for InstantShard {
         _deadline: Option<Instant>,
         sink: ReplySink,
     ) -> Result<(), SubmitRefusal> {
-        sink(ibcf_service::FactorReply {
+        sink.send(ibcf_service::FactorReply {
             id,
             outcome: ibcf_service::Outcome::Factor(payload),
         });
         Ok(())
+    }
+
+    fn try_submit_large(
+        &self,
+        id: u64,
+        n: usize,
+        payload: Payload,
+        deadline: Option<Instant>,
+        sink: ReplySink,
+    ) -> Result<(), SubmitRefusal> {
+        self.try_submit(id, n, payload, deadline, sink)
     }
 
     fn probe(&self) -> bool {
@@ -90,7 +101,7 @@ fn bench_routing_overhead(c: &mut Criterion) {
         };
         b.iter(|| {
             let ok = shard
-                .try_submit(1, N, black_box(payload()), None, Box::new(drop))
+                .try_submit(1, N, black_box(payload()), None, ReplySink::boxed(drop))
                 .is_ok();
             assert!(ok);
         });
@@ -125,7 +136,7 @@ fn bench_routing_overhead(c: &mut Criterion) {
                         n,
                         black_box(Payload::F32(vec![1.0; n * n])),
                         None,
-                        Box::new(drop),
+                        ReplySink::boxed(drop),
                     );
                 });
                 router.shutdown();
@@ -155,7 +166,7 @@ fn bench_fleet_end_to_end(c: &mut Criterion) {
             submit(
                 i as u64,
                 pool[i % pool.len()].clone(),
-                Box::new(move |reply| {
+                ReplySink::boxed(move |reply| {
                     assert!(reply.outcome.is_ok());
                     let (lock, cvar) = &*done;
                     *lock.lock().unwrap() += 1;

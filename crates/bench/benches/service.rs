@@ -18,7 +18,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use ibcf_core::spd::{random_spd, SpdKind};
 use ibcf_core::LaneBackend;
 use ibcf_service::former::form_batch_mode;
-use ibcf_service::request::{Payload, Pending};
+use ibcf_service::request::{Payload, Pending, ReplySink};
 use ibcf_service::{
     Dtype, EngineSelector, FaultHook, FaultPlan, IngestMode, Service, ServiceConfig,
 };
@@ -45,7 +45,7 @@ fn pending_batch(n: usize, count: usize, pool: &[Vec<f32>]) -> Vec<Pending> {
             payload: Payload::F32(pool[i % pool.len()].clone()),
             enqueued: Instant::now(),
             deadline: None,
-            sink: Box::new(|_| {}),
+            sink: ReplySink::boxed(|_| {}),
         })
         .collect()
 }
@@ -125,7 +125,7 @@ fn bench_service(c: &mut Criterion) {
                         N,
                         pool[i % pool.len()].clone(),
                         None,
-                        Box::new(move |reply| {
+                        ReplySink::boxed(move |reply| {
                             if !reply.outcome.is_ok() {
                                 failures.fetch_add(1, Ordering::Relaxed);
                             }

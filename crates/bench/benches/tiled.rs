@@ -1,0 +1,75 @@
+//! Criterion benches for the large-matrix task-graph runtime: the
+//! sequential blocked factorization (per-op gather through the batch
+//! layout) against the `core::tiled` DAG — packed once into tile-major
+//! storage, executed sequentially or by the work-stealing pool. This is
+//! the batched-vs-blocked crossover machinery behind the EXPERIMENTS.md
+//! table and the `ibcf tiled-bench` CLI command.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ibcf_core::spd::{fill_batch_spd, SpdKind};
+use ibcf_core::{potrf_blocked, potrf_tiled_seq, potrf_tiled_threads, Looking};
+use ibcf_layout::{alloc_batch, Canonical};
+use std::hint::black_box;
+
+fn spd(n: usize) -> Vec<f32> {
+    let layout = Canonical::new(n, 1);
+    let mut batch = alloc_batch::<f32, _>(&layout);
+    fill_batch_spd(&layout, &mut batch, SpdKind::DiagDominant, 42);
+    batch[..n * n].to_vec()
+}
+
+fn bench_large_factor(c: &mut Criterion) {
+    let nb = 32usize;
+    for n in [128usize, 256] {
+        let mut g = c.benchmark_group(format!("large_factor_n{n}"));
+        g.sample_size(10);
+        let pristine = spd(n);
+
+        g.bench_function("blocked_seq", |b| {
+            b.iter(|| {
+                let layout = Canonical::new(n, 1);
+                let mut a = pristine.clone();
+                potrf_blocked(&layout, &mut a, 0, nb, Looking::Right).unwrap();
+                black_box(a[0])
+            })
+        });
+        g.bench_function("dag_seq", |b| {
+            b.iter(|| {
+                let mut a = pristine.clone();
+                potrf_tiled_seq(n, &mut a, n, nb, Looking::Right).unwrap();
+                black_box(a[0])
+            })
+        });
+        g.bench_function("dag_par", |b| {
+            let threads = std::thread::available_parallelism()
+                .map_or(2, usize::from)
+                .max(2);
+            b.iter(|| {
+                let mut a = pristine.clone();
+                potrf_tiled_threads(n, &mut a, n, nb, Looking::Right, threads).unwrap();
+                black_box(a[0])
+            })
+        });
+        g.finish();
+    }
+}
+
+fn bench_looking_orders(c: &mut Criterion) {
+    let (n, nb) = (192usize, 32usize);
+    let mut g = c.benchmark_group(format!("dag_looking_n{n}"));
+    g.sample_size(10);
+    let pristine = spd(n);
+    for looking in Looking::ALL {
+        g.bench_function(looking.name(), |b| {
+            b.iter(|| {
+                let mut a = pristine.clone();
+                potrf_tiled_seq(n, &mut a, n, nb, looking).unwrap();
+                black_box(a[0])
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_large_factor, bench_looking_orders);
+criterion_main!(benches);

@@ -11,7 +11,10 @@ use ibcf_core::host_batch::{factorize_batch, factorize_batch_seq, BatchReport};
 use ibcf_core::lane_batch::{LaneOrder, LaneWidth};
 use ibcf_core::spd::{fill_batch_spd, SpdKind};
 use ibcf_core::verify::batch_reconstruction_error;
-use ibcf_core::{detect_isa, factorize_batch_auto_backend, LaneBackend, Looking, Real};
+use ibcf_core::{
+    detect_isa, factorize_batch_auto_backend, potrf_blocked, potrf_tiled_seq, potrf_tiled_threads,
+    LaneBackend, Looking, Real,
+};
 use ibcf_forest::{permutation_importance, Forest, ForestConfig, TableData};
 use ibcf_gpu_sim::GpuSpec;
 use ibcf_kernels::{
@@ -62,6 +65,13 @@ commands:
             explicit-SIMD lane engine (the simd column reports the
             dispatched ISA: avx512, avx2, or fallback; force it with
             IBCF_SIMD=off|avx2|avx512)
+  tiled-bench [--sizes 128,256,384,512] [--nbs 16,32] [--reps R]
+            [--threads T] [--looking right|left|top] [--f32|--f64]
+            large-matrix Cholesky throughput: sequential blocked
+            baseline vs the core::tiled task-graph runtime, sequential
+            replay and work-stealing parallel execution (the measured
+            batched-vs-blocked crossover in EXPERIMENTS.md comes from
+            this table)
   serve     [--host H] [--port P] [--workers W] [--queue-cap Q]
             [--max-batch B] [--max-delay-us D] [--max-n N] [--dispatch F]
             [--analytic G] [--shards N] [--policy hash|least-loaded]
@@ -78,7 +88,8 @@ commands:
   loadgen   [--addr H:P] [--sizes 16,24] [--dtype f32|f64]
             [--requests R] [--conns C] [--window W | --rate R/s]
             [--plant-bad K] [--seed S] [--deadline-us D] [--retry]
-            [--read-timeout-ms T] [--shutdown]
+            [--read-timeout-ms T] [--large-every K] [--large-n N]
+            [--shutdown]
             drive a running server closed-loop (fixed window) or
             open-loop (fixed arrival rate); prints throughput, latency
             percentiles, and mean batch occupancy; with --retry,
@@ -87,6 +98,7 @@ commands:
   chaos     [--plan P] [--seed S] [--requests R] [--conns C]
             [--window W] [--sizes 8,16] [--plant-bad K] [--workers W]
             [--max-batch B] [--deadline-us D] [--shards N]
+            [--large-every K] [--large-n N]
             run loadgen against an in-process service under a seeded
             fault plan (worker-panic, slow-batch, queue-stall,
             conn-drop, frame-corrupt, shard-kill, mixed, inert) and
@@ -951,6 +963,123 @@ pub fn host_bench(args: &Args) -> i32 {
     0
 }
 
+fn time_tiled<T: Real>(pristine: &[T], reps: usize, mut run: impl FnMut(&mut [T])) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let mut a = pristine.to_vec();
+        let t0 = std::time::Instant::now();
+        run(&mut a);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn tiled_bench_size<T: Real>(
+    ty: &str,
+    n: usize,
+    nb: usize,
+    looking: Looking,
+    threads: usize,
+    reps: usize,
+) {
+    let flops = cholesky_flops_std(n);
+    let layout = Canonical::new(n, 1);
+    let mut batch = alloc_batch::<T, _>(&layout);
+    fill_batch_spd(&layout, &mut batch, SpdKind::DiagDominant, 42);
+    // Canonical stores each matrix contiguously: matrix 0 is the first
+    // n*n elements, column-major with lda == n.
+    let pristine = &batch[..n * n];
+
+    let t_blocked = time_tiled(pristine, reps, |a| {
+        let layout = Canonical::new(n, 1);
+        potrf_blocked(&layout, a, 0, nb, looking).expect("SPD input must factor");
+    });
+    let t_seq = time_tiled(pristine, reps, |a| {
+        potrf_tiled_seq(n, a, n, nb, looking).expect("SPD input must factor");
+    });
+    let t_par = time_tiled(pristine, reps, |a| {
+        potrf_tiled_threads(n, a, n, nb, looking, threads).expect("SPD input must factor");
+    });
+
+    for (engine, t, speedup) in [
+        ("blocked-seq", t_blocked, None),
+        ("dag-seq", t_seq, Some(t_blocked / t_seq)),
+        ("dag-par", t_par, Some(t_blocked / t_par)),
+    ] {
+        println!(
+            "{ty}  n={n:<4} nb={nb:<3} {:<7} {engine:<12} {:>8.3} Gflop/s {:>8.2} ms {:>7}",
+            looking.name(),
+            flops / t / 1e9,
+            t * 1e3,
+            speedup.map_or("-".to_string(), |s| format!("{s:.2}x")),
+        );
+    }
+}
+
+/// `ibcf tiled-bench`: large-matrix Cholesky throughput — the
+/// sequential blocked baseline against the `core::tiled` task-graph
+/// runtime (sequential replay and work-stealing parallel execution).
+/// The parallel column is bitwise identical to the sequential one by
+/// construction; only the schedule differs.
+pub fn tiled_bench(args: &Args) -> i32 {
+    let sizes = match args
+        .options
+        .get("sizes")
+        .map_or(Ok(vec![128, 256, 384, 512]), |s| parse_sizes(s))
+    {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    let nbs = match args
+        .options
+        .get("nbs")
+        .map_or(Ok(vec![16, 32]), |s| parse_sizes(s))
+    {
+        Ok(s) => s,
+        Err(e) => return fail(e),
+    };
+    if sizes.contains(&0) || nbs.contains(&0) {
+        return fail("--sizes and --nbs entries must be positive");
+    }
+    let default_threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let (reps, threads) = match (
+        args.get("reps", 3usize),
+        args.get("threads", default_threads),
+    ) {
+        (Ok(r), Ok(t)) => (r, t),
+        (Err(e), _) | (_, Err(e)) => return fail(e),
+    };
+    if threads == 0 || reps == 0 {
+        return fail("--threads and --reps must be positive");
+    }
+    let looking = match args.get("looking", "right".to_string()) {
+        Ok(name) => match name.as_str() {
+            "right" => Looking::Right,
+            "left" => Looking::Left,
+            "top" => Looking::Top,
+            other => return fail(format!("unknown looking order {other}")),
+        },
+        Err(e) => return fail(e),
+    };
+    let f32_only = args.flag("f32");
+    let f64_only = args.flag("f64");
+    println!(
+        "tiled task-graph Cholesky, best of {reps} rep(s), {threads} worker thread(s), {looking} looking"
+    );
+    println!("type n      nb    looking engine        throughput         time    vs blocked");
+    for &n in &sizes {
+        for &nb in &nbs {
+            if !f64_only {
+                tiled_bench_size::<f32>("f32", n, nb, looking, threads, reps);
+            }
+            if !f32_only {
+                tiled_bench_size::<f64>("f64", n, nb, looking, threads, reps);
+            }
+        }
+    }
+    0
+}
+
 /// `ibcf serve`: run the dynamic-batching factorization service over
 /// TCP — one service, or (`--shards N`) a router-fronted in-process
 /// fleet with health-checked failover and typed backpressure.
@@ -1170,6 +1299,14 @@ pub fn loadgen(args: &Args) -> i32 {
         Ok(_) => ArrivalMode::Closed { window },
         Err(e) => return fail(e),
     };
+    let (large_every, large_n) = match (args.get("large-every", 0u64), args.get("large-n", 96usize))
+    {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => return fail(e),
+    };
+    if large_every > 0 && large_n == 0 {
+        return fail("--large-n must be positive");
+    }
     let cfg = LoadgenConfig {
         addr,
         sizes,
@@ -1186,6 +1323,8 @@ pub fn loadgen(args: &Args) -> i32 {
             RetryPolicy::disabled()
         },
         read_timeout: std::time::Duration::from_millis(read_timeout_ms.max(1)),
+        large_every,
+        large_n,
     };
     println!(
         "loadgen: {} requests ({} planted non-SPD), sizes {:?} {}, {} conn(s), {:?}",
@@ -1283,6 +1422,14 @@ pub fn chaos(args: &Args) -> i32 {
     if plant_bad > requests {
         return fail("--plant-bad cannot exceed --requests");
     }
+    let (large_every, large_n) = match (args.get("large-every", 0u64), args.get("large-n", 96usize))
+    {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => return fail(e),
+    };
+    if large_every > 0 && large_n == 0 {
+        return fail("--large-n must be positive");
+    }
     let plan = match FaultPlan::named(&plan_name, seed) {
         Ok(p) => p,
         Err(e) => return fail(e),
@@ -1343,6 +1490,9 @@ pub fn chaos(args: &Args) -> i32 {
          ({plant_bad} planted non-SPD), sizes {sizes:?}, {conns} conn(s), \
          {shards} shard(s), {workers} worker(s), batch <= {max_batch}"
     );
+    if large_every > 0 {
+        println!("       every {large_every}th request is large (n = {large_n}, task-graph path)");
+    }
     let cfg = LoadgenConfig {
         addr: addr.clone(),
         sizes,
@@ -1357,6 +1507,8 @@ pub fn chaos(args: &Args) -> i32 {
         // connections, and lost-vs-duplicate accounting is the point.
         retry: RetryPolicy::standard(seed),
         read_timeout: Duration::from_secs(5),
+        large_every,
+        large_n,
     };
     let report = match ibcf_service::loadgen::run(&cfg) {
         Ok(r) => r,

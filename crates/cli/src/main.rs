@@ -48,6 +48,10 @@
 //!     rayon-gather gather/scatter vs the in-place lane-vectorized
 //!     engine.
 //!
+//! ibcf tiled-bench [--sizes 128,256,512] [--nbs 16,32] [--threads T]
+//!     Benchmark large-matrix Cholesky: sequential blocked baseline vs
+//!     the core::tiled task-graph runtime (sequential and parallel).
+//!
 //! ibcf serve [--port 7117] [--workers 1] [--dispatch dispatch.jsonl]
 //!     Run the dynamic-batching factorization service over TCP.
 //!
@@ -85,6 +89,7 @@ fn main() {
         Some("emit") => commands::emit(&parsed),
         Some("verify") => commands::verify(&parsed),
         Some("host-bench") => commands::host_bench(&parsed),
+        Some("tiled-bench") => commands::tiled_bench(&parsed),
         Some("serve") => commands::serve(&parsed),
         Some("loadgen") => commands::loadgen(&parsed),
         Some("chaos") => commands::chaos(&parsed),

@@ -5,6 +5,16 @@
 //! 11 of the paper): the same tile operations in the same order with the
 //! same load/store pattern, so the kernels crate can validate its traced
 //! instruction streams against an independently-tested implementation.
+//!
+//! Each looking order below is also a *schedule* — one particular
+//! topological order of the POTRF/TRSM/SYRK/GEMM dependency DAG that
+//! [`crate::tiled`] builds explicitly for large single matrices. The
+//! loops here gather every tile through the batch layout on each use;
+//! the task-graph runtime packs once into tile-major storage and lets a
+//! work-stealing pool pick any topological order, with a per-tile update
+//! chain that keeps the result bitwise identical to these sequential
+//! mirrors (see `TaskGraph::sequential_order`, which reproduces exactly
+//! the orders written out longhand below).
 
 use crate::error::CholeskyError;
 use crate::scalar::Real;
@@ -107,6 +117,11 @@ fn pivot_err(nb: usize, bk: usize, col_in_tile: usize) -> CholeskyError {
 
 /// Right-looking (Figure 3): factor panel, then update the entire trailing
 /// submatrix with rank-`nb` updates.
+///
+/// In DAG terms ([`crate::tiled::TaskGraph`]) this is the *eager*
+/// schedule: every SYRK/GEMM update runs as soon as its step-`kk` inputs
+/// exist, so it exposes the most ready tasks at once — the order the
+/// parallel executor's ready queue naturally approximates.
 fn right_looking<T: Real, L: BatchLayout>(
     layout: &L,
     data: &mut [T],
@@ -152,6 +167,11 @@ fn right_looking<T: Real, L: BatchLayout>(
 
 /// Left-looking (Figure 4, the LAPACK order): apply all pending updates to
 /// the current panel, then factor it.
+///
+/// The *lazy* schedule of the same DAG: updates from all earlier steps
+/// are deferred until the panel that consumes them is touched. Same task
+/// set, same per-tile update chain, different topological order — which
+/// is why [`crate::tiled`] can replay it bitwise from one graph.
 fn left_looking<T: Real, L: BatchLayout>(
     layout: &L,
     data: &mut [T],
@@ -194,6 +214,12 @@ fn left_looking<T: Real, L: BatchLayout>(
 /// Top-looking (Figures 5 and 11, the paper's laziest order): before
 /// factoring diagonal tile `kk`, first bring the stripe to its left up to
 /// date, then update and factor the diagonal tile.
+///
+/// The laziest topological order of the DAG: nothing left of the current
+/// stripe is touched until the stripe itself is needed. Smallest working
+/// set (best for the device kernels this mirrors), longest dependency
+/// chains — the schedule with the least parallelism for
+/// [`crate::tiled`]'s executor to exploit.
 fn top_looking<T: Real, L: BatchLayout>(
     layout: &L,
     data: &mut [T],

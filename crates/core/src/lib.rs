@@ -26,6 +26,11 @@
 //! * [`lane_simd`] — explicit AVX2/AVX-512 implementations of the lane
 //!   block primitives with runtime ISA dispatch (autovectorized fallback),
 //!   bitwise-identical to the scalar oracle.
+//! * [`tiled`] — task-graph blocked Cholesky for *one large* matrix: a
+//!   dependency-counted POTRF/TRSM/SYRK/GEMM DAG over 128-byte-aligned
+//!   tile slots, executed sequentially (per-Looking reference replays) or
+//!   by a parallel ready-queue executor, bitwise identical to the
+//!   unblocked oracle either way.
 //! * [`verify`] — residual and reconstruction checks.
 
 #![warn(missing_docs)]
@@ -44,6 +49,7 @@ pub mod solve;
 pub mod spd;
 pub mod sync_slice;
 pub mod tile;
+pub mod tiled;
 pub mod uplo;
 pub mod verify;
 
@@ -59,4 +65,5 @@ pub use lane_simd::{detect_isa, LaneBackend, SimdIsa};
 pub use matrix::ColMatrix;
 pub use reference::potrf_unblocked;
 pub use scalar::Real;
+pub use tiled::{potrf_tiled, potrf_tiled_seq, potrf_tiled_threads, TaskGraph, TileStore};
 pub use uplo::{potrf_uplo, solve_cholesky_uplo, Uplo};

@@ -13,15 +13,21 @@
 //! dimensions so ragged last tiles (`n % nb != 0`) use the same code, and
 //! const-generic (`unrolled`), where the loop bounds are compile-time
 //! constants so the compiler fully unrolls them — the Rust analogue of the
-//! paper's pyexpander-generated straight-line code.
+//! paper's pyexpander-generated straight-line code. A third form
+//! (`colvec`) interchanges the loops so every innermost loop is stride-1
+//! down a tile column — the large-tile leaves of the task-graph runtime
+//! ([`tiled`](crate::tiled)), bitwise-compatible with the others (see the
+//! `colvec` module docs for the exact equivalences).
 //!
 //! Tiles are column-major with an explicit tile stride (`ts`), normally the
 //! tile's allocated edge `nb`.
 
+mod colvec;
 mod loadstore;
 mod ops;
 mod unrolled;
 
+pub use colvec::{gemm_tile_colvec, syrk_tile_colvec, trsm_tile_colvec};
 pub use loadstore::{load_full, load_lower, store_full, store_lower};
 pub use ops::{gemm_tile, potrf_tile, syrk_tile, trsm_tile};
 pub use unrolled::{

@@ -1,0 +1,490 @@
+//! Simulator-side blocked Cholesky for *one large* matrix.
+//!
+//! The batched kernels in this crate assume the whole matrix fits one
+//! thread's registers ([`InterleavedCholesky`](crate::InterleavedCholesky))
+//! or one block's shared memory
+//! ([`TraditionalCholesky`](crate::TraditionalCholesky)) — both cap out
+//! around `n ≈ 96`. Past that, the device-side answer is the MAGMA-style
+//! *blocked* factorization: tile the matrix by `nb` and run one kernel
+//! launch per step of the right-looking loop,
+//!
+//! 1. [`BlockedPotrfStep`] — one block factors the diagonal tile `(k, k)`
+//!    in shared memory;
+//! 2. [`BlockedTrsmStep`] — `nt − k − 1` blocks each solve one panel tile
+//!    `(i, k)` against the staged `(k, k)`;
+//! 3. [`BlockedUpdateStep`] — one block per trailing tile `(i, j)`,
+//!    `k < j ≤ i`, applies `A[i][j] −= A[i][k]·A[j][k]ᵀ` (SYRK on the
+//!    diagonal).
+//!
+//! The three launches per step are exactly the task kinds of the host DAG
+//! runtime ([`ibcf_core::tiled`]); a step here is the DAG cut "everything
+//! with panel index `k`", i.e. the sequential right-looking order with a
+//! grid-wide barrier between kinds. Summing [`time_block_kernel`] over the
+//! launch sequence ([`time_blocked`]) prices a blocked large-`n` config on
+//! the timing model, which is what the batched-vs-blocked crossover study
+//! in EXPERIMENTS.md compares against the batched kernels.
+//!
+//! Within a launch, distinct blocks write disjoint tiles (the functional
+//! executor's contract); tiles read by several blocks — the factored
+//! diagonal in step 2, the panel in step 3 — are only *read*.
+
+use ibcf_gpu_sim::{
+    launch_block_functional, time_block_kernel, BlockCtx, BlockKernel, GpuSpec, KernelStatics,
+    LaunchConfig, TimingOptions,
+};
+
+/// Hard cap on the tile edge: two `nb × nb` f32 tiles must fit the 48 KiB
+/// shared-memory budget with room to spare.
+pub const MAX_BLOCKED_NB: usize = 64;
+
+/// Column-major address of global element `(r, c)` in an `n × n` matrix.
+#[inline]
+fn gaddr(n: usize, r: usize, c: usize) -> usize {
+    r + c * n
+}
+
+/// Threads per block: the tile edge rounded up to a full warp.
+#[inline]
+fn block_threads(nb: usize) -> usize {
+    nb.div_ceil(32) * 32
+}
+
+/// Tile-grid geometry shared by the step kernels.
+#[derive(Debug, Clone, Copy)]
+struct Geom {
+    n: usize,
+    nb: usize,
+    nt: usize,
+}
+
+impl Geom {
+    fn new(n: usize, nb: usize) -> Self {
+        assert!(n > 0, "matrix dimension must be positive");
+        assert!(nb > 0, "tile size must be positive");
+        assert!(
+            nb <= MAX_BLOCKED_NB,
+            "tile size {nb} exceeds shared-memory budget (max {MAX_BLOCKED_NB})"
+        );
+        Geom {
+            n,
+            nb,
+            nt: n.div_ceil(nb),
+        }
+    }
+
+    /// Edge of tile block `b` (ragged last block is smaller).
+    #[inline]
+    fn dim(&self, b: usize) -> usize {
+        self.nb.min(self.n - b * self.nb)
+    }
+}
+
+/// Step-`k` diagonal factorization: one block, tile `(k, k)` staged through
+/// shared memory, the in-tile loop identical to
+/// [`TraditionalCholesky`](crate::TraditionalCholesky)'s.
+pub struct BlockedPotrfStep {
+    g: Geom,
+    /// Step index (diagonal tile row).
+    k: usize,
+}
+
+impl BlockKernel for BlockedPotrfStep {
+    fn run(&self, block: &mut dyn BlockCtx) {
+        let Geom { n, nb, .. } = self.g;
+        let dk = self.g.dim(self.k);
+        let r0 = self.k * nb;
+
+        // Stage the lower triangle of the diagonal tile, row per thread.
+        block.phase(&mut |t, lane| {
+            if t < dk {
+                for j in 0..=t {
+                    let v = lane.ld(gaddr(n, r0 + t, r0 + j));
+                    lane.st_shared(t + j * nb, v);
+                }
+                lane.iops(t as u64 + 1);
+            }
+        });
+        block.sync();
+
+        // Right-looking factorization in shared memory.
+        for c in 0..dk {
+            block.phase(&mut |t, lane| {
+                if t == c {
+                    let acc = lane.ld_shared(c + c * nb);
+                    let p = lane.sqrt(acc);
+                    lane.st_shared(c + c * nb, p);
+                }
+            });
+            block.sync();
+            block.phase(&mut |t, lane| {
+                if t > c && t < dk {
+                    let p = lane.ld_shared(c + c * nb);
+                    let v = lane.ld_shared(t + c * nb);
+                    let s = lane.div(v, p);
+                    lane.st_shared(t + c * nb, s);
+                }
+            });
+            block.sync();
+            block.phase(&mut |t, lane| {
+                if t > c && t < dk {
+                    let ltc = lane.ld_shared(t + c * nb);
+                    for j in c + 1..=t {
+                        let ljc = lane.ld_shared(j + c * nb);
+                        let v = lane.ld_shared(t + j * nb);
+                        let u = lane.fma(-ltc, ljc, v);
+                        lane.st_shared(t + j * nb, u);
+                    }
+                    lane.iops((t - c) as u64);
+                }
+            });
+            block.sync();
+        }
+
+        // Write the factored tile back.
+        block.phase(&mut |t, lane| {
+            if t < dk {
+                for j in 0..=t {
+                    let v = lane.ld_shared(t + j * nb);
+                    lane.st(gaddr(n, r0 + t, r0 + j), v);
+                }
+                lane.iops(t as u64 + 1);
+            }
+        });
+    }
+
+    fn statics(&self) -> KernelStatics {
+        KernelStatics {
+            regs_per_thread: 32,
+            static_instrs: 400,
+            reg_reuse_capacity: 0,
+            dead_store_elim: false,
+            shared_bytes_per_block: (self.g.nb * self.g.nb * 4) as u32,
+        }
+    }
+}
+
+/// Step-`k` panel solve: block `b` owns panel tile `(k + 1 + b, k)`, solves
+/// it row-per-thread against the factored diagonal staged in shared memory.
+pub struct BlockedTrsmStep {
+    g: Geom,
+    /// Step index (panel column).
+    k: usize,
+}
+
+impl BlockKernel for BlockedTrsmStep {
+    fn run(&self, block: &mut dyn BlockCtx) {
+        let Geom { n, nb, .. } = self.g;
+        let i = self.k + 1 + block.block_idx();
+        let dk = self.g.dim(self.k);
+        let di = self.g.dim(i);
+        let lr0 = self.k * nb;
+        let br0 = i * nb;
+        // Shared layout: L tile at 0, this block's B tile at nb·nb.
+        let bs = nb * nb;
+
+        block.phase(&mut |t, lane| {
+            if t < dk {
+                for j in 0..=t {
+                    let v = lane.ld(gaddr(n, lr0 + t, lr0 + j));
+                    lane.st_shared(t + j * nb, v);
+                }
+                lane.iops(t as u64 + 1);
+            }
+            if t < di {
+                for j in 0..dk {
+                    let v = lane.ld(gaddr(n, br0 + t, lr0 + j));
+                    lane.st_shared(bs + t + j * nb, v);
+                }
+                lane.iops(dk as u64);
+            }
+        });
+        block.sync();
+
+        // Forward substitution, one B row per thread; rows are independent
+        // and L is read-only here, so one phase suffices. Write back as
+        // each row finishes.
+        block.phase(&mut |t, lane| {
+            if t < di {
+                for c in 0..dk {
+                    let lcc = lane.ld_shared(c + c * nb);
+                    let v = lane.ld_shared(bs + t + c * nb);
+                    let x = lane.div(v, lcc);
+                    lane.st_shared(bs + t + c * nb, x);
+                    for j in c + 1..dk {
+                        let ljc = lane.ld_shared(j + c * nb);
+                        let w = lane.ld_shared(bs + t + j * nb);
+                        let u = lane.fma(-x, ljc, w);
+                        lane.st_shared(bs + t + j * nb, u);
+                    }
+                    lane.iops((dk - c) as u64);
+                }
+                for j in 0..dk {
+                    let v = lane.ld_shared(bs + t + j * nb);
+                    lane.st(gaddr(n, br0 + t, lr0 + j), v);
+                }
+                lane.iops(dk as u64);
+            }
+        });
+    }
+
+    fn statics(&self) -> KernelStatics {
+        KernelStatics {
+            regs_per_thread: 32,
+            static_instrs: 400,
+            reg_reuse_capacity: 0,
+            dead_store_elim: false,
+            shared_bytes_per_block: (2 * self.g.nb * self.g.nb * 4) as u32,
+        }
+    }
+}
+
+/// Step-`k` trailing update: block `b` owns trailing tile `(i, j)` (pairs
+/// `k < j ≤ i` linearized row-major), stages the two panel tiles it reads
+/// and applies `A[i][j] −= A[i][k]·A[j][k]ᵀ` straight to global memory
+/// (SYRK keeps only the lower triangle when `i == j`).
+pub struct BlockedUpdateStep {
+    g: Geom,
+    /// Step index (source panel column).
+    k: usize,
+}
+
+impl BlockKernel for BlockedUpdateStep {
+    fn run(&self, block: &mut dyn BlockCtx) {
+        let Geom { n, nb, .. } = self.g;
+        // Decode the linearized pair index: b = ii·(ii+1)/2 + jj, jj ≤ ii.
+        let b = block.block_idx();
+        let mut ii = 0usize;
+        while (ii + 1) * (ii + 2) / 2 <= b {
+            ii += 1;
+        }
+        let jj = b - ii * (ii + 1) / 2;
+        let i = self.k + 1 + ii;
+        let j = self.k + 1 + jj;
+        let dk = self.g.dim(self.k);
+        let di = self.g.dim(i);
+        let dj = self.g.dim(j);
+        let kc0 = self.k * nb;
+        // Shared layout: A(i,k) at 0, A(j,k) at nb·nb.
+        let bs = nb * nb;
+
+        block.phase(&mut |t, lane| {
+            if t < di {
+                for p in 0..dk {
+                    let v = lane.ld(gaddr(n, i * nb + t, kc0 + p));
+                    lane.st_shared(t + p * nb, v);
+                }
+            }
+            if t < dj {
+                for p in 0..dk {
+                    let v = lane.ld(gaddr(n, j * nb + t, kc0 + p));
+                    lane.st_shared(bs + t + p * nb, v);
+                }
+            }
+            lane.iops(2 * dk as u64 + ii as u64);
+        });
+        block.sync();
+
+        block.phase(&mut |t, lane| {
+            if t < di {
+                let cols = if i == j { (t + 1).min(dj) } else { dj };
+                for c in 0..cols {
+                    let mut v = lane.ld(gaddr(n, i * nb + t, j * nb + c));
+                    for p in 0..dk {
+                        let aip = lane.ld_shared(t + p * nb);
+                        let ajp = lane.ld_shared(bs + c + p * nb);
+                        v = lane.fma(-aip, ajp, v);
+                    }
+                    lane.st(gaddr(n, i * nb + t, j * nb + c), v);
+                    lane.iops(dk as u64);
+                }
+            }
+        });
+    }
+
+    fn statics(&self) -> KernelStatics {
+        KernelStatics {
+            regs_per_thread: 32,
+            static_instrs: 400,
+            reg_reuse_capacity: 0,
+            dead_store_elim: false,
+            shared_bytes_per_block: (2 * self.g.nb * self.g.nb * 4) as u32,
+        }
+    }
+}
+
+/// One launch of the blocked schedule, with its grid.
+enum Step {
+    Potrf(BlockedPotrfStep),
+    Trsm(BlockedTrsmStep, usize),
+    Update(BlockedUpdateStep, usize),
+}
+
+impl Step {
+    fn launch(&self, nb: usize) -> LaunchConfig {
+        let threads = block_threads(nb);
+        match self {
+            Step::Potrf(_) => LaunchConfig::new(1, threads),
+            Step::Trsm(_, grid) | Step::Update(_, grid) => LaunchConfig::new(*grid, threads),
+        }
+    }
+}
+
+impl BlockKernel for Step {
+    fn run(&self, block: &mut dyn BlockCtx) {
+        match self {
+            Step::Potrf(k) => k.run(block),
+            Step::Trsm(k, _) => k.run(block),
+            Step::Update(k, _) => k.run(block),
+        }
+    }
+    fn statics(&self) -> KernelStatics {
+        match self {
+            Step::Potrf(k) => k.statics(),
+            Step::Trsm(k, _) => k.statics(),
+            Step::Update(k, _) => k.statics(),
+        }
+    }
+}
+
+/// The right-looking launch schedule for an `n × n` matrix tiled by `nb`:
+/// per step `k`, a POTRF launch, then (while a trailing submatrix remains)
+/// a TRSM panel launch and an UPDATE launch.
+fn steps(g: Geom) -> Vec<Step> {
+    let mut out = Vec::with_capacity(3 * g.nt);
+    for k in 0..g.nt {
+        out.push(Step::Potrf(BlockedPotrfStep { g, k }));
+        let m = g.nt - k - 1;
+        if m > 0 {
+            out.push(Step::Trsm(BlockedTrsmStep { g, k }, m));
+            out.push(Step::Update(BlockedUpdateStep { g, k }, m * (m + 1) / 2));
+        }
+    }
+    out
+}
+
+/// Number of kernel launches the blocked schedule issues: `3·nt − 2`.
+pub fn blocked_launches(n: usize, nb: usize) -> usize {
+    let nt = Geom::new(n, nb).nt;
+    if nt == 1 {
+        1
+    } else {
+        3 * nt - 2
+    }
+}
+
+/// Factorizes one column-major `n × n` f32 matrix (leading dimension `n`)
+/// in place on the simulator by running the blocked launch schedule
+/// functionally. Only the lower triangle is read and written.
+///
+/// # Panics
+/// If `data` is shorter than `n·n`, `n == 0`, `nb == 0`, or
+/// `nb > MAX_BLOCKED_NB`.
+pub fn factorize_blocked_device(n: usize, nb: usize, data: &mut [f32]) {
+    let g = Geom::new(n, nb);
+    assert!(data.len() >= n * n, "matrix buffer too short");
+    for step in steps(g) {
+        launch_block_functional(&step, step.launch(g.nb), data);
+    }
+}
+
+/// Aggregate cost of the blocked launch schedule on the timing model.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockedTiming {
+    /// Total estimated wall time across all launches, seconds.
+    pub time_s: f64,
+    /// Number of kernel launches summed over.
+    pub launches: usize,
+}
+
+impl BlockedTiming {
+    /// Achieved Gflop/s given the factorization's flop count.
+    pub fn gflops(&self, flops: f64) -> f64 {
+        flops / self.time_s / 1e9
+    }
+}
+
+/// Prices a blocked factorization of one `n × n` matrix tiled by `nb`:
+/// sums [`time_block_kernel`] over the whole launch schedule. Each launch
+/// is priced independently — the grid-wide barrier between launches is
+/// exactly what the blocked algorithm pays and the batched kernels avoid,
+/// which is what makes the small-`n` end of the crossover so lopsided.
+pub fn time_blocked(n: usize, nb: usize, spec: &GpuSpec, opts: TimingOptions) -> BlockedTiming {
+    let g = Geom::new(n, nb);
+    let mut time_s = 0.0;
+    let mut launches = 0;
+    for step in steps(g) {
+        time_s += time_block_kernel(&step, step.launch(g.nb), spec, opts).time_s;
+        launches += 1;
+    }
+    BlockedTiming { time_s, launches }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ibcf_core::spd::{fill_batch_spd, SpdKind};
+    use ibcf_core::{potrf_unblocked, Looking};
+    use ibcf_layout::{BatchLayout, Canonical};
+
+    fn spd(n: usize, seed: u64) -> Vec<f32> {
+        let layout = Canonical::new(n, 1);
+        let mut data = vec![0.0f32; layout.len()];
+        fill_batch_spd(&layout, &mut data, SpdKind::Wishart, seed);
+        data
+    }
+
+    #[test]
+    fn matches_host_oracle_closely() {
+        for (n, nb) in [(8usize, 8usize), (24, 8), (33, 16), (64, 16), (40, 64)] {
+            let a = spd(n, 100 + n as u64);
+            let mut dev = a.clone();
+            factorize_blocked_device(n, nb, &mut dev);
+            let mut host = a.clone();
+            potrf_unblocked(n, &mut host, n).unwrap();
+            for c in 0..n {
+                for r in c..n {
+                    let x = host[r + c * n];
+                    let y = dev[r + c * n];
+                    let scale = x.abs().max(1.0);
+                    assert!(
+                        (x - y).abs() / scale < 1e-4,
+                        "n={n} nb={nb} ({r},{c}): {x} vs {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_host_blocked_shape() {
+        // Same tiling as the host blocked path: agreement should be tight
+        // since both do rank-nb updates in the same order.
+        use ibcf_core::potrf_blocked;
+        let (n, nb) = (48usize, 16usize);
+        let a = spd(n, 7);
+        let mut dev = a.clone();
+        factorize_blocked_device(n, nb, &mut dev);
+        let mut host = a.clone();
+        potrf_blocked(&Canonical::new(n, 1), &mut host, 0, nb, Looking::Right).unwrap();
+        for c in 0..n {
+            for r in c..n {
+                let x = host[r + c * n];
+                let d = (x - dev[r + c * n]).abs();
+                assert!(d / x.abs().max(1.0) < 1e-4, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn launch_count_and_timing() {
+        assert_eq!(blocked_launches(16, 16), 1);
+        assert_eq!(blocked_launches(64, 16), 10);
+        let spec = GpuSpec::p100();
+        let t = time_blocked(256, 32, &spec, TimingOptions::default());
+        assert_eq!(t.launches, blocked_launches(256, 32));
+        assert!(t.time_s > 0.0);
+        // More work must not be cheaper.
+        let t2 = time_blocked(512, 32, &spec, TimingOptions::default());
+        assert!(t2.time_s > t.time_s);
+    }
+}

@@ -11,6 +11,14 @@
 //!   thread block per matrix, canonical column-major layout, the matrix
 //!   staged through shared memory.
 //!
+//! Plus the regime neither batched family reaches:
+//!
+//! * [`blocked_sim`] — blocked factorization of *one large* matrix as a
+//!   per-step launch schedule (POTRF / TRSM panel / trailing update),
+//!   the device-side counterpart of the host task-graph runtime
+//!   (`ibcf_core::tiled`), priced launch-by-launch for the
+//!   batched-vs-blocked crossover study.
+//!
 //! [`config::KernelConfig`] captures the paper's five tuning parameters
 //! (plus arithmetic mode and cache preference); [`launch`] maps a config
 //! onto functional or timed launches.
@@ -18,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod blas_batch;
+pub mod blocked_sim;
 pub mod codesize;
 pub mod config;
 pub mod emit;
@@ -31,6 +40,9 @@ pub mod traditional;
 pub use blas_batch::{
     gemm_batch_device, syrk_batch_device, time_blas, trsm_batch_device, InterleavedGemm,
     InterleavedSyrk, InterleavedTrsm,
+};
+pub use blocked_sim::{
+    blocked_launches, factorize_blocked_device, time_blocked, BlockedTiming, MAX_BLOCKED_NB,
 };
 pub use config::{CachePref, KernelConfig, Unroll};
 pub use emit::emit_cuda;

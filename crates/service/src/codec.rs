@@ -15,6 +15,14 @@
 //! | 4    | stats reply   | UTF-8 JSON [`StatsSnapshot`](crate::stats::StatsSnapshot) |
 //! | 5    | shutdown      | empty |
 //! | 6    | shutdown ack  | empty |
+//! | 7    | large req     | same body as factor req |
+//!
+//! A *large* request (kind 7) shares the factor-request body byte for
+//! byte — only the kind differs. The kind is the routing decision: kind 1
+//! enters the batch former and is packed with its cohort, kind 7 bypasses
+//! the former entirely and is scheduled on the task-graph worker pool
+//! (large matrices don't batch — they schedule). Replies for both kinds
+//! travel as kind 2.
 //!
 //! Reply `status`: 0 = factor (elements follow), 1 = not SPD (`aux` =
 //! failing column), 2 = non-finite (`aux` = column), 3 = rejected
@@ -47,6 +55,9 @@ pub const K_STATS_REPLY: u8 = 4;
 pub const K_SHUTDOWN: u8 = 5;
 /// Frame kind: shutdown acknowledged.
 pub const K_SHUTDOWN_ACK: u8 = 6;
+/// Frame kind: large-matrix factorization request (former bypass; body
+/// identical to [`K_FACTOR_REQ`]).
+pub const K_LARGE_REQ: u8 = 7;
 
 /// Largest accepted frame (a 64 × 64 f64 matrix is ~32 KiB; this leaves
 /// three orders of magnitude of headroom while bounding a hostile or
@@ -279,6 +290,63 @@ pub fn encode_factor_reply(reply: &FactorReply, dtype: Dtype) -> Vec<u8> {
     body
 }
 
+/// Encodes a complete reply frame (length word, [`K_FACTOR_REPLY`] kind,
+/// body) ready for a connection writer's `write_all`. The framing lives
+/// here rather than in the server so every producer of reply bytes —
+/// the connection reader, [`ReplySink::Frame`](crate::request::ReplySink)
+/// delivery, and the workers' scratch fast path below — frames
+/// identically.
+pub fn reply_frame(reply: &FactorReply, dtype: Dtype) -> Vec<u8> {
+    let body = encode_factor_reply(reply, dtype);
+    let mut frame = Vec::with_capacity(5 + body.len());
+    frame.extend_from_slice(&((body.len() + 1) as u32).to_le_bytes());
+    frame.push(K_FACTOR_REPLY);
+    frame.extend_from_slice(&body);
+    frame
+}
+
+/// Shared header+element framing for the success fast path: one
+/// allocation sized exactly, elements appended straight from the
+/// caller's (reused) scratch slice — no intermediate [`Payload`].
+fn factor_ok_frame_raw(
+    id: u64,
+    dtype: Dtype,
+    elem_bytes: usize,
+    put: impl FnOnce(&mut Vec<u8>),
+) -> Vec<u8> {
+    let body_len = 14 + elem_bytes;
+    let mut frame = Vec::with_capacity(5 + body_len);
+    frame.extend_from_slice(&((body_len + 1) as u32).to_le_bytes());
+    frame.push(K_FACTOR_REPLY);
+    frame.extend_from_slice(&id.to_le_bytes());
+    frame.push(0); // status: factor, elements follow
+    frame.push(dtype.to_u8());
+    frame.extend_from_slice(&0u32.to_le_bytes()); // aux
+    put(&mut frame);
+    frame
+}
+
+/// Encodes a successful `f32` factor reply frame directly from an element
+/// slice. Byte-identical to
+/// `reply_frame(&FactorReply { id, outcome: Factor(F32(elems.to_vec())) }, F32)`
+/// (pinned by a test) without the owned payload.
+pub fn factor_ok_frame_f32(id: u64, elems: &[f32]) -> Vec<u8> {
+    factor_ok_frame_raw(id, Dtype::F32, elems.len() * 4, |out| {
+        for x in elems {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+    })
+}
+
+/// `f64` twin of [`factor_ok_frame_f32`].
+pub fn factor_ok_frame_f64(id: u64, elems: &[f64]) -> Vec<u8> {
+    factor_ok_frame_raw(id, Dtype::F64, elems.len() * 8, |out| {
+        for x in elems {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+    })
+}
+
 /// Decodes a factorization reply body.
 pub fn decode_factor_reply(body: &[u8]) -> Result<FactorReply, FrameError> {
     if body.len() < 14 {
@@ -379,6 +447,46 @@ mod tests {
             let back = decode_factor_reply(&body).unwrap();
             assert_eq!(&back, reply);
         }
+    }
+
+    #[test]
+    fn scratch_fast_path_frames_are_byte_identical() {
+        // The workers' scratch encoding must be indistinguishable on the
+        // wire from the generic payload-owning path.
+        let f32s = vec![1.5f32, -0.0, f32::MIN_POSITIVE, 3.25e7];
+        let via_payload = reply_frame(
+            &FactorReply {
+                id: 42,
+                outcome: Outcome::Factor(Payload::F32(f32s.clone())),
+            },
+            Dtype::F32,
+        );
+        assert_eq!(factor_ok_frame_f32(42, &f32s), via_payload);
+
+        let f64s = vec![std::f64::consts::PI, f64::MIN_POSITIVE, -7.0];
+        let via_payload = reply_frame(
+            &FactorReply {
+                id: u64::MAX,
+                outcome: Outcome::Factor(Payload::F64(f64s.clone())),
+            },
+            Dtype::F64,
+        );
+        assert_eq!(factor_ok_frame_f64(u64::MAX, &f64s), via_payload);
+    }
+
+    #[test]
+    fn large_req_shares_the_factor_req_body() {
+        // Kind 7 is kind 1's body under a different kind byte: the same
+        // encoder/decoder pair serves both.
+        let payload = Payload::F64(vec![2.0, 0.5, 0.5, 2.0]);
+        let body = encode_factor_req(11, 2, 500, &payload);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, K_LARGE_REQ, &body).unwrap();
+        let (kind, back) = read_frame(&mut wire.as_slice()).unwrap().unwrap();
+        assert_eq!(kind, K_LARGE_REQ);
+        let (id, n, deadline_us, p) = decode_factor_req(&back).unwrap();
+        assert_eq!((id, n, deadline_us), (11, 2, 500));
+        assert_eq!(p, payload);
     }
 
     #[test]

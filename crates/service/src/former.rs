@@ -276,7 +276,7 @@ impl Group {
 /// would never pay for a factorization it can't use.
 fn shed(p: Pending, stats: &ServiceStats) {
     let id = p.id;
-    (p.sink)(FactorReply {
+    p.sink.send(FactorReply {
         id,
         outcome: Outcome::Rejected(RejectReason::DeadlineExceeded),
     });
@@ -332,7 +332,7 @@ pub fn run_former(
                 stats
                     .rejected
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                (req.sink)(FactorReply {
+                req.sink.send(FactorReply {
                     id: req.id,
                     outcome: Outcome::Rejected(RejectReason::ShuttingDown),
                 });
@@ -392,7 +392,7 @@ pub fn run_former(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::request::Payload;
+    use crate::request::{Payload, ReplySink};
     use ibcf_layout::gather_matrix;
     use std::sync::mpsc::sync_channel;
 
@@ -403,7 +403,7 @@ mod tests {
             payload: Payload::F32(vec![value; n * n]),
             enqueued: Instant::now(),
             deadline: None,
-            sink: Box::new(|_| {}),
+            sink: ReplySink::boxed(|_| {}),
         }
     }
 
@@ -491,7 +491,7 @@ mod tests {
                     payload: Payload::F64(vec![1.0; n * n]),
                     enqueued: Instant::now(),
                     deadline: None,
-                    sink: Box::new(|_| {}),
+                    sink: ReplySink::boxed(|_| {}),
                 })
                 .collect();
             let batch = form_batch_mode(n, Dtype::F64, reqs, plan, mode);
@@ -571,7 +571,7 @@ mod tests {
                 payload: Payload::F64(vec![0.0; 64]),
                 enqueued: Instant::now(),
                 deadline: None,
-                sink: Box::new(|_| {}),
+                sink: ReplySink::boxed(|_| {}),
             })
             .unwrap();
         let mut batches = Vec::new();
@@ -624,7 +624,7 @@ mod tests {
                     payload: Payload::F32(vec![0.0; 64]),
                     enqueued: Instant::now(),
                     deadline: Some(Instant::now() - Duration::from_millis(1)),
-                    sink: Box::new(move |r| rt.send(r).unwrap()),
+                    sink: ReplySink::boxed(move |r| rt.send(r).unwrap()),
                 })
                 .unwrap();
         }

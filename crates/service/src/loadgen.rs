@@ -25,7 +25,7 @@
 
 use crate::codec::{
     decode_factor_reply, encode_factor_req, read_frame, wire_deadline_us, write_frame,
-    K_FACTOR_REPLY, K_FACTOR_REQ,
+    K_FACTOR_REPLY, K_FACTOR_REQ, K_LARGE_REQ,
 };
 use crate::request::{Dtype, Outcome, Payload, RejectReason};
 use crate::retry::RetryPolicy;
@@ -83,6 +83,13 @@ pub struct LoadgenConfig {
     /// Socket read timeout: a stalled connection is declared dead (and,
     /// with retry enabled, replaced) after this long without a reply.
     pub read_timeout: Duration,
+    /// Every `large_every`-th request (0 = never) is sent as a
+    /// large-matrix request (`K_LARGE_REQ`): it bypasses the batch
+    /// former and schedules on the server's task-graph pool, mixing the
+    /// two serving paths in one run.
+    pub large_every: u64,
+    /// Dimension of the large requests.
+    pub large_n: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -99,6 +106,8 @@ impl Default for LoadgenConfig {
             deadline: None,
             retry: RetryPolicy::disabled(),
             read_timeout: Duration::from_secs(60),
+            large_every: 0,
+            large_n: 128,
         }
     }
 }
@@ -181,6 +190,12 @@ impl LoadReport {
             self.p99_us,
             100.0 * self.mean_occupancy,
         );
+        if self.server.large_requests > 0 {
+            out.push_str(&format!(
+                "\n  large (task-graph path): {} requests, {} ok, {} failed",
+                self.server.large_requests, self.server.large_ok, self.server.large_failed,
+            ));
+        }
         if let Some(shards) = &self.server.shards {
             for sh in shards {
                 let (p50, _, p99) = sh.snapshot.percentiles_us();
@@ -416,7 +431,23 @@ fn run_conn(
 ) -> io::Result<ConnTally> {
     let total = cfg.requests;
     let expected = ids.len() as u64;
-    let n_of = |r: u64| cfg.sizes[(r % cfg.sizes.len() as u64) as usize];
+    let is_large = |r: u64| cfg.large_every > 0 && (r + 1).is_multiple_of(cfg.large_every);
+    let n_of = |r: u64| {
+        if is_large(r) {
+            cfg.large_n
+        } else {
+            cfg.sizes[(r % cfg.sizes.len() as u64) as usize]
+        }
+    };
+    // Large requests ride the task-graph path; the reply shape is
+    // identical, so nothing downstream cares which kind went out.
+    let kind_of = |r: u64| {
+        if is_large(r) {
+            K_LARGE_REQ
+        } else {
+            K_FACTOR_REQ
+        }
+    };
     let payload_of = |r: u64| -> &Payload {
         let n = n_of(r);
         if is_planted(r, total, cfg.plant_bad) {
@@ -495,7 +526,7 @@ fn run_conn(
         let mut write_err = false;
         for &r in &resend {
             let body = encode_factor_req(r, n_of(r), deadline_us, payload_of(r));
-            if write_frame(&mut writer, K_FACTOR_REQ, &body).is_err() {
+            if write_frame(&mut writer, kind_of(r), &body).is_err() {
                 write_err = true;
                 break;
             }
@@ -513,7 +544,7 @@ fn run_conn(
             };
             for &r in &due {
                 let body = encode_factor_req(r, n_of(r), deadline_us, payload_of(r));
-                if write_frame(&mut writer, K_FACTOR_REQ, &body).is_err() {
+                if write_frame(&mut writer, kind_of(r), &body).is_err() {
                     write_err = true;
                 }
             }
@@ -567,7 +598,7 @@ fn run_conn(
                 break; // connection died mid-pacing; reconnect resubmits
             }
             let body = encode_factor_req(r, n_of(r), deadline_us, payload_of(r));
-            if write_frame(&mut writer, K_FACTOR_REQ, &body).is_err() {
+            if write_frame(&mut writer, kind_of(r), &body).is_err() {
                 write_err = true;
             }
             next_idx += 1;
@@ -608,7 +639,7 @@ fn run_conn(
             let mut retry_write_err = false;
             for &r in &due {
                 let body = encode_factor_req(r, n_of(r), deadline_us, payload_of(r));
-                if write_frame(&mut writer, K_FACTOR_REQ, &body).is_err() {
+                if write_frame(&mut writer, kind_of(r), &body).is_err() {
                     retry_write_err = true;
                 }
             }
@@ -682,7 +713,12 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadReport> {
     assert!(!cfg.sizes.is_empty(), "need at least one matrix size");
     assert!(cfg.conns > 0, "need at least one connection");
     assert!(cfg.requests > 0, "need at least one request");
-    let pool = Arc::new(PayloadPool::build(&cfg.sizes, cfg.dtype, cfg.seed));
+    let mut pool_sizes = cfg.sizes.clone();
+    if cfg.large_every > 0 {
+        assert!(cfg.large_n > 0, "large_n must be positive");
+        pool_sizes.push(cfg.large_n);
+    }
+    let pool = Arc::new(PayloadPool::build(&pool_sizes, cfg.dtype, cfg.seed));
 
     // Delta baseline so a long-lived server's history doesn't dilute this
     // run's occupancy measurement.

@@ -169,7 +169,7 @@ impl IngestQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::request::{FactorReply, Payload};
+    use crate::request::{FactorReply, Payload, ReplySink};
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
     use std::time::Duration;
@@ -181,7 +181,7 @@ mod tests {
             payload: Payload::F32(vec![0.0; 4]),
             enqueued: Instant::now(),
             deadline: None,
-            sink: Box::new(|_: FactorReply| {}),
+            sink: ReplySink::boxed(|_: FactorReply| {}),
         }
     }
 

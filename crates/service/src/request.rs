@@ -206,9 +206,71 @@ pub struct FactorReply {
     pub outcome: Outcome,
 }
 
-/// Where a finished reply goes: invoked exactly once per request, from a
+/// Where a finished reply goes: consumed exactly once per request, from a
 /// worker thread (or inline at submit time for rejections).
-pub type ReplySink = Box<dyn FnOnce(FactorReply) + Send + 'static>;
+///
+/// A concrete enum rather than a boxed closure so the hot path can *see*
+/// the destination: a worker holding a [`ReplySink::Frame`] sink encodes
+/// the reply frame straight out of its reusable gather scratch instead of
+/// allocating an owned [`Payload`] per reply (see `service::execute_batch`).
+/// The boxed form survives as the escape hatch for tests and adapters.
+pub enum ReplySink {
+    /// Deliver into a bounded in-process channel — the `submit`/`call`
+    /// path, where the caller blocks on the receiver.
+    Channel(std::sync::mpsc::SyncSender<FactorReply>),
+    /// Encode a reply frame and hand the bytes to a TCP connection's
+    /// writer thread — the serving hot path. Carries the request's dtype
+    /// so workers can encode from raw element slices.
+    Frame {
+        /// The connection writer's inbox; a send failure means the
+        /// connection is gone and the reply is dropped with it.
+        tx: std::sync::mpsc::Sender<Vec<u8>>,
+        /// Element type the reply frame must carry.
+        dtype: Dtype,
+    },
+    /// Arbitrary closure (tests, routing adapters, shard renumbering).
+    Boxed(Box<dyn FnOnce(FactorReply) + Send + 'static>),
+}
+
+impl ReplySink {
+    /// A sink delivering into a bounded channel.
+    pub fn channel(tx: std::sync::mpsc::SyncSender<FactorReply>) -> ReplySink {
+        ReplySink::Channel(tx)
+    }
+
+    /// A sink encoding reply frames for a connection writer.
+    pub fn frame(tx: std::sync::mpsc::Sender<Vec<u8>>, dtype: Dtype) -> ReplySink {
+        ReplySink::Frame { tx, dtype }
+    }
+
+    /// A sink wrapping an arbitrary closure.
+    pub fn boxed<F: FnOnce(FactorReply) + Send + 'static>(f: F) -> ReplySink {
+        ReplySink::Boxed(Box::new(f))
+    }
+
+    /// Delivers the reply, consuming the sink. Channel/frame send
+    /// failures mean the receiver is gone; the reply is dropped, which is
+    /// the correct fate for an answer nobody is waiting on.
+    pub fn send(self, reply: FactorReply) {
+        match self {
+            ReplySink::Channel(tx) => drop(tx.send(reply)),
+            ReplySink::Frame { tx, dtype } => {
+                drop(tx.send(crate::codec::reply_frame(&reply, dtype)));
+            }
+            ReplySink::Boxed(f) => f(reply),
+        }
+    }
+}
+
+impl std::fmt::Debug for ReplySink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ReplySink::Channel(_) => "ReplySink::Channel",
+            ReplySink::Frame { .. } => "ReplySink::Frame",
+            ReplySink::Boxed(_) => "ReplySink::Boxed",
+        })
+    }
+}
 
 /// A queued request: payload plus everything needed to route and time the
 /// reply.

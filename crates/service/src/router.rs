@@ -32,7 +32,7 @@
 
 use crate::codec::{
     decode_factor_reply, encode_factor_req, read_frame, wire_deadline_us, write_frame,
-    K_FACTOR_REPLY, K_FACTOR_REQ,
+    K_FACTOR_REPLY, K_FACTOR_REQ, K_LARGE_REQ,
 };
 use crate::fault::{FaultAction, FaultHook, FaultSite};
 use crate::request::{FactorReply, Outcome, Payload, RejectReason, ReplySink};
@@ -60,6 +60,18 @@ pub trait ShardBackend: Send + Sync {
     /// will invoke the sink exactly once; `Err` hands reason, payload,
     /// and sink back untouched so the router can re-route or reject.
     fn try_submit(
+        &self,
+        id: u64,
+        n: usize,
+        payload: Payload,
+        deadline: Option<Instant>,
+        sink: ReplySink,
+    ) -> Result<(), SubmitRefusal>;
+
+    /// Non-blocking admission for a *large* request, bound for the
+    /// shard's task-graph pool instead of its batch former. Same
+    /// ownership contract as [`ShardBackend::try_submit`].
+    fn try_submit_large(
         &self,
         id: u64,
         n: usize,
@@ -122,6 +134,17 @@ impl ShardBackend for InProcessShard {
         sink: ReplySink,
     ) -> Result<(), SubmitRefusal> {
         self.client.try_submit(id, n, payload, deadline, sink)
+    }
+
+    fn try_submit_large(
+        &self,
+        id: u64,
+        n: usize,
+        payload: Payload,
+        deadline: Option<Instant>,
+        sink: ReplySink,
+    ) -> Result<(), SubmitRefusal> {
+        self.client.try_submit_large(id, n, payload, deadline, sink)
     }
 
     fn probe(&self) -> bool {
@@ -230,7 +253,7 @@ impl TcpShard {
                                 };
                                 let entry = pending.lock().unwrap().map.remove(&reply.id);
                                 if let Some((caller_id, sink)) = entry {
-                                    sink(FactorReply {
+                                    sink.send(FactorReply {
                                         id: caller_id,
                                         outcome: reply.outcome,
                                     });
@@ -250,7 +273,7 @@ impl TcpShard {
                         p.map.drain().map(|(_, v)| v).collect()
                     };
                     for (caller_id, sink) in drained {
-                        sink(FactorReply {
+                        sink.send(FactorReply {
                             id: caller_id,
                             outcome: Outcome::WorkerCrashed,
                         });
@@ -265,15 +288,13 @@ impl TcpShard {
         });
         true
     }
-}
 
-impl ShardBackend for TcpShard {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn try_submit(
+    /// Shared wire path for both request kinds: the frame bodies are
+    /// identical, only the kind byte tells the remote shard whether to
+    /// batch (former) or schedule (task-graph pool).
+    fn submit_kind(
         &self,
+        kind: u8,
         id: u64,
         n: usize,
         payload: Payload,
@@ -302,7 +323,7 @@ impl ShardBackend for TcpShard {
             wire_deadline_us(deadline.map(|d| d.saturating_duration_since(Instant::now())));
         let body = encode_factor_req(wire_id, n, wire_deadline, &payload);
         let mut w = &c.stream;
-        if write_frame(&mut w, K_FACTOR_REQ, &body).is_err() {
+        if write_frame(&mut w, kind, &body).is_err() {
             c.stream.shutdown(Shutdown::Both).ok();
             return match c.pending.lock().unwrap().map.remove(&wire_id) {
                 // We still own the sink: hand everything back.
@@ -313,6 +334,34 @@ impl ShardBackend for TcpShard {
             };
         }
         Ok(())
+    }
+}
+
+impl ShardBackend for TcpShard {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn try_submit(
+        &self,
+        id: u64,
+        n: usize,
+        payload: Payload,
+        deadline: Option<Instant>,
+        sink: ReplySink,
+    ) -> Result<(), SubmitRefusal> {
+        self.submit_kind(K_FACTOR_REQ, id, n, payload, deadline, sink)
+    }
+
+    fn try_submit_large(
+        &self,
+        id: u64,
+        n: usize,
+        payload: Payload,
+        deadline: Option<Instant>,
+        sink: ReplySink,
+    ) -> Result<(), SubmitRefusal> {
+        self.submit_kind(K_LARGE_REQ, id, n, payload, deadline, sink)
     }
 
     fn probe(&self) -> bool {
@@ -471,9 +520,36 @@ impl RouterCore {
         deadline: Option<Instant>,
         sink: ReplySink,
     ) {
+        self.submit_inner(id, n, payload, deadline, sink, false);
+    }
+
+    /// Routes a large request: same shard selection, failover, and
+    /// backpressure discipline as [`RouterCore::submit`], but admission
+    /// goes through [`ShardBackend::try_submit_large`] so the owning
+    /// shard schedules the matrix on its task-graph pool.
+    fn submit_large(
+        &self,
+        id: u64,
+        n: usize,
+        payload: Payload,
+        deadline: Option<Instant>,
+        sink: ReplySink,
+    ) {
+        self.submit_inner(id, n, payload, deadline, sink, true);
+    }
+
+    fn submit_inner(
+        &self,
+        id: u64,
+        n: usize,
+        payload: Payload,
+        deadline: Option<Instant>,
+        sink: ReplySink,
+        large: bool,
+    ) {
         let reject = |sink: ReplySink, reason: RejectReason| {
             self.rejected.fetch_add(1, Ordering::Relaxed);
-            sink(FactorReply {
+            sink.send(FactorReply {
                 id,
                 outcome: Outcome::Rejected(reason),
             });
@@ -486,7 +562,13 @@ impl RouterCore {
                 self.failovers.fetch_add(1, Ordering::Relaxed);
             }
             let slot = &self.slots[i];
-            match slot.backend.try_submit(id, n, payload, deadline, sink) {
+            let admitted = if large {
+                slot.backend
+                    .try_submit_large(id, n, payload, deadline, sink)
+            } else {
+                slot.backend.try_submit(id, n, payload, deadline, sink)
+            };
+            match admitted {
                 Ok(()) => {
                     slot.routed.fetch_add(1, Ordering::Relaxed);
                     return;
@@ -688,6 +770,19 @@ impl RouterClient {
         self.core.submit(id, n, payload, deadline, sink);
     }
 
+    /// Routes one *large* request onto a shard's task-graph pool; same
+    /// exactly-once sink contract as [`RouterClient::submit_sink`].
+    pub fn submit_large_sink(
+        &self,
+        id: u64,
+        n: usize,
+        payload: Payload,
+        deadline: Option<Instant>,
+        sink: ReplySink,
+    ) {
+        self.core.submit_large(id, n, payload, deadline, sink);
+    }
+
     /// Fleet-merged counters with the per-shard breakdown attached.
     pub fn stats(&self) -> StatsSnapshot {
         self.core.fleet_snapshot()
@@ -720,6 +815,17 @@ impl Frontend for RouterClient {
         // The router never blocks: a full shard queue is a typed
         // backpressure reject, whatever the caller asked for.
         RouterClient::submit_sink(self, id, n, payload, deadline, sink);
+    }
+
+    fn submit_large_sink(
+        &self,
+        id: u64,
+        n: usize,
+        payload: Payload,
+        deadline: Option<Instant>,
+        sink: ReplySink,
+    ) {
+        RouterClient::submit_large_sink(self, id, n, payload, deadline, sink);
     }
 
     fn stats(&self) -> StatsSnapshot {
@@ -790,11 +896,22 @@ mod tests {
                 return Err((reason, payload, sink));
             }
             self.accepted.lock().unwrap().push(id);
-            sink(FactorReply {
+            sink.send(FactorReply {
                 id,
                 outcome: Outcome::Factor(payload),
             });
             Ok(())
+        }
+
+        fn try_submit_large(
+            &self,
+            id: u64,
+            n: usize,
+            payload: Payload,
+            deadline: Option<Instant>,
+            sink: ReplySink,
+        ) -> Result<(), SubmitRefusal> {
+            self.try_submit(id, n, payload, deadline, sink)
         }
 
         fn probe(&self) -> bool {
@@ -843,7 +960,7 @@ mod tests {
             n,
             Payload::F32(vec![1.0; n * n]),
             None,
-            Box::new(move |r| drop(tx.send(r))),
+            ReplySink::boxed(move |r| drop(tx.send(r))),
         );
         rx.recv().expect("sink never invoked")
     }
@@ -899,6 +1016,42 @@ mod tests {
         }
         let reply = call(&client, 4, 6);
         assert_eq!(reply.outcome, Outcome::Rejected(RejectReason::ShuttingDown));
+        router.shutdown();
+    }
+
+    fn call_large(client: &RouterClient, id: u64, n: usize) -> FactorReply {
+        let (tx, rx) = mpsc::sync_channel(1);
+        client.submit_large_sink(
+            id,
+            n,
+            Payload::F32(vec![1.0; n * n]),
+            None,
+            ReplySink::boxed(move |r| drop(tx.send(r))),
+        );
+        rx.recv().expect("large sink never invoked")
+    }
+
+    #[test]
+    fn large_requests_route_and_fail_over_like_small_ones() {
+        let f = fakes(3);
+        let router = Router::start(as_backends(&f), RouterConfig::default());
+        let client = router.client();
+        assert!(call_large(&client, 1, 96).outcome.is_ok());
+        let owner = (0..3)
+            .position(|i| !f[i].accepted_ids().is_empty())
+            .unwrap();
+        // The owner dies between health rounds: the large submit path
+        // must fail over exactly like the batched one.
+        f[owner].kill();
+        let reply = call_large(&client, 2, 96);
+        assert!(reply.outcome.is_ok(), "large failover failed: {reply:?}");
+        assert_eq!(router.failovers(), 1);
+        // A large key sticks to one shard (rendezvous), same as small.
+        assert!(call_large(&client, 3, 96).outcome.is_ok());
+        let new_owner = (0..3)
+            .position(|i| i != owner && !f[i].accepted_ids().is_empty())
+            .expect("no other shard accepted the rerouted large request");
+        assert_eq!(f[new_owner].accepted_ids(), vec![2, 3]);
         router.shutdown();
     }
 
@@ -1058,7 +1211,7 @@ mod tests {
                 n,
                 Payload::F32(a),
                 None,
-                Box::new(move |r| drop(tx.send(r))),
+                ReplySink::boxed(move |r| drop(tx.send(r))),
             );
             if id == total / 2 {
                 // Kill one shard mid-stream, as the chaos plan would.

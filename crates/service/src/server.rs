@@ -19,11 +19,11 @@
 //! the same paths production errors take.
 
 use crate::codec::{
-    decode_factor_req, encode_factor_reply, read_frame, write_frame, FrameError, K_FACTOR_REPLY,
-    K_FACTOR_REQ, K_SHUTDOWN, K_SHUTDOWN_ACK, K_STATS_REPLY, K_STATS_REQ,
+    decode_factor_req, read_frame, write_frame, FrameError, K_FACTOR_REPLY, K_FACTOR_REQ,
+    K_LARGE_REQ, K_SHUTDOWN, K_SHUTDOWN_ACK, K_STATS_REPLY, K_STATS_REQ,
 };
 use crate::fault::{FaultAction, FaultHook, FaultSite};
-use crate::request::FactorReply;
+use crate::request::{FactorReply, ReplySink};
 use crate::service::Frontend;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
@@ -89,15 +89,6 @@ fn writer_loop(stream: TcpStream, rx: Receiver<Vec<u8>>, hook: FaultHook) -> io:
     Ok(())
 }
 
-fn frame_of(reply: &FactorReply, dtype: crate::request::Dtype) -> Vec<u8> {
-    let body = encode_factor_reply(reply, dtype);
-    let mut frame = Vec::with_capacity(5 + body.len());
-    frame.extend_from_slice(&((body.len() + 1) as u32).to_le_bytes());
-    frame.push(K_FACTOR_REPLY);
-    frame.extend_from_slice(&body);
-    frame
-}
-
 /// Reads frames off one connection until EOF, error, or shutdown.
 /// Returns `true` if this connection requested server shutdown. Any
 /// [`FrameError`] (torn frame, malformed body) surfaces as the `Err`
@@ -133,28 +124,27 @@ fn conn_loop<F: Frontend>(stream: TcpStream, client: F, hook: FaultHook) -> io::
             Err(FrameError::Io(e)) => break Err(e),
         };
         match kind {
-            K_FACTOR_REQ => {
+            K_FACTOR_REQ | K_LARGE_REQ => {
                 let (id, n, deadline_us, payload) =
                     decode_factor_req(&body).map_err(io::Error::from)?;
                 let dtype = payload.dtype();
                 let deadline = (deadline_us > 0)
                     .then(|| Instant::now() + Duration::from_micros(u64::from(deadline_us)));
-                let tx = tx.clone();
-                // Non-blocking admission: a full queue answers with a
-                // QueueFull rejection frame instead of stalling the
-                // reader (which would deadlock a pipelining client).
-                client.submit_sink(
-                    id,
-                    n,
-                    payload,
-                    deadline,
-                    Box::new(move |reply| {
-                        // Send failure = connection gone; the reply is
-                        // dropped with it.
-                        let _ = tx.send(frame_of(&reply, dtype));
-                    }),
-                    false,
-                );
+                // A frame sink: workers encode the reply bytes (for
+                // success, straight from their gather scratch) and the
+                // writer thread owns the socket. Send failure =
+                // connection gone; the reply is dropped with it.
+                let sink = ReplySink::frame(tx.clone(), dtype);
+                if kind == K_LARGE_REQ {
+                    // Former bypass: large matrices are scheduled on the
+                    // task-graph pool, never packed into a batch.
+                    client.submit_large_sink(id, n, payload, deadline, sink);
+                } else {
+                    // Non-blocking admission: a full queue answers with a
+                    // QueueFull rejection frame instead of stalling the
+                    // reader (which would deadlock a pipelining client).
+                    client.submit_sink(id, n, payload, deadline, sink, false);
+                }
             }
             K_STATS_REQ => {
                 let snap = client.stats();
@@ -323,6 +313,20 @@ impl TcpConn {
     ) -> io::Result<()> {
         let body = crate::codec::encode_factor_req(id, n, deadline_us, payload);
         write_frame(&mut self.writer, K_FACTOR_REQ, &body)
+    }
+
+    /// Sends a large-matrix request frame (same body as a factor
+    /// request; the kind routes it past the former onto the task-graph
+    /// worker pool).
+    pub fn send_large_req(
+        &mut self,
+        id: u64,
+        n: usize,
+        deadline_us: u32,
+        payload: &crate::request::Payload,
+    ) -> io::Result<()> {
+        let body = crate::codec::encode_factor_req(id, n, deadline_us, payload);
+        write_frame(&mut self.writer, K_LARGE_REQ, &body)
     }
 
     /// Sends a stats request frame.
@@ -646,5 +650,100 @@ mod tests {
         server.join().unwrap().unwrap();
         let snap = service.shutdown();
         assert_eq!(snap.replies_ok, 64);
+    }
+
+    /// Mixed small (batched) and large (task-graph) traffic over one
+    /// real TCP connection, with the worker-panic chaos plan firing on
+    /// both worker pools (they share [`FaultSite::WorkerBatch`]): every
+    /// request must get exactly one typed reply, and the large replies
+    /// must carry a correct in-place factor.
+    #[test]
+    fn mixed_small_and_large_tcp_traffic_survives_worker_panics() {
+        use crate::fault::{FaultHook, FaultPlan};
+        use std::collections::HashMap;
+
+        let service = Service::start(
+            ServiceConfig {
+                max_delay: Duration::from_millis(1),
+                fault: FaultHook::from_plan(FaultPlan::worker_panic(11)),
+                ..ServiceConfig::default()
+            },
+            EngineSelector::heuristic(),
+        );
+        let server = TcpServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let client = service.client();
+        let handle = std::thread::spawn(move || server.run(client));
+
+        let mut conn = TcpConn::connect(&addr.to_string()).unwrap();
+        let small = Payload::F64(vec![4.0, 2.0, 2.0, 5.0]);
+        let ln = 48usize;
+        let large = {
+            let mut a = vec![0.0f64; ln * ln];
+            for d in 0..ln {
+                a[d * ln + d] = 2.0 * ln as f64;
+            }
+            for c in 0..ln {
+                for r in (c + 1)..ln {
+                    a[c * ln + r] = 1.0;
+                    a[r * ln + c] = 1.0;
+                }
+            }
+            Payload::F64(a)
+        };
+        // Interleave: every 8th request is large.
+        let total = 48u64;
+        let mut large_ids = Vec::new();
+        for id in 0..total {
+            if id % 8 == 3 {
+                conn.send_large_req(id, ln, 0, &large).unwrap();
+                large_ids.push(id);
+            } else {
+                conn.send_factor_req(id, 2, 0, &small).unwrap();
+            }
+        }
+        let mut seen: HashMap<u64, Outcome> = HashMap::new();
+        for _ in 0..total {
+            let reply = conn.read_factor_reply().unwrap();
+            assert!(
+                seen.insert(reply.id, reply.outcome).is_none(),
+                "id {} answered twice",
+                reply.id
+            );
+        }
+        assert_eq!(seen.len() as u64, total, "exactly one reply per request");
+        let mut crashed = 0u64;
+        for (id, outcome) in &seen {
+            match outcome {
+                Outcome::Factor(Payload::F64(l)) if large_ids.contains(id) => {
+                    // Spot-check the in-place factor: L·Lᵀ ≈ A on the
+                    // first column, strict upper untouched.
+                    let a0 = 2.0 * ln as f64;
+                    assert!((l[0] * l[0] - a0).abs() < 1e-9 * a0);
+                    assert_eq!(l[ln], 1.0, "strict upper must be input, untouched");
+                }
+                Outcome::Factor(_) => {}
+                Outcome::WorkerCrashed => crashed += 1,
+                other => panic!("id {id}: unexpected outcome {other:?}"),
+            }
+        }
+        // Counters bump *after* sink delivery, so the last reply can
+        // race its own ledger entry by a beat: poll briefly.
+        let t0 = Instant::now();
+        let stats = loop {
+            let s = conn.fetch_stats().unwrap();
+            if s.replies_ok + s.replies_failed == total || t0.elapsed() > Duration::from_secs(5) {
+                break s;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        assert_eq!(stats.large_requests, large_ids.len() as u64);
+        assert_eq!(stats.requests, total);
+        assert_eq!(stats.replies_ok + stats.replies_failed, total);
+        assert_eq!(stats.replies_failed, crashed);
+
+        conn.shutdown_server().unwrap();
+        handle.join().unwrap().unwrap();
+        service.shutdown();
     }
 }

@@ -17,7 +17,22 @@
 //! backoff, and the process never exits. Combined with deadline shedding
 //! in the former, every admitted request receives exactly one reply no
 //! matter what faults fire.
+//!
+//! **Large matrices don't batch — they schedule.** A matrix above the
+//! batch ceiling has no cohort to amortize with (one `n = 512` matrix is
+//! ~4000 `n = 8` matrices of work) and would stall every small request
+//! packed behind it. [`Client::submit_large_sink`] therefore bypasses
+//! the former entirely: the request goes to a dedicated, equally
+//! supervised worker pool that factorizes the payload **in place** with
+//! the task-graph runtime ([`potrf_tiled`]) — no gather, no packing; the
+//! reply reuses the request's own buffer. Failure routing is per
+//! request: a non-SPD pivot tile reports the failing *global* column
+//! (deterministic even under parallel DAG execution, because diagonal
+//! factorizations are totally ordered), a panic mid-DAG fails only that
+//! request, and an expired deadline is shed before the factorization
+//! starts.
 
+use crate::codec::{factor_ok_frame_f32, factor_ok_frame_f64};
 use crate::engine::EngineSelector;
 use crate::fault::{silence_injected_panics, FaultAction, FaultHook, FaultSite};
 use crate::former::{run_former, FormedBatch, FormerConfig, IngestMode, PackedData};
@@ -25,11 +40,11 @@ use crate::queue::{IngestQueue, PushRefused};
 use crate::request::{FactorReply, Outcome, Payload, Pending, RejectReason, ReplySink};
 use crate::stats::{ServiceStats, StatsSnapshot};
 use ibcf_core::lane_batch::factorize_batch_auto_backend;
-use ibcf_core::{CholeskyError, Real};
+use ibcf_core::{potrf_tiled, CholeskyError, Looking, Real};
 use ibcf_layout::{gather_matrix_affine, Layout};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
-use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -54,6 +69,15 @@ pub struct ServiceConfig {
     /// default; [`IngestMode::Staged`] keeps the legacy extra-copy path
     /// alive for A/B comparison).
     pub ingest: IngestMode,
+    /// Largest admissible dimension for a *large* (task-graph) request.
+    /// Kept comfortably under the wire's `MAX_FRAME` so a factored f64
+    /// reply still frames.
+    pub max_large_n: usize,
+    /// Worker threads serving large requests (each runs one task-graph
+    /// factorization at a time, itself parallel over the DAG).
+    pub large_workers: usize,
+    /// Tile edge for the large path's task-graph runtime.
+    pub large_nb: usize,
 }
 
 impl Default for ServiceConfig {
@@ -66,9 +90,17 @@ impl Default for ServiceConfig {
             max_n: 64,
             fault: FaultHook::disabled(),
             ingest: IngestMode::Fused,
+            max_large_n: 1024,
+            large_workers: 1,
+            large_nb: 32,
         }
     }
 }
+
+/// Queued-but-unserved bound for the large path: large payloads are big,
+/// so admission control trips early instead of buffering a deep backlog
+/// of megabyte buffers.
+const LARGE_QUEUE_CAP: usize = 64;
 
 /// First supervisor backoff after a worker crash; doubles per
 /// consecutive crash.
@@ -80,7 +112,11 @@ struct Inner {
     queue: Arc<IngestQueue>,
     stats: Arc<ServiceStats>,
     max_n: usize,
+    max_large_n: usize,
     tuned: bool,
+    /// Sender side of the large-request channel; `None` once a drain or
+    /// shutdown began (dropping it lets the large workers drain out).
+    large_tx: Mutex<Option<SyncSender<Pending>>>,
 }
 
 /// A running factorization service. Dropping without
@@ -90,6 +126,7 @@ pub struct Service {
     inner: Arc<Inner>,
     former: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    large_workers: Vec<JoinHandle<()>>,
 }
 
 impl Service {
@@ -100,13 +137,18 @@ impl Service {
         if config.fault.is_enabled() {
             silence_injected_panics();
         }
+        assert!(config.large_workers > 0, "need at least one large worker");
+        assert!(config.large_nb > 0, "large_nb must be positive");
         let queue = Arc::new(IngestQueue::new(config.queue_cap));
         let stats = Arc::new(ServiceStats::default());
+        let (large_tx, large_rx) = sync_channel::<Pending>(LARGE_QUEUE_CAP);
         let inner = Arc::new(Inner {
             queue: queue.clone(),
             stats: stats.clone(),
             max_n: config.max_n,
+            max_large_n: config.max_large_n,
             tuned: selector.is_tuned(),
+            large_tx: Mutex::new(Some(large_tx)),
         });
         // Shallow channel: the former should stall (and keep accumulating
         // arrivals into bigger batches) when workers are saturated, not
@@ -135,10 +177,22 @@ impl Service {
                     .expect("spawn supervisor")
             })
             .collect();
+        let large_rx = Arc::new(Mutex::new(large_rx));
+        let large_workers = (0..config.large_workers)
+            .map(|w| {
+                let (rx, s, h) = (large_rx.clone(), stats.clone(), config.fault.clone());
+                let nb = config.large_nb;
+                std::thread::Builder::new()
+                    .name(format!("ibcf-large-supervisor-{w}"))
+                    .spawn(move || run_large_supervisor(w, &rx, &s, &h, nb))
+                    .expect("spawn large supervisor")
+            })
+            .collect();
         Service {
             inner,
             former: Some(former),
             workers,
+            large_workers,
         }
     }
 
@@ -160,6 +214,10 @@ impl Service {
     /// returns.
     pub fn shutdown(mut self) -> StatsSnapshot {
         self.inner.queue.close();
+        // Dropping the large sender lets the large workers drain their
+        // channel and exit, mirroring the former dropping the batch
+        // sender below.
+        self.inner.large_tx.lock().unwrap().take();
         if let Some(former) = self.former.take() {
             former.join().expect("former panicked");
         }
@@ -167,6 +225,9 @@ impl Service {
         // and each supervisor follows its drained worker out.
         for w in self.workers.drain(..) {
             w.join().expect("supervisor panicked");
+        }
+        for w in self.large_workers.drain(..) {
+            w.join().expect("large supervisor panicked");
         }
         self.inner.stats.snapshot()
     }
@@ -223,6 +284,10 @@ fn run_worker(
     hook: &FaultHook,
 ) -> WorkerExit {
     let mut processed = 0u64;
+    // Worker-lifetime gather scratch: reused across every batch this
+    // incarnation executes, so the TCP fast path in `execute_batch`
+    // allocates nothing per reply beyond the frame bytes themselves.
+    let mut scratch = GatherScratch::default();
     loop {
         let batch = {
             let guard = rx.lock().unwrap();
@@ -231,11 +296,161 @@ fn run_worker(
                 Err(_) => return WorkerExit::Drained, // former gone, drained
             }
         };
-        match execute_batch(batch, stats, hook) {
+        match execute_batch(batch, stats, hook, &mut scratch) {
             Ok(()) => processed += 1,
             Err(()) => return WorkerExit::Crashed { processed },
         }
     }
+}
+
+/// Supervises one large-path worker slot — same restart-with-backoff
+/// contract as [`run_supervisor`], sharing the restart counters.
+fn run_large_supervisor(
+    slot: usize,
+    rx: &Arc<Mutex<Receiver<Pending>>>,
+    stats: &Arc<ServiceStats>,
+    hook: &FaultHook,
+    nb: usize,
+) {
+    let mut backoff = RESTART_BACKOFF_BASE;
+    let mut incarnation = 0u64;
+    loop {
+        let (rx2, s2, h2) = (rx.clone(), stats.clone(), hook.clone());
+        let worker = std::thread::Builder::new()
+            .name(format!("ibcf-large-worker-{slot}.{incarnation}"))
+            .spawn(move || run_large_worker(&rx2, &s2, &h2, nb))
+            .expect("spawn large worker");
+        match worker.join().expect("large worker escaped catch_unwind") {
+            WorkerExit::Drained => return,
+            WorkerExit::Crashed { processed } => {
+                stats.worker_restarts.fetch_add(1, Ordering::Relaxed);
+                if processed > 0 {
+                    backoff = RESTART_BACKOFF_BASE;
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(RESTART_BACKOFF_CAP);
+                incarnation += 1;
+            }
+        }
+    }
+}
+
+/// Serves large requests one at a time until the channel drains (sender
+/// dropped at drain/shutdown) or a factorization panics (supervised
+/// exit — the panic fails only the request that triggered it).
+fn run_large_worker(
+    rx: &Mutex<Receiver<Pending>>,
+    stats: &ServiceStats,
+    hook: &FaultHook,
+    nb: usize,
+) -> WorkerExit {
+    let mut processed = 0u64;
+    loop {
+        let pending = {
+            let guard = rx.lock().unwrap();
+            match guard.recv() {
+                Ok(p) => p,
+                Err(_) => return WorkerExit::Drained,
+            }
+        };
+        match execute_large(pending, stats, hook, nb) {
+            Ok(()) => processed += 1,
+            Err(()) => return WorkerExit::Crashed { processed },
+        }
+    }
+}
+
+/// Runs one large request through the task-graph runtime, **in place** in
+/// the request's own payload buffer (lower triangle becomes `L`, strict
+/// upper stays the submitted data — the `potrf` convention the batched
+/// path also honors). Deadline shedding happens here, after dequeue:
+/// queue wait is exactly the time that can expire a large request.
+/// A panic is caught and fails only this request with a typed
+/// [`Outcome::WorkerCrashed`]; `Err` restarts the worker.
+fn execute_large(p: Pending, stats: &ServiceStats, hook: &FaultHook, nb: usize) -> Result<(), ()> {
+    let Pending {
+        id,
+        n,
+        payload,
+        enqueued,
+        deadline,
+        sink,
+    } = p;
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        sink.send(FactorReply {
+            id,
+            outcome: Outcome::Rejected(RejectReason::DeadlineExceeded),
+        });
+        // Same ledger as the former's shed path: `drained()` counts
+        // `deadline_expired` as answered.
+        stats.deadline_expired.fetch_add(1, Ordering::Relaxed);
+        stats.rejected.fetch_add(1, Ordering::Relaxed);
+        return Ok(());
+    }
+    let mut inject_panic = false;
+    match hook.check(FaultSite::WorkerBatch) {
+        Some(FaultAction::PanicWorker) => inject_panic = true,
+        Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+        _ => {}
+    }
+    // Only the payload crosses the unwind boundary; the sink stays out
+    // here so a panic still routes back to the originator.
+    let factored = catch_unwind(AssertUnwindSafe(move || {
+        if inject_panic {
+            panic!("{} (chaos harness)", crate::fault::INJECTED_PANIC_MARKER);
+        }
+        match payload {
+            Payload::F32(mut v) => {
+                let r = potrf_tiled(n, &mut v, n, nb, Looking::Right);
+                (Payload::F32(v), r)
+            }
+            Payload::F64(mut v) => {
+                let r = potrf_tiled(n, &mut v, n, nb, Looking::Right);
+                (Payload::F64(v), r)
+            }
+        }
+    }));
+    let (crashed, outcome) = match factored {
+        Ok((payload, Ok(()))) => (false, Outcome::Factor(payload)),
+        Ok((_, Err(CholeskyError::NotPositiveDefinite { column }))) => {
+            (false, Outcome::NotSpd { column })
+        }
+        Ok((_, Err(CholeskyError::NonFinite { column }))) => (false, Outcome::NonFinite { column }),
+        Err(_) => {
+            stats.worker_crashes.fetch_add(1, Ordering::Relaxed);
+            (true, Outcome::WorkerCrashed)
+        }
+    };
+    let ok = outcome.is_ok();
+    let latency = enqueued.elapsed();
+    sink.send(FactorReply { id, outcome });
+    // Counters bump *after* delivery so `drained()` implies every reply
+    // already left through its sink.
+    stats.record_latency(latency);
+    if ok {
+        stats.replies_ok.fetch_add(1, Ordering::Relaxed);
+        stats.large_ok.fetch_add(1, Ordering::Relaxed);
+    } else {
+        stats.replies_failed.fetch_add(1, Ordering::Relaxed);
+        stats.large_failed.fetch_add(1, Ordering::Relaxed);
+    }
+    if crashed {
+        Err(())
+    } else {
+        Ok(())
+    }
+}
+
+/// Per-worker gather scratch: one reusable full-square staging buffer
+/// per precision, living as long as the worker incarnation. The TCP
+/// fast path in [`execute_batch`] gathers each factored matrix into this
+/// scratch and encodes the reply frame straight from it, so serving a
+/// reply costs one exactly-sized frame allocation instead of a zeroed
+/// payload `Vec` *plus* a frame.
+#[derive(Default)]
+struct GatherScratch {
+    f32: Vec<f32>,
+    f64: Vec<f64>,
 }
 
 /// Runs one batch. A panic inside the factorization (or one injected by
@@ -243,7 +458,12 @@ fn run_worker(
 /// typed [`Outcome::WorkerCrashed`] reply — never silence, never a
 /// process abort — and `Err` tells the worker loop to die and be
 /// restarted by its supervisor.
-fn execute_batch(batch: FormedBatch, stats: &ServiceStats, hook: &FaultHook) -> Result<(), ()> {
+fn execute_batch(
+    batch: FormedBatch,
+    stats: &ServiceStats,
+    hook: &FaultHook,
+    scratch: &mut GatherScratch,
+) -> Result<(), ()> {
     let FormedBatch {
         n,
         plan,
@@ -295,7 +515,7 @@ fn execute_batch(batch: FormedBatch, stats: &ServiceStats, hook: &FaultHook) -> 
             stats.worker_crashes.fetch_add(1, Ordering::Relaxed);
             for req in reqs {
                 let latency = req.enqueued.elapsed();
-                (req.sink)(FactorReply {
+                req.sink.send(FactorReply {
                     id: req.id,
                     outcome: Outcome::WorkerCrashed,
                 });
@@ -315,17 +535,56 @@ fn execute_batch(batch: FormedBatch, stats: &ServiceStats, hook: &FaultHook) -> 
             Some(&(idx, _)) if idx == mat => fail_iter.next().map(|(_, e)| e),
             _ => None,
         };
-        let outcome = match failure {
-            Some(CholeskyError::NotPositiveDefinite { column }) => Outcome::NotSpd { column },
-            Some(CholeskyError::NonFinite { column }) => Outcome::NonFinite { column },
-            None => Outcome::Factor(gather_payload(&layout, &data, mat, n)),
-        };
-        let ok = outcome.is_ok();
-        let latency = req.enqueued.elapsed();
-        (req.sink)(FactorReply {
-            id: req.id,
-            outcome,
-        });
+        let Pending {
+            id, enqueued, sink, ..
+        } = req;
+        let latency = enqueued.elapsed();
+        let ok = failure.is_none();
+        match failure {
+            Some(CholeskyError::NotPositiveDefinite { column }) => sink.send(FactorReply {
+                id,
+                outcome: Outcome::NotSpd { column },
+            }),
+            Some(CholeskyError::NonFinite { column }) => sink.send(FactorReply {
+                id,
+                outcome: Outcome::NonFinite { column },
+            }),
+            // Success: a frame sink gets its reply encoded straight from
+            // the worker's reusable gather scratch — no per-reply payload
+            // allocation, no zero-fill, just the frame bytes. Everything
+            // else receives an owned Payload (that ownership *is* the
+            // in-process reply contract).
+            None => match sink {
+                ReplySink::Frame { tx, dtype } => {
+                    debug_assert_eq!(
+                        dtype.elem_bytes(),
+                        match &data {
+                            PackedData::F32(_) => 4,
+                            PackedData::F64(_) => 8,
+                        },
+                        "frame sink dtype disagrees with its batch"
+                    );
+                    let frame = match &data {
+                        PackedData::F32(v) => {
+                            scratch.f32.resize(n * n, 0.0);
+                            gather_matrix_affine(&layout, v.as_slice(), mat, &mut scratch.f32, n);
+                            factor_ok_frame_f32(id, &scratch.f32[..n * n])
+                        }
+                        PackedData::F64(v) => {
+                            scratch.f64.resize(n * n, 0.0);
+                            gather_matrix_affine(&layout, v.as_slice(), mat, &mut scratch.f64, n);
+                            factor_ok_frame_f64(id, &scratch.f64[..n * n])
+                        }
+                    };
+                    // Send failure = connection gone; drop with it.
+                    let _ = tx.send(frame);
+                }
+                other => other.send(FactorReply {
+                    id,
+                    outcome: Outcome::Factor(gather_payload(&layout, &data, mat, n)),
+                }),
+            },
+        }
         // Counters bump *after* delivery so `drained()` implies every
         // reply already left through its sink.
         stats.record_latency(latency);
@@ -373,9 +632,14 @@ impl Client {
         self.inner.stats.snapshot()
     }
 
-    /// Largest admissible `n`.
+    /// Largest admissible `n` for batched requests.
     pub fn max_n(&self) -> usize {
         self.inner.max_n
+    }
+
+    /// Largest admissible `n` for large (task-graph) requests.
+    pub fn max_large_n(&self) -> usize {
+        self.inner.max_large_n
     }
 
     /// Stops admission (new submissions are rejected with
@@ -384,6 +648,9 @@ impl Client {
     /// every admitted request has been answered.
     pub fn begin_drain(&self) {
         self.inner.queue.close();
+        // Large admission stops with it; dropping the sender drains the
+        // large workers once their channel empties.
+        self.inner.large_tx.lock().unwrap().take();
     }
 
     /// `true` once every admitted request has received its reply. Only
@@ -477,7 +744,7 @@ impl Client {
     ) {
         let reject = |sink: ReplySink, reason: RejectReason, stats: &ServiceStats| {
             stats.rejected.fetch_add(1, Ordering::Relaxed);
-            sink(FactorReply {
+            sink.send(FactorReply {
                 id,
                 outcome: Outcome::Rejected(reason),
             });
@@ -524,6 +791,91 @@ impl Client {
         }
     }
 
+    /// Non-blocking *large* admission that hands everything back on
+    /// refusal — the task-graph twin of [`Client::try_submit`], and what
+    /// a router shard delegates to. `Ok` means the request was admitted
+    /// to the large queue and the sink will be invoked exactly once.
+    #[allow(clippy::type_complexity)]
+    pub fn try_submit_large(
+        &self,
+        id: u64,
+        n: usize,
+        payload: Payload,
+        deadline: Option<Instant>,
+        sink: ReplySink,
+    ) -> Result<(), (RejectReason, Payload, ReplySink)> {
+        if n == 0 || n > self.inner.max_large_n {
+            return Err((RejectReason::BadDimension, payload, sink));
+        }
+        if payload.len() != n * n {
+            return Err((RejectReason::BadPayload, payload, sink));
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err((RejectReason::DeadlineExceeded, payload, sink));
+        }
+        let pending = Pending {
+            id,
+            n,
+            payload,
+            enqueued: Instant::now(),
+            deadline,
+            sink,
+        };
+        // Clone the sender out of the lock so a slow try_send never
+        // holds up drain.
+        let tx = self.inner.large_tx.lock().unwrap().clone();
+        let refused = match tx {
+            None => Err((pending, RejectReason::ShuttingDown)),
+            Some(tx) => tx.try_send(pending).map_err(|e| match e {
+                std::sync::mpsc::TrySendError::Full(p) => (p, RejectReason::QueueFull),
+                std::sync::mpsc::TrySendError::Disconnected(p) => (p, RejectReason::ShuttingDown),
+            }),
+        };
+        match refused {
+            Ok(()) => {
+                self.inner.stats.requests.fetch_add(1, Ordering::Relaxed);
+                self.inner
+                    .stats
+                    .large_requests
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err((p, reason)) => Err((reason, p.payload, p.sink)),
+        }
+    }
+
+    /// Submits a *large* request: the former is bypassed and the payload
+    /// is scheduled on the task-graph worker pool, which factorizes it
+    /// in place (large matrices don't batch — they schedule). Admission
+    /// is always non-blocking: a full large queue rejects with
+    /// [`RejectReason::QueueFull`]. The sink is invoked exactly once,
+    /// inline for rejections; a deadline that expires while queued sheds
+    /// the request before any factorization work starts.
+    pub fn submit_large_sink(
+        &self,
+        id: u64,
+        n: usize,
+        payload: Payload,
+        deadline: Option<Instant>,
+        sink: ReplySink,
+    ) {
+        if let Err((reason, _payload, sink)) = self.try_submit_large(id, n, payload, deadline, sink)
+        {
+            self.inner.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            sink.send(FactorReply {
+                id,
+                outcome: Outcome::Rejected(reason),
+            });
+        }
+    }
+
+    /// Submits a large request and waits for the reply.
+    pub fn call_large(&self, id: u64, n: usize, payload: Payload) -> FactorReply {
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        self.submit_large_sink(id, n, payload, None, ReplySink::channel(tx));
+        rx.recv().expect("reply sink dropped without reply")
+    }
+
     /// Submits and returns a receiver for the reply (non-blocking
     /// admission, no deadline).
     pub fn submit(
@@ -533,28 +885,14 @@ impl Client {
         payload: Payload,
     ) -> std::sync::mpsc::Receiver<FactorReply> {
         let (tx, rx) = std::sync::mpsc::sync_channel(1);
-        self.submit_sink(
-            id,
-            n,
-            payload,
-            None,
-            Box::new(move |r| drop(tx.send(r))),
-            false,
-        );
+        self.submit_sink(id, n, payload, None, ReplySink::channel(tx), false);
         rx
     }
 
     /// Submits with backpressure and waits for the reply.
     pub fn call(&self, id: u64, n: usize, payload: Payload) -> FactorReply {
         let (tx, rx) = std::sync::mpsc::sync_channel(1);
-        self.submit_sink(
-            id,
-            n,
-            payload,
-            None,
-            Box::new(move |r| drop(tx.send(r))),
-            true,
-        );
+        self.submit_sink(id, n, payload, None, ReplySink::channel(tx), true);
         rx.recv().expect("reply sink dropped without reply")
     }
 }
@@ -578,6 +916,16 @@ pub trait Frontend: Clone + Send + 'static {
         sink: ReplySink,
         blocking: bool,
     );
+    /// Submits one *large* (task-graph) request; same exactly-once sink
+    /// contract. Admission is always non-blocking.
+    fn submit_large_sink(
+        &self,
+        id: u64,
+        n: usize,
+        payload: Payload,
+        deadline: Option<Instant>,
+        sink: ReplySink,
+    );
     /// Current counters, for the stats frame.
     fn stats(&self) -> StatsSnapshot;
     /// Stops admission; already-admitted work keeps draining.
@@ -597,6 +945,17 @@ impl Frontend for Client {
         blocking: bool,
     ) {
         Client::submit_sink(self, id, n, payload, deadline, sink, blocking);
+    }
+
+    fn submit_large_sink(
+        &self,
+        id: u64,
+        n: usize,
+        payload: Payload,
+        deadline: Option<Instant>,
+        sink: ReplySink,
+    ) {
+        Client::submit_large_sink(self, id, n, payload, deadline, sink);
     }
 
     fn stats(&self) -> StatsSnapshot {
@@ -868,7 +1227,7 @@ mod tests {
             8,
             spd_payload(8, 1),
             Some(Instant::now() - Duration::from_millis(1)),
-            Box::new(move |r| drop(tx.send(r))),
+            ReplySink::channel(tx),
             false,
         );
         let reply = rx.recv_timeout(Duration::from_secs(5)).unwrap();
@@ -883,7 +1242,7 @@ mod tests {
             8,
             spd_payload(8, 2),
             Some(Instant::now() + Duration::from_secs(30)),
-            Box::new(move |r| drop(tx.send(r))),
+            ReplySink::channel(tx),
             false,
         );
         let reply = rx.recv_timeout(Duration::from_secs(10)).unwrap();
@@ -919,6 +1278,142 @@ mod tests {
         let reply = client.call(99, 8, spd_payload(8, 9999));
         assert_eq!(reply.outcome, Outcome::Rejected(RejectReason::ShuttingDown));
         service.shutdown();
+    }
+
+    #[test]
+    fn large_requests_bypass_the_former_and_factor_in_place() {
+        let service = Service::start(ServiceConfig::default(), EngineSelector::heuristic());
+        let client = service.client();
+        let n = 96; // above max_n (64): only the large path can serve it
+        let a = spd_vec::<f64>(n, 321);
+        let reply = client.call_large(1, n, Payload::F64(a.clone()));
+        assert_eq!(reply.id, 1);
+        let Outcome::Factor(Payload::F64(l)) = &reply.outcome else {
+            panic!("expected f64 factor, got {:?}", reply.outcome);
+        };
+        // L·Lᵀ ≈ A on the lower triangle; strict upper untouched.
+        for col in 0..n {
+            for row in col..n {
+                let mut sum = 0.0;
+                for k in 0..=col {
+                    sum += l[k * n + row] * l[k * n + col];
+                }
+                let want = a[col * n + row];
+                assert!(
+                    (sum - want).abs() <= 1e-9 * want.abs().max(1.0),
+                    "({row},{col}): {sum} vs {want}"
+                );
+            }
+        }
+        for col in 1..n {
+            for row in 0..col {
+                assert_eq!(l[col * n + row], a[col * n + row]);
+            }
+        }
+        let snap = service.shutdown();
+        assert_eq!(snap.requests, 1);
+        assert_eq!(snap.large_requests, 1);
+        assert_eq!(snap.large_ok, 1);
+        assert_eq!(snap.replies_ok, 1);
+        assert_eq!(snap.batches, 0, "large requests never form batches");
+    }
+
+    #[test]
+    fn large_non_spd_reports_the_global_column() {
+        let service = Service::start(ServiceConfig::default(), EngineSelector::heuristic());
+        let client = service.client();
+        let n = 80;
+        // SPD except one poisoned diagonal entry deep inside tile row 2:
+        // the failing pivot's *global* column must come back.
+        let bad_col = 71;
+        let mut a = spd_vec::<f64>(n, 77);
+        a[bad_col * n + bad_col] = -1.0e6;
+        let reply = client.call_large(9, n, Payload::F64(a));
+        assert_eq!(reply.outcome, Outcome::NotSpd { column: bad_col });
+        let snap = service.shutdown();
+        assert_eq!(snap.large_failed, 1);
+        assert_eq!(snap.replies_failed, 1);
+    }
+
+    #[test]
+    fn large_admission_validates_and_drains() {
+        let service = Service::start(
+            ServiceConfig {
+                max_large_n: 128,
+                ..ServiceConfig::default()
+            },
+            EngineSelector::heuristic(),
+        );
+        let client = service.client();
+        let r = client.call_large(1, 0, Payload::F32(vec![]));
+        assert_eq!(r.outcome, Outcome::Rejected(RejectReason::BadDimension));
+        let r = client.call_large(2, 129, Payload::F32(vec![0.0; 129 * 129]));
+        assert_eq!(r.outcome, Outcome::Rejected(RejectReason::BadDimension));
+        let r = client.call_large(3, 72, Payload::F32(vec![0.0; 10]));
+        assert_eq!(r.outcome, Outcome::Rejected(RejectReason::BadPayload));
+        // Dead on arrival sheds at the door.
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        client.submit_large_sink(
+            4,
+            72,
+            Payload::F32(spd_vec(72, 8)),
+            Some(Instant::now() - Duration::from_millis(1)),
+            ReplySink::channel(tx),
+        );
+        let r = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(r.outcome, Outcome::Rejected(RejectReason::DeadlineExceeded));
+        // After drain, large submissions are refused ShuttingDown.
+        client.begin_drain();
+        assert!(client.drained());
+        let r = client.call_large(5, 72, Payload::F32(spd_vec(72, 9)));
+        assert_eq!(r.outcome, Outcome::Rejected(RejectReason::ShuttingDown));
+        let snap = service.shutdown();
+        assert_eq!(snap.rejected, 5);
+        assert_eq!(snap.large_requests, 0);
+    }
+
+    #[test]
+    fn mixed_small_and_large_traffic_all_answered() {
+        let service = Service::start(
+            ServiceConfig {
+                workers: 2,
+                max_delay: Duration::from_millis(1),
+                ..ServiceConfig::default()
+            },
+            EngineSelector::heuristic(),
+        );
+        let client = service.client();
+        let small: Vec<_> = (0..24u64)
+            .map(|i| client.submit(i, 8, spd_payload(8, 100 + i)))
+            .collect();
+        let large: Vec<_> = (0..3u64)
+            .map(|i| {
+                let n = 72;
+                let (tx, rx) = std::sync::mpsc::sync_channel(1);
+                client.submit_large_sink(
+                    1000 + i,
+                    n,
+                    Payload::F32(spd_vec(n, 500 + i)),
+                    None,
+                    ReplySink::channel(tx),
+                );
+                rx
+            })
+            .collect();
+        for (i, rx) in small.into_iter().enumerate() {
+            let reply = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+            assert!(reply.outcome.is_ok(), "small {i}: {:?}", reply.outcome);
+        }
+        for (i, rx) in large.into_iter().enumerate() {
+            let reply = rx.recv_timeout(Duration::from_secs(20)).unwrap();
+            assert_eq!(reply.id, 1000 + i as u64);
+            assert!(reply.outcome.is_ok(), "large {i}: {:?}", reply.outcome);
+        }
+        let snap = service.shutdown();
+        assert_eq!(snap.requests, 27);
+        assert_eq!(snap.replies_ok, 27);
+        assert_eq!(snap.large_ok, 3);
+        assert!(snap.batches >= 1, "small traffic still batches");
     }
 
     #[test]

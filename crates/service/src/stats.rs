@@ -45,6 +45,14 @@ pub struct ServiceStats {
     pub ingest_fused: AtomicU64,
     /// Batches assembled by the legacy stage-then-pack ingest path.
     pub ingest_staged: AtomicU64,
+    /// Large-matrix requests admitted to the task-graph pool (a subset
+    /// of `requests`).
+    pub large_requests: AtomicU64,
+    /// Large-matrix factorizations delivered (subset of `replies_ok`).
+    pub large_ok: AtomicU64,
+    /// Large-matrix failures delivered — non-SPD, non-finite, or a
+    /// worker crash mid-DAG (subset of `replies_failed`).
+    pub large_failed: AtomicU64,
     occupancy: [AtomicU64; OCCUPANCY_BUCKETS],
     occupancy_sum_milli: AtomicU64,
     latency: [AtomicU64; LATENCY_BUCKETS],
@@ -64,6 +72,9 @@ impl Default for ServiceStats {
             deadline_expired: AtomicU64::new(0),
             ingest_fused: AtomicU64::new(0),
             ingest_staged: AtomicU64::new(0),
+            large_requests: AtomicU64::new(0),
+            large_ok: AtomicU64::new(0),
+            large_failed: AtomicU64::new(0),
             occupancy: std::array::from_fn(|_| AtomicU64::new(0)),
             occupancy_sum_milli: AtomicU64::new(0),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -135,6 +146,9 @@ impl ServiceStats {
             deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
             ingest_fused: self.ingest_fused.load(Ordering::Relaxed),
             ingest_staged: self.ingest_staged.load(Ordering::Relaxed),
+            large_requests: self.large_requests.load(Ordering::Relaxed),
+            large_ok: self.large_ok.load(Ordering::Relaxed),
+            large_failed: self.large_failed.load(Ordering::Relaxed),
             mean_occupancy,
             occupancy_hist,
             latency_hist,
@@ -169,6 +183,13 @@ pub struct StatsSnapshot {
     pub ingest_fused: u64,
     /// Batches assembled by the legacy stage-then-pack ingest path.
     pub ingest_staged: u64,
+    /// Large-matrix requests admitted to the task-graph pool (a subset
+    /// of `requests`).
+    pub large_requests: u64,
+    /// Large-matrix factorizations delivered (subset of `replies_ok`).
+    pub large_ok: u64,
+    /// Large-matrix failures delivered (subset of `replies_failed`).
+    pub large_failed: u64,
     /// Mean live/slots fraction over all batches.
     pub mean_occupancy: f64,
     /// 10%-wide occupancy buckets.
@@ -262,6 +283,9 @@ impl StatsSnapshot {
             deadline_expired: self.deadline_expired + other.deadline_expired,
             ingest_fused: self.ingest_fused + other.ingest_fused,
             ingest_staged: self.ingest_staged + other.ingest_staged,
+            large_requests: self.large_requests + other.large_requests,
+            large_ok: self.large_ok + other.large_ok,
+            large_failed: self.large_failed + other.large_failed,
             mean_occupancy,
             occupancy_hist: add_hist(&self.occupancy_hist, &other.occupancy_hist),
             latency_hist: add_hist(&self.latency_hist, &other.latency_hist),

@@ -10,7 +10,7 @@ use ibcf_core::spd::{random_spd, SpdKind};
 use ibcf_core::{factorize_batch_auto_backend, LaneBackend};
 use ibcf_layout::{BatchLayout, LayoutKind, BUFFER_ALIGN};
 use ibcf_service::former::{form_batch_mode, IngestMode, PackedData};
-use ibcf_service::request::{Payload, Pending};
+use ibcf_service::request::{Payload, Pending, ReplySink};
 use ibcf_service::{Dtype, EnginePlan};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -57,7 +57,7 @@ fn requests_f32(n: usize, count: usize, bad: &BTreeSet<usize>, seed: u64) -> Vec
                 payload: Payload::F32(m),
                 enqueued: Instant::now(),
                 deadline: None,
-                sink: Box::new(|_| {}),
+                sink: ReplySink::boxed(|_| {}),
             }
         })
         .collect()
@@ -80,7 +80,7 @@ fn requests_f64(n: usize, count: usize, bad: &BTreeSet<usize>, seed: u64) -> Vec
                 payload: Payload::F64(m),
                 enqueued: Instant::now(),
                 deadline: None,
-                sink: Box::new(|_| {}),
+                sink: ReplySink::boxed(|_| {}),
             }
         })
         .collect()
