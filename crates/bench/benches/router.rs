@@ -32,9 +32,13 @@ fn spd_f32(n: usize, seed: u64) -> Vec<f32> {
 }
 
 /// A shard that answers instantly: what's left to measure is the
-/// router's ranking and dispatch, not factorization.
+/// router's ranking and dispatch, not factorization. With `lossy`
+/// set it advertises `can_lose_inflight`, which makes the router arm
+/// its in-flight loss guard (one payload clone + a sink wrap per
+/// fresh submit) exactly as it does for real shard processes.
 struct InstantShard {
     name: String,
+    lossy: bool,
 }
 
 impl ShardBackend for InstantShard {
@@ -87,6 +91,10 @@ impl ShardBackend for InstantShard {
     }
 
     fn shutdown(&self) {}
+
+    fn can_lose_inflight(&self) -> bool {
+        self.lossy
+    }
 }
 
 fn bench_routing_overhead(c: &mut Criterion) {
@@ -98,6 +106,7 @@ fn bench_routing_overhead(c: &mut Criterion) {
     g.bench_function("direct_backend", |b| {
         let shard = InstantShard {
             name: "solo".into(),
+            lossy: false,
         };
         b.iter(|| {
             let ok = shard
@@ -115,6 +124,7 @@ fn bench_routing_overhead(c: &mut Criterion) {
                     .map(|i| {
                         Arc::new(InstantShard {
                             name: format!("s{i}"),
+                            lossy: false,
                         }) as Arc<dyn ShardBackend>
                     })
                     .collect();
@@ -142,6 +152,52 @@ fn bench_routing_overhead(c: &mut Criterion) {
                 router.shutdown();
             });
         }
+    }
+
+    // The robustness tax: what arming the process-fleet machinery costs
+    // per submit over the same instant backends. `lossguard` pays one
+    // payload clone + a boxed sink wrap (in-flight failover); `hedged`
+    // additionally clones for, enqueues, and later discards a hedge
+    // entry per request.
+    for (label, hedge) in [
+        ("consistenthash_3shards_lossguard", None),
+        (
+            "consistenthash_3shards_hedged",
+            Some(Duration::from_micros(200)),
+        ),
+    ] {
+        g.bench_function(label, |b| {
+            let backends: Vec<Arc<dyn ShardBackend>> = (0..3)
+                .map(|i| {
+                    Arc::new(InstantShard {
+                        name: format!("s{i}"),
+                        lossy: true,
+                    }) as Arc<dyn ShardBackend>
+                })
+                .collect();
+            let router = Router::start(
+                backends,
+                RouterConfig {
+                    policy: RoutePolicy::ConsistentHash,
+                    hedge_after: hedge,
+                    ..RouterConfig::default()
+                },
+            );
+            let client = router.client();
+            let mut id = 0u64;
+            b.iter(|| {
+                id += 1;
+                let n = 2 + (id % 14) as usize;
+                client.submit_sink(
+                    id,
+                    n,
+                    black_box(Payload::F32(vec![1.0; n * n])),
+                    None,
+                    ReplySink::boxed(drop),
+                );
+            });
+            router.shutdown();
+        });
     }
     g.finish();
 }

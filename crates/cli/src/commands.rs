@@ -74,17 +74,26 @@ commands:
             this table)
   serve     [--host H] [--port P] [--workers W] [--queue-cap Q]
             [--max-batch B] [--max-delay-us D] [--max-n N] [--dispatch F]
-            [--analytic G] [--shards N] [--policy hash|least-loaded]
-            [--retry-after-us U] [--autovec] [--staged-ingest]
+            [--analytic G] [--shards N] [--procs N] [--shard-child]
+            [--policy hash|least-loaded] [--retry-after-us U]
+            [--hedge-after-us U] [--autovec] [--staged-ingest]
             run the dynamic-batching factorization service over TCP
             (engine plans fall back table -> analytic model for gpu G
             -> heuristics; each tier is optional); --shards N > 1 runs a
             health-checked in-process fleet behind a router keyed by
             (n, dtype) — a full shard answers with a typed backpressure
-            reject carrying the --retry-after-us hint; --autovec pins
-            workers to the autovectorized lane kernels (no explicit
-            SIMD); --staged-ingest restores the legacy stage-then-pack
-            copy instead of the fused zero-copy scatter
+            reject carrying the --retry-after-us hint; --procs N runs
+            each shard as a supervised *child process* instead
+            (OS-level isolation: dead children are respawned with
+            backoff, in-flight requests fail over, per-shard circuit
+            breakers gate readmission); --hedge-after-us U duplicates a
+            straggling request to a second shard after U us (first
+            reply wins, the duplicate is suppressed); --shard-child is
+            the child's own mode: bind an ephemeral port, print
+            'shard-child listening on H:P', serve one shard; --autovec
+            pins workers to the autovectorized lane kernels (no
+            explicit SIMD); --staged-ingest restores the legacy
+            stage-then-pack copy instead of the fused zero-copy scatter
   loadgen   [--addr H:P] [--sizes 16,24] [--dtype f32|f64]
             [--requests R] [--conns C] [--window W | --rate R/s]
             [--plant-bad K] [--seed S] [--deadline-us D] [--retry]
@@ -97,15 +106,20 @@ commands:
             or stalled connection
   chaos     [--plan P] [--seed S] [--requests R] [--conns C]
             [--window W] [--sizes 8,16] [--plant-bad K] [--workers W]
-            [--max-batch B] [--deadline-us D] [--shards N]
-            [--large-every K] [--large-n N]
+            [--max-batch B] [--deadline-us D] [--shards N] [--procs N]
+            [--hedge-after-us U] [--large-every K] [--large-n N]
             run loadgen against an in-process service under a seeded
             fault plan (worker-panic, slow-batch, queue-stall,
-            conn-drop, frame-corrupt, shard-kill, mixed, inert) and
-            verify the exactly-one-reply invariant: 0 lost,
+            conn-drop, frame-corrupt, shard-kill, proc-kill, mixed,
+            inert) and verify the exactly-one-reply invariant: 0 lost,
             0 duplicates; --shards N > 1 routes over an in-process
             fleet and lets the plan kill whole shards mid-run
-            (failover must keep the invariant)
+            (failover must keep the invariant); --procs N > 1 runs the
+            shards as real child processes and lets the proc-kill plan
+            SIGKILL them mid-run — the run must show every kill
+            respawned, the fleet healthy again, and zero
+            lost/duplicate replies (optionally hedged via
+            --hedge-after-us)
   help                                        this text
 ";
 
@@ -1085,8 +1099,8 @@ pub fn tiled_bench(args: &Args) -> i32 {
 /// fleet with health-checked failover and typed backpressure.
 pub fn serve(args: &Args) -> i32 {
     use ibcf_service::{
-        EngineSelector, InProcessShard, IngestMode, RoutePolicy, Router, RouterConfig, Service,
-        ServiceConfig, ShardBackend, TcpServer,
+        EngineSelector, Fleet, FleetConfig, InProcessShard, IngestMode, RoutePolicy, Router,
+        RouterConfig, Service, ServiceConfig, ShardBackend, TcpServer, SHARD_READY_PREFIX,
     };
     use std::sync::Arc;
     let host = match args.get("host", "127.0.0.1".to_string()) {
@@ -1117,6 +1131,18 @@ pub fn serve(args: &Args) -> i32 {
         };
     if workers == 0 || max_batch == 0 || queue_cap == 0 || max_n == 0 || shards == 0 {
         return fail("--workers, --max-batch, --queue-cap, --max-n and --shards must be positive");
+    }
+    let (procs, hedge_after_us) =
+        match (args.get("procs", 0usize), args.get("hedge-after-us", 0u64)) {
+            (Ok(a), Ok(b)) => (a, b),
+            (Err(e), _) | (_, Err(e)) => return fail(e),
+        };
+    if procs > 0 && shards > 1 {
+        return fail("--procs (child processes) and --shards (in-process) are mutually exclusive");
+    }
+    let shard_child = args.flag("shard-child");
+    if shard_child && (procs > 0 || shards > 1) {
+        return fail("--shard-child runs exactly one shard");
     }
     let policy: RoutePolicy = match args.get("policy", "hash".to_string()) {
         Ok(name) => match name.parse() {
@@ -1161,9 +1187,12 @@ pub fn serve(args: &Args) -> i32 {
         ingest,
         ..ServiceConfig::default()
     };
-    let server = match TcpServer::bind(&format!("{host}:{port}")) {
+    // A shard child binds an ephemeral port: its supervisor learns the
+    // address from the stdout handshake, never from configuration.
+    let bind_port = if shard_child { 0 } else { port };
+    let server = match TcpServer::bind(&format!("{host}:{bind_port}")) {
         Ok(s) => s,
-        Err(e) => return fail(format!("binding {host}:{port}: {e}")),
+        Err(e) => return fail(format!("binding {host}:{bind_port}: {e}")),
     };
     let addr = match server.local_addr() {
         Ok(a) => a,
@@ -1181,7 +1210,81 @@ pub fn serve(args: &Args) -> i32 {
         detect_isa().name()
     };
     use std::io::Write as _;
-    let (run, snap) = if shards > 1 {
+    let hedge_after =
+        (hedge_after_us > 0).then(|| std::time::Duration::from_micros(hedge_after_us));
+    let (run, snap) = if shard_child {
+        let service = Service::start(config, selector);
+        let client = service.client();
+        println!("{SHARD_READY_PREFIX}{addr}");
+        std::io::stdout().flush().ok();
+        let run = server.run(client);
+        (run, service.shutdown())
+    } else if procs > 0 {
+        let exe = match std::env::current_exe() {
+            Ok(p) => p,
+            Err(e) => return fail(format!("resolving own executable for shard children: {e}")),
+        };
+        let mut fleet_cfg = FleetConfig::new(exe, procs);
+        let mut child_args: Vec<String> = vec![
+            "serve".into(),
+            "--shard-child".into(),
+            "--workers".into(),
+            workers.to_string(),
+            "--queue-cap".into(),
+            queue_cap.to_string(),
+            "--max-batch".into(),
+            max_batch.to_string(),
+            "--max-delay-us".into(),
+            max_delay_us.to_string(),
+            "--max-n".into(),
+            max_n.to_string(),
+        ];
+        if let Some(p) = args.options.get("dispatch") {
+            child_args.extend(["--dispatch".into(), p.clone()]);
+        }
+        if let Some(g) = args.options.get("analytic") {
+            child_args.extend(["--analytic".into(), g.clone()]);
+        }
+        if args.flag("autovec") {
+            child_args.push("--autovec".into());
+        }
+        if args.flag("staged-ingest") {
+            child_args.push("--staged-ingest".into());
+        }
+        fleet_cfg.child_args = child_args;
+        let mut fleet = match Fleet::spawn(fleet_cfg) {
+            Ok(f) => f,
+            Err(e) => return fail(format!("spawning shard fleet: {e}")),
+        };
+        let router = Router::start(
+            fleet.backends(),
+            RouterConfig {
+                policy,
+                retry_after_us,
+                hedge_after,
+                ..RouterConfig::default()
+            },
+        );
+        println!(
+            "serving on {addr} ({engine} engine, simd {simd}, {} ingest, \
+             {procs} shard process(es) x {workers} worker(s), \
+             {policy:?} routing, retry-after {retry_after_us} us, batch <= {max_batch}, \
+             deadline {max_delay_us} us, queue {queue_cap}/shard, n <= {max_n})",
+            ingest.name()
+        );
+        println!("fleet pids: {:?}", fleet.child_pids());
+        std::io::stdout().flush().ok();
+        let run = server.run(router.client());
+        // Respawns stop first, then each child drains gracefully and is
+        // reaped — serve --procs never leaves orphan processes behind.
+        fleet.stop_supervisor();
+        let snap = router.shutdown();
+        println!(
+            "fleet: {} respawn(s); all shard processes reaped",
+            fleet.respawns()
+        );
+        (run, snap)
+    } else if shards > 1 {
         let backends: Vec<Arc<dyn ShardBackend>> = (0..shards)
             .map(|i| {
                 let service = Service::start(config.clone(), selector.clone());
@@ -1194,6 +1297,7 @@ pub fn serve(args: &Args) -> i32 {
             RouterConfig {
                 policy,
                 retry_after_us,
+                hedge_after,
                 ..RouterConfig::default()
             },
         );
@@ -1235,14 +1339,29 @@ pub fn serve(args: &Args) -> i32 {
     if let Some(shard_stats) = &snap.shards {
         for sh in shard_stats {
             let (sp50, _, sp99) = sh.snapshot.percentiles_us();
+            let breaker = sh.breaker.as_ref().map_or(String::new(), |b| {
+                format!(", breaker {} ({} trips)", b.state, b.trips)
+            });
             println!(
-                "  shard {} [{}]: {} routed, {} served, p50/p99 = {sp50:.0}/{sp99:.0} us",
+                "  shard {} [{}]: {} routed, {} served, p50/p99 = {sp50:.0}/{sp99:.0} us{breaker}",
                 sh.name,
                 if sh.healthy { "up" } else { "down" },
                 sh.routed,
                 sh.snapshot.requests,
             );
         }
+    }
+    if let Some(fs) = &snap.fleet {
+        println!(
+            "fleet counters: {} hedges ({} duplicates suppressed), \
+             {} in-flight losses resubmitted, breakers: {} trips, {} half-opens, {} closes",
+            fs.hedges,
+            fs.hedge_wasted,
+            fs.shard_lost_resubmits,
+            fs.breaker_trips,
+            fs.breaker_half_opens,
+            fs.breaker_closes
+        );
     }
     0
 }
@@ -1360,9 +1479,9 @@ pub fn loadgen(args: &Args) -> i32 {
 /// frame corruption) from per-site logical clocks, not wall time.
 pub fn chaos(args: &Args) -> i32 {
     use ibcf_service::{
-        ArrivalMode, Dtype, EngineSelector, FaultHook, FaultPlan, InProcessShard, LoadgenConfig,
-        RetryPolicy, Router, RouterConfig, Service, ServiceConfig, ShardBackend, TcpConn,
-        TcpServer,
+        ArrivalMode, Dtype, EngineSelector, FaultHook, FaultPlan, Fleet as ProcFleet, FleetConfig,
+        InProcessShard, LoadgenConfig, RetryPolicy, Router, RouterConfig, Service, ServiceConfig,
+        ShardBackend, TcpConn, TcpServer,
     };
     use std::sync::Arc;
     use std::time::{Duration, Instant};
@@ -1430,6 +1549,17 @@ pub fn chaos(args: &Args) -> i32 {
     if large_every > 0 && large_n == 0 {
         return fail("--large-n must be positive");
     }
+    let (procs, hedge_after_us) =
+        match (args.get("procs", 0usize), args.get("hedge-after-us", 0u64)) {
+            (Ok(a), Ok(b)) => (a, b),
+            (Err(e), _) | (_, Err(e)) => return fail(e),
+        };
+    if procs > 0 && shards > 1 {
+        return fail("--procs (child processes) and --shards (in-process) are mutually exclusive");
+    }
+    if procs == 1 {
+        return fail("--procs needs at least 2 shard processes (the last one is kill-immune)");
+    }
     let plan = match FaultPlan::named(&plan_name, seed) {
         Ok(p) => p,
         Err(e) => return fail(e),
@@ -1442,12 +1572,48 @@ pub fn chaos(args: &Args) -> i32 {
         fault: hook.clone(),
         ..ServiceConfig::default()
     };
-    // One service, or a routed fleet the plan can kill whole shards of.
+    // One service, a routed in-process fleet the plan can kill whole
+    // shards of, or a process fleet the plan can SIGKILL children of.
     enum Fleet {
         Single(Service),
         Routed(Router),
+        Procs(ProcFleet, Router),
     }
-    let fleet = if shards > 1 {
+    let fleet = if procs > 0 {
+        let exe = match std::env::current_exe() {
+            Ok(p) => p,
+            Err(e) => return fail(format!("resolving own executable for shard children: {e}")),
+        };
+        let mut fleet_cfg = FleetConfig::new(exe, procs);
+        // The children run *without* fault injection: the proc-kill
+        // plan fires supervisor-side (real SIGKILL), so every observed
+        // failure is genuine process death, not an in-process fault.
+        fleet_cfg.child_args = vec![
+            "serve".into(),
+            "--shard-child".into(),
+            "--workers".into(),
+            workers.to_string(),
+            "--max-batch".into(),
+            max_batch.to_string(),
+            "--max-delay-us".into(),
+            "500".into(),
+        ];
+        fleet_cfg.fault = hook.clone();
+        let fleet = match ProcFleet::spawn(fleet_cfg) {
+            Ok(f) => f,
+            Err(e) => return fail(format!("spawning shard fleet: {e}")),
+        };
+        let router = Router::start(
+            fleet.backends(),
+            RouterConfig {
+                health_interval: Duration::from_millis(2),
+                fault: hook.clone(),
+                hedge_after: (hedge_after_us > 0).then(|| Duration::from_micros(hedge_after_us)),
+                ..RouterConfig::default()
+            },
+        );
+        Fleet::Procs(fleet, router)
+    } else if shards > 1 {
         let backends: Vec<Arc<dyn ShardBackend>> = (0..shards)
             .map(|i| {
                 let service = Service::start(service_config.clone(), EngineSelector::heuristic());
@@ -1480,16 +1646,27 @@ pub fn chaos(args: &Args) -> i32 {
             let client = service.client();
             std::thread::spawn(move || server.run_with_faults(client, server_hook))
         }
-        Fleet::Routed(router) => {
+        Fleet::Routed(router) | Fleet::Procs(_, router) => {
             let client = router.client();
             std::thread::spawn(move || server.run_with_faults(client, server_hook))
         }
     };
-    println!(
-        "chaos: plan {plan_name} seed {seed}, {requests} requests \
-         ({plant_bad} planted non-SPD), sizes {sizes:?}, {conns} conn(s), \
-         {shards} shard(s), {workers} worker(s), batch <= {max_batch}"
-    );
+    if procs > 0 {
+        println!(
+            "chaos: plan {plan_name} seed {seed}, {requests} requests \
+             ({plant_bad} planted non-SPD), sizes {sizes:?}, {conns} conn(s), \
+             {procs} shard process(es), {workers} worker(s)/shard, batch <= {max_batch}"
+        );
+        if hedge_after_us > 0 {
+            println!("       hedging stragglers after {hedge_after_us} us");
+        }
+    } else {
+        println!(
+            "chaos: plan {plan_name} seed {seed}, {requests} requests \
+             ({plant_bad} planted non-SPD), sizes {sizes:?}, {conns} conn(s), \
+             {shards} shard(s), {workers} worker(s), batch <= {max_batch}"
+        );
+    }
     if large_every > 0 {
         println!("       every {large_every}th request is large (n = {large_n}, task-graph path)");
     }
@@ -1514,6 +1691,35 @@ pub fn chaos(args: &Args) -> i32 {
         Ok(r) => r,
         Err(e) => return fail(format!("chaos loadgen against {addr}: {e}")),
     };
+    // For a process fleet, gate on full recovery *before* tearing the
+    // front server down — draining the server stops shard admission for
+    // good, after which probes legitimately fail forever. Deadline-based
+    // polling, no fixed sleeps: every budgeted SIGKILL fired, every
+    // killed child respawned, every shard alive and probing healthy.
+    let proc_recovered = match &fleet {
+        Fleet::Procs(proc_fleet, router) => {
+            let expected_kills: u64 = if plan_name == "proc-kill" { 2 } else { 0 };
+            let client = router.client();
+            let deadline = Instant::now() + Duration::from_secs(15);
+            Some(loop {
+                let kills_done = proc_fleet.proc_kills() >= expected_kills;
+                let respawned = proc_fleet.respawns() >= proc_fleet.proc_kills();
+                let alive = proc_fleet.all_children_alive();
+                let healthy = client
+                    .stats()
+                    .shards
+                    .is_some_and(|s| !s.is_empty() && s.iter().all(|sh| sh.healthy));
+                if kills_done && respawned && alive && healthy {
+                    break true;
+                }
+                if Instant::now() >= deadline {
+                    break false;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            })
+        }
+        _ => None,
+    };
     // Stop the server. The shutdown connection itself can be a fault
     // victim, so keep asking until the run loop actually exits.
     let stop_start = Instant::now();
@@ -1529,8 +1735,8 @@ pub fn chaos(args: &Args) -> i32 {
     let run = server_thread.join().expect("chaos server thread");
     // For a routed fleet, capture the live healthy/killed picture before
     // shutdown flattens it, then fold in the router counters.
-    let (snap, routing) = match fleet {
-        Fleet::Single(service) => (service.shutdown(), None),
+    let (snap, routing, proc_info) = match fleet {
+        Fleet::Single(service) => (service.shutdown(), None, None),
         Fleet::Routed(router) => {
             let kills = router.kills();
             let failovers = router.failovers();
@@ -1545,6 +1751,21 @@ pub fn chaos(args: &Args) -> i32 {
             (
                 router.shutdown(),
                 Some((kills, failovers, backpressured, survivors)),
+                None,
+            )
+        }
+        Fleet::Procs(mut proc_fleet, router) => {
+            let recovered = proc_recovered.unwrap_or(false);
+            let proc_kills = proc_fleet.proc_kills();
+            let respawns = proc_fleet.respawns();
+            proc_fleet.stop_supervisor();
+            let failovers = router.failovers();
+            let backpressured = router.backpressured();
+            let snap = router.shutdown();
+            (
+                snap,
+                Some((proc_kills, failovers, backpressured, procs)),
+                Some((proc_kills, respawns, recovered)),
             )
         }
     };
@@ -1560,9 +1781,37 @@ pub fn chaos(args: &Args) -> i32 {
         snap.deadline_expired
     );
     if let Some((kills, failovers, backpressured, survivors)) = routing {
+        let total = if procs > 0 { procs } else { shards };
+        let what = if procs > 0 {
+            "shard processes"
+        } else {
+            "shards"
+        };
         println!(
-            "fleet: {shards} shards, {kills} killed by the plan, {survivors} healthy at end, \
+            "fleet: {total} {what}, {kills} killed by the plan, {survivors} healthy at end, \
              {failovers} failovers, {backpressured} backpressure rejects"
+        );
+    }
+    if let Some((proc_kills, respawns, recovered)) = proc_info {
+        println!(
+            "processes: {proc_kills} SIGKILLed, {respawns} respawned, fleet {}",
+            if recovered {
+                "fully recovered (all children alive and serving)"
+            } else {
+                "NOT recovered"
+            }
+        );
+    }
+    if let Some(fs) = &snap.fleet {
+        println!(
+            "breakers: {} trips, {} half-opens, {} closes; \
+             {} in-flight losses resubmitted, {} hedges ({} duplicates suppressed)",
+            fs.breaker_trips,
+            fs.breaker_half_opens,
+            fs.breaker_closes,
+            fs.shard_lost_resubmits,
+            fs.hedges,
+            fs.hedge_wasted
         );
     }
     let mut failures: Vec<String> = Vec::new();
@@ -1595,6 +1844,24 @@ pub fn chaos(args: &Args) -> i32 {
             failures.push("shard-kill plan needs --shards > 1 to have anything to kill".into());
         }
         _ => {}
+    }
+    if plan_name == "proc-kill" && proc_info.is_none() {
+        failures.push("proc-kill plan needs --procs > 1 to have processes to kill".into());
+    }
+    if let Some((proc_kills, respawns, recovered)) = proc_info {
+        if plan_name == "proc-kill" && proc_kills < 2 {
+            failures.push(format!(
+                "proc-kill plan SIGKILLed only {proc_kills} processes (budget is 2)"
+            ));
+        }
+        if respawns < proc_kills {
+            failures.push(format!(
+                "{proc_kills} processes killed but only {respawns} respawned"
+            ));
+        }
+        if !recovered {
+            failures.push("fleet did not recover (children dead or unhealthy at end)".into());
+        }
     }
     if failures.is_empty() {
         println!(

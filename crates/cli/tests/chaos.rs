@@ -112,6 +112,119 @@ fn chaos_mixed_plan_over_a_routed_fleet_stays_clean() {
 }
 
 #[test]
+fn chaos_proc_kill_respawns_every_victim_and_keeps_the_invariant() {
+    let stdout = assert_invariant(
+        "proc-kill",
+        "42",
+        &["--procs", "3", "--hedge-after-us", "2000"],
+    );
+    // The command enforces >= 2 SIGKILLs, a respawn per kill, and full
+    // recovery before it exits; check the report surfaced all three so
+    // an inert plan (or a supervisor that stopped respawning) can't
+    // pass.
+    let procs = stdout
+        .lines()
+        .find(|l| l.starts_with("processes:"))
+        .unwrap_or_else(|| panic!("no process summary line: {stdout}"));
+    assert!(
+        !procs.contains("0 SIGKILLed"),
+        "proc-kill plan killed nothing: {stdout}"
+    );
+    assert!(
+        procs.contains("fully recovered"),
+        "fleet did not recover: {stdout}"
+    );
+    assert!(
+        stdout.contains("breakers:"),
+        "breaker transitions missing from the report: {stdout}"
+    );
+}
+
+#[test]
+fn serve_procs_shutdown_reaps_every_shard_child() {
+    use std::io::{BufRead, BufReader, Read};
+    use std::process::Stdio;
+
+    let mut serve = Command::new(bin())
+        .args(["serve", "--port", "0", "--procs", "2", "--workers", "1"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn ibcf serve --procs");
+    let mut reader = BufReader::new(serve.stdout.take().expect("serve stdout"));
+
+    // The supervisor prints its bound address and the shard-child pids
+    // before entering the accept loop.
+    let mut addr = None;
+    let mut pids: Vec<u32> = Vec::new();
+    let mut line = String::new();
+    while addr.is_none() || pids.is_empty() {
+        line.clear();
+        if reader.read_line(&mut line).unwrap_or(0) == 0 {
+            let _ = serve.kill();
+            panic!("serve exited before handshake (addr {addr:?}, pids {pids:?})");
+        }
+        if let Some(rest) = line.strip_prefix("serving on ") {
+            addr = rest.split_whitespace().next().map(str::to_owned);
+        } else if let Some(rest) = line.trim_end().strip_prefix("fleet pids: [") {
+            pids = rest
+                .trim_end_matches(']')
+                .split(',')
+                .filter_map(|p| p.trim().parse().ok())
+                .collect();
+        }
+    }
+    let addr = addr.unwrap();
+    assert_eq!(pids.len(), 2, "expected 2 shard-child pids: {pids:?}");
+    for pid in &pids {
+        assert!(
+            std::path::Path::new(&format!("/proc/{pid}")).exists(),
+            "shard child {pid} not alive after handshake"
+        );
+    }
+
+    // Drive a little traffic through the fleet, then ask the server to
+    // drain and exit.
+    let load = Command::new(bin())
+        .args([
+            "loadgen",
+            "--addr",
+            &addr,
+            "--requests",
+            "64",
+            "--conns",
+            "1",
+            "--window",
+            "8",
+            "--shutdown",
+        ])
+        .output()
+        .expect("run ibcf loadgen --shutdown");
+    assert!(
+        load.status.success(),
+        "loadgen failed:\n{}\n{}",
+        String::from_utf8_lossy(&load.stdout),
+        String::from_utf8_lossy(&load.stderr)
+    );
+
+    let status = serve.wait().expect("wait for serve");
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).ok();
+    assert!(status.success(), "serve exited with {status}:\n{rest}");
+    assert!(
+        rest.contains("all shard processes reaped"),
+        "no reap confirmation in serve output:\n{rest}"
+    );
+    // Regression guard for the orphan leak: after the supervisor exits,
+    // no shard child process may remain.
+    for pid in &pids {
+        assert!(
+            !std::path::Path::new(&format!("/proc/{pid}")).exists(),
+            "shard child {pid} leaked past shutdown:\n{rest}"
+        );
+    }
+}
+
+#[test]
 fn chaos_rejects_unknown_plan() {
     let (status, _, stderr) = run_chaos("flaky-gpu", "1", &[]);
     assert!(!status.success());

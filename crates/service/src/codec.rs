@@ -28,7 +28,14 @@
 //! failing column), 2 = non-finite (`aux` = column), 3 = rejected
 //! (`aux` = [`RejectReason`] tag), 4 = worker crashed (safe to
 //! resubmit), 5 = backpressure (`aux` = retry-after hint in
-//! microseconds; resubmit no sooner than the hint).
+//! microseconds; resubmit no sooner than the hint), 6 = shard lost
+//! (the shard process died with the request in flight; safe to
+//! resubmit — the router already retried once before surfacing this).
+//!
+//! Hedged requests need no wire-level ids: every shard connection
+//! renumbers onto its own private wire-id space, so a hedge copy on a
+//! second shard is just another wire id there, and duplicate
+//! suppression happens at the router's shared reply sink.
 //!
 //! `deadline_us = 0` means *no deadline*, so encoders must never round a
 //! real-but-tiny remaining deadline down to 0 — use
@@ -277,6 +284,7 @@ pub fn encode_factor_reply(reply: &FactorReply, dtype: Dtype) -> Vec<u8> {
         Outcome::Rejected(RejectReason::Backpressure { retry_after_us }) => (5, *retry_after_us),
         Outcome::Rejected(reason) => (3, reason.to_u8() as u32),
         Outcome::WorkerCrashed => (4, 0),
+        Outcome::ShardLost => (6, 0),
     };
     let mut body = Vec::new();
     body.extend_from_slice(&reply.id.to_le_bytes());
@@ -375,6 +383,7 @@ pub fn decode_factor_reply(body: &[u8]) -> Result<FactorReply, FrameError> {
         5 => Outcome::Rejected(RejectReason::Backpressure {
             retry_after_us: aux,
         }),
+        6 => Outcome::ShardLost,
         other => return Err(bad(format!("unknown reply status {other}"))),
     };
     if status != 0 && !elems.is_empty() {
@@ -440,6 +449,10 @@ mod tests {
                 outcome: Outcome::Rejected(RejectReason::Backpressure {
                     retry_after_us: u32::MAX,
                 }),
+            },
+            FactorReply {
+                id: 9,
+                outcome: Outcome::ShardLost,
             },
         ];
         for reply in &replies {

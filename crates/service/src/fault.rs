@@ -36,9 +36,12 @@ pub enum FaultSite {
     /// The router's health loop visiting one shard slot (whole-shard
     /// kills). Ticks once per shard per health round.
     RouterShard = 4,
+    /// The fleet supervisor visiting one shard *process* (SIGKILL of a
+    /// live OS child). Ticks once per shard per supervision round.
+    ShardProcess = 5,
 }
 
-const SITES: usize = 5;
+const SITES: usize = 6;
 
 /// What the injector asks the passing thread to do.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +64,12 @@ pub enum FaultAction {
     /// kill the last healthy shard, so a budgeted plan can never take
     /// the whole fleet down.
     KillShard,
+    /// SIGKILL the shard *process* the fleet supervisor is visiting: the
+    /// OS reclaims it instantly, every request in flight on its
+    /// connection comes back as a typed `ShardLost` (the router resubmits
+    /// once), and the supervisor respawns a fresh process with capped
+    /// backoff. The supervisor refuses to kill the last live process.
+    KillProcess,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -103,6 +112,7 @@ impl FaultPlan {
         "conn-drop",
         "frame-corrupt",
         "shard-kill",
+        "proc-kill",
         "mixed",
         "inert",
     ];
@@ -116,6 +126,7 @@ impl FaultPlan {
             "conn-drop" => Ok(Self::conn_drop(seed)),
             "frame-corrupt" => Ok(Self::frame_corrupt(seed)),
             "shard-kill" => Ok(Self::shard_kill(seed)),
+            "proc-kill" => Ok(Self::proc_kill(seed)),
             "mixed" => Ok(Self::mixed(seed)),
             "inert" => Ok(Self::inert(seed)),
             other => Err(format!(
@@ -248,6 +259,27 @@ impl FaultPlan {
                 offset: splitmix(seed ^ 12) % every,
                 max: 2,
                 action: FaultAction::KillShard,
+            }],
+        }
+    }
+
+    /// SIGKILLs whole shard *processes* from the fleet supervisor's
+    /// round, twice: enough to prove OS-level crash recovery (in-flight
+    /// requests come back as `ShardLost` and are resubmitted, the
+    /// supervisor respawns the child), and one below the process count
+    /// the chaos harness runs with (the supervisor additionally refuses
+    /// to kill the last live process).
+    pub fn proc_kill(seed: u64) -> FaultPlan {
+        let every = 16 + splitmix(seed) % 12;
+        FaultPlan {
+            seed,
+            name: "proc-kill",
+            rules: vec![Rule {
+                site: FaultSite::ShardProcess,
+                every,
+                offset: splitmix(seed ^ 13) % every,
+                max: 2,
+                action: FaultAction::KillProcess,
             }],
         }
     }
@@ -484,6 +516,17 @@ mod tests {
         let inert = FaultHook::from_plan(FaultPlan::inert(5));
         assert!(inert.is_enabled());
         assert!(firings(&inert, FaultSite::ConnWrite, 1000).is_empty());
+    }
+
+    #[test]
+    fn proc_kill_fires_only_at_the_process_site_within_budget() {
+        let hook = FaultHook::from_plan(FaultPlan::proc_kill(42));
+        assert!(firings(&hook, FaultSite::RouterShard, 10_000).is_empty());
+        let fired = firings(&hook, FaultSite::ShardProcess, 10_000);
+        assert_eq!(fired.len(), 2, "proc-kill budget is 2");
+        assert!(fired
+            .iter()
+            .all(|(_, a)| matches!(a, FaultAction::KillProcess)));
     }
 
     #[test]

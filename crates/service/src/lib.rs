@@ -35,15 +35,24 @@
 //!    connection drops, and frame corruption;
 //! 7. a [router](router) fronts N shards (in-process or TCP) with
 //!    rendezvous or least-loaded routing keyed by `(n, dtype)`,
-//!    health-checked failover, deterministic shard kills, and typed
+//!    health-checked failover, per-shard circuit breakers, optional
+//!    hedged requests, deterministic shard kills, and typed
 //!    [`Backpressure`](request::RejectReason::Backpressure) retry-after
-//!    rejects instead of blocking.
+//!    rejects instead of blocking;
+//! 8. a [fleet supervisor](fleet) pushes isolation to the OS level:
+//!    each shard is a real child process (`ibcf serve --shard-child`)
+//!    that the supervisor spawns, health-reaps, SIGKILL-chaos-tests,
+//!    and respawns with capped backoff — in-flight requests lost with
+//!    a process come back as typed
+//!    [`ShardLost`](request::Outcome::ShardLost) replies the router
+//!    transparently resubmits once.
 
 #![warn(missing_docs)]
 
 pub mod codec;
 pub mod engine;
 pub mod fault;
+pub mod fleet;
 pub mod former;
 pub mod loadgen;
 pub mod queue;
@@ -57,6 +66,7 @@ pub mod stats;
 pub use codec::FrameError;
 pub use engine::{EnginePlan, EngineSelector};
 pub use fault::{FaultAction, FaultHook, FaultPlan, FaultSite};
+pub use fleet::{Fleet, FleetConfig, ProcessShard, SHARD_READY_PREFIX};
 pub use former::{FormerConfig, IngestMode, PackedData};
 pub use loadgen::{ArrivalMode, LoadReport, LoadgenConfig};
 pub use queue::PushRefused;
@@ -67,4 +77,4 @@ pub use router::{
 };
 pub use server::{TcpConn, TcpServer};
 pub use service::{Client, Frontend, Service, ServiceConfig};
-pub use stats::{ServiceStats, ShardStat, StatsSnapshot};
+pub use stats::{BreakerStat, FleetStat, ServiceStats, ShardStat, StatsSnapshot};

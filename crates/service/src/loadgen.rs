@@ -127,7 +127,9 @@ pub struct LoadReport {
     /// Backpressure hints received; each was resubmitted after (never
     /// before) its `retry_after_us` delay elapsed.
     pub backpressured: u64,
-    /// Requests whose batch's worker panicked (typed `WorkerCrashed`).
+    /// Requests whose batch's worker panicked (typed `WorkerCrashed`)
+    /// or whose shard process died twice in flight (typed `ShardLost`
+    /// after the router's one transparent resubmission).
     pub crashed: u64,
     /// Replies carrying an id that was not outstanding: a duplicate
     /// answer. Must be zero — the exactly-one-reply invariant.
@@ -399,8 +401,11 @@ fn reader_loop(stream: TcpStream, state: Shared, total: u64, plant_bad: u64, exp
                         (Outcome::NotSpd { column: 0 }, true) => s.planted_caught += 1,
                         // A planted request in a crashed batch
                         // legitimately comes back WorkerCrashed — it
-                        // never reached the pivot check.
-                        (Outcome::WorkerCrashed, _) => s.crashed += 1,
+                        // never reached the pivot check. ShardLost is
+                        // the process-death analogue: the router already
+                        // resubmitted once, a second loss surfaces here
+                        // and tallies with the crashes.
+                        (Outcome::WorkerCrashed, _) | (Outcome::ShardLost, _) => s.crashed += 1,
                         (Outcome::Rejected(_), _) => s.rejected += 1,
                         _ => s.mismatched += 1,
                     }

@@ -185,6 +185,12 @@ pub enum Outcome {
     /// abandoned and the worker restarted. The request was *not*
     /// factorized — resubmitting is safe (factorization is idempotent).
     WorkerCrashed,
+    /// The shard process (or its connection) holding this request died
+    /// with the request still in flight. The request was *not*
+    /// factorized — resubmitting is safe. The router converts the first
+    /// loss into a transparent resubmission to a healthy shard; a second
+    /// loss surfaces this outcome to the caller.
+    ShardLost,
     /// The request was never factorized (admission refusal, shutdown, or
     /// a deadline expiring before packing).
     Rejected(RejectReason),

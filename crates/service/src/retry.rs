@@ -50,6 +50,22 @@ impl RetryPolicy {
         }
     }
 
+    /// The router→shard reconnect policy: effectively unlimited attempts
+    /// (whether a shard is gone for good is the fleet supervisor's call,
+    /// not the connection's), 1 ms base, 100 ms cap. The same equal-jitter
+    /// schedule as [`RetryPolicy::standard`], so shard-side and
+    /// loadgen-side reconnects share one tested backoff implementation —
+    /// a `TcpShard` *gates* reconnect attempts on this schedule instead
+    /// of sleeping, keeping its submit path non-blocking.
+    pub fn reconnect(seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: u32::MAX,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(100),
+            seed,
+        }
+    }
+
     /// `true` when reconnecting is allowed at all.
     pub fn enabled(&self) -> bool {
         self.max_attempts > 1
@@ -141,5 +157,19 @@ mod tests {
         let p = RetryPolicy::disabled();
         assert!(!p.enabled());
         assert!(RetryPolicy::standard(0).enabled());
+    }
+
+    #[test]
+    fn reconnect_policy_is_unbounded_and_capped() {
+        let p = RetryPolicy::reconnect(9);
+        assert!(p.enabled());
+        for attempt in 1..=64u32 {
+            let d = p.backoff(attempt);
+            assert!(d >= p.base / 2, "attempt {attempt}: {d:?}");
+            assert!(d <= p.cap, "attempt {attempt}: {d:?}");
+        }
+        // Deep into the schedule the sleep sits in [cap/2, cap]: a dead
+        // shard is probed forever, but never more than ~10×/second.
+        assert!(p.backoff(10_000) >= p.cap / 2);
     }
 }

@@ -11,9 +11,29 @@
 //! - requests route by [`RoutePolicy`]: rendezvous (highest-random-
 //!   weight) hashing of `(n, dtype)` for stable keys with minimal
 //!   movement on failover, or least-loaded by ingest-queue depth;
-//! - a health thread probes every shard on a fixed cadence and marks
-//!   dead shards unroutable; live submissions that hit a dying shard
-//!   fail over to the next healthy candidate immediately;
+//! - a health thread probes every shard on a jittered cadence (each
+//!   slot's probe schedule is de-correlated from its neighbours', so a
+//!   recovering fleet is not hit by a thundering herd of simultaneous
+//!   probes) and marks dead shards unroutable; live submissions that
+//!   hit a dying shard fail over to the next healthy candidate
+//!   immediately;
+//! - every slot carries a **circuit breaker**: K consecutive
+//!   connect/submit/probe failures trip it open (the slot leaves the
+//!   routing set), a cooldown later it half-opens for a trial probe,
+//!   and a successful probe closes it again. States and trip counts
+//!   surface in [`ShardStat`]; transition totals in
+//!   [`FleetStat`](crate::stats::FleetStat);
+//! - when a shard *process* dies, its [`TcpShard`] pending map answers
+//!   every orphaned in-flight request with a typed
+//!   [`Outcome::ShardLost`]; the router intercepts the first loss and
+//!   transparently resubmits to a healthy shard (exactly once — a
+//!   second loss surfaces `ShardLost` to the caller, who may resubmit
+//!   like any crash);
+//! - optional **hedged requests** ([`RouterConfig::hedge_after`]): a
+//!   submit that has not answered within the hedge delay is duplicated
+//!   to a second healthy shard; the first reply wins at a shared
+//!   take-once sink and the loser is counted as suppressed, so the
+//!   exactly-one-reply invariant holds by construction;
 //! - a full shard queue is *never* spilled to a colder shard and never
 //!   blocks the router: the client gets a typed
 //!   [`RejectReason::Backpressure`] carrying a retry-after hint, and is
@@ -36,13 +56,14 @@ use crate::codec::{
 };
 use crate::fault::{FaultAction, FaultHook, FaultSite};
 use crate::request::{FactorReply, Outcome, Payload, RejectReason, ReplySink};
+use crate::retry::RetryPolicy;
 use crate::server::TcpConn;
 use crate::service::{Client, Frontend, Service};
-use crate::stats::{ShardStat, StatsSnapshot};
+use crate::stats::{BreakerStat, FleetStat, ShardStat, StatsSnapshot};
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{Shutdown, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -99,6 +120,16 @@ pub trait ShardBackend: Send + Sync {
     /// Releases the shard's resources (joins worker threads). Called
     /// once, from [`Router::shutdown`], after [`ShardBackend::kill`].
     fn shutdown(&self);
+
+    /// `true` when an *admitted* request can still be lost before its
+    /// sink fires — a remote connection or child process can die with
+    /// requests in flight, an in-process shard cannot. The router only
+    /// pays for the in-flight-failover guard (a payload clone per
+    /// request) on fleets where a loss is possible; everyone else keeps
+    /// the zero-copy reply fast path untouched.
+    fn can_lose_inflight(&self) -> bool {
+        false
+    }
 }
 
 /// A shard running inside this process: one [`Service`] with its own
@@ -192,49 +223,99 @@ struct TcpShardConn {
     pending: Arc<Mutex<TcpPending>>,
 }
 
+/// Connection slot plus the reconnect-backoff ledger guarding it. The
+/// backoff *gates* rather than sleeps: a submit that arrives inside the
+/// backoff window is refused immediately (the router fails it over), so
+/// the submit path never blocks on a dead shard.
+struct TcpConnState {
+    conn: Option<TcpShardConn>,
+    /// Consecutive failed connect attempts; resets on success.
+    attempt: u32,
+    /// Earliest instant the next connect attempt is allowed, per the
+    /// shard's [`RetryPolicy`] equal-jitter schedule.
+    next_connect_at: Option<Instant>,
+}
+
 /// A shard behind a TCP connection to a remote `ibcf serve` process.
 ///
 /// The router renumbers requests onto a private wire-id space, pumps
 /// replies back through a reader thread, and answers everything still in
-/// flight with a typed [`Outcome::WorkerCrashed`] (idempotent — safe to
-/// resubmit) if the connection dies mid-stream.
+/// flight with a typed [`Outcome::ShardLost`] (idempotent — safe to
+/// resubmit, and the router resubmits the first loss itself) if the
+/// connection dies mid-stream. Reconnects follow the shared
+/// [`RetryPolicy`] equal-jitter backoff instead of hammering a dead
+/// address on every submit.
 pub struct TcpShard {
     name: String,
     addr: String,
     next_wire_id: AtomicU64,
     killed: AtomicBool,
-    conn: Mutex<Option<TcpShardConn>>,
+    retry: RetryPolicy,
+    state: Mutex<TcpConnState>,
 }
 
 impl TcpShard {
-    /// A shard that will lazily connect to `addr` on first use.
+    /// A shard that will lazily connect to `addr` on first use, with the
+    /// default reconnect backoff seeded from the address (deterministic
+    /// per shard, de-correlated across shards).
     pub fn new(name: impl Into<String>, addr: impl Into<String>) -> TcpShard {
+        let addr = addr.into();
+        let seed = addr.bytes().fold(0xC0FFEEu64, |h, b| mix(h ^ u64::from(b)));
+        Self::with_retry(name, addr, RetryPolicy::reconnect(seed))
+    }
+
+    /// A shard with an explicit reconnect-backoff policy.
+    pub fn with_retry(
+        name: impl Into<String>,
+        addr: impl Into<String>,
+        retry: RetryPolicy,
+    ) -> TcpShard {
         TcpShard {
             name: name.into(),
             addr: addr.into(),
             next_wire_id: AtomicU64::new(1),
             killed: AtomicBool::new(false),
-            conn: Mutex::new(None),
+            retry,
+            state: Mutex::new(TcpConnState {
+                conn: None,
+                attempt: 0,
+                next_connect_at: None,
+            }),
         }
     }
 
     /// Ensures a live connection exists, reaping a dead one first.
-    /// Returns `false` when the shard is unreachable.
-    fn ensure_conn(&self, conn: &mut Option<TcpShardConn>) -> bool {
-        if let Some(c) = conn.as_ref() {
+    /// Returns `false` when the shard is unreachable *or* the reconnect
+    /// backoff window has not elapsed yet.
+    fn ensure_conn(&self, st: &mut TcpConnState) -> bool {
+        if let Some(c) = st.conn.as_ref() {
             if !c.pending.lock().unwrap().dead {
                 return true;
             }
-            let c = conn.take().unwrap();
-            let _ = c.reader.join();
+            let c = st.conn.take().unwrap();
+            // A loss-guard resubmission can re-enter from the dying
+            // reader itself (its drain callbacks run on that thread);
+            // joining ourselves would deadlock, so detach in that case.
+            if c.reader.thread().id() != std::thread::current().id() {
+                let _ = c.reader.join();
+            }
         }
-        let Ok(stream) = TcpStream::connect(&self.addr) else {
+        if let Some(t) = st.next_connect_at {
+            if Instant::now() < t {
+                return false;
+            }
+        }
+        let connected = TcpStream::connect(&self.addr)
+            .ok()
+            .and_then(|s| s.try_clone().ok().map(|r| (s, r)));
+        let Some((stream, read_half)) = connected else {
+            st.attempt += 1;
+            st.next_connect_at = Some(Instant::now() + self.retry.backoff(st.attempt));
             return false;
         };
+        st.attempt = 0;
+        st.next_connect_at = None;
         stream.set_nodelay(true).ok();
-        let Ok(read_half) = stream.try_clone() else {
-            return false;
-        };
         let pending = Arc::new(Mutex::new(TcpPending {
             map: HashMap::new(),
             dead: false,
@@ -264,9 +345,10 @@ impl TcpShard {
                         }
                     }
                     // The connection is gone: everything still in flight
-                    // gets a typed crash reply (resubmitting is safe).
-                    // `dead` flips under the same lock, so no submitter
-                    // can add an entry nobody will ever answer.
+                    // gets a typed shard-lost reply (resubmitting is
+                    // safe — the router does it once itself). `dead`
+                    // flips under the same lock, so no submitter can add
+                    // an entry nobody will ever answer.
                     let drained: Vec<(u64, ReplySink)> = {
                         let mut p = pending.lock().unwrap();
                         p.dead = true;
@@ -275,13 +357,13 @@ impl TcpShard {
                     for (caller_id, sink) in drained {
                         sink.send(FactorReply {
                             id: caller_id,
-                            outcome: Outcome::WorkerCrashed,
+                            outcome: Outcome::ShardLost,
                         });
                     }
                 })
                 .expect("spawn shard reader")
         };
-        *conn = Some(TcpShardConn {
+        st.conn = Some(TcpShardConn {
             stream,
             reader,
             pending,
@@ -304,11 +386,11 @@ impl TcpShard {
         if self.killed.load(Ordering::SeqCst) {
             return Err((RejectReason::ShuttingDown, payload, sink));
         }
-        let mut conn = self.conn.lock().unwrap();
-        if !self.ensure_conn(&mut conn) {
+        let mut st = self.state.lock().unwrap();
+        if !self.ensure_conn(&mut st) {
             return Err((RejectReason::ShuttingDown, payload, sink));
         }
-        let c = conn.as_mut().unwrap();
+        let c = st.conn.as_mut().unwrap();
         let wire_id = self.next_wire_id.fetch_add(1, Ordering::Relaxed);
         {
             let mut p = c.pending.lock().unwrap();
@@ -368,14 +450,15 @@ impl ShardBackend for TcpShard {
         if self.killed.load(Ordering::SeqCst) {
             return false;
         }
-        let mut conn = self.conn.lock().unwrap();
-        self.ensure_conn(&mut conn)
+        let mut st = self.state.lock().unwrap();
+        self.ensure_conn(&mut st)
     }
 
     fn load(&self) -> usize {
-        self.conn
+        self.state
             .lock()
             .unwrap()
+            .conn
             .as_ref()
             .map_or(0, |c| c.pending.lock().unwrap().map.len())
     }
@@ -388,9 +471,9 @@ impl ShardBackend for TcpShard {
 
     fn kill(&self) {
         self.killed.store(true, Ordering::SeqCst);
-        if let Some(c) = self.conn.lock().unwrap().as_ref() {
+        if let Some(c) = self.state.lock().unwrap().conn.as_ref() {
             // Wakes the reader, which answers all in-flight requests
-            // with typed crash replies.
+            // with typed shard-lost replies.
             c.stream.shutdown(Shutdown::Both).ok();
         }
     }
@@ -401,9 +484,13 @@ impl ShardBackend for TcpShard {
 
     fn shutdown(&self) {
         self.kill();
-        if let Some(c) = self.conn.lock().unwrap().take() {
+        if let Some(c) = self.state.lock().unwrap().conn.take() {
             let _ = c.reader.join();
         }
+    }
+
+    fn can_lose_inflight(&self) -> bool {
+        true
     }
 }
 
@@ -437,7 +524,9 @@ impl std::str::FromStr for RoutePolicy {
 pub struct RouterConfig {
     /// Shard selection policy.
     pub policy: RoutePolicy,
-    /// Health probe cadence (every shard, every round).
+    /// Base health-probe cadence. Each slot's actual schedule adds a
+    /// deterministic per-slot jitter (see [`probe_jitter`]) so N shards
+    /// are never probed in lockstep.
     pub health_interval: Duration,
     /// The retry-after hint handed out when the routed shard's queue is
     /// full. Should cover roughly one former flush cycle.
@@ -445,6 +534,18 @@ pub struct RouterConfig {
     /// Fault hook for deterministic shard kills
     /// ([`FaultSite::RouterShard`]).
     pub fault: FaultHook,
+    /// Consecutive connect/submit/probe failures before a slot's circuit
+    /// breaker trips open.
+    pub breaker_threshold: u32,
+    /// How long an open breaker waits before half-opening for a trial
+    /// probe.
+    pub breaker_cooldown: Duration,
+    /// When set, a submit still unanswered after this delay is hedged:
+    /// duplicated to a second healthy shard, first reply wins, the
+    /// loser's reply is suppressed and counted. Hedge firing is driven
+    /// by the health thread, so the effective granularity is
+    /// `health_interval`. `None` (the default) disables hedging.
+    pub hedge_after: Option<Duration>,
 }
 
 impl Default for RouterConfig {
@@ -454,6 +555,9 @@ impl Default for RouterConfig {
             health_interval: Duration::from_millis(10),
             retry_after_us: 1_000,
             fault: FaultHook::disabled(),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(250),
+            hedge_after: None,
         }
     }
 }
@@ -467,6 +571,129 @@ fn mix(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// The rendezvous salt of slot `i` — fixed for the life of the fleet, so
+/// a slot keeps its identity (and its keys) across health flaps.
+pub fn slot_salt(i: usize) -> u64 {
+    mix(0xC0FFEE ^ (i as u64) << 17)
+}
+
+/// The rendezvous key for request dimension `n` and dtype tag.
+pub fn rendezvous_key(n: usize, dtype_tag: u8) -> u64 {
+    mix((n as u64) << 8 | u64::from(dtype_tag))
+}
+
+/// The rendezvous (highest-random-weight) owner of key `(n, dtype_tag)`
+/// among the slots whose `healthy[i]` is set: the pure core of
+/// [`RoutePolicy::ConsistentHash`], exposed so property tests can check
+/// stability under shard-set churn without standing up a fleet.
+pub fn rendezvous_owner(n: usize, dtype_tag: u8, salts: &[u64], healthy: &[bool]) -> Option<usize> {
+    let key = rendezvous_key(n, dtype_tag);
+    (0..salts.len())
+        .filter(|&i| *healthy.get(i).unwrap_or(&false))
+        .max_by_key(|&i| (mix(key ^ salts[i]), std::cmp::Reverse(i)))
+}
+
+/// Deterministic per-slot probe jitter for health round `round`: a value
+/// in `[0, interval)` derived from the slot's rendezvous salt, so two
+/// slots' probe schedules de-correlate while each slot's own schedule
+/// stays reproducible.
+pub fn probe_jitter(salt: u64, round: u64, interval: Duration) -> Duration {
+    let span = interval.as_nanos().max(1) as u64;
+    Duration::from_nanos(mix(salt ^ round.wrapping_mul(0x9E3779B97F4A7C15)) % span)
+}
+
+/// Circuit-breaker states (packed into an `AtomicU8`).
+const BREAKER_CLOSED: u8 = 0;
+const BREAKER_OPEN: u8 = 1;
+const BREAKER_HALF_OPEN: u8 = 2;
+
+/// Per-slot circuit breaker: trips open after K consecutive failures,
+/// half-opens after a cooldown, and closes again on a successful trial.
+/// All transitions happen under the `opened_at` mutex so concurrent
+/// submit failures and health rounds cannot double-count a trip.
+struct Breaker {
+    state: AtomicU8,
+    consecutive_failures: AtomicU32,
+    trips: AtomicU64,
+    opened_at: Mutex<Option<Instant>>,
+}
+
+impl Breaker {
+    fn new() -> Breaker {
+        Breaker {
+            state: AtomicU8::new(BREAKER_CLOSED),
+            consecutive_failures: AtomicU32::new(0),
+            trips: AtomicU64::new(0),
+            opened_at: Mutex::new(None),
+        }
+    }
+
+    fn is_open(&self) -> bool {
+        self.state.load(Ordering::SeqCst) == BREAKER_OPEN
+    }
+
+    fn state_name(&self) -> &'static str {
+        match self.state.load(Ordering::SeqCst) {
+            BREAKER_OPEN => "open",
+            BREAKER_HALF_OPEN => "half-open",
+            _ => "closed",
+        }
+    }
+
+    /// Records a successful probe/submit. Returns `true` when this
+    /// closed a half-open breaker (the shard is readmitted).
+    fn record_success(&self) -> bool {
+        self.consecutive_failures.store(0, Ordering::SeqCst);
+        let mut opened = self.opened_at.lock().unwrap();
+        if self.state.load(Ordering::SeqCst) == BREAKER_HALF_OPEN {
+            self.state.store(BREAKER_CLOSED, Ordering::SeqCst);
+            *opened = None;
+            return true;
+        }
+        false
+    }
+
+    /// Records a failed probe/submit. Returns `true` when this tripped
+    /// the breaker open (from closed past the threshold, or a failed
+    /// half-open trial falling straight back open).
+    fn record_failure(&self, threshold: u32) -> bool {
+        let fails = self.consecutive_failures.fetch_add(1, Ordering::SeqCst) + 1;
+        let mut opened = self.opened_at.lock().unwrap();
+        let tripped = match self.state.load(Ordering::SeqCst) {
+            BREAKER_HALF_OPEN => true,
+            BREAKER_CLOSED => fails >= threshold.max(1),
+            _ => false,
+        };
+        if tripped {
+            self.state.store(BREAKER_OPEN, Ordering::SeqCst);
+            *opened = Some(Instant::now());
+            self.trips.fetch_add(1, Ordering::SeqCst);
+        }
+        tripped
+    }
+
+    /// Moves an open breaker whose cooldown has elapsed to half-open.
+    /// Returns `true` on the transition.
+    fn try_half_open(&self, cooldown: Duration) -> bool {
+        let mut opened = self.opened_at.lock().unwrap();
+        if self.state.load(Ordering::SeqCst) == BREAKER_OPEN
+            && opened.is_some_and(|t| t.elapsed() >= cooldown)
+        {
+            self.state.store(BREAKER_HALF_OPEN, Ordering::SeqCst);
+            *opened = None;
+            return true;
+        }
+        false
+    }
+
+    fn stat(&self) -> BreakerStat {
+        BreakerStat {
+            state: self.state_name().to_string(),
+            trips: self.trips.load(Ordering::SeqCst),
+        }
+    }
+}
+
 struct ShardSlot {
     backend: Arc<dyn ShardBackend>,
     healthy: AtomicBool,
@@ -475,13 +702,60 @@ struct ShardSlot {
     routed: AtomicU64,
     /// Rendezvous salt (fixed per slot).
     salt: u64,
+    breaker: Breaker,
+    /// Next scheduled health probe (jittered per slot).
+    next_probe: Mutex<Instant>,
+}
+
+/// A reply destination shared between a primary submit and its hedge
+/// copy: whichever reply arrives first takes the sink; the loser finds
+/// it gone and is counted as a suppressed duplicate. Exactly-one-reply
+/// holds because `take` is atomic under the mutex.
+struct SharedSink {
+    inner: Mutex<Option<ReplySink>>,
+}
+
+impl SharedSink {
+    fn new(sink: ReplySink) -> SharedSink {
+        SharedSink {
+            inner: Mutex::new(Some(sink)),
+        }
+    }
+
+    fn take(&self) -> Option<ReplySink> {
+        self.inner.lock().unwrap().take()
+    }
+
+    fn is_taken(&self) -> bool {
+        self.inner.lock().unwrap().is_none()
+    }
+}
+
+/// A hedge armed at submit time: if the shared sink is still untaken at
+/// `fire_at`, the health thread duplicates the request to a shard other
+/// than `primary`.
+struct HedgeEntry {
+    fire_at: Instant,
+    id: u64,
+    n: usize,
+    payload: Payload,
+    deadline: Option<Instant>,
+    large: bool,
+    shared: Arc<SharedSink>,
+    primary: usize,
 }
 
 struct RouterCore {
     slots: Vec<ShardSlot>,
     policy: RoutePolicy,
     retry_after_us: u32,
+    breaker_threshold: u32,
+    breaker_cooldown: Duration,
+    health_interval: Duration,
+    hedge_after: Option<Duration>,
     stop: AtomicBool,
+    /// Health rounds completed (drives the per-slot probe jitter).
+    rounds: AtomicU64,
     /// Router-level rejections (delivered by the router itself, so no
     /// shard counted them).
     rejected: AtomicU64,
@@ -491,6 +765,18 @@ struct RouterCore {
     failovers: AtomicU64,
     /// Shards actually killed by the fault plan.
     kills: AtomicU64,
+    /// Hedge copies dispatched to a second shard.
+    hedges: AtomicU64,
+    /// Duplicate replies suppressed at a shared sink.
+    hedge_wasted: AtomicU64,
+    /// In-flight `ShardLost` replies transparently resubmitted.
+    shard_lost_resubmits: AtomicU64,
+    /// Breaker transitions open → half-open.
+    breaker_half_opens: AtomicU64,
+    /// Breaker transitions half-open → closed.
+    breaker_closes: AtomicU64,
+    /// Hedges armed but not yet fired.
+    hedge_queue: Mutex<Vec<HedgeEntry>>,
 }
 
 impl RouterCore {
@@ -502,7 +788,7 @@ impl RouterCore {
             .collect();
         match self.policy {
             RoutePolicy::ConsistentHash => {
-                let key = mix((n as u64) << 8 | u64::from(dtype_tag));
+                let key = rendezvous_key(n, dtype_tag);
                 healthy.sort_by_key(|&i| std::cmp::Reverse(mix(key ^ self.slots[i].salt)));
             }
             RoutePolicy::LeastLoaded => {
@@ -513,14 +799,14 @@ impl RouterCore {
     }
 
     fn submit(
-        &self,
+        self: &Arc<Self>,
         id: u64,
         n: usize,
         payload: Payload,
         deadline: Option<Instant>,
         sink: ReplySink,
     ) {
-        self.submit_inner(id, n, payload, deadline, sink, false);
+        self.submit_inner(id, n, payload, deadline, sink, false, true);
     }
 
     /// Routes a large request: same shard selection, failover, and
@@ -528,24 +814,31 @@ impl RouterCore {
     /// goes through [`ShardBackend::try_submit_large`] so the owning
     /// shard schedules the matrix on its task-graph pool.
     fn submit_large(
-        &self,
+        self: &Arc<Self>,
         id: u64,
         n: usize,
         payload: Payload,
         deadline: Option<Instant>,
         sink: ReplySink,
     ) {
-        self.submit_inner(id, n, payload, deadline, sink, true);
+        self.submit_inner(id, n, payload, deadline, sink, true, true);
     }
 
+    /// The routing loop. `fresh` is true for a caller-originated submit
+    /// (which may arm a hedge and a loss guard) and false for the
+    /// router's own recovery traffic — a `ShardLost` resubmission or a
+    /// hedge copy must not recursively arm further recovery, which is
+    /// what bounds the failover to exactly one resubmit.
+    #[allow(clippy::too_many_arguments)]
     fn submit_inner(
-        &self,
+        self: &Arc<Self>,
         id: u64,
         n: usize,
         payload: Payload,
         deadline: Option<Instant>,
         sink: ReplySink,
         large: bool,
+        fresh: bool,
     ) {
         let reject = |sink: ReplySink, reason: RejectReason| {
             self.rejected.fetch_add(1, Ordering::Relaxed);
@@ -557,11 +850,69 @@ impl RouterCore {
         let order = self.pick_order(n, payload.dtype().to_u8());
         let mut payload = payload;
         let mut sink = sink;
+        // Hedging: move the caller's sink behind a shared take-once cell
+        // so the primary and a later hedge copy race to exactly one
+        // delivery. Armed only for fresh submits with a second shard to
+        // hedge to.
+        let hedge_shared = match (fresh, self.hedge_after, order.len() >= 2) {
+            (true, Some(_), true) => {
+                let shared = Arc::new(SharedSink::new(sink));
+                let core = self.clone();
+                let s = shared.clone();
+                sink = ReplySink::boxed(move |reply| match s.take() {
+                    Some(inner) => inner.send(reply),
+                    None => {
+                        core.hedge_wasted.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+                Some(shared)
+            }
+            _ => None,
+        };
+        // In-flight failover: on a fleet where an admitted request can
+        // die with its shard, intercept the first `ShardLost` and
+        // resubmit it once. Costs one payload clone per fresh request.
+        // `admitted_to` records which slot holds the request so the
+        // guard can mark the loser unroutable *before* resubmitting —
+        // otherwise the resubmission races the health round and can
+        // land straight back on the dying shard.
+        let mut admitted_to = None;
+        if fresh
+            && order
+                .iter()
+                .any(|&i| self.slots[i].backend.can_lose_inflight())
+        {
+            let slot_cell = Arc::new(AtomicU64::new(u64::MAX));
+            admitted_to = Some(slot_cell.clone());
+            let core = self.clone();
+            let retry_payload = payload.clone();
+            let inner = sink;
+            sink = ReplySink::boxed(move |reply| {
+                if matches!(reply.outcome, Outcome::ShardLost) {
+                    let lost = slot_cell.load(Ordering::SeqCst);
+                    if let Some(slot) = core.slots.get(lost as usize) {
+                        slot.healthy.store(false, Ordering::SeqCst);
+                        slot.breaker.record_failure(core.breaker_threshold);
+                    }
+                    core.shard_lost_resubmits.fetch_add(1, Ordering::Relaxed);
+                    core.submit_inner(id, n, retry_payload, deadline, inner, large, false);
+                } else {
+                    inner.send(reply);
+                }
+            });
+        }
+        let hedge_payload = hedge_shared.as_ref().map(|_| payload.clone());
         for (attempt, &i) in order.iter().enumerate() {
             if attempt > 0 {
                 self.failovers.fetch_add(1, Ordering::Relaxed);
             }
             let slot = &self.slots[i];
+            // Record the candidate before handing the sink over: once
+            // admitted, the reader thread may fire `ShardLost` at any
+            // moment and the guard must know whom to blame.
+            if let Some(cell) = &admitted_to {
+                cell.store(i as u64, Ordering::SeqCst);
+            }
             let admitted = if large {
                 slot.backend
                     .try_submit_large(id, n, payload, deadline, sink)
@@ -571,6 +922,23 @@ impl RouterCore {
             match admitted {
                 Ok(()) => {
                     slot.routed.fetch_add(1, Ordering::Relaxed);
+                    if slot.breaker.record_success() {
+                        self.breaker_closes.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if let (Some(shared), Some(hp), Some(delay)) =
+                        (hedge_shared, hedge_payload, self.hedge_after)
+                    {
+                        self.hedge_queue.lock().unwrap().push(HedgeEntry {
+                            fire_at: Instant::now() + delay,
+                            id,
+                            n,
+                            payload: hp,
+                            deadline,
+                            large,
+                            shared,
+                            primary: i,
+                        });
+                    }
                     return;
                 }
                 Err((RejectReason::QueueFull, _, s)) => {
@@ -589,8 +957,9 @@ impl RouterCore {
                 }
                 Err((RejectReason::ShuttingDown, p, s)) => {
                     // The shard died between the health round and now:
-                    // mark it unroutable and fail over.
+                    // mark it unroutable, feed its breaker, fail over.
                     slot.healthy.store(false, Ordering::SeqCst);
+                    slot.breaker.record_failure(self.breaker_threshold);
                     payload = p;
                     sink = s;
                 }
@@ -601,13 +970,79 @@ impl RouterCore {
                 }
             }
         }
-        // No healthy shard accepted.
-        reject(sink, RejectReason::ShuttingDown);
+        // No healthy shard accepted. A recovery resubmission that finds
+        // nowhere to go surfaces the loss itself rather than masking it
+        // as a shutdown.
+        if fresh {
+            reject(sink, RejectReason::ShuttingDown);
+        } else {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            sink.send(FactorReply {
+                id,
+                outcome: Outcome::ShardLost,
+            });
+        }
     }
 
-    /// One health round: maybe kill a shard (fault plan), then re-probe
-    /// every slot.
-    fn health_round(&self, fault: &FaultHook) {
+    /// Fires every armed hedge whose delay elapsed and whose primary has
+    /// not answered yet: the copy goes to a healthy shard other than the
+    /// primary, sharing the primary's take-once sink.
+    fn fire_due_hedges(self: &Arc<Self>) {
+        let due: Vec<HedgeEntry> = {
+            let mut q = self.hedge_queue.lock().unwrap();
+            let now = Instant::now();
+            // Answered entries are dropped unfired; due ones are pulled.
+            q.retain(|e| !e.shared.is_taken());
+            let (fire, keep) = std::mem::take(&mut *q)
+                .into_iter()
+                .partition(|e| e.fire_at <= now);
+            *q = keep;
+            fire
+        };
+        for e in due {
+            let Some(&alt) = self
+                .pick_order(e.n, e.payload.dtype().to_u8())
+                .iter()
+                .find(|&&i| i != e.primary)
+            else {
+                continue;
+            };
+            let core = self.clone();
+            let shared = e.shared.clone();
+            // The hedge copy never triggers recovery: a lost or refused
+            // copy is simply dropped (the primary still owns delivery),
+            // and any real outcome races for the shared sink.
+            let sink = ReplySink::boxed(move |reply| {
+                if matches!(reply.outcome, Outcome::ShardLost) {
+                    return;
+                }
+                match shared.take() {
+                    Some(inner) => inner.send(reply),
+                    None => {
+                        core.hedge_wasted.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+            let slot = &self.slots[alt];
+            let admitted = if e.large {
+                slot.backend
+                    .try_submit_large(e.id, e.n, e.payload, e.deadline, sink)
+            } else {
+                slot.backend
+                    .try_submit(e.id, e.n, e.payload, e.deadline, sink)
+            };
+            if admitted.is_ok() {
+                slot.routed.fetch_add(1, Ordering::Relaxed);
+                self.hedges.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// One health round: maybe kill a shard (fault plan), drive breaker
+    /// cooldowns, re-probe every slot whose jittered schedule is due,
+    /// and fire due hedges.
+    fn health_round(self: &Arc<Self>, fault: &FaultHook) {
+        let round = self.rounds.fetch_add(1, Ordering::Relaxed);
         for slot in &self.slots {
             if let Some(FaultAction::KillShard) = fault.check(FaultSite::RouterShard) {
                 let alive = self
@@ -622,8 +1057,48 @@ impl RouterCore {
                     self.kills.fetch_add(1, Ordering::Relaxed);
                 }
             }
+            if slot.breaker.try_half_open(self.breaker_cooldown) {
+                self.breaker_half_opens.fetch_add(1, Ordering::Relaxed);
+            }
+            if slot.breaker.is_open() {
+                // An open breaker keeps the slot out of the routing set
+                // and is *not* probed — that is the point of tripping.
+                slot.healthy.store(false, Ordering::SeqCst);
+                continue;
+            }
+            let now = Instant::now();
+            let due = *slot.next_probe.lock().unwrap() <= now;
+            if !due {
+                continue;
+            }
             let up = !slot.killed.load(Ordering::SeqCst) && slot.backend.probe();
-            slot.healthy.store(up, Ordering::SeqCst);
+            if up {
+                if slot.breaker.record_success() {
+                    self.breaker_closes.fetch_add(1, Ordering::Relaxed);
+                }
+            } else {
+                slot.breaker.record_failure(self.breaker_threshold);
+            }
+            slot.healthy
+                .store(up && !slot.breaker.is_open(), Ordering::SeqCst);
+            *slot.next_probe.lock().unwrap() =
+                now + self.health_interval + probe_jitter(slot.salt, round, self.health_interval);
+        }
+        self.fire_due_hedges();
+    }
+
+    fn fleet_stat(&self) -> FleetStat {
+        FleetStat {
+            hedges: self.hedges.load(Ordering::Relaxed),
+            hedge_wasted: self.hedge_wasted.load(Ordering::Relaxed),
+            shard_lost_resubmits: self.shard_lost_resubmits.load(Ordering::Relaxed),
+            breaker_trips: self
+                .slots
+                .iter()
+                .map(|s| s.breaker.trips.load(Ordering::SeqCst))
+                .sum(),
+            breaker_half_opens: self.breaker_half_opens.load(Ordering::Relaxed),
+            breaker_closes: self.breaker_closes.load(Ordering::Relaxed),
         }
     }
 
@@ -635,6 +1110,7 @@ impl RouterCore {
                 name: slot.backend.name().to_string(),
                 healthy: slot.healthy.load(Ordering::SeqCst),
                 routed: slot.routed.load(Ordering::Relaxed),
+                breaker: Some(slot.breaker.stat()),
                 snapshot: slot.backend.stats(),
             })
             .collect();
@@ -645,6 +1121,7 @@ impl RouterCore {
         // healthy shard) were never seen by any shard.
         fleet.rejected += self.rejected.load(Ordering::Relaxed);
         fleet.shards = Some(shards);
+        fleet.fleet = Some(self.fleet_stat());
         fleet
     }
 }
@@ -669,7 +1146,9 @@ impl Router {
                 healthy: AtomicBool::new(backend.probe()),
                 killed: AtomicBool::new(false),
                 routed: AtomicU64::new(0),
-                salt: mix(0xC0FFEE ^ (i as u64) << 17),
+                salt: slot_salt(i),
+                breaker: Breaker::new(),
+                next_probe: Mutex::new(Instant::now()),
                 backend,
             })
             .collect();
@@ -677,11 +1156,22 @@ impl Router {
             slots,
             policy: cfg.policy,
             retry_after_us: cfg.retry_after_us,
+            breaker_threshold: cfg.breaker_threshold,
+            breaker_cooldown: cfg.breaker_cooldown,
+            health_interval: cfg.health_interval,
+            hedge_after: cfg.hedge_after,
             stop: AtomicBool::new(false),
+            rounds: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             backpressured: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
             kills: AtomicU64::new(0),
+            hedges: AtomicU64::new(0),
+            hedge_wasted: AtomicU64::new(0),
+            shard_lost_resubmits: AtomicU64::new(0),
+            breaker_half_opens: AtomicU64::new(0),
+            breaker_closes: AtomicU64::new(0),
+            hedge_queue: Mutex::new(Vec::new()),
         });
         let health = {
             let core = core.clone();
@@ -851,12 +1341,19 @@ mod tests {
     use std::sync::mpsc;
 
     /// A scripted backend: refuses with a fixed reason, or accepts and
-    /// echoes the payload back as a factor.
+    /// echoes the payload back as a factor. Can also be scripted to
+    /// *lose* the next accepted request (typed `ShardLost`, like a
+    /// process death) or to *hold* accepted sinks unanswered (a
+    /// straggler, for hedging tests).
     struct TestBackend {
         name: String,
         refuse: Mutex<Option<RejectReason>>,
         accepted: Mutex<Vec<u64>>,
         load: AtomicUsize,
+        can_lose: AtomicBool,
+        lose_next: AtomicBool,
+        hold: AtomicBool,
+        held: Mutex<Vec<(u64, Payload, ReplySink)>>,
     }
 
     impl TestBackend {
@@ -866,6 +1363,10 @@ mod tests {
                 refuse: Mutex::new(None),
                 accepted: Mutex::new(Vec::new()),
                 load: AtomicUsize::new(0),
+                can_lose: AtomicBool::new(false),
+                lose_next: AtomicBool::new(false),
+                hold: AtomicBool::new(false),
+                held: Mutex::new(Vec::new()),
             })
         }
 
@@ -875,6 +1376,16 @@ mod tests {
 
         fn accepted_ids(&self) -> Vec<u64> {
             self.accepted.lock().unwrap().clone()
+        }
+
+        /// Answers every held request with its factor.
+        fn release_held(&self) {
+            for (id, payload, sink) in self.held.lock().unwrap().drain(..) {
+                sink.send(FactorReply {
+                    id,
+                    outcome: Outcome::Factor(payload),
+                });
+            }
         }
     }
 
@@ -896,6 +1407,21 @@ mod tests {
                 return Err((reason, payload, sink));
             }
             self.accepted.lock().unwrap().push(id);
+            if self.lose_next.swap(false, Ordering::SeqCst) {
+                // The process died with the request in flight: the
+                // pending map answers ShardLost and the connection
+                // refuses from now on.
+                self.refuse_with(Some(RejectReason::ShuttingDown));
+                sink.send(FactorReply {
+                    id,
+                    outcome: Outcome::ShardLost,
+                });
+                return Ok(());
+            }
+            if self.hold.load(Ordering::SeqCst) {
+                self.held.lock().unwrap().push((id, payload, sink));
+                return Ok(());
+            }
             sink.send(FactorReply {
                 id,
                 outcome: Outcome::Factor(payload),
@@ -941,6 +1467,10 @@ mod tests {
         }
 
         fn shutdown(&self) {}
+
+        fn can_lose_inflight(&self) -> bool {
+            self.can_lose.load(Ordering::SeqCst)
+        }
     }
 
     fn fakes(n: usize) -> Vec<Arc<TestBackend>> {
@@ -1231,5 +1761,187 @@ mod tests {
         let shards = snap.shards.expect("fleet snapshot has shard breakdown");
         assert_eq!(shards.len(), 3);
         assert_eq!(shards.iter().map(|s| s.routed).sum::<u64>(), total);
+    }
+
+    #[test]
+    fn probe_jitter_decorrelates_slots_and_stays_in_range() {
+        let interval = Duration::from_millis(10);
+        let (s0, s1) = (slot_salt(0), slot_salt(1));
+        let rounds = 100u64;
+        let mut differing = 0;
+        let mut distinct0 = std::collections::HashSet::new();
+        for round in 0..rounds {
+            let j0 = probe_jitter(s0, round, interval);
+            let j1 = probe_jitter(s1, round, interval);
+            assert!(
+                j0 < interval && j1 < interval,
+                "jitter must stay in [0, interval)"
+            );
+            // Deterministic: the same (salt, round) always jitters the same.
+            assert_eq!(j0, probe_jitter(s0, round, interval));
+            if j0 != j1 {
+                differing += 1;
+            }
+            distinct0.insert(j0);
+        }
+        assert!(
+            differing >= rounds * 9 / 10,
+            "two slots' probe schedules stayed in lockstep ({differing}/{rounds} rounds differ)"
+        );
+        assert!(
+            distinct0.len() > 1,
+            "a slot's own schedule must vary across rounds"
+        );
+    }
+
+    #[test]
+    fn shard_lost_in_flight_is_resubmitted_exactly_once() {
+        let f = fakes(2);
+        for b in &f {
+            b.can_lose.store(true, Ordering::SeqCst);
+        }
+        let router = Router::start(as_backends(&f), RouterConfig::default());
+        let client = router.client();
+        assert!(call(&client, 1, 6).outcome.is_ok());
+        let owner = (0..2)
+            .position(|i| !f[i].accepted_ids().is_empty())
+            .unwrap();
+        // The owner's process dies with request 2 in flight: the typed
+        // loss must be resubmitted to the surviving shard, invisibly.
+        f[owner].lose_next.store(true, Ordering::SeqCst);
+        let reply = call(&client, 2, 6);
+        assert!(reply.outcome.is_ok(), "loss not recovered: {reply:?}");
+        assert!(f[1 - owner].accepted_ids().contains(&2));
+        assert_eq!(router.core.shard_lost_resubmits.load(Ordering::Relaxed), 1);
+        let fleet = Frontend::stats(&client).fleet.expect("fleet stat");
+        assert_eq!(fleet.shard_lost_resubmits, 1);
+        router.shutdown();
+    }
+
+    #[test]
+    fn a_second_loss_surfaces_shard_lost_to_the_caller() {
+        let f = fakes(2);
+        for b in &f {
+            b.can_lose.store(true, Ordering::SeqCst);
+            b.lose_next.store(true, Ordering::SeqCst);
+        }
+        let router = Router::start(as_backends(&f), RouterConfig::default());
+        let client = router.client();
+        // First loss: resubmitted. The resubmission's shard dies too:
+        // the loss surfaces typed (the caller may resubmit like any
+        // crash) instead of looping forever.
+        let reply = call(&client, 1, 6);
+        assert_eq!(reply.outcome, Outcome::ShardLost);
+        assert_eq!(router.core.shard_lost_resubmits.load(Ordering::Relaxed), 1);
+        router.shutdown();
+    }
+
+    #[test]
+    fn breaker_trips_half_opens_and_closes() {
+        let f = fakes(2);
+        let cfg = RouterConfig {
+            health_interval: Duration::from_millis(1),
+            breaker_threshold: 2,
+            breaker_cooldown: Duration::from_millis(30),
+            ..RouterConfig::default()
+        };
+        let router = Router::start(as_backends(&f), cfg);
+        let client = router.client();
+        let breaker_of = |name: &str| {
+            Frontend::stats(&client)
+                .shards
+                .expect("shard list")
+                .into_iter()
+                .find(|s| s.name == name)
+                .and_then(|s| s.breaker)
+                .expect("breaker stat")
+        };
+        // Shard s0 starts failing probes: after `threshold` consecutive
+        // failures its breaker must trip open.
+        f[0].refuse_with(Some(RejectReason::ShuttingDown));
+        let t0 = Instant::now();
+        while breaker_of("s0").state != "open" && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let open = breaker_of("s0");
+        assert_eq!(open.state, "open");
+        assert_eq!(open.trips, 1);
+        // The shard recovers: a cooldown later the breaker half-opens
+        // for a trial probe, which succeeds and closes it.
+        f[0].refuse_with(None);
+        let t0 = Instant::now();
+        while breaker_of("s0").state != "closed" && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(breaker_of("s0").state, "closed");
+        let fleet = Frontend::stats(&client).fleet.expect("fleet stat");
+        assert_eq!(fleet.breaker_trips, 1);
+        assert!(fleet.breaker_half_opens >= 1, "no half-open recorded");
+        assert!(fleet.breaker_closes >= 1, "no close recorded");
+        // The readmitted shard serves again.
+        assert_eq!(breaker_of("s1").trips, 0, "healthy slot never tripped");
+        router.shutdown();
+    }
+
+    #[test]
+    fn hedged_request_wins_on_the_second_shard_and_suppresses_the_duplicate() {
+        let f = fakes(2);
+        let cfg = RouterConfig {
+            health_interval: Duration::from_millis(1),
+            hedge_after: Some(Duration::from_millis(5)),
+            ..RouterConfig::default()
+        };
+        let router = Router::start(as_backends(&f), cfg);
+        let client = router.client();
+        assert!(call(&client, 1, 6).outcome.is_ok());
+        let owner = (0..2)
+            .position(|i| !f[i].accepted_ids().is_empty())
+            .unwrap();
+        // The owner straggles: it accepts but never answers. The hedge
+        // fires on the other shard and its reply wins.
+        f[owner].hold.store(true, Ordering::SeqCst);
+        let reply = call(&client, 2, 6);
+        assert!(reply.outcome.is_ok(), "hedge never answered: {reply:?}");
+        assert!(f[1 - owner].accepted_ids().contains(&2));
+        // The counter is bumped by the health thread just *after* the
+        // hedge reply is delivered, so give it a moment.
+        let t0 = Instant::now();
+        while router.core.hedges.load(Ordering::Relaxed) == 0
+            && t0.elapsed() < Duration::from_secs(5)
+        {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(router.core.hedges.load(Ordering::Relaxed), 1);
+        // The straggler finally answers: the duplicate is suppressed at
+        // the shared sink and only counted, never delivered.
+        f[owner].release_held();
+        assert_eq!(router.core.hedge_wasted.load(Ordering::Relaxed), 1);
+        let fleet = Frontend::stats(&client).fleet.expect("fleet stat");
+        assert_eq!(fleet.hedges, 1);
+        assert_eq!(fleet.hedge_wasted, 1);
+        router.shutdown();
+    }
+
+    #[test]
+    fn an_answered_request_is_never_hedged() {
+        let f = fakes(2);
+        let cfg = RouterConfig {
+            health_interval: Duration::from_millis(1),
+            hedge_after: Some(Duration::from_millis(2)),
+            ..RouterConfig::default()
+        };
+        let router = Router::start(as_backends(&f), cfg);
+        let client = router.client();
+        for id in 0..20 {
+            assert!(call(&client, id, 4 + (id % 3) as usize).outcome.is_ok());
+        }
+        // Replies were instant: every armed hedge must be cancelled
+        // before it fires.
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(router.core.hedges.load(Ordering::Relaxed), 0);
+        assert_eq!(router.core.hedge_wasted.load(Ordering::Relaxed), 0);
+        let total: usize = f.iter().map(|b| b.accepted_ids().len()).sum();
+        assert_eq!(total, 20, "no duplicate submissions");
+        router.shutdown();
     }
 }

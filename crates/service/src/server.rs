@@ -70,7 +70,10 @@ fn send_one(
             ));
         }
         Some(FaultAction::Delay(d)) => std::thread::sleep(d),
-        Some(FaultAction::PanicWorker) | Some(FaultAction::KillShard) | None => {}
+        Some(FaultAction::PanicWorker)
+        | Some(FaultAction::KillShard)
+        | Some(FaultAction::KillProcess)
+        | None => {}
     }
     w.write_all(&frame)
 }

@@ -153,6 +153,7 @@ impl ServiceStats {
             occupancy_hist,
             latency_hist,
             shards: None,
+            fleet: None,
         }
     }
 }
@@ -200,6 +201,50 @@ pub struct StatsSnapshot {
     /// `None` for a single service. Optional so old and new snapshots
     /// keep deserializing each other.
     pub shards: Option<Vec<ShardStat>>,
+    /// Router-level robustness counters (hedging, in-flight failover,
+    /// circuit breakers) when this snapshot describes a routed fleet;
+    /// `None` for a single service. Optional for the same
+    /// cross-version-deserialization reason as `shards`.
+    pub fleet: Option<FleetStat>,
+}
+
+/// Fleet-level robustness counters the router accumulates on top of the
+/// per-shard [`StatsSnapshot`] merge: these events happen *between*
+/// shards (a hedge copy on a second shard, a resubmission after a shard
+/// process died), so no single shard's counters can account for them.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetStat {
+    /// Hedge copies actually dispatched to a second shard.
+    pub hedges: u64,
+    /// Duplicate replies suppressed at the shared reply sink (either the
+    /// hedge lost the race, or it won and the primary's reply was
+    /// swallowed) — the exactly-one-reply ledger for hedging.
+    pub hedge_wasted: u64,
+    /// In-flight requests that came back `ShardLost` and were
+    /// transparently resubmitted (exactly once) to a healthy shard.
+    pub shard_lost_resubmits: u64,
+    /// Circuit-breaker transitions closed → open across the fleet.
+    pub breaker_trips: u64,
+    /// Circuit-breaker transitions open → half-open (cooldown expired,
+    /// probe admitted).
+    pub breaker_half_opens: u64,
+    /// Circuit-breaker transitions half-open → closed (probe succeeded,
+    /// shard readmitted).
+    pub breaker_closes: u64,
+}
+
+impl FleetStat {
+    /// Field-wise sum (fleet merges, like counter merges, are addition).
+    pub fn merge(&self, other: &FleetStat) -> FleetStat {
+        FleetStat {
+            hedges: self.hedges + other.hedges,
+            hedge_wasted: self.hedge_wasted + other.hedge_wasted,
+            shard_lost_resubmits: self.shard_lost_resubmits + other.shard_lost_resubmits,
+            breaker_trips: self.breaker_trips + other.breaker_trips,
+            breaker_half_opens: self.breaker_half_opens + other.breaker_half_opens,
+            breaker_closes: self.breaker_closes + other.breaker_closes,
+        }
+    }
 }
 
 /// One shard's contribution to a fleet snapshot: its own full
@@ -213,8 +258,22 @@ pub struct ShardStat {
     pub healthy: bool,
     /// Requests the router sent its way.
     pub routed: u64,
+    /// The shard's circuit-breaker view at snapshot time; `None` when
+    /// the snapshot predates breakers (optional so old and new snapshots
+    /// keep deserializing each other).
+    pub breaker: Option<BreakerStat>,
     /// The shard's own counters and histograms.
     pub snapshot: StatsSnapshot,
+}
+
+/// One shard's circuit-breaker state as the router saw it at snapshot
+/// time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BreakerStat {
+    /// `closed`, `open`, or `half-open`.
+    pub state: String,
+    /// Times this shard's breaker tripped (closed → open).
+    pub trips: u64,
 }
 
 impl StatsSnapshot {
@@ -298,6 +357,12 @@ impl StatsSnapshot {
                         .cloned()
                         .collect(),
                 ),
+            },
+            fleet: match (&self.fleet, &other.fleet) {
+                (None, None) => None,
+                (Some(a), None) => Some(a.clone()),
+                (None, Some(b)) => Some(b.clone()),
+                (Some(a), Some(b)) => Some(a.merge(b)),
             },
         }
     }
@@ -444,11 +509,46 @@ mod tests {
     }
 
     #[test]
+    fn fleet_counters_survive_json_and_merge_additively() {
+        let fleet = StatsSnapshot {
+            fleet: Some(FleetStat {
+                hedges: 4,
+                hedge_wasted: 1,
+                shard_lost_resubmits: 2,
+                breaker_trips: 3,
+                breaker_half_opens: 2,
+                breaker_closes: 2,
+            }),
+            ..StatsSnapshot::default()
+        };
+        let text = serde_json::to_string(&fleet).unwrap();
+        let back: StatsSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.fleet, fleet.fleet);
+
+        let m = fleet.merge(&fleet);
+        let f = m.fleet.as_ref().unwrap();
+        assert_eq!(f.hedges, 8);
+        assert_eq!(f.shard_lost_resubmits, 4);
+        assert_eq!(f.breaker_closes, 4);
+        // Merging with a plain service snapshot keeps the fleet side.
+        assert_eq!(fleet.merge(&StatsSnapshot::default()).fleet, fleet.fleet);
+        // Two plain services merge to no fleet counters at all.
+        assert!(StatsSnapshot::default()
+            .merge(&StatsSnapshot::default())
+            .fleet
+            .is_none());
+    }
+
+    #[test]
     fn shard_breakdown_survives_json_and_merge() {
         let shard = |name: &str, requests: u64, healthy: bool| ShardStat {
             name: name.to_string(),
             healthy,
             routed: requests,
+            breaker: Some(BreakerStat {
+                state: "closed".to_string(),
+                trips: 0,
+            }),
             snapshot: StatsSnapshot {
                 requests,
                 ..StatsSnapshot::default()
@@ -466,6 +566,8 @@ mod tests {
         assert_eq!(shards[0].name, "shard-0");
         assert!(shards[0].healthy && !shards[1].healthy);
         assert_eq!(shards[1].snapshot.requests, 5);
+        assert_eq!(shards[0].breaker.as_ref().unwrap().state, "closed");
+        assert_eq!(shards[0].breaker.as_ref().unwrap().trips, 0);
 
         // Merging fleets concatenates the shard lists; merging a fleet
         // with a plain service keeps the fleet's list.
